@@ -1,0 +1,83 @@
+"""E2 -- Example 1: the SET id swap under both dialects.
+
+Shape checks: the legacy dialect loses the swap (both ids equal), the
+revised dialect performs it.  Timings compare the per-record legacy SET
+with the collect-then-apply atomic SET.
+"""
+
+from repro import Dialect, Graph
+from repro.paper import EXAMPLE_1_SWAP
+
+
+def _fixture(dialect):
+    graph = Graph(dialect)
+    graph.run("CREATE (:Product {name:'laptop', id: 1})")
+    graph.run("CREATE (:Product {name:'tablet', id: 2})")
+    return graph
+
+
+def _ids(graph):
+    result = graph.run("MATCH (p:Product) RETURN p.name AS n, p.id AS i")
+    return {record["n"]: record["i"] for record in result}
+
+
+def test_legacy_swap_is_lost(benchmark):
+    def run():
+        graph = _fixture(Dialect.CYPHER9)
+        graph.run(EXAMPLE_1_SWAP)
+        return graph
+
+    graph = benchmark(run)
+    assert _ids(graph) == {"laptop": 2, "tablet": 2}
+
+
+def test_revised_swap_succeeds(benchmark):
+    def run():
+        graph = _fixture(Dialect.REVISED)
+        graph.run(EXAMPLE_1_SWAP)
+        return graph
+
+    graph = benchmark(run)
+    assert _ids(graph) == {"laptop": 2, "tablet": 1}
+
+
+def test_bulk_swap_legacy(benchmark):
+    """Pairwise swaps over 200 nodes, legacy semantics (all lost)."""
+
+    def run():
+        graph = Graph(Dialect.CYPHER9)
+        graph.run(
+            "UNWIND range(0, 99) AS i "
+            "CREATE (:L {k: i, v: i}), (:R {k: i, v: i + 1000})"
+        )
+        graph.run(
+            "MATCH (l:L), (r:R {k: l.k}) SET l.v = r.v, r.v = l.v"
+        )
+        return graph
+
+    graph = benchmark(run)
+    sample = graph.run(
+        "MATCH (l:L {k: 0}), (r:R {k: 0}) RETURN l.v AS l, r.v AS r"
+    ).single()
+    assert sample == {"l": 1000, "r": 1000}  # swap lost everywhere
+
+
+def test_bulk_swap_revised(benchmark):
+    """Pairwise swaps over 200 nodes, atomic semantics (all succeed)."""
+
+    def run():
+        graph = Graph(Dialect.REVISED)
+        graph.run(
+            "UNWIND range(0, 99) AS i "
+            "CREATE (:L {k: i, v: i}), (:R {k: i, v: i + 1000})"
+        )
+        graph.run(
+            "MATCH (l:L), (r:R {k: l.k}) SET l.v = r.v, r.v = l.v"
+        )
+        return graph
+
+    graph = benchmark(run)
+    sample = graph.run(
+        "MATCH (l:L {k: 0}), (r:R {k: 0}) RETURN l.v AS l, r.v AS r"
+    ).single()
+    assert sample == {"l": 1000, "r": 0}

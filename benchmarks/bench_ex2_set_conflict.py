@@ -1,0 +1,53 @@
+"""E3 -- Example 2: ambiguous SET on dirty data.
+
+Shape checks: legacy silently writes one of the two candidate values
+(order-dependent); revised aborts with PropertyConflictError and leaves
+the graph unchanged.  The revised timing includes the rollback.
+"""
+
+import pytest
+
+from repro import Dialect, Graph, PropertyConflictError
+from repro.paper import EXAMPLE_2_COPY_NAME, figure1_graph
+
+
+def test_legacy_silent_overwrite(benchmark):
+    def run():
+        graph = Graph(Dialect.CYPHER9, store=figure1_graph())
+        graph.run(EXAMPLE_2_COPY_NAME)
+        return graph
+
+    graph = benchmark(run)
+    name = graph.run(
+        "MATCH (p:Product {id: 85}) RETURN p.name AS n"
+    ).values("n")[0]
+    assert name in ("laptop", "notebook")
+
+
+def test_revised_conflict_detection_and_rollback(benchmark):
+    def run():
+        graph = Graph(Dialect.REVISED, store=figure1_graph())
+        with pytest.raises(PropertyConflictError):
+            graph.run(EXAMPLE_2_COPY_NAME)
+        return graph
+
+    graph = benchmark(run)
+    # Statement rolled back: the tablet still has its original name.
+    name = graph.run(
+        "MATCH (p:Product {id: 85}) RETURN p.name AS n"
+    ).values("n")[0]
+    assert name == "tablet"
+
+
+def test_conflict_scan_scaling(benchmark):
+    """Conflict detection over 1000 consistent writes (no conflict)."""
+
+    def run():
+        graph = Graph(Dialect.REVISED)
+        graph.run("UNWIND range(0, 999) AS i CREATE (:N {k: i})")
+        graph.run("MATCH (n:N) SET n.v = n.k * 2")
+        return graph
+
+    graph = benchmark(run)
+    total = graph.run("MATCH (n:N) RETURN sum(n.v) AS s").values("s")[0]
+    assert total == 2 * sum(range(1000))

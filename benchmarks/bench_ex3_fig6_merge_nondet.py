@@ -1,0 +1,84 @@
+"""E5/E10 -- Example 3 / Figure 6: MERGE nondeterminism and its fix.
+
+Shape checks: the legacy MERGE yields Figure 6b top-down (4 rels) and
+Figure 6a bottom-up (6 rels); MERGE ALL always yields 6, MERGE SAME
+always 4, across shuffles.
+"""
+
+from repro import Dialect, Graph
+from repro.graph.comparison import fingerprint
+from repro.paper import (
+    EXAMPLE_3_MERGE,
+    EXAMPLE_3_MERGE_ALL,
+    EXAMPLE_3_MERGE_SAME,
+    FIGURE_6A_EXPECTED,
+    FIGURE_6B_EXPECTED,
+    example3_graph,
+    example3_table,
+)
+
+
+def _legacy(reorder):
+    store = example3_graph()
+    graph = Graph(Dialect.CYPHER9, store=store)
+    table = example3_table(store)
+    graph.run(EXAMPLE_3_MERGE, table=table.reversed() if reorder else table)
+    return graph
+
+
+def test_legacy_top_down(benchmark):
+    graph = benchmark(_legacy, False)
+    snapshot = graph.snapshot()
+    assert (snapshot.order(), snapshot.size()) == FIGURE_6B_EXPECTED
+
+
+def test_legacy_bottom_up(benchmark):
+    graph = benchmark(_legacy, True)
+    snapshot = graph.snapshot()
+    assert (snapshot.order(), snapshot.size()) == FIGURE_6A_EXPECTED
+
+
+def _revised(statement, seed):
+    store = example3_graph()
+    graph = Graph(Dialect.REVISED, store=store)
+    graph.run(statement, table=example3_table(store).shuffled(seed))
+    return graph
+
+
+def test_merge_all_deterministic(benchmark):
+    def run():
+        prints = set()
+        for seed in range(10):
+            graph = _revised(EXAMPLE_3_MERGE_ALL, seed)
+            prints.add(fingerprint(graph.snapshot()))
+        return prints, graph
+
+    prints, graph = benchmark(run)
+    assert len(prints) == 1
+    snapshot = graph.snapshot()
+    assert (snapshot.order(), snapshot.size()) == FIGURE_6A_EXPECTED
+
+
+def test_merge_same_deterministic(benchmark):
+    def run():
+        prints = set()
+        for seed in range(10):
+            graph = _revised(EXAMPLE_3_MERGE_SAME, seed)
+            prints.add(fingerprint(graph.snapshot()))
+        return prints, graph
+
+    prints, graph = benchmark(run)
+    assert len(prints) == 1
+    snapshot = graph.snapshot()
+    assert (snapshot.order(), snapshot.size()) == FIGURE_6B_EXPECTED
+
+
+def test_legacy_is_genuinely_order_dependent(benchmark):
+    def run():
+        counts = set()
+        for reorder in (False, True):
+            counts.add(_legacy(reorder).relationship_count())
+        return counts
+
+    counts = benchmark(run)
+    assert counts == {4, 6}

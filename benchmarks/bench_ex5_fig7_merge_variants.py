@@ -1,0 +1,64 @@
+"""E6 -- Example 5 / Figure 7: the five MERGE semantics on nulls/dupes.
+
+Shape checks (paper, Figure 7): Atomic -> 12 nodes / 6 rels;
+Grouping -> 8 / 4; Weak Collapse, Collapse, Strong Collapse -> 4 / 4.
+"""
+
+import pytest
+
+from repro import GraphStore, MergeSemantics
+from repro.paper import (
+    EXAMPLE_5_PATTERN,
+    FIGURE_7A_EXPECTED,
+    FIGURE_7B_EXPECTED,
+    FIGURE_7C_EXPECTED,
+    example5_table,
+)
+
+from conftest import merge_pattern, run_variant
+
+EXPECTED = {
+    MergeSemantics.ATOMIC: FIGURE_7A_EXPECTED,
+    MergeSemantics.GROUPING: FIGURE_7B_EXPECTED,
+    MergeSemantics.WEAK_COLLAPSE: FIGURE_7C_EXPECTED,
+    MergeSemantics.COLLAPSE: FIGURE_7C_EXPECTED,
+    MergeSemantics.STRONG_COLLAPSE: FIGURE_7C_EXPECTED,
+}
+
+
+@pytest.mark.parametrize("semantics", list(MergeSemantics), ids=lambda s: s.value)
+def test_example5_variant(benchmark, semantics):
+    pattern = merge_pattern(EXAMPLE_5_PATTERN)
+    table = example5_table()
+
+    graph = benchmark(run_variant, GraphStore, pattern, table, semantics)
+    snapshot = graph.snapshot()
+    assert (snapshot.order(), snapshot.size()) == EXPECTED[semantics]
+
+
+def test_example5_statement_merge_all(benchmark):
+    from repro import Dialect, Graph
+    from repro.paper import EXAMPLE_5_MERGE_ALL
+
+    def run():
+        graph = Graph(Dialect.REVISED)
+        graph.run(EXAMPLE_5_MERGE_ALL, table=example5_table())
+        return graph
+
+    graph = benchmark(run)
+    snapshot = graph.snapshot()
+    assert (snapshot.order(), snapshot.size()) == FIGURE_7A_EXPECTED
+
+
+def test_example5_statement_merge_same(benchmark):
+    from repro import Dialect, Graph
+    from repro.paper import EXAMPLE_5_MERGE_SAME
+
+    def run():
+        graph = Graph(Dialect.REVISED)
+        graph.run(EXAMPLE_5_MERGE_SAME, table=example5_table())
+        return graph
+
+    graph = benchmark(run)
+    snapshot = graph.snapshot()
+    assert (snapshot.order(), snapshot.size()) == FIGURE_7C_EXPECTED

@@ -1,0 +1,51 @@
+"""E7 -- Example 6 / Figure 8: Weak Collapse vs (Strong) Collapse.
+
+Shape checks (paper, Figure 8): Atomic/Grouping/Weak keep the two
+buyer/seller copies of user 98 apart (6 nodes); Collapse and Strong
+Collapse combine them (5 nodes).  All variants produce 4 relationships.
+"""
+
+import pytest
+
+from repro import GraphStore, MergeSemantics
+from repro.paper import (
+    EXAMPLE_6_PATTERN,
+    FIGURE_8A_EXPECTED,
+    FIGURE_8B_EXPECTED,
+    example6_table,
+)
+
+from conftest import merge_pattern, run_variant
+
+EXPECTED = {
+    MergeSemantics.ATOMIC: FIGURE_8A_EXPECTED,
+    MergeSemantics.GROUPING: FIGURE_8A_EXPECTED,
+    MergeSemantics.WEAK_COLLAPSE: FIGURE_8A_EXPECTED,
+    MergeSemantics.COLLAPSE: FIGURE_8B_EXPECTED,
+    MergeSemantics.STRONG_COLLAPSE: FIGURE_8B_EXPECTED,
+}
+
+
+@pytest.mark.parametrize("semantics", list(MergeSemantics), ids=lambda s: s.value)
+def test_example6_variant(benchmark, semantics):
+    pattern = merge_pattern(EXAMPLE_6_PATTERN)
+    table = example6_table()
+
+    graph = benchmark(run_variant, GraphStore, pattern, table, semantics)
+    snapshot = graph.snapshot()
+    assert (snapshot.order(), snapshot.size()) == EXPECTED[semantics]
+
+
+def test_collapsed_user_is_buyer_and_seller(benchmark):
+    pattern = merge_pattern(EXAMPLE_6_PATTERN)
+    table = example6_table()
+
+    graph = benchmark(
+        run_variant, GraphStore, pattern, table, MergeSemantics.COLLAPSE
+    )
+    result = graph.run(
+        "MATCH (buyer:User {id: 98})-[:ORDERED]->(), "
+        "(seller:User {id: 98})-[:OFFERS]->() "
+        "RETURN buyer = seller AS same"
+    )
+    assert result.values("same") == [True]

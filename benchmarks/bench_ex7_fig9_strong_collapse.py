@@ -1,0 +1,63 @@
+"""E8 -- Example 7 / Figure 9: Strong Collapse and trail re-matching.
+
+Shape checks (paper, Figure 9): every variant but Strong Collapse keeps
+the duplicated p1->p2 :TO edge (5 relationships); Strong Collapse
+merges it (4).  After Strong Collapse the inserted pattern cannot be
+re-matched under trail semantics but can under homomorphism matching.
+"""
+
+import pytest
+
+from repro import Dialect, Graph, MatchMode, MergeSemantics
+from repro.core.merge import merge
+from repro.paper import (
+    EXAMPLE_7_PATTERN,
+    FIGURE_9A_EXPECTED,
+    FIGURE_9B_EXPECTED,
+    example7_graph_and_table,
+)
+from repro.runtime.context import EvalContext
+
+from conftest import merge_pattern
+
+EXPECTED = {
+    MergeSemantics.ATOMIC: FIGURE_9A_EXPECTED,
+    MergeSemantics.GROUPING: FIGURE_9A_EXPECTED,
+    MergeSemantics.WEAK_COLLAPSE: FIGURE_9A_EXPECTED,
+    MergeSemantics.COLLAPSE: FIGURE_9A_EXPECTED,
+    MergeSemantics.STRONG_COLLAPSE: FIGURE_9B_EXPECTED,
+}
+
+
+def _run(semantics):
+    store, table = example7_graph_and_table()
+    graph = Graph(Dialect.REVISED, store=store)
+    ctx = EvalContext(store=graph.store)
+    merge(ctx, merge_pattern(EXAMPLE_7_PATTERN), table, semantics)
+    return graph, table
+
+
+@pytest.mark.parametrize("semantics", list(MergeSemantics), ids=lambda s: s.value)
+def test_example7_variant(benchmark, semantics):
+    graph, __ = benchmark(_run, semantics)
+    snapshot = graph.snapshot()
+    assert (snapshot.order(), snapshot.size()) == EXPECTED[semantics]
+
+
+def test_trail_rematch_fails_after_strong_collapse(benchmark):
+    graph, table = _run(MergeSemantics.STRONG_COLLAPSE)
+    query = "MATCH " + EXAMPLE_7_PATTERN + " RETURN count(*) AS c"
+
+    result = benchmark(graph.run, query, table=table)
+    assert result.values("c") == [0]
+
+
+def test_homomorphism_rematch_succeeds(benchmark):
+    graph, table = _run(MergeSemantics.STRONG_COLLAPSE)
+    hom = Graph(
+        Dialect.REVISED, match_mode=MatchMode.HOMOMORPHISM, store=graph.store
+    )
+    query = "MATCH " + EXAMPLE_7_PATTERN + " RETURN count(*) AS c"
+
+    result = benchmark(hom.run, query, table=table)
+    assert result.values("c")[0] >= 1

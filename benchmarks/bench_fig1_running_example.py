@@ -1,0 +1,59 @@
+"""E1 -- Figure 1 and Queries (1)-(5) of the paper.
+
+Regenerates the running example and times each numbered query.  Shape
+checks: Query 1 returns exactly cStore; Query 5 creates exactly one
+vendor and one OFFERS relationship, after which no product is
+unoffered.
+"""
+
+from repro import Dialect, Graph
+from repro.paper import (
+    FIGURE_1_EXPECTED,
+    QUERY_1,
+    QUERY_2,
+    QUERY_3,
+    QUERY_4,
+    QUERY_5,
+    figure1_graph,
+)
+
+
+def test_build_figure1(benchmark):
+    store = benchmark(figure1_graph)
+    snapshot = store.snapshot()
+    assert (snapshot.order(), snapshot.size()) == FIGURE_1_EXPECTED
+
+
+def test_query1_vendor_lookup(benchmark):
+    graph = Graph(Dialect.CYPHER9, store=figure1_graph())
+
+    result = benchmark(graph.run, QUERY_1)
+    assert [record["v"].get("name") for record in result] == ["cStore"]
+
+
+def test_queries_2_to_4_update_cycle(benchmark):
+    def cycle():
+        graph = Graph(Dialect.CYPHER9, store=figure1_graph())
+        graph.run(QUERY_2)
+        graph.run(QUERY_3)
+        graph.run(QUERY_4)
+        return graph
+
+    graph = benchmark(cycle)
+    snapshot = graph.snapshot()
+    assert (snapshot.order(), snapshot.size()) == FIGURE_1_EXPECTED
+
+
+def test_query5_legacy_merge(benchmark):
+    def query5():
+        graph = Graph(Dialect.CYPHER9, store=figure1_graph())
+        return graph, graph.run(QUERY_5)
+
+    graph, result = benchmark(query5)
+    assert len(result) == 3
+    assert result.counters.nodes_created == 1
+    unoffered = graph.run(
+        "MATCH (p:Product) WHERE NOT (p)<-[:OFFERS]-(:Vendor) "
+        "RETURN count(p) AS c"
+    )
+    assert unoffered.values("c") == [0]

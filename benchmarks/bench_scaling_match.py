@@ -1,0 +1,130 @@
+"""P2 -- pattern-matcher scaling (added; the paper has no perf study).
+
+Measures the matcher over synthetic graphs: indexed vs scanned point
+lookups, two-hop joins, variable-length trails, and the trail vs
+homomorphism regimes.
+"""
+
+import pytest
+
+from repro import Dialect, Graph, MatchMode
+from repro.workloads.generators import (
+    MarketplaceConfig,
+    chain_graph,
+    marketplace_graph,
+    social_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def market():
+    store = marketplace_graph(
+        MarketplaceConfig(
+            users=500, vendors=20, products=200, orders=2000,
+            offers_per_product=2,
+        )
+    )
+    return Graph(Dialect.REVISED, store=store)
+
+
+def test_point_lookup_scan(benchmark, market):
+    result = benchmark(
+        market.run, "MATCH (u:User {id: 250}) RETURN u.name AS n"
+    )
+    assert result.values("n") == ["user-250"]
+
+
+def test_point_lookup_indexed(benchmark, market):
+    market.create_index("User", "id")
+
+    result = benchmark(
+        market.run, "MATCH (u:User {id: 250}) RETURN u.name AS n"
+    )
+    assert result.values("n") == ["user-250"]
+
+
+def test_two_hop_join(benchmark, market):
+    query = (
+        "MATCH (u:User)-[:ORDERED]->(p:Product)<-[:OFFERS]-(v:Vendor) "
+        "RETURN count(*) AS c"
+    )
+
+    result = benchmark(market.run, query)
+    assert result.values("c")[0] > 0
+
+
+def test_aggregation_over_matches(benchmark, market):
+    query = (
+        "MATCH (u:User)-[:ORDERED]->(p:Product) "
+        "RETURN p.id AS pid, count(u) AS buyers ORDER BY buyers DESC LIMIT 5"
+    )
+
+    result = benchmark(market.run, query)
+    assert len(result) == 5
+
+
+def test_var_length_chain(benchmark):
+    graph = Graph(Dialect.REVISED, store=chain_graph(300))
+    query = "MATCH (a:Hop {id: 0})-[:NEXT*1..50]->(b) RETURN count(b) AS c"
+
+    result = benchmark(graph.run, query)
+    assert result.values("c") == [50]
+
+
+def test_var_length_unbounded_trail(benchmark):
+    # Trails on a cycle stay finite without an upper bound.
+    graph = Graph(Dialect.REVISED)
+    graph.run(
+        "CREATE (a:C {i: 0})-[:N]->(b:C {i: 1})-[:N]->(c:C {i: 2})-[:N]->(a)"
+    )
+    query = "MATCH (s:C {i: 0})-[:N*]->(t) RETURN count(t) AS c"
+
+    result = benchmark(graph.run, query)
+    assert result.values("c") == [3]
+
+
+def test_triangle_count_social(benchmark):
+    graph = Graph(Dialect.REVISED, store=social_graph(60, 4))
+    query = (
+        "MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person)"
+        "-[:KNOWS]->(a) RETURN count(*) AS triangles"
+    )
+
+    result = benchmark(graph.run, query)
+    assert result.values("triangles")[0] >= 0
+
+
+def test_homomorphism_vs_trail_two_hop(benchmark):
+    store = social_graph(80, 3)
+    hom = Graph(Dialect.REVISED, match_mode=MatchMode.HOMOMORPHISM, store=store)
+    trail = Graph(Dialect.REVISED, store=store)
+    query = (
+        "MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person) "
+        "RETURN count(*) AS c"
+    )
+
+    hom_count = benchmark(hom.run, query).values("c")[0]
+    trail_count = trail.run(query).values("c")[0]
+    # Homomorphisms include the back-and-forth walks trails exclude.
+    assert hom_count >= trail_count
+
+
+def test_typed_traversal_mixed_hub(benchmark):
+    """Per-type adjacency: find 10 :TAG edges on a 2000-:SPOKE hub."""
+    from repro.graph.store import GraphStore
+
+    store = GraphStore()
+    hub = store.create_node(("Hub",))
+    for index in range(2000):
+        store.create_relationship(
+            "SPOKE", hub, store.create_node(("Leaf",), {"i": index})
+        )
+    for index in range(10):
+        store.create_relationship(
+            "TAG", hub, store.create_node(("Tag",), {"i": index})
+        )
+    graph = Graph(Dialect.REVISED, store=store)
+    query = "MATCH (:Hub)-[:TAG]->(t) RETURN count(t) AS c"
+
+    result = benchmark(graph.run, query)
+    assert result.values("c") == [10]

@@ -1,0 +1,114 @@
+"""P1 -- MERGE variant scaling (added; the paper has no perf study).
+
+Sweeps the five semantics over synthetic order tables of increasing
+size and duplicate ratio.  Qualitative shapes to hold:
+
+* the graph-size lattice |Atomic| >= |Grouping| >= |Weak| >= |Collapse|
+  >= |Strong| at every size;
+* higher duplicate ratios widen the Atomic-vs-Strong gap;
+* the cache-based implementation (DESIGN.md decision 1) keeps the
+  collapse variants within a small constant factor of Atomic, instead
+  of paying the quadratic literal quotient.
+"""
+
+import pytest
+
+from repro import Dialect, Graph, GraphStore, MergeSemantics
+from repro.core.merge import merge
+from repro.runtime.context import EvalContext
+from repro.workloads.generators import OrderTableConfig, order_table
+
+from conftest import merge_pattern
+
+PATTERN = "(:User {id: cid})-[:ORDERED]->(:Product {id: pid})"
+
+SIZES = [200, 1000]
+
+
+def _run(table, semantics):
+    graph = Graph(Dialect.REVISED)
+    ctx = EvalContext(store=graph.store)
+    merge(ctx, merge_pattern(PATTERN), table.copy(), semantics)
+    return graph
+
+
+@pytest.mark.parametrize("rows", SIZES)
+@pytest.mark.parametrize(
+    "semantics", list(MergeSemantics), ids=lambda s: s.value
+)
+def test_merge_scaling(benchmark, rows, semantics):
+    table = order_table(
+        OrderTableConfig(rows=rows, duplicate_ratio=0.3, null_ratio=0.1)
+    )
+
+    graph = benchmark(_run, table, semantics)
+    assert graph.node_count() > 0
+    benchmark.extra_info["nodes"] = graph.node_count()
+    benchmark.extra_info["relationships"] = graph.relationship_count()
+
+
+@pytest.mark.parametrize("duplicate_ratio", [0.0, 0.5, 0.9])
+def test_duplicate_ratio_gap(benchmark, duplicate_ratio):
+    """The Atomic-vs-Strong size gap grows with the duplicate ratio."""
+    table = order_table(
+        OrderTableConfig(
+            rows=500,
+            duplicate_ratio=duplicate_ratio,
+            null_ratio=0.0,
+            distinct_users=50,
+            distinct_products=25,
+        )
+    )
+
+    def run():
+        atomic = _run(table, MergeSemantics.ATOMIC)
+        strong = _run(table, MergeSemantics.STRONG_COLLAPSE)
+        return atomic.node_count(), strong.node_count()
+
+    atomic_nodes, strong_nodes = benchmark(run)
+    assert atomic_nodes >= strong_nodes
+    benchmark.extra_info["atomic_nodes"] = atomic_nodes
+    benchmark.extra_info["strong_nodes"] = strong_nodes
+    if duplicate_ratio >= 0.5:
+        assert atomic_nodes > 1.5 * strong_nodes
+
+
+def test_lattice_holds_at_scale():
+    """Non-timing assertion: the size lattice at 1000 rows."""
+    table = order_table(
+        OrderTableConfig(rows=1000, duplicate_ratio=0.4, null_ratio=0.1)
+    )
+    sizes = []
+    for semantics in (
+        MergeSemantics.ATOMIC,
+        MergeSemantics.GROUPING,
+        MergeSemantics.WEAK_COLLAPSE,
+        MergeSemantics.COLLAPSE,
+        MergeSemantics.STRONG_COLLAPSE,
+    ):
+        graph = _run(table, semantics)
+        sizes.append((graph.node_count(), graph.relationship_count()))
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_ablation_literal_quotient(benchmark):
+    """DESIGN.md decision 1: cache-based vs literal create-then-quotient.
+
+    Runs the formal reference (quadratic pairwise collapse) on a table
+    size where it is still tractable, for comparison against
+    test_merge_scaling[200-strong_collapse].
+    """
+    from repro.formal import semantics as F
+
+    table = order_table(
+        OrderTableConfig(rows=200, duplicate_ratio=0.3, null_ratio=0.1)
+    )
+    rows = tuple(dict(record) for record in table)
+    pattern = merge_pattern(PATTERN)
+
+    outcome = benchmark(
+        F.merge_variant, F.empty_graph(), pattern, rows, "strong_collapse"
+    )
+    engine_graph = _run(table, MergeSemantics.STRONG_COLLAPSE)
+    assert outcome.graph.order() == engine_graph.node_count()
+    assert outcome.graph.size() == engine_graph.relationship_count()

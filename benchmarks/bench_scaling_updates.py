@@ -1,0 +1,104 @@
+"""P3 -- update-clause scaling: atomic vs legacy semantics (added).
+
+Measures the cost the revision adds: the atomic SET's collect-then-apply
+pass vs legacy in-place writes; strict DELETE validation; and the
+undo-journal ablation from DESIGN.md decision 2 (journaled statement +
+rollback vs the copy-the-graph alternative).
+"""
+
+import pytest
+
+from repro import Dialect, Graph
+from repro.workloads.generators import MarketplaceConfig, marketplace_graph
+
+SIZES = [500, 2000]
+
+
+def _graph(dialect, products):
+    store = marketplace_graph(
+        MarketplaceConfig(users=10, vendors=2, products=products, orders=0)
+    )
+    return Graph(dialect, store=store)
+
+
+@pytest.mark.parametrize("products", SIZES)
+def test_set_legacy(benchmark, products):
+    def run():
+        graph = _graph(Dialect.CYPHER9, products)
+        graph.run("MATCH (p:Product) SET p.price = p.price + 1")
+        return graph
+
+    graph = benchmark(run)
+    assert graph.node_count() == products + 12
+
+
+@pytest.mark.parametrize("products", SIZES)
+def test_set_revised_atomic(benchmark, products):
+    def run():
+        graph = _graph(Dialect.REVISED, products)
+        graph.run("MATCH (p:Product) SET p.price = p.price + 1")
+        return graph
+
+    graph = benchmark(run)
+    assert graph.node_count() == products + 12
+
+
+@pytest.mark.parametrize("products", SIZES)
+def test_delete_revised_strict(benchmark, products):
+    def run():
+        graph = _graph(Dialect.REVISED, products)
+        graph.run("MATCH (p:Product) DETACH DELETE p")
+        return graph
+
+    graph = benchmark(run)
+    assert graph.node_count() == 12
+
+
+def test_rollback_cost(benchmark):
+    """DESIGN.md decision 2: journaled rollback of a large statement."""
+    from repro.errors import CypherError
+
+    def run():
+        graph = Graph(Dialect.REVISED)
+        graph.run("UNWIND range(0, 999) AS i CREATE (:N {v: i})")
+        try:
+            # 1000 more creates, then a failure: all rolled back.
+            graph.run(
+                "UNWIND range(0, 999) AS i "
+                "CREATE (:M {v: i}) "
+                "WITH i WHERE i = 999 "
+                "MATCH (n:N) RETURN n.v / 0 AS boom"
+            )
+        except CypherError:
+            pass
+        return graph
+
+    graph = benchmark(run)
+    assert graph.node_count() == 1000  # the :M nodes are gone
+
+
+def test_copy_graph_alternative(benchmark):
+    """The ablation baseline: snapshotting the whole graph instead."""
+
+    def run():
+        graph = Graph(Dialect.REVISED)
+        graph.run("UNWIND range(0, 999) AS i CREATE (:N {v: i})")
+        backup = graph.store.copy()  # copy-the-graph "transaction"
+        graph.run("UNWIND range(0, 999) AS i CREATE (:M {v: i})")
+        return backup
+
+    backup = benchmark(run)
+    assert backup.node_count() == 1000
+
+
+def test_create_throughput(benchmark):
+    def run():
+        graph = Graph(Dialect.REVISED)
+        graph.run(
+            "UNWIND range(0, 1999) AS i "
+            "CREATE (:A {v: i})-[:T {w: i}]->(:B {v: i})"
+        )
+        return graph
+
+    graph = benchmark(run)
+    assert graph.relationship_count() == 2000

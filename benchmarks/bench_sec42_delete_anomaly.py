@@ -1,0 +1,69 @@
+"""E4 -- the Section 4.2 DELETE anomaly statement.
+
+Shape checks: legacy executes the statement, returning an empty node;
+revised rejects it atomically.  The scaling case measures strict-DELETE
+validation (attached-relationship check) over growing graphs.
+"""
+
+import pytest
+
+from repro import DanglingRelationshipError, Dialect, Graph
+from repro.paper import SECTION_4_2_STATEMENT, section_4_2_graph
+
+
+def test_legacy_zombie_statement(benchmark):
+    def run():
+        graph = Graph(Dialect.CYPHER9, store=section_4_2_graph())
+        return graph.run(SECTION_4_2_STATEMENT)
+
+    result = benchmark(run)
+    zombie = result.records[0]["user"]
+    assert zombie.labels == frozenset()
+    assert dict(zombie.properties) == {}
+
+
+def test_revised_strict_rejection(benchmark):
+    def run():
+        graph = Graph(Dialect.REVISED, store=section_4_2_graph())
+        with pytest.raises(DanglingRelationshipError):
+            graph.run(SECTION_4_2_STATEMENT)
+        return graph
+
+    graph = benchmark(run)
+    assert graph.node_count() == 2
+    assert graph.relationship_count() == 1
+
+
+def test_detach_delete_hub_scaling(benchmark):
+    """DETACH DELETE of a 500-relationship hub node (revised)."""
+
+    def run():
+        graph = Graph(Dialect.REVISED)
+        graph.run("CREATE (:Hub)")
+        graph.run(
+            "MATCH (h:Hub) UNWIND range(0, 499) AS i "
+            "CREATE (h)-[:SPOKE]->(:Leaf {i: i})"
+        )
+        graph.run("MATCH (h:Hub) DETACH DELETE h")
+        return graph
+
+    graph = benchmark(run)
+    assert graph.relationship_count() == 0
+    assert graph.node_count() == 500
+
+
+def test_strict_validation_cost(benchmark):
+    """Deleting 200 leaves and their spokes in one strict clause."""
+
+    def run():
+        graph = Graph(Dialect.REVISED)
+        graph.run("CREATE (:Hub)")
+        graph.run(
+            "MATCH (h:Hub) UNWIND range(0, 199) AS i "
+            "CREATE (h)-[:SPOKE]->(:Leaf {i: i})"
+        )
+        graph.run("MATCH (:Hub)-[r:SPOKE]->(leaf:Leaf) DELETE r, leaf")
+        return graph
+
+    graph = benchmark(run)
+    assert graph.node_count() == 1

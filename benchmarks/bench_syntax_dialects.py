@@ -1,0 +1,104 @@
+"""E9 -- the two grammars (Figures 2-5 vs Figure 10).
+
+Shape checks: the dialect corpus of legal/illegal statements parses or
+is rejected exactly as the grammars dictate.  Timings measure parser
+throughput over the corpus and a large synthetic statement.
+"""
+
+import pytest
+
+from repro.dialect import Dialect
+from repro.errors import CypherSyntaxError
+from repro.parser import parse
+from repro.parser.unparse import unparse
+
+CORPUS = [
+    "MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product) "
+    "WHERE p.name = 'laptop' RETURN v",
+    "MATCH (u:User{id:89}) CREATE (u)-[:ORDERED]->(:New_Product{id:0})",
+    "MATCH (p:New_Product{id:0}) SET p:Product, p.id=120, "
+    "p.name='smartphone' REMOVE p:New_Product",
+    "MATCH (p:Product{id:120}) DETACH DELETE p",
+    "UNWIND [1, 2, 3] AS x WITH x WHERE x > 1 "
+    "RETURN x * 2 AS y ORDER BY y DESC LIMIT 2",
+    "MATCH (a)-[:TO*1..3]->(b) RETURN count(*) AS c, collect(b.id) AS ids",
+    "FOREACH (x IN [1, 2] | CREATE (:N {v: x}))",
+]
+
+LEGACY_EXTRA = [
+    "MATCH (p:Product) MERGE (p)<-[:OFFERS]-(v:Vendor) RETURN p, v",
+    "MERGE (u:User {id: 1}) ON CREATE SET u.created = true",
+]
+
+REVISED_EXTRA = [
+    "MERGE ALL (:User{id:cid})-[:ORDERED]->(:Product{id:pid})",
+    "MERGE SAME (:User{id:bid})-[:ORDERED]->(:Product{id:pid})"
+    "<-[:OFFERS]-(:User{id:sid})",
+    "CREATE (n:N) MATCH (m) RETURN m",
+]
+
+
+def test_parse_corpus_cypher9(benchmark):
+    corpus = CORPUS + LEGACY_EXTRA
+
+    def run():
+        return [parse(source, Dialect.CYPHER9) for source in corpus]
+
+    statements = benchmark(run)
+    assert len(statements) == len(corpus)
+
+
+def test_parse_corpus_revised(benchmark):
+    corpus = CORPUS + REVISED_EXTRA
+
+    def run():
+        return [parse(source, Dialect.REVISED) for source in corpus]
+
+    statements = benchmark(run)
+    assert len(statements) == len(corpus)
+
+
+def test_dialect_rejections(benchmark):
+    def run():
+        rejected = 0
+        for source in REVISED_EXTRA:
+            try:
+                parse(source, Dialect.CYPHER9)
+            except CypherSyntaxError:
+                rejected += 1
+        for source in LEGACY_EXTRA:
+            try:
+                parse(source, Dialect.REVISED)
+            except CypherSyntaxError:
+                rejected += 1
+        return rejected
+
+    rejected = benchmark(run)
+    assert rejected == len(REVISED_EXTRA) + len(LEGACY_EXTRA)
+
+
+def test_parse_large_statement(benchmark):
+    maps = ", ".join(
+        "{id: %d, name: 'p%d'}" % (i, i) for i in range(200)
+    )
+    source = (
+        f"UNWIND [{maps}] AS row "
+        "MERGE SAME (:Product {id: row.id, name: row.name}) "
+    )
+
+    statement = benchmark(parse, source, Dialect.REVISED)
+    assert len(statement.branches()[0].clauses) == 2
+
+
+def test_round_trip_corpus(benchmark):
+    corpus = CORPUS + REVISED_EXTRA
+
+    def run():
+        texts = []
+        for source in corpus:
+            texts.append(unparse(parse(source, Dialect.REVISED)))
+        return texts
+
+    texts = benchmark(run)
+    for text in texts:
+        assert unparse(parse(text, Dialect.REVISED)) == text

@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates a paper artifact (table/figure) or runs a
+scaling sweep, *asserts* the expected shape, and reports timing via
+pytest-benchmark.  EXPERIMENTS.md records the paper-vs-measured
+comparison these benches print.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Dialect, Graph
+from repro.core.merge import merge
+from repro.parser import parse
+from repro.runtime.context import EvalContext
+
+
+def merge_pattern(source: str):
+    """Parse a MERGE pattern for direct use with repro.core.merge."""
+    statement = parse(
+        "MERGE ALL " + source, Dialect.REVISED, extended_merge=True
+    )
+    return statement.branches()[0].clauses[0].pattern
+
+
+def run_variant(store_factory, pattern, table, semantics):
+    """Build a fresh graph, run one MERGE variant, return the Graph."""
+    graph = Graph(Dialect.REVISED, store=store_factory())
+    ctx = EvalContext(store=graph.store)
+    merge(ctx, pattern, table.copy(), semantics)
+    return graph
+
+
+@pytest.fixture
+def fresh_graph():
+    """A factory for empty revised-dialect graphs."""
+    return lambda: Graph(Dialect.REVISED)

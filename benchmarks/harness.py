@@ -1,0 +1,362 @@
+"""Experiment harness: regenerate every paper artifact and print the
+paper-vs-measured comparison recorded in EXPERIMENTS.md.
+
+Run with:  python benchmarks/harness.py
+
+Unlike the pytest-benchmark files (which time each piece), this script
+executes each experiment once and prints a compact report: experiment
+id, what the paper says, and what this implementation produced.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import Dialect, Graph, MergeSemantics, PropertyConflictError
+from repro.core.merge import merge
+from repro.errors import DanglingRelationshipError, UpdateError
+from repro.graph.comparison import fingerprint
+from repro.parser import parse
+from repro.paper import (
+    EXAMPLE_1_SWAP,
+    EXAMPLE_2_COPY_NAME,
+    EXAMPLE_3_MERGE,
+    EXAMPLE_3_MERGE_ALL,
+    EXAMPLE_3_MERGE_SAME,
+    EXAMPLE_5_PATTERN,
+    EXAMPLE_6_PATTERN,
+    EXAMPLE_7_PATTERN,
+    QUERY_1,
+    QUERY_2,
+    QUERY_3,
+    QUERY_4,
+    QUERY_5,
+    SECTION_4_2_STATEMENT,
+    example3_graph,
+    example3_table,
+    example5_table,
+    example6_table,
+    example7_graph_and_table,
+    figure1_graph,
+    section_4_2_graph,
+)
+from repro.runtime.context import EvalContext
+
+ROWS: list[tuple[str, str, str, str]] = []
+
+
+def record(experiment: str, artifact: str, paper: str, measured: str) -> None:
+    ROWS.append((experiment, artifact, paper, measured))
+    status = "OK " if True else "?? "
+    print(f"  [{experiment}] {artifact}: {measured}")
+
+
+def pattern_of(source: str):
+    statement = parse(
+        "MERGE ALL " + source, Dialect.REVISED, extended_merge=True
+    )
+    return statement.branches()[0].clauses[0].pattern
+
+
+def shape(graph: Graph) -> str:
+    snapshot = graph.snapshot()
+    return f"{snapshot.order()} nodes / {snapshot.size()} rels"
+
+
+def e1_running_example() -> None:
+    print("\nE1  Figure 1 + Queries (1)-(5)")
+    graph = Graph(Dialect.CYPHER9, store=figure1_graph())
+    record("E1", "Figure 1", "6 nodes / 5 rels", shape(graph))
+    vendors = [r["v"].get("name") for r in graph.run(QUERY_1)]
+    record("E1", "Query (1)", "returns cStore once", f"returns {vendors}")
+    graph.run(QUERY_2)
+    graph.run(QUERY_3)
+    graph.run(QUERY_4)
+    record(
+        "E1",
+        "Queries (2)-(4)",
+        "insert p4, relabel, detach delete -> back to Figure 1",
+        shape(graph),
+    )
+    result = graph.run(QUERY_5)
+    record(
+        "E1",
+        "Query (5)",
+        "3 rows; creates v2 + 1 OFFERS",
+        f"{len(result)} rows; +{result.counters.nodes_created} node, "
+        f"+{result.counters.relationships_created} rel",
+    )
+
+
+def e2_set_swap() -> None:
+    print("\nE2  Example 1 (SET swap)")
+    outcomes = {}
+    for dialect in (Dialect.CYPHER9, Dialect.REVISED):
+        graph = Graph(dialect)
+        graph.run("CREATE (:Product {name:'laptop', id: 1})")
+        graph.run("CREATE (:Product {name:'tablet', id: 2})")
+        graph.run(EXAMPLE_1_SWAP)
+        rows = graph.run(
+            "MATCH (p:Product) RETURN p.name AS n, p.id AS i"
+        )
+        outcomes[dialect] = {r["n"]: r["i"] for r in rows}
+    record(
+        "E2",
+        "legacy",
+        "swap lost: both ids become 2",
+        str(outcomes[Dialect.CYPHER9]),
+    )
+    record(
+        "E2",
+        "revised",
+        "swap succeeds: ids exchanged",
+        str(outcomes[Dialect.REVISED]),
+    )
+
+
+def e3_set_conflict() -> None:
+    print("\nE3  Example 2 (ambiguous SET)")
+    legacy = Graph(Dialect.CYPHER9, store=figure1_graph())
+    legacy.run(EXAMPLE_2_COPY_NAME)
+    name = legacy.run(
+        "MATCH (p:Product {id: 85}) RETURN p.name AS n"
+    ).values("n")[0]
+    record(
+        "E3", "legacy", "silently writes laptop or notebook", f"wrote {name!r}"
+    )
+    revised = Graph(Dialect.REVISED, store=figure1_graph())
+    try:
+        revised.run(EXAMPLE_2_COPY_NAME)
+        measured = "NO ERROR (bug!)"
+    except PropertyConflictError:
+        measured = "PropertyConflictError, graph unchanged"
+    record("E3", "revised", "aborts with an error", measured)
+
+
+def e4_delete_anomaly() -> None:
+    print("\nE4  Section 4.2 (DELETE anomaly)")
+    legacy = Graph(Dialect.CYPHER9, store=section_4_2_graph())
+    zombie = legacy.run(SECTION_4_2_STATEMENT).records[0]["user"]
+    record(
+        "E4",
+        "legacy",
+        "goes through; returns an empty node",
+        f"labels={set(zombie.labels) or '{}'} props={dict(zombie.properties)}",
+    )
+    revised = Graph(Dialect.REVISED, store=section_4_2_graph())
+    try:
+        revised.run(SECTION_4_2_STATEMENT)
+        measured = "NO ERROR (bug!)"
+    except DanglingRelationshipError:
+        measured = "DanglingRelationshipError, statement rolled back"
+    record("E4", "revised", "dangling DELETE is an error", measured)
+
+
+def e5_merge_nondeterminism() -> None:
+    print("\nE5  Example 3 / Figure 6 (legacy MERGE) + E10 determinism")
+    results = {}
+    for label, reorder in (("top-down", False), ("bottom-up", True)):
+        store = example3_graph()
+        graph = Graph(Dialect.CYPHER9, store=store)
+        table = example3_table(store)
+        graph.run(EXAMPLE_3_MERGE, table=table.reversed() if reorder else table)
+        results[label] = graph.relationship_count()
+    record(
+        "E5",
+        "legacy top-down",
+        "Figure 6b: 4 rels",
+        f"{results['top-down']} rels",
+    )
+    record(
+        "E5",
+        "legacy bottom-up",
+        "Figure 6a: 6 rels",
+        f"{results['bottom-up']} rels",
+    )
+    for statement, expected in (
+        (EXAMPLE_3_MERGE_ALL, 6),
+        (EXAMPLE_3_MERGE_SAME, 4),
+    ):
+        prints = set()
+        counts = set()
+        for seed in range(10):
+            store = example3_graph()
+            graph = Graph(Dialect.REVISED, store=store)
+            graph.run(statement, table=example3_table(store).shuffled(seed))
+            prints.add(fingerprint(graph.snapshot()))
+            counts.add(graph.relationship_count())
+        keyword = " ".join(statement.split()[:2])
+        record(
+            "E10",
+            keyword,
+            f"always {expected} rels, order-insensitive",
+            f"{sorted(counts)} rels over 10 shuffles, "
+            f"{len(prints)} distinct graph(s)",
+        )
+
+
+def _variant_sweep(experiment, pattern_source, make_state, expected):
+    pattern = pattern_of(pattern_source)
+    for semantics in MergeSemantics:
+        store, table = make_state()
+        graph = Graph(Dialect.REVISED, store=store)
+        ctx = EvalContext(store=graph.store)
+        merge(ctx, pattern, table, semantics)
+        record(
+            experiment,
+            semantics.value,
+            expected[semantics],
+            shape(graph),
+        )
+
+
+def e6_figure7() -> None:
+    print("\nE6  Example 5 / Figure 7 (five MERGE semantics)")
+    from repro.graph.store import GraphStore
+
+    _variant_sweep(
+        "E6",
+        EXAMPLE_5_PATTERN,
+        lambda: (GraphStore(), example5_table()),
+        {
+            MergeSemantics.ATOMIC: "Fig 7a: 12 nodes / 6 rels",
+            MergeSemantics.GROUPING: "Fig 7b: 8 nodes / 4 rels",
+            MergeSemantics.WEAK_COLLAPSE: "Fig 7c: 4 nodes / 4 rels",
+            MergeSemantics.COLLAPSE: "Fig 7c: 4 nodes / 4 rels",
+            MergeSemantics.STRONG_COLLAPSE: "Fig 7c: 4 nodes / 4 rels",
+        },
+    )
+
+
+def e7_figure8() -> None:
+    print("\nE7  Example 6 / Figure 8 (Weak vs Collapse)")
+    from repro.graph.store import GraphStore
+
+    _variant_sweep(
+        "E7",
+        EXAMPLE_6_PATTERN,
+        lambda: (GraphStore(), example6_table()),
+        {
+            MergeSemantics.ATOMIC: "Fig 8a: 6 nodes / 4 rels",
+            MergeSemantics.GROUPING: "Fig 8a: 6 nodes / 4 rels",
+            MergeSemantics.WEAK_COLLAPSE: "Fig 8a: 6 nodes / 4 rels",
+            MergeSemantics.COLLAPSE: "Fig 8b: 5 nodes / 4 rels",
+            MergeSemantics.STRONG_COLLAPSE: "Fig 8b: 5 nodes / 4 rels",
+        },
+    )
+
+
+def e8_figure9() -> None:
+    print("\nE8  Example 7 / Figure 9 (Strong Collapse + re-match)")
+    _variant_sweep(
+        "E8",
+        EXAMPLE_7_PATTERN,
+        example7_graph_and_table,
+        {
+            MergeSemantics.ATOMIC: "Fig 9a: 4 nodes / 5 rels",
+            MergeSemantics.GROUPING: "Fig 9a: 4 nodes / 5 rels",
+            MergeSemantics.WEAK_COLLAPSE: "Fig 9a: 4 nodes / 5 rels",
+            MergeSemantics.COLLAPSE: "Fig 9a: 4 nodes / 5 rels",
+            MergeSemantics.STRONG_COLLAPSE: "Fig 9b: 4 nodes / 4 rels",
+        },
+    )
+    from repro import MatchMode
+
+    store, table = example7_graph_and_table()
+    graph = Graph(Dialect.REVISED, store=store)
+    graph.run("MERGE SAME " + EXAMPLE_7_PATTERN, table=table)
+    trail = graph.run(
+        "MATCH " + EXAMPLE_7_PATTERN + " RETURN count(*) AS c", table=table
+    ).values("c")[0]
+    hom = Graph(
+        Dialect.REVISED, match_mode=MatchMode.HOMOMORPHISM, store=graph.store
+    ).run(
+        "MATCH " + EXAMPLE_7_PATTERN + " RETURN count(*) AS c", table=table
+    ).values("c")[0]
+    record(
+        "E8",
+        "re-match after MERGE SAME",
+        "trail: no match; homomorphism: matches",
+        f"trail: {trail}; homomorphism: {hom}",
+    )
+
+
+def e9_grammars() -> None:
+    print("\nE9  Figures 2-5 vs Figure 10 (grammars)")
+    from repro.errors import CypherSyntaxError
+
+    checks = [
+        ("MERGE (n:N)", Dialect.CYPHER9, True),
+        ("MERGE (n:N)", Dialect.REVISED, False),
+        ("MERGE ALL (a:A)-[:T]->(b)", Dialect.REVISED, True),
+        ("MERGE ALL (a:A)-[:T]->(b)", Dialect.CYPHER9, False),
+        ("MERGE (a)-[:T]-(b)", Dialect.CYPHER9, True),
+        ("MERGE SAME (a)-[:T]-(b)", Dialect.REVISED, False),
+        ("CREATE (n) MATCH (m) RETURN m", Dialect.REVISED, True),
+        ("CREATE (n) MATCH (m) RETURN m", Dialect.CYPHER9, False),
+    ]
+    agreed = 0
+    for source, dialect, should_parse in checks:
+        try:
+            parse(source, dialect)
+            parsed = True
+        except CypherSyntaxError:
+            parsed = False
+        agreed += parsed == should_parse
+    record(
+        "E9",
+        "dialect grammar corpus",
+        f"{len(checks)}/{len(checks)} verdicts as per the figures",
+        f"{agreed}/{len(checks)} verdicts match",
+    )
+
+
+def p1_scaling_teaser() -> None:
+    print("\nP1  MERGE variant scaling teaser (1000 rows, 40% duplicates)")
+    from repro.workloads.generators import OrderTableConfig, order_table
+
+    table = order_table(
+        OrderTableConfig(rows=1000, duplicate_ratio=0.4, null_ratio=0.1)
+    )
+    pattern = pattern_of(
+        "(:User {id: cid})-[:ORDERED]->(:Product {id: pid})"
+    )
+    for semantics in MergeSemantics:
+        graph = Graph(Dialect.REVISED)
+        ctx = EvalContext(store=graph.store)
+        started = time.perf_counter()
+        merge(ctx, pattern, table.copy(), semantics)
+        elapsed = (time.perf_counter() - started) * 1000
+        record(
+            "P1",
+            semantics.value,
+            "sizes shrink along Atomic > Grouping > ... > Strong",
+            f"{shape(graph)} in {elapsed:.1f} ms",
+        )
+
+
+def print_markdown() -> None:
+    print("\n\n## Markdown table (paste into EXPERIMENTS.md)\n")
+    print("| Exp | Artifact | Paper says | Measured |")
+    print("|---|---|---|---|")
+    for experiment, artifact, paper, measured in ROWS:
+        print(f"| {experiment} | {artifact} | {paper} | {measured} |")
+
+
+def main() -> None:
+    print("Reproduction harness: Updating Graph Databases with Cypher")
+    e1_running_example()
+    e2_set_swap()
+    e3_set_conflict()
+    e4_delete_anomaly()
+    e5_merge_nondeterminism()
+    e6_figure7()
+    e7_figure8()
+    e8_figure9()
+    e9_grammars()
+    p1_scaling_teaser()
+    print_markdown()
+
+
+if __name__ == "__main__":
+    main()

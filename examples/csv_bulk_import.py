@@ -1,0 +1,96 @@
+"""Bulk-loading a graph from CSV -- the workload that motivated MERGE.
+
+The paper's user survey found that MERGE is dominantly used to populate
+graphs from relational/CSV exports (nodes first, relationships later).
+This example generates a small CSV export of a web shop, imports it with
+``LOAD CSV`` + ``MERGE SAME``, and shows that re-importing is a no-op
+for the clean rows.
+
+Run with:  python examples/csv_bulk_import.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Dialect, Graph
+from repro.io.csv_io import write_csv
+
+
+def generate_export(directory: Path) -> tuple[Path, Path]:
+    """Write a users.csv and an orders.csv with duplicates and gaps."""
+    users = directory / "users.csv"
+    write_csv(
+        users,
+        ["id", "name", "city"],
+        [
+            [1, "Bob", "Berlin"],
+            [2, "Jane", "Oslo"],
+            [2, "Jane", "Oslo"],  # exported twice
+            [3, "Ada", None],  # missing city
+        ],
+    )
+    orders = directory / "orders.csv"
+    write_csv(
+        orders,
+        ["user_id", "product", "qty"],
+        [
+            [1, "laptop", 1],
+            [1, "laptop", 1],  # duplicate order line
+            [2, "tablet", 2],
+            [3, "laptop", 1],
+        ],
+    )
+    return users, orders
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        users_csv, orders_csv = generate_export(Path(tmp))
+        g = Graph(Dialect.REVISED)
+        g.create_index("User", "id")  # MERGE-friendly index
+
+        # Phase 1: nodes. MERGE SAME deduplicates the doubled Jane row.
+        result = g.run(
+            f"LOAD CSV WITH HEADERS FROM '{users_csv}' AS row "
+            "MERGE SAME (:User {id: toInteger(row.id), name: row.name})"
+        )
+        print(f"user import:    {result.counters}")
+
+        # Phase 2: products, deduplicated across order lines.
+        result = g.run(
+            f"LOAD CSV WITH HEADERS FROM '{orders_csv}' AS row "
+            "MERGE SAME (:Product {name: row.product})"
+        )
+        print(f"product import: {result.counters}")
+
+        # Phase 3: relationships between already-loaded endpoints.
+        result = g.run(
+            f"LOAD CSV WITH HEADERS FROM '{orders_csv}' AS row "
+            "MATCH (u:User {id: toInteger(row.user_id)}) "
+            "MATCH (p:Product {name: row.product}) "
+            "MERGE SAME (u)-[:ORDERED]->(p)"
+        )
+        print(f"order import:   {result.counters}")
+
+        print(f"\ngraph after import: {g}")
+        print(g.statistics().summary())
+
+        # Re-import: everything matches, nothing is created.
+        again = g.run(
+            f"LOAD CSV WITH HEADERS FROM '{users_csv}' AS row "
+            "MERGE SAME (:User {id: toInteger(row.id), name: row.name})"
+        )
+        print(f"\nre-import of users: contains_updates="
+              f"{again.counters.contains_updates}")
+
+        report = g.run(
+            "MATCH (u:User)-[:ORDERED]->(p:Product) "
+            "RETURN u.name AS user, collect(p.name) AS bought "
+            "ORDER BY user"
+        )
+        print("\nWho bought what:")
+        print(report.pretty())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Quickstart: create, query and update a property graph with Cypher.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import Dialect, Graph
+
+
+def main() -> None:
+    # A graph speaking the paper's revised dialect (the default).
+    g = Graph(Dialect.REVISED)
+
+    # -- Create some data ------------------------------------------------
+    g.run("CREATE (:User {id: 89, name: 'Bob'})")
+    g.run("CREATE (:User {id: 99, name: 'Jane'})")
+    g.run(
+        "MATCH (u:User {id: 89}) "
+        "CREATE (u)-[:ORDERED {qty: 1}]->(:Product {name: 'laptop'})"
+    )
+
+    # -- Query it ---------------------------------------------------------
+    result = g.run(
+        "MATCH (u:User)-[o:ORDERED]->(p:Product) "
+        "RETURN u.name AS user, p.name AS product, o.qty AS qty"
+    )
+    print("Orders:")
+    print(result.pretty())
+
+    # -- Parameters and aggregation ---------------------------------------
+    result = g.run(
+        "MATCH (u:User) WHERE u.id >= $min "
+        "RETURN count(*) AS users, collect(u.name) AS names",
+        min=0,
+    )
+    print("\nUser stats:")
+    print(result.pretty())
+
+    # -- Updates are statement-atomic --------------------------------------
+    update = g.run(
+        "MATCH (u:User {name: 'Jane'}) SET u.vip = true, u.score = 10"
+    )
+    print(f"\nUpdated: {update.counters}")
+
+    # -- MERGE, the revised way --------------------------------------------
+    # MERGE SAME creates the minimal missing subgraph: re-running it is a
+    # no-op for rows that now match.
+    for _ in range(2):
+        g.run(
+            "UNWIND [{c: 89, p: 'tablet'}, {c: 99, p: 'tablet'}] AS row "
+            "MERGE SAME (:User2 {id: row.c})-[:WANTS]->(:Product2 {name: row.p})"
+        )
+    result = g.run("MATCH (p:Product2) RETURN count(p) AS tablet_nodes")
+    print("\nAfter two identical MERGE SAME imports:")
+    print(result.pretty())
+
+    # -- Transactions -------------------------------------------------------
+    try:
+        with g.transaction():
+            g.run("CREATE (:Audit {note: 'will be rolled back'})")
+            raise RuntimeError("something went wrong")
+    except RuntimeError:
+        pass
+    audit = g.run("MATCH (a:Audit) RETURN count(a) AS remaining")
+    print("\nAudit rows after rolled-back transaction:")
+    print(audit.pretty())
+
+    print(f"\nFinal graph: {g}")
+
+
+if __name__ == "__main__":
+    main()

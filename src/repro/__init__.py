@@ -1,0 +1,60 @@
+"""repro: a reproduction of "Updating Graph Databases with Cypher"
+(Green et al., PVLDB 2019).
+
+A pure-Python property-graph database with a Cypher interpreter that
+implements *both* update semantics the paper discusses:
+
+* the legacy Cypher 9 behaviour, including its atomicity and
+  determinism anomalies (``Dialect.CYPHER9``), and
+* the paper's revision -- atomic SET/DELETE and the ``MERGE ALL`` /
+  ``MERGE SAME`` clauses, plus the three unshipped Section 6 proposals
+  (``Dialect.REVISED``).
+
+Quickstart::
+
+    from repro import Graph
+
+    g = Graph()
+    g.run("CREATE (:User {id: 89, name: 'Bob'})")
+    print(g.run("MATCH (u:User) RETURN u.name AS name").records)
+"""
+
+from repro.dialect import Dialect
+from repro.engine import CypherEngine, QueryResult, UpdateCounters
+from repro.errors import (
+    CypherError,
+    CypherSyntaxError,
+    DanglingRelationshipError,
+    MergeSyntaxError,
+    PropertyConflictError,
+)
+from repro.graph.model import GraphSnapshot, Node, Path, Relationship
+from repro.graph.store import GraphStore
+from repro.core.merge import MergeSemantics
+from repro.runtime.context import MatchMode
+from repro.runtime.table import DrivingTable
+from repro.session import Graph, Transaction
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CypherEngine",
+    "CypherError",
+    "CypherSyntaxError",
+    "DanglingRelationshipError",
+    "Dialect",
+    "DrivingTable",
+    "Graph",
+    "GraphSnapshot",
+    "GraphStore",
+    "MatchMode",
+    "MergeSemantics",
+    "MergeSyntaxError",
+    "Node",
+    "Path",
+    "PropertyConflictError",
+    "QueryResult",
+    "Relationship",
+    "Transaction",
+    "UpdateCounters",
+]

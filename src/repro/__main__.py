@@ -1,0 +1,5 @@
+"""``python -m repro`` starts the interactive Cypher shell."""
+
+from repro.tools.shell import main
+
+raise SystemExit(main())

@@ -1,0 +1,5 @@
+"""Revised update semantics (the paper's core contribution)."""
+
+from repro.core.merge import MergeSemantics, merge
+
+__all__ = ["MergeSemantics", "merge"]

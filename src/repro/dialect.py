@@ -1,0 +1,37 @@
+"""Dialect selection: legacy Cypher 9 vs the paper's revision.
+
+The dialect governs both the grammar (Figures 2-5 vs Figure 10) and the
+update semantics (Section 3 vs Sections 7-8).  See DESIGN.md for the
+full feature matrix.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Dialect(enum.Enum):
+    """Which version of Cypher the engine speaks."""
+
+    #: The Cypher 9 behaviour described in Section 3, including the
+    #: anomalies of Section 4 (non-atomic SET/DELETE, read-own-writes
+    #: MERGE, mandatory WITH between updates and reads).
+    CYPHER9 = "cypher9"
+
+    #: The revised language of Sections 7-8: atomic SET (conflicts are
+    #: errors), strict DELETE, MERGE ALL / MERGE SAME, free clause
+    #: interleaving.
+    REVISED = "revised"
+
+    @classmethod
+    def parse(cls, value: "Dialect | str") -> "Dialect":
+        """Coerce a string ('cypher9' / 'revised') or Dialect instance."""
+        if isinstance(value, Dialect):
+            return value
+        try:
+            return cls(value.lower())
+        except (ValueError, AttributeError):
+            names = ", ".join(d.value for d in cls)
+            raise ValueError(
+                f"unknown dialect {value!r}; expected one of: {names}"
+            ) from None

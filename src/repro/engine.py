@@ -1,0 +1,323 @@
+"""The query engine: parse, execute, guarantee statement atomicity.
+
+:class:`CypherEngine` executes whole statements against a
+:class:`~repro.graph.store.GraphStore` under a chosen
+:class:`~repro.dialect.Dialect`.  Responsibilities:
+
+* parsing (with a small AST cache keyed by source and dialect);
+* running UNION branches and combining their outputs (Section 8.2:
+  updates are side effects applied left to right; output tables are
+  unioned, with ``UNION`` deduplicating and ``UNION ALL`` not);
+* statement-level atomicity: every statement runs inside a journal
+  bracket, and any error rolls the graph back to the statement start;
+* the legacy dialect's *commit-time* well-formedness check: a statement
+  may pass through dangling states (Section 4.2) but must not leave one
+  behind -- if it does, the statement fails and rolls back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from repro.dialect import Dialect
+from repro.errors import CypherError, UpdateError
+from repro.graph.store import GraphStore
+from repro.parser import ast
+from repro.parser.parser import parse
+from repro.runtime.context import EvalContext, MatchMode
+from repro.runtime.pipeline import execute_clauses
+from repro.runtime.table import DrivingTable
+
+
+@dataclass(frozen=True)
+class UpdateCounters:
+    """What a statement changed, derived from the undo journal."""
+
+    nodes_created: int = 0
+    nodes_deleted: int = 0
+    relationships_created: int = 0
+    relationships_deleted: int = 0
+    properties_set: int = 0
+    labels_added: int = 0
+    labels_removed: int = 0
+
+    @property
+    def contains_updates(self) -> bool:
+        """True if anything changed."""
+        return any(
+            (
+                self.nodes_created,
+                self.nodes_deleted,
+                self.relationships_created,
+                self.relationships_deleted,
+                self.properties_set,
+                self.labels_added,
+                self.labels_removed,
+            )
+        )
+
+
+_JOURNAL_COUNTER_FIELDS = {
+    "node_created": "nodes_created",
+    "node_deleted": "nodes_deleted",
+    "rel_created": "relationships_created",
+    "rel_deleted": "relationships_deleted",
+    "node_prop": "properties_set",
+    "rel_prop": "properties_set",
+    "label_added": "labels_added",
+    "label_removed": "labels_removed",
+}
+
+
+@dataclass
+class QueryResult:
+    """Output of one statement: the result table plus update counters."""
+
+    table: DrivingTable
+    counters: UpdateCounters = field(default_factory=UpdateCounters)
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """Column names of the output table."""
+        return self.table.columns
+
+    @property
+    def records(self) -> list[dict]:
+        """The output records as plain dicts."""
+        return self.table.to_dicts()
+
+    def values(self, column: str) -> list[Any]:
+        """All values of one output column."""
+        return self.table.column_values(column)
+
+    def single(self) -> dict:
+        """The only record (raises unless exactly one)."""
+        records = self.table.records
+        if len(records) != 1:
+            raise CypherError(
+                f"expected exactly one record, got {len(records)}"
+            )
+        return dict(records[0])
+
+    def pretty(self, max_rows: int = 20) -> str:
+        """Fixed-width rendering of the result table."""
+        return self.table.pretty(max_rows)
+
+    def to_json(self) -> str:
+        """JSON rendering; entities become their property maps."""
+        import json
+
+        return json.dumps(
+            [_jsonable(record) for record in self.table.to_dicts()],
+            sort_keys=True,
+        )
+
+    def to_csv(self) -> str:
+        """CSV rendering with a header row (nulls as empty cells)."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        for record in self.table.to_dicts():
+            writer.writerow(
+                [
+                    "" if record[column] is None else _jsonable(record[column])
+                    for column in self.columns
+                ]
+            )
+        return buffer.getvalue()
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self.table.to_dicts())
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+
+def _jsonable(value):
+    """Plain-data view of a result value (entities -> property maps)."""
+    from repro.graph.model import Node, Path, Relationship
+
+    if isinstance(value, (Node, Relationship)):
+        return dict(value.properties)
+    if isinstance(value, Path):
+        return {
+            "nodes": [dict(n.properties) for n in value.nodes],
+            "relationships": [dict(r.properties) for r in value.relationships],
+        }
+    if isinstance(value, list):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    return value
+
+
+class CypherEngine:
+    """Executes Cypher statements against a graph store."""
+
+    def __init__(
+        self,
+        store: GraphStore | None = None,
+        dialect: Dialect | str = Dialect.REVISED,
+        *,
+        extended_merge: bool = False,
+        match_mode: MatchMode | str = MatchMode.TRAIL,
+        use_planner: bool = False,
+    ):
+        self.store = store if store is not None else GraphStore()
+        self.dialect = Dialect.parse(dialect)
+        self.extended_merge = extended_merge
+        self.match_mode = (
+            match_mode
+            if isinstance(match_mode, MatchMode)
+            else MatchMode(match_mode)
+        )
+        self.use_planner = use_planner
+        self._ast_cache: dict[tuple, ast.Statement] = {}
+
+    # ------------------------------------------------------------------
+
+    def parse(self, source: str) -> ast.Statement:
+        """Parse *source* under the engine's dialect (cached)."""
+        key = (source, self.dialect, self.extended_merge)
+        statement = self._ast_cache.get(key)
+        if statement is None:
+            statement = parse(
+                source, self.dialect, extended_merge=self.extended_merge
+            )
+            if len(self._ast_cache) > 1024:
+                self._ast_cache.clear()
+            self._ast_cache[key] = statement
+        return statement
+
+    def execute(
+        self,
+        source: str | ast.Statement,
+        parameters: Mapping[str, Any] | None = None,
+        table: DrivingTable | None = None,
+    ) -> QueryResult:
+        """Execute one statement atomically.
+
+        *table* optionally replaces the initial unit table -- this is
+        how the paper's examples feed "already populated" driving
+        tables into update clauses.  On any error the graph is rolled
+        back to its state before the statement.
+        """
+        statement = (
+            source
+            if isinstance(source, (ast.Statement, ast.SchemaStatement))
+            else self.parse(source)
+        )
+        if isinstance(statement, ast.SchemaStatement):
+            return self._execute_schema(statement)
+        initial = table.copy() if table is not None else DrivingTable.unit()
+        # Eager scope checking: typos fail even on empty driving tables.
+        from repro.runtime.scoping import check_statement
+
+        check_statement(statement, frozenset(initial.columns))
+        ctx = EvalContext(
+            store=self.store,
+            parameters=dict(parameters or {}),
+            match_mode=self.match_mode,
+            use_planner=self.use_planner,
+        )
+        mark = self.store.mark()
+        try:
+            output = self._run_query(ctx, statement.query, initial)
+            if self.dialect is Dialect.CYPHER9:
+                self._check_commit_time_well_formedness()
+        except Exception:
+            self.store.rollback_to(mark)
+            raise
+        counters = self._counters_since(mark)
+        return QueryResult(table=output, counters=counters)
+
+    run = execute  # convenient alias
+
+    def _execute_schema(self, statement: ast.SchemaStatement) -> QueryResult:
+        """Apply a CREATE/DROP INDEX/CONSTRAINT command."""
+        label, key = statement.label, statement.key
+        if statement.kind == "create_index":
+            self.store.create_index(label, key)
+        elif statement.kind == "drop_index":
+            self.store.drop_index(label, key)
+        elif statement.kind == "create_unique_constraint":
+            self.store.create_unique_constraint(label, key)
+        elif statement.kind == "drop_unique_constraint":
+            self.store.drop_unique_constraint(label, key)
+        else:  # pragma: no cover - parser guarantees the kinds
+            raise CypherError(f"unknown schema command {statement.kind}")
+        return QueryResult(table=DrivingTable())
+
+    def explain(self, source: str | ast.Statement) -> str:
+        """Describe how a statement would execute (no execution)."""
+        from repro.runtime.explain import explain_statement
+
+        statement = (
+            source
+            if isinstance(source, (ast.Statement, ast.SchemaStatement))
+            else self.parse(source)
+        )
+        if isinstance(statement, ast.SchemaStatement):
+            return (
+                f"schema command: {statement.kind} on "
+                f":{statement.label}({statement.key})"
+            )
+        ctx = EvalContext(
+            store=self.store,
+            match_mode=self.match_mode,
+            use_planner=self.use_planner,
+        )
+        return explain_statement(ctx, statement, self.dialect)
+
+    # ------------------------------------------------------------------
+
+    def _run_query(
+        self,
+        ctx: EvalContext,
+        query: ast.Query,
+        initial: DrivingTable,
+    ) -> DrivingTable:
+        if isinstance(query, ast.UnionQuery):
+            left = self._run_query(ctx, query.left, initial.copy())
+            right = self._run_single(ctx, query.right, initial.copy())
+            combined = left.concat(right)
+            return combined if query.all else combined.distinct()
+        return self._run_single(ctx, query, initial)
+
+    def _run_single(
+        self,
+        ctx: EvalContext,
+        query: ast.SingleQuery,
+        initial: DrivingTable,
+    ) -> DrivingTable:
+        final = execute_clauses(ctx, query.clauses, initial, self.dialect)
+        if query.return_clause is None:
+            # Statements without RETURN output the empty table.
+            return DrivingTable()
+        return final
+
+    def _check_commit_time_well_formedness(self) -> None:
+        """Reject statements that leave dangling relationships behind.
+
+        The legacy dialect tolerates dangling relationships *during* a
+        statement (Section 4.2) but, like Neo4j, validates the graph at
+        the statement boundary.
+        """
+        for rel in self.store.relationships():
+            if rel.start.is_deleted or rel.end.is_deleted:
+                raise UpdateError(
+                    f"statement would leave dangling relationship "
+                    f"{rel.id} ({rel.type}); delete it in the same statement"
+                )
+
+    def _counters_since(self, mark: int) -> UpdateCounters:
+        counts: dict[str, int] = {}
+        for entry in self.store._journal[mark:]:
+            field_name = _JOURNAL_COUNTER_FIELDS.get(entry[0])
+            if field_name:
+                counts[field_name] = counts.get(field_name, 0) + 1
+        return UpdateCounters(**counts)

@@ -1,0 +1,131 @@
+"""Exception hierarchy for the Cypher reproduction engine.
+
+Every error raised by the library derives from :class:`CypherError`, so
+callers can catch a single type at a statement boundary.  The hierarchy
+mirrors the phases of query processing (lexing, parsing, semantic
+checking, evaluation, updating) plus the new error conditions introduced
+by the paper's revised update semantics:
+
+* :class:`PropertyConflictError` -- an atomic ``SET`` collected two
+  different values for the same (entity, key) pair (paper, Example 2);
+* :class:`DanglingRelationshipError` -- a strict ``DELETE`` would leave a
+  relationship without a source or target (paper, Section 4.2 / 7);
+* :class:`MergeSyntaxError` -- a bare ``MERGE`` without ``ALL``/``SAME``
+  in the revised dialect (paper, Section 7).
+"""
+
+from __future__ import annotations
+
+
+class CypherError(Exception):
+    """Base class for all errors raised by the engine."""
+
+
+class CypherSyntaxError(CypherError):
+    """A statement could not be tokenized or parsed.
+
+    Carries the source position so callers can point at the offending
+    token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class MergeSyntaxError(CypherSyntaxError):
+    """A MERGE form is not allowed in the active dialect.
+
+    In the revised dialect a bare ``MERGE`` (without ``ALL`` or ``SAME``)
+    is rejected, per Section 7 of the paper; conversely ``MERGE ALL`` and
+    ``MERGE SAME`` are not Cypher 9 syntax.
+    """
+
+
+class CypherSemanticError(CypherError):
+    """A statement parsed but is ill-formed (unknown variable, etc.)."""
+
+
+class UnknownVariableError(CypherSemanticError):
+    """An expression referenced a variable that is not in scope."""
+
+
+class VariableAlreadyBoundError(CypherSemanticError):
+    """A pattern tried to re-declare an already bound entity variable."""
+
+
+class CypherTypeError(CypherError):
+    """An expression was applied to values of an inappropriate type."""
+
+
+class CypherEvaluationError(CypherError):
+    """A runtime evaluation failure (division by zero, bad index...)."""
+
+
+class ParameterMissingError(CypherEvaluationError):
+    """A statement referenced a parameter that was not supplied."""
+
+
+class UpdateError(CypherError):
+    """Base class for errors raised while applying update clauses."""
+
+
+class PropertyConflictError(UpdateError):
+    """An atomic SET collected conflicting values for one property.
+
+    Raised by the revised dialect when, across the driving table, the
+    same (entity, key) pair is assigned two values that are not the same
+    (paper, Example 2 and Section 7: "any ambiguous SET clause ...
+    should abort with an error").
+    """
+
+    def __init__(self, entity: object, key: str, first: object, second: object):
+        self.entity = entity
+        self.key = key
+        self.first = first
+        self.second = second
+        super().__init__(
+            f"conflicting values for property '{key}' of {entity}: "
+            f"{first!r} vs {second!r}"
+        )
+
+
+class DanglingRelationshipError(UpdateError):
+    """A DELETE would leave relationships without an endpoint.
+
+    Raised by the revised dialect when a node is deleted while some of
+    its relationships are not deleted in the same clause (paper,
+    Section 7: strict semantics).
+    """
+
+    def __init__(self, node: object, relationships: tuple = ()):
+        self.node = node
+        self.relationships = tuple(relationships)
+        rels = ", ".join(str(r) for r in self.relationships) or "?"
+        super().__init__(
+            f"cannot delete node {node}: relationships [{rels}] are still "
+            f"attached (use DETACH DELETE or delete them in the same clause)"
+        )
+
+
+class EntityNotFoundError(CypherError):
+    """An operation referenced a node or relationship id not in the graph."""
+
+
+class DeletedEntityError(UpdateError):
+    """The revised dialect refused an operation on a deleted entity."""
+
+
+class TransactionError(CypherError):
+    """Invalid use of the transaction API (commit after rollback, ...)."""
+
+
+class ConstraintViolationError(UpdateError):
+    """A graph invariant would be violated (e.g. relationship w/o type)."""
+
+
+class LoadError(CypherError):
+    """Failure while importing external data (CSV, JSON)."""

@@ -1,0 +1,1 @@
+"""Reference implementation of the Section 8 formal semantics."""

@@ -1,0 +1,821 @@
+"""Reference implementation of the Section 8 update semantics.
+
+This module transcribes the paper's denotational definitions as
+directly as possible, trading every optimisation for obviousness:
+
+* graphs are immutable :class:`~repro.graph.model.GraphSnapshot` values
+  and each operation builds a whole new snapshot;
+* driving-table rows bind variables to scalars or to entity *tags*
+  ``("node", id)`` / ``("rel", id)``;
+* ``MERGE SAME`` is implemented literally as
+  ``[[MERGE ALL]]`` followed by the quotient under the collapsibility
+  relations of Definitions 1 and 2 -- equivalence classes are computed
+  by *pairwise* comparison, exactly as defined, with no caching tricks.
+
+The engine in :mod:`repro.core` implements the same semantics with an
+entity cache (DESIGN.md decision 1); the property tests in
+``tests/properties`` check the two against each other up to id
+renaming.  Pattern property values here may be literals, parameters or
+row variables (all the paper's examples fit this fragment).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from repro.errors import (
+    CypherSemanticError,
+    DanglingRelationshipError,
+    PropertyConflictError,
+)
+from repro.graph.model import GraphSnapshot
+from repro.graph.values import equivalent, grouping_key
+from repro.parser import ast
+
+NodeTag = tuple[str, int]
+
+
+def node_tag(node_id: int) -> NodeTag:
+    """The table representation of a node reference."""
+    return ("node", node_id)
+
+
+def rel_tag(rel_id: int) -> NodeTag:
+    """The table representation of a relationship reference."""
+    return ("rel", rel_id)
+
+
+def empty_graph() -> GraphSnapshot:
+    """The empty property graph."""
+    return GraphSnapshot(nodes=frozenset(), relationships=frozenset())
+
+
+@dataclass(frozen=True)
+class MergeOutcome:
+    """Result of a formal MERGE evaluation."""
+
+    graph: GraphSnapshot
+    table: tuple[dict, ...]
+    #: (position, node id) of every node created by the CREATE phase
+    created_nodes: tuple[tuple[tuple[int, int], int], ...] = ()
+    #: (position, rel id) of every relationship created
+    created_rels: tuple[tuple[tuple[int, int], int], ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# Expression fragment
+# ---------------------------------------------------------------------------
+
+def eval_expression(expression: ast.Expression, row: Mapping[str, Any]) -> Any:
+    """Evaluate the restricted expression fragment used in patterns."""
+    if isinstance(expression, ast.Literal):
+        return expression.value
+    if isinstance(expression, ast.Variable):
+        if expression.name not in row:
+            raise CypherSemanticError(
+                f"formal semantics: unbound variable {expression.name!r}"
+            )
+        return row[expression.name]
+    raise CypherSemanticError(
+        "the formal reference semantics only evaluates literals and "
+        f"variables in patterns, got {type(expression).__name__}"
+    )
+
+
+def _pattern_properties(
+    properties: ast.MapLiteral | None, row: Mapping[str, Any]
+) -> dict:
+    if properties is None:
+        return {}
+    result = {}
+    for key, expr in properties.items:
+        value = eval_expression(expr, row)
+        if value is not None:  # iota(x, k) = null encodes absence
+            result[key] = value
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Pattern matching relation (p, G, u) |= pi  -- update patterns only
+# ---------------------------------------------------------------------------
+
+def match_rows(
+    graph: GraphSnapshot, pattern: ast.Pattern, row: Mapping[str, Any]
+) -> Iterator[dict]:
+    """All extensions of *row* satisfying the (update) pattern.
+
+    Update patterns are fixed-length and directed, so matching is a
+    simple backtracking walk.  Relationship uniqueness (trail
+    semantics) applies across the whole pattern.
+    """
+    paths = pattern.paths
+    yield from _match_path_index(graph, paths, 0, dict(row), set())
+
+
+def _match_path_index(
+    graph: GraphSnapshot,
+    paths: tuple[ast.PathPattern, ...],
+    index: int,
+    row: dict,
+    used: set[int],
+) -> Iterator[dict]:
+    if index == len(paths):
+        yield dict(row)
+        return
+    elements = paths[index].elements
+    yield from _match_elements(
+        graph, paths, index, elements, 0, None, row, used
+    )
+
+
+def _match_elements(
+    graph: GraphSnapshot,
+    paths: tuple,
+    path_index: int,
+    elements: tuple,
+    element_index: int,
+    current: int | None,
+    row: dict,
+    used: set[int],
+) -> Iterator[dict]:
+    if element_index >= len(elements):
+        yield from _match_path_index(graph, paths, path_index + 1, row, used)
+        return
+    element = elements[element_index]
+    if isinstance(element, ast.NodePattern):
+        for node_id in _node_candidates(graph, element, row, current):
+            added = _bind(row, element.variable, node_tag(node_id))
+            yield from _match_elements(
+                graph,
+                paths,
+                path_index,
+                elements,
+                element_index + 1,
+                node_id,
+                row,
+                used,
+            )
+            _unbind(row, element.variable, added)
+        return
+    # Relationship element: enumerate edges leaving/entering `current`.
+    for rel_id, next_node in _rel_candidates(graph, element, row, current):
+        if rel_id in used:
+            continue
+        used.add(rel_id)
+        added = _bind(row, element.variable, rel_tag(rel_id))
+        # The node element after the relationship constrains next_node.
+        node_element = elements[element_index + 1]
+        if _node_satisfies(graph, node_element, row, next_node):
+            node_added = _bind(row, node_element.variable, node_tag(next_node))
+            yield from _match_elements(
+                graph,
+                paths,
+                path_index,
+                elements,
+                element_index + 2,
+                next_node,
+                row,
+                used,
+            )
+            _unbind(row, node_element.variable, node_added)
+        _unbind(row, element.variable, added)
+        used.discard(rel_id)
+
+
+def _bind(row: dict, variable: str | None, value: Any) -> bool:
+    if variable is None or variable in row:
+        return False
+    row[variable] = value
+    return True
+
+
+def _unbind(row: dict, variable: str | None, added: bool) -> None:
+    if added and variable is not None:
+        del row[variable]
+
+
+def _node_candidates(
+    graph: GraphSnapshot,
+    element: ast.NodePattern,
+    row: Mapping[str, Any],
+    current: int | None,
+) -> Iterator[int]:
+    if element.variable is not None and element.variable in row:
+        value = row[element.variable]
+        if (
+            isinstance(value, tuple)
+            and len(value) == 2
+            and value[0] == "node"
+            and value[1] in graph.nodes
+            and _node_satisfies(graph, element, row, value[1])
+        ):
+            yield value[1]
+        return
+    for node_id in sorted(graph.nodes):
+        if _node_satisfies(graph, element, row, node_id):
+            yield node_id
+
+
+def _node_satisfies(
+    graph: GraphSnapshot,
+    element: ast.NodePattern,
+    row: Mapping[str, Any],
+    node_id: int,
+) -> bool:
+    if element.variable is not None and element.variable in row:
+        if row[element.variable] != node_tag(node_id):
+            return False
+    labels = graph.labels.get(node_id, frozenset())
+    if not set(element.labels) <= labels:
+        return False
+    props = graph.node_properties.get(node_id, {})
+    if element.properties is not None:
+        for key, expr in element.properties.items:
+            value = eval_expression(expr, row)
+            if value is None:
+                return False  # {k: null} never matches
+            if key not in props or not equivalent(props[key], value):
+                return False
+    return True
+
+
+def _rel_candidates(
+    graph: GraphSnapshot,
+    element: ast.RelationshipPattern,
+    row: Mapping[str, Any],
+    current: int | None,
+) -> Iterator[tuple[int, int]]:
+    assert current is not None
+    for rel_id in sorted(graph.relationships):
+        if element.types and graph.types[rel_id] not in element.types:
+            continue
+        if element.direction == ast.OUT:
+            if graph.source[rel_id] != current:
+                continue
+            next_node = graph.target[rel_id]
+        elif element.direction == ast.IN:
+            if graph.target[rel_id] != current:
+                continue
+            next_node = graph.source[rel_id]
+        else:
+            raise CypherSemanticError(
+                "update patterns must be directed in the formal semantics"
+            )
+        props = graph.rel_properties.get(rel_id, {})
+        if element.properties is not None:
+            satisfied = True
+            for key, expr in element.properties.items:
+                value = eval_expression(expr, row)
+                if value is None or key not in props or not equivalent(
+                    props[key], value
+                ):
+                    satisfied = False
+                    break
+            if not satisfied:
+                continue
+        yield rel_id, next_node
+
+
+# ---------------------------------------------------------------------------
+# CREATE (saturation + inductive creation)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Builder:
+    """Functional graph builder accumulating one new snapshot."""
+
+    nodes: set = field(default_factory=set)
+    rels: set = field(default_factory=set)
+    source: dict = field(default_factory=dict)
+    target: dict = field(default_factory=dict)
+    labels: dict = field(default_factory=dict)
+    types: dict = field(default_factory=dict)
+    node_props: dict = field(default_factory=dict)
+    rel_props: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_snapshot(cls, graph: GraphSnapshot) -> "_Builder":
+        return cls(
+            nodes=set(graph.nodes),
+            rels=set(graph.relationships),
+            source=dict(graph.source),
+            target=dict(graph.target),
+            labels=dict(graph.labels),
+            types=dict(graph.types),
+            node_props={k: dict(v) for k, v in graph.node_properties.items()},
+            rel_props={k: dict(v) for k, v in graph.rel_properties.items()},
+        )
+
+    def fresh_node_id(self) -> int:
+        return max(self.nodes, default=-1) + 1
+
+    def fresh_rel_id(self) -> int:
+        return max(self.rels, default=-1) + 1
+
+    def snapshot(self) -> GraphSnapshot:
+        return GraphSnapshot(
+            nodes=frozenset(self.nodes),
+            relationships=frozenset(self.rels),
+            source=dict(self.source),
+            target=dict(self.target),
+            labels={k: frozenset(v) for k, v in self.labels.items()},
+            types=dict(self.types),
+            node_properties={k: dict(v) for k, v in self.node_props.items()},
+            rel_properties={k: dict(v) for k, v in self.rel_props.items()},
+        )
+
+
+def create(
+    graph: GraphSnapshot,
+    pattern: ast.Pattern,
+    table: tuple[dict, ...],
+) -> MergeOutcome:
+    """``[[CREATE pi]](G, T)``: one instance of *pattern* per row."""
+    builder = _Builder.from_snapshot(graph)
+    created_nodes: list = []
+    created_rels: list = []
+    out_rows: list[dict] = []
+    for row in table:
+        scope = dict(row)
+        for path_index, path in enumerate(pattern.paths):
+            previous: int | None = None
+            pending: tuple[ast.RelationshipPattern, tuple[int, int]] | None = None
+            for element_index, element in enumerate(path.elements):
+                position = (path_index, element_index)
+                if isinstance(element, ast.NodePattern):
+                    node_id = _create_node(
+                        builder, element, position, scope, created_nodes
+                    )
+                    if pending is not None:
+                        rel_element, rel_position = pending
+                        _create_rel(
+                            builder,
+                            rel_element,
+                            rel_position,
+                            previous,
+                            node_id,
+                            scope,
+                            created_rels,
+                        )
+                        pending = None
+                    previous = node_id
+                else:
+                    pending = (element, position)
+        out_rows.append(scope)
+    return MergeOutcome(
+        graph=builder.snapshot(),
+        table=tuple(out_rows),
+        created_nodes=tuple(created_nodes),
+        created_rels=tuple(created_rels),
+    )
+
+
+def _create_node(
+    builder: _Builder,
+    element: ast.NodePattern,
+    position: tuple[int, int],
+    scope: dict,
+    created_nodes: list,
+) -> int:
+    variable = element.variable
+    if variable is not None and variable in scope:
+        value = scope[variable]
+        if not (isinstance(value, tuple) and value[0] == "node"):
+            raise CypherSemanticError(
+                f"variable {variable!r} is not bound to a node"
+            )
+        return value[1]
+    node_id = builder.fresh_node_id()
+    builder.nodes.add(node_id)
+    builder.labels[node_id] = frozenset(element.labels)
+    builder.node_props[node_id] = _pattern_properties(
+        element.properties, scope
+    )
+    created_nodes.append((position, node_id))
+    if variable is not None:
+        scope[variable] = node_tag(node_id)
+    return node_id
+
+
+def _create_rel(
+    builder: _Builder,
+    element: ast.RelationshipPattern,
+    position: tuple[int, int],
+    left: int,
+    right: int,
+    scope: dict,
+    created_rels: list,
+) -> int:
+    if element.direction == ast.OUT:
+        source, target = left, right
+    elif element.direction == ast.IN:
+        source, target = right, left
+    else:
+        raise CypherSemanticError("created relationships must be directed")
+    rel_id = builder.fresh_rel_id()
+    builder.rels.add(rel_id)
+    builder.source[rel_id] = source
+    builder.target[rel_id] = target
+    builder.types[rel_id] = element.types[0]
+    builder.rel_props[rel_id] = _pattern_properties(element.properties, scope)
+    created_rels.append((position, rel_id))
+    if element.variable is not None:
+        scope[element.variable] = rel_tag(rel_id)
+    return rel_id
+
+
+# ---------------------------------------------------------------------------
+# MERGE ALL  (Section 8.2, displayed equation)
+# ---------------------------------------------------------------------------
+
+def merge_all(
+    graph: GraphSnapshot, pattern: ast.Pattern, table: tuple[dict, ...]
+) -> MergeOutcome:
+    """``[[MERGE ALL pi]](G, T) = (G_create, T_match |+| T_create)``."""
+    t_match: list[dict] = []
+    t_fail: list[dict] = []
+    for row in table:
+        matches = list(match_rows(graph, pattern, row))
+        if matches:
+            t_match.extend(matches)
+        else:
+            t_fail.append(dict(row))  # multiplicity preserved
+    creation = create(graph, pattern, tuple(t_fail))
+    return MergeOutcome(
+        graph=creation.graph,
+        table=tuple(t_match) + creation.table,
+        created_nodes=creation.created_nodes,
+        created_rels=creation.created_rels,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Collapsibility (Definitions 1 and 2) and the quotient
+# ---------------------------------------------------------------------------
+
+def _nodes_collapsible(
+    graph: GraphSnapshot,
+    original_nodes: frozenset[int],
+    n1: int,
+    n2: int,
+    positions: Mapping[int, set],
+    by_position: bool,
+) -> bool:
+    """Definition 1, extended with the Weak Collapse position condition."""
+    if n1 == n2:
+        return True
+    # (iii) nodes of the original graph collapse only with themselves
+    if n1 in original_nodes or n2 in original_nodes:
+        return False
+    # (i) same labels
+    if graph.labels.get(n1, frozenset()) != graph.labels.get(n2, frozenset()):
+        return False
+    # (ii) same properties (iota agrees on every key; null = null)
+    props1 = graph.node_properties.get(n1, {})
+    props2 = graph.node_properties.get(n2, {})
+    if grouping_key(dict(props1)) != grouping_key(dict(props2)):
+        return False
+    # Weak Collapse: only entities matched to the same pattern position
+    if by_position and not (positions[n1] & positions[n2]):
+        return False
+    return True
+
+
+def _rels_collapsible(
+    graph: GraphSnapshot,
+    original_rels: frozenset[int],
+    node_rep: Mapping[int, int],
+    r1: int,
+    r2: int,
+    positions: Mapping[int, set],
+    by_position: bool,
+) -> bool:
+    """Definition 2, with the per-position restriction for Weak/Collapse."""
+    if r1 == r2:
+        return True
+    if r1 in original_rels or r2 in original_rels:
+        return False
+    if graph.types[r1] != graph.types[r2]:
+        return False
+    props1 = graph.rel_properties.get(r1, {})
+    props2 = graph.rel_properties.get(r2, {})
+    if grouping_key(dict(props1)) != grouping_key(dict(props2)):
+        return False
+    if node_rep.get(graph.source[r1], graph.source[r1]) != node_rep.get(
+        graph.source[r2], graph.source[r2]
+    ):
+        return False
+    if node_rep.get(graph.target[r1], graph.target[r1]) != node_rep.get(
+        graph.target[r2], graph.target[r2]
+    ):
+        return False
+    if by_position and not (positions[r1] & positions[r2]):
+        return False
+    return True
+
+
+def _partition(items: list[int], related) -> dict[int, int]:
+    """Partition *items* into equivalence classes by pairwise relation.
+
+    Returns item -> representative (the least id of its class).  The
+    relation is assumed to be an equivalence, so a simple union-find
+    over all pairs suffices (quadratic, faithful to the definition).
+    """
+    parent = {item: item for item in items}
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for a, b in itertools.combinations(items, 2):
+        if related(a, b):
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[max(ra, rb)] = min(ra, rb)
+    return {item: find(item) for item in items}
+
+
+def collapse(
+    outcome: MergeOutcome,
+    original: GraphSnapshot,
+    *,
+    collapse_nodes_by_position: bool,
+    collapse_rels_by_position: bool,
+) -> MergeOutcome:
+    """Quotient the MERGE ALL output under Definitions 1-2.
+
+    ``collapse_nodes_by_position=True`` gives Weak Collapse;
+    rels-by-position True with nodes-by-position False gives Collapse;
+    both False gives Strong Collapse (= MERGE SAME).
+    """
+    graph = outcome.graph
+    node_positions: dict[int, set] = {}
+    for position, node_id in outcome.created_nodes:
+        node_positions.setdefault(node_id, set()).add(position)
+    rel_positions: dict[int, set] = {}
+    for position, rel_id in outcome.created_rels:
+        rel_positions.setdefault(rel_id, set()).add(position)
+
+    all_nodes = sorted(graph.nodes)
+    node_rep = _partition(
+        all_nodes,
+        lambda a, b: _nodes_collapsible(
+            graph,
+            original.nodes,
+            a,
+            b,
+            node_positions,
+            collapse_nodes_by_position,
+        ),
+    )
+    all_rels = sorted(graph.relationships)
+    rel_rep = _partition(
+        all_rels,
+        lambda a, b: _rels_collapsible(
+            graph,
+            original.relationships,
+            node_rep,
+            a,
+            b,
+            rel_positions,
+            collapse_rels_by_position,
+        ),
+    )
+    kept_nodes = frozenset(node_rep.values())
+    kept_rels = frozenset(rel_rep.values())
+    quotient = GraphSnapshot(
+        nodes=kept_nodes,
+        relationships=kept_rels,
+        source={r: node_rep[graph.source[r]] for r in kept_rels},
+        target={r: node_rep[graph.target[r]] for r in kept_rels},
+        labels={n: graph.labels.get(n, frozenset()) for n in kept_nodes},
+        types={r: graph.types[r] for r in kept_rels},
+        node_properties={
+            n: dict(graph.node_properties.get(n, {})) for n in kept_nodes
+        },
+        rel_properties={
+            r: dict(graph.rel_properties.get(r, {})) for r in kept_rels
+        },
+    )
+    table = tuple(
+        {
+            key: _retag(value, node_rep, rel_rep)
+            for key, value in row.items()
+        }
+        for row in outcome.table
+    )
+    return MergeOutcome(graph=quotient, table=table)
+
+
+def _retag(value: Any, node_rep: Mapping[int, int], rel_rep: Mapping[int, int]) -> Any:
+    if isinstance(value, tuple) and len(value) == 2:
+        kind, entity_id = value
+        if kind == "node" and entity_id in node_rep:
+            return node_tag(node_rep[entity_id])
+        if kind == "rel" and entity_id in rel_rep:
+            return rel_tag(rel_rep[entity_id])
+    return value
+
+
+def merge_same(
+    graph: GraphSnapshot, pattern: ast.Pattern, table: tuple[dict, ...]
+) -> MergeOutcome:
+    """``[[MERGE SAME]]`` = MERGE ALL followed by the Strong quotient."""
+    return collapse(
+        merge_all(graph, pattern, table),
+        graph,
+        collapse_nodes_by_position=False,
+        collapse_rels_by_position=False,
+    )
+
+
+def merge_variant(
+    graph: GraphSnapshot,
+    pattern: ast.Pattern,
+    table: tuple[dict, ...],
+    variant: str,
+) -> MergeOutcome:
+    """Any of the five Section 6 semantics, by name.
+
+    ``variant`` is one of ``atomic``, ``grouping``, ``weak_collapse``,
+    ``collapse``, ``strong_collapse``.  Grouping is expressed as the
+    quotient where only entities created for identical rows collapse,
+    which the paper's Example 5 characterisation induces.
+    """
+    if variant == "atomic":
+        return merge_all(graph, pattern, table)
+    if variant == "grouping":
+        return _merge_grouping(graph, pattern, table)
+    flags = {
+        "weak_collapse": (True, True),
+        "collapse": (False, True),
+        "strong_collapse": (False, False),
+    }
+    nodes_by_pos, rels_by_pos = flags[variant]
+    return collapse(
+        merge_all(graph, pattern, table),
+        graph,
+        collapse_nodes_by_position=nodes_by_pos,
+        collapse_rels_by_position=rels_by_pos,
+    )
+
+
+def _merge_grouping(
+    graph: GraphSnapshot, pattern: ast.Pattern, table: tuple[dict, ...]
+) -> MergeOutcome:
+    """Grouping MERGE: one created instance per expression-value group."""
+    t_match: list[dict] = []
+    failures: list[dict] = []
+    for row in table:
+        matches = list(match_rows(graph, pattern, row))
+        if matches:
+            t_match.extend(matches)
+        else:
+            failures.append(dict(row))
+    groups: dict[tuple, list[dict]] = {}
+    for row in failures:
+        groups.setdefault(_group_key(pattern, row), []).append(row)
+    builder_graph = graph
+    out_rows: list[dict] = []
+    created_nodes: list = []
+    created_rels: list = []
+    for rows in groups.values():
+        creation = create(builder_graph, pattern, (rows[0],))
+        builder_graph = creation.graph
+        created_nodes.extend(creation.created_nodes)
+        created_rels.extend(creation.created_rels)
+        bound = creation.table[0]
+        for row in rows:
+            merged = dict(row)
+            merged.update(
+                {k: v for k, v in bound.items() if k not in row}
+            )
+            out_rows.append(merged)
+    return MergeOutcome(
+        graph=builder_graph,
+        table=tuple(t_match) + tuple(out_rows),
+        created_nodes=tuple(created_nodes),
+        created_rels=tuple(created_rels),
+    )
+
+
+def _group_key(pattern: ast.Pattern, row: Mapping[str, Any]) -> tuple:
+    parts: list = []
+    for path in pattern.paths:
+        for element in path.elements:
+            if element.variable is not None and element.variable in row:
+                value = row[element.variable]
+                # Entity tags are already hashable identities.
+                if isinstance(value, tuple):
+                    parts.append(value)
+                else:
+                    parts.append(grouping_key(value))
+            if element.properties is not None:
+                for __, expr in element.properties.items:
+                    parts.append(grouping_key(eval_expression(expr, row)))
+    return tuple(parts)
+
+
+# ---------------------------------------------------------------------------
+# SET and DELETE (for cross-validation of the engine's atomic versions)
+# ---------------------------------------------------------------------------
+
+def set_properties(
+    graph: GraphSnapshot,
+    writes: tuple[tuple[NodeTag, str, Any], ...],
+) -> GraphSnapshot:
+    """Atomic SET over pre-evaluated (entity tag, key, value) writes.
+
+    Implements the two-phase semantics: conflicting writes raise
+    :class:`PropertyConflictError`; otherwise all writes apply to the
+    input graph at once.  ``value=None`` removes the key.
+    """
+    collected: dict[tuple[NodeTag, str], Any] = {}
+    for tag, key, value in writes:
+        existing_key = (tag, key)
+        if existing_key in collected and not equivalent(
+            collected[existing_key], value
+        ):
+            raise PropertyConflictError(
+                tag, key, collected[existing_key], value
+            )
+        collected[existing_key] = value
+    builder = _Builder.from_snapshot(graph)
+    for (tag, key), value in collected.items():
+        kind, entity_id = tag
+        target = builder.node_props if kind == "node" else builder.rel_props
+        props = dict(target.get(entity_id, {}))
+        if value is None:
+            props.pop(key, None)
+        else:
+            props[key] = value
+        target[entity_id] = props
+    return builder.snapshot()
+
+
+def remove_items(
+    graph: GraphSnapshot,
+    label_removals: tuple[tuple[int, str], ...] = (),
+    property_removals: tuple[tuple[NodeTag, str], ...] = (),
+) -> GraphSnapshot:
+    """The REMOVE clause: conflict-free, applied left to right.
+
+    Removal is idempotent, so order does not matter observably; the
+    signature takes pre-evaluated (node, label) and (entity, key)
+    pairs, mirroring how Section 8.2 treats removal items.
+    """
+    builder = _Builder.from_snapshot(graph)
+    for node_id, label in label_removals:
+        labels = set(builder.labels.get(node_id, frozenset()))
+        labels.discard(label)
+        builder.labels[node_id] = frozenset(labels)
+    for (kind, entity_id), key in (
+        ((tag[0], tag[1]), key) for tag, key in property_removals
+    ):
+        target = builder.node_props if kind == "node" else builder.rel_props
+        props = dict(target.get(entity_id, {}))
+        props.pop(key, None)
+        target[entity_id] = props
+    return builder.snapshot()
+
+
+def delete_entities(
+    graph: GraphSnapshot,
+    nodes: frozenset[int],
+    rels: frozenset[int],
+    *,
+    detach: bool = False,
+) -> GraphSnapshot:
+    """Atomic DELETE: strict unless *detach*; returns the new graph."""
+    rels = set(rels)
+    if detach:
+        for rel_id in graph.relationships:
+            if graph.source[rel_id] in nodes or graph.target[rel_id] in nodes:
+                rels.add(rel_id)
+    else:
+        for rel_id in graph.relationships:
+            if rel_id in rels:
+                continue
+            for endpoint in (graph.source[rel_id], graph.target[rel_id]):
+                if endpoint in nodes:
+                    raise DanglingRelationshipError(endpoint, (rel_id,))
+    kept_nodes = graph.nodes - nodes
+    kept_rels = graph.relationships - frozenset(rels)
+    return GraphSnapshot(
+        nodes=kept_nodes,
+        relationships=kept_rels,
+        source={r: graph.source[r] for r in kept_rels},
+        target={r: graph.target[r] for r in kept_rels},
+        labels={n: graph.labels.get(n, frozenset()) for n in kept_nodes},
+        types={r: graph.types[r] for r in kept_rels},
+        node_properties={
+            n: dict(graph.node_properties.get(n, {})) for n in kept_nodes
+        },
+        rel_properties={
+            r: dict(graph.rel_properties.get(r, {})) for r in kept_rels
+        },
+    )

@@ -1,0 +1,12 @@
+"""Property-graph substrate: values, model, store, indexes, comparison."""
+
+from repro.graph.model import GraphSnapshot, Node, Path, Relationship
+from repro.graph.store import GraphStore
+
+__all__ = [
+    "GraphSnapshot",
+    "GraphStore",
+    "Node",
+    "Path",
+    "Relationship",
+]

@@ -1,0 +1,153 @@
+"""Graph comparison: equality up to id renaming.
+
+The revised MERGE semantics is deterministic only *up to id renaming*
+(Section 8: "the output graph-table pairs are the same up to id
+renaming").  Verifying the paper's determinism claims -- e.g. that
+Example 3 under MERGE SAME yields Figure 6b no matter how the driving
+table is ordered -- therefore requires deciding property-graph
+isomorphism with label/type/property-preserving bijections.
+
+Graphs in this reproduction are small (the paper's figures have at most
+a dozen nodes; the scaling benchmarks compare only counts), so we use
+:mod:`networkx`'s VF2 matcher over content signatures, with a cheap
+Weisfeiler-Lehman fingerprint as a fast-path filter.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import networkx as nx
+
+from repro.graph.model import GraphSnapshot
+
+
+def to_networkx(snapshot: GraphSnapshot) -> nx.MultiDiGraph:
+    """Convert a snapshot to a MultiDiGraph with content signatures.
+
+    Each node gets a ``sig`` attribute (labels + sorted properties) and
+    each edge a ``sig`` attribute (type + sorted properties), so that
+    categorical matching on ``sig`` decides property-graph isomorphism.
+    Dangling relationships (legacy states) keep their missing endpoint
+    as an extra node marked with a ``dangling`` signature.
+    """
+    graph = nx.MultiDiGraph()
+    for node_id in snapshot.nodes:
+        graph.add_node(node_id, sig=snapshot.node_signature(node_id))
+    for rel_id in snapshot.relationships:
+        source = snapshot.source[rel_id]
+        target = snapshot.target[rel_id]
+        for endpoint in (source, target):
+            if endpoint not in graph:
+                graph.add_node(endpoint, sig=("<deleted>",))
+        graph.add_edge(source, target, key=rel_id, sig=snapshot.rel_signature(rel_id))
+    return graph
+
+
+def fingerprint(snapshot: GraphSnapshot) -> str:
+    """A content hash invariant under id renaming.
+
+    Two isomorphic graphs always share a fingerprint; unequal
+    fingerprints prove non-isomorphism.  (Equal fingerprints are almost
+    always isomorphic but are confirmed with :func:`isomorphic`.)
+    """
+    multi = to_networkx(snapshot)
+    # The WL hash works on simple graphs with string attributes, so
+    # bundle parallel edges into one edge labeled with the sorted
+    # multiset of their signatures.
+    graph = nx.DiGraph()
+    for node, data in multi.nodes(data=True):
+        graph.add_node(node, sig_str=repr(data["sig"]))
+    bundles: dict[tuple, list] = {}
+    for source, target, data in multi.edges(data=True):
+        bundles.setdefault((source, target), []).append(data["sig"])
+    for (source, target), sigs in bundles.items():
+        graph.add_edge(source, target, sig_str=repr(sorted(map(repr, sigs))))
+    return nx.weisfeiler_lehman_graph_hash(
+        graph, node_attr="sig_str", edge_attr="sig_str"
+    )
+
+
+def isomorphic(left: GraphSnapshot, right: GraphSnapshot) -> bool:
+    """True iff the two graphs are equal up to id renaming."""
+    if left.order() != right.order() or left.size() != right.size():
+        return False
+    if signature_counts(left) != signature_counts(right):
+        return False
+    matcher = nx.algorithms.isomorphism.MultiDiGraphMatcher(
+        to_networkx(left),
+        to_networkx(right),
+        node_match=lambda a, b: a["sig"] == b["sig"],
+        edge_match=_edge_multiset_match,
+    )
+    return matcher.is_isomorphic()
+
+
+def _edge_multiset_match(left_edges: dict, right_edges: dict) -> bool:
+    """Match parallel-edge bundles as multisets of signatures."""
+    left_sigs = Counter(data["sig"] for data in left_edges.values())
+    right_sigs = Counter(data["sig"] for data in right_edges.values())
+    return left_sigs == right_sigs
+
+
+def signature_counts(snapshot: GraphSnapshot) -> tuple[Counter, Counter]:
+    """Multisets of node and relationship content signatures.
+
+    A cheap isomorphism invariant used both as a filter and to produce
+    readable diffs in assertion messages.
+    """
+    node_sigs = Counter(
+        snapshot.node_signature(n) for n in snapshot.nodes
+    )
+    rel_sigs = Counter(
+        (
+            snapshot.rel_signature(r),
+            snapshot.node_signature(snapshot.source[r])
+            if snapshot.source[r] in snapshot.nodes
+            else ("<deleted>",),
+            snapshot.node_signature(snapshot.target[r])
+            if snapshot.target[r] in snapshot.nodes
+            else ("<deleted>",),
+        )
+        for r in snapshot.relationships
+    )
+    return node_sigs, rel_sigs
+
+
+def describe(snapshot: GraphSnapshot) -> str:
+    """Human-readable one-line description (counts + signature summary)."""
+    node_sigs, rel_sigs = signature_counts(snapshot)
+    labels = Counter()
+    for (label_tuple, __), count in node_sigs.items():
+        labels[label_tuple or ("<none>",)] += count
+    label_text = ", ".join(
+        f"{'|'.join(label)}x{count}" for label, count in sorted(labels.items())
+    )
+    return (
+        f"{snapshot.order()} nodes ({label_text}), "
+        f"{snapshot.size()} relationships"
+    )
+
+
+def assert_isomorphic(left: GraphSnapshot, right: GraphSnapshot) -> None:
+    """Assert isomorphism with a diff-style failure message."""
+    if isomorphic(left, right):
+        return
+    left_nodes, left_rels = signature_counts(left)
+    right_nodes, right_rels = signature_counts(right)
+    lines = ["graphs are not isomorphic:"]
+    lines.append(f"  left:  {describe(left)}")
+    lines.append(f"  right: {describe(right)}")
+    only_left = left_nodes - right_nodes
+    only_right = right_nodes - left_nodes
+    if only_left:
+        lines.append(f"  node signatures only in left:  {dict(only_left)}")
+    if only_right:
+        lines.append(f"  node signatures only in right: {dict(only_right)}")
+    only_left_rels = left_rels - right_rels
+    only_right_rels = right_rels - left_rels
+    if only_left_rels:
+        lines.append(f"  rel signatures only in left:  {dict(only_left_rels)}")
+    if only_right_rels:
+        lines.append(f"  rel signatures only in right: {dict(only_right_rels)}")
+    raise AssertionError("\n".join(lines))

@@ -1,0 +1,118 @@
+"""Secondary indexes over the graph store.
+
+Two index kinds back the pattern matcher's candidate selection:
+
+* :class:`LabelIndex` -- label -> set of node ids.  Always maintained;
+  this is what makes ``MATCH (n:Product)`` skip unlabeled nodes.
+
+* :class:`PropertyIndex` -- (label, key) -> value -> set of node ids.
+  Created on demand via :meth:`repro.graph.store.GraphStore.create_index`,
+  mirroring how a production engine would let MERGE-heavy import
+  workloads avoid full label scans (the CSV-import use case the paper's
+  user survey highlights).
+
+Index value keys use :func:`repro.graph.values.grouping_key` so that
+1 and 1.0 share a bucket, consistently with equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.graph.values import grouping_key, is_storable
+
+
+class LabelIndex:
+    """Maps each label to the set of live node ids carrying it."""
+
+    def __init__(self) -> None:
+        self._by_label: dict[str, set[int]] = {}
+
+    def add(self, node_id: int, labels: Iterable[str]) -> None:
+        """Register *node_id* under every label in *labels*."""
+        for label in labels:
+            self._by_label.setdefault(label, set()).add(node_id)
+
+    def remove(self, node_id: int, labels: Iterable[str]) -> None:
+        """Unregister *node_id* from every label in *labels*."""
+        for label in labels:
+            bucket = self._by_label.get(label)
+            if bucket is not None:
+                bucket.discard(node_id)
+                if not bucket:
+                    del self._by_label[label]
+
+    def nodes_with_label(self, label: str) -> frozenset[int]:
+        """Ids of live nodes carrying *label* (empty set if none)."""
+        return frozenset(self._by_label.get(label, ()))
+
+    def labels(self) -> Iterator[str]:
+        """All labels with at least one live node."""
+        return iter(self._by_label)
+
+    def count(self, label: str) -> int:
+        """Number of live nodes carrying *label*."""
+        return len(self._by_label.get(label, ()))
+
+
+class PropertyIndex:
+    """A (label, key) index: property value -> set of node ids.
+
+    Only nodes that carry the label *and* define the key appear; a node
+    whose property is absent (iota = null) is deliberately not indexed,
+    since ``{key: null}`` map patterns never match anyway.
+    """
+
+    def __init__(self, label: str, key: str):
+        self.label = label
+        self.key = key
+        self._by_value: dict[Any, set[int]] = {}
+        #: reverse map so updates need not know the old value
+        self._value_of: dict[int, Any] = {}
+
+    def add(self, node_id: int, value: Any) -> None:
+        """Index *node_id* under *value* (no-op for unstorable values)."""
+        if value is None or not is_storable(value):
+            return
+        self.discard(node_id)
+        bucket_key = grouping_key(value)
+        self._by_value.setdefault(bucket_key, set()).add(node_id)
+        self._value_of[node_id] = bucket_key
+
+    def discard(self, node_id: int) -> None:
+        """Remove *node_id* from the index if present."""
+        bucket_key = self._value_of.pop(node_id, None)
+        if bucket_key is None:
+            return
+        bucket = self._by_value.get(bucket_key)
+        if bucket is not None:
+            bucket.discard(node_id)
+            if not bucket:
+                del self._by_value[bucket_key]
+
+    def lookup(self, value: Any) -> frozenset[int]:
+        """Ids of nodes whose property equals *value* (equivalence)."""
+        if value is None:
+            return frozenset()
+        return frozenset(self._by_value.get(grouping_key(value), ()))
+
+    def bucket_of(self, node_id: int) -> frozenset[int]:
+        """All node ids sharing *node_id*'s indexed value (incl. itself)."""
+        bucket_key = self._value_of.get(node_id)
+        if bucket_key is None:
+            return frozenset()
+        return frozenset(self._by_value.get(bucket_key, ()))
+
+    def duplicate_buckets(self) -> list[frozenset[int]]:
+        """All value buckets containing more than one node."""
+        return [
+            frozenset(bucket)
+            for bucket in self._by_value.values()
+            if len(bucket) > 1
+        ]
+
+    def __len__(self) -> int:
+        return len(self._value_of)
+
+    def __repr__(self) -> str:
+        return f"PropertyIndex(:{self.label}({self.key}), {len(self)} entries)"

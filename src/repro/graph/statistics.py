@@ -1,0 +1,90 @@
+"""Descriptive statistics over a graph store or snapshot.
+
+Used by the workload generators (to sanity-check generated graphs), by
+the benchmark harness (to report workload sizes next to timings), and
+available to users for quick inspection.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.graph.model import GraphSnapshot
+from repro.graph.store import GraphStore
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """Summary counts of a property graph."""
+
+    node_count: int
+    relationship_count: int
+    labels: Mapping[str, int] = field(default_factory=dict)
+    relationship_types: Mapping[str, int] = field(default_factory=dict)
+    node_property_keys: Mapping[str, int] = field(default_factory=dict)
+    rel_property_keys: Mapping[str, int] = field(default_factory=dict)
+    degree_histogram: Mapping[int, int] = field(default_factory=dict)
+
+    @property
+    def average_degree(self) -> float:
+        """Mean total degree over all nodes (0.0 for an empty graph)."""
+        if not self.node_count:
+            return 0.0
+        return 2.0 * self.relationship_count / self.node_count
+
+    @property
+    def max_degree(self) -> int:
+        """Largest total degree of any node."""
+        return max(self.degree_histogram, default=0)
+
+    def summary(self) -> str:
+        """A compact multi-line human-readable report."""
+        lines = [
+            f"nodes: {self.node_count}",
+            f"relationships: {self.relationship_count}",
+            f"average degree: {self.average_degree:.2f}",
+        ]
+        if self.labels:
+            label_text = ", ".join(
+                f":{label} x{count}"
+                for label, count in sorted(self.labels.items())
+            )
+            lines.append(f"labels: {label_text}")
+        if self.relationship_types:
+            type_text = ", ".join(
+                f":{rtype} x{count}"
+                for rtype, count in sorted(self.relationship_types.items())
+            )
+            lines.append(f"relationship types: {type_text}")
+        return "\n".join(lines)
+
+
+def collect_statistics(graph: GraphStore | GraphSnapshot) -> GraphStatistics:
+    """Compute :class:`GraphStatistics` for a store or snapshot."""
+    snapshot = graph.snapshot() if isinstance(graph, GraphStore) else graph
+    labels: Counter[str] = Counter()
+    node_keys: Counter[str] = Counter()
+    for node_id in snapshot.nodes:
+        labels.update(snapshot.labels.get(node_id, frozenset()))
+        node_keys.update(snapshot.node_properties.get(node_id, {}).keys())
+    rel_types: Counter[str] = Counter()
+    rel_keys: Counter[str] = Counter()
+    degrees: Counter[int] = Counter({node_id: 0 for node_id in snapshot.nodes})
+    for rel_id in snapshot.relationships:
+        rel_types[snapshot.types[rel_id]] += 1
+        rel_keys.update(snapshot.rel_properties.get(rel_id, {}).keys())
+        for endpoint in (snapshot.source[rel_id], snapshot.target[rel_id]):
+            if endpoint in degrees:
+                degrees[endpoint] += 1
+    histogram: Counter[int] = Counter(degrees.values()) if degrees else Counter()
+    return GraphStatistics(
+        node_count=snapshot.order(),
+        relationship_count=snapshot.size(),
+        labels=dict(labels),
+        relationship_types=dict(rel_types),
+        node_property_keys=dict(node_keys),
+        rel_property_keys=dict(rel_keys),
+        degree_histogram=dict(histogram),
+    )

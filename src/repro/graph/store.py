@@ -1,0 +1,672 @@
+"""The mutable property-graph store.
+
+:class:`GraphStore` owns all node and relationship records, maintains
+adjacency and indexes, and provides the two features the paper's update
+semantics needs from a storage layer:
+
+* an **undo journal** giving statement-level atomicity: every mutation
+  appends its inverse, :meth:`mark` / :meth:`rollback_to` bracket a
+  statement, and a failed statement (e.g. a revised-dialect
+  :class:`~repro.errors.PropertyConflictError`) leaves the graph
+  untouched;
+
+* **tombstones and a dangling mode** emulating the legacy Cypher 9
+  behaviour of Section 4.2: a node may be deleted while relationships
+  still point at it, the handle of a deleted node reports no labels and
+  no properties, and later writes to it are rejected (the engine's
+  legacy dialect turns that rejection into a silent no-op).
+
+Deleted records are retained (with ``deleted=True``) so that handles in
+driving tables keep resolving and so rollback can resurrect them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.errors import (
+    ConstraintViolationError,
+    DanglingRelationshipError,
+    DeletedEntityError,
+    EntityNotFoundError,
+)
+from repro.graph.indexes import LabelIndex, PropertyIndex
+from repro.graph.model import GraphSnapshot, Node, Relationship
+from repro.graph.values import require_storable
+
+_MISSING = object()
+
+
+@dataclass
+class _NodeRecord:
+    labels: set[str] = field(default_factory=set)
+    properties: dict[str, Any] = field(default_factory=dict)
+    deleted: bool = False
+
+
+@dataclass
+class _RelRecord:
+    type: str
+    source: int
+    target: int
+    properties: dict[str, Any] = field(default_factory=dict)
+    deleted: bool = False
+
+
+class GraphStore:
+    """In-memory property graph with journaled mutations."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[int, _NodeRecord] = {}
+        self._rels: dict[int, _RelRecord] = {}
+        self._out: dict[int, set[int]] = {}
+        self._in: dict[int, set[int]] = {}
+        #: per-type adjacency: node id -> type -> rel ids (live only);
+        #: lets typed traversals skip unrelated relationships entirely
+        self._out_by_type: dict[int, dict[str, set[int]]] = {}
+        self._in_by_type: dict[int, dict[str, set[int]]] = {}
+        self._next_node_id = 0
+        self._next_rel_id = 0
+        self._label_index = LabelIndex()
+        self._property_indexes: dict[tuple[str, str], PropertyIndex] = {}
+        #: (label, key) pairs under a uniqueness constraint
+        self._unique_constraints: set[tuple[str, str]] = set()
+        #: undo journal: list of (op, *payload) tuples, applied in reverse
+        self._journal: list[tuple] = []
+
+    # ------------------------------------------------------------------
+    # Record access helpers
+    # ------------------------------------------------------------------
+
+    def _node_record(self, node_id: int) -> _NodeRecord:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise EntityNotFoundError(f"no node with id {node_id}") from None
+
+    def _rel_record(self, rel_id: int) -> _RelRecord:
+        try:
+            return self._rels[rel_id]
+        except KeyError:
+            raise EntityNotFoundError(
+                f"no relationship with id {rel_id}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Handle-facing accessors
+    # ------------------------------------------------------------------
+
+    def node_labels(self, node_id: int) -> frozenset[str]:
+        """Labels of a node; deleted nodes report the empty set."""
+        record = self._node_record(node_id)
+        if record.deleted:
+            return frozenset()
+        return frozenset(record.labels)
+
+    def node_properties(self, node_id: int) -> dict[str, Any]:
+        """Property map of a node; deleted nodes report an empty map."""
+        record = self._node_record(node_id)
+        if record.deleted:
+            return {}
+        return record.properties
+
+    def node_is_deleted(self, node_id: int) -> bool:
+        """True if the node exists as a tombstone."""
+        return self._node_record(node_id).deleted
+
+    def rel_type(self, rel_id: int) -> str:
+        """Type of a relationship (kept even on tombstones)."""
+        return self._rel_record(rel_id).type
+
+    def rel_source(self, rel_id: int) -> int:
+        """Source node id of a relationship."""
+        return self._rel_record(rel_id).source
+
+    def rel_target(self, rel_id: int) -> int:
+        """Target node id of a relationship."""
+        return self._rel_record(rel_id).target
+
+    def rel_properties(self, rel_id: int) -> dict[str, Any]:
+        """Property map of a relationship; empty when deleted."""
+        record = self._rel_record(rel_id)
+        if record.deleted:
+            return {}
+        return record.properties
+
+    def rel_is_deleted(self, rel_id: int) -> bool:
+        """True if the relationship exists as a tombstone."""
+        return self._rel_record(rel_id).deleted
+
+    def has_node(self, node_id: int) -> bool:
+        """True if *node_id* refers to a live node."""
+        record = self._nodes.get(node_id)
+        return record is not None and not record.deleted
+
+    def has_relationship(self, rel_id: int) -> bool:
+        """True if *rel_id* refers to a live relationship."""
+        record = self._rels.get(rel_id)
+        return record is not None and not record.deleted
+
+    def node(self, node_id: int) -> Node:
+        """Handle for a node id (which must exist, possibly deleted)."""
+        self._node_record(node_id)
+        return Node(self, node_id)
+
+    def relationship(self, rel_id: int) -> Relationship:
+        """Handle for a relationship id (must exist, possibly deleted)."""
+        self._rel_record(rel_id)
+        return Relationship(self, rel_id)
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+
+    def nodes(self) -> Iterator[Node]:
+        """All live nodes, in id order (deterministic scans)."""
+        for node_id in sorted(self._nodes):
+            if not self._nodes[node_id].deleted:
+                yield Node(self, node_id)
+
+    def relationships(self) -> Iterator[Relationship]:
+        """All live relationships, in id order."""
+        for rel_id in sorted(self._rels):
+            if not self._rels[rel_id].deleted:
+                yield Relationship(self, rel_id)
+
+    def node_count(self) -> int:
+        """Number of live nodes."""
+        return sum(1 for r in self._nodes.values() if not r.deleted)
+
+    def relationship_count(self) -> int:
+        """Number of live relationships."""
+        return sum(1 for r in self._rels.values() if not r.deleted)
+
+    def nodes_with_label(self, label: str) -> frozenset[int]:
+        """Ids of live nodes carrying *label* (index-backed)."""
+        return self._label_index.nodes_with_label(label)
+
+    def out_relationships(self, node_id: int) -> frozenset[int]:
+        """Ids of live relationships whose source is *node_id*."""
+        rel_ids = self._out.get(node_id, ())
+        return frozenset(r for r in rel_ids if not self._rels[r].deleted)
+
+    def in_relationships(self, node_id: int) -> frozenset[int]:
+        """Ids of live relationships whose target is *node_id*."""
+        rel_ids = self._in.get(node_id, ())
+        return frozenset(r for r in rel_ids if not self._rels[r].deleted)
+
+    def _adjacency_add(
+        self, rel_id: int, rel_type: str, source: int, target: int
+    ) -> None:
+        self._out_by_type.setdefault(source, {}).setdefault(
+            rel_type, set()
+        ).add(rel_id)
+        self._in_by_type.setdefault(target, {}).setdefault(
+            rel_type, set()
+        ).add(rel_id)
+
+    def _adjacency_discard(
+        self, rel_id: int, rel_type: str, source: int, target: int
+    ) -> None:
+        self._out_by_type.get(source, {}).get(rel_type, set()).discard(rel_id)
+        self._in_by_type.get(target, {}).get(rel_type, set()).discard(rel_id)
+
+    def out_relationships_of_types(
+        self, node_id: int, types: tuple[str, ...]
+    ) -> frozenset[int]:
+        """Live outgoing relationships of *node_id* with a type in *types*."""
+        buckets = self._out_by_type.get(node_id, {})
+        result: set[int] = set()
+        for rel_type in types:
+            result |= buckets.get(rel_type, set())
+        return frozenset(result)
+
+    def in_relationships_of_types(
+        self, node_id: int, types: tuple[str, ...]
+    ) -> frozenset[int]:
+        """Live incoming relationships of *node_id* with a type in *types*."""
+        buckets = self._in_by_type.get(node_id, {})
+        result: set[int] = set()
+        for rel_type in types:
+            result |= buckets.get(rel_type, set())
+        return frozenset(result)
+
+    def degree(self, node_id: int) -> int:
+        """Number of live relationships attached to *node_id*."""
+        return len(self.out_relationships(node_id)) + len(
+            self.in_relationships(node_id)
+        )
+
+    # ------------------------------------------------------------------
+    # Journal
+    # ------------------------------------------------------------------
+
+    def mark(self) -> int:
+        """Return a journal position to later :meth:`rollback_to`."""
+        return len(self._journal)
+
+    def rollback_to(self, mark: int) -> None:
+        """Undo every mutation recorded after *mark*, newest first."""
+        while len(self._journal) > mark:
+            entry = self._journal.pop()
+            self._undo(entry)
+
+    def commit_to(self, mark: int) -> None:
+        """Forget undo information back to *mark* (keep the changes)."""
+        del self._journal[mark:]
+
+    def journal_length(self) -> int:
+        """Current journal size (diagnostics / tests)."""
+        return len(self._journal)
+
+    def _undo(self, entry: tuple) -> None:
+        op = entry[0]
+        if op == "node_created":
+            node_id = entry[1]
+            record = self._nodes.pop(node_id)
+            self._label_index.remove(node_id, record.labels)
+            self._deindex_node(node_id)
+            self._out.pop(node_id, None)
+            self._in.pop(node_id, None)
+        elif op == "rel_created":
+            rel_id = entry[1]
+            record = self._rels.pop(rel_id)
+            self._out.get(record.source, set()).discard(rel_id)
+            self._in.get(record.target, set()).discard(rel_id)
+            self._adjacency_discard(
+                rel_id, record.type, record.source, record.target
+            )
+        elif op == "node_deleted":
+            node_id = entry[1]
+            record = self._nodes[node_id]
+            record.deleted = False
+            self._label_index.add(node_id, record.labels)
+            self._reindex_node(node_id)
+        elif op == "rel_deleted":
+            rel_id = entry[1]
+            record = self._rels[rel_id]
+            record.deleted = False
+            self._out.setdefault(record.source, set()).add(rel_id)
+            self._in.setdefault(record.target, set()).add(rel_id)
+            self._adjacency_add(
+                rel_id, record.type, record.source, record.target
+            )
+        elif op == "label_added":
+            node_id, label = entry[1], entry[2]
+            record = self._nodes[node_id]
+            record.labels.discard(label)
+            self._label_index.remove(node_id, (label,))
+            self._reindex_node(node_id)
+        elif op == "label_removed":
+            node_id, label = entry[1], entry[2]
+            record = self._nodes[node_id]
+            record.labels.add(label)
+            self._label_index.add(node_id, (label,))
+            self._reindex_node(node_id)
+        elif op == "node_prop":
+            node_id, key, old = entry[1], entry[2], entry[3]
+            record = self._nodes[node_id]
+            if old is _MISSING:
+                record.properties.pop(key, None)
+            else:
+                record.properties[key] = old
+            self._reindex_node(node_id, only_key=key)
+        elif op == "rel_prop":
+            rel_id, key, old = entry[1], entry[2], entry[3]
+            record = self._rels[rel_id]
+            if old is _MISSING:
+                record.properties.pop(key, None)
+            else:
+                record.properties[key] = old
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"unknown journal op {op!r}")
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+
+    def create_node(
+        self,
+        labels: Iterable[str] = (),
+        properties: dict[str, Any] | None = None,
+    ) -> int:
+        """Create a node; returns its id."""
+        properties = dict(properties or {})
+        for key, value in properties.items():
+            require_storable(value, key)
+        mark = self.mark()
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        record = _NodeRecord(labels=set(labels), properties=properties)
+        self._nodes[node_id] = record
+        self._out[node_id] = set()
+        self._in[node_id] = set()
+        self._label_index.add(node_id, record.labels)
+        self._journal.append(("node_created", node_id))
+        self._reindex_node(node_id)
+        self._enforce_unique(node_id, mark)
+        return node_id
+
+    def create_relationship(
+        self,
+        rel_type: str,
+        source: int,
+        target: int,
+        properties: dict[str, Any] | None = None,
+    ) -> int:
+        """Create a relationship between two live nodes; returns its id."""
+        if not rel_type:
+            raise ConstraintViolationError(
+                "every relationship must have a type"
+            )
+        if not self.has_node(source):
+            raise EntityNotFoundError(
+                f"cannot create relationship: source node {source} "
+                f"does not exist or is deleted"
+            )
+        if not self.has_node(target):
+            raise EntityNotFoundError(
+                f"cannot create relationship: target node {target} "
+                f"does not exist or is deleted"
+            )
+        properties = dict(properties or {})
+        for key, value in properties.items():
+            require_storable(value, key)
+        rel_id = self._next_rel_id
+        self._next_rel_id += 1
+        self._rels[rel_id] = _RelRecord(
+            type=rel_type, source=source, target=target, properties=properties
+        )
+        self._out[source].add(rel_id)
+        self._in[target].add(rel_id)
+        self._adjacency_add(rel_id, rel_type, source, target)
+        self._journal.append(("rel_created", rel_id))
+        return rel_id
+
+    def delete_relationship(self, rel_id: int) -> None:
+        """Delete a relationship (idempotent on tombstones)."""
+        record = self._rel_record(rel_id)
+        if record.deleted:
+            return
+        record.deleted = True
+        self._out.get(record.source, set()).discard(rel_id)
+        self._in.get(record.target, set()).discard(rel_id)
+        self._adjacency_discard(rel_id, record.type, record.source, record.target)
+        self._journal.append(("rel_deleted", rel_id))
+
+    def delete_node(self, node_id: int, *, allow_dangling: bool = False) -> None:
+        """Delete a node.
+
+        With ``allow_dangling=False`` (the well-formed behaviour) the
+        node must have no live relationships; otherwise
+        :class:`DanglingRelationshipError` is raised.  With
+        ``allow_dangling=True`` (legacy emulation) the node is removed
+        even though relationships still point at it, producing exactly
+        the illegal intermediate state described in Section 4.2.
+        """
+        record = self._node_record(node_id)
+        if record.deleted:
+            return
+        attached = self.out_relationships(node_id) | self.in_relationships(
+            node_id
+        )
+        if attached and not allow_dangling:
+            raise DanglingRelationshipError(node_id, sorted(attached))
+        record.deleted = True
+        self._label_index.remove(node_id, record.labels)
+        self._deindex_node(node_id)
+        self._journal.append(("node_deleted", node_id))
+
+    def add_label(self, node_id: int, label: str) -> None:
+        """Add a label to a live node (no-op if already present)."""
+        record = self._require_live_node(node_id)
+        if label in record.labels:
+            return
+        mark = self.mark()
+        record.labels.add(label)
+        self._label_index.add(node_id, (label,))
+        self._journal.append(("label_added", node_id, label))
+        self._reindex_node(node_id)
+        self._enforce_unique(node_id, mark)
+
+    def remove_label(self, node_id: int, label: str) -> None:
+        """Remove a label from a live node (no-op if absent)."""
+        record = self._require_live_node(node_id)
+        if label not in record.labels:
+            return
+        record.labels.discard(label)
+        self._label_index.remove(node_id, (label,))
+        self._reindex_node(node_id)
+        self._journal.append(("label_removed", node_id, label))
+
+    def set_node_property(self, node_id: int, key: str, value: Any) -> None:
+        """Set (or, with value=None, remove) a node property."""
+        record = self._require_live_node(node_id)
+        old = record.properties.get(key, _MISSING)
+        if value is None:
+            if old is _MISSING:
+                return
+            del record.properties[key]
+        else:
+            require_storable(value, key)
+            record.properties[key] = value
+        mark = len(self._journal)
+        self._journal.append(("node_prop", node_id, key, old))
+        self._reindex_node(node_id, only_key=key)
+        self._enforce_unique(node_id, mark, only_key=key)
+
+    def set_rel_property(self, rel_id: int, key: str, value: Any) -> None:
+        """Set (or, with value=None, remove) a relationship property."""
+        record = self._rel_record(rel_id)
+        if record.deleted:
+            raise DeletedEntityError(
+                f"cannot set property on deleted relationship {rel_id}"
+            )
+        old = record.properties.get(key, _MISSING)
+        if value is None:
+            if old is _MISSING:
+                return
+            del record.properties[key]
+        else:
+            require_storable(value, key)
+            record.properties[key] = value
+        self._journal.append(("rel_prop", rel_id, key, old))
+
+    def _require_live_node(self, node_id: int) -> _NodeRecord:
+        record = self._node_record(node_id)
+        if record.deleted:
+            raise DeletedEntityError(
+                f"cannot modify deleted node {node_id}"
+            )
+        return record
+
+    # ------------------------------------------------------------------
+    # Property indexes
+    # ------------------------------------------------------------------
+
+    def create_index(self, label: str, key: str) -> PropertyIndex:
+        """Create (or return) a property index on ``:label(key)``."""
+        index = self._property_indexes.get((label, key))
+        if index is not None:
+            return index
+        index = PropertyIndex(label, key)
+        for node_id in self._label_index.nodes_with_label(label):
+            value = self._nodes[node_id].properties.get(key)
+            if value is not None:
+                index.add(node_id, value)
+        self._property_indexes[(label, key)] = index
+        return index
+
+    def drop_index(self, label: str, key: str) -> None:
+        """Drop a property index if it exists."""
+        self._property_indexes.pop((label, key), None)
+
+    def property_index(self, label: str, key: str) -> PropertyIndex | None:
+        """The index on ``:label(key)`` if one was created."""
+        return self._property_indexes.get((label, key))
+
+    def _reindex_node(self, node_id: int, only_key: str | None = None) -> None:
+        record = self._nodes.get(node_id)
+        if record is None or record.deleted:
+            self._deindex_node(node_id)
+            return
+        for (label, key), index in self._property_indexes.items():
+            if only_key is not None and key != only_key:
+                continue
+            if label in record.labels and key in record.properties:
+                index.add(node_id, record.properties[key])
+            else:
+                index.discard(node_id)
+
+    def _deindex_node(self, node_id: int) -> None:
+        for index in self._property_indexes.values():
+            index.discard(node_id)
+
+    # ------------------------------------------------------------------
+    # Uniqueness constraints
+    # ------------------------------------------------------------------
+
+    def create_unique_constraint(self, label: str, key: str) -> None:
+        """Require ``:label(key)`` values to be unique across live nodes.
+
+        Creates (or reuses) the backing property index, validates the
+        existing data, and from then on rejects any create / SET /
+        label addition that would introduce a duplicate.  Violations
+        raise :class:`ConstraintViolationError`; the offending mutation
+        is undone before raising, so a failed statement still rolls
+        back cleanly.
+        """
+        index = self.create_index(label, key)
+        duplicates = index.duplicate_buckets()
+        if duplicates:
+            worst = sorted(duplicates[0])
+            raise ConstraintViolationError(
+                f"cannot create uniqueness constraint on :{label}({key}): "
+                f"existing nodes {worst} share a value"
+            )
+        self._unique_constraints.add((label, key))
+
+    def drop_unique_constraint(self, label: str, key: str) -> None:
+        """Drop a uniqueness constraint (the index remains)."""
+        self._unique_constraints.discard((label, key))
+
+    def unique_constraints(self) -> frozenset[tuple[str, str]]:
+        """The active uniqueness constraints."""
+        return frozenset(self._unique_constraints)
+
+    def _enforce_unique(
+        self, node_id: int, mark: int, only_key: str | None = None
+    ) -> None:
+        record = self._nodes.get(node_id)
+        if record is None or record.deleted or not self._unique_constraints:
+            return
+        for label, key in self._unique_constraints:
+            if only_key is not None and key != only_key:
+                continue
+            if label not in record.labels or key not in record.properties:
+                continue
+            index = self._property_indexes[(label, key)]
+            bucket = index.bucket_of(node_id)
+            if len(bucket) > 1:
+                others = sorted(bucket - {node_id})
+                self.rollback_to(mark)
+                raise ConstraintViolationError(
+                    f"uniqueness constraint on :{label}({key}) violated: "
+                    f"node {node_id} duplicates node(s) {others}"
+                )
+
+    # ------------------------------------------------------------------
+    # Snapshots and copies
+    # ------------------------------------------------------------------
+
+    def snapshot(self, *, include_dangling: bool = True) -> GraphSnapshot:
+        """Immutable copy of the current graph.
+
+        Live relationships whose endpoints were deleted (legacy dangling
+        state) are included by default so that
+        :meth:`GraphSnapshot.has_dangling` can observe the illegal
+        state; pass ``include_dangling=False`` to project them away.
+        """
+        nodes = frozenset(
+            node_id
+            for node_id, record in self._nodes.items()
+            if not record.deleted
+        )
+        rel_ids = [
+            rel_id
+            for rel_id, record in self._rels.items()
+            if not record.deleted
+        ]
+        if not include_dangling:
+            rel_ids = [
+                rel_id
+                for rel_id in rel_ids
+                if self._rels[rel_id].source in nodes
+                and self._rels[rel_id].target in nodes
+            ]
+        return GraphSnapshot(
+            nodes=nodes,
+            relationships=frozenset(rel_ids),
+            source={r: self._rels[r].source for r in rel_ids},
+            target={r: self._rels[r].target for r in rel_ids},
+            labels={
+                n: frozenset(self._nodes[n].labels) for n in nodes
+            },
+            types={r: self._rels[r].type for r in rel_ids},
+            node_properties={
+                n: dict(self._nodes[n].properties) for n in nodes
+            },
+            rel_properties={
+                r: dict(self._rels[r].properties) for r in rel_ids
+            },
+        )
+
+    def copy(self) -> "GraphStore":
+        """Deep copy of the live graph (journal and tombstones dropped)."""
+        clone = GraphStore()
+        id_map: dict[int, int] = {}
+        for node in self.nodes():
+            id_map[node.id] = clone.create_node(
+                node.labels, dict(node.properties)
+            )
+        for rel in self.relationships():
+            source = id_map.get(rel.start.id)
+            target = id_map.get(rel.end.id)
+            if source is None or target is None:
+                continue  # dangling relationships are not copied
+            clone.create_relationship(
+                rel.type, source, target, dict(rel.properties)
+            )
+        clone.commit_to(0)
+        return clone
+
+    def load_snapshot(self, snapshot: GraphSnapshot) -> dict[int, int]:
+        """Append the contents of *snapshot* into this store.
+
+        Returns the node-id mapping from snapshot ids to new store ids.
+        """
+        id_map: dict[int, int] = {}
+        for node_id in sorted(snapshot.nodes):
+            id_map[node_id] = self.create_node(
+                snapshot.labels.get(node_id, frozenset()),
+                dict(snapshot.node_properties.get(node_id, {})),
+            )
+        for rel_id in sorted(snapshot.relationships):
+            source = id_map.get(snapshot.source[rel_id])
+            target = id_map.get(snapshot.target[rel_id])
+            if source is None or target is None:
+                continue
+            self.create_relationship(
+                snapshot.types[rel_id],
+                source,
+                target,
+                dict(snapshot.rel_properties.get(rel_id, {})),
+            )
+        return id_map
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphStore({self.node_count()} nodes, "
+            f"{self.relationship_count()} relationships)"
+        )

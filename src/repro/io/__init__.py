@@ -1,0 +1,16 @@
+"""Data import/export: CSV, JSON graphs, Cypher dump scripts."""
+
+from repro.io.csv_io import read_csv_rows, read_driving_table, write_csv
+from repro.io.cypher_script import dump_script, load_script, save_script
+from repro.io.graph_json import load_graph, save_graph
+
+__all__ = [
+    "dump_script",
+    "load_graph",
+    "load_script",
+    "read_csv_rows",
+    "read_driving_table",
+    "save_graph",
+    "save_script",
+    "write_csv",
+]

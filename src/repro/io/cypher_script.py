@@ -1,0 +1,147 @@
+"""Dump a graph as a Cypher CREATE script (and reload it).
+
+A portable, human-readable alternative to the JSON format: the dump is
+a sequence of ``CREATE`` statements any revised-dialect engine can
+replay.  Nodes are emitted first with a temporary ``_dump_id`` property
+used to reconnect relationships, which a final statement removes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.errors import LoadError
+from repro.graph.model import GraphSnapshot
+from repro.graph.store import GraphStore
+from repro.parser.unparse import _ident, _string  # canonical quoting
+
+
+def _literal(value: Any) -> str:
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, str):
+        return _string(value)
+    if isinstance(value, list):
+        return "[" + ", ".join(_literal(item) for item in value) + "]"
+    if isinstance(value, float):
+        text = repr(value)
+        return text if ("." in text or "e" in text or "E" in text) else text + ".0"
+    return repr(value)
+
+
+def _props(mapping: dict, extra: dict | None = None) -> str:
+    merged = dict(mapping)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ", ".join(
+        f"{_ident(key)}: {_literal(value)}"
+        for key, value in sorted(merged.items())
+    )
+    return f" {{{inner}}}"
+
+
+def dump_script(graph: GraphStore | GraphSnapshot) -> str:
+    """Render the graph as a replayable Cypher script."""
+    snapshot = graph.snapshot() if isinstance(graph, GraphStore) else graph
+    lines: list[str] = [
+        "// Cypher dump; replay with the revised dialect "
+        "(python -m repro script.cypher)"
+    ]
+    for node_id in sorted(snapshot.nodes):
+        labels = "".join(
+            f":{_ident(label)}"
+            for label in sorted(snapshot.labels.get(node_id, frozenset()))
+        )
+        props = _props(
+            dict(snapshot.node_properties.get(node_id, {})),
+            {"_dump_id": node_id},
+        )
+        lines.append(f"CREATE ({labels}{props});")
+    for rel_id in sorted(snapshot.relationships):
+        source = snapshot.source[rel_id]
+        target = snapshot.target[rel_id]
+        if source not in snapshot.nodes or target not in snapshot.nodes:
+            continue  # dangling (legacy state): not representable
+        props = _props(dict(snapshot.rel_properties.get(rel_id, {})))
+        lines.append(
+            f"MATCH (a {{_dump_id: {source}}}), (b {{_dump_id: {target}}}) "
+            f"CREATE (a)-[:{_ident(snapshot.types[rel_id])}{props}]->(b);"
+        )
+    lines.append("MATCH (n) REMOVE n._dump_id;")
+    return "\n".join(lines) + "\n"
+
+
+def save_script(graph: GraphStore | GraphSnapshot, path: str | Path) -> None:
+    """Write the CREATE script to *path*."""
+    try:
+        Path(path).write_text(dump_script(graph), encoding="utf-8")
+    except OSError as error:
+        raise LoadError(f"cannot write script {path}: {error}") from error
+
+
+def load_script(path: str | Path) -> GraphStore:
+    """Replay a script written by :func:`save_script` into a new store."""
+    from repro.session import Graph
+
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as error:
+        raise LoadError(f"cannot read script {path}: {error}") from error
+    graph = Graph("revised")
+    for statement in split_statements(text):
+        graph.run(statement)
+    graph.store.commit_to(0)
+    return graph.store
+
+
+def split_statements(text: str) -> list[str]:
+    """Split a script on top-level ``;`` (string/comment aware)."""
+    statements: list[str] = []
+    current: list[str] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char in "'\"`":
+            quote = char
+            current.append(char)
+            index += 1
+            while index < length:
+                current.append(text[index])
+                if text[index] == "\\" and quote != "`" and index + 1 < length:
+                    current.append(text[index + 1])
+                    index += 2
+                    continue
+                if text[index] == quote:
+                    index += 1
+                    break
+                index += 1
+            continue
+        if char == "/" and text[index : index + 2] == "//":
+            while index < length and text[index] != "\n":
+                index += 1
+            continue
+        if char == "/" and text[index : index + 2] == "/*":
+            end = text.find("*/", index + 2)
+            index = length if end == -1 else end + 2
+            continue
+        if char == ";":
+            statement = "".join(current).strip()
+            if statement:
+                statements.append(statement)
+            current = []
+            index += 1
+            continue
+        current.append(char)
+        index += 1
+    tail = "".join(current).strip()
+    if tail:
+        statements.append(tail)
+    return statements

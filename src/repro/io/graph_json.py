@@ -1,0 +1,86 @@
+"""JSON serialization of property graphs.
+
+A small, stable on-disk format so examples and users can persist and
+reload graphs::
+
+    {"nodes": [{"id": 0, "labels": ["User"], "properties": {...}}, ...],
+     "relationships": [{"id": 0, "type": "ORDERED", "start": 0,
+                        "end": 1, "properties": {...}}, ...]}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import LoadError
+from repro.graph.model import GraphSnapshot
+from repro.graph.store import GraphStore
+
+
+def graph_to_dict(graph: GraphStore | GraphSnapshot) -> dict:
+    """Plain-dict form of a graph (JSON-serializable)."""
+    snapshot = graph.snapshot() if isinstance(graph, GraphStore) else graph
+    return {
+        "nodes": [
+            {
+                "id": node_id,
+                "labels": sorted(snapshot.labels.get(node_id, frozenset())),
+                "properties": dict(
+                    snapshot.node_properties.get(node_id, {})
+                ),
+            }
+            for node_id in sorted(snapshot.nodes)
+        ],
+        "relationships": [
+            {
+                "id": rel_id,
+                "type": snapshot.types[rel_id],
+                "start": snapshot.source[rel_id],
+                "end": snapshot.target[rel_id],
+                "properties": dict(snapshot.rel_properties.get(rel_id, {})),
+            }
+            for rel_id in sorted(snapshot.relationships)
+        ],
+    }
+
+
+def dict_to_store(data: dict) -> GraphStore:
+    """Rebuild a store from :func:`graph_to_dict` output."""
+    store = GraphStore()
+    id_map: dict[int, int] = {}
+    try:
+        for node in data["nodes"]:
+            id_map[node["id"]] = store.create_node(
+                node.get("labels", ()), dict(node.get("properties", {}))
+            )
+        for rel in data["relationships"]:
+            store.create_relationship(
+                rel["type"],
+                id_map[rel["start"]],
+                id_map[rel["end"]],
+                dict(rel.get("properties", {})),
+            )
+    except (KeyError, TypeError) as error:
+        raise LoadError(f"malformed graph JSON: {error}") from error
+    store.commit_to(0)
+    return store
+
+
+def save_graph(graph: GraphStore | GraphSnapshot, path: str | Path) -> None:
+    """Write the graph to *path* as JSON."""
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(graph_to_dict(graph), handle, indent=2, sort_keys=True)
+    except OSError as error:
+        raise LoadError(f"cannot write graph JSON {path}: {error}") from error
+
+
+def load_graph(path: str | Path) -> GraphStore:
+    """Read a graph previously written by :func:`save_graph`."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise LoadError(f"cannot read graph JSON {path}: {error}") from error
+    return dict_to_store(data)

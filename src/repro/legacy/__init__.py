@@ -1,0 +1,1 @@
+"""Legacy Cypher 9 update semantics (Sections 3-4)."""

@@ -1,0 +1,264 @@
+"""The paper's concrete artifacts, encoded once.
+
+Every worked example in "Updating Graph Databases with Cypher" uses a
+specific input graph, driving table and statement.  This module encodes
+them all so the unit tests, the examples and the benchmark harness
+share a single source of truth:
+
+* :func:`figure1_graph` -- the marketplace graph of Figure 1 (solid
+  lines only; Queries 2 and 5 add the dotted/dashed parts);
+* ``QUERY_1`` ... ``QUERY_5`` -- the numbered statements of Sections
+  2-3;
+* :func:`example3_graph` / :func:`example3_table` + ``EXAMPLE_3_MERGE``
+  -- the nondeterministic MERGE scenario of Example 3 / Figure 6;
+* :func:`example5_table` + ``EXAMPLE_5_PATTERN`` -- the cid/pid/date
+  table of Example 5 / Figure 7;
+* :func:`example6_table` + ``EXAMPLE_6_PATTERN`` -- Example 6 /
+  Figure 8;
+* :func:`example7_graph_and_table` + ``EXAMPLE_7_PATTERN`` --
+  Example 7 / Figure 9;
+* ``FIGURE*_EXPECTED`` -- the (node count, relationship count) shapes
+  of every output graph figure.
+"""
+
+from __future__ import annotations
+
+from repro.graph.store import GraphStore
+from repro.runtime.table import DrivingTable
+
+# ---------------------------------------------------------------------------
+# Figure 1 (running example) and the numbered queries
+# ---------------------------------------------------------------------------
+
+QUERY_1 = (
+    "MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product) "
+    "WHERE p.name = 'laptop' RETURN v"
+)
+
+QUERY_2 = (
+    "MATCH (u:User{id:89}) "
+    "CREATE (u)-[:ORDERED]->(:New_Product{id:0})"
+)
+
+QUERY_3 = (
+    "MATCH (p:New_Product{id:0}) "
+    "SET p:Product, p.id=120, p.name='smartphone' "
+    "REMOVE p:New_Product"
+)
+
+QUERY_4 = "MATCH (p:Product{id:120}) DETACH DELETE p"
+
+QUERY_5 = "MATCH (p:Product) MERGE (p)<-[:OFFERS]-(v:Vendor) RETURN p, v"
+
+
+def figure1_graph() -> GraphStore:
+    """The solid-line graph of Figure 1.
+
+    Nodes: vendor v1, products p1-p3, users u1-u2.  Note that p1 and p2
+    deliberately share id 125 (the dirty-data premise of Example 2).
+    """
+    store = GraphStore()
+    v1 = store.create_node(("Vendor",), {"id": 60, "name": "cStore"})
+    p1 = store.create_node(("Product",), {"id": 125, "name": "laptop"})
+    p2 = store.create_node(("Product",), {"id": 125, "name": "notebook"})
+    p3 = store.create_node(("Product",), {"id": 85, "name": "tablet"})
+    u1 = store.create_node(("User",), {"id": 89, "name": "Bob"})
+    u2 = store.create_node(("User",), {"id": 99, "name": "Jane"})
+    store.create_relationship("OFFERS", v1, p1)
+    store.create_relationship("OFFERS", v1, p2)
+    store.create_relationship("ORDERED", u1, p1)
+    store.create_relationship("ORDERED", u1, p3)
+    store.create_relationship("ORDERED", u2, p2)
+    store.commit_to(0)
+    return store
+
+
+#: Shape of the Figure 1 solid-line graph.
+FIGURE_1_EXPECTED = (6, 5)
+
+# ---------------------------------------------------------------------------
+# Examples 1 and 2 (SET)
+# ---------------------------------------------------------------------------
+
+EXAMPLE_1_SWAP = (
+    "MATCH (p1:Product{name:'laptop'}), (p2:Product{name:'tablet'}) "
+    "SET p1.id = p2.id, p2.id = p1.id"
+)
+
+EXAMPLE_1_SEQUENTIAL = (
+    "MATCH (p1:Product{name:'laptop'}), (p2:Product{name:'tablet'}) "
+    "SET p1.id = p2.id SET p2.id = p1.id"
+)
+
+EXAMPLE_2_COPY_NAME = (
+    "MATCH (p1:Product{id:85}), (p2:Product{id:125}) "
+    "SET p1.name = p2.name"
+)
+
+# ---------------------------------------------------------------------------
+# Section 4.2 (DELETE anomaly)
+# ---------------------------------------------------------------------------
+
+SECTION_4_2_STATEMENT = (
+    "MATCH (user)-[order:ORDERED]->(product) "
+    "DELETE user "
+    "SET user.id = 999 "
+    "DELETE order "
+    "RETURN user"
+)
+
+
+def section_4_2_graph() -> GraphStore:
+    """One user ordering one product."""
+    store = GraphStore()
+    user = store.create_node(("User",), {"id": 89, "name": "Bob"})
+    product = store.create_node(("Product",), {"id": 125, "name": "laptop"})
+    store.create_relationship("ORDERED", user, product)
+    store.commit_to(0)
+    return store
+
+
+# ---------------------------------------------------------------------------
+# Example 3 / Figure 6 (MERGE nondeterminism)
+# ---------------------------------------------------------------------------
+
+EXAMPLE_3_MERGE = "MERGE (user)-[:ORDERED]->(product)<-[:OFFERS]-(vendor)"
+
+EXAMPLE_3_MERGE_ALL = (
+    "MERGE ALL (user)-[:ORDERED]->(product)<-[:OFFERS]-(vendor)"
+)
+
+EXAMPLE_3_MERGE_SAME = (
+    "MERGE SAME (user)-[:ORDERED]->(product)<-[:OFFERS]-(vendor)"
+)
+
+
+def example3_graph() -> GraphStore:
+    """Five relationship-less nodes: u1, u2, p, v1, v2."""
+    store = GraphStore()
+    for name, label in (
+        ("u1", "User"),
+        ("u2", "User"),
+        ("p", "Product"),
+        ("v1", "Vendor"),
+        ("v2", "Vendor"),
+    ):
+        store.create_node((label,), {"name": name})
+    store.commit_to(0)
+    return store
+
+
+def example3_table(store: GraphStore) -> DrivingTable:
+    """The three-row user/product/vendor table of Example 3."""
+    by_name = {
+        node.get("name"): node for node in store.nodes()
+    }
+    return DrivingTable(
+        ("user", "product", "vendor"),
+        [
+            {"user": by_name["u1"], "product": by_name["p"], "vendor": by_name["v1"]},
+            {"user": by_name["u2"], "product": by_name["p"], "vendor": by_name["v2"]},
+            {"user": by_name["u1"], "product": by_name["p"], "vendor": by_name["v2"]},
+        ],
+    )
+
+
+#: Figure 6a: all three instances created (6 relationships).
+FIGURE_6A_EXPECTED = (5, 6)
+#: Figure 6b: the third row's path matched after the first two (4 rels).
+FIGURE_6B_EXPECTED = (5, 4)
+
+# ---------------------------------------------------------------------------
+# Example 5 / Figure 7 (MERGE variants, duplicates and nulls)
+# ---------------------------------------------------------------------------
+
+EXAMPLE_5_PATTERN = "(:User{id:cid})-[:ORDERED]->(:Product{id:pid})"
+
+EXAMPLE_5_MERGE_ALL = "MERGE ALL " + EXAMPLE_5_PATTERN
+EXAMPLE_5_MERGE_SAME = "MERGE SAME " + EXAMPLE_5_PATTERN
+
+
+def example5_table() -> DrivingTable:
+    """The six-row cid/pid/date driving table of Example 5."""
+    return DrivingTable(
+        ("cid", "pid", "date"),
+        [
+            {"cid": 98, "pid": 125, "date": "2018-06-23"},
+            {"cid": 98, "pid": 125, "date": "2018-07-06"},
+            {"cid": 98, "pid": None, "date": None},
+            {"cid": 98, "pid": None, "date": None},
+            {"cid": 99, "pid": 125, "date": "2018-03-11"},
+            {"cid": 99, "pid": None, "date": None},
+        ],
+    )
+
+
+#: Figure 7a (Atomic): twelve nodes, six relationships.
+FIGURE_7A_EXPECTED = (12, 6)
+#: Figure 7b (Grouping): eight nodes, four relationships.
+FIGURE_7B_EXPECTED = (8, 4)
+#: Figure 7c (Weak/Collapse/Strong): four nodes, four relationships.
+FIGURE_7C_EXPECTED = (4, 4)
+
+# ---------------------------------------------------------------------------
+# Example 6 / Figure 8 (Weak Collapse vs Collapse)
+# ---------------------------------------------------------------------------
+
+EXAMPLE_6_PATTERN = (
+    "(:User{id:bid})-[:ORDERED]->(:Product{id:pid})<-[:OFFERS]-(:User{id:sid})"
+)
+
+
+def example6_table() -> DrivingTable:
+    """The two-row bid/pid/sid table of Example 6."""
+    return DrivingTable(
+        ("bid", "pid", "sid"),
+        [
+            {"bid": 98, "pid": 125, "sid": 97},
+            {"bid": 99, "pid": 85, "sid": 98},
+        ],
+    )
+
+
+#: Figure 8a (Atomic/Grouping/Weak): six nodes, four relationships.
+FIGURE_8A_EXPECTED = (6, 4)
+#: Figure 8b (Collapse/Strong): the two 98-users combine; five nodes.
+FIGURE_8B_EXPECTED = (5, 4)
+
+# ---------------------------------------------------------------------------
+# Example 7 / Figure 9 (Collapse vs Strong Collapse)
+# ---------------------------------------------------------------------------
+
+EXAMPLE_7_PATTERN = (
+    "(a)-[:TO]->(b)-[:TO]->(c)-[:TO]->(d)-[:TO]->(e)-[:BOUGHT]->(tgt)"
+)
+
+
+def example7_graph_and_table() -> tuple[GraphStore, DrivingTable]:
+    """Four product nodes plus the single click-trail row of Example 7."""
+    store = GraphStore()
+    products = {
+        name: store.node(store.create_node(("Product",), {"name": name}))
+        for name in ("p1", "p2", "p3", "p4")
+    }
+    store.commit_to(0)
+    table = DrivingTable(
+        ("a", "b", "c", "d", "e", "tgt"),
+        [
+            {
+                "a": products["p1"],
+                "b": products["p2"],
+                "c": products["p3"],
+                "d": products["p1"],
+                "e": products["p2"],
+                "tgt": products["p4"],
+            }
+        ],
+    )
+    return store, table
+
+
+#: Figure 9a (everything but Strong): 4 :TO + 1 :BOUGHT relationships.
+FIGURE_9A_EXPECTED = (4, 5)
+#: Figure 9b (Strong Collapse): the duplicated p1->p2 :TO edge collapses.
+FIGURE_9B_EXPECTED = (4, 4)

@@ -1,0 +1,5 @@
+"""Cypher front end: lexer, AST, parser, unparser."""
+
+from repro.parser.parser import parse, parse_expression
+
+__all__ = ["parse", "parse_expression"]

@@ -1,0 +1,252 @@
+"""Hand-written tokenizer for Cypher statements.
+
+Produces a flat list of :class:`Token` objects.  Notable choices:
+
+* Keywords are case-insensitive and lexed as ``KEYWORD`` tokens carrying
+  their canonical upper-case form; the parser freely treats keywords as
+  identifiers where the grammar allows (function names, property keys,
+  labels), mirroring how real Cypher lets you write ``n.count``.
+
+* ``<-`` and ``->`` are *not* composite tokens: the pattern parser
+  assembles arrows from ``<``, ``-``, ``>`` so that ``a < -b`` in
+  expression position still lexes naturally.  Multi-character operators
+  that are unambiguous (``<=``, ``>=``, ``<>``, ``+=``, ``..``) are
+  merged by the lexer.
+
+* Line comments ``//`` and block comments ``/* */`` are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CypherSyntaxError
+
+#: Canonical keyword set (upper-case).
+KEYWORDS = frozenset(
+    """
+    ALL AND AS ASC ASCENDING BY CASE CONTAINS CREATE CSV DELETE DESC
+    DESCENDING DETACH DISTINCT ELSE END ENDS EXISTS FALSE FIELDTERMINATOR
+    FOREACH FROM GROUPING HEADERS IN IS LIMIT LOAD MATCH MERGE NOT NULL
+    ON OPTIONAL OR ORDER REMOVE RETURN SAME SET SKIP STARTS THEN TRUE
+    UNION UNWIND WEAK WHEN WHERE WITH XOR STRONG COLLAPSE ATOMIC
+    ASSERT CONSTRAINT DROP INDEX UNIQUE
+    """.split()
+)
+
+#: Multi-character punctuation, longest first.
+_MULTI_CHAR = ("<=", ">=", "<>", "+=", "..", "=~")
+
+#: Single-character punctuation.
+_SINGLE_CHAR = set("()[]{},.:;|+-*/%^=<>$")
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "b": "\b",
+    "f": "\f",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based).
+
+    For keywords, ``value`` is the canonical upper-case form and
+    ``text`` the original spelling (needed when a *soft* keyword is
+    used as a variable name, e.g. the paper's ``order`` variable).
+    """
+
+    type: str  # IDENT | KEYWORD | INTEGER | FLOAT | STRING | PUNCT | EOF
+    value: str
+    line: int
+    column: int
+    text: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.text:
+            object.__setattr__(self, "text", self.value)
+
+    def is_keyword(self, *names: str) -> bool:
+        """True if this token is one of the given keywords."""
+        return self.type == "KEYWORD" and self.value in names
+
+    def is_punct(self, *symbols: str) -> bool:
+        """True if this token is one of the given punctuation symbols."""
+        return self.type == "PUNCT" and self.value in symbols
+
+    def __str__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"{self.type}({self.value!r})@{self.line}:{self.column}"
+
+
+class Lexer:
+    """Single-pass tokenizer over a statement string."""
+
+    def __init__(self, source: str):
+        self._source = source
+        self._length = len(source)
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> list[Token]:
+        """Tokenize the whole statement, appending a final EOF token."""
+        tokens: list[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self._pos >= self._length:
+                tokens.append(Token("EOF", "", self._line, self._column))
+                return tokens
+            tokens.append(self._next_token())
+
+    # ------------------------------------------------------------------
+
+    def _error(self, message: str) -> CypherSyntaxError:
+        return CypherSyntaxError(message, self._line, self._column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        return self._source[index] if index < self._length else ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self._source[self._pos : self._pos + count]
+        for char in text:
+            if char == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+        self._pos += count
+        return text
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self._pos < self._length:
+            char = self._peek()
+            if char.isspace():
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self._pos < self._length and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                start_line, start_col = self._line, self._column
+                self._advance(2)
+                while self._pos < self._length and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self._pos >= self._length:
+                    raise CypherSyntaxError(
+                        "unterminated block comment", start_line, start_col
+                    )
+                self._advance(2)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        line, column = self._line, self._column
+        char = self._peek()
+        if char.isdigit() or (char == "." and self._peek(1).isdigit()):
+            return self._lex_number(line, column)
+        if char.isalpha() or char == "_":
+            return self._lex_word(line, column)
+        if char in "'\"":
+            return self._lex_string(line, column)
+        if char == "`":
+            return self._lex_backtick(line, column)
+        for symbol in _MULTI_CHAR:
+            if self._source.startswith(symbol, self._pos):
+                # ``..`` must not swallow the dot of ``1.5``; the number
+                # branch above already claimed digit-led dots.
+                self._advance(len(symbol))
+                return Token("PUNCT", symbol, line, column)
+        if char in _SINGLE_CHAR:
+            self._advance()
+            return Token("PUNCT", char, line, column)
+        raise self._error(f"unexpected character {char!r}")
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self._pos
+        while self._peek().isdigit():
+            self._advance()
+        is_float = False
+        # A dot starts a fraction only if followed by a digit; this keeps
+        # ``n.prop`` and ``1..5`` (range) lexing correctly.
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self._source[start : self._pos]
+        return Token("FLOAT" if is_float else "INTEGER", text, line, column)
+
+    def _lex_word(self, line: int, column: int) -> Token:
+        start = self._pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self._source[start : self._pos]
+        upper = text.upper()
+        if upper in KEYWORDS:
+            return Token("KEYWORD", upper, line, column, text=text)
+        return Token("IDENT", text, line, column)
+
+    def _lex_string(self, line: int, column: int) -> Token:
+        quote = self._advance()
+        chars: list[str] = []
+        while True:
+            if self._pos >= self._length:
+                raise CypherSyntaxError("unterminated string", line, column)
+            char = self._advance()
+            if char == quote:
+                return Token("STRING", "".join(chars), line, column)
+            if char == "\\":
+                escape = self._advance()
+                if escape == "u":
+                    digits = self._advance(4)
+                    if len(digits) != 4 or not all(
+                        c in "0123456789abcdefABCDEF" for c in digits
+                    ):
+                        raise self._error("invalid \\u escape")
+                    chars.append(chr(int(digits, 16)))
+                elif escape in _ESCAPES:
+                    chars.append(_ESCAPES[escape])
+                else:
+                    raise self._error(f"invalid escape \\{escape}")
+            else:
+                chars.append(char)
+
+    def _lex_backtick(self, line: int, column: int) -> Token:
+        self._advance()  # opening backtick
+        chars: list[str] = []
+        while True:
+            if self._pos >= self._length:
+                raise CypherSyntaxError(
+                    "unterminated backtick identifier", line, column
+                )
+            char = self._advance()
+            if char == "`":
+                if self._peek() == "`":  # escaped backtick
+                    chars.append(self._advance())
+                    continue
+                if not chars:
+                    raise self._error("empty backtick identifier")
+                return Token("IDENT", "".join(chars), line, column)
+            chars.append(char)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source*, returning tokens ending with EOF."""
+    return Lexer(source).tokenize()

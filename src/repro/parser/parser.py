@@ -1,0 +1,1103 @@
+"""Recursive-descent parser for Cypher statements.
+
+The parser is *dialect-aware*, because the paper changes the grammar:
+
+* ``Dialect.CYPHER9`` implements Figures 2-5: a bare ``MERGE`` with a
+  single (possibly undirected) update pattern and optional ``ON CREATE
+  SET`` / ``ON MATCH SET`` actions; reading clauses may not directly
+  follow update clauses (a ``WITH`` is required in between).
+
+* ``Dialect.REVISED`` implements Figure 10: ``MERGE ALL`` and ``MERGE
+  SAME`` over tuples of *directed* update patterns, bare ``MERGE``
+  rejected, and reading/update clauses freely interleaved.
+
+Independently of dialect, ``extended_merge=True`` additionally accepts
+the three Section 6 proposals that did not ship (``MERGE GROUPING``,
+``MERGE WEAK COLLAPSE``, ``MERGE COLLAPSE``) plus the aliases
+``MERGE ATOMIC`` (= ALL) and ``MERGE STRONG COLLAPSE`` (= SAME), which
+the design-space benchmarks use.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dialect import Dialect
+from repro.errors import CypherSyntaxError, MergeSyntaxError
+from repro.parser import ast
+from repro.parser.lexer import Token, tokenize
+
+#: IDENT-spelled quantifier names (ALL is a keyword, handled separately).
+_QUANTIFIER_NAMES = {"ANY", "ALL", "NONE", "SINGLE"}
+
+#: Keywords that may double as variable names where unambiguous.  These
+#: never start a clause, never act as an operator, and never begin an
+#: expression, so accepting them as variables cannot change the parse
+#: of any other construct.  The paper itself relies on this: its
+#: Section 4.2 query binds a relationship to the variable ``order``.
+SOFT_VARIABLE_KEYWORDS = frozenset(
+    """
+    ASC ASCENDING ASSERT ATOMIC BY COLLAPSE CONSTRAINT CSV DESC
+    DESCENDING FIELDTERMINATOR FROM GROUPING HEADERS INDEX LIMIT ON
+    ORDER SAME SKIP STRONG UNIQUE WEAK
+    """.split()
+)
+
+
+def parse(
+    source: str,
+    dialect: Dialect = Dialect.REVISED,
+    *,
+    extended_merge: bool = False,
+) -> ast.Statement:
+    """Parse *source* into a :class:`repro.parser.ast.Statement`."""
+    return Parser(source, dialect, extended_merge=extended_merge).parse_statement()
+
+
+def parse_expression(source: str) -> ast.Expression:
+    """Parse a standalone expression (used by tests and the REPL tools)."""
+    parser = Parser(source, Dialect.REVISED)
+    expression = parser._parse_expression()
+    parser._expect_eof()
+    return expression
+
+
+class Parser:
+    """One-statement recursive-descent parser over a token list."""
+
+    def __init__(
+        self,
+        source: str,
+        dialect: Dialect = Dialect.REVISED,
+        *,
+        extended_merge: bool = False,
+    ):
+        self._source = source
+        self._dialect = dialect
+        self._extended_merge = extended_merge
+        self._tokens = tokenize(source)
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.type != "EOF":
+            self._index += 1
+        return token
+
+    def _save(self) -> int:
+        return self._index
+
+    def _restore(self, mark: int) -> None:
+        self._index = mark
+
+    def _error(self, message: str, token: Optional[Token] = None) -> CypherSyntaxError:
+        token = token or self._peek()
+        return CypherSyntaxError(message, token.line, token.column)
+
+    def _expect_punct(self, symbol: str) -> Token:
+        token = self._peek()
+        if not token.is_punct(symbol):
+            raise self._error(f"expected {symbol!r}, found {token.value!r}")
+        return self._advance()
+
+    def _expect_keyword(self, *names: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(*names):
+            expected = " or ".join(names)
+            raise self._error(f"expected {expected}, found {token.value!r}")
+        return self._advance()
+
+    def _accept_punct(self, symbol: str) -> bool:
+        if self._peek().is_punct(symbol):
+            self._advance()
+            return True
+        return False
+
+    def _accept_keyword(self, *names: str) -> bool:
+        if self._peek().is_keyword(*names):
+            self._advance()
+            return True
+        return False
+
+    def _expect_eof(self) -> None:
+        token = self._peek()
+        if token.type != "EOF" and not token.is_punct(";"):
+            raise self._error(f"unexpected input {token.value!r}")
+
+    def _expect_name(self, what: str = "identifier") -> str:
+        """Consume an identifier (keywords allowed for schema names).
+
+        Returns the original spelling, so a label ``:Order`` stays
+        ``Order`` even though ORDER is a keyword.
+        """
+        token = self._peek()
+        if token.type in ("IDENT", "KEYWORD"):
+            self._advance()
+            return token.text
+        raise self._error(f"expected {what}, found {token.value!r}")
+
+    def _is_variable_token(self, token: Token) -> bool:
+        """True if *token* may serve as a variable name here."""
+        return token.type == "IDENT" or (
+            token.type == "KEYWORD" and token.value in SOFT_VARIABLE_KEYWORDS
+        )
+
+    def _expect_variable_name(self) -> str:
+        """Consume a variable name (soft keywords allowed)."""
+        token = self._peek()
+        if self._is_variable_token(token):
+            self._advance()
+            return token.text
+        raise self._error(f"expected a variable name, found {token.value!r}")
+
+    # ------------------------------------------------------------------
+    # Statements, queries, clause sequences
+    # ------------------------------------------------------------------
+
+    def parse_statement(self) -> "ast.Statement | ast.SchemaStatement":
+        """Parse a statement: a query, UNION chain, or schema command."""
+        schema = self._try_parse_schema_statement()
+        if schema is not None:
+            return schema
+        query: ast.Query = self._parse_single_query()
+        while self._peek().is_keyword("UNION"):
+            self._advance()
+            is_all = self._accept_keyword("ALL")
+            right = self._parse_single_query()
+            query = ast.UnionQuery(left=query, right=right, all=is_all)
+        self._accept_punct(";")
+        self._expect_eof()
+        statement = ast.Statement(query=query, source=self._source)
+        self._validate_statement(statement)
+        return statement
+
+    def _try_parse_schema_statement(self) -> Optional[ast.SchemaStatement]:
+        """Parse CREATE/DROP INDEX/CONSTRAINT commands, if present.
+
+        Grammar (shared by both dialects)::
+
+            CREATE INDEX ON :Label(key)
+            DROP INDEX ON :Label(key)
+            CREATE CONSTRAINT ON (n:Label) ASSERT n.key IS UNIQUE
+            DROP CONSTRAINT ON (n:Label) ASSERT n.key IS UNIQUE
+        """
+        token = self._peek()
+        if not token.is_keyword("CREATE", "DROP"):
+            return None
+        follower = self._peek(1)
+        if not follower.is_keyword("INDEX", "CONSTRAINT"):
+            return None
+        action = "create" if token.value == "CREATE" else "drop"
+        self._advance()  # CREATE / DROP
+        what = self._advance().value  # INDEX / CONSTRAINT
+        self._expect_keyword("ON")
+        if what == "INDEX":
+            self._expect_punct(":")
+            label = self._expect_name("label")
+            self._expect_punct("(")
+            key = self._expect_name("property key")
+            self._expect_punct(")")
+            kind = f"{action}_index"
+        else:
+            self._expect_punct("(")
+            variable = self._expect_variable_name()
+            self._expect_punct(":")
+            label = self._expect_name("label")
+            self._expect_punct(")")
+            self._expect_keyword("ASSERT")
+            bound = self._expect_variable_name()
+            if bound != variable:
+                raise self._error(
+                    f"constraint must assert on '{variable}', "
+                    f"found '{bound}'"
+                )
+            self._expect_punct(".")
+            key = self._expect_name("property key")
+            self._expect_keyword("IS")
+            self._expect_keyword("UNIQUE")
+            kind = f"{action}_unique_constraint"
+        self._accept_punct(";")
+        self._expect_eof()
+        return ast.SchemaStatement(
+            kind=kind, label=label, key=key, source=self._source
+        )
+
+    def _parse_single_query(self) -> ast.SingleQuery:
+        clauses: list[ast.Clause] = []
+        while True:
+            clause = self._parse_clause()
+            if clause is None:
+                break
+            clauses.append(clause)
+            if isinstance(clause, ast.ReturnClause):
+                break
+        if not clauses:
+            raise self._error("expected a clause")
+        return ast.SingleQuery(clauses=tuple(clauses))
+
+    def _parse_clause(self) -> Optional[ast.Clause]:
+        token = self._peek()
+        if token.type != "KEYWORD":
+            return None
+        keyword = token.value
+        if keyword in ("MATCH", "OPTIONAL"):
+            return self._parse_match()
+        if keyword == "UNWIND":
+            return self._parse_unwind()
+        if keyword == "WITH":
+            return self._parse_with()
+        if keyword == "RETURN":
+            return self._parse_return()
+        if keyword == "CREATE":
+            return self._parse_create()
+        if keyword in ("DELETE", "DETACH"):
+            return self._parse_delete()
+        if keyword == "SET":
+            return self._parse_set()
+        if keyword == "REMOVE":
+            return self._parse_remove()
+        if keyword == "MERGE":
+            return self._parse_merge()
+        if keyword == "FOREACH":
+            return self._parse_foreach()
+        if keyword == "LOAD":
+            return self._parse_load_csv()
+        return None
+
+    # ------------------------------------------------------------------
+    # Reading clauses
+    # ------------------------------------------------------------------
+
+    def _parse_match(self) -> ast.MatchClause:
+        optional = self._accept_keyword("OPTIONAL")
+        self._expect_keyword("MATCH")
+        pattern = self._parse_pattern()
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._parse_expression()
+        return ast.MatchClause(pattern=pattern, optional=optional, where=where)
+
+    def _parse_unwind(self) -> ast.UnwindClause:
+        self._expect_keyword("UNWIND")
+        expression = self._parse_expression()
+        self._expect_keyword("AS")
+        variable = self._expect_variable_name()
+        return ast.UnwindClause(expression=expression, variable=variable)
+
+    def _parse_with(self) -> ast.WithClause:
+        self._expect_keyword("WITH")
+        body = self._parse_projection_body()
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._parse_expression()
+        return ast.WithClause(body=body, where=where)
+
+    def _parse_return(self) -> ast.ReturnClause:
+        self._expect_keyword("RETURN")
+        return ast.ReturnClause(body=self._parse_projection_body())
+
+    def _parse_load_csv(self) -> ast.LoadCsvClause:
+        self._expect_keyword("LOAD")
+        self._expect_keyword("CSV")
+        with_headers = False
+        if self._accept_keyword("WITH"):
+            self._expect_keyword("HEADERS")
+            with_headers = True
+        self._expect_keyword("FROM")
+        source = self._parse_expression()
+        self._expect_keyword("AS")
+        variable = self._expect_variable_name()
+        terminator = None
+        if self._accept_keyword("FIELDTERMINATOR"):
+            token = self._peek()
+            if token.type != "STRING":
+                raise self._error("FIELDTERMINATOR expects a string literal")
+            self._advance()
+            terminator = token.value
+        return ast.LoadCsvClause(
+            source=source,
+            variable=variable,
+            with_headers=with_headers,
+            field_terminator=terminator,
+        )
+
+    def _parse_projection_body(self) -> ast.ProjectionBody:
+        distinct = self._accept_keyword("DISTINCT")
+        include_existing = False
+        items: list[ast.ProjectionItem] = []
+        if self._accept_punct("*"):
+            include_existing = True
+            if self._accept_punct(","):
+                items = self._parse_projection_items()
+        else:
+            items = self._parse_projection_items()
+        order_by: tuple[ast.SortItem, ...] = ()
+        if self._peek().is_keyword("ORDER"):
+            self._advance()
+            self._expect_keyword("BY")
+            sort_items = [self._parse_sort_item()]
+            while self._accept_punct(","):
+                sort_items.append(self._parse_sort_item())
+            order_by = tuple(sort_items)
+        skip = None
+        if self._accept_keyword("SKIP"):
+            skip = self._parse_expression()
+        limit = None
+        if self._accept_keyword("LIMIT"):
+            limit = self._parse_expression()
+        return ast.ProjectionBody(
+            items=tuple(items),
+            include_existing=include_existing,
+            distinct=distinct,
+            order_by=order_by,
+            skip=skip,
+            limit=limit,
+        )
+
+    def _parse_projection_items(self) -> list[ast.ProjectionItem]:
+        items = [self._parse_projection_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_projection_item())
+        return items
+
+    def _parse_projection_item(self) -> ast.ProjectionItem:
+        expression = self._parse_expression()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_name("alias")
+        return ast.ProjectionItem(expression=expression, alias=alias)
+
+    def _parse_sort_item(self) -> ast.SortItem:
+        expression = self._parse_expression()
+        ascending = True
+        if self._accept_keyword("DESC", "DESCENDING"):
+            ascending = False
+        else:
+            self._accept_keyword("ASC", "ASCENDING")
+        return ast.SortItem(expression=expression, ascending=ascending)
+
+    # ------------------------------------------------------------------
+    # Update clauses
+    # ------------------------------------------------------------------
+
+    def _parse_create(self) -> ast.CreateClause:
+        self._expect_keyword("CREATE")
+        pattern = self._parse_pattern()
+        self._validate_update_pattern(pattern, "CREATE", require_directed=True)
+        return ast.CreateClause(pattern=pattern)
+
+    def _parse_delete(self) -> ast.DeleteClause:
+        detach = self._accept_keyword("DETACH")
+        self._expect_keyword("DELETE")
+        expressions = [self._parse_expression()]
+        while self._accept_punct(","):
+            expressions.append(self._parse_expression())
+        return ast.DeleteClause(expressions=tuple(expressions), detach=detach)
+
+    def _parse_set(self) -> ast.SetClause:
+        self._expect_keyword("SET")
+        items = [self._parse_set_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_set_item())
+        return ast.SetClause(items=tuple(items))
+
+    def _parse_set_item(self) -> ast.SetItem:
+        target = self._parse_set_target()
+        token = self._peek()
+        if token.is_punct(":"):
+            if not isinstance(target, ast.Variable):
+                raise self._error("labels can only be set on a variable")
+            labels = self._parse_label_list()
+            return ast.SetLabels(target=target, labels=labels)
+        if token.is_punct("+="):
+            self._advance()
+            value = self._parse_expression()
+            return ast.SetAdditiveProperties(target=target, value=value)
+        if token.is_punct("="):
+            self._advance()
+            value = self._parse_expression()
+            if isinstance(target, ast.Property):
+                return ast.SetProperty(target=target, value=value)
+            return ast.SetAllProperties(target=target, value=value)
+        raise self._error("expected ':', '=' or '+=' in SET item")
+
+    def _parse_set_target(self) -> ast.Expression:
+        """Parse the left side of a SET/REMOVE item.
+
+        Restricted to variable + property/subscript chains so the ``=``
+        that follows is not mistaken for the comparison operator.
+        """
+        expression: ast.Expression = ast.Variable(self._expect_variable_name())
+        while True:
+            if self._peek().is_punct("."):
+                self._advance()
+                key = self._expect_name("property key")
+                expression = ast.Property(subject=expression, key=key)
+            else:
+                return expression
+
+    def _parse_remove(self) -> ast.RemoveClause:
+        self._expect_keyword("REMOVE")
+        items = [self._parse_remove_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_remove_item())
+        return ast.RemoveClause(items=tuple(items))
+
+    def _parse_remove_item(self) -> ast.RemoveItem:
+        target = self._parse_set_target()
+        if self._peek().is_punct(":"):
+            if not isinstance(target, ast.Variable):
+                raise self._error("labels can only be removed from a variable")
+            labels = self._parse_label_list()
+            return ast.RemoveLabels(target=target, labels=labels)
+        if isinstance(target, ast.Property):
+            return ast.RemoveProperty(target=target)
+        raise self._error("REMOVE item must be a property or a label list")
+
+    def _parse_label_list(self) -> tuple[str, ...]:
+        labels: list[str] = []
+        while self._accept_punct(":"):
+            labels.append(self._expect_name("label"))
+        if not labels:
+            raise self._error("expected a label list")
+        return tuple(labels)
+
+    def _parse_merge(self) -> ast.MergeClause:
+        merge_token = self._peek()
+        self._expect_keyword("MERGE")
+        semantics = self._parse_merge_semantics(merge_token)
+        if semantics == ast.MERGE_LEGACY:
+            pattern = ast.Pattern(paths=(self._parse_path_pattern(),))
+            self._validate_update_pattern(
+                pattern, "MERGE", require_directed=False
+            )
+            on_create: tuple[ast.SetItem, ...] = ()
+            on_match: tuple[ast.SetItem, ...] = ()
+            while self._peek().is_keyword("ON"):
+                self._advance()
+                event = self._expect_keyword("CREATE", "MATCH")
+                set_clause = self._parse_set()
+                if event.value == "CREATE":
+                    on_create = on_create + set_clause.items
+                else:
+                    on_match = on_match + set_clause.items
+            return ast.MergeClause(
+                pattern=pattern,
+                semantics=semantics,
+                on_create=on_create,
+                on_match=on_match,
+            )
+        pattern = self._parse_pattern()
+        self._validate_update_pattern(pattern, "MERGE", require_directed=True)
+        if self._peek().is_keyword("ON"):
+            raise MergeSyntaxError(
+                "ON CREATE / ON MATCH are not part of the revised MERGE",
+                self._peek().line,
+                self._peek().column,
+            )
+        return ast.MergeClause(pattern=pattern, semantics=semantics)
+
+    def _parse_merge_semantics(self, merge_token: Token) -> str:
+        """Determine which MERGE variant is being requested.
+
+        Dialect rules (Section 7): Cypher 9 only accepts the bare
+        MERGE; the revised dialect only accepts ``MERGE ALL`` and
+        ``MERGE SAME``.  With ``extended_merge`` the remaining Section 6
+        proposals are also recognised in the revised dialect.
+        """
+        token = self._peek()
+        selected: Optional[str] = None
+        extended = False
+        if token.is_keyword("ALL"):
+            self._advance()
+            selected = ast.MERGE_ALL
+        elif token.is_keyword("SAME"):
+            self._advance()
+            selected = ast.MERGE_SAME
+        elif token.is_keyword("ATOMIC"):
+            self._advance()
+            selected, extended = ast.MERGE_ALL, True
+        elif token.is_keyword("GROUPING"):
+            self._advance()
+            selected, extended = ast.MERGE_GROUPING, True
+        elif token.is_keyword("WEAK"):
+            self._advance()
+            self._expect_keyword("COLLAPSE")
+            selected, extended = ast.MERGE_WEAK_COLLAPSE, True
+        elif token.is_keyword("STRONG"):
+            self._advance()
+            self._expect_keyword("COLLAPSE")
+            selected, extended = ast.MERGE_SAME, True
+        elif token.is_keyword("COLLAPSE"):
+            self._advance()
+            selected, extended = ast.MERGE_COLLAPSE, True
+
+        if selected is None:
+            if self._dialect is Dialect.REVISED:
+                raise MergeSyntaxError(
+                    "bare MERGE is not allowed in the revised dialect; "
+                    "use MERGE ALL or MERGE SAME",
+                    merge_token.line,
+                    merge_token.column,
+                )
+            return ast.MERGE_LEGACY
+        if self._dialect is Dialect.CYPHER9:
+            raise MergeSyntaxError(
+                f"MERGE {token.value} is not Cypher 9 syntax",
+                token.line,
+                token.column,
+            )
+        if extended and not self._extended_merge:
+            raise MergeSyntaxError(
+                f"MERGE {token.value} requires extended_merge=True "
+                "(experimental Section 6 proposals)",
+                token.line,
+                token.column,
+            )
+        return selected
+
+    def _parse_foreach(self) -> ast.ForeachClause:
+        self._expect_keyword("FOREACH")
+        self._expect_punct("(")
+        variable = self._expect_variable_name()
+        self._expect_keyword("IN")
+        source = self._parse_expression()
+        self._expect_punct("|")
+        updates: list[ast.Clause] = []
+        while not self._peek().is_punct(")"):
+            clause = self._parse_clause()
+            if clause is None:
+                raise self._error("expected an update clause in FOREACH")
+            if not ast.is_update_clause(clause):
+                raise self._error("FOREACH may only contain update clauses")
+            updates.append(clause)
+        self._expect_punct(")")
+        if not updates:
+            raise self._error("FOREACH requires at least one update clause")
+        return ast.ForeachClause(
+            variable=variable, source=source, updates=tuple(updates)
+        )
+
+    # ------------------------------------------------------------------
+    # Patterns
+    # ------------------------------------------------------------------
+
+    def _parse_pattern(self) -> ast.Pattern:
+        paths = [self._parse_path_pattern()]
+        while self._accept_punct(","):
+            paths.append(self._parse_path_pattern())
+        return ast.Pattern(paths=tuple(paths))
+
+    def _parse_path_pattern(self) -> ast.PathPattern:
+        variable = None
+        if self._is_variable_token(self._peek()) and self._peek(1).is_punct(
+            "="
+        ):
+            variable = self._advance().text
+            self._advance()  # '='
+        elements: list = [self._parse_node_pattern()]
+        while self._peek().is_punct("<", "-"):
+            elements.append(self._parse_relationship_pattern())
+            elements.append(self._parse_node_pattern())
+        return ast.PathPattern(variable=variable, elements=tuple(elements))
+
+    def _parse_node_pattern(self) -> ast.NodePattern:
+        self._expect_punct("(")
+        variable = None
+        if self._is_variable_token(self._peek()):
+            variable = self._advance().text
+        labels: tuple[str, ...] = ()
+        if self._peek().is_punct(":"):
+            labels = self._parse_label_list()
+        properties = None
+        if self._peek().is_punct("{"):
+            properties = self._parse_map_literal()
+        self._expect_punct(")")
+        return ast.NodePattern(
+            variable=variable, labels=labels, properties=properties
+        )
+
+    def _parse_relationship_pattern(self) -> ast.RelationshipPattern:
+        points_left = False
+        if self._accept_punct("<"):
+            points_left = True
+        self._expect_punct("-")
+        variable = None
+        types: tuple[str, ...] = ()
+        properties = None
+        var_length = None
+        if self._accept_punct("["):
+            if self._is_variable_token(self._peek()):
+                variable = self._advance().text
+            if self._peek().is_punct(":"):
+                types = self._parse_type_list()
+            if self._peek().is_punct("*"):
+                var_length = self._parse_var_length()
+            if self._peek().is_punct("{"):
+                properties = self._parse_map_literal()
+            self._expect_punct("]")
+        self._expect_punct("-")
+        points_right = self._accept_punct(">")
+        if points_left and points_right:
+            raise self._error("a relationship pattern cannot point both ways")
+        if points_left:
+            direction = ast.IN
+        elif points_right:
+            direction = ast.OUT
+        else:
+            direction = ast.BOTH
+        return ast.RelationshipPattern(
+            variable=variable,
+            types=types,
+            properties=properties,
+            direction=direction,
+            var_length=var_length,
+        )
+
+    def _parse_type_list(self) -> tuple[str, ...]:
+        self._expect_punct(":")
+        types = [self._expect_name("relationship type")]
+        while self._accept_punct("|"):
+            self._accept_punct(":")  # tolerate the `|:TYPE` spelling
+            types.append(self._expect_name("relationship type"))
+        return tuple(types)
+
+    def _parse_var_length(self) -> tuple[Optional[int], Optional[int]]:
+        self._expect_punct("*")
+        lower: Optional[int] = None
+        upper: Optional[int] = None
+        if self._peek().type == "INTEGER":
+            lower = int(self._advance().value)
+        if self._accept_punct(".."):
+            if self._peek().type == "INTEGER":
+                upper = int(self._advance().value)
+        else:
+            # `*n` fixes both bounds; bare `*` leaves both open.
+            upper = lower
+        return (lower, upper)
+
+    def _parse_map_literal(self) -> ast.MapLiteral:
+        self._expect_punct("{")
+        items: list[tuple[str, ast.Expression]] = []
+        if not self._peek().is_punct("}"):
+            while True:
+                key = self._expect_name("property key")
+                self._expect_punct(":")
+                items.append((key, self._parse_expression()))
+                if not self._accept_punct(","):
+                    break
+        self._expect_punct("}")
+        return ast.MapLiteral(items=tuple(items))
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expression:
+        left = self._parse_xor()
+        while self._peek().is_keyword("OR"):
+            self._advance()
+            left = ast.Binary("OR", left, self._parse_xor())
+        return left
+
+    def _parse_xor(self) -> ast.Expression:
+        left = self._parse_and()
+        while self._peek().is_keyword("XOR"):
+            self._advance()
+            left = ast.Binary("XOR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expression:
+        left = self._parse_not()
+        while self._peek().is_keyword("AND"):
+            self._advance()
+            left = ast.Binary("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.Expression:
+        if self._accept_keyword("NOT"):
+            return ast.Unary("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    _COMPARISON_OPS = ("=", "<>", "<=", ">=", "<", ">")
+
+    def _parse_comparison(self) -> ast.Expression:
+        left = self._parse_predicated()
+        comparisons: list[ast.Expression] = []
+        while self._peek().is_punct(*self._COMPARISON_OPS):
+            operator = self._advance().value
+            right = self._parse_predicated()
+            comparisons.append(ast.Binary(operator, left, right))
+            left = right
+        if not comparisons:
+            return left
+        # Chained comparisons (a < b < c) are the conjunction of the
+        # pairwise comparisons, as in openCypher.
+        result = comparisons[0]
+        for comparison in comparisons[1:]:
+            result = ast.Binary("AND", result, comparison)
+        return result
+
+    def _parse_predicated(self) -> ast.Expression:
+        """Additive expression plus the postfix predicates.
+
+        IN, STARTS WITH, ENDS WITH, CONTAINS and IS [NOT] NULL bind
+        tighter than comparison, looser than arithmetic.
+        """
+        expression = self._parse_add_sub()
+        while True:
+            token = self._peek()
+            if token.is_keyword("IN"):
+                self._advance()
+                expression = ast.Binary("IN", expression, self._parse_add_sub())
+            elif token.is_keyword("STARTS"):
+                self._advance()
+                self._expect_keyword("WITH")
+                expression = ast.Binary(
+                    "STARTS WITH", expression, self._parse_add_sub()
+                )
+            elif token.is_keyword("ENDS"):
+                self._advance()
+                self._expect_keyword("WITH")
+                expression = ast.Binary(
+                    "ENDS WITH", expression, self._parse_add_sub()
+                )
+            elif token.is_keyword("CONTAINS"):
+                self._advance()
+                expression = ast.Binary(
+                    "CONTAINS", expression, self._parse_add_sub()
+                )
+            elif token.is_keyword("IS"):
+                self._advance()
+                negated = self._accept_keyword("NOT")
+                self._expect_keyword("NULL")
+                expression = ast.IsNull(operand=expression, negated=negated)
+            else:
+                return expression
+
+    def _parse_add_sub(self) -> ast.Expression:
+        left = self._parse_mul_div()
+        while self._peek().is_punct("+", "-"):
+            operator = self._advance().value
+            left = ast.Binary(operator, left, self._parse_mul_div())
+        return left
+
+    def _parse_mul_div(self) -> ast.Expression:
+        left = self._parse_power()
+        while self._peek().is_punct("*", "/", "%"):
+            operator = self._advance().value
+            left = ast.Binary(operator, left, self._parse_power())
+        return left
+
+    def _parse_power(self) -> ast.Expression:
+        left = self._parse_unary()
+        if self._peek().is_punct("^"):
+            self._advance()
+            # right-associative
+            return ast.Binary("^", left, self._parse_power())
+        return left
+
+    def _parse_unary(self) -> ast.Expression:
+        if self._peek().is_punct("-"):
+            self._advance()
+            return ast.Unary("-", self._parse_unary())
+        if self._peek().is_punct("+"):
+            self._advance()
+            return ast.Unary("+", self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expression:
+        expression = self._parse_atom()
+        while True:
+            token = self._peek()
+            if token.is_punct("."):
+                self._advance()
+                key = self._expect_name("property key")
+                expression = ast.Property(subject=expression, key=key)
+            elif token.is_punct("["):
+                self._advance()
+                expression = self._parse_subscript_or_slice(expression)
+            elif token.is_punct(":") and self._peek(1).type in (
+                "IDENT",
+                "KEYWORD",
+            ):
+                labels = self._parse_label_list()
+                expression = ast.HasLabels(subject=expression, labels=labels)
+            else:
+                return expression
+
+    def _parse_subscript_or_slice(
+        self, subject: ast.Expression
+    ) -> ast.Expression:
+        start: Optional[ast.Expression] = None
+        if not self._peek().is_punct(".."):
+            start = self._parse_expression()
+        if self._accept_punct(".."):
+            end: Optional[ast.Expression] = None
+            if not self._peek().is_punct("]"):
+                end = self._parse_expression()
+            self._expect_punct("]")
+            return ast.Slice(subject=subject, start=start, end=end)
+        self._expect_punct("]")
+        if start is None:
+            raise self._error("empty subscript")
+        return ast.Subscript(subject=subject, index=start)
+
+    def _parse_atom(self) -> ast.Expression:
+        token = self._peek()
+        if token.type == "INTEGER":
+            self._advance()
+            return ast.Literal(int(token.value))
+        if token.type == "FLOAT":
+            self._advance()
+            return ast.Literal(float(token.value))
+        if token.type == "STRING":
+            self._advance()
+            return ast.Literal(token.value)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return ast.Literal(False)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return ast.Literal(None)
+        if token.is_punct("$"):
+            self._advance()
+            return ast.Parameter(self._expect_name("parameter name"))
+        if token.is_punct("["):
+            return self._parse_list_atom()
+        if token.is_punct("{"):
+            return self._parse_map_literal()
+        if token.is_keyword("CASE"):
+            return self._parse_case()
+        if token.is_keyword("EXISTS"):
+            return self._parse_exists()
+        if token.is_punct("("):
+            return self._parse_paren_or_pattern()
+        if token.type == "IDENT" or token.type == "KEYWORD":
+            return self._parse_name_atom()
+        raise self._error(f"unexpected token {token.value!r} in expression")
+
+    def _parse_name_atom(self) -> ast.Expression:
+        token = self._peek()
+        name = token.value
+        upper = name.upper()
+        if self._peek(1).is_punct("("):
+            if upper in _QUANTIFIER_NAMES:
+                quantifier = self._try_parse_quantifier(upper.lower())
+                if quantifier is not None:
+                    return quantifier
+            if upper == "COUNT" and self._peek(2).is_punct("*"):
+                self._advance()  # name
+                self._advance()  # (
+                self._expect_punct("*")
+                self._expect_punct(")")
+                return ast.CountStar()
+            return self._parse_function_call()
+        if token.type == "KEYWORD":
+            if token.value in SOFT_VARIABLE_KEYWORDS:
+                self._advance()
+                return ast.Variable(token.text)
+            raise self._error(f"unexpected keyword {name!r} in expression")
+        self._advance()
+        return ast.Variable(name)
+
+    def _try_parse_quantifier(self, kind: str) -> Optional[ast.Expression]:
+        mark = self._save()
+        self._advance()  # quantifier name
+        self._advance()  # (
+        token = self._peek()
+        if not self._is_variable_token(token) or not self._peek(1).is_keyword(
+            "IN"
+        ):
+            self._restore(mark)
+            return None
+        variable = self._advance().text
+        self._advance()  # IN
+        source = self._parse_expression()
+        self._expect_keyword("WHERE")
+        predicate = self._parse_expression()
+        self._expect_punct(")")
+        return ast.Quantifier(
+            kind=kind, variable=variable, source=source, predicate=predicate
+        )
+
+    def _parse_function_call(self) -> ast.FunctionCall:
+        name = self._advance().value
+        self._expect_punct("(")
+        distinct = self._accept_keyword("DISTINCT")
+        args: list[ast.Expression] = []
+        if not self._peek().is_punct(")"):
+            args.append(self._parse_expression())
+            while self._accept_punct(","):
+                args.append(self._parse_expression())
+        self._expect_punct(")")
+        return ast.FunctionCall(
+            name=name.lower(), args=tuple(args), distinct=distinct
+        )
+
+    def _parse_list_atom(self) -> ast.Expression:
+        self._expect_punct("[")
+        if self._peek().is_punct("]"):
+            self._advance()
+            return ast.ListLiteral(items=())
+        # Could be a list comprehension: [x IN expr ...]
+        if self._is_variable_token(self._peek()) and self._peek(1).is_keyword(
+            "IN"
+        ):
+            variable = self._advance().text
+            self._advance()  # IN
+            source = self._parse_expression()
+            predicate = None
+            projection = None
+            if self._accept_keyword("WHERE"):
+                predicate = self._parse_expression()
+            if self._accept_punct("|"):
+                projection = self._parse_expression()
+            self._expect_punct("]")
+            return ast.ListComprehension(
+                variable=variable,
+                source=source,
+                predicate=predicate,
+                projection=projection,
+            )
+        items = [self._parse_expression()]
+        while self._accept_punct(","):
+            items.append(self._parse_expression())
+        self._expect_punct("]")
+        return ast.ListLiteral(items=tuple(items))
+
+    def _parse_case(self) -> ast.CaseExpression:
+        self._expect_keyword("CASE")
+        operand = None
+        if not self._peek().is_keyword("WHEN"):
+            operand = self._parse_expression()
+        alternatives: list[tuple[ast.Expression, ast.Expression]] = []
+        while self._accept_keyword("WHEN"):
+            condition = self._parse_expression()
+            self._expect_keyword("THEN")
+            result = self._parse_expression()
+            alternatives.append((condition, result))
+        if not alternatives:
+            raise self._error("CASE requires at least one WHEN")
+        default = None
+        if self._accept_keyword("ELSE"):
+            default = self._parse_expression()
+        self._expect_keyword("END")
+        return ast.CaseExpression(
+            operand=operand, alternatives=tuple(alternatives), default=default
+        )
+
+    def _parse_exists(self) -> ast.ExistsExpression:
+        self._expect_keyword("EXISTS")
+        self._expect_punct("(")
+        pattern = self._try_parse_pattern_expression()
+        if pattern is not None:
+            self._expect_punct(")")
+            return ast.ExistsExpression(argument=pattern.pattern)
+        argument = self._parse_expression()
+        self._expect_punct(")")
+        return ast.ExistsExpression(argument=argument)
+
+    def _parse_paren_or_pattern(self) -> ast.Expression:
+        pattern = self._try_parse_pattern_expression()
+        if pattern is not None:
+            return pattern
+        self._expect_punct("(")
+        expression = self._parse_expression()
+        self._expect_punct(")")
+        return expression
+
+    def _try_parse_pattern_expression(self) -> Optional[ast.PatternExpression]:
+        """Backtracking probe for a path pattern used as a predicate.
+
+        Accepted only when the parse succeeds *and* contains at least
+        one relationship, so plain ``(expr)`` grouping is unaffected.
+        """
+        if not self._peek().is_punct("("):
+            return None
+        mark = self._save()
+        try:
+            path = self._parse_path_pattern()
+        except CypherSyntaxError:
+            self._restore(mark)
+            return None
+        if not path.relationships:
+            self._restore(mark)
+            return None
+        return ast.PatternExpression(pattern=path)
+
+    # ------------------------------------------------------------------
+    # Dialect validation
+    # ------------------------------------------------------------------
+
+    def _validate_update_pattern(
+        self, pattern: ast.Pattern, clause: str, *, require_directed: bool
+    ) -> None:
+        """Enforce the Figure 5 / Figure 10 restrictions on update patterns."""
+        for path in pattern.paths:
+            for rel in path.relationships:
+                if len(rel.types) != 1:
+                    raise self._error(
+                        f"{clause} requires exactly one relationship type "
+                        f"per relationship pattern"
+                    )
+                if rel.is_var_length:
+                    raise self._error(
+                        f"variable-length relationships are not allowed "
+                        f"in {clause}"
+                    )
+                if require_directed and rel.direction == ast.BOTH:
+                    raise self._error(
+                        f"{clause} requires directed relationship patterns"
+                    )
+
+    def _validate_statement(self, statement: ast.Statement) -> None:
+        for branch in statement.branches():
+            self._validate_clause_sequence(branch.clauses)
+
+    def _validate_clause_sequence(
+        self, clauses: tuple[ast.Clause, ...]
+    ) -> None:
+        """Enforce the clause-sequencing grammar of the active dialect.
+
+        Both dialects: a query ends with RETURN or an update clause,
+        and RETURN is final.  Cypher 9 additionally requires a WITH
+        between update clauses and subsequent reading clauses
+        (Figure 2); the revised grammar drops that rule (Figure 10).
+        """
+        last = clauses[-1]
+        if not (isinstance(last, ast.ReturnClause) or ast.is_update_clause(last)):
+            raise CypherSyntaxError(
+                "a query must end with RETURN or an update clause"
+            )
+        seen_update_since_with = False
+        for clause in clauses[:-1]:
+            if isinstance(clause, ast.ReturnClause):
+                raise CypherSyntaxError("RETURN must be the final clause")
+            if isinstance(clause, ast.WithClause):
+                seen_update_since_with = False
+            elif ast.is_update_clause(clause):
+                seen_update_since_with = True
+            elif ast.is_reading_clause(clause):
+                if (
+                    self._dialect is Dialect.CYPHER9
+                    and seen_update_since_with
+                ):
+                    raise CypherSyntaxError(
+                        "Cypher 9 requires WITH between update clauses "
+                        "and subsequent reading clauses"
+                    )

@@ -1,0 +1,6 @@
+"""Shared runtime: tables, expressions, matching, pipeline."""
+
+from repro.runtime.context import EvalContext, MatchMode
+from repro.runtime.table import DrivingTable
+
+__all__ = ["DrivingTable", "EvalContext", "MatchMode"]

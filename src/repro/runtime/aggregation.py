@@ -1,0 +1,186 @@
+"""Aggregation support for RETURN and WITH projections.
+
+Cypher has no GROUP BY: a projection containing aggregate calls
+implicitly groups by its non-aggregate items.  This module provides
+
+* detection of aggregate expressions in an AST (:func:`contains_aggregate`),
+* the aggregate function implementations themselves, with Cypher's null
+  rules (nulls are skipped; ``count(*)`` counts records; aggregates over
+  an empty group yield their neutral value), and
+* ``DISTINCT`` handling inside aggregate calls.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Iterator
+
+from repro.errors import CypherEvaluationError, CypherTypeError
+from repro.graph.values import grouping_key, is_number, sort_key, type_name
+from repro.parser import ast
+
+#: Names callable as aggregate functions (lower case).
+AGGREGATE_NAMES = frozenset(
+    {
+        "count",
+        "sum",
+        "avg",
+        "min",
+        "max",
+        "collect",
+        "stdev",
+        "stdevp",
+        "percentiledisc",
+        "percentilecont",
+    }
+)
+
+
+def is_aggregate_call(expression: ast.Expression) -> bool:
+    """True for ``count(*)`` or a call to an aggregate function."""
+    if isinstance(expression, ast.CountStar):
+        return True
+    return (
+        isinstance(expression, ast.FunctionCall)
+        and expression.name in AGGREGATE_NAMES
+    )
+
+
+def children(expression: Any) -> Iterator[ast.Expression]:
+    """Yield the direct expression children of any AST node."""
+    if not dataclasses.is_dataclass(expression):
+        return
+    for field in dataclasses.fields(expression):
+        value = getattr(expression, field.name)
+        if isinstance(value, ast.Expression):
+            yield value
+        elif isinstance(value, tuple):
+            for item in value:
+                if isinstance(item, ast.Expression):
+                    yield item
+                elif isinstance(item, tuple):
+                    for nested in item:
+                        if isinstance(nested, ast.Expression):
+                            yield nested
+
+
+def contains_aggregate(expression: ast.Expression) -> bool:
+    """True if the expression tree contains any aggregate call."""
+    if is_aggregate_call(expression):
+        return True
+    return any(contains_aggregate(child) for child in children(expression))
+
+
+class AggregateAccumulator:
+    """Accumulates one aggregate call over the records of one group."""
+
+    def __init__(self, name: str, distinct: bool = False):
+        if name not in AGGREGATE_NAMES and name != "count(*)":
+            raise CypherEvaluationError(f"unknown aggregate {name}()")
+        self.name = name
+        self.distinct = distinct
+        self._seen: set = set()
+        self._count = 0
+        self._sum: Any = 0
+        self._values: list[Any] = []
+        self._min: Any = None
+        self._max: Any = None
+
+    def add(self, value: Any) -> None:
+        """Feed one evaluated argument value (record by record)."""
+        if self.name == "count(*)":
+            self._count += 1
+            return
+        if value is None:
+            return  # aggregates skip nulls
+        if self.distinct:
+            key = grouping_key(value)
+            if key in self._seen:
+                return
+            self._seen.add(key)
+        self._count += 1
+        if self.name == "count":
+            return
+        if self.name == "collect":
+            self._values.append(value)
+            return
+        if self.name in ("min", "max"):
+            self._update_extremum(value)
+            return
+        if self.name in (
+            "sum",
+            "avg",
+            "stdev",
+            "stdevp",
+            "percentiledisc",
+            "percentilecont",
+        ):
+            if not is_number(value):
+                raise CypherTypeError(
+                    f"{self.name}() expects numbers, got {type_name(value)}"
+                )
+            self._sum += value
+            self._values.append(value)
+            return
+        raise AssertionError(f"unhandled aggregate {self.name}")
+
+    def _update_extremum(self, value: Any) -> None:
+        key = sort_key(value)
+        if self.name == "min":
+            if self._min is None or key < self._min[0]:
+                self._min = (key, value)
+        else:
+            if self._max is None or key > self._max[0]:
+                self._max = (key, value)
+
+    def result(self, percentile: Any = None) -> Any:
+        """Final value of the aggregate for this group."""
+        if self.name in ("count", "count(*)"):
+            return self._count
+        if self.name == "collect":
+            return list(self._values)
+        if self.name == "min":
+            return self._min[1] if self._min is not None else None
+        if self.name == "max":
+            return self._max[1] if self._max is not None else None
+        if self.name == "sum":
+            return self._sum
+        if self.name == "avg":
+            return self._sum / self._count if self._count else None
+        if self.name in ("stdev", "stdevp"):
+            return self._stdev(sample=self.name == "stdev")
+        if self.name in ("percentiledisc", "percentilecont"):
+            return self._percentile(percentile)
+        raise AssertionError(f"unhandled aggregate {self.name}")
+
+    def _stdev(self, *, sample: bool) -> Any:
+        if not self._count:
+            return None
+        if self._count == 1:
+            return 0.0
+        mean = self._sum / self._count
+        variance = sum((v - mean) ** 2 for v in self._values)
+        divisor = self._count - 1 if sample else self._count
+        return math.sqrt(variance / divisor)
+
+    def _percentile(self, percentile: Any) -> Any:
+        if not is_number(percentile) or not 0 <= percentile <= 1:
+            raise CypherEvaluationError(
+                "percentile must be a number between 0.0 and 1.0"
+            )
+        if not self._values:
+            return None
+        ordered = sorted(self._values)
+        if self.name == "percentiledisc":
+            index = max(0, math.ceil(percentile * len(ordered)) - 1)
+            return ordered[index]
+        if len(ordered) == 1:
+            return float(ordered[0])
+        position = percentile * (len(ordered) - 1)
+        low = math.floor(position)
+        high = math.ceil(position)
+        if low == high:
+            return float(ordered[low])
+        fraction = position - low
+        return ordered[low] + (ordered[high] - ordered[low]) * fraction

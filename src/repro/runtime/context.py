@@ -1,0 +1,48 @@
+"""Shared evaluation context threaded through the runtime.
+
+A single :class:`EvalContext` carries everything expression evaluation
+and pattern matching need: the graph store, statement parameters, and
+the pattern-matching mode (trail vs homomorphism, Section 6 discussion
+of Example 7).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.graph.store import GraphStore
+
+
+class MatchMode(enum.Enum):
+    """Which pattern-matching regime MATCH (and MERGE's read) uses."""
+
+    #: Cypher's standard semantics: distinct relationship patterns must
+    #: be mapped to distinct relationships ("each edge traversed at most
+    #: once"), guaranteeing finite outputs for ``[*]`` patterns.
+    TRAIL = "trail"
+
+    #: Homomorphism-based matching: relationships may be reused.  The
+    #: paper notes (end of Section 6) that under this regime a pattern
+    #: inserted by Strong Collapse MERGE can always be re-matched.
+    HOMOMORPHISM = "homomorphism"
+
+
+@dataclass
+class EvalContext:
+    """Evaluation state for one statement execution."""
+
+    store: GraphStore
+    parameters: Mapping[str, Any] = field(default_factory=dict)
+    match_mode: MatchMode = MatchMode.TRAIL
+
+    #: Cap on variable-length path hops when no upper bound is given in
+    #: homomorphism mode, where unbounded patterns would otherwise admit
+    #: infinitely many matches on cyclic graphs.
+    homomorphism_hop_limit: int = 16
+
+    #: Enable the greedy endpoint planner (repro.runtime.planner) for
+    #: MATCH clauses.  Off by default: it only changes enumeration
+    #: order, which the legacy dialect can observe.
+    use_planner: bool = False

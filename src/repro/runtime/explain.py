@@ -1,0 +1,106 @@
+"""EXPLAIN-style plan descriptions.
+
+:func:`explain_statement` renders how the engine will execute a parsed
+statement: the clause pipeline, which dialect executor handles each
+update clause, and -- when the planner is enabled -- how each MATCH
+pattern was oriented and which access path anchors it.
+"""
+
+from __future__ import annotations
+
+from repro.dialect import Dialect
+from repro.parser import ast
+from repro.parser.unparse import unparse
+from repro.runtime.context import EvalContext
+from repro.runtime.planner import estimate_node_cost, plan_pattern
+
+_MERGE_EXECUTORS = {
+    ast.MERGE_LEGACY: "LegacyMerge(per-record match-or-create, reads own writes)",
+    ast.MERGE_ALL: "MergeAll(atomic; match input graph, create per failing row)",
+    ast.MERGE_SAME: "MergeSame(atomic; Strong Collapse cache)",
+    ast.MERGE_GROUPING: "MergeGrouping(atomic; one instance per value group)",
+    ast.MERGE_WEAK_COLLAPSE: "MergeWeakCollapse(atomic; per-position cache)",
+    ast.MERGE_COLLAPSE: "MergeCollapse(atomic; cross-position node cache)",
+}
+
+
+def explain_statement(
+    ctx: EvalContext, statement: ast.Statement, dialect: Dialect
+) -> str:
+    """A multi-line, human-readable execution plan."""
+    lines = [f"dialect: {dialect.value}; planner: {'on' if ctx.use_planner else 'off'}"]
+    branches = statement.branches()
+    for index, branch in enumerate(branches):
+        if len(branches) > 1:
+            lines.append(f"union branch {index + 1}:")
+        for clause in branch.clauses:
+            lines.extend(_explain_clause(ctx, clause, dialect))
+    return "\n".join(lines)
+
+
+def _explain_clause(
+    ctx: EvalContext, clause: ast.Clause, dialect: Dialect
+) -> list[str]:
+    prefix = "  "
+    if isinstance(clause, ast.MatchClause):
+        keyword = "OptionalMatch" if clause.optional else "Match"
+        pattern = clause.pattern
+        if ctx.use_planner:
+            pattern = plan_pattern(ctx, pattern, {})
+        lines = [f"{prefix}{keyword}"]
+        for path in pattern.paths:
+            anchor = path.elements[0]
+            cost = estimate_node_cost(ctx, anchor, set(), {})
+            lines.append(
+                f"{prefix}  path {unparse(path)}"
+                f"  [anchor: {_describe_anchor(ctx, anchor)}, "
+                f"est. {cost:.0f} candidates]"
+            )
+        if clause.where is not None:
+            lines.append(f"{prefix}  filter {unparse(clause.where)}")
+        return lines
+    if isinstance(clause, ast.SetClause):
+        executor = (
+            "LegacySet(per-record, sequential items)"
+            if dialect is Dialect.CYPHER9
+            else "AtomicSet(collect propchanges/labchanges, detect conflicts)"
+        )
+        return [f"{prefix}{executor}: {unparse(clause)}"]
+    if isinstance(clause, ast.DeleteClause):
+        executor = (
+            "LegacyDelete(immediate, dangling tolerated until commit)"
+            if dialect is Dialect.CYPHER9
+            else "StrictDelete(collect, validate, null out references)"
+        )
+        return [f"{prefix}{executor}: {unparse(clause)}"]
+    if isinstance(clause, ast.MergeClause):
+        executor = _MERGE_EXECUTORS[clause.semantics]
+        return [f"{prefix}{executor}: {unparse(clause.pattern)}"]
+    if isinstance(clause, ast.CreateClause):
+        return [f"{prefix}Create(saturate, instantiate per record): "
+                f"{unparse(clause.pattern)}"]
+    if isinstance(clause, ast.ForeachClause):
+        lines = [f"{prefix}Foreach({clause.variable} IN "
+                 f"{unparse(clause.source)})"]
+        for update in clause.updates:
+            lines.extend(
+                "  " + line for line in _explain_clause(ctx, update, dialect)
+            )
+        return lines
+    return [f"{prefix}{type(clause).__name__.replace('Clause', '')}: "
+            f"{unparse(clause)}"]
+
+
+def _describe_anchor(ctx: EvalContext, anchor: ast.NodePattern) -> str:
+    if anchor.variable is not None and not anchor.labels:
+        candidates = "all nodes"
+    elif anchor.labels:
+        candidates = f"label scan :{anchor.labels[0]}"
+    else:
+        candidates = "all nodes"
+    if anchor.properties is not None:
+        for label in anchor.labels:
+            for key, __ in anchor.properties.items:
+                if ctx.store.property_index(label, key) is not None:
+                    return f"index :{label}({key})"
+    return candidates

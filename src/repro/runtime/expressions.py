@@ -1,0 +1,439 @@
+"""Expression evaluation.
+
+:func:`evaluate` implements ``[[e]]_{G,u}`` -- the value of expression
+*e* on graph *G* under assignment *u* (the current record).  Semantics
+follows the paper's companion formalization: SQL-style three-valued
+logic, null propagation through operators and most functions, and
+entity property access via iota (absent keys read as null).
+
+Aggregates are *not* evaluated here: projections (RETURN/WITH) detect
+and compute them; reaching one in this evaluator is an error.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import (
+    CypherEvaluationError,
+    CypherTypeError,
+    ParameterMissingError,
+    UnknownVariableError,
+)
+from repro.graph.model import Node, Relationship
+from repro.graph.values import (
+    cypher_eq,
+    cypher_gt,
+    cypher_gte,
+    cypher_in,
+    cypher_lt,
+    cypher_lte,
+    cypher_neq,
+    is_number,
+    tri_and,
+    tri_not,
+    tri_or,
+    tri_xor,
+    type_name,
+)
+from repro.parser import ast
+from repro.runtime.aggregation import is_aggregate_call
+from repro.runtime.context import EvalContext
+from repro.runtime.functions import call_function
+
+
+def evaluate(
+    ctx: EvalContext, expression: ast.Expression, record: Mapping[str, Any]
+) -> Any:
+    """Evaluate *expression* on the graph under the given record."""
+    if isinstance(expression, ast.Literal):
+        return expression.value
+    if isinstance(expression, ast.Parameter):
+        if expression.name not in ctx.parameters:
+            raise ParameterMissingError(
+                f"missing parameter ${expression.name}"
+            )
+        return ctx.parameters[expression.name]
+    if isinstance(expression, ast.Variable):
+        if expression.name not in record:
+            raise UnknownVariableError(
+                f"variable '{expression.name}' is not defined"
+            )
+        return record[expression.name]
+    if isinstance(expression, ast.Property):
+        return _property(ctx, expression, record)
+    if isinstance(expression, ast.ListLiteral):
+        return [evaluate(ctx, item, record) for item in expression.items]
+    if isinstance(expression, ast.MapLiteral):
+        return {
+            key: evaluate(ctx, value, record)
+            for key, value in expression.items
+        }
+    if isinstance(expression, ast.Unary):
+        return _unary(ctx, expression, record)
+    if isinstance(expression, ast.Binary):
+        return _binary(ctx, expression, record)
+    if isinstance(expression, ast.IsNull):
+        value = evaluate(ctx, expression.operand, record)
+        return (value is not None) if expression.negated else (value is None)
+    if isinstance(expression, ast.HasLabels):
+        subject = evaluate(ctx, expression.subject, record)
+        if subject is None:
+            return None
+        if not isinstance(subject, Node):
+            raise CypherTypeError(
+                f"label predicate expects a Node, got {type_name(subject)}"
+            )
+        return all(subject.has_label(label) for label in expression.labels)
+    if isinstance(expression, ast.FunctionCall):
+        if is_aggregate_call(expression):
+            raise CypherEvaluationError(
+                f"aggregate {expression.name}() is only allowed in "
+                f"RETURN and WITH projections"
+            )
+        args = [evaluate(ctx, arg, record) for arg in expression.args]
+        return call_function(ctx, expression.name, args)
+    if isinstance(expression, ast.CountStar):
+        raise CypherEvaluationError(
+            "count(*) is only allowed in RETURN and WITH projections"
+        )
+    if isinstance(expression, ast.CaseExpression):
+        return _case(ctx, expression, record)
+    if isinstance(expression, ast.ListComprehension):
+        return _list_comprehension(ctx, expression, record)
+    if isinstance(expression, ast.Quantifier):
+        return _quantifier(ctx, expression, record)
+    if isinstance(expression, ast.Subscript):
+        return _subscript(ctx, expression, record)
+    if isinstance(expression, ast.Slice):
+        return _slice(ctx, expression, record)
+    if isinstance(expression, ast.PatternExpression):
+        return _pattern_predicate(ctx, expression.pattern, record)
+    if isinstance(expression, ast.ExistsExpression):
+        if isinstance(expression.argument, ast.PathPattern):
+            return _pattern_predicate(ctx, expression.argument, record)
+        return evaluate(ctx, expression.argument, record) is not None
+    raise CypherEvaluationError(
+        f"cannot evaluate expression {type(expression).__name__}"
+    )
+
+
+def evaluate_predicate(
+    ctx: EvalContext, expression: ast.Expression, record: Mapping[str, Any]
+) -> bool:
+    """Evaluate a WHERE predicate; null counts as not satisfied."""
+    return evaluate(ctx, expression, record) is True
+
+
+# ---------------------------------------------------------------------------
+
+def _property(
+    ctx: EvalContext, expression: ast.Property, record: Mapping[str, Any]
+) -> Any:
+    subject = evaluate(ctx, expression.subject, record)
+    if subject is None:
+        return None
+    if isinstance(subject, (Node, Relationship)):
+        return subject.get(expression.key)
+    if isinstance(subject, dict):
+        return subject.get(expression.key)
+    raise CypherTypeError(
+        f"cannot read property '{expression.key}' of {type_name(subject)}"
+    )
+
+
+def _unary(
+    ctx: EvalContext, expression: ast.Unary, record: Mapping[str, Any]
+) -> Any:
+    value = evaluate(ctx, expression.operand, record)
+    if expression.operator == "NOT":
+        return tri_not(value)
+    if value is None:
+        return None
+    if not is_number(value):
+        raise CypherTypeError(
+            f"unary {expression.operator} expects a number, "
+            f"got {type_name(value)}"
+        )
+    return -value if expression.operator == "-" else value
+
+
+_COMPARATORS = {
+    "=": cypher_eq,
+    "<>": cypher_neq,
+    "<": cypher_lt,
+    "<=": cypher_lte,
+    ">": cypher_gt,
+    ">=": cypher_gte,
+}
+
+
+def _binary(
+    ctx: EvalContext, expression: ast.Binary, record: Mapping[str, Any]
+) -> Any:
+    operator = expression.operator
+    # Boolean connectives do not short-circuit on nulls, but we can
+    # still evaluate lazily on definite outcomes.
+    if operator in ("AND", "OR", "XOR"):
+        left = evaluate(ctx, expression.left, record)
+        right = evaluate(ctx, expression.right, record)
+        if operator == "AND":
+            return tri_and(left, right)
+        if operator == "OR":
+            return tri_or(left, right)
+        return tri_xor(left, right)
+    left = evaluate(ctx, expression.left, record)
+    right = evaluate(ctx, expression.right, record)
+    if operator in _COMPARATORS:
+        return _COMPARATORS[operator](left, right)
+    if operator == "IN":
+        return cypher_in(left, right)
+    if operator in ("STARTS WITH", "ENDS WITH", "CONTAINS"):
+        return _string_predicate(operator, left, right)
+    if operator in ("+", "-", "*", "/", "%", "^"):
+        return _arithmetic(operator, left, right)
+    raise CypherEvaluationError(f"unknown operator {operator}")
+
+
+def _string_predicate(operator: str, left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    if not isinstance(left, str) or not isinstance(right, str):
+        raise CypherTypeError(
+            f"{operator} expects Strings, got "
+            f"{type_name(left)} and {type_name(right)}"
+        )
+    if operator == "STARTS WITH":
+        return left.startswith(right)
+    if operator == "ENDS WITH":
+        return left.endswith(right)
+    return right in left
+
+
+def _arithmetic(operator: str, left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    if operator == "+":
+        if isinstance(left, list):
+            return left + (right if isinstance(right, list) else [right])
+        if isinstance(right, list):
+            return [left] + right
+        if isinstance(left, str) or isinstance(right, str):
+            return _concat(left, right)
+    if not is_number(left) or not is_number(right):
+        raise CypherTypeError(
+            f"operator {operator} expects numbers, got "
+            f"{type_name(left)} and {type_name(right)}"
+        )
+    if operator == "+":
+        return left + right
+    if operator == "-":
+        return left - right
+    if operator == "*":
+        return left * right
+    if operator == "/":
+        if right == 0:
+            raise CypherEvaluationError("division by zero")
+        if isinstance(left, int) and isinstance(right, int):
+            return int(left / right)  # truncating integer division
+        return left / right
+    if operator == "%":
+        if right == 0:
+            raise CypherEvaluationError("modulo by zero")
+        result = abs(left) % abs(right)
+        result = result if left >= 0 else -result
+        if isinstance(left, int) and isinstance(right, int):
+            return int(result)
+        return float(result)
+    if operator == "^":
+        return float(left) ** float(right)
+    raise AssertionError(operator)
+
+
+def _concat(left: Any, right: Any) -> str:
+    def text(value: Any) -> str:
+        if isinstance(value, str):
+            return value
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if is_number(value):
+            return str(value)
+        raise CypherTypeError(
+            f"cannot concatenate {type_name(value)} with a String"
+        )
+
+    return text(left) + text(right)
+
+
+def _case(
+    ctx: EvalContext, expression: ast.CaseExpression, record: Mapping[str, Any]
+) -> Any:
+    if expression.operand is not None:
+        operand = evaluate(ctx, expression.operand, record)
+        for condition, result in expression.alternatives:
+            if cypher_eq(operand, evaluate(ctx, condition, record)) is True:
+                return evaluate(ctx, result, record)
+    else:
+        for condition, result in expression.alternatives:
+            if evaluate(ctx, condition, record) is True:
+                return evaluate(ctx, result, record)
+    if expression.default is not None:
+        return evaluate(ctx, expression.default, record)
+    return None
+
+
+def _list_comprehension(
+    ctx: EvalContext,
+    expression: ast.ListComprehension,
+    record: Mapping[str, Any],
+) -> Any:
+    source = evaluate(ctx, expression.source, record)
+    if source is None:
+        return None
+    if not isinstance(source, list):
+        raise CypherTypeError(
+            f"list comprehension expects a List, got {type_name(source)}"
+        )
+    result = []
+    inner = dict(record)
+    for element in source:
+        inner[expression.variable] = element
+        if expression.predicate is not None:
+            if evaluate(ctx, expression.predicate, inner) is not True:
+                continue
+        if expression.projection is not None:
+            result.append(evaluate(ctx, expression.projection, inner))
+        else:
+            result.append(element)
+    return result
+
+
+def _quantifier(
+    ctx: EvalContext, expression: ast.Quantifier, record: Mapping[str, Any]
+) -> Any:
+    source = evaluate(ctx, expression.source, record)
+    if source is None:
+        return None
+    if not isinstance(source, list):
+        raise CypherTypeError(
+            f"{expression.kind}() expects a List, got {type_name(source)}"
+        )
+    true_count = 0
+    null_count = 0
+    inner = dict(record)
+    for element in source:
+        inner[expression.variable] = element
+        outcome = evaluate(ctx, expression.predicate, inner)
+        if outcome is True:
+            true_count += 1
+        elif outcome is None:
+            null_count += 1
+    false_count = len(source) - true_count - null_count
+    kind = expression.kind
+    if kind == "any":
+        if true_count:
+            return True
+        return None if null_count else False
+    if kind == "all":
+        if false_count:
+            return False
+        return None if null_count else True
+    if kind == "none":
+        if true_count:
+            return False
+        return None if null_count else True
+    if kind == "single":
+        if true_count > 1:
+            return False
+        if null_count:
+            return None
+        return true_count == 1
+    raise AssertionError(kind)
+
+
+def _subscript(
+    ctx: EvalContext, expression: ast.Subscript, record: Mapping[str, Any]
+) -> Any:
+    subject = evaluate(ctx, expression.subject, record)
+    index = evaluate(ctx, expression.index, record)
+    if subject is None or index is None:
+        return None
+    if isinstance(subject, list):
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise CypherTypeError(
+                f"list index must be an Integer, got {type_name(index)}"
+            )
+        if -len(subject) <= index < len(subject):
+            return subject[index]
+        return None
+    if isinstance(subject, (dict, Node, Relationship)):
+        if not isinstance(index, str):
+            raise CypherTypeError(
+                f"map key must be a String, got {type_name(index)}"
+            )
+        if isinstance(subject, dict):
+            return subject.get(index)
+        return subject.get(index)
+    raise CypherTypeError(f"cannot index into {type_name(subject)}")
+
+
+def _slice(
+    ctx: EvalContext, expression: ast.Slice, record: Mapping[str, Any]
+) -> Any:
+    subject = evaluate(ctx, expression.subject, record)
+    if subject is None:
+        return None
+    if not isinstance(subject, list):
+        raise CypherTypeError(f"cannot slice {type_name(subject)}")
+    start = (
+        evaluate(ctx, expression.start, record)
+        if expression.start is not None
+        else 0
+    )
+    end = (
+        evaluate(ctx, expression.end, record)
+        if expression.end is not None
+        else len(subject)
+    )
+    if start is None or end is None:
+        return None
+    for bound in (start, end):
+        if not isinstance(bound, int) or isinstance(bound, bool):
+            raise CypherTypeError("slice bounds must be Integers")
+    return subject[start:end]
+
+
+def _pattern_predicate(
+    ctx: EvalContext, pattern: ast.PathPattern, record: Mapping[str, Any]
+) -> bool:
+    """True iff the path pattern has at least one match from *record*."""
+    from repro.runtime.matcher import match_paths  # circular-import guard
+
+    stripped = _strip_unbound_variables(pattern, record)
+    for __ in match_paths(ctx, (stripped,), record):
+        return True
+    return False
+
+
+def _strip_unbound_variables(
+    pattern: ast.PathPattern, record: Mapping[str, Any]
+) -> ast.PathPattern:
+    """Make pattern variables not bound in *record* anonymous.
+
+    In a pattern *predicate*, unbound variables are existentially
+    quantified rather than binding new columns.
+    """
+    elements = []
+    for element in pattern.elements:
+        variable = element.variable
+        if variable is not None and variable not in record:
+            element = dataclasses_replace(element, variable=None)
+        elements.append(element)
+    return ast.PathPattern(variable=None, elements=tuple(elements))
+
+
+def dataclasses_replace(node, **changes):
+    """dataclasses.replace, renamed to avoid shadowing the module."""
+    import dataclasses
+
+    return dataclasses.replace(node, **changes)

@@ -1,0 +1,435 @@
+"""Graph pattern matching.
+
+Implements the relation ``(p, G, u) |= pi`` of Section 8.1: given a
+graph and an assignment *u* (the current record), enumerate all ways to
+match a tuple of path patterns, extending *u* with bindings for the
+pattern's variables.
+
+Two regimes are supported (see Section 2 and the Example 7 discussion):
+
+* **trail** (Cypher's default): distinct relationship patterns must map
+  to distinct relationships.  The ``used`` set is shared across *all*
+  path patterns of one MATCH, including the steps of variable-length
+  patterns, which is what keeps ``MATCH (v)-[*]->(v)`` finite.
+
+* **homomorphism**: relationships may be reused; variable-length
+  patterns are capped by ``EvalContext.homomorphism_hop_limit`` when no
+  upper bound is given (otherwise the output could be infinite).
+
+Enumeration order is deterministic (ascending entity ids) so that the
+*legacy* executor's anomalies are reproducible on demand; the revised
+semantics never depends on this order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.errors import CypherTypeError
+from repro.graph.model import Node, Path, Relationship
+from repro.graph.values import cypher_eq, type_name
+from repro.parser import ast
+from repro.runtime.context import EvalContext, MatchMode
+from repro.runtime.expressions import evaluate
+
+
+def match_pattern(
+    ctx: EvalContext, pattern: ast.Pattern, record: Mapping[str, Any]
+) -> Iterator[dict]:
+    """All extensions of *record* matching every path in *pattern*."""
+    return match_paths(ctx, pattern.paths, record)
+
+
+def match_paths(
+    ctx: EvalContext,
+    paths: Iterable[ast.PathPattern],
+    record: Mapping[str, Any],
+) -> Iterator[dict]:
+    """All extensions of *record* matching the given path patterns."""
+    paths = tuple(paths)
+    bindings = dict(record)
+    used: set[int] = set()
+    yield from _match_path_list(ctx, paths, 0, bindings, used)
+
+
+def pattern_variables(pattern: ast.Pattern) -> tuple[str, ...]:
+    """All variables a pattern introduces or constrains, in order."""
+    names: list[str] = []
+    for path in pattern.paths:
+        if path.variable is not None:
+            names.append(path.variable)
+        for element in path.elements:
+            if element.variable is not None:
+                names.append(element.variable)
+    seen: set[str] = set()
+    unique = []
+    for name in names:
+        if name not in seen:
+            seen.add(name)
+            unique.append(name)
+    return tuple(unique)
+
+
+# ---------------------------------------------------------------------------
+
+def _match_path_list(
+    ctx: EvalContext,
+    paths: tuple[ast.PathPattern, ...],
+    index: int,
+    bindings: dict,
+    used: set[int],
+) -> Iterator[dict]:
+    if index == len(paths):
+        yield dict(bindings)
+        return
+    path = paths[index]
+    for nodes, rels in _match_single_path(ctx, path, bindings, used):
+        added_path = False
+        if path.variable is not None and path.variable not in bindings:
+            bindings[path.variable] = Path(nodes, rels)
+            added_path = True
+        try:
+            yield from _match_path_list(ctx, paths, index + 1, bindings, used)
+        finally:
+            if added_path:
+                del bindings[path.variable]
+
+
+def _match_single_path(
+    ctx: EvalContext,
+    path: ast.PathPattern,
+    bindings: dict,
+    used: set[int],
+) -> Iterator[tuple[list[Node], list[Relationship]]]:
+    elements = path.elements
+    first = elements[0]
+    for node in _node_candidates(ctx, first, bindings):
+        added = _bind(bindings, first.variable, node)
+        try:
+            yield from _extend(
+                ctx, elements, 1, node, [node], [], bindings, used
+            )
+        finally:
+            _unbind(bindings, first.variable, added)
+
+
+def _extend(
+    ctx: EvalContext,
+    elements: tuple,
+    index: int,
+    current: Node,
+    nodes_acc: list[Node],
+    rels_acc: list[Relationship],
+    bindings: dict,
+    used: set[int],
+) -> Iterator[tuple[list[Node], list[Relationship]]]:
+    if index >= len(elements):
+        yield list(nodes_acc), list(rels_acc)
+        return
+    rel_pattern = elements[index]
+    node_pattern = elements[index + 1]
+    if rel_pattern.is_var_length:
+        yield from _extend_var_length(
+            ctx,
+            elements,
+            index,
+            current,
+            nodes_acc,
+            rels_acc,
+            bindings,
+            used,
+        )
+        return
+    for rel, next_node in _rel_candidates(ctx, rel_pattern, current, bindings, used):
+        if not _node_matches(ctx, node_pattern, next_node, bindings):
+            continue
+        rel_added = _bind(bindings, rel_pattern.variable, rel)
+        node_added = _bind(bindings, node_pattern.variable, next_node)
+        track_used = ctx.match_mode is MatchMode.TRAIL
+        if track_used:
+            used.add(rel.id)
+        nodes_acc.append(next_node)
+        rels_acc.append(rel)
+        try:
+            yield from _extend(
+                ctx,
+                elements,
+                index + 2,
+                next_node,
+                nodes_acc,
+                rels_acc,
+                bindings,
+                used,
+            )
+        finally:
+            nodes_acc.pop()
+            rels_acc.pop()
+            if track_used:
+                used.discard(rel.id)
+            _unbind(bindings, node_pattern.variable, node_added)
+            _unbind(bindings, rel_pattern.variable, rel_added)
+
+
+def _extend_var_length(
+    ctx: EvalContext,
+    elements: tuple,
+    index: int,
+    current: Node,
+    nodes_acc: list[Node],
+    rels_acc: list[Relationship],
+    bindings: dict,
+    used: set[int],
+) -> Iterator[tuple[list[Node], list[Relationship]]]:
+    rel_pattern = elements[index]
+    node_pattern = elements[index + 1]
+    lower, upper = rel_pattern.var_length
+    lower = 1 if lower is None else lower
+    if upper is None:
+        if ctx.match_mode is MatchMode.HOMOMORPHISM:
+            upper = ctx.homomorphism_hop_limit
+        else:
+            # Trails cannot repeat relationships, so the graph size
+            # bounds the expansion.
+            upper = ctx.store.relationship_count()
+    track_used = ctx.match_mode is MatchMode.TRAIL
+
+    def expand(
+        node: Node,
+        depth: int,
+        segment: list[Relationship],
+        segment_nodes: list[Node],
+    ) -> Iterator[tuple[list[Node], list[Relationship]]]:
+        if depth >= lower and _node_matches(ctx, node_pattern, node, bindings):
+            list_added = _bind_list(bindings, rel_pattern.variable, segment)
+            node_added = _bind(bindings, node_pattern.variable, node)
+            try:
+                # A zero-length segment contributes no new path nodes
+                # (the endpoint *is* `current`); a k-step segment
+                # contributes its k visited nodes.
+                yield from _extend(
+                    ctx,
+                    elements,
+                    index + 2,
+                    node,
+                    nodes_acc + segment_nodes,
+                    rels_acc + segment,
+                    bindings,
+                    used,
+                )
+            finally:
+                _unbind(bindings, node_pattern.variable, node_added)
+                _unbind(bindings, rel_pattern.variable, list_added)
+        if depth >= upper:
+            return
+        for rel, next_node in _rel_candidates(
+            ctx, rel_pattern, node, bindings, used, ignore_bound_variable=True
+        ):
+            if track_used:
+                used.add(rel.id)
+            segment.append(rel)
+            segment_nodes.append(next_node)
+            try:
+                yield from expand(next_node, depth + 1, segment, segment_nodes)
+            finally:
+                segment_nodes.pop()
+                segment.pop()
+                if track_used:
+                    used.discard(rel.id)
+
+    yield from expand(current, 0, [], [])
+
+
+# ---------------------------------------------------------------------------
+# Candidate enumeration
+# ---------------------------------------------------------------------------
+
+def _node_candidates(
+    ctx: EvalContext, pattern: ast.NodePattern, bindings: dict
+) -> Iterator[Node]:
+    variable = pattern.variable
+    if variable is not None and variable in bindings:
+        value = bindings[variable]
+        if value is None:
+            return
+        if not isinstance(value, Node):
+            raise CypherTypeError(
+                f"variable '{variable}' is bound to {type_name(value)}, "
+                f"expected a Node"
+            )
+        if _node_matches(ctx, pattern, value, bindings):
+            yield value
+        return
+    store = ctx.store
+    candidate_ids = None
+    # Narrow by label index.
+    for label in pattern.labels:
+        with_label = store.nodes_with_label(label)
+        candidate_ids = (
+            with_label
+            if candidate_ids is None
+            else candidate_ids & with_label
+        )
+    # Narrow further by a property index when available.
+    if pattern.properties is not None:
+        for label in pattern.labels:
+            for key, expr in pattern.properties.items:
+                index = store.property_index(label, key)
+                if index is None:
+                    continue
+                value = evaluate(ctx, expr, bindings)
+                matches = index.lookup(value)
+                candidate_ids = (
+                    matches
+                    if candidate_ids is None
+                    else candidate_ids & matches
+                )
+    if candidate_ids is None:
+        candidates: Iterable[Node] = store.nodes()
+    else:
+        candidates = (store.node(nid) for nid in sorted(candidate_ids))
+    for node in candidates:
+        if _node_matches(ctx, pattern, node, bindings):
+            yield node
+
+
+def _node_matches(
+    ctx: EvalContext, pattern: ast.NodePattern, node: Node, bindings: dict
+) -> bool:
+    variable = pattern.variable
+    if variable is not None and variable in bindings:
+        bound = bindings[variable]
+        if not isinstance(bound, Node) or bound.id != node.id:
+            return False
+    for label in pattern.labels:
+        if not node.has_label(label):
+            return False
+    if pattern.properties is not None:
+        for key, expr in pattern.properties.items:
+            value = evaluate(ctx, expr, bindings)
+            if cypher_eq(node.get(key), value) is not True:
+                return False
+    return True
+
+
+def _rel_candidates(
+    ctx: EvalContext,
+    pattern: ast.RelationshipPattern,
+    current: Node,
+    bindings: dict,
+    used: set[int],
+    *,
+    ignore_bound_variable: bool = False,
+) -> Iterator[tuple[Relationship, Node]]:
+    store = ctx.store
+    variable = pattern.variable
+    if (
+        not ignore_bound_variable
+        and variable is not None
+        and variable in bindings
+    ):
+        value = bindings[variable]
+        if value is None:
+            return
+        if not isinstance(value, Relationship):
+            raise CypherTypeError(
+                f"variable '{variable}' is bound to {type_name(value)}, "
+                f"expected a Relationship"
+            )
+        candidate_ids: Iterable[int] = (value.id,)
+    else:
+        # Typed patterns use the per-type adjacency index and skip
+        # relationships of other types without touching them.
+        if pattern.direction == ast.OUT:
+            candidate_ids = sorted(
+                store.out_relationships_of_types(current.id, pattern.types)
+                if pattern.types
+                else store.out_relationships(current.id)
+            )
+        elif pattern.direction == ast.IN:
+            candidate_ids = sorted(
+                store.in_relationships_of_types(current.id, pattern.types)
+                if pattern.types
+                else store.in_relationships(current.id)
+            )
+        else:
+            if pattern.types:
+                candidate_ids = sorted(
+                    store.out_relationships_of_types(
+                        current.id, pattern.types
+                    )
+                    | store.in_relationships_of_types(
+                        current.id, pattern.types
+                    )
+                )
+            else:
+                candidate_ids = sorted(
+                    store.out_relationships(current.id)
+                    | store.in_relationships(current.id)
+                )
+    for rel_id in candidate_ids:
+        if ctx.match_mode is MatchMode.TRAIL and rel_id in used:
+            continue
+        rel = store.relationship(rel_id)
+        if pattern.types and rel.type not in pattern.types:
+            continue
+        source_id = rel.start.id
+        target_id = rel.end.id
+        # Orient the step: the relationship must actually attach to
+        # `current` in a way compatible with the pattern's direction.
+        if pattern.direction == ast.OUT:
+            if source_id != current.id:
+                continue
+            next_node = rel.end
+        elif pattern.direction == ast.IN:
+            if target_id != current.id:
+                continue
+            next_node = rel.start
+        else:
+            if source_id == current.id:
+                next_node = rel.end
+            elif target_id == current.id:
+                next_node = rel.start
+            else:
+                continue
+        if pattern.properties is not None:
+            matched = True
+            for key, expr in pattern.properties.items:
+                value = evaluate(ctx, expr, bindings)
+                if cypher_eq(rel.get(key), value) is not True:
+                    matched = False
+                    break
+            if not matched:
+                continue
+        yield rel, next_node
+        # An undirected pattern on a self-loop matches only once.
+
+
+# ---------------------------------------------------------------------------
+# Binding helpers
+# ---------------------------------------------------------------------------
+
+def _bind(bindings: dict, variable: str | None, value: Any) -> bool:
+    """Bind variable -> value; returns True if a new binding was added."""
+    if variable is None:
+        return False
+    if variable in bindings:
+        return False  # pre-checked for equality by the caller
+    bindings[variable] = value
+    return True
+
+
+def _bind_list(
+    bindings: dict, variable: str | None, rels: list[Relationship]
+) -> bool:
+    """Bind a var-length relationship variable to the relationship list."""
+    if variable is None:
+        return False
+    if variable in bindings:
+        return False
+    bindings[variable] = list(rels)
+    return True
+
+
+def _unbind(bindings: dict, variable: str | None, added: bool) -> None:
+    if added and variable is not None:
+        del bindings[variable]

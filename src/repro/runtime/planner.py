@@ -1,0 +1,176 @@
+"""A greedy endpoint planner for pattern matching.
+
+The baseline matcher walks every path pattern left to right, anchoring
+at its first node pattern.  For patterns like::
+
+    MATCH (a)-[:ORDERED]->(b:Product {id: 42})
+
+that means scanning *all* nodes for ``a`` and expanding, even though
+``b`` pins the match to (at most) one index hit.  The planner fixes the
+two cheap, high-value cases without touching the matcher itself:
+
+* **path reversal** -- if the last node of a path is estimated cheaper
+  to enumerate than the first, the path is reversed (elements reversed,
+  relationship directions flipped); matching semantics is unchanged
+  because a path pattern and its mirror match exactly the same subgraphs;
+
+* **path reordering** -- within one MATCH, paths whose anchors are
+  cheaper (bound variables, index hits, small labels) run first, so
+  later paths see more bound variables.
+
+Cost estimates come from the store: 0 for bound variables, the index
+bucket size for property-indexed lookups, the label-index count for
+labeled nodes, the total node count otherwise.
+
+The planner changes only *enumeration order*, so revised-dialect
+results are unaffected (they are order-insensitive by design); under
+the legacy dialect enumeration order is observable through the
+anomalies the paper documents, so planning is **opt-in**
+(``Graph(..., use_planner=True)``) and intended for the revised
+dialect.  `benchmarks/bench_planner.py` measures the effect.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping
+
+from repro.parser import ast
+from repro.runtime.context import EvalContext
+from repro.runtime.expressions import evaluate
+
+
+def plan_pattern(
+    ctx: EvalContext, pattern: ast.Pattern, record: Mapping[str, Any]
+) -> ast.Pattern:
+    """Return an equivalent pattern optimised for *record*'s bindings."""
+    bound: set[str] = {
+        name for name, value in record.items() if value is not None
+    }
+    oriented = [
+        _orient_path(ctx, path, bound, record) for path in pattern.paths
+    ]
+    oriented.sort(key=lambda pair: pair[0])
+    planned: list[ast.PathPattern] = []
+    for __, path in oriented:
+        planned.append(path)
+        # Later paths benefit from the variables earlier ones bind.
+        for element in path.elements:
+            if element.variable is not None:
+                bound.add(element.variable)
+    return ast.Pattern(paths=tuple(planned))
+
+
+def estimate_node_cost(
+    ctx: EvalContext,
+    element: ast.NodePattern,
+    bound: set[str],
+    record: Mapping[str, Any],
+) -> float:
+    """Estimated candidate count for anchoring a walk at *element*."""
+    if element.variable is not None and element.variable in bound:
+        return 0.0
+    store = ctx.store
+    best = float(store.node_count())
+    for label in element.labels:
+        best = min(best, float(len(store.nodes_with_label(label))))
+        if element.properties is not None:
+            for key, expr in element.properties.items:
+                index = store.property_index(label, key)
+                if index is None:
+                    continue
+                value = _try_evaluate(ctx, expr, record, bound)
+                if value is _UNKNOWN:
+                    # Index exists but the key depends on unbound vars;
+                    # assume an average bucket.
+                    best = min(best, max(1.0, len(index) / 8.0))
+                else:
+                    best = min(best, float(len(index.lookup(value))))
+    # An (un-indexed) property map still filters; discount mildly so a
+    # property-carrying end beats a bare one with the same label.
+    if element.properties is not None and element.properties.items:
+        best *= 0.9
+    return best
+
+
+_UNKNOWN = object()
+
+
+def _try_evaluate(
+    ctx: EvalContext,
+    expression: ast.Expression,
+    record: Mapping[str, Any],
+    bound: set[str],
+) -> Any:
+    """Evaluate a property expression if its variables are bound."""
+    if not _variables_of(expression) <= bound | set(record.keys()):
+        return _UNKNOWN
+    try:
+        return evaluate(ctx, expression, dict(record))
+    except Exception:
+        return _UNKNOWN
+
+
+def _variables_of(expression: ast.Expression) -> set[str]:
+    from repro.runtime.aggregation import children
+
+    names: set[str] = set()
+    if isinstance(expression, ast.Variable):
+        names.add(expression.name)
+    for child in children(expression):
+        names |= _variables_of(child)
+    return names
+
+
+def _orient_path(
+    ctx: EvalContext,
+    path: ast.PathPattern,
+    bound: set[str],
+    record: Mapping[str, Any],
+) -> tuple[float, ast.PathPattern]:
+    """Pick the cheaper end of *path* as its anchor; return (cost, path)."""
+    elements = path.elements
+    first = elements[0]
+    last = elements[-1]
+    first_cost = estimate_node_cost(ctx, first, bound, record)
+    if len(elements) == 1 or not _reversible(path):
+        return first_cost, path
+    last_cost = estimate_node_cost(ctx, last, bound, record)
+    if last_cost < first_cost:
+        return last_cost, reverse_path(path)
+    return first_cost, path
+
+
+def _reversible(path: ast.PathPattern) -> bool:
+    """True if reversing cannot change any observable binding.
+
+    A named path binds a directed Path value, and a named
+    variable-length relationship binds a traversal-ordered list; both
+    would be mirrored by reversal, so such paths keep their orientation.
+    """
+    if path.variable is not None:
+        return False
+    return not any(
+        rel.is_var_length and rel.variable is not None
+        for rel in path.relationships
+    )
+
+
+def reverse_path(path: ast.PathPattern) -> ast.PathPattern:
+    """The mirror image of a path pattern (same matches, same bindings).
+
+    Nodes and relationships are listed in reverse order and every
+    directed relationship pattern flips its arrow; undirected patterns
+    are symmetric already.
+    """
+    reversed_elements = []
+    for element in reversed(path.elements):
+        if isinstance(element, ast.RelationshipPattern):
+            if element.direction == ast.OUT:
+                element = dataclasses.replace(element, direction=ast.IN)
+            elif element.direction == ast.IN:
+                element = dataclasses.replace(element, direction=ast.OUT)
+        reversed_elements.append(element)
+    return ast.PathPattern(
+        variable=path.variable, elements=tuple(reversed_elements)
+    )

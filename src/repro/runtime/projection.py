@@ -1,0 +1,341 @@
+"""RETURN and WITH: projection, implicit grouping, ordering.
+
+Cypher has no GROUP BY clause; a projection that contains aggregate
+calls groups implicitly by the values of its non-aggregate items.  The
+processing order is: group/evaluate -> DISTINCT -> ORDER BY -> SKIP ->
+LIMIT -> (for WITH) WHERE.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.errors import CypherEvaluationError, CypherSemanticError
+from repro.graph.values import grouping_key, sort_key
+from repro.parser import ast
+from repro.parser.unparse import unparse
+from repro.runtime.aggregation import (
+    AggregateAccumulator,
+    children,
+    contains_aggregate,
+    is_aggregate_call,
+)
+from repro.runtime.context import EvalContext
+from repro.runtime.expressions import evaluate
+from repro.runtime.table import DrivingTable
+
+
+def project_return(
+    ctx: EvalContext, body: ast.ProjectionBody, table: DrivingTable
+) -> DrivingTable:
+    """Apply a RETURN body to the driving table."""
+    return _project(ctx, body, table, require_aliases=False)
+
+
+def project_with(
+    ctx: EvalContext,
+    body: ast.ProjectionBody,
+    where: ast.Expression | None,
+    table: DrivingTable,
+) -> DrivingTable:
+    """Apply a WITH body (and its optional WHERE) to the driving table."""
+    result = _project(ctx, body, table, require_aliases=True)
+    if where is not None:
+        result = result.filter(
+            lambda record: evaluate(ctx, where, record) is True
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+
+def _column_name(item: ast.ProjectionItem, require_alias: bool) -> str:
+    if item.alias is not None:
+        return item.alias
+    if isinstance(item.expression, ast.Variable):
+        return item.expression.name
+    if require_alias:
+        raise CypherSemanticError(
+            f"WITH requires an alias for expression "
+            f"'{unparse(item.expression)}'"
+        )
+    return unparse(item.expression)
+
+
+def _expand_items(
+    body: ast.ProjectionBody, table: DrivingTable, require_alias: bool
+) -> list[tuple[str, ast.Expression]]:
+    """Resolve ``*`` and aliases into an ordered (name, expr) list."""
+    columns: list[tuple[str, ast.Expression]] = []
+    if body.include_existing:
+        if not table.columns:
+            raise CypherSemanticError(
+                "RETURN * is not allowed when there are no variables in scope"
+            )
+        for column in table.columns:
+            columns.append((column, ast.Variable(column)))
+    for item in body.items:
+        name = _column_name(item, require_alias)
+        if any(existing == name for existing, __ in columns):
+            raise CypherSemanticError(f"duplicate column name '{name}'")
+        columns.append((name, item.expression))
+    if not columns:
+        raise CypherSemanticError("empty projection")
+    return columns
+
+
+def _project(
+    ctx: EvalContext,
+    body: ast.ProjectionBody,
+    table: DrivingTable,
+    *,
+    require_aliases: bool,
+) -> DrivingTable:
+    columns = _expand_items(body, table, require_aliases)
+    aggregating = any(contains_aggregate(expr) for __, expr in columns)
+    if aggregating:
+        rows = _aggregate_rows(ctx, columns, table)
+    else:
+        rows = [
+            (
+                {name: evaluate(ctx, expr, record) for name, expr in columns},
+                record,
+            )
+            for record in table
+        ]
+    output_columns = tuple(name for name, __ in columns)
+    if body.distinct:
+        rows = _distinct_rows(rows, output_columns)
+    if body.order_by:
+        rows = _order_rows(ctx, body.order_by, rows)
+    rows = _skip_limit(ctx, body, rows)
+    result = DrivingTable(output_columns)
+    for output, __ in rows:
+        result.add(output)
+    return result
+
+
+def _aggregate_rows(
+    ctx: EvalContext,
+    columns: list[tuple[str, ast.Expression]],
+    table: DrivingTable,
+) -> list[tuple[dict, dict]]:
+    """Group by the non-aggregate items and fold the aggregates.
+
+    Returns (output_record, representative_input_record) pairs; the
+    representative record lets ORDER BY expressions still reference
+    grouping variables.
+    """
+    grouping_items = [
+        (name, expr) for name, expr in columns if not contains_aggregate(expr)
+    ]
+    aggregate_items = [
+        (name, expr) for name, expr in columns if contains_aggregate(expr)
+    ]
+    groups: dict[tuple, dict] = {}
+    for record in table:
+        grouping_values = {
+            name: evaluate(ctx, expr, record) for name, expr in grouping_items
+        }
+        key = tuple(
+            grouping_key(grouping_values[name]) for name, __ in grouping_items
+        )
+        group = groups.get(key)
+        if group is None:
+            accumulators: dict[int, AggregateAccumulator] = {}
+            percentiles: dict[int, Any] = {}
+            for __, expr in aggregate_items:
+                for node in _aggregate_nodes(expr):
+                    accumulators[id(node)] = _make_accumulator(node)
+            group = {
+                "values": grouping_values,
+                "record": record,
+                "accumulators": accumulators,
+                "percentiles": percentiles,
+            }
+            groups[key] = group
+        for __, expr in aggregate_items:
+            for node in _aggregate_nodes(expr):
+                _feed_accumulator(
+                    ctx,
+                    node,
+                    group["accumulators"][id(node)],
+                    group["percentiles"],
+                    record,
+                )
+    # An aggregation with no grouping items over an empty table still
+    # produces one row (count(*) = 0, collect = [] ...).
+    if not groups and not grouping_items:
+        accumulators = {}
+        for __, expr in aggregate_items:
+            for node in _aggregate_nodes(expr):
+                accumulators[id(node)] = _make_accumulator(node)
+        groups[()] = {
+            "values": {},
+            "record": {},
+            "accumulators": accumulators,
+            "percentiles": {},
+        }
+    rows: list[tuple[dict, dict]] = []
+    for group in groups.values():
+        output = dict(group["values"])
+        substitutions = {
+            node_id: accumulator.result(group["percentiles"].get(node_id))
+            for node_id, accumulator in group["accumulators"].items()
+        }
+        for name, expr in aggregate_items:
+            output[name] = _evaluate_substituted(
+                ctx, expr, group["record"], substitutions
+            )
+        rows.append((output, group["record"]))
+    return rows
+
+
+def _aggregate_nodes(expression: ast.Expression) -> Iterable[ast.Expression]:
+    """All aggregate call nodes in an expression tree (outermost only)."""
+    if is_aggregate_call(expression):
+        yield expression
+        return
+    for child in children(expression):
+        yield from _aggregate_nodes(child)
+
+
+def _make_accumulator(node: ast.Expression) -> AggregateAccumulator:
+    if isinstance(node, ast.CountStar):
+        return AggregateAccumulator("count(*)")
+    assert isinstance(node, ast.FunctionCall)
+    return AggregateAccumulator(node.name, distinct=node.distinct)
+
+
+def _feed_accumulator(
+    ctx: EvalContext,
+    node: ast.Expression,
+    accumulator: AggregateAccumulator,
+    percentiles: dict[int, Any],
+    record: Mapping[str, Any],
+) -> None:
+    if isinstance(node, ast.CountStar):
+        accumulator.add(None)
+        return
+    assert isinstance(node, ast.FunctionCall)
+    if not node.args:
+        raise CypherEvaluationError(
+            f"aggregate {node.name}() requires an argument"
+        )
+    value = evaluate(ctx, node.args[0], record)
+    if node.name in ("percentiledisc", "percentilecont"):
+        if len(node.args) != 2:
+            raise CypherEvaluationError(
+                f"{node.name}() expects 2 arguments"
+            )
+        percentiles[id(node)] = evaluate(ctx, node.args[1], record)
+    accumulator.add(value)
+
+
+def _evaluate_substituted(
+    ctx: EvalContext,
+    expression: ast.Expression,
+    record: Mapping[str, Any],
+    substitutions: Mapping[int, Any],
+) -> Any:
+    """Evaluate an expression with aggregate sub-results plugged in."""
+    if id(expression) in substitutions:
+        return substitutions[id(expression)]
+    if is_aggregate_call(expression):  # pragma: no cover - defensive
+        raise CypherEvaluationError("unaccumulated aggregate")
+    rebuilt = _substitute(expression, substitutions)
+    return evaluate(ctx, rebuilt, record)
+
+
+def _substitute(
+    expression: ast.Expression, substitutions: Mapping[int, Any]
+) -> ast.Expression:
+    import dataclasses
+
+    if id(expression) in substitutions:
+        return ast.Literal(substitutions[id(expression)])
+    if not dataclasses.is_dataclass(expression):
+        return expression
+    changes = {}
+    for field in dataclasses.fields(expression):
+        value = getattr(expression, field.name)
+        if isinstance(value, ast.Expression):
+            changes[field.name] = _substitute(value, substitutions)
+        elif isinstance(value, tuple) and any(
+            isinstance(item, ast.Expression) for item in value
+        ):
+            changes[field.name] = tuple(
+                _substitute(item, substitutions)
+                if isinstance(item, ast.Expression)
+                else item
+                for item in value
+            )
+    if changes:
+        return dataclasses.replace(expression, **changes)
+    return expression
+
+
+def _distinct_rows(
+    rows: list[tuple[dict, dict]], columns: tuple[str, ...]
+) -> list[tuple[dict, dict]]:
+    seen: set = set()
+    result = []
+    for output, record in rows:
+        key = tuple(grouping_key(output[column]) for column in columns)
+        if key not in seen:
+            seen.add(key)
+            result.append((output, record))
+    return result
+
+
+def _order_rows(
+    ctx: EvalContext,
+    order_by: tuple[ast.SortItem, ...],
+    rows: list[tuple[dict, dict]],
+) -> list[tuple[dict, dict]]:
+    def key(row: tuple[dict, dict]) -> tuple:
+        output, record = row
+        # Sort expressions see the projected columns first, then any
+        # still-unshadowed input variables.
+        scope = {**record, **output}
+        parts = []
+        for item in order_by:
+            value = evaluate(ctx, item.expression, scope)
+            item_key = sort_key(value)
+            parts.append(item_key if item.ascending else _Reversed(item_key))
+        return tuple(parts)
+
+    return sorted(rows, key=key)
+
+
+class _Reversed:
+    """Inverts comparison for descending sort keys."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Any):
+        self.key = key
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and other.key == self.key
+
+
+def _skip_limit(
+    ctx: EvalContext,
+    body: ast.ProjectionBody,
+    rows: list[tuple[dict, dict]],
+) -> list[tuple[dict, dict]]:
+    if body.skip is not None:
+        skip = evaluate(ctx, body.skip, {})
+        if not isinstance(skip, int) or isinstance(skip, bool) or skip < 0:
+            raise CypherEvaluationError("SKIP expects a non-negative integer")
+        rows = rows[skip:]
+    if body.limit is not None:
+        limit = evaluate(ctx, body.limit, {})
+        if not isinstance(limit, int) or isinstance(limit, bool) or limit < 0:
+            raise CypherEvaluationError("LIMIT expects a non-negative integer")
+        rows = rows[:limit]
+    return rows

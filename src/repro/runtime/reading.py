@@ -1,0 +1,99 @@
+"""Reading clauses: MATCH, OPTIONAL MATCH, UNWIND, LOAD CSV.
+
+Reading clauses never modify the graph: ``[[C]](G, T) = (G, [[C]]ro(T))``
+(Section 8.1).  Each function here maps a driving table to a driving
+table against a fixed graph.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CypherSemanticError, CypherTypeError
+from repro.graph.values import type_name
+from repro.parser import ast
+from repro.runtime.context import EvalContext
+from repro.runtime.expressions import evaluate
+from repro.runtime.matcher import match_pattern, pattern_variables
+from repro.runtime.table import DrivingTable
+
+
+def execute_match(
+    ctx: EvalContext, clause: ast.MatchClause, table: DrivingTable
+) -> DrivingTable:
+    """MATCH / OPTIONAL MATCH with an optional WHERE filter."""
+    new_variables = [
+        name
+        for name in pattern_variables(clause.pattern)
+        if name not in table.columns
+    ]
+    pattern = clause.pattern
+    if ctx.use_planner and len(table) > 0:
+        from repro.runtime.planner import plan_pattern
+
+        # Plan once per clause, using the first record's bindings as
+        # representative for index-selectivity estimates.
+        pattern = plan_pattern(ctx, pattern, table.records[0])
+    output = DrivingTable(tuple(table.columns) + tuple(new_variables))
+    for record in table:
+        matched_any = False
+        for bindings in match_pattern(ctx, pattern, record):
+            if clause.where is not None:
+                if evaluate(ctx, clause.where, bindings) is not True:
+                    continue
+            matched_any = True
+            output.add({name: bindings.get(name) for name in output.columns})
+        if not matched_any and clause.optional:
+            extended = dict(record)
+            for name in new_variables:
+                extended[name] = None
+            output.add(extended)
+    return output
+
+
+def execute_unwind(
+    ctx: EvalContext, clause: ast.UnwindClause, table: DrivingTable
+) -> DrivingTable:
+    """UNWIND expr AS x: one output record per list element."""
+    if clause.variable in table.columns:
+        raise CypherSemanticError(
+            f"variable '{clause.variable}' is already bound"
+        )
+    output = DrivingTable(tuple(table.columns) + (clause.variable,))
+    for record in table:
+        value = evaluate(ctx, clause.expression, record)
+        if value is None:
+            continue  # UNWIND null yields no rows
+        elements = value if isinstance(value, list) else [value]
+        for element in elements:
+            extended = dict(record)
+            extended[clause.variable] = element
+            output.add(extended)
+    return output
+
+
+def execute_load_csv(
+    ctx: EvalContext, clause: ast.LoadCsvClause, table: DrivingTable
+) -> DrivingTable:
+    """LOAD CSV: bind each CSV row (list or map) to the row variable."""
+    from repro.io.csv_io import read_csv_rows  # local import: io layering
+
+    if clause.variable in table.columns:
+        raise CypherSemanticError(
+            f"variable '{clause.variable}' is already bound"
+        )
+    output = DrivingTable(tuple(table.columns) + (clause.variable,))
+    for record in table:
+        source = evaluate(ctx, clause.source, record)
+        if not isinstance(source, str):
+            raise CypherTypeError(
+                f"LOAD CSV expects a file path string, got {type_name(source)}"
+            )
+        rows = read_csv_rows(
+            source,
+            with_headers=clause.with_headers,
+            delimiter=clause.field_terminator or ",",
+        )
+        for row in rows:
+            extended = dict(record)
+            extended[clause.variable] = row
+            output.add(extended)
+    return output

@@ -1,0 +1,211 @@
+"""User-facing façade: :class:`Graph` and :class:`Transaction`.
+
+``Graph`` bundles a store with one engine per use and offers the
+ergonomic entry points the examples and benchmarks use::
+
+    from repro import Graph, Dialect
+
+    g = Graph(dialect=Dialect.REVISED)
+    g.run("CREATE (:User {id: 89, name: 'Bob'})")
+    result = g.run("MATCH (u:User) RETURN u.name AS name")
+
+Multi-statement transactions bracket several statements in one
+rollback scope on top of the engine's per-statement atomicity::
+
+    with g.transaction():
+        g.run(...)
+        g.run(...)        # an exception rolls back both
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.dialect import Dialect
+from repro.engine import CypherEngine, QueryResult
+from repro.errors import TransactionError
+from repro.graph.model import GraphSnapshot, Node, Relationship
+from repro.graph.statistics import GraphStatistics, collect_statistics
+from repro.graph.store import GraphStore
+from repro.runtime.context import MatchMode
+from repro.runtime.table import DrivingTable
+
+
+class Transaction:
+    """A rollback scope over multiple statements."""
+
+    def __init__(self, store: GraphStore):
+        self._store = store
+        self._mark = store.mark()
+        self._closed = False
+
+    def commit(self) -> None:
+        """Keep all changes made inside the transaction."""
+        if self._closed:
+            raise TransactionError("transaction already closed")
+        self._closed = True
+
+    def rollback(self) -> None:
+        """Undo all changes made inside the transaction."""
+        if self._closed:
+            raise TransactionError("transaction already closed")
+        self._store.rollback_to(self._mark)
+        self._closed = True
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if not self._closed:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.rollback()
+        return False
+
+
+class Graph:
+    """A property graph plus a Cypher engine."""
+
+    def __init__(
+        self,
+        dialect: Dialect | str = Dialect.REVISED,
+        *,
+        extended_merge: bool = False,
+        match_mode: MatchMode | str = MatchMode.TRAIL,
+        use_planner: bool = False,
+        store: GraphStore | None = None,
+    ):
+        self.store = store if store is not None else GraphStore()
+        self.engine = CypherEngine(
+            self.store,
+            dialect,
+            extended_merge=extended_merge,
+            match_mode=match_mode,
+            use_planner=use_planner,
+        )
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    @property
+    def dialect(self) -> Dialect:
+        """The dialect this graph's engine speaks."""
+        return self.engine.dialect
+
+    def run(
+        self,
+        statement: str,
+        parameters: Mapping[str, Any] | None = None,
+        *,
+        table: DrivingTable | None = None,
+        **kw_parameters: Any,
+    ) -> QueryResult:
+        """Execute one statement (parameters via mapping or keywords)."""
+        merged = dict(parameters or {})
+        merged.update(kw_parameters)
+        return self.engine.execute(statement, merged, table=table)
+
+    def explain(self, statement: str) -> str:
+        """Describe how *statement* would execute, without running it."""
+        return self.engine.explain(statement)
+
+    def transaction(self) -> Transaction:
+        """Open a multi-statement rollback scope."""
+        return Transaction(self.store)
+
+    def with_dialect(
+        self, dialect: Dialect | str, *, extended_merge: bool | None = None
+    ) -> "Graph":
+        """A second view of the *same* store under another dialect."""
+        return Graph(
+            dialect,
+            extended_merge=(
+                self.engine.extended_merge
+                if extended_merge is None
+                else extended_merge
+            ),
+            match_mode=self.engine.match_mode,
+            use_planner=self.engine.use_planner,
+            store=self.store,
+        )
+
+    # ------------------------------------------------------------------
+    # Direct graph access
+    # ------------------------------------------------------------------
+
+    def create_node(
+        self, *labels: str, **properties: Any
+    ) -> Node:
+        """Create a node directly (bypassing Cypher)."""
+        node_id = self.store.create_node(labels, properties)
+        return self.store.node(node_id)
+
+    def create_relationship(
+        self,
+        source: Node | int,
+        rel_type: str,
+        target: Node | int,
+        **properties: Any,
+    ) -> Relationship:
+        """Create a relationship directly (bypassing Cypher)."""
+        source_id = source.id if isinstance(source, Node) else source
+        target_id = target.id if isinstance(target, Node) else target
+        rel_id = self.store.create_relationship(
+            rel_type, source_id, target_id, properties
+        )
+        return self.store.relationship(rel_id)
+
+    def nodes(self) -> list[Node]:
+        """All live nodes."""
+        return list(self.store.nodes())
+
+    def relationships(self) -> list[Relationship]:
+        """All live relationships."""
+        return list(self.store.relationships())
+
+    def node_count(self) -> int:
+        """Number of live nodes."""
+        return self.store.node_count()
+
+    def relationship_count(self) -> int:
+        """Number of live relationships."""
+        return self.store.relationship_count()
+
+    def snapshot(self) -> GraphSnapshot:
+        """Immutable copy of the current graph."""
+        return self.store.snapshot()
+
+    def statistics(self) -> GraphStatistics:
+        """Descriptive statistics of the current graph."""
+        return collect_statistics(self.store)
+
+    def create_index(self, label: str, key: str) -> None:
+        """Create a property index on ``:label(key)``."""
+        self.store.create_index(label, key)
+
+    def create_unique_constraint(self, label: str, key: str) -> None:
+        """Require ``:label(key)`` to be unique (index-backed)."""
+        self.store.create_unique_constraint(label, key)
+
+    def drop_unique_constraint(self, label: str, key: str) -> None:
+        """Drop a uniqueness constraint."""
+        self.store.drop_unique_constraint(label, key)
+
+    def copy(self) -> "Graph":
+        """Deep copy (same dialect, fresh store)."""
+        return Graph(
+            self.engine.dialect,
+            extended_merge=self.engine.extended_merge,
+            match_mode=self.engine.match_mode,
+            use_planner=self.engine.use_planner,
+            store=self.store.copy(),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph({self.store.node_count()} nodes, "
+            f"{self.store.relationship_count()} relationships, "
+            f"dialect={self.engine.dialect.value})"
+        )

@@ -1,0 +1,1 @@
+"""Rendering and inspection helpers (DOT / ASCII)."""

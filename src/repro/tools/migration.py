@@ -1,0 +1,308 @@
+"""Migration linter: what happens to a Cypher 9 statement under the revision?
+
+Section 9 of the paper: Neo4j planned to roll the revised semantics out
+"under the existing deprecation regime to avoid or minimize query
+breakage for customers".  This linter is the tool that regime needs: it
+takes Cypher 9 statements and reports, per statement,
+
+* **syntax breaks** -- constructs the revised grammar rejects (bare
+  ``MERGE``, undirected MERGE patterns, ``ON CREATE``/``ON MATCH``),
+  with a suggested rewrite;
+* **semantic changes** -- constructs that stay legal but can behave
+  differently (multi-target ``SET`` items that read written properties,
+  ``DELETE`` without ``DETACH``, statements whose outcome depended on
+  the per-record pipeline);
+* **unchanged** -- statements whose meaning is identical in both
+  dialects.
+
+The analysis is static and conservative: it flags *potential* changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Iterator
+
+from repro.dialect import Dialect
+from repro.errors import CypherSyntaxError
+from repro.parser import ast, parse
+from repro.parser.unparse import unparse
+
+
+class Severity(enum.Enum):
+    """How much attention a finding needs."""
+
+    BREAKS = "breaks"          # revised dialect rejects the statement
+    CHANGES = "changes"        # legal, but behaviour may differ
+    INFO = "info"              # legal and equivalent, FYI only
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One migration finding for a statement."""
+
+    severity: Severity
+    code: str
+    message: str
+    suggestion: str = ""
+
+    def render(self) -> str:
+        text = f"[{self.severity.value}] {self.code}: {self.message}"
+        if self.suggestion:
+            text += f"\n    -> {self.suggestion}"
+        return text
+
+
+@dataclasses.dataclass(frozen=True)
+class Report:
+    """Lint result for one statement."""
+
+    source: str
+    findings: tuple[Finding, ...]
+
+    @property
+    def breaks(self) -> bool:
+        return any(f.severity is Severity.BREAKS for f in self.findings)
+
+    @property
+    def changes(self) -> bool:
+        return any(f.severity is Severity.CHANGES for f in self.findings)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        header = self.source.strip().replace("\n", " ")
+        if len(header) > 68:
+            header = header[:65] + "..."
+        if self.clean:
+            return f"OK      {header}"
+        flag = "BREAKS " if self.breaks else "CHANGES"
+        lines = [f"{flag} {header}"]
+        lines.extend("  " + finding.render() for finding in self.findings)
+        return "\n".join(lines)
+
+
+def lint_statement(source: str) -> Report:
+    """Analyse one Cypher 9 statement for revised-dialect migration."""
+    try:
+        statement = parse(source, Dialect.CYPHER9)
+    except CypherSyntaxError as error:
+        return Report(
+            source,
+            (
+                Finding(
+                    Severity.BREAKS,
+                    "not-cypher9",
+                    f"does not parse as Cypher 9: {error}",
+                ),
+            ),
+        )
+    if isinstance(statement, ast.SchemaStatement):
+        return Report(source, ())
+    findings = list(_analyse(statement))
+    return Report(source, tuple(findings))
+
+
+def lint_script(text: str) -> list[Report]:
+    """Lint every statement of a ``;``-separated script."""
+    from repro.io.cypher_script import split_statements
+
+    return [lint_statement(statement) for statement in split_statements(text)]
+
+
+# ---------------------------------------------------------------------------
+
+def _analyse(statement: ast.Statement) -> Iterator[Finding]:
+    for branch in statement.branches():
+        yield from _analyse_clauses(branch.clauses)
+
+
+def _analyse_clauses(clauses: tuple[ast.Clause, ...]) -> Iterator[Finding]:
+    for clause in clauses:
+        if isinstance(clause, ast.MergeClause):
+            yield from _analyse_merge(clause)
+        elif isinstance(clause, ast.SetClause):
+            yield from _analyse_set(clause)
+        elif isinstance(clause, ast.DeleteClause):
+            yield from _analyse_delete(clause, clauses)
+        elif isinstance(clause, ast.ForeachClause):
+            yield from _analyse_clauses(clause.updates)
+
+
+def _analyse_merge(clause: ast.MergeClause) -> Iterator[Finding]:
+    if clause.semantics != ast.MERGE_LEGACY:
+        return
+    pattern_text = unparse(clause.pattern)
+    undirected = any(
+        rel.direction == ast.BOTH
+        for path in clause.pattern.paths
+        for rel in path.relationships
+    )
+    suggestion = (
+        f"rewrite as `MERGE SAME {_directed_text(clause.pattern)}` to keep "
+        f"the match-or-create-minimally intent, or `MERGE ALL ...` to "
+        f"always instantiate per record"
+    )
+    yield Finding(
+        Severity.BREAKS,
+        "bare-merge",
+        f"`MERGE {pattern_text}` is rejected by the revised grammar",
+        suggestion,
+    )
+    if undirected:
+        yield Finding(
+            Severity.BREAKS,
+            "undirected-merge",
+            "undirected relationship patterns are not allowed in the "
+            "revised MERGE; pick the direction the data should have",
+        )
+    if clause.on_create or clause.on_match:
+        yield Finding(
+            Severity.BREAKS,
+            "merge-actions",
+            "ON CREATE SET / ON MATCH SET are not part of the revised "
+            "MERGE",
+            "apply the ON MATCH effects with a separate SET after the "
+            "MERGE; fold ON CREATE properties into the pattern's map",
+        )
+    if len(clause.pattern.paths) == 1 and len(
+        clause.pattern.paths[0].elements
+    ) > 1:
+        yield Finding(
+            Severity.CHANGES,
+            "merge-whole-pattern",
+            "legacy MERGE matched-or-created the *entire* pattern per "
+            "record and could read its own writes (paper, Example 3); "
+            "the revised forms are atomic and deterministic",
+        )
+
+
+def _directed_text(pattern: ast.Pattern) -> str:
+    paths = []
+    for path in pattern.paths:
+        elements = tuple(
+            dataclasses.replace(element, direction=ast.OUT)
+            if isinstance(element, ast.RelationshipPattern)
+            and element.direction == ast.BOTH
+            else element
+            for element in path.elements
+        )
+        paths.append(ast.PathPattern(variable=path.variable, elements=elements))
+    return unparse(ast.Pattern(paths=tuple(paths)))
+
+
+def _analyse_set(clause: ast.SetClause) -> Iterator[Finding]:
+    # Heuristic for Example 1-style interdependence: some item's value
+    # expression reads a (variable, key) that another item writes.
+    written: set[tuple[str, str]] = set()
+    for item in clause.items:
+        if isinstance(item, ast.SetProperty) and isinstance(
+            item.target.subject, ast.Variable
+        ):
+            written.add((item.target.subject.name, item.target.key))
+    for item in clause.items:
+        value = getattr(item, "value", None)
+        if value is None:
+            continue
+        own_target = (
+            (item.target.subject.name, item.target.key)
+            if isinstance(item, ast.SetProperty)
+            and isinstance(item.target.subject, ast.Variable)
+            else None
+        )
+        for variable, key in _property_reads(value):
+            if (variable, key) in written and (variable, key) != own_target:
+                yield Finding(
+                    Severity.CHANGES,
+                    "set-read-write",
+                    f"`{unparse(clause)}` reads {variable}.{key}, which "
+                    f"another item writes: Cypher 9 applied items "
+                    f"sequentially (the Example 1 swap is lost), the "
+                    f"revised SET reads all values from the input graph "
+                    f"(the swap works)",
+                )
+                return
+            if (variable, key) == own_target:
+                yield Finding(
+                    Severity.CHANGES,
+                    "set-self-reference",
+                    f"`{unparse(item.target)} = ...` reads its own "
+                    f"target: if several driving-table records hit the "
+                    f"same entity, Cypher 9 applied the item cumulatively "
+                    f"per record, while the revised SET computes every "
+                    f"value from the input graph (duplicates coalesce)",
+                )
+                return
+    # Potential Example 2 ambiguity: same property written from an
+    # expression over another matched variable (cannot be decided
+    # statically; flag multi-variable writes).
+    targets = {
+        item.target.subject.name
+        for item in clause.items
+        if isinstance(item, ast.SetProperty)
+        and isinstance(item.target.subject, ast.Variable)
+    }
+    reads = {
+        variable
+        for item in clause.items
+        if getattr(item, "value", None) is not None
+        for variable, __ in _property_reads(item.value)
+    }
+    if targets and reads - targets:
+        yield Finding(
+            Severity.CHANGES,
+            "set-possible-conflict",
+            "this SET copies values between matched entities; if several "
+            "records write different values to one property, Cypher 9 "
+            "silently kept the last one (Example 2) while the revised "
+            "dialect aborts with PropertyConflictError",
+        )
+
+
+def _property_reads(expression: ast.Expression) -> Iterator[tuple[str, str]]:
+    from repro.runtime.aggregation import children
+
+    if isinstance(expression, ast.Property) and isinstance(
+        expression.subject, ast.Variable
+    ):
+        yield (expression.subject.name, expression.key)
+    for child in children(expression):
+        yield from _property_reads(child)
+
+
+def _analyse_delete(
+    clause: ast.DeleteClause, clauses: tuple[ast.Clause, ...]
+) -> Iterator[Finding]:
+    if clause.detach:
+        return
+    yield Finding(
+        Severity.CHANGES,
+        "plain-delete",
+        "plain DELETE: Cypher 9 tolerated dangling relationships until "
+        "the end of the statement (Section 4.2); the revised dialect "
+        "requires every attached relationship to be deleted in the SAME "
+        "clause",
+        "use DETACH DELETE, or delete the relationships in the same "
+        "DELETE clause",
+    )
+    # Zombie writes: any later SET/REMOVE in the same statement.
+    seen_delete = False
+    for other in clauses:
+        if other is clause:
+            seen_delete = True
+            continue
+        if seen_delete and isinstance(
+            other, (ast.SetClause, ast.RemoveClause)
+        ):
+            yield Finding(
+                Severity.CHANGES,
+                "write-after-delete",
+                "a SET/REMOVE follows a DELETE in the same statement: "
+                "Cypher 9 silently dropped writes to deleted entities; "
+                "the revised dialect nulls the deleted references (writes "
+                "to them become no-ops on null)",
+            )
+            return

@@ -1,0 +1,69 @@
+"""Rendering helpers: Graphviz DOT and plain-text adjacency listings.
+
+Used by the examples to show before/after graphs, and by the benchmark
+harness to dump the figures it regenerates next to the paper's
+originals.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.graph.model import GraphSnapshot
+from repro.graph.store import GraphStore
+
+
+def _as_snapshot(graph: GraphStore | GraphSnapshot) -> GraphSnapshot:
+    if isinstance(graph, GraphStore):
+        return graph.snapshot()
+    return graph
+
+
+def _format_props(props: dict[str, Any]) -> str:
+    if not props:
+        return ""
+    inner = ", ".join(f"{k}: {v!r}" for k, v in sorted(props.items()))
+    return f" {{{inner}}}"
+
+
+def to_dot(graph: GraphStore | GraphSnapshot, name: str = "G") -> str:
+    """Render the graph as Graphviz DOT."""
+    snapshot = _as_snapshot(graph)
+    lines = [f"digraph {name} {{", "  rankdir=LR;", "  node [shape=box];"]
+    for node_id in sorted(snapshot.nodes):
+        labels = "".join(
+            f":{label}"
+            for label in sorted(snapshot.labels.get(node_id, frozenset()))
+        )
+        props = _format_props(dict(snapshot.node_properties.get(node_id, {})))
+        text = f"n{node_id}{labels}{props}".replace('"', '\\"')
+        lines.append(f'  n{node_id} [label="{text}"];')
+    for rel_id in sorted(snapshot.relationships):
+        props = _format_props(dict(snapshot.rel_properties.get(rel_id, {})))
+        label = f":{snapshot.types[rel_id]}{props}".replace('"', '\\"')
+        lines.append(
+            f"  n{snapshot.source[rel_id]} -> n{snapshot.target[rel_id]} "
+            f'[label="{label}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_text(graph: GraphStore | GraphSnapshot) -> str:
+    """A deterministic plain-text listing of nodes and relationships."""
+    snapshot = _as_snapshot(graph)
+    lines = []
+    for node_id in sorted(snapshot.nodes):
+        labels = "".join(
+            f":{label}"
+            for label in sorted(snapshot.labels.get(node_id, frozenset()))
+        )
+        props = _format_props(dict(snapshot.node_properties.get(node_id, {})))
+        lines.append(f"(#{node_id}{labels}{props})")
+    for rel_id in sorted(snapshot.relationships):
+        props = _format_props(dict(snapshot.rel_properties.get(rel_id, {})))
+        lines.append(
+            f"(#{snapshot.source[rel_id]})-[:{snapshot.types[rel_id]}"
+            f"{props}]->(#{snapshot.target[rel_id]})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,1 @@
+"""Synthetic workload generators for the benchmarks."""

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Keep the property suite fast by default; CI can select the "thorough"
+# profile with HYPOTHESIS_PROFILE=thorough.
+settings.register_profile(
+    "fast",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("thorough", max_examples=500, deadline=None)
+settings.load_profile("fast")
+
+from repro import Dialect, Graph
+from repro.graph.store import GraphStore
+from repro.paper import example3_graph, figure1_graph
+
+
+@pytest.fixture
+def store() -> GraphStore:
+    """An empty graph store."""
+    return GraphStore()
+
+
+@pytest.fixture
+def legacy_graph() -> Graph:
+    """An empty graph speaking the Cypher 9 dialect."""
+    return Graph(Dialect.CYPHER9)
+
+
+@pytest.fixture
+def revised_graph() -> Graph:
+    """An empty graph speaking the revised dialect."""
+    return Graph(Dialect.REVISED)
+
+
+@pytest.fixture
+def extended_graph() -> Graph:
+    """Revised dialect with the experimental MERGE variants enabled."""
+    return Graph(Dialect.REVISED, extended_merge=True)
+
+
+@pytest.fixture
+def marketplace() -> Graph:
+    """The Figure 1 marketplace graph, legacy dialect."""
+    return Graph(Dialect.CYPHER9, store=figure1_graph())
+
+
+@pytest.fixture
+def marketplace_revised() -> Graph:
+    """The Figure 1 marketplace graph, revised dialect."""
+    return Graph(Dialect.REVISED, store=figure1_graph())
+
+
+@pytest.fixture
+def example3() -> Graph:
+    """The Example 3 five-node graph, legacy dialect."""
+    return Graph(Dialect.CYPHER9, store=example3_graph())

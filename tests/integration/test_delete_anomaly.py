@@ -1,0 +1,83 @@
+"""E4: the Section 4.2 DELETE anomaly and its strict replacement."""
+
+import pytest
+
+from repro import DanglingRelationshipError, Dialect, Graph
+from repro.errors import UpdateError
+from repro.paper import SECTION_4_2_STATEMENT, section_4_2_graph
+
+
+class TestLegacyAnomaly:
+    def test_statement_goes_through_without_error(self):
+        g = Graph(Dialect.CYPHER9, store=section_4_2_graph())
+        result = g.run(SECTION_4_2_STATEMENT)
+        assert len(result) == 1
+
+    def test_returned_node_is_empty(self):
+        g = Graph(Dialect.CYPHER9, store=section_4_2_graph())
+        zombie = g.run(SECTION_4_2_STATEMENT).records[0]["user"]
+        assert zombie.labels == frozenset()
+        assert dict(zombie.properties) == {}
+        assert zombie.is_deleted
+
+    def test_set_on_deleted_entity_is_lost(self):
+        g = Graph(Dialect.CYPHER9, store=section_4_2_graph())
+        g.run(SECTION_4_2_STATEMENT)
+        # id = 999 never landed anywhere.
+        remaining = g.run("MATCH (n) RETURN n.id AS id")
+        assert remaining.values("id") == [125]
+
+    def test_intermediate_state_has_dangling_relationship(self):
+        # Reproduce the illegal working graph: delete only the user and
+        # observe (via the engine's commit check) that the statement
+        # would leave a dangling relationship.
+        g = Graph(Dialect.CYPHER9, store=section_4_2_graph())
+        with pytest.raises(UpdateError):
+            g.run("MATCH (user:User) DELETE user")
+
+    def test_matching_on_illegal_intermediate_graph(self):
+        # Section 4.2: "complex data querying may actually be executed
+        # on this illegal graph".  Mid-statement, the dangling
+        # relationship is still matchable from its surviving endpoint,
+        # and its missing endpoint matches as an empty anonymous node.
+        g = Graph(Dialect.CYPHER9, store=section_4_2_graph())
+        result = g.run(
+            "MATCH (user:User)-[order:ORDERED]->(product) "
+            "DELETE user "
+            "WITH product "
+            "MATCH (product)<-[r:ORDERED]-(ghost) "
+            "DELETE r "
+            "RETURN labels(ghost) AS ghost_labels"
+        )
+        assert result.values("ghost_labels") == [[]]
+        # The statement ends without dangling rels, so it commits.
+        assert g.node_count() == 1
+
+
+class TestRevisedStrictness:
+    def test_statement_is_rejected(self):
+        g = Graph(Dialect.REVISED, store=section_4_2_graph())
+        with pytest.raises(DanglingRelationshipError):
+            g.run(SECTION_4_2_STATEMENT)
+
+    def test_rejection_is_atomic(self):
+        g = Graph(Dialect.REVISED, store=section_4_2_graph())
+        with pytest.raises(DanglingRelationshipError):
+            g.run(SECTION_4_2_STATEMENT)
+        assert g.node_count() == 2
+        assert g.relationship_count() == 1
+
+    def test_same_clause_deletion_is_fine(self):
+        g = Graph(Dialect.REVISED, store=section_4_2_graph())
+        g.run(
+            "MATCH (user)-[order:ORDERED]->(product) DELETE user, order"
+        )
+        assert g.node_count() == 1
+
+    def test_deleted_reference_becomes_null_in_return(self):
+        g = Graph(Dialect.REVISED, store=section_4_2_graph())
+        result = g.run(
+            "MATCH (user:User)-[order]->() DETACH DELETE user "
+            "RETURN user, order"
+        )
+        assert result.records == [{"user": None, "order": None}]

@@ -1,0 +1,100 @@
+"""E9: the grammar differences between Figures 2-5 and Figure 10."""
+
+import pytest
+
+from repro.dialect import Dialect
+from repro.errors import CypherSyntaxError, MergeSyntaxError
+from repro.parser import parse
+
+#: Statements legal in BOTH dialects.
+SHARED = [
+    "MATCH (n) RETURN n",
+    "MATCH (n:User {id: 1}) WHERE n.age > 21 RETURN n.name AS name",
+    "CREATE (:User {id: 1})-[:ORDERED]->(:Product)",
+    "MATCH (n) SET n.x = 1 REMOVE n.y",
+    "MATCH (n) DETACH DELETE n",
+    "MATCH (n) WITH n.x AS x WHERE x > 0 RETURN x ORDER BY x DESC LIMIT 3",
+    "UNWIND [1, 2] AS x CREATE (:N {v: x})",
+    "FOREACH (x IN [1] | CREATE (:N))",
+    "MATCH (n) RETURN n.x AS x UNION MATCH (m) RETURN m.x AS x",
+    "CREATE (n) WITH n MATCH (m) RETURN m",  # WITH between update and read
+]
+
+#: Legal ONLY in Cypher 9 (Figures 2-5).
+LEGACY_ONLY = [
+    "MERGE (n:User {id: 1})",
+    "MERGE (a:A)-[:T]-(b:B)",  # undirected merge pattern
+    "MERGE (n:User {id: 1}) ON CREATE SET n.new = true",
+    "MERGE (n:User {id: 1}) ON MATCH SET n.seen = true",
+]
+
+#: Legal ONLY in the revised dialect (Figure 10).
+REVISED_ONLY = [
+    "MERGE ALL (a:A {x: 1})-[:T]->(b)",
+    "MERGE SAME (a:A)-[:T]->(b), (c:C)-[:S]->(d)",
+    "CREATE (n) MATCH (m) RETURN m",  # reading directly after update
+    "MATCH (n) SET n.x = 1 MATCH (m) DELETE m",
+    "MERGE ALL (a:A)-[:T]->(b) MATCH (x) RETURN x",
+]
+
+#: Illegal in BOTH dialects.
+ALWAYS_ILLEGAL = [
+    "MATCH (n)",  # no RETURN / update
+    "MATCH (n) RETURN n RETURN n",
+    "CREATE (a)-[:T]-(b)",  # undirected CREATE (Figure 5)
+    "CREATE (a)-[]->(b)",  # untyped relationship
+    "CREATE (a)-[:T|S]->(b)",  # multiple types
+    "MERGE GROUPING (a:A)-[:T]->(b)",  # extension keyword w/o opt-in
+    "RETURN",  # empty projection
+    "FOREACH (x IN [1] | RETURN x)",
+]
+
+
+class TestSharedGrammar:
+    @pytest.mark.parametrize("source", SHARED)
+    def test_parses_in_both(self, source):
+        parse(source, Dialect.CYPHER9)
+        parse(source, Dialect.REVISED)
+
+
+class TestLegacyOnly:
+    @pytest.mark.parametrize("source", LEGACY_ONLY)
+    def test_parses_in_cypher9(self, source):
+        parse(source, Dialect.CYPHER9)
+
+    @pytest.mark.parametrize("source", LEGACY_ONLY)
+    def test_rejected_in_revised(self, source):
+        with pytest.raises(CypherSyntaxError):
+            parse(source, Dialect.REVISED)
+
+
+class TestRevisedOnly:
+    @pytest.mark.parametrize("source", REVISED_ONLY)
+    def test_parses_in_revised(self, source):
+        parse(source, Dialect.REVISED)
+
+    @pytest.mark.parametrize("source", REVISED_ONLY)
+    def test_rejected_in_cypher9(self, source):
+        with pytest.raises(CypherSyntaxError):
+            parse(source, Dialect.CYPHER9)
+
+
+class TestAlwaysIllegal:
+    @pytest.mark.parametrize("source", ALWAYS_ILLEGAL)
+    def test_rejected_everywhere(self, source):
+        with pytest.raises(CypherSyntaxError):
+            parse(source, Dialect.CYPHER9)
+        with pytest.raises(CypherSyntaxError):
+            parse(source, Dialect.REVISED)
+
+
+class TestMergeErrorMessages:
+    def test_bare_merge_suggests_all_or_same(self):
+        with pytest.raises(MergeSyntaxError) as excinfo:
+            parse("MERGE (n)", Dialect.REVISED)
+        assert "MERGE ALL" in str(excinfo.value)
+
+    def test_extension_keyword_mentions_flag(self):
+        with pytest.raises(MergeSyntaxError) as excinfo:
+            parse("MERGE COLLAPSE (a:A)-[:T]->(b)", Dialect.REVISED)
+        assert "extended_merge" in str(excinfo.value)

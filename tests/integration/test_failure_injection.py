@@ -1,0 +1,141 @@
+"""Failure injection: crashes mid-statement must never corrupt state.
+
+A fault-injecting store wrapper makes a chosen low-level mutation fail
+after N successes; whatever the failure point, the engine must roll the
+statement back to a bit-identical graph and all indexes must agree with
+a full rescan.
+"""
+
+import pytest
+
+from repro import Dialect, Graph
+from repro.graph.comparison import assert_isomorphic
+
+
+class _InjectedFault(RuntimeError):
+    """The synthetic fault raised by the wrapper."""
+
+
+def inject(store, method_name: str, fail_after: int):
+    """Make store.<method> raise after *fail_after* successful calls."""
+    original = getattr(store, method_name)
+    state = {"calls": 0}
+
+    def wrapper(*args, **kwargs):
+        if state["calls"] >= fail_after:
+            raise _InjectedFault(
+                f"{method_name} failed (injected after {fail_after})"
+            )
+        state["calls"] += 1
+        return original(*args, **kwargs)
+
+    setattr(store, method_name, wrapper)
+    return lambda: setattr(store, method_name, original)
+
+
+BIG_STATEMENT = (
+    "UNWIND range(0, 19) AS i "
+    "CREATE (:A {v: i})-[:T {w: i}]->(:B {v: i}) "
+    "SET i = i"  # placeholder, replaced below
+)
+
+
+@pytest.fixture
+def seeded():
+    graph = Graph(Dialect.REVISED)
+    graph.run(
+        "UNWIND range(0, 9) AS i CREATE (:Seed {v: i})-[:S]->(:Seed2 {v: i})"
+    )
+    graph.create_index("Seed", "v")
+    return graph
+
+
+FAULTS = [
+    ("create_node", 3),
+    ("create_node", 0),
+    ("create_relationship", 5),
+    ("set_node_property", 2),
+    ("delete_relationship", 1),
+]
+
+
+class TestMidStatementCrashes:
+    @pytest.mark.parametrize("method, after", FAULTS)
+    def test_graph_restored_exactly(self, seeded, method, after):
+        before = seeded.snapshot()
+        restore = inject(seeded.store, method, after)
+        try:
+            with pytest.raises(_InjectedFault):
+                seeded.run(
+                    "MATCH (s:Seed)-[r:S]->(t) "
+                    "SET s.touched = true "
+                    "DELETE r "
+                    "WITH s CREATE (s)-[:S2]->(:Fresh {v: s.v})"
+                )
+        finally:
+            restore()
+        assert_isomorphic(seeded.snapshot(), before)
+
+    @pytest.mark.parametrize("method, after", FAULTS)
+    def test_index_consistent_after_crash(self, seeded, method, after):
+        restore = inject(seeded.store, method, after)
+        try:
+            with pytest.raises(_InjectedFault):
+                seeded.run(
+                    "MATCH (s:Seed)-[r:S]->(t) "
+                    "SET s.v = s.v + 100 "
+                    "DELETE r "
+                    "WITH s, t CREATE (s)-[:S]->(t), (:Seed {v: s.v})"
+                )
+        finally:
+            restore()
+        index = seeded.store.property_index("Seed", "v")
+        for value in range(10):
+            expected = frozenset(
+                node.id
+                for node in seeded.store.nodes()
+                if node.has_label("Seed") and node.get("v") == value
+            )
+            assert index.lookup(value) == expected
+
+    def test_crash_inside_transaction_then_continue(self, seeded):
+        before_count = seeded.node_count()
+        with seeded.transaction():
+            seeded.run("CREATE (:Kept {v: 1})")
+            restore = inject(seeded.store, "create_node", 0)
+            try:
+                with pytest.raises(_InjectedFault):
+                    seeded.run("CREATE (:Lost)")
+            finally:
+                restore()
+            seeded.run("CREATE (:Kept {v: 2})")
+        kept = seeded.run("MATCH (k:Kept) RETURN count(k) AS c")
+        assert kept.values("c") == [2]
+        assert seeded.node_count() == before_count + 2
+
+    def test_crash_during_merge_same(self, seeded):
+        before = seeded.snapshot()
+        restore = inject(seeded.store, "create_relationship", 2)
+        try:
+            with pytest.raises(_InjectedFault):
+                seeded.run(
+                    "UNWIND range(0, 9) AS i "
+                    "MERGE SAME (:U {id: i})-[:R]->(:P {id: i % 3})"
+                )
+        finally:
+            restore()
+        assert_isomorphic(seeded.snapshot(), before)
+
+    def test_crash_during_legacy_delete(self):
+        graph = Graph(Dialect.CYPHER9)
+        graph.run(
+            "UNWIND range(0, 5) AS i CREATE (:A {v: i})-[:T]->(:B {v: i})"
+        )
+        before = graph.snapshot()
+        restore = inject(graph.store, "delete_node", 2)
+        try:
+            with pytest.raises(_InjectedFault):
+                graph.run("MATCH (a:A)-[r:T]->(b:B) DELETE r, a, b")
+        finally:
+            restore()
+        assert_isomorphic(graph.snapshot(), before)

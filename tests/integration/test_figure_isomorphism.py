@@ -1,0 +1,269 @@
+"""Exact (isomorphism-level) checks of the paper's output figures.
+
+The main experiment tests assert node/relationship counts; these build
+each expected output graph explicitly from the paper's drawings and
+assert full isomorphism up to id renaming.
+"""
+
+import pytest
+
+from repro import Dialect, Graph, MergeSemantics
+from repro.core.merge import merge
+from repro.graph.comparison import assert_isomorphic
+from repro.graph.store import GraphStore
+from repro.parser import parse
+from repro.paper import (
+    EXAMPLE_3_MERGE_ALL,
+    EXAMPLE_3_MERGE_SAME,
+    EXAMPLE_5_PATTERN,
+    EXAMPLE_6_PATTERN,
+    EXAMPLE_7_PATTERN,
+    example3_graph,
+    example3_table,
+    example5_table,
+    example6_table,
+    example7_graph_and_table,
+)
+from repro.runtime.context import EvalContext
+
+
+def pattern_of(source):
+    statement = parse(
+        "MERGE ALL " + source, Dialect.REVISED, extended_merge=True
+    )
+    return statement.branches()[0].clauses[0].pattern
+
+
+def run_variant(graph, pattern_source, table, semantics):
+    ctx = EvalContext(store=graph.store)
+    merge(ctx, pattern_of(pattern_source), table, semantics)
+    return graph.snapshot()
+
+
+class TestFigure6Exact:
+    """Figure 6: u1, u2 :User; p :Product; v1, v2 :Vendor (names kept)."""
+
+    def _expected(self, edges):
+        store = GraphStore()
+        ids = {}
+        for name, label in (
+            ("u1", "User"),
+            ("u2", "User"),
+            ("p", "Product"),
+            ("v1", "Vendor"),
+            ("v2", "Vendor"),
+        ):
+            ids[name] = store.create_node((label,), {"name": name})
+        for source, rel_type, target in edges:
+            store.create_relationship(rel_type, ids[source], ids[target])
+        return store.snapshot()
+
+    #: Figure 6a: all three rows created their full path.
+    FIG_6A = [
+        ("u1", "ORDERED", "p"),
+        ("v1", "OFFERS", "p"),
+        ("u2", "ORDERED", "p"),
+        ("v2", "OFFERS", "p"),
+        ("u1", "ORDERED", "p"),
+        ("v2", "OFFERS", "p"),
+    ]
+
+    #: Figure 6b: row 3's path u1 -> p <- v2 was matched, not created.
+    FIG_6B = [
+        ("u1", "ORDERED", "p"),
+        ("v1", "OFFERS", "p"),
+        ("u2", "ORDERED", "p"),
+        ("v2", "OFFERS", "p"),
+    ]
+
+    def test_merge_all_is_exactly_figure_6a(self):
+        store = example3_graph()
+        graph = Graph(Dialect.REVISED, store=store)
+        graph.run(EXAMPLE_3_MERGE_ALL, table=example3_table(store))
+        assert_isomorphic(graph.snapshot(), self._expected(self.FIG_6A))
+
+    def test_merge_same_is_exactly_figure_6b(self):
+        store = example3_graph()
+        graph = Graph(Dialect.REVISED, store=store)
+        graph.run(EXAMPLE_3_MERGE_SAME, table=example3_table(store))
+        assert_isomorphic(graph.snapshot(), self._expected(self.FIG_6B))
+
+    def test_legacy_outcomes_are_exactly_the_two_figures(self):
+        store = example3_graph()
+        graph = Graph(Dialect.CYPHER9, store=store)
+        graph.run(
+            "MERGE (user)-[:ORDERED]->(product)<-[:OFFERS]-(vendor)",
+            table=example3_table(store),
+        )
+        assert_isomorphic(graph.snapshot(), self._expected(self.FIG_6B))
+        store2 = example3_graph()
+        graph2 = Graph(Dialect.CYPHER9, store=store2)
+        graph2.run(
+            "MERGE (user)-[:ORDERED]->(product)<-[:OFFERS]-(vendor)",
+            table=example3_table(store2).reversed(),
+        )
+        assert_isomorphic(graph2.snapshot(), self._expected(self.FIG_6A))
+
+
+def _build(nodes, edges):
+    """nodes: name -> (label, props); edges: (src, type, dst)."""
+    store = GraphStore()
+    ids = {}
+    for name, (label, props) in nodes.items():
+        ids[name] = store.create_node((label,), dict(props))
+    for source, rel_type, target in edges:
+        store.create_relationship(rel_type, ids[source], ids[target])
+    return store.snapshot()
+
+
+class TestFigure7Exact:
+    def test_figure_7a_atomic(self):
+        nodes = {}
+        edges = []
+        pairs = [(98, 125), (98, 125), (98, None), (98, None), (99, 125), (99, None)]
+        for index, (cid, pid) in enumerate(pairs):
+            nodes[f"u{index}"] = ("User", {"id": cid})
+            nodes[f"p{index}"] = (
+                "Product",
+                {} if pid is None else {"id": pid},
+            )
+            edges.append((f"u{index}", "ORDERED", f"p{index}"))
+        expected = _build(nodes, edges)
+        graph = Graph(Dialect.REVISED)
+        snapshot = run_variant(
+            graph, EXAMPLE_5_PATTERN, example5_table(), MergeSemantics.ATOMIC
+        )
+        assert_isomorphic(snapshot, expected)
+
+    def test_figure_7b_grouping(self):
+        nodes = {}
+        edges = []
+        pairs = [(98, 125), (98, None), (99, 125), (99, None)]
+        for index, (cid, pid) in enumerate(pairs):
+            nodes[f"u{index}"] = ("User", {"id": cid})
+            nodes[f"p{index}"] = (
+                "Product",
+                {} if pid is None else {"id": pid},
+            )
+            edges.append((f"u{index}", "ORDERED", f"p{index}"))
+        expected = _build(nodes, edges)
+        graph = Graph(Dialect.REVISED)
+        snapshot = run_variant(
+            graph, EXAMPLE_5_PATTERN, example5_table(), MergeSemantics.GROUPING
+        )
+        assert_isomorphic(snapshot, expected)
+
+    @pytest.mark.parametrize(
+        "semantics",
+        [
+            MergeSemantics.WEAK_COLLAPSE,
+            MergeSemantics.COLLAPSE,
+            MergeSemantics.STRONG_COLLAPSE,
+        ],
+    )
+    def test_figure_7c_collapse_variants(self, semantics):
+        expected = _build(
+            {
+                "u98": ("User", {"id": 98}),
+                "u99": ("User", {"id": 99}),
+                "p125": ("Product", {"id": 125}),
+                "pnull": ("Product", {}),
+            },
+            [
+                ("u98", "ORDERED", "p125"),
+                ("u98", "ORDERED", "pnull"),
+                ("u99", "ORDERED", "p125"),
+                ("u99", "ORDERED", "pnull"),
+            ],
+        )
+        graph = Graph(Dialect.REVISED)
+        snapshot = run_variant(
+            graph, EXAMPLE_5_PATTERN, example5_table(), semantics
+        )
+        assert_isomorphic(snapshot, expected)
+
+
+class TestFigure8Exact:
+    def test_figure_8a_weak_collapse(self):
+        expected = _build(
+            {
+                "b98": ("User", {"id": 98}),
+                "s97": ("User", {"id": 97}),
+                "b99": ("User", {"id": 99}),
+                "s98": ("User", {"id": 98}),
+                "p125": ("Product", {"id": 125}),
+                "p85": ("Product", {"id": 85}),
+            },
+            [
+                ("b98", "ORDERED", "p125"),
+                ("s97", "OFFERS", "p125"),
+                ("b99", "ORDERED", "p85"),
+                ("s98", "OFFERS", "p85"),
+            ],
+        )
+        graph = Graph(Dialect.REVISED)
+        snapshot = run_variant(
+            graph,
+            EXAMPLE_6_PATTERN,
+            example6_table(),
+            MergeSemantics.WEAK_COLLAPSE,
+        )
+        assert_isomorphic(snapshot, expected)
+
+    def test_figure_8b_collapse(self):
+        expected = _build(
+            {
+                "u98": ("User", {"id": 98}),
+                "u97": ("User", {"id": 97}),
+                "u99": ("User", {"id": 99}),
+                "p125": ("Product", {"id": 125}),
+                "p85": ("Product", {"id": 85}),
+            },
+            [
+                ("u98", "ORDERED", "p125"),
+                ("u97", "OFFERS", "p125"),
+                ("u99", "ORDERED", "p85"),
+                ("u98", "OFFERS", "p85"),
+            ],
+        )
+        graph = Graph(Dialect.REVISED)
+        snapshot = run_variant(
+            graph,
+            EXAMPLE_6_PATTERN,
+            example6_table(),
+            MergeSemantics.COLLAPSE,
+        )
+        assert_isomorphic(snapshot, expected)
+
+
+class TestFigure9Exact:
+    def _expected(self, *, strong):
+        nodes = {
+            name: ("Product", {"name": name})
+            for name in ("p1", "p2", "p3", "p4")
+        }
+        edges = [
+            ("p1", "TO", "p2"),
+            ("p2", "TO", "p3"),
+            ("p3", "TO", "p1"),
+            ("p2", "BOUGHT", "p4"),
+        ]
+        if not strong:
+            edges.append(("p1", "TO", "p2"))  # the duplicated edge
+        return _build(nodes, edges)
+
+    def test_figure_9a(self):
+        store, table = example7_graph_and_table()
+        graph = Graph(Dialect.REVISED, store=store)
+        snapshot = run_variant(
+            graph, EXAMPLE_7_PATTERN, table, MergeSemantics.COLLAPSE
+        )
+        assert_isomorphic(snapshot, self._expected(strong=False))
+
+    def test_figure_9b(self):
+        store, table = example7_graph_and_table()
+        graph = Graph(Dialect.REVISED, store=store)
+        snapshot = run_variant(
+            graph, EXAMPLE_7_PATTERN, table, MergeSemantics.STRONG_COLLAPSE
+        )
+        assert_isomorphic(snapshot, self._expected(strong=True))

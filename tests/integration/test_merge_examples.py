@@ -1,0 +1,251 @@
+"""E5-E8: Examples 3-7 and Figures 6-9 -- the MERGE design space."""
+
+import pytest
+
+from repro import Dialect, DrivingTable, Graph, MatchMode, MergeSemantics
+from repro.core.merge import merge
+from repro.graph.comparison import assert_isomorphic, isomorphic
+from repro.parser import parse
+from repro.paper import (
+    EXAMPLE_3_MERGE,
+    EXAMPLE_3_MERGE_ALL,
+    EXAMPLE_3_MERGE_SAME,
+    EXAMPLE_5_PATTERN,
+    EXAMPLE_6_PATTERN,
+    EXAMPLE_7_PATTERN,
+    FIGURE_6A_EXPECTED,
+    FIGURE_6B_EXPECTED,
+    FIGURE_7A_EXPECTED,
+    FIGURE_7B_EXPECTED,
+    FIGURE_7C_EXPECTED,
+    FIGURE_8A_EXPECTED,
+    FIGURE_8B_EXPECTED,
+    FIGURE_9A_EXPECTED,
+    FIGURE_9B_EXPECTED,
+    example3_graph,
+    example3_table,
+    example5_table,
+    example6_table,
+    example7_graph_and_table,
+)
+from repro.runtime.context import EvalContext
+
+
+def shape(graph):
+    snapshot = graph.snapshot()
+    return snapshot.order(), snapshot.size()
+
+
+def pattern_of(source):
+    statement = parse(
+        "MERGE ALL " + source, Dialect.REVISED, extended_merge=True
+    )
+    return statement.branches()[0].clauses[0].pattern
+
+
+def run_variant(graph, pattern_source, table, semantics):
+    ctx = EvalContext(store=graph.store)
+    return merge(ctx, pattern_of(pattern_source), table, semantics)
+
+
+class TestExample3Figure6:
+    """Legacy MERGE is order-dependent; the revision is not."""
+
+    def test_top_down_yields_figure_6b(self):
+        store = example3_graph()
+        g = Graph(Dialect.CYPHER9, store=store)
+        g.run(EXAMPLE_3_MERGE, table=example3_table(store))
+        assert shape(g) == FIGURE_6B_EXPECTED
+
+    def test_bottom_up_yields_figure_6a(self):
+        store = example3_graph()
+        g = Graph(Dialect.CYPHER9, store=store)
+        g.run(EXAMPLE_3_MERGE, table=example3_table(store).reversed())
+        assert shape(g) == FIGURE_6A_EXPECTED
+
+    def test_the_two_legacy_outcomes_differ(self):
+        store_a = example3_graph()
+        g_a = Graph(Dialect.CYPHER9, store=store_a)
+        g_a.run(EXAMPLE_3_MERGE, table=example3_table(store_a))
+        store_b = example3_graph()
+        g_b = Graph(Dialect.CYPHER9, store=store_b)
+        g_b.run(EXAMPLE_3_MERGE, table=example3_table(store_b).reversed())
+        assert not isomorphic(g_a.snapshot(), g_b.snapshot())
+
+
+class TestExample4Determinism:
+    """MERGE ALL always gives Fig 6a; MERGE SAME always gives Fig 6b."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_merge_all_is_order_insensitive(self, seed):
+        store = example3_graph()
+        g = Graph(Dialect.REVISED, store=store)
+        g.run(
+            EXAMPLE_3_MERGE_ALL,
+            table=example3_table(store).shuffled(seed),
+        )
+        assert shape(g) == FIGURE_6A_EXPECTED
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_merge_same_is_order_insensitive(self, seed):
+        store = example3_graph()
+        g = Graph(Dialect.REVISED, store=store)
+        g.run(
+            EXAMPLE_3_MERGE_SAME,
+            table=example3_table(store).shuffled(seed),
+        )
+        assert shape(g) == FIGURE_6B_EXPECTED
+
+    def test_merge_same_output_graphs_are_isomorphic_across_orders(self):
+        snapshots = []
+        for seed in range(4):
+            store = example3_graph()
+            g = Graph(Dialect.REVISED, store=store)
+            g.run(
+                EXAMPLE_3_MERGE_SAME,
+                table=example3_table(store).shuffled(seed),
+            )
+            snapshots.append(g.snapshot())
+        for snapshot in snapshots[1:]:
+            assert_isomorphic(snapshots[0], snapshot)
+
+
+class TestExample5Figure7:
+    EXPECTED = {
+        MergeSemantics.ATOMIC: FIGURE_7A_EXPECTED,
+        MergeSemantics.GROUPING: FIGURE_7B_EXPECTED,
+        MergeSemantics.WEAK_COLLAPSE: FIGURE_7C_EXPECTED,
+        MergeSemantics.COLLAPSE: FIGURE_7C_EXPECTED,
+        MergeSemantics.STRONG_COLLAPSE: FIGURE_7C_EXPECTED,
+    }
+
+    @pytest.mark.parametrize("semantics", list(MergeSemantics))
+    def test_variant_shapes(self, semantics):
+        g = Graph(Dialect.REVISED)
+        run_variant(g, EXAMPLE_5_PATTERN, example5_table(), semantics)
+        assert shape(g) == self.EXPECTED[semantics]
+
+    def test_null_rows_produce_propertyless_products(self):
+        g = Graph(Dialect.REVISED)
+        run_variant(
+            g,
+            EXAMPLE_5_PATTERN,
+            example5_table(),
+            MergeSemantics.STRONG_COLLAPSE,
+        )
+        empty_products = [
+            node
+            for node in g.nodes()
+            if node.has_label("Product") and not dict(node.properties)
+        ]
+        assert len(empty_products) == 1  # the single "non-product"
+
+    def test_merge_all_and_same_statements(self):
+        g_all = Graph(Dialect.REVISED)
+        g_all.run(
+            "MERGE ALL " + EXAMPLE_5_PATTERN, table=example5_table()
+        )
+        assert shape(g_all) == FIGURE_7A_EXPECTED
+        g_same = Graph(Dialect.REVISED)
+        g_same.run(
+            "MERGE SAME " + EXAMPLE_5_PATTERN, table=example5_table()
+        )
+        assert shape(g_same) == FIGURE_7C_EXPECTED
+
+    def test_output_table_cardinality_is_preserved(self):
+        # All six rows fail to match, so all six reappear bound to the
+        # created entities, whatever the variant.
+        g = Graph(Dialect.REVISED)
+        out = run_variant(
+            g,
+            EXAMPLE_5_PATTERN,
+            example5_table(),
+            MergeSemantics.GROUPING,
+        )
+        assert len(out) == 6
+
+
+class TestExample6Figure8:
+    EXPECTED = {
+        MergeSemantics.ATOMIC: FIGURE_8A_EXPECTED,
+        MergeSemantics.GROUPING: FIGURE_8A_EXPECTED,
+        MergeSemantics.WEAK_COLLAPSE: FIGURE_8A_EXPECTED,
+        MergeSemantics.COLLAPSE: FIGURE_8B_EXPECTED,
+        MergeSemantics.STRONG_COLLAPSE: FIGURE_8B_EXPECTED,
+    }
+
+    @pytest.mark.parametrize("semantics", list(MergeSemantics))
+    def test_variant_shapes(self, semantics):
+        g = Graph(Dialect.REVISED)
+        run_variant(g, EXAMPLE_6_PATTERN, example6_table(), semantics)
+        assert shape(g) == self.EXPECTED[semantics]
+
+    def test_collapse_merges_the_cross_position_user(self):
+        g = Graph(Dialect.REVISED)
+        run_variant(
+            g, EXAMPLE_6_PATTERN, example6_table(), MergeSemantics.COLLAPSE
+        )
+        users_98 = [
+            node
+            for node in g.nodes()
+            if node.has_label("User") and node.get("id") == 98
+        ]
+        assert len(users_98) == 1
+        # ... and that single node is both a buyer and a seller.
+        assert g.run(
+            "MATCH (s:User {id: 98})-[:OFFERS]->(), "
+            "(s)-[:ORDERED]->() RETURN count(*) AS c"
+        ).values("c") == [1]
+
+
+class TestExample7Figure9:
+    @pytest.mark.parametrize(
+        "semantics, expected",
+        [
+            (MergeSemantics.ATOMIC, FIGURE_9A_EXPECTED),
+            (MergeSemantics.GROUPING, FIGURE_9A_EXPECTED),
+            (MergeSemantics.WEAK_COLLAPSE, FIGURE_9A_EXPECTED),
+            (MergeSemantics.COLLAPSE, FIGURE_9A_EXPECTED),
+            (MergeSemantics.STRONG_COLLAPSE, FIGURE_9B_EXPECTED),
+        ],
+    )
+    def test_variant_shapes(self, semantics, expected):
+        store, table = example7_graph_and_table()
+        g = Graph(Dialect.REVISED, store=store)
+        run_variant(g, EXAMPLE_7_PATTERN, table, semantics)
+        assert shape(g) == expected
+
+    def test_strong_collapse_breaks_trail_rematch(self):
+        store, table = example7_graph_and_table()
+        g = Graph(Dialect.REVISED, store=store)
+        g.run("MERGE SAME " + EXAMPLE_7_PATTERN, table=table)
+        rematch = g.run(
+            "MATCH " + EXAMPLE_7_PATTERN + " RETURN count(*) AS c",
+            table=table,
+        )
+        assert rematch.values("c") == [0]
+
+    def test_homomorphism_rematch_succeeds(self):
+        store, table = example7_graph_and_table()
+        g = Graph(Dialect.REVISED, store=store)
+        g.run("MERGE SAME " + EXAMPLE_7_PATTERN, table=table)
+        hom = Graph(
+            Dialect.REVISED, match_mode=MatchMode.HOMOMORPHISM, store=g.store
+        )
+        rematch = hom.run(
+            "MATCH " + EXAMPLE_7_PATTERN + " RETURN count(*) AS c",
+            table=table,
+        )
+        assert rematch.values("c")[0] >= 1
+
+    def test_collapse_variants_leave_trail_rematch_intact(self):
+        store, table = example7_graph_and_table()
+        g = Graph(Dialect.REVISED, store=store)
+        run_variant(g, EXAMPLE_7_PATTERN, table, MergeSemantics.COLLAPSE)
+        rematch = g.run(
+            "MATCH " + EXAMPLE_7_PATTERN + " RETURN count(*) AS c",
+            table=table,
+        )
+        # Collapse keeps the two parallel p1->p2 :TO edges, so the
+        # pattern re-matches (twice: the parallel edges permute).
+        assert rematch.values("c") == [2]

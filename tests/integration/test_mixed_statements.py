@@ -1,0 +1,141 @@
+"""Long mixed read/write statements under the Figure 10 grammar.
+
+The revision's headline syntactic change is free interleaving of
+reading and update clauses; these tests exercise realistic multi-phase
+statements end to end, including the visibility rules (each clause sees
+its predecessors' effects) and mid-statement failures.
+"""
+
+import pytest
+
+from repro import Dialect, Graph, PropertyConflictError
+
+
+class TestInterleavedReadWrite:
+    def test_pipeline_cardinalities(self, revised_graph):
+        # Spell out the cardinality algebra of the pipeline:
+        # unit(1 row) -CREATE-> 1 row -CREATE-> 1 row -MATCH-> 2 rows.
+        result = revised_graph.run(
+            "CREATE (:N {v: 1}) CREATE (:N {v: 2}) "
+            "MATCH (n:N) RETURN n.v AS v ORDER BY v"
+        )
+        assert result.values("v") == [1, 2]
+
+    def test_update_visible_to_next_clause(self, revised_graph):
+        revised_graph.run("CREATE (:N {v: 1})")
+        result = revised_graph.run(
+            "MATCH (n:N) SET n.v = 10 "
+            "MATCH (m:N {v: 10}) RETURN count(m) AS c"
+        )
+        assert result.values("c") == [1]
+
+    def test_delete_then_create_then_read(self, revised_graph):
+        revised_graph.run("CREATE (:Old {v: 1}), (:Old {v: 2})")
+        result = revised_graph.run(
+            "MATCH (o:Old) DELETE o "
+            "WITH count(*) AS dropped "
+            "CREATE (:New {was: dropped}) "
+            "MATCH (n:New) RETURN n.was AS was"
+        )
+        assert result.values("was") == [2]
+        assert revised_graph.node_count() == 1
+
+    def test_deleted_references_do_not_count(self, revised_graph):
+        # After the strict DELETE the table's references are null, so
+        # count(o) -- which skips nulls -- sees nothing, while count(*)
+        # still counts the rows.  This is the Section 7 null rule at
+        # work inside one statement.
+        revised_graph.run("CREATE (:Old), (:Old)")
+        result = revised_graph.run(
+            "MATCH (o:Old) DELETE o "
+            "RETURN count(o) AS refs, count(*) AS rows"
+        )
+        assert result.records == [{"refs": 0, "rows": 2}]
+
+    def test_merge_then_aggregate(self, revised_graph):
+        result = revised_graph.run(
+            "UNWIND [1, 1, 2, 2, 2] AS uid "
+            "MERGE SAME (u:User {id: uid}) "
+            "RETURN u.id AS id, count(*) AS refs ORDER BY id"
+        )
+        assert result.records == [
+            {"id": 1, "refs": 2},
+            {"id": 2, "refs": 3},
+        ]
+        assert revised_graph.node_count() == 2
+
+    def test_foreach_then_match(self, revised_graph):
+        result = revised_graph.run(
+            "FOREACH (x IN range(1, 3) | CREATE (:N {v: x})) "
+            "MATCH (n:N) RETURN sum(n.v) AS total"
+        )
+        assert result.values("total") == [6]
+
+    def test_legacy_needs_with_for_same_statement(self):
+        g = Graph(Dialect.CYPHER9)
+        g.run("CREATE (:N {v: 1})")
+        result = g.run(
+            "MATCH (n:N) SET n.v = 10 "
+            "WITH n "
+            "MATCH (m:N {v: 10}) RETURN count(m) AS c"
+        )
+        assert result.values("c") == [1]
+
+
+class TestMidStatementFailure:
+    def test_late_failure_undoes_early_writes(self, revised_graph):
+        revised_graph.run("CREATE (:P {v: 1}), (:P {v: 2})")
+        with pytest.raises(PropertyConflictError):
+            revised_graph.run(
+                "CREATE (:Created) "
+                "WITH 1 AS one "
+                "MATCH (a:P), (b:P) SET a.v = b.v"
+            )
+        assert revised_graph.run(
+            "MATCH (c:Created) RETURN count(c) AS c"
+        ).values("c") == [0]
+
+    def test_constraint_violation_mid_statement(self, revised_graph):
+        revised_graph.create_unique_constraint("User", "id")
+        revised_graph.run("CREATE (:User {id: 1})")
+        from repro.errors import ConstraintViolationError
+
+        with pytest.raises(ConstraintViolationError):
+            revised_graph.run(
+                "CREATE (:Audit {note: 'trying'}) "
+                "CREATE (:User {id: 1})"
+            )
+        assert revised_graph.node_count() == 1
+
+
+class TestScopeThroughWith:
+    def test_with_narrows_scope(self, revised_graph):
+        revised_graph.run("CREATE (:N {v: 1})")
+        with pytest.raises(Exception):
+            revised_graph.run(
+                "MATCH (n:N) WITH n.v AS v MATCH (m:N) RETURN n"
+            )
+
+    def test_aggregate_with_groups_before_update(self, revised_graph):
+        revised_graph.run(
+            "UNWIND [1, 1, 2] AS g CREATE (:Item {grp: g})"
+        )
+        revised_graph.run(
+            "MATCH (i:Item) "
+            "WITH i.grp AS grp, count(*) AS n "
+            "CREATE (:Summary {grp: grp, n: n})"
+        )
+        result = revised_graph.run(
+            "MATCH (s:Summary) RETURN s.grp AS g, s.n AS n ORDER BY g"
+        )
+        assert result.records == [{"g": 1, "n": 2}, {"g": 2, "n": 1}]
+
+    def test_order_limit_in_with_controls_updates(self, revised_graph):
+        revised_graph.run("UNWIND range(1, 5) AS v CREATE (:N {v: v})")
+        revised_graph.run(
+            "MATCH (n:N) WITH n ORDER BY n.v DESC LIMIT 2 SET n.top = true"
+        )
+        tops = revised_graph.run(
+            "MATCH (n:N) WHERE n.top RETURN n.v AS v ORDER BY v"
+        )
+        assert tops.values("v") == [4, 5]

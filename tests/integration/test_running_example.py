@@ -1,0 +1,134 @@
+"""E1: the Figure 1 running example and Queries (1)-(5) of Sections 2-3."""
+
+import pytest
+
+from repro import Dialect, Graph
+from repro.errors import UpdateError
+from repro.paper import (
+    FIGURE_1_EXPECTED,
+    QUERY_1,
+    QUERY_2,
+    QUERY_3,
+    QUERY_4,
+    QUERY_5,
+    figure1_graph,
+)
+
+
+class TestFigure1:
+    def test_shape(self, marketplace):
+        snapshot = marketplace.snapshot()
+        assert (snapshot.order(), snapshot.size()) == FIGURE_1_EXPECTED
+
+    def test_query1_finds_cstore(self, marketplace):
+        result = marketplace.run(QUERY_1)
+        assert len(result) == 1
+        assert result.records[0]["v"].get("name") == "cStore"
+
+    def test_query1_without_where_is_bag(self, marketplace):
+        # Without the WHERE filter the driving table holds two records
+        # (p1/p2 swapped); the RETURN keeps both copies of v1 (Section 2).
+        result = marketplace.run(
+            "MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product) "
+            "RETURN v"
+        )
+        assert len(result) == 2
+        assert {record["v"].get("name") for record in result} == {"cStore"}
+
+    def test_query1_p_and_q_never_equal(self, marketplace):
+        # Relationship uniqueness forbids mapping both :OFFERS patterns
+        # to the same edge, so p = q never occurs (Section 2 discussion).
+        result = marketplace.run(
+            "MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product) "
+            "RETURN p.name AS p, q.name AS q"
+        )
+        assert all(record["p"] != record["q"] for record in result)
+
+
+class TestQueries2To4:
+    def test_query2_inserts_p4(self, marketplace):
+        result = marketplace.run(QUERY_2)
+        assert result.counters.nodes_created == 1
+        assert result.counters.relationships_created == 1
+        check = marketplace.run(
+            "MATCH (u:User {id: 89})-[:ORDERED]->(p:New_Product) "
+            "RETURN p.id AS id"
+        )
+        assert check.values("id") == [0]
+
+    def test_query3_relabels(self, marketplace):
+        marketplace.run(QUERY_2)
+        marketplace.run(QUERY_3)
+        check = marketplace.run(
+            "MATCH (p:Product {id: 120}) "
+            "RETURN p.name AS name, labels(p) AS labels"
+        )
+        assert check.records == [
+            {"name": "smartphone", "labels": ["Product"]}
+        ]
+
+    def test_plain_delete_fails_with_attached_relationship(self, marketplace):
+        marketplace.run(QUERY_2)
+        marketplace.run(QUERY_3)
+        with pytest.raises(UpdateError):
+            marketplace.run("MATCH (p:Product {id:120}) DELETE p")
+
+    def test_delete_with_relationship_in_same_statement(self, marketplace):
+        marketplace.run(QUERY_2)
+        marketplace.run(QUERY_3)
+        marketplace.run("MATCH ()-[r]->(p:Product {id:120}) DELETE r, p")
+        assert marketplace.run(
+            "MATCH (p:Product {id:120}) RETURN p"
+        ).records == []
+
+    def test_query4_detach_delete(self, marketplace):
+        marketplace.run(QUERY_2)
+        marketplace.run(QUERY_3)
+        result = marketplace.run(QUERY_4)
+        assert result.counters.nodes_deleted == 1
+        assert result.counters.relationships_deleted == 1
+        snapshot = marketplace.snapshot()
+        assert (snapshot.order(), snapshot.size()) == FIGURE_1_EXPECTED
+
+    def test_section3_composite_statement(self):
+        # The illustrative create-update-delete chain from Section 3,
+        # all in one statement.
+        g = Graph(Dialect.CYPHER9, store=figure1_graph())
+        g.run(
+            "MATCH (u:User{id:89}) "
+            "CREATE (u)-[:ORDERED]->(p:New_Product{id:0}) "
+            "SET p:Product, p.id=120, p.name='phone' "
+            "REMOVE p:New_Product "
+            "DETACH DELETE p"
+        )
+        snapshot = g.snapshot()
+        assert (snapshot.order(), snapshot.size()) == FIGURE_1_EXPECTED
+
+
+class TestQuery5:
+    def test_legacy_merge_adds_v2(self, marketplace):
+        result = marketplace.run(QUERY_5)
+        assert len(result) == 3
+        assert result.counters.nodes_created == 1
+        assert result.counters.relationships_created == 1
+        pairs = sorted(
+            (record["p"].get("name"), record["v"].get("name") or "<new>")
+            for record in result
+        )
+        assert pairs == [
+            ("laptop", "cStore"),
+            ("notebook", "cStore"),
+            ("tablet", "<new>"),
+        ]
+        # Afterwards every product is offered by some vendor.
+        check = marketplace.run(
+            "MATCH (p:Product) WHERE NOT (p)<-[:OFFERS]-(:Vendor) RETURN p"
+        )
+        assert check.records == []
+
+    def test_query5_is_idempotent_once_satisfied(self, marketplace):
+        marketplace.run(QUERY_5)
+        before = marketplace.snapshot()
+        marketplace.run(QUERY_5)
+        after = marketplace.snapshot()
+        assert (before.order(), before.size()) == (after.order(), after.size())

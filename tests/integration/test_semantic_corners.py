@@ -1,0 +1,136 @@
+"""Adversarial corner cases probed by hand, pinned as tests."""
+
+import pytest
+
+from repro import Dialect, Graph
+from repro.errors import CypherSemanticError, CypherTypeError
+
+
+class TestCreateCorners:
+    def test_relationship_property_reads_earlier_pattern_node(
+        self, revised_graph
+    ):
+        # `a` is created and bound by the time the relationship's
+        # property map is evaluated (inductive creation, Section 8.2).
+        revised_graph.run("CREATE (a:A {v: 7})-[:T {w: a.v}]->(b:B)")
+        rel = revised_graph.relationships()[0]
+        assert rel.get("w") == 7
+
+    def test_later_path_sees_earlier_bindings(self, revised_graph):
+        revised_graph.run("CREATE (a:A {v: 1}), (b:B {copy: a.v})")
+        node = revised_graph.run(
+            "MATCH (b:B) RETURN b.copy AS c"
+        ).values("c")
+        assert node == [1]
+
+
+class TestMergeCorners:
+    def test_merge_with_null_bound_variable_errors(self, revised_graph):
+        with pytest.raises(CypherTypeError):
+            revised_graph.run(
+                "UNWIND [null] AS u MERGE ALL (u)-[:T]->(:B)"
+            )
+        assert revised_graph.node_count() == 0  # rolled back
+
+    def test_merge_same_inside_foreach(self, revised_graph):
+        revised_graph.run(
+            "FOREACH (x IN [1, 1, 2] | MERGE SAME (:U {id: x}))"
+        )
+        assert revised_graph.node_count() == 2
+
+    def test_merge_all_inside_foreach_is_atomic_over_expansion(
+        self, revised_graph
+    ):
+        # The FOREACH expansion is one driving table, so MERGE ALL's
+        # read phase sees the input graph for every element at once.
+        revised_graph.run(
+            "FOREACH (x IN [1, 1] | MERGE ALL (:U {id: x}))"
+        )
+        assert revised_graph.node_count() == 2  # both rows failed, both create
+
+    def test_legacy_merge_inside_foreach_reads_own_writes(self):
+        graph = Graph(Dialect.CYPHER9)
+        graph.run("FOREACH (x IN [1, 1] | MERGE (:U {id: x}))")
+        assert graph.node_count() == 1
+
+
+class TestProjectionCorners:
+    def test_with_star_on_unit_table_rejected(self, revised_graph):
+        with pytest.raises(CypherSemanticError):
+            revised_graph.run("WITH * RETURN 1 AS one")
+
+    def test_order_by_aggregate_alias(self, revised_graph):
+        revised_graph.run("UNWIND [1, 1, 2] AS g CREATE (:N {g: g})")
+        result = revised_graph.run(
+            "MATCH (n:N) RETURN n.g AS g, count(*) AS c ORDER BY c DESC"
+        )
+        assert result.records[0] == {"g": 1, "c": 2}
+
+    def test_with_alias_shadowing_variable(self, revised_graph):
+        # `WITH n.v AS n` replaces the node binding with a scalar.
+        revised_graph.run("CREATE (:N {v: 42})")
+        result = revised_graph.run(
+            "MATCH (n:N) WITH n.v AS n RETURN n + 1 AS x"
+        )
+        assert result.values("x") == [43]
+
+
+class TestOptionalMatchCorners:
+    def test_optional_match_with_null_bound_variable(self, revised_graph):
+        revised_graph.run("CREATE (:U {id: 1})")
+        result = revised_graph.run(
+            "MATCH (u:U) OPTIONAL MATCH (u)-[:R]->(m) "
+            "OPTIONAL MATCH (m)-[:R]->(k) "
+            "RETURN m, k"
+        )
+        assert result.records == [{"m": None, "k": None}]
+
+    def test_optional_match_keeps_multiplicity(self, revised_graph):
+        revised_graph.run("CREATE (:U {id: 1}), (:U {id: 2})")
+        result = revised_graph.run(
+            "MATCH (u:U) OPTIONAL MATCH (u)-[:R]->(m) RETURN u.id AS id"
+        )
+        assert sorted(result.values("id")) == [1, 2]
+
+
+class TestSelfLoops:
+    def test_undirected_self_loop_matches_once(self, revised_graph):
+        revised_graph.run("CREATE (n:N)-[:T]->(n)")
+        result = revised_graph.run(
+            "MATCH (a:N)-[:T]-(b) RETURN count(*) AS c"
+        )
+        assert result.values("c") == [1]
+
+    def test_merge_same_can_build_self_loop(self, revised_graph):
+        revised_graph.run("UNWIND [1] AS i MERGE SAME (:N {v: i})-[:T]->(:N {v: i})")
+        rel = revised_graph.relationships()[0]
+        assert rel.start == rel.end
+
+    def test_delete_self_loop_node(self, revised_graph):
+        revised_graph.run("CREATE (n:N)-[:T]->(n)")
+        revised_graph.run("MATCH (n:N)-[r:T]->(n) DELETE r, n")
+        assert revised_graph.node_count() == 0
+
+
+class TestSetCorners:
+    def test_set_additive_from_other_entity(self, revised_graph):
+        revised_graph.run("CREATE (:Src {a: 1, b: 2}), (:Dst {c: 3})")
+        revised_graph.run("MATCH (s:Src), (d:Dst) SET d += s")
+        node = revised_graph.run("MATCH (d:Dst) RETURN d").records[0]["d"]
+        assert dict(node.properties) == {"a": 1, "b": 2, "c": 3}
+
+    def test_set_property_to_list(self, revised_graph):
+        revised_graph.run("CREATE (:N)")
+        revised_graph.run("MATCH (n:N) SET n.tags = ['a', 'b']")
+        assert revised_graph.nodes()[0].get("tags") == ["a", "b"]
+
+    def test_set_property_to_map_rejected(self, revised_graph):
+        revised_graph.run("CREATE (:N)")
+        with pytest.raises(CypherTypeError):
+            revised_graph.run("MATCH (n:N) SET n.bad = {nested: 1}")
+
+    def test_conflicting_set_different_clauses_is_fine(self, revised_graph):
+        # Atomicity is per clause; two clauses apply sequentially.
+        revised_graph.run("CREATE (:N)")
+        revised_graph.run("MATCH (n:N) SET n.v = 1 SET n.v = 2")
+        assert revised_graph.nodes()[0].get("v") == 2

@@ -1,0 +1,105 @@
+"""E2/E3: Examples 1 and 2 -- SET atomicity and conflict detection."""
+
+import pytest
+
+from repro import Dialect, Graph, PropertyConflictError
+from repro.paper import (
+    EXAMPLE_1_SEQUENTIAL,
+    EXAMPLE_1_SWAP,
+    EXAMPLE_2_COPY_NAME,
+    figure1_graph,
+)
+
+
+def swap_fixture(dialect):
+    g = Graph(dialect)
+    g.run("CREATE (:Product {name:'laptop', id: 1})")
+    g.run("CREATE (:Product {name:'tablet', id: 2})")
+    return g
+
+
+def ids_by_name(graph):
+    result = graph.run("MATCH (p:Product) RETURN p.name AS n, p.id AS i")
+    return {record["n"]: record["i"] for record in result}
+
+
+class TestExample1:
+    def test_legacy_swap_degenerates_to_noop(self):
+        g = swap_fixture(Dialect.CYPHER9)
+        g.run(EXAMPLE_1_SWAP)
+        # "first set the ID of laptop to that of tablet, ... then
+        # perform a no-operation": both end up with tablet's id.
+        assert ids_by_name(g) == {"laptop": 2, "tablet": 2}
+
+    def test_legacy_single_clause_equals_two_clauses(self):
+        one = swap_fixture(Dialect.CYPHER9)
+        one.run(EXAMPLE_1_SWAP)
+        two = swap_fixture(Dialect.CYPHER9)
+        two.run(EXAMPLE_1_SEQUENTIAL)
+        assert ids_by_name(one) == ids_by_name(two)
+
+    def test_revised_swap_works(self):
+        g = swap_fixture(Dialect.REVISED)
+        g.run(EXAMPLE_1_SWAP)
+        assert ids_by_name(g) == {"laptop": 2, "tablet": 1}
+
+    def test_revised_two_clauses_still_sequential(self):
+        # Atomicity is per clause: two SET clauses still see each
+        # other's writes, so the two-clause spelling stays a no-op.
+        g = swap_fixture(Dialect.REVISED)
+        g.run(EXAMPLE_1_SEQUENTIAL)
+        assert ids_by_name(g) == {"laptop": 2, "tablet": 2}
+
+
+class TestExample2:
+    """Figure 1 contains two :Product nodes with id 125 (dirty data)."""
+
+    def test_legacy_silently_picks_an_order_dependent_value(self):
+        g = Graph(Dialect.CYPHER9, store=figure1_graph())
+        g.run(EXAMPLE_2_COPY_NAME)
+        name = g.run(
+            "MATCH (p:Product {id: 85}) RETURN p.name AS n"
+        ).values("n")[0]
+        assert name in ("laptop", "notebook")
+
+    def test_legacy_result_depends_on_record_order(self):
+        # Force the two conflicting records into each order via ORDER BY
+        # in a WITH, and observe different final values.
+        outcomes = set()
+        for direction in ("ASC", "DESC"):
+            g = Graph(Dialect.CYPHER9, store=figure1_graph())
+            g.run(
+                "MATCH (p1:Product{id:85}), (p2:Product{id:125}) "
+                f"WITH p1, p2 ORDER BY p2.name {direction} "
+                "SET p1.name = p2.name"
+            )
+            outcomes.add(
+                g.run(
+                    "MATCH (p:Product {id: 85}) RETURN p.name AS n"
+                ).values("n")[0]
+            )
+        assert outcomes == {"laptop", "notebook"}
+
+    def test_revised_conflicting_set_aborts(self):
+        g = Graph(Dialect.REVISED, store=figure1_graph())
+        with pytest.raises(PropertyConflictError):
+            g.run(EXAMPLE_2_COPY_NAME)
+
+    def test_revised_abort_leaves_graph_unchanged(self):
+        g = Graph(Dialect.REVISED, store=figure1_graph())
+        before = g.snapshot()
+        with pytest.raises(PropertyConflictError):
+            g.run(EXAMPLE_2_COPY_NAME)
+        from repro.graph.comparison import assert_isomorphic
+
+        assert_isomorphic(before, g.snapshot())
+
+    def test_revised_clean_data_copy_works(self):
+        # Remove the duplicate id first; then the copy is unambiguous.
+        g = Graph(Dialect.REVISED, store=figure1_graph())
+        g.run("MATCH (p:Product {name: 'notebook'}) SET p.id = 126")
+        g.run(EXAMPLE_2_COPY_NAME)
+        name = g.run(
+            "MATCH (p:Product {id: 85}) RETURN p.name AS n"
+        ).values("n")[0]
+        assert name == "laptop"

@@ -1,0 +1,62 @@
+"""The ring-rotation demonstration of atomic SET, as a pinned test."""
+
+from repro import Dialect, Graph
+
+ROTATE = "MATCH (a:Cell)-[:NEXT]->(b:Cell) SET b.v = a.v"
+
+
+def build_ring(dialect, size=6):
+    graph = Graph(dialect)
+    graph.run(
+        "UNWIND range(0, $n - 1) AS i CREATE (:Cell {id: i, v: i})", n=size
+    )
+    graph.run(
+        "MATCH (a:Cell), (b:Cell {id: (a.id + 1) % $n}) "
+        "CREATE (a)-[:NEXT]->(b)",
+        n=size,
+    )
+    return graph
+
+
+def values(graph):
+    return graph.run(
+        "MATCH (c:Cell) RETURN c.v AS v ORDER BY c.id"
+    ).values("v")
+
+
+class TestRevisedRotation:
+    def test_single_rotation_is_a_shift(self):
+        graph = build_ring(Dialect.REVISED)
+        graph.run(ROTATE)
+        assert values(graph) == [5, 0, 1, 2, 3, 4]
+
+    def test_n_rotations_are_the_identity(self):
+        graph = build_ring(Dialect.REVISED)
+        for __ in range(6):
+            graph.run(ROTATE)
+        assert values(graph) == [0, 1, 2, 3, 4, 5]
+
+    def test_every_step_is_a_permutation(self):
+        graph = build_ring(Dialect.REVISED)
+        for __ in range(4):
+            graph.run(ROTATE)
+            assert sorted(values(graph)) == [0, 1, 2, 3, 4, 5]
+
+
+class TestLegacyCascade:
+    def test_values_are_lost(self):
+        graph = build_ring(Dialect.CYPHER9)
+        graph.run(ROTATE)
+        remaining = set(values(graph))
+        # The per-record SET cascades: at least one value floods part of
+        # the ring, so the result is no longer a permutation.
+        assert len(remaining) < 6
+
+    def test_deterministic_given_match_order(self):
+        # Our matcher enumerates deterministically, so the legacy
+        # cascade is reproducible (value 0 floods everything) -- the
+        # nondeterminism in production engines comes from plan freedom,
+        # which DrivingTable.shuffled models at the table level.
+        graph = build_ring(Dialect.CYPHER9)
+        graph.run(ROTATE)
+        assert values(graph) == [0, 0, 0, 0, 0, 0]

@@ -1,0 +1,109 @@
+"""Fuzzing the front end: garbage in, CypherSyntaxError out.
+
+Whatever bytes arrive, the lexer/parser must either produce a statement
+or raise :class:`CypherSyntaxError` -- never an IndexError, RecursionError
+or other internal failure.  Mutated real statements keep the fuzzer
+close to the interesting grammar paths.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dialect import Dialect
+from repro.errors import CypherError, CypherSyntaxError
+from repro.parser import ast, parse
+from repro.parser.lexer import tokenize
+
+SEED_STATEMENTS = [
+    "MATCH (u:User {id: 89}) CREATE (u)-[:ORDERED]->(:P {id: 0})",
+    "MERGE ALL (:User {id: cid})-[:ORDERED]->(:Product {id: pid})",
+    "MATCH (a)-[:T*1..3]->(b) WHERE a.x > 1 RETURN count(*) AS c",
+    "FOREACH (x IN [1, 2] | CREATE (:N {v: x}))",
+    "MATCH (n) SET n.x = 1, n += {y: 2} REMOVE n:Old DETACH DELETE n",
+    "UNWIND [1, 2] AS x WITH x WHERE x > 1 RETURN x ORDER BY x LIMIT 1",
+    "CREATE CONSTRAINT ON (u:User) ASSERT u.id IS UNIQUE",
+]
+
+garbage = st.text(
+    alphabet=st.sampled_from(
+        list("()[]{}<>-=+*/%^.,:;|'\"`$ \n\tabzMATCHRETURNmergeall019_")
+    ),
+    max_size=60,
+)
+
+
+@st.composite
+def mutated_statement(draw):
+    source = draw(st.sampled_from(SEED_STATEMENTS))
+    action = draw(st.integers(min_value=0, max_value=3))
+    position = draw(st.integers(min_value=0, max_value=max(len(source) - 1, 0)))
+    if action == 0:  # delete a span
+        length = draw(st.integers(min_value=1, max_value=5))
+        return source[:position] + source[position + length:]
+    if action == 1:  # insert noise
+        noise = draw(garbage)
+        return source[:position] + noise + source[position:]
+    if action == 2:  # duplicate a span
+        length = draw(st.integers(min_value=1, max_value=8))
+        span = source[position : position + length]
+        return source[:position] + span + source[position:]
+    return source[::-1]  # reverse everything
+
+
+class TestParserNeverCrashes:
+    @given(source=garbage)
+    @settings(max_examples=300)
+    def test_random_text(self, source):
+        self._try(source)
+
+    @given(source=mutated_statement())
+    @settings(max_examples=300)
+    def test_mutated_statements(self, source):
+        self._try(source)
+
+    @staticmethod
+    def _try(source):
+        for dialect in (Dialect.CYPHER9, Dialect.REVISED):
+            try:
+                statement = parse(source, dialect)
+            except CypherSyntaxError:
+                continue
+            except RecursionError:
+                # Deeply nested inputs may legitimately exhaust the
+                # recursive-descent stack; that is an accepted limit,
+                # not a crash with corrupted state.
+                continue
+            assert isinstance(statement, (ast.Statement, ast.SchemaStatement))
+
+
+class TestLexerNeverCrashes:
+    @given(source=st.text(max_size=80))
+    @settings(max_examples=300)
+    def test_arbitrary_unicode(self, source):
+        try:
+            tokens = tokenize(source)
+        except CypherSyntaxError:
+            return
+        assert tokens[-1].type == "EOF"
+
+
+class TestExecutionOfParsedGarbage:
+    """If mutated text parses, executing it must still fail cleanly."""
+
+    @given(source=mutated_statement())
+    @settings(max_examples=150)
+    def test_execute_or_cypher_error(self, source):
+        from repro import Graph
+
+        graph = Graph(Dialect.REVISED)
+        graph.run("CREATE (:User {id: 89})-[:ORDERED]->(:P {id: 0})")
+        before = graph.snapshot()
+        try:
+            graph.run(source)
+        except CypherError:
+            from repro.graph.comparison import isomorphic
+
+            assert isomorphic(graph.snapshot(), before)
+        except RecursionError:
+            pass

@@ -1,0 +1,161 @@
+"""Property-based cross-validation of SET / DELETE / CREATE.
+
+Random workloads run through the engine's implementations and through
+the pure formal reference of :mod:`repro.formal`; outcomes (including
+error outcomes) must agree.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Dialect, DrivingTable, Graph
+from repro.errors import DanglingRelationshipError, PropertyConflictError
+from repro.formal import semantics as F
+from repro.graph.comparison import isomorphic
+from repro.parser import parse
+
+
+def pattern_of(source):
+    statement = parse(
+        "MERGE ALL " + source, Dialect.REVISED, extended_merge=True
+    )
+    return statement.branches()[0].clauses[0].pattern
+
+
+def base_graph():
+    """Three :N nodes (ids 0..2) with a property, plus one edge 0->1."""
+    graph = Graph(Dialect.REVISED)
+    for i in range(3):
+        graph.create_node("N", id=i, v=i * 10)
+    graph.create_relationship(0, "T", 1, w=1)
+    graph.store.commit_to(0)
+    return graph
+
+
+def base_snapshot():
+    return base_graph().snapshot()
+
+
+#: Random write sets: (node index, key, value-or-None).
+writes = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),
+        st.sampled_from(["v", "x"]),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=3)),
+    ),
+    max_size=6,
+)
+
+
+class TestAtomicSetAgreesWithFormal:
+    @given(ws=writes)
+    @settings(max_examples=150)
+    def test_same_outcome(self, ws):
+        # Formal reference.
+        formal_error = None
+        formal_graph = None
+        try:
+            formal_graph = F.set_properties(
+                base_snapshot(),
+                tuple(
+                    (F.node_tag(node), key, value)
+                    for node, key, value in ws
+                ),
+            )
+        except PropertyConflictError:
+            formal_error = True
+        # Engine: drive the same writes through an atomic SET clause,
+        # one SetProperty item per write over a one-row table.
+        graph = base_graph()
+        table = DrivingTable(
+            ("n0", "n1", "n2"),
+            [{f"n{i}": graph.store.node(i) for i in range(3)}],
+        )
+        items = ", ".join(
+            f"n{node}.{key} = "
+            + ("null" if value is None else str(value))
+            for node, key, value in ws
+        )
+        engine_error = None
+        if ws:
+            try:
+                graph.run(f"SET {items}", table=table)
+            except PropertyConflictError:
+                engine_error = True
+        assert engine_error == formal_error
+        if formal_error is None and formal_graph is not None:
+            assert isomorphic(graph.snapshot(), formal_graph)
+
+
+#: Random deletion requests over the 3-node/1-edge base graph.
+deletions = st.tuples(
+    st.sets(st.integers(min_value=0, max_value=2), max_size=3),
+    st.booleans(),  # also delete the edge?
+    st.booleans(),  # detach?
+)
+
+
+class TestStrictDeleteAgreesWithFormal:
+    @given(request=deletions)
+    @settings(max_examples=150)
+    def test_same_outcome(self, request):
+        nodes, delete_edge, detach = request
+        formal_error = None
+        formal_graph = None
+        try:
+            formal_graph = F.delete_entities(
+                base_snapshot(),
+                frozenset(nodes),
+                frozenset({0} if delete_edge else set()),
+                detach=detach,
+            )
+        except DanglingRelationshipError:
+            formal_error = True
+
+        graph = base_graph()
+        record = {f"n{i}": graph.store.node(i) for i in range(3)}
+        record["r"] = graph.store.relationship(0)
+        table = DrivingTable(tuple(record), [record])
+        targets = [f"n{i}" for i in sorted(nodes)]
+        if delete_edge:
+            targets.append("r")
+        engine_error = None
+        if targets:
+            keyword = "DETACH DELETE" if detach else "DELETE"
+            try:
+                graph.run(f"{keyword} {', '.join(targets)}", table=table)
+            except DanglingRelationshipError:
+                engine_error = True
+        assert engine_error == formal_error
+        if formal_error is None and formal_graph is not None:
+            assert isomorphic(graph.snapshot(), formal_graph)
+
+
+#: Random CREATE rows for a two-node path pattern.
+create_rows = st.lists(
+    st.fixed_dictionaries(
+        {
+            "a": st.one_of(st.none(), st.integers(min_value=0, max_value=2)),
+            "b": st.one_of(st.none(), st.integers(min_value=0, max_value=2)),
+        }
+    ),
+    max_size=5,
+)
+
+
+class TestCreateAgreesWithFormal:
+    @given(rows=create_rows)
+    @settings(max_examples=100)
+    def test_same_graph(self, rows):
+        pattern = pattern_of("(:A {x: a})-[:T {y: b}]->(:B {x: b})")
+        formal = F.create(
+            F.empty_graph(), pattern, tuple(dict(r) for r in rows)
+        )
+        graph = Graph(Dialect.REVISED)
+        if rows:
+            graph.run(
+                "CREATE (:A {x: a})-[:T {y: b}]->(:B {x: b})",
+                table=DrivingTable(("a", "b"), rows),
+            )
+        assert isomorphic(graph.snapshot(), formal.graph)

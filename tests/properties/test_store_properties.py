@@ -1,0 +1,206 @@
+"""Property-based tests of the store: rollback is a perfect inverse."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.errors import CypherError
+from repro.graph.comparison import isomorphic
+from repro.graph.store import GraphStore
+
+#: Small pools of labels / keys / values keep collisions frequent.
+labels = st.lists(
+    st.sampled_from(["A", "B", "C"]), max_size=2, unique=True
+)
+keys = st.sampled_from(["x", "y", "z"])
+prop_values = st.one_of(
+    st.integers(min_value=0, max_value=5), st.sampled_from(["s", "t"])
+)
+
+#: A random mutation script: list of (op, args) tuples interpreted
+#: against whatever entities exist at that point.
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(
+            [
+                "create_node",
+                "create_rel",
+                "delete_rel",
+                "delete_node",
+                "set_prop",
+                "add_label",
+                "remove_label",
+            ]
+        ),
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=7),
+    ),
+    max_size=25,
+)
+
+
+def apply_script(store, script):
+    """Drive the store through a mutation script, ignoring misses."""
+    for op, a, b in script:
+        node_ids = [n.id for n in store.nodes()]
+        rel_ids = [r.id for r in store.relationships()]
+        try:
+            if op == "create_node":
+                store.create_node(("A",) if a % 2 else (), {"x": a})
+            elif op == "create_rel" and len(node_ids) >= 1:
+                store.create_relationship(
+                    "T",
+                    node_ids[a % len(node_ids)],
+                    node_ids[b % len(node_ids)],
+                    {"w": b},
+                )
+            elif op == "delete_rel" and rel_ids:
+                store.delete_relationship(rel_ids[a % len(rel_ids)])
+            elif op == "delete_node" and node_ids:
+                store.delete_node(
+                    node_ids[a % len(node_ids)], allow_dangling=bool(b % 2)
+                )
+            elif op == "set_prop" and node_ids:
+                store.set_node_property(
+                    node_ids[a % len(node_ids)],
+                    "xyz"[b % 3],
+                    a if a % 3 else None,
+                )
+            elif op == "add_label" and node_ids:
+                store.add_label(node_ids[a % len(node_ids)], "ABC"[b % 3])
+            elif op == "remove_label" and node_ids:
+                store.remove_label(node_ids[a % len(node_ids)], "ABC"[b % 3])
+        except CypherError:
+            pass  # strict deletes of attached nodes etc.
+
+
+class TestRollbackInverse:
+    @given(setup=operations, mutations=operations)
+    @settings(max_examples=80)
+    def test_rollback_restores_snapshot(self, setup, mutations):
+        store = GraphStore()
+        apply_script(store, setup)
+        before = store.snapshot()
+        mark = store.mark()
+        apply_script(store, mutations)
+        store.rollback_to(mark)
+        assert isomorphic(store.snapshot(), before)
+
+    @given(setup=operations, mutations=operations)
+    @settings(max_examples=40)
+    def test_rollback_restores_label_index(self, setup, mutations):
+        store = GraphStore()
+        apply_script(store, setup)
+        before = {
+            label: store.nodes_with_label(label) for label in ("A", "B", "C")
+        }
+        mark = store.mark()
+        apply_script(store, mutations)
+        store.rollback_to(mark)
+        after = {
+            label: store.nodes_with_label(label) for label in ("A", "B", "C")
+        }
+        assert before == after
+
+    @given(setup=operations)
+    @settings(max_examples=40)
+    def test_copy_round_trip(self, setup):
+        store = GraphStore()
+        apply_script(store, setup)
+        # copy() skips dangling relationships, so compare against the
+        # dangling-free projection of the original.
+        assert isomorphic(
+            store.copy().snapshot(),
+            store.snapshot(include_dangling=False),
+        )
+
+
+class PropertyIndexMachine(RuleBasedStateMachine):
+    """Stateful test: the property index always agrees with a rescan."""
+
+    def __init__(self):
+        super().__init__()
+        self.store = GraphStore()
+        self.index = self.store.create_index("A", "x")
+
+    @initialize()
+    def seed(self):
+        self.store.create_node(("A",), {"x": 0})
+
+    @rule(value=st.integers(min_value=0, max_value=3), labeled=st.booleans())
+    def create(self, value, labeled):
+        self.store.create_node(("A",) if labeled else (), {"x": value})
+
+    @rule(pick=st.integers(min_value=0, max_value=30))
+    def delete(self, pick):
+        nodes = [n.id for n in self.store.nodes()]
+        if nodes:
+            self.store.delete_node(nodes[pick % len(nodes)])
+
+    @rule(
+        pick=st.integers(min_value=0, max_value=30),
+        value=st.one_of(st.none(), st.integers(min_value=0, max_value=3)),
+    )
+    def set_x(self, pick, value):
+        nodes = [n.id for n in self.store.nodes()]
+        if nodes:
+            self.store.set_node_property(nodes[pick % len(nodes)], "x", value)
+
+    @rule(pick=st.integers(min_value=0, max_value=30), add=st.booleans())
+    def toggle_label(self, pick, add):
+        nodes = [n.id for n in self.store.nodes()]
+        if nodes:
+            node_id = nodes[pick % len(nodes)]
+            if add:
+                self.store.add_label(node_id, "A")
+            else:
+                self.store.remove_label(node_id, "A")
+
+    @invariant()
+    def index_agrees_with_scan(self):
+        for value in range(4):
+            expected = frozenset(
+                node.id
+                for node in self.store.nodes()
+                if node.has_label("A") and node.get("x") == value
+            )
+            assert self.index.lookup(value) == expected
+
+
+TestPropertyIndexMachine = PropertyIndexMachine.TestCase
+
+
+class TestTypedAdjacencyInvariant:
+    @given(setup=operations, mutations=operations)
+    @settings(max_examples=60)
+    def test_typed_maps_agree_with_scans(self, setup, mutations):
+        store = GraphStore()
+        apply_script(store, setup)
+        mark = store.mark()
+        apply_script(store, mutations)
+        store.rollback_to(mark)
+        for node in store.nodes():
+            for rel_type in ("T", "S"):
+                expected_out = frozenset(
+                    r
+                    for r in store.out_relationships(node.id)
+                    if store.rel_type(r) == rel_type
+                )
+                assert (
+                    store.out_relationships_of_types(node.id, (rel_type,))
+                    == expected_out
+                )
+                expected_in = frozenset(
+                    r
+                    for r in store.in_relationships(node.id)
+                    if store.rel_type(r) == rel_type
+                )
+                assert (
+                    store.in_relationships_of_types(node.id, (rel_type,))
+                    == expected_in
+                )

@@ -1,0 +1,110 @@
+"""Property-based tests for the value model."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.values import (
+    cypher_eq,
+    equivalent,
+    grouping_key,
+    sort_key,
+    tri_and,
+    tri_not,
+    tri_or,
+    tri_xor,
+)
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=True, allow_infinity=True, width=32),
+    st.text(max_size=12),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=4), children, max_size=3),
+    ),
+    max_leaves=12,
+)
+
+ternary = st.sampled_from([True, False, None])
+
+
+class TestTernaryLogicLaws:
+    @given(a=ternary, b=ternary)
+    def test_and_or_de_morgan(self, a, b):
+        assert tri_not(tri_and(a, b)) == tri_or(tri_not(a), tri_not(b))
+
+    @given(a=ternary, b=ternary)
+    def test_commutativity(self, a, b):
+        assert tri_and(a, b) == tri_and(b, a)
+        assert tri_or(a, b) == tri_or(b, a)
+        assert tri_xor(a, b) == tri_xor(b, a)
+
+    @given(a=ternary, b=ternary, c=ternary)
+    def test_associativity(self, a, b, c):
+        assert tri_and(tri_and(a, b), c) == tri_and(a, tri_and(b, c))
+        assert tri_or(tri_or(a, b), c) == tri_or(a, tri_or(b, c))
+
+    @given(a=ternary)
+    def test_double_negation(self, a):
+        assert tri_not(tri_not(a)) == a
+
+
+class TestEquivalenceLaws:
+    @given(v=values)
+    def test_reflexive(self, v):
+        assert equivalent(v, v)
+
+    @given(a=values, b=values)
+    def test_symmetric(self, a, b):
+        assert equivalent(a, b) == equivalent(b, a)
+
+    @given(a=values, b=values)
+    @settings(max_examples=300)
+    def test_grouping_key_characterizes_equivalence(self, a, b):
+        assert (grouping_key(a) == grouping_key(b)) == equivalent(a, b)
+
+    @given(a=values, b=values)
+    def test_ternary_true_implies_equivalent(self, a, b):
+        # cypher_eq can be None (nulls) or False where equivalence holds
+        # (e.g. null = null), but True always implies equivalence...
+        if cypher_eq(a, b) is True:
+            assert equivalent(a, b)
+
+
+class TestSortOrderLaws:
+    @given(xs=st.lists(values, max_size=8))
+    def test_sort_key_total(self, xs):
+        ordered = sorted(xs, key=sort_key)
+        keys = [sort_key(v) for v in ordered]
+        assert keys == sorted(keys)
+
+    @given(xs=st.lists(values, min_size=1, max_size=8))
+    def test_nulls_sort_after_everything(self, xs):
+        ordered = sorted(xs + [None], key=sort_key)
+        tail = ordered[-(xs.count(None) + 1):]
+        assert all(v is None for v in tail)
+
+    @given(a=values, b=values)
+    def test_equivalent_values_share_sort_position(self, a, b):
+        if equivalent(a, b):
+            has_nan_a = _contains_nan(a)
+            if not has_nan_a:
+                assert sort_key(a) == sort_key(b)
+
+
+def _contains_nan(value):
+    if isinstance(value, float) and math.isnan(value):
+        return True
+    if isinstance(value, list):
+        return any(_contains_nan(v) for v in value)
+    if isinstance(value, dict):
+        return any(_contains_nan(v) for v in value.values())
+    return False

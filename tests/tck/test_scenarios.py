@@ -1,0 +1,94 @@
+"""Runner for the declarative scenario corpus (scenarios.json).
+
+Each scenario is executed as its own pytest case.  Records are compared
+as bags after rendering entity values to plain data (nodes/relationships
+are replaced by their property maps so expectations stay declarative).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.errors
+from repro import Dialect, Graph
+from repro.graph.model import Node, Path as GraphPath, Relationship
+from repro.graph.values import grouping_key
+
+_CORPUS = json.loads(
+    (Path(__file__).parent / "scenarios.json").read_text(encoding="utf-8")
+)
+SCENARIOS = _CORPUS["scenarios"]
+
+
+def _render(value):
+    """Make result values JSON-comparable."""
+    if isinstance(value, (Node, Relationship)):
+        return dict(value.properties)
+    if isinstance(value, GraphPath):
+        return {
+            "nodes": [dict(n.properties) for n in value.nodes],
+            "relationships": [dict(r.properties) for r in value.relationships],
+        }
+    if isinstance(value, list):
+        return [_render(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _render(v) for k, v in value.items()}
+    return value
+
+
+def _bag(records):
+    return sorted(
+        (
+            tuple(sorted((k, repr(grouping_key(_render(v)))) for k, v in r.items()))
+            for r in records
+        )
+    )
+
+
+@pytest.mark.parametrize(
+    "scenario", SCENARIOS, ids=lambda s: s["name"].replace(" ", "-")
+)
+def test_scenario(scenario):
+    graph = Graph(
+        Dialect.parse(scenario.get("dialect", "revised")),
+        extended_merge=scenario.get("extended_merge", False),
+        match_mode=scenario.get("match_mode", "trail"),
+    )
+    for statement in scenario.get("setup", ()):
+        graph.run(statement)
+    params = scenario.get("params", {})
+
+    if "error" in scenario:
+        expected_error = getattr(repro.errors, scenario["error"])
+        with pytest.raises(expected_error):
+            graph.run(scenario["query"], params)
+        return
+
+    result = graph.run(scenario["query"], params)
+    if "expect" in scenario:
+        assert _bag(result.records) == _bag(scenario["expect"]), (
+            f"records mismatch:\n  got      {result.records}\n"
+            f"  expected {scenario['expect']}"
+        )
+    if "graph" in scenario:
+        expected = scenario["graph"]
+        assert graph.node_count() == expected["nodes"]
+        assert graph.relationship_count() == expected["relationships"]
+
+
+def test_corpus_is_well_formed():
+    names = [scenario["name"] for scenario in SCENARIOS]
+    assert len(names) == len(set(names)), "duplicate scenario names"
+    for scenario in SCENARIOS:
+        assert "query" in scenario
+        assert ("expect" in scenario) or ("error" in scenario) or (
+            "graph" in scenario
+        ), scenario["name"]
+
+
+def test_corpus_covers_both_dialects():
+    dialects = {scenario.get("dialect") for scenario in SCENARIOS}
+    assert "cypher9" in dialects and "revised" in dialects

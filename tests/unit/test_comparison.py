@@ -1,0 +1,104 @@
+"""Unit tests for isomorphism-up-to-id-renaming."""
+
+from repro.graph.comparison import (
+    assert_isomorphic,
+    describe,
+    fingerprint,
+    isomorphic,
+    signature_counts,
+)
+from repro.graph.store import GraphStore
+
+import pytest
+
+
+def build(edges, node_attrs=None):
+    """Tiny helper: build a graph from (src, type, dst) triples."""
+    store = GraphStore()
+    node_attrs = node_attrs or {}
+    ids = {}
+
+    def ensure(name):
+        if name not in ids:
+            labels, props = node_attrs.get(name, ((), {}))
+            ids[name] = store.create_node(labels, dict(props))
+        return ids[name]
+
+    for source, rel_type, target in edges:
+        store.create_relationship(rel_type, ensure(source), ensure(target))
+    return store.snapshot()
+
+
+class TestIsomorphic:
+    def test_identical_up_to_renaming(self):
+        left = build([("a", "T", "b"), ("b", "T", "c")])
+        right = build([("x", "T", "y"), ("y", "T", "z")])
+        assert isomorphic(left, right)
+        assert fingerprint(left) == fingerprint(right)
+
+    def test_different_shapes(self):
+        chain = build([("a", "T", "b"), ("b", "T", "c")])
+        fan = build([("a", "T", "b"), ("a", "T", "c")])
+        assert not isomorphic(chain, fan)
+
+    def test_direction_matters(self):
+        left = build([("a", "T", "b")])
+        right = build([("b", "T", "a")])
+        # With no content on nodes these ARE isomorphic (swap a/b).
+        assert isomorphic(left, right)
+
+    def test_direction_with_content(self):
+        attrs = {"a": (("A",), {}), "b": (("B",), {})}
+        left = build([("a", "T", "b")], attrs)
+        right = build([("b", "T", "a")], attrs)
+        assert not isomorphic(left, right)
+
+    def test_labels_and_properties_distinguish(self):
+        one = build([], {"a": (("User",), {"id": 1})})
+        # build() only creates nodes reachable from edges; use store directly
+        store = GraphStore()
+        store.create_node(("User",), {"id": 2})
+        two = store.snapshot()
+        store2 = GraphStore()
+        store2.create_node(("User",), {"id": 1})
+        one = store2.snapshot()
+        assert not isomorphic(one, two)
+
+    def test_parallel_edges_as_multisets(self):
+        double = build([("a", "T", "b"), ("a", "T", "b")])
+        single = build([("a", "T", "b")])
+        assert not isomorphic(double, single)
+        double2 = build([("x", "T", "y"), ("x", "T", "y")])
+        assert isomorphic(double, double2)
+
+    def test_parallel_edges_different_types(self):
+        one = build([("a", "T", "b"), ("a", "S", "b")])
+        two = build([("a", "T", "b"), ("a", "T", "b")])
+        assert not isomorphic(one, two)
+
+    def test_empty_graphs(self):
+        assert isomorphic(GraphStore().snapshot(), GraphStore().snapshot())
+
+
+class TestDiagnostics:
+    def test_describe_mentions_counts(self):
+        snapshot = build([("a", "T", "b")])
+        text = describe(snapshot)
+        assert "2 nodes" in text and "1 relationships" in text
+
+    def test_assert_isomorphic_passes(self):
+        left = build([("a", "T", "b")])
+        right = build([("c", "T", "d")])
+        assert_isomorphic(left, right)
+
+    def test_assert_isomorphic_message(self):
+        left = build([("a", "T", "b")])
+        right = build([("a", "S", "b")])
+        with pytest.raises(AssertionError) as excinfo:
+            assert_isomorphic(left, right)
+        assert "not isomorphic" in str(excinfo.value)
+
+    def test_signature_counts_invariant(self):
+        left = build([("a", "T", "b"), ("b", "T", "c")])
+        right = build([("z", "T", "y"), ("y", "T", "x")])
+        assert signature_counts(left) == signature_counts(right)

@@ -1,0 +1,95 @@
+"""Unit tests for the CREATE clause (both dialects share it)."""
+
+import pytest
+
+from repro.errors import CypherSemanticError, CypherTypeError
+
+
+class TestCreateNodes:
+    def test_create_single_node(self, revised_graph):
+        result = revised_graph.run("CREATE (n:User {id: 1})")
+        assert result.counters.nodes_created == 1
+        node = revised_graph.nodes()[0]
+        assert node.labels == frozenset({"User"})
+        assert node.get("id") == 1
+
+    def test_create_per_record(self, revised_graph):
+        revised_graph.run("UNWIND [1, 2, 3] AS i CREATE (:N {v: i})")
+        assert revised_graph.node_count() == 3
+
+    def test_null_property_is_absent(self, revised_graph):
+        revised_graph.run("CREATE (n:N {a: 1, b: null})")
+        node = revised_graph.nodes()[0]
+        assert dict(node.properties) == {"a": 1}
+
+    def test_property_expressions_evaluated_per_record(self, revised_graph):
+        revised_graph.run("UNWIND [1, 2] AS i CREATE (:N {v: i * 10})")
+        values = sorted(n.get("v") for n in revised_graph.nodes())
+        assert values == [10, 20]
+
+    def test_create_binds_variable_for_later_clauses(self, revised_graph):
+        result = revised_graph.run("CREATE (n:N {v: 5}) RETURN n.v AS v")
+        assert result.records == [{"v": 5}]
+
+    def test_create_multiple_paths(self, revised_graph):
+        revised_graph.run("CREATE (a:A), (b:B), (a)-[:T]->(b)")
+        assert revised_graph.node_count() == 2
+        assert revised_graph.relationship_count() == 1
+
+
+class TestCreateRelationships:
+    def test_create_path(self, revised_graph):
+        revised_graph.run("CREATE (:A)-[:T {w: 1}]->(:B)<-[:S]-(:C)")
+        assert revised_graph.node_count() == 3
+        rels = revised_graph.relationships()
+        assert sorted(r.type for r in rels) == ["S", "T"]
+
+    def test_direction_is_respected(self, revised_graph):
+        revised_graph.run("CREATE (a:A)<-[:T]-(b:B)")
+        rel = revised_graph.relationships()[0]
+        assert rel.start.has_label("B")
+        assert rel.end.has_label("A")
+
+    def test_create_reuses_bound_node(self, revised_graph):
+        revised_graph.run("CREATE (:User {id: 1})")
+        revised_graph.run(
+            "MATCH (u:User {id: 1}) CREATE (u)-[:ORDERED]->(:Product)"
+        )
+        assert revised_graph.node_count() == 2
+        rel = revised_graph.relationships()[0]
+        assert rel.start.has_label("User")
+
+    def test_bound_node_with_labels_rejected(self, revised_graph):
+        revised_graph.run("CREATE (:User {id: 1})")
+        with pytest.raises(CypherSemanticError):
+            revised_graph.run("MATCH (u:User) CREATE (u:Admin)-[:T]->(:X)")
+
+    def test_bound_relationship_variable_rejected(self, revised_graph):
+        revised_graph.run("CREATE (:A)-[:T]->(:B)")
+        with pytest.raises(CypherSemanticError):
+            revised_graph.run("MATCH ()-[r:T]->() CREATE (:X)-[r:T]->(:Y)")
+
+    def test_variable_reused_within_pattern(self, revised_graph):
+        revised_graph.run("CREATE (a:A), (a)-[:T]->(b:B), (b)-[:S]->(a)")
+        assert revised_graph.node_count() == 2
+        assert revised_graph.relationship_count() == 2
+
+    def test_bound_variable_must_be_node(self, revised_graph):
+        with pytest.raises(CypherTypeError):
+            revised_graph.run("UNWIND [1] AS x CREATE (x)-[:T]->(:B)")
+
+    def test_named_path_in_create_rejected(self, revised_graph):
+        with pytest.raises(CypherSemanticError):
+            revised_graph.run("CREATE p = (:A)-[:T]->(:B)")
+
+
+class TestCreateCounters:
+    def test_counters(self, revised_graph):
+        result = revised_graph.run("CREATE (:A)-[:T]->(:B)")
+        assert result.counters.nodes_created == 2
+        assert result.counters.relationships_created == 1
+        assert result.counters.contains_updates
+
+    def test_empty_driving_table_creates_nothing(self, revised_graph):
+        result = revised_graph.run("MATCH (missing:Nope) CREATE (:N)")
+        assert result.counters.nodes_created == 0

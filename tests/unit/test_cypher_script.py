@@ -1,0 +1,100 @@
+"""Unit tests for the Cypher-script dump/restore format."""
+
+import pytest
+
+from repro import Dialect, Graph
+from repro.graph.comparison import assert_isomorphic
+from repro.io.cypher_script import (
+    dump_script,
+    load_script,
+    save_script,
+    split_statements,
+)
+from repro.paper import figure1_graph
+from repro.workloads.generators import MarketplaceConfig, marketplace_graph
+
+
+class TestRoundTrip:
+    def test_figure1_round_trip(self, tmp_path):
+        store = figure1_graph()
+        path = tmp_path / "fig1.cypher"
+        save_script(store, path)
+        restored = load_script(path)
+        assert_isomorphic(store.snapshot(), restored.snapshot())
+
+    def test_marketplace_round_trip(self, tmp_path):
+        store = marketplace_graph(
+            MarketplaceConfig(users=10, vendors=2, products=5, orders=20)
+        )
+        path = tmp_path / "market.cypher"
+        save_script(store, path)
+        restored = load_script(path)
+        assert_isomorphic(store.snapshot(), restored.snapshot())
+
+    def test_dump_id_helper_property_removed(self, tmp_path):
+        store = figure1_graph()
+        path = tmp_path / "g.cypher"
+        save_script(store, path)
+        restored = load_script(path)
+        for node in restored.nodes():
+            assert "_dump_id" not in node.properties
+
+    def test_tricky_values_survive(self, tmp_path):
+        graph = Graph(Dialect.REVISED)
+        graph.create_node(
+            "Weird Label",
+            text="semi;colon 'quoted' \\slash\\",
+            flag=True,
+            nums=[1, 2.5],
+        )
+        path = tmp_path / "weird.cypher"
+        save_script(graph.store, path)
+        restored = load_script(path)
+        node = list(restored.nodes())[0]
+        assert node.get("text") == "semi;colon 'quoted' \\slash\\"
+        assert node.get("nums") == [1, 2.5]
+        assert node.has_label("Weird Label")
+
+    def test_empty_graph(self, tmp_path):
+        graph = Graph(Dialect.REVISED)
+        path = tmp_path / "empty.cypher"
+        save_script(graph.store, path)
+        restored = load_script(path)
+        assert restored.node_count() == 0
+
+    def test_script_is_runnable_by_the_shell(self, tmp_path, capsys):
+        from repro.tools.shell import main
+
+        store = figure1_graph()
+        path = tmp_path / "fig1.cypher"
+        save_script(store, path)
+        assert main([str(path)]) == 0
+
+
+class TestSplitStatements:
+    def test_plain_split(self):
+        assert split_statements("A; B;\nC") == ["A", "B", "C"]
+
+    def test_semicolons_in_strings_preserved(self):
+        statements = split_statements("CREATE (:N {t: 'a;b'}); RETURN 1")
+        assert statements == ["CREATE (:N {t: 'a;b'})", "RETURN 1"]
+
+    def test_comments_stripped(self):
+        statements = split_statements(
+            "// header\nCREATE (:N); /* mid; comment */ RETURN 1;"
+        )
+        assert statements == ["CREATE (:N)", "RETURN 1"]
+
+    def test_escaped_quote_inside_string(self):
+        statements = split_statements("RETURN 'it\\'s; fine' AS x;")
+        assert statements == ["RETURN 'it\\'s; fine' AS x"]
+
+    def test_backticks(self):
+        statements = split_statements("MATCH (`a;b`) RETURN `a;b`;")
+        assert statements == ["MATCH (`a;b`) RETURN `a;b`"]
+
+    def test_missing_file(self, tmp_path):
+        from repro.errors import LoadError
+
+        with pytest.raises(LoadError):
+            load_script(tmp_path / "missing.cypher")

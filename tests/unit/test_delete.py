@@ -1,0 +1,125 @@
+"""Unit tests for DELETE: strict atomic (revised) vs legacy behaviour."""
+
+import pytest
+
+from repro import DanglingRelationshipError, Dialect, Graph
+from repro.errors import CypherTypeError, UpdateError
+
+
+@pytest.fixture
+def ordered(revised_graph):
+    revised_graph.run("CREATE (:User {id: 1})-[:ORDERED]->(:Product {id: 2})")
+    return revised_graph
+
+
+class TestRevisedStrictDelete:
+    def test_delete_isolated_node(self, revised_graph):
+        revised_graph.run("CREATE (:N)")
+        result = revised_graph.run("MATCH (n:N) DELETE n")
+        assert result.counters.nodes_deleted == 1
+        assert revised_graph.node_count() == 0
+
+    def test_delete_attached_node_fails_atomically(self, ordered):
+        with pytest.raises(DanglingRelationshipError):
+            ordered.run("MATCH (u:User) DELETE u")
+        assert ordered.node_count() == 2
+        assert ordered.relationship_count() == 1
+
+    def test_delete_node_and_relationship_same_clause(self, ordered):
+        ordered.run("MATCH (u:User)-[r]->() DELETE u, r")
+        assert ordered.node_count() == 1
+
+    def test_delete_across_records_same_clause(self, ordered):
+        # The relationship is collected from one record, the node from
+        # another record of the same clause: still fine (clause-atomic).
+        ordered.run(
+            "MATCH (u:User) OPTIONAL MATCH (u)-[r]->() "
+            "WITH collect(u) AS us, collect(r) AS rs "
+            "UNWIND us + rs AS x DELETE x"
+        )
+        assert ordered.node_count() == 1
+
+    def test_detach_delete(self, ordered):
+        ordered.run("MATCH (u:User) DETACH DELETE u")
+        assert ordered.node_count() == 1
+        assert ordered.relationship_count() == 0
+
+    def test_references_become_null(self, ordered):
+        result = ordered.run("MATCH (u:User) DETACH DELETE u RETURN u")
+        assert result.records == [{"u": None}]
+
+    def test_references_inside_lists_become_null(self, ordered):
+        result = ordered.run(
+            "MATCH (u:User) WITH u, [u] AS us DETACH DELETE u RETURN us"
+        )
+        assert result.records == [{"us": [None]}]
+
+    def test_delete_null_is_noop(self, revised_graph):
+        revised_graph.run("CREATE (:N)")
+        revised_graph.run("MATCH (n:N) OPTIONAL MATCH (n)-[:X]->(m) DELETE m")
+        assert revised_graph.node_count() == 1
+
+    def test_double_delete_is_noop(self, revised_graph):
+        revised_graph.run("CREATE (:N)")
+        revised_graph.run("MATCH (n:N), (m:N) DELETE n, m")
+        assert revised_graph.node_count() == 0
+
+    def test_delete_relationship_only(self, ordered):
+        ordered.run("MATCH ()-[r:ORDERED]->() DELETE r")
+        assert ordered.relationship_count() == 0
+        assert ordered.node_count() == 2
+
+    def test_delete_path(self, ordered):
+        ordered.run("MATCH p = (:User)-[:ORDERED]->(:Product) DELETE p")
+        assert ordered.node_count() == 0
+        assert ordered.relationship_count() == 0
+
+    def test_delete_non_entity_raises(self, revised_graph):
+        with pytest.raises(CypherTypeError):
+            revised_graph.run("UNWIND [1] AS x DELETE x")
+
+    def test_match_after_delete_sees_removal(self, revised_graph):
+        revised_graph.run("CREATE (:N {v: 1}), (:N {v: 2})")
+        result = revised_graph.run(
+            "MATCH (n:N {v: 1}) DELETE n "
+            "WITH 1 AS one MATCH (m:N) RETURN m.v AS v"
+        )
+        assert result.values("v") == [2]
+
+
+class TestLegacyDelete:
+    def test_dangling_intermediate_state_allowed(self):
+        g = Graph(Dialect.CYPHER9)
+        g.run("CREATE (:User)-[:ORDERED]->(:Product)")
+        # Deleting the user first, then the relationship, in separate
+        # clauses of one statement works (Section 4.2).
+        g.run("MATCH (u:User)-[r:ORDERED]->() DELETE u DELETE r")
+        assert g.node_count() == 1
+
+    def test_statement_leaving_dangling_fails(self):
+        g = Graph(Dialect.CYPHER9)
+        g.run("CREATE (:User)-[:ORDERED]->(:Product)")
+        with pytest.raises(UpdateError):
+            g.run("MATCH (u:User) DELETE u")
+        # Commit-time validation rolls the statement back.
+        assert g.node_count() == 2
+        assert g.relationship_count() == 1
+
+    def test_returned_deleted_node_is_empty(self):
+        g = Graph(Dialect.CYPHER9)
+        g.run("CREATE (:User {id: 1})-[:ORDERED]->(:Product)")
+        result = g.run(
+            "MATCH (user)-[order:ORDERED]->(product) "
+            "DELETE user SET user.id = 999 DELETE order RETURN user"
+        )
+        zombie = result.records[0]["user"]
+        assert zombie.is_deleted
+        assert zombie.labels == frozenset()
+        assert dict(zombie.properties) == {}
+
+    def test_legacy_detach_delete(self):
+        g = Graph(Dialect.CYPHER9)
+        g.run("CREATE (:User)-[:ORDERED]->(:Product)")
+        g.run("MATCH (u:User) DETACH DELETE u")
+        assert g.node_count() == 1
+        assert g.relationship_count() == 0

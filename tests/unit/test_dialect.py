@@ -1,0 +1,49 @@
+"""Unit tests for dialect selection and the public API surface."""
+
+import pytest
+
+import repro
+from repro import Dialect
+
+
+class TestDialectParse:
+    def test_from_string(self):
+        assert Dialect.parse("cypher9") is Dialect.CYPHER9
+        assert Dialect.parse("REVISED") is Dialect.REVISED
+
+    def test_identity(self):
+        assert Dialect.parse(Dialect.CYPHER9) is Dialect.CYPHER9
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError) as excinfo:
+            Dialect.parse("cypher10")
+        assert "cypher9" in str(excinfo.value)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ValueError):
+            Dialect.parse(42)
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version_is_semver(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_merge_semantics_enum_complete(self):
+        values = {semantics.value for semantics in repro.MergeSemantics}
+        assert values == {
+            "atomic",
+            "grouping",
+            "weak_collapse",
+            "collapse",
+            "strong_collapse",
+        }
+
+    def test_match_mode_enum(self):
+        assert repro.MatchMode("trail") is repro.MatchMode.TRAIL
+        assert repro.MatchMode("homomorphism") is repro.MatchMode.HOMOMORPHISM

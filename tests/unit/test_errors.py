@@ -1,0 +1,126 @@
+"""Unit tests for the error hierarchy and error reporting quality."""
+
+import pytest
+
+from repro import (
+    CypherError,
+    CypherSyntaxError,
+    DanglingRelationshipError,
+    Dialect,
+    Graph,
+    MergeSyntaxError,
+    PropertyConflictError,
+)
+from repro.errors import (
+    CypherEvaluationError,
+    CypherSemanticError,
+    CypherTypeError,
+    EntityNotFoundError,
+    LoadError,
+    ParameterMissingError,
+    TransactionError,
+    UnknownVariableError,
+    UpdateError,
+)
+from repro.parser import parse
+
+
+class TestHierarchy:
+    def test_everything_is_a_cypher_error(self):
+        for exc_type in (
+            CypherSyntaxError,
+            MergeSyntaxError,
+            CypherSemanticError,
+            UnknownVariableError,
+            CypherTypeError,
+            CypherEvaluationError,
+            ParameterMissingError,
+            UpdateError,
+            PropertyConflictError,
+            DanglingRelationshipError,
+            EntityNotFoundError,
+            TransactionError,
+            LoadError,
+        ):
+            assert issubclass(exc_type, CypherError), exc_type
+
+    def test_merge_syntax_is_syntax(self):
+        assert issubclass(MergeSyntaxError, CypherSyntaxError)
+
+    def test_conflict_and_dangling_are_update_errors(self):
+        assert issubclass(PropertyConflictError, UpdateError)
+        assert issubclass(DanglingRelationshipError, UpdateError)
+
+    def test_one_except_clause_suffices(self):
+        g = Graph(Dialect.REVISED)
+        for statement in (
+            "MATCH (n",                      # syntax
+            "RETURN missing_var",            # unknown variable
+            "RETURN 1 / 0 AS x",             # evaluation
+            "RETURN $nope AS x",             # parameter
+        ):
+            with pytest.raises(CypherError):
+                g.run(statement)
+
+
+class TestSyntaxErrorPositions:
+    def test_line_and_column_reported(self):
+        with pytest.raises(CypherSyntaxError) as excinfo:
+            parse("MATCH (n)\nRETURN n <")
+        error = excinfo.value
+        assert error.line == 2
+        assert "line 2" in str(error)
+
+    def test_lexer_position(self):
+        with pytest.raises(CypherSyntaxError) as excinfo:
+            parse("MATCH (n) WHERE n.x = @ RETURN n")
+        assert excinfo.value.column > 0
+
+    def test_unexpected_token_named(self):
+        with pytest.raises(CypherSyntaxError) as excinfo:
+            parse("MATCH (n) RETURN n n")
+        assert "'n'" in str(excinfo.value)
+
+
+class TestErrorPayloads:
+    def test_property_conflict_carries_details(self):
+        error = PropertyConflictError("node#3", "name", "a", "b")
+        assert error.key == "name"
+        assert error.first == "a" and error.second == "b"
+        assert "name" in str(error)
+
+    def test_dangling_error_lists_relationships(self):
+        error = DanglingRelationshipError(7, (1, 2))
+        assert error.relationships == (1, 2)
+        assert "DETACH DELETE" in str(error)
+
+    def test_unknown_variable_names_the_variable(self):
+        g = Graph(Dialect.REVISED)
+        with pytest.raises(UnknownVariableError) as excinfo:
+            g.run("RETURN whom AS x")
+        assert "whom" in str(excinfo.value)
+
+    def test_unknown_function_named(self):
+        g = Graph(Dialect.REVISED)
+        with pytest.raises(CypherEvaluationError) as excinfo:
+            g.run("RETURN frobnicate(1) AS x")
+        assert "frobnicate" in str(excinfo.value)
+
+
+class TestErrorAtomicity:
+    """Every error class leaves the graph untouched."""
+
+    @pytest.mark.parametrize(
+        "statement",
+        [
+            "CREATE (:X) WITH 1 AS one RETURN 1 / 0 AS boom",
+            "CREATE (:X) WITH 1 AS one RETURN $missing AS boom",
+            "CREATE (:X) WITH 1 AS one RETURN nope AS boom",
+            "CREATE (:X) WITH 1 AS one UNWIND true + 1 AS boom RETURN boom",
+        ],
+    )
+    def test_failed_statements_leave_no_trace(self, statement):
+        g = Graph(Dialect.REVISED)
+        with pytest.raises(CypherError):
+            g.run(statement)
+        assert g.node_count() == 0

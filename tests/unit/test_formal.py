@@ -1,0 +1,221 @@
+"""Unit tests for the formal reference semantics (Section 8)."""
+
+import pytest
+
+from repro import Dialect
+from repro.errors import DanglingRelationshipError, PropertyConflictError
+from repro.formal import semantics as F
+from repro.parser import parse
+
+
+def pattern_of(source):
+    statement = parse(source, Dialect.REVISED, extended_merge=True)
+    return statement.branches()[0].clauses[0].pattern
+
+
+def small_graph():
+    builder = F._Builder()
+    builder.nodes.update({0, 1})
+    builder.labels[0] = frozenset({"User"})
+    builder.labels[1] = frozenset({"Product"})
+    builder.node_props[0] = {"id": 1}
+    builder.node_props[1] = {"id": 2}
+    builder.rels.add(0)
+    builder.source[0] = 0
+    builder.target[0] = 1
+    builder.types[0] = "ORDERED"
+    builder.rel_props[0] = {}
+    return builder.snapshot()
+
+
+class TestMatchRelation:
+    def test_match_simple_pattern(self):
+        graph = small_graph()
+        pattern = pattern_of("MERGE ALL (u:User)-[:ORDERED]->(p:Product)")
+        rows = list(F.match_rows(graph, pattern, {}))
+        assert rows == [{"u": ("node", 0), "p": ("node", 1)}]
+
+    def test_match_respects_bound_variables(self):
+        graph = small_graph()
+        pattern = pattern_of("MERGE ALL (u)-[:ORDERED]->(p)")
+        assert list(F.match_rows(graph, pattern, {"u": F.node_tag(1)})) == []
+        rows = list(F.match_rows(graph, pattern, {"u": F.node_tag(0)}))
+        assert len(rows) == 1
+
+    def test_null_property_never_matches(self):
+        graph = small_graph()
+        pattern = pattern_of("MERGE ALL (u:User {id: x})")
+        assert list(F.match_rows(graph, pattern, {"x": None})) == []
+
+    def test_trail_uniqueness(self):
+        graph = small_graph()
+        pattern = pattern_of(
+            "MERGE ALL (a)-[:ORDERED]->(b), (c)-[:ORDERED]->(d)"
+        )
+        assert list(F.match_rows(graph, pattern, {})) == []
+
+
+class TestCreate:
+    def test_creates_per_row(self):
+        pattern = pattern_of("MERGE ALL (:N {v: x})")
+        outcome = F.create(F.empty_graph(), pattern, ({"x": 1}, {"x": 2}))
+        assert outcome.graph.order() == 2
+        assert len(outcome.created_nodes) == 2
+
+    def test_binds_variables_in_table(self):
+        pattern = pattern_of("MERGE ALL (n:N)")
+        outcome = F.create(F.empty_graph(), pattern, ({},))
+        assert outcome.table[0]["n"][0] == "node"
+
+    def test_null_property_absent(self):
+        pattern = pattern_of("MERGE ALL (:N {v: x})")
+        outcome = F.create(F.empty_graph(), pattern, ({"x": None},))
+        node_id = next(iter(outcome.graph.nodes))
+        assert outcome.graph.node_properties[node_id] == {}
+
+    def test_direction(self):
+        pattern = pattern_of("MERGE ALL (:A)<-[:T]-(:B)")
+        outcome = F.create(F.empty_graph(), pattern, ({},))
+        rel = next(iter(outcome.graph.relationships))
+        source = outcome.graph.source[rel]
+        assert outcome.graph.labels[source] == frozenset({"B"})
+
+
+class TestMergeAll:
+    def test_matching_rows_do_not_create(self):
+        graph = small_graph()
+        pattern = pattern_of("MERGE ALL (u:User)-[:ORDERED]->(p:Product)")
+        outcome = F.merge_all(graph, pattern, ({},))
+        assert outcome.graph.order() == graph.order()
+        assert len(outcome.table) == 1
+
+    def test_failing_rows_create(self):
+        graph = small_graph()
+        pattern = pattern_of("MERGE ALL (u:User {id: 99})")
+        outcome = F.merge_all(graph, pattern, ({},))
+        assert outcome.graph.order() == 3
+
+
+class TestCollapseDefinitions:
+    def test_original_entities_never_collapse(self):
+        graph = small_graph()
+        pattern = pattern_of("MERGE ALL (:User {id: 1})-[:X]->(:Q)")
+        outcome = F.merge_same(graph, pattern, ({},))
+        # A new User{id:1} node is created (pattern fails due to :X) and
+        # must NOT merge with the existing one.
+        users = [
+            n
+            for n in outcome.graph.nodes
+            if outcome.graph.labels.get(n) == frozenset({"User"})
+        ]
+        assert len(users) == 2
+
+    def test_quotient_retags_table(self):
+        pattern = pattern_of("MERGE ALL (n:N {v: 1})")
+        outcome = F.merge_same(F.empty_graph(), pattern, ({}, {}))
+        tags = {row["n"] for row in outcome.table}
+        assert len(tags) == 1
+
+    def test_self_loop_from_collapse(self):
+        pattern = pattern_of("MERGE ALL (:N)-[:T]->(:N)")
+        outcome = F.merge_same(F.empty_graph(), pattern, ({},))
+        assert outcome.graph.order() == 1
+        rel = next(iter(outcome.graph.relationships))
+        assert outcome.graph.source[rel] == outcome.graph.target[rel]
+
+    def test_weak_collapse_respects_positions(self):
+        pattern = pattern_of("MERGE ALL (:N)-[:T]->(:N)")
+        outcome = F.merge_variant(
+            F.empty_graph(), pattern, ({},), "weak_collapse"
+        )
+        assert outcome.graph.order() == 2
+
+
+class TestFormalSetDelete:
+    def test_set_conflict(self):
+        graph = small_graph()
+        with pytest.raises(PropertyConflictError):
+            F.set_properties(
+                graph,
+                (
+                    (F.node_tag(0), "id", 7),
+                    (F.node_tag(0), "id", 8),
+                ),
+            )
+
+    def test_set_applies_all_at_once(self):
+        graph = small_graph()
+        result = F.set_properties(
+            graph,
+            (
+                (F.node_tag(0), "id", 2),
+                (F.node_tag(1), "id", 1),
+            ),
+        )
+        assert result.node_properties[0]["id"] == 2
+        assert result.node_properties[1]["id"] == 1
+
+    def test_set_null_removes(self):
+        graph = small_graph()
+        result = F.set_properties(graph, ((F.node_tag(0), "id", None),))
+        assert "id" not in result.node_properties[0]
+
+    def test_strict_delete_raises_on_dangling(self):
+        graph = small_graph()
+        with pytest.raises(DanglingRelationshipError):
+            F.delete_entities(graph, frozenset({0}), frozenset())
+
+    def test_delete_with_relationship(self):
+        graph = small_graph()
+        result = F.delete_entities(graph, frozenset({0}), frozenset({0}))
+        assert result.nodes == frozenset({1})
+        assert result.relationships == frozenset()
+
+    def test_detach_delete(self):
+        graph = small_graph()
+        result = F.delete_entities(
+            graph, frozenset({0}), frozenset(), detach=True
+        )
+        assert result.relationships == frozenset()
+
+
+class TestFormalRemove:
+    def test_remove_label_and_property(self):
+        graph = small_graph()
+        result = F.remove_items(
+            graph,
+            label_removals=((0, "User"),),
+            property_removals=(((("node", 0)), "id"),),
+        )
+        assert result.labels[0] == frozenset()
+        assert "id" not in result.node_properties[0]
+
+    def test_remove_is_idempotent(self):
+        graph = small_graph()
+        once = F.remove_items(graph, label_removals=((0, "User"),))
+        twice = F.remove_items(once, label_removals=((0, "User"),))
+        assert once == twice
+
+    def test_remove_missing_is_noop(self):
+        graph = small_graph()
+        result = F.remove_items(
+            graph, property_removals=((("node", 1), "nope"),)
+        )
+        assert result.node_properties[1] == graph.node_properties[1]
+
+    def test_engine_remove_agrees(self):
+        from repro import Dialect, DrivingTable, Graph
+        from repro.graph.comparison import isomorphic
+
+        graph = Graph(Dialect.REVISED)
+        node = graph.create_node("User", id=1)
+        other = graph.create_node("Product", id=2)
+        graph.create_relationship(node, "ORDERED", other)
+        table = DrivingTable(("n",), [{"n": node}])
+        graph.run("REMOVE n:User, n.id", table=table)
+        formal = F.remove_items(
+            small_graph(),
+            label_removals=((0, "User"),),
+            property_removals=((("node", 0), "id"),),
+        )
+        assert isomorphic(graph.snapshot(), formal)

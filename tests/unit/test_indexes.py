@@ -1,0 +1,102 @@
+"""Direct unit tests for LabelIndex and PropertyIndex."""
+
+from repro.graph.indexes import LabelIndex, PropertyIndex
+
+
+class TestLabelIndex:
+    def test_add_and_lookup(self):
+        index = LabelIndex()
+        index.add(1, ("A", "B"))
+        index.add(2, ("A",))
+        assert index.nodes_with_label("A") == {1, 2}
+        assert index.nodes_with_label("B") == {1}
+        assert index.nodes_with_label("Z") == frozenset()
+
+    def test_remove(self):
+        index = LabelIndex()
+        index.add(1, ("A",))
+        index.remove(1, ("A",))
+        assert index.nodes_with_label("A") == frozenset()
+        # removing again is a no-op
+        index.remove(1, ("A",))
+
+    def test_counts_and_labels(self):
+        index = LabelIndex()
+        index.add(1, ("A",))
+        index.add(2, ("A", "B"))
+        assert index.count("A") == 2
+        assert index.count("B") == 1
+        assert sorted(index.labels()) == ["A", "B"]
+
+    def test_empty_buckets_are_pruned(self):
+        index = LabelIndex()
+        index.add(1, ("A",))
+        index.remove(1, ("A",))
+        assert list(index.labels()) == []
+
+
+class TestPropertyIndex:
+    def test_add_and_lookup(self):
+        index = PropertyIndex("User", "id")
+        index.add(1, 42)
+        index.add(2, 42)
+        index.add(3, 7)
+        assert index.lookup(42) == {1, 2}
+        assert index.lookup(7) == {3}
+        assert len(index) == 3
+
+    def test_numeric_equivalence(self):
+        index = PropertyIndex("User", "id")
+        index.add(1, 1)
+        assert index.lookup(1.0) == {1}
+
+    def test_re_add_moves_bucket(self):
+        index = PropertyIndex("User", "id")
+        index.add(1, 10)
+        index.add(1, 20)
+        assert index.lookup(10) == frozenset()
+        assert index.lookup(20) == {1}
+        assert len(index) == 1
+
+    def test_discard(self):
+        index = PropertyIndex("User", "id")
+        index.add(1, 10)
+        index.discard(1)
+        assert index.lookup(10) == frozenset()
+        assert len(index) == 0
+        index.discard(1)  # idempotent
+
+    def test_null_and_unstorable_not_indexed(self):
+        index = PropertyIndex("User", "id")
+        index.add(1, None)
+        index.add(2, {"nested": "map"})
+        assert len(index) == 0
+
+    def test_null_lookup_empty(self):
+        index = PropertyIndex("User", "id")
+        index.add(1, 10)
+        assert index.lookup(None) == frozenset()
+
+    def test_bucket_of(self):
+        index = PropertyIndex("User", "id")
+        index.add(1, 5)
+        index.add(2, 5)
+        assert index.bucket_of(1) == {1, 2}
+        assert index.bucket_of(99) == frozenset()
+
+    def test_duplicate_buckets(self):
+        index = PropertyIndex("User", "id")
+        index.add(1, 5)
+        index.add(2, 5)
+        index.add(3, 6)
+        duplicates = index.duplicate_buckets()
+        assert duplicates == [frozenset({1, 2})]
+
+    def test_list_values_indexable(self):
+        index = PropertyIndex("User", "tags")
+        index.add(1, ["a", "b"])
+        assert index.lookup(["a", "b"]) == {1}
+
+    def test_repr(self):
+        index = PropertyIndex("User", "id")
+        assert ":User(id)" in repr(index)

@@ -1,0 +1,101 @@
+"""Unit tests for CSV and JSON import/export."""
+
+import pytest
+
+from repro.errors import LoadError
+from repro.graph.comparison import isomorphic
+from repro.io.csv_io import read_csv_rows, read_driving_table, write_csv
+from repro.io.graph_json import (
+    dict_to_store,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+from repro.paper import figure1_graph
+
+
+class TestCsv:
+    def test_round_trip_with_headers(self, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(path, ["id", "name"], [[1, "Bob"], [2, None]])
+        rows = read_csv_rows(path, with_headers=True)
+        assert rows == [
+            {"id": "1", "name": "Bob"},
+            {"id": "2", "name": None},
+        ]
+
+    def test_rows_without_headers(self, tmp_path):
+        path = tmp_path / "plain.csv"
+        path.write_text("a,b\nc,d\n")
+        assert read_csv_rows(path) == [["a", "b"], ["c", "d"]]
+
+    def test_short_rows_padded_with_null(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("a,b\n1\n")
+        rows = read_csv_rows(path, with_headers=True)
+        assert rows == [{"a": "1", "b": None}]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(LoadError):
+            read_csv_rows(tmp_path / "missing.csv")
+
+    def test_headers_required_nonempty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(LoadError):
+            read_csv_rows(path, with_headers=True)
+
+    def test_driving_table_coercion(self, tmp_path):
+        path = tmp_path / "orders.csv"
+        path.write_text("cid,pid,flag,note\n98,125,true,hello\n99,,false,\n")
+        table = read_driving_table(path)
+        assert table.columns == ("cid", "pid", "flag", "note")
+        assert table.records[0] == {
+            "cid": 98,
+            "pid": 125,
+            "flag": True,
+            "note": "hello",
+        }
+        assert table.records[1]["pid"] is None
+        assert table.records[1]["note"] is None
+
+    def test_driving_table_without_coercion(self, tmp_path):
+        path = tmp_path / "orders.csv"
+        path.write_text("cid\n98\n")
+        table = read_driving_table(path, coerce=False)
+        assert table.records == [{"cid": "98"}]
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "semi.csv"
+        path.write_text("a;b\n1;2\n")
+        table = read_driving_table(path, delimiter=";")
+        assert table.records == [{"a": 1, "b": 2}]
+
+
+class TestGraphJson:
+    def test_round_trip(self, tmp_path):
+        store = figure1_graph()
+        path = tmp_path / "graph.json"
+        save_graph(store, path)
+        loaded = load_graph(path)
+        assert isomorphic(store.snapshot(), loaded.snapshot())
+
+    def test_dict_shape(self):
+        data = graph_to_dict(figure1_graph())
+        assert len(data["nodes"]) == 6
+        assert len(data["relationships"]) == 5
+        assert all("labels" in node for node in data["nodes"])
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(LoadError):
+            dict_to_store({"nodes": [{"bad": True}], "relationships": []})
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(LoadError):
+            load_graph(tmp_path / "missing.json")
+
+    def test_snapshot_input(self, tmp_path):
+        snapshot = figure1_graph().snapshot()
+        path = tmp_path / "snap.json"
+        save_graph(snapshot, path)
+        assert isomorphic(load_graph(path).snapshot(), snapshot)

@@ -1,0 +1,144 @@
+"""Unit tests for the legacy (Cypher 9) MERGE and FOREACH behaviour."""
+
+import pytest
+
+from repro import Dialect, DrivingTable, Graph
+from repro.paper import EXAMPLE_3_MERGE, example3_graph, example3_table
+
+
+class TestLegacyMerge:
+    def test_match_or_create(self):
+        g = Graph(Dialect.CYPHER9)
+        g.run("MERGE (u:User {id: 1})")
+        g.run("MERGE (u:User {id: 1})")
+        assert g.node_count() == 1
+        g.run("MERGE (u:User {id: 2})")
+        assert g.node_count() == 2
+
+    def test_reads_own_writes_across_records(self):
+        g = Graph(Dialect.CYPHER9)
+        # Two identical failing rows: the first creates, the second
+        # matches the first's creation (the read-own-writes behaviour).
+        g.run("UNWIND [1, 1] AS uid MERGE (u:User {id: uid})")
+        assert g.node_count() == 1
+
+    def test_order_dependence_reproduces_figure6(self):
+        store = example3_graph()
+        g = Graph(Dialect.CYPHER9, store=store)
+        g.run(EXAMPLE_3_MERGE, table=example3_table(store))
+        top_down_rels = g.relationship_count()
+
+        store2 = example3_graph()
+        g2 = Graph(Dialect.CYPHER9, store=store2)
+        g2.run(EXAMPLE_3_MERGE, table=example3_table(store2).reversed())
+        bottom_up_rels = g2.relationship_count()
+
+        assert top_down_rels == 4  # Figure 6b
+        assert bottom_up_rels == 6  # Figure 6a
+
+    def test_undirected_merge_creates_left_to_right(self):
+        g = Graph(Dialect.CYPHER9)
+        g.run("CREATE (:A {k: 1}), (:B {k: 2})")
+        g.run("MATCH (a:A), (b:B) MERGE (a)-[:T]-(b)")
+        rel = g.relationships()[0]
+        assert rel.start.has_label("A")
+        assert rel.end.has_label("B")
+
+    def test_undirected_merge_matches_either_direction(self):
+        g = Graph(Dialect.CYPHER9)
+        g.run("CREATE (:A)<-[:T]-(:B)")
+        g.run("MATCH (a:A), (b:B) MERGE (a)-[:T]-(b)")
+        assert g.relationship_count() == 1  # matched, not created
+
+    def test_on_create_set(self):
+        g = Graph(Dialect.CYPHER9)
+        g.run(
+            "MERGE (u:User {id: 1}) "
+            "ON CREATE SET u.created = true ON MATCH SET u.matched = true"
+        )
+        node = g.nodes()[0]
+        assert node.get("created") is True
+        assert node.get("matched") is None
+
+    def test_on_match_set(self):
+        g = Graph(Dialect.CYPHER9)
+        g.run("CREATE (:User {id: 1})")
+        g.run(
+            "MERGE (u:User {id: 1}) "
+            "ON CREATE SET u.created = true ON MATCH SET u.matched = true"
+        )
+        node = g.nodes()[0]
+        assert node.get("matched") is True
+        assert node.get("created") is None
+
+    def test_paper_query5(self, marketplace):
+        result = marketplace.run(
+            "MATCH (p:Product) MERGE (p)<-[:OFFERS]-(v:Vendor) RETURN p, v"
+        )
+        # p1 and p2 match vendor v1; p3 gets a fresh vendor.
+        assert len(result) == 3
+        assert result.counters.nodes_created == 1
+        assert result.counters.relationships_created == 1
+
+    def test_merge_table_binds_new_variables(self):
+        g = Graph(Dialect.CYPHER9)
+        result = g.run("MERGE (u:User {id: 9}) RETURN u.id AS id")
+        assert result.values("id") == [9]
+
+
+class TestForeach:
+    def test_foreach_creates_per_element(self, revised_graph):
+        revised_graph.run("FOREACH (x IN [1, 2, 3] | CREATE (:N {v: x}))")
+        assert revised_graph.node_count() == 3
+
+    def test_foreach_passes_table_through(self, revised_graph):
+        result = revised_graph.run(
+            "UNWIND [10] AS base "
+            "FOREACH (x IN [1, 2] | CREATE (:N {v: base + x})) "
+            "RETURN base"
+        )
+        assert result.values("base") == [10]
+        values = sorted(n.get("v") for n in revised_graph.nodes())
+        assert values == [11, 12]
+
+    def test_foreach_null_list_is_noop(self, revised_graph):
+        revised_graph.run("FOREACH (x IN null | CREATE (:N))")
+        assert revised_graph.node_count() == 0
+
+    def test_nested_foreach(self, revised_graph):
+        revised_graph.run(
+            "FOREACH (x IN [1, 2] | FOREACH (y IN [1, 2] | "
+            "CREATE (:N {v: x * 10 + y})))"
+        )
+        assert revised_graph.node_count() == 4
+
+    def test_foreach_set_on_matched_nodes(self, revised_graph):
+        revised_graph.run("CREATE (:N {v: 1}), (:N {v: 2})")
+        revised_graph.run(
+            "MATCH (n:N) WITH collect(n) AS ns "
+            "FOREACH (n IN ns | SET n.seen = true)"
+        )
+        assert all(n.get("seen") for n in revised_graph.nodes())
+
+    def test_foreach_atomic_set_conflict_in_revised(self, revised_graph):
+        from repro import PropertyConflictError
+
+        revised_graph.run("CREATE (:Target)")
+        with pytest.raises(PropertyConflictError):
+            revised_graph.run(
+                "MATCH (t:Target) "
+                "FOREACH (x IN [1, 2] | SET t.v = x)"
+            )
+
+    def test_foreach_legacy_set_last_wins(self):
+        g = Graph(Dialect.CYPHER9)
+        g.run("CREATE (:Target)")
+        g.run("MATCH (t:Target) FOREACH (x IN [1, 2] | SET t.v = x)")
+        assert g.nodes()[0].get("v") == 2
+
+    def test_foreach_delete(self, revised_graph):
+        revised_graph.run("CREATE (:N), (:N)")
+        revised_graph.run(
+            "MATCH (n:N) WITH collect(n) AS ns FOREACH (n IN ns | DELETE n)"
+        )
+        assert revised_graph.node_count() == 0

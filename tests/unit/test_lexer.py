@@ -1,0 +1,144 @@
+"""Unit tests for the tokenizer."""
+
+import pytest
+
+from repro.errors import CypherSyntaxError
+from repro.parser.lexer import tokenize
+
+
+def types_and_values(source):
+    return [(t.type, t.value) for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_are_case_insensitive(self):
+        assert types_and_values("match MATCH MaTcH") == [
+            ("KEYWORD", "MATCH")
+        ] * 3
+
+    def test_keyword_preserves_original_text(self):
+        token = tokenize("Order")[0]
+        assert token.value == "ORDER"
+        assert token.text == "Order"
+
+    def test_identifiers(self):
+        assert types_and_values("foo _bar x9") == [
+            ("IDENT", "foo"),
+            ("IDENT", "_bar"),
+            ("IDENT", "x9"),
+        ]
+
+    def test_eof_token_is_last(self):
+        tokens = tokenize("x")
+        assert tokens[-1].type == "EOF"
+
+    def test_positions(self):
+        tokens = tokenize("MATCH\n  (n)")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestNumbers:
+    def test_integer_and_float(self):
+        assert types_and_values("42 3.14 1e3 2.5e-2") == [
+            ("INTEGER", "42"),
+            ("FLOAT", "3.14"),
+            ("FLOAT", "1e3"),
+            ("FLOAT", "2.5e-2"),
+        ]
+
+    def test_property_access_not_a_float(self):
+        values = types_and_values("n.prop")
+        assert values == [
+            ("IDENT", "n"),
+            ("PUNCT", "."),
+            ("IDENT", "prop"),
+        ]
+
+    def test_range_dots_not_a_float(self):
+        assert types_and_values("1..5") == [
+            ("INTEGER", "1"),
+            ("PUNCT", ".."),
+            ("INTEGER", "5"),
+        ]
+
+
+class TestStrings:
+    def test_single_and_double_quotes(self):
+        assert types_and_values("'abc' \"def\"") == [
+            ("STRING", "abc"),
+            ("STRING", "def"),
+        ]
+
+    def test_escapes(self):
+        token = tokenize(r"'a\n\t\\\' A'")[0]
+        assert token.value == "a\n\t\\' A"
+
+    def test_unterminated_string(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("'abc")
+
+    def test_invalid_escape(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize(r"'\q'")
+
+
+class TestBacktick:
+    def test_backtick_identifier(self):
+        token = tokenize("`weird name`")[0]
+        assert (token.type, token.value) == ("IDENT", "weird name")
+
+    def test_escaped_backtick(self):
+        token = tokenize("`a``b`")[0]
+        assert token.value == "a`b"
+
+    def test_unterminated(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("`abc")
+
+    def test_empty_backtick_rejected(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("``")
+
+
+class TestPunctuation:
+    def test_multi_char_operators(self):
+        assert types_and_values("<= >= <> += .. =~") == [
+            ("PUNCT", "<="),
+            ("PUNCT", ">="),
+            ("PUNCT", "<>"),
+            ("PUNCT", "+="),
+            ("PUNCT", ".."),
+            ("PUNCT", "=~"),
+        ]
+
+    def test_arrows_are_not_merged(self):
+        # The parser assembles arrows; the lexer keeps <, -, > separate.
+        assert types_and_values("-->") == [
+            ("PUNCT", "-"),
+            ("PUNCT", "-"),
+            ("PUNCT", ">"),
+        ]
+        assert types_and_values("<-") == [("PUNCT", "<"), ("PUNCT", "-")]
+
+    def test_unexpected_character(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("@")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert types_and_values("x // comment\ny") == [
+            ("IDENT", "x"),
+            ("IDENT", "y"),
+        ]
+
+    def test_block_comment(self):
+        assert types_and_values("x /* multi\nline */ y") == [
+            ("IDENT", "x"),
+            ("IDENT", "y"),
+        ]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("/* oops")

@@ -1,0 +1,208 @@
+"""Unit tests for the pattern matcher (trail and homomorphism modes)."""
+
+import pytest
+
+from repro.dialect import Dialect
+from repro.graph.store import GraphStore
+from repro.parser import parse
+from repro.runtime.context import EvalContext, MatchMode
+from repro.runtime.matcher import match_pattern, pattern_variables
+
+
+def pattern_of(source):
+    statement = parse(f"MATCH {source} RETURN 1 AS one", Dialect.REVISED)
+    return statement.branches()[0].clauses[0].pattern
+
+
+def matches(store, source, record=None, mode=MatchMode.TRAIL):
+    ctx = EvalContext(store=store, match_mode=mode)
+    return list(match_pattern(ctx, pattern_of(source), record or {}))
+
+
+@pytest.fixture
+def triangle():
+    """a -> b -> c -> a, all :T, nodes labeled :N with a name."""
+    store = GraphStore()
+    a = store.create_node(("N",), {"name": "a"})
+    b = store.create_node(("N",), {"name": "b"})
+    c = store.create_node(("N",), {"name": "c"})
+    store.create_relationship("T", a, b)
+    store.create_relationship("T", b, c)
+    store.create_relationship("T", c, a)
+    return store
+
+
+class TestNodeMatching:
+    def test_all_nodes(self, triangle):
+        assert len(matches(triangle, "(n)")) == 3
+
+    def test_label_filter(self, triangle):
+        triangle.create_node(("Other",))
+        assert len(matches(triangle, "(n:N)")) == 3
+        assert len(matches(triangle, "(n:Other)")) == 1
+        assert len(matches(triangle, "(n:N:Other)")) == 0
+
+    def test_property_filter(self, triangle):
+        assert len(matches(triangle, "(n {name: 'a'})")) == 1
+
+    def test_null_property_never_matches(self, triangle):
+        assert matches(triangle, "(n {name: null})") == []
+
+    def test_bound_variable_is_respected(self, triangle):
+        node = triangle.node(0)
+        result = matches(triangle, "(n)", {"n": node})
+        assert len(result) == 1 and result[0]["n"] == node
+
+    def test_bound_variable_failing_filter(self, triangle):
+        node = triangle.node(0)
+        assert matches(triangle, "(n {name: 'b'})", {"n": node}) == []
+
+    def test_bound_null_yields_nothing(self, triangle):
+        assert matches(triangle, "(n)", {"n": None}) == []
+
+    def test_cartesian_product(self, triangle):
+        assert len(matches(triangle, "(a), (b)")) == 9
+
+
+class TestRelationshipMatching:
+    def test_directed(self, triangle):
+        out = matches(triangle, "(a {name:'a'})-[:T]->(b)")
+        assert len(out) == 1 and out[0]["b"].get("name") == "b"
+        incoming = matches(triangle, "(a {name:'a'})<-[:T]-(b)")
+        assert len(incoming) == 1 and incoming[0]["b"].get("name") == "c"
+
+    def test_undirected(self, triangle):
+        both = matches(triangle, "(a {name:'a'})-[:T]-(b)")
+        assert sorted(m["b"].get("name") for m in both) == ["b", "c"]
+
+    def test_type_filter(self, triangle):
+        a, b = 0, 1
+        triangle.create_relationship("S", a, b)
+        assert len(matches(triangle, "(x {name:'a'})-[:S]->(y)")) == 1
+        assert len(matches(triangle, "(x {name:'a'})-[]->(y)")) == 2
+        assert len(matches(triangle, "(x {name:'a'})-[:S|T]->(y)")) == 2
+
+    def test_relationship_property_filter(self):
+        store = GraphStore()
+        a = store.create_node()
+        b = store.create_node()
+        store.create_relationship("T", a, b, {"w": 1})
+        store.create_relationship("T", a, b, {"w": 2})
+        assert len(matches(store, "(x)-[{w: 1}]->(y)")) == 1
+
+    def test_relationship_variable_bound(self, triangle):
+        rel = triangle.relationship(0)
+        result = matches(triangle, "(a)-[r]->(b)", {"r": rel})
+        assert len(result) == 1
+        assert result[0]["a"].id == rel.start.id
+
+    def test_repeated_node_variable(self, triangle):
+        # No self loops in the triangle.
+        assert matches(triangle, "(a)-[:T]->(a)") == []
+        store = GraphStore()
+        n = store.create_node()
+        store.create_relationship("T", n, n)
+        assert len(matches(store, "(a)-[:T]->(a)")) == 1
+
+
+class TestTrailSemantics:
+    def test_distinct_relationships_required(self):
+        # One edge between a and b: (x)-[:T]->(y)<-[:T]-(z) needs two
+        # distinct edges into y, so a single edge yields no match.
+        store = GraphStore()
+        a = store.create_node()
+        b = store.create_node()
+        store.create_relationship("T", a, b)
+        assert matches(store, "(x)-[:T]->(y)<-[:T]-(z)") == []
+        # With a second parallel edge there is a match (x != z not required)
+        store.create_relationship("T", a, b)
+        assert len(matches(store, "(x)-[:T]->(y)<-[:T]-(z)")) == 2
+
+    def test_uniqueness_spans_multiple_paths(self):
+        store = GraphStore()
+        a = store.create_node()
+        b = store.create_node()
+        store.create_relationship("T", a, b)
+        assert matches(store, "(x)-[r1:T]->(y), (w)-[r2:T]->(z)") == []
+
+    def test_homomorphism_allows_reuse(self):
+        store = GraphStore()
+        a = store.create_node()
+        b = store.create_node()
+        store.create_relationship("T", a, b)
+        result = matches(
+            store,
+            "(x)-[:T]->(y)<-[:T]-(z)",
+            mode=MatchMode.HOMOMORPHISM,
+        )
+        assert len(result) == 1  # the single edge used twice
+
+
+class TestVariableLength:
+    def test_fixed_bounds(self, triangle):
+        paths = matches(triangle, "(a {name:'a'})-[:T*2]->(b)")
+        assert len(paths) == 1 and paths[0]["b"].get("name") == "c"
+
+    def test_range(self, triangle):
+        found = matches(triangle, "(a {name:'a'})-[:T*1..2]->(b)")
+        assert sorted(m["b"].get("name") for m in found) == ["b", "c"]
+
+    def test_unbounded_star_is_finite_on_cycle(self, triangle):
+        found = matches(triangle, "(a {name:'a'})-[:T*]->(b)")
+        # trails: a->b, a->b->c, a->b->c->a
+        assert len(found) == 3
+
+    def test_star_zero(self, triangle):
+        found = matches(triangle, "(a {name:'a'})-[:T*0..1]->(b)")
+        names = sorted(m["b"].get("name") for m in found)
+        assert names == ["a", "b"]  # zero-length binds b = a
+
+    def test_var_length_binds_relationship_list(self, triangle):
+        found = matches(triangle, "(a {name:'a'})-[rs:T*2]->(b)")
+        assert len(found[0]["rs"]) == 2
+
+    def test_paper_loop_query_is_finite(self):
+        # MATCH (v)-[*]->(v): the Section 2 finiteness discussion.
+        store = GraphStore()
+        v = store.create_node()
+        store.create_relationship("L", v, v)
+        found = matches(store, "(v)-[*]->(v)")
+        assert len(found) == 1
+
+    def test_homomorphism_unbounded_respects_hop_limit(self):
+        store = GraphStore()
+        v = store.create_node()
+        store.create_relationship("L", v, v)
+        ctx = EvalContext(
+            store=store,
+            match_mode=MatchMode.HOMOMORPHISM,
+            homomorphism_hop_limit=5,
+        )
+        found = list(match_pattern(ctx, pattern_of("(v)-[*]->(v)"), {}))
+        assert len(found) == 5
+
+
+class TestNamedPaths:
+    def test_path_value(self, triangle):
+        found = matches(triangle, "p = (a {name:'a'})-[:T]->(b)")
+        path = found[0]["p"]
+        assert len(path) == 1
+        assert path.start.get("name") == "a"
+        assert path.end.get("name") == "b"
+
+    def test_var_length_path_nodes(self, triangle):
+        found = matches(triangle, "p = (a {name:'a'})-[:T*2]->(b)")
+        path = found[0]["p"]
+        assert [n.get("name") for n in path.nodes] == ["a", "b", "c"]
+
+
+class TestDeterminism:
+    def test_match_order_is_id_ordered(self, triangle):
+        found = matches(triangle, "(n:N)")
+        assert [m["n"].id for m in found] == [0, 1, 2]
+
+
+class TestPatternVariables:
+    def test_collects_in_order_without_duplicates(self):
+        pattern = pattern_of("p = (a)-[r:T]->(b)-[:S]->(a)")
+        assert pattern_variables(pattern) == ("p", "a", "r", "b")

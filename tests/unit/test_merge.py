@@ -1,0 +1,249 @@
+"""Unit tests for the revised MERGE (all five semantics)."""
+
+import pytest
+
+from repro import Dialect, DrivingTable, Graph, MergeSemantics
+from repro.core.merge import merge
+from repro.parser import parse
+from repro.runtime.context import EvalContext
+
+
+def pattern_of(source):
+    statement = parse(source, Dialect.REVISED, extended_merge=True)
+    return statement.branches()[0].clauses[0].pattern
+
+
+def run_merge(graph, pattern_source, rows, semantics, columns=None):
+    table = DrivingTable(columns or tuple(rows[0]), rows)
+    ctx = EvalContext(store=graph.store)
+    return merge(ctx, pattern_of("MERGE ALL " + pattern_source), table, semantics)
+
+
+class TestMergeAllReadPhase:
+    def test_matching_rows_do_not_create(self, revised_graph):
+        revised_graph.run("CREATE (:User {id: 1})")
+        result = revised_graph.run(
+            "UNWIND [1] AS uid MERGE ALL (u:User {id: uid}) RETURN u.id AS id"
+        )
+        assert revised_graph.node_count() == 1
+        assert result.values("id") == [1]
+
+    def test_failing_rows_create(self, revised_graph):
+        revised_graph.run(
+            "UNWIND [1, 2] AS uid MERGE ALL (u:User {id: uid})"
+        )
+        assert revised_graph.node_count() == 2
+
+    def test_row_with_multiple_matches_multiplies(self, revised_graph):
+        revised_graph.run("CREATE (:User {id: 1}), (:User {id: 1})")
+        result = revised_graph.run(
+            "UNWIND [1] AS uid MERGE ALL (u:User {id: uid}) RETURN u"
+        )
+        assert len(result) == 2
+
+    def test_no_read_own_writes(self, revised_graph):
+        # Two identical rows: both fail against the input graph, so the
+        # ATOMIC semantics creates two copies (never one matching the
+        # other's creation).
+        revised_graph.run(
+            "UNWIND [1, 1] AS uid MERGE ALL (u:User {id: uid})"
+        )
+        assert revised_graph.node_count() == 2
+
+    def test_duplicate_row_multiplicity_preserved(self, revised_graph):
+        result = revised_graph.run(
+            "UNWIND [1, 1] AS uid MERGE ALL (u:User {id: uid}) RETURN u.id AS i"
+        )
+        assert result.values("i") == [1, 1]
+
+    def test_merge_same_deduplicates_identical_rows(self, revised_graph):
+        revised_graph.run(
+            "UNWIND [1, 1] AS uid MERGE SAME (u:User {id: uid})"
+        )
+        assert revised_graph.node_count() == 1
+
+    def test_statement_level_counters(self, revised_graph):
+        result = revised_graph.run(
+            "UNWIND [1, 2] AS uid MERGE SAME (:User {id: uid})"
+        )
+        assert result.counters.nodes_created == 2
+
+    def test_pattern_tuple(self, revised_graph):
+        revised_graph.run("MERGE ALL (:A {x: 1}), (:B {y: 2})")
+        labels = sorted(
+            "".join(node.labels) for node in revised_graph.nodes()
+        )
+        assert labels == ["A", "B"]
+
+    def test_merge_binds_new_variables(self, revised_graph):
+        result = revised_graph.run(
+            "MERGE ALL (u:User {id: 7}) RETURN u.id AS id"
+        )
+        assert result.values("id") == [7]
+
+
+class TestVariantSeparation:
+    """Driving-table shapes that tell all five semantics apart."""
+
+    ROWS = [
+        {"cid": 1, "pid": 10, "noise": "a"},
+        {"cid": 1, "pid": 10, "noise": "b"},  # duplicate pair, new noise
+        {"cid": 2, "pid": 10, "noise": "c"},
+    ]
+    PATTERN = "(:U {id: cid})-[:R]->(:P {id: pid})"
+
+    def counts(self, semantics):
+        graph = Graph(Dialect.REVISED)
+        run_merge(graph, self.PATTERN, self.ROWS, semantics)
+        snapshot = graph.snapshot()
+        return snapshot.order(), snapshot.size()
+
+    def test_atomic_ignores_nothing(self):
+        assert self.counts(MergeSemantics.ATOMIC) == (6, 3)
+
+    def test_grouping_ignores_noise_column(self):
+        assert self.counts(MergeSemantics.GROUPING) == (4, 2)
+
+    def test_weak_collapse_collapses_within_position(self):
+        # The two :P{id:10} nodes of different groups share a position.
+        assert self.counts(MergeSemantics.WEAK_COLLAPSE) == (3, 2)
+
+    def test_collapse_and_strong_same_here(self):
+        assert self.counts(MergeSemantics.COLLAPSE) == (3, 2)
+        assert self.counts(MergeSemantics.STRONG_COLLAPSE) == (3, 2)
+
+
+class TestCrossPositionCollapse:
+    def test_collapse_across_positions(self, revised_graph):
+        rows = [{"x": 1}]
+        run_merge(
+            revised_graph,
+            "(:N {id: x})-[:T]->(:N {id: x})",
+            rows,
+            MergeSemantics.COLLAPSE,
+        )
+        # Both positions have identical content: Collapse makes a loop.
+        assert revised_graph.node_count() == 1
+        rel = revised_graph.relationships()[0]
+        assert rel.start == rel.end
+
+    def test_weak_collapse_keeps_positions_apart(self, revised_graph):
+        rows = [{"x": 1}]
+        run_merge(
+            revised_graph,
+            "(:N {id: x})-[:T]->(:N {id: x})",
+            rows,
+            MergeSemantics.WEAK_COLLAPSE,
+        )
+        assert revised_graph.node_count() == 2
+
+    def test_strong_collapses_parallel_rels_across_positions(
+        self, revised_graph
+    ):
+        a = revised_graph.create_node("X", name="a")
+        b = revised_graph.create_node("X", name="b")
+        rows = [{"p": a, "q": b}]
+        run_merge(
+            revised_graph,
+            "(p)-[:T]->(q), (p)-[:T]->(q)",
+            rows,
+            MergeSemantics.STRONG_COLLAPSE,
+            columns=("p", "q"),
+        )
+        assert revised_graph.relationship_count() == 1
+
+    def test_collapse_keeps_parallel_rels_in_distinct_positions(
+        self, revised_graph
+    ):
+        a = revised_graph.create_node("X", name="a")
+        b = revised_graph.create_node("X", name="b")
+        rows = [{"p": a, "q": b}]
+        run_merge(
+            revised_graph,
+            "(p)-[:T]->(q), (p)-[:T]->(q)",
+            rows,
+            MergeSemantics.COLLAPSE,
+            columns=("p", "q"),
+        )
+        assert revised_graph.relationship_count() == 2
+
+
+class TestNullHandling:
+    def test_null_id_rows_create_propertyless_nodes(self, revised_graph):
+        run_merge(
+            revised_graph,
+            "(:U {id: cid})",
+            [{"cid": None}],
+            MergeSemantics.ATOMIC,
+        )
+        node = revised_graph.nodes()[0]
+        assert dict(node.properties) == {}
+
+    def test_null_rows_never_match_existing(self, revised_graph):
+        revised_graph.run("CREATE (:U)")  # a propertyless :U exists
+        run_merge(
+            revised_graph,
+            "(:U {id: cid})",
+            [{"cid": None}],
+            MergeSemantics.ATOMIC,
+        )
+        # {id: null} cannot match, so a second node is created.
+        assert revised_graph.node_count() == 2
+
+    def test_nulls_collapse_together(self, revised_graph):
+        run_merge(
+            revised_graph,
+            "(:U {id: cid})",
+            [{"cid": None}, {"cid": None}],
+            MergeSemantics.STRONG_COLLAPSE,
+        )
+        assert revised_graph.node_count() == 1
+
+    def test_nulls_group_together(self, revised_graph):
+        run_merge(
+            revised_graph,
+            "(:U {id: cid})",
+            [{"cid": None}, {"cid": None}],
+            MergeSemantics.GROUPING,
+        )
+        assert revised_graph.node_count() == 1
+
+
+class TestExistingEntitiesNeverCollapse:
+    def test_two_equal_existing_nodes_stay(self, revised_graph):
+        revised_graph.run("CREATE (:U {id: 1}), (:U {id: 1})")
+        revised_graph.run(
+            "UNWIND [2] AS uid MERGE SAME (:U {id: uid})"
+        )
+        # The two pre-existing duplicates survive (Definition 1 (iii)).
+        assert revised_graph.node_count() == 3
+
+    def test_created_node_never_collapses_with_existing(self, revised_graph):
+        revised_graph.run("CREATE (:U {id: 1})-[:R]->(:P)")
+        # Row fails to match because of the relationship type.
+        revised_graph.run(
+            "UNWIND [1] AS uid MERGE SAME (:U {id: uid})-[:S]->(:Q)"
+        )
+        assert revised_graph.node_count() == 4
+
+
+class TestMergeSyntaxViaEngine:
+    def test_merge_same_statement(self, revised_graph):
+        revised_graph.run(
+            "UNWIND [{c: 1, p: 2}, {c: 1, p: 2}] AS row "
+            "MERGE SAME (:User {id: row.c})-[:ORDERED]->(:Product {id: row.p})"
+        )
+        assert revised_graph.node_count() == 2
+        assert revised_graph.relationship_count() == 1
+
+    def test_extended_merge_keywords(self, extended_graph):
+        extended_graph.run(
+            "UNWIND [1, 1] AS x MERGE GROUPING (:N {v: x})"
+        )
+        assert extended_graph.node_count() == 1
+
+    def test_bare_merge_rejected_at_execution_in_revised(self, revised_graph):
+        from repro.errors import CypherSyntaxError
+
+        with pytest.raises(CypherSyntaxError):
+            revised_graph.run("MERGE (n:N)")

@@ -1,0 +1,162 @@
+"""Unit tests for the Cypher 9 -> revised migration linter."""
+
+from repro.tools.migration import Severity, lint_script, lint_statement
+
+
+def codes(report):
+    return {finding.code for finding in report.findings}
+
+
+class TestSyntaxBreaks:
+    def test_bare_merge_flagged_with_rewrite(self):
+        report = lint_statement("MERGE (u:User {id: 1})")
+        assert report.breaks
+        assert "bare-merge" in codes(report)
+        suggestion = next(
+            f.suggestion for f in report.findings if f.code == "bare-merge"
+        )
+        assert "MERGE SAME" in suggestion
+
+    def test_undirected_merge_flagged(self):
+        report = lint_statement("MATCH (a:A), (b:B) MERGE (a)-[:T]-(b)")
+        assert "undirected-merge" in codes(report)
+        suggestion = next(
+            f.suggestion for f in report.findings if f.code == "bare-merge"
+        )
+        assert "-[:T]->" in suggestion  # directed rewrite offered
+
+    def test_merge_actions_flagged(self):
+        report = lint_statement(
+            "MERGE (u:U {id: 1}) ON CREATE SET u.new = true"
+        )
+        assert "merge-actions" in codes(report)
+
+    def test_whole_pattern_merge_change_noted(self):
+        report = lint_statement(
+            "MERGE (a:A {x: 1})-[:T]->(b:B {y: 2})"
+        )
+        assert "merge-whole-pattern" in codes(report)
+
+    def test_invalid_cypher9_reported(self):
+        report = lint_statement("MATCH (n")
+        assert report.breaks
+        assert "not-cypher9" in codes(report)
+
+
+class TestSemanticChanges:
+    def test_swap_pattern_flagged(self):
+        report = lint_statement(
+            "MATCH (p1:P), (p2:P) SET p1.id = p2.id, p2.id = p1.id"
+        )
+        assert report.changes and not report.breaks
+        assert "set-read-write" in codes(report)
+
+    def test_cross_entity_copy_flagged(self):
+        report = lint_statement(
+            "MATCH (a:A), (b:B) SET a.name = b.name"
+        )
+        assert "set-possible-conflict" in codes(report)
+
+    def test_plain_delete_flagged(self):
+        report = lint_statement("MATCH (n:N) DELETE n")
+        assert "plain-delete" in codes(report)
+
+    def test_write_after_delete_flagged(self):
+        report = lint_statement(
+            "MATCH (user)-[order:ORDERED]->(p) "
+            "DELETE user SET user.id = 999 DELETE order"
+        )
+        assert "write-after-delete" in codes(report)
+
+    def test_foreach_contents_analysed(self):
+        report = lint_statement(
+            "MATCH (n:N) WITH collect(n) AS ns "
+            "FOREACH (n IN ns | DELETE n)"
+        )
+        assert "plain-delete" in codes(report)
+
+
+class TestClean:
+    def test_detach_delete_is_clean(self):
+        report = lint_statement("MATCH (n:N) DETACH DELETE n")
+        assert report.clean
+
+    def test_reads_are_clean(self):
+        report = lint_statement(
+            "MATCH (u:User)-[:ORDERED]->(p) RETURN u, count(p) AS c"
+        )
+        assert report.clean
+
+    def test_constant_set_is_clean(self):
+        report = lint_statement("MATCH (n:N) SET n.v = 1, n.w = 'x'")
+        assert report.clean
+
+    def test_self_increment_gets_its_own_code(self):
+        report = lint_statement("MATCH (n:N) SET n.v = n.v + 1")
+        assert codes(report) == {"set-self-reference"}
+        assert report.changes and not report.breaks
+
+    def test_create_is_clean(self):
+        report = lint_statement("CREATE (:A {x: 1})-[:T]->(:B)")
+        assert report.clean
+
+    def test_schema_command_is_clean(self):
+        report = lint_statement("CREATE INDEX ON :User(id)")
+        assert report.clean
+
+
+class TestScriptLinting:
+    def test_script_reports_per_statement(self):
+        reports = lint_script(
+            "MATCH (n) DETACH DELETE n;\n"
+            "MERGE (u:U {id: 1});\n"
+            "MATCH (a:A), (b:B) SET a.v = b.v;\n"
+        )
+        assert [r.clean for r in reports] == [True, False, False]
+        assert reports[1].breaks
+        assert reports[2].changes and not reports[2].breaks
+
+    def test_render_formats(self):
+        report = lint_statement("MERGE (u:U {id: 1})")
+        text = report.render()
+        assert text.startswith("BREAKS")
+        assert "bare-merge" in text
+        clean = lint_statement("MATCH (n) RETURN n").render()
+        assert clean.startswith("OK")
+
+    def test_severity_enum(self):
+        assert Severity.BREAKS.value == "breaks"
+
+
+class TestCliIntegration:
+    def test_shell_lint_command(self):
+        import io
+
+        from repro import Dialect, Graph
+        from repro.tools.shell import Shell
+
+        out = io.StringIO()
+        shell = Shell(Graph(Dialect.REVISED), out=out)
+        shell.feed(":lint MERGE (u:U {id: 1})")
+        assert "bare-merge" in out.getvalue()
+        shell.feed(":lint")
+        assert "usage" in out.getvalue()
+
+    def test_cli_lint_mode(self, tmp_path, capsys):
+        from repro.tools.shell import main
+
+        script = tmp_path / "legacy.cypher"
+        script.write_text(
+            "MATCH (n) DETACH DELETE n;\nMERGE (u:U {id: 1});\n"
+        )
+        exit_code = main(["--lint", str(script)])
+        captured = capsys.readouterr().out
+        assert exit_code == 1  # one statement breaks
+        assert "OK" in captured and "BREAKS" in captured
+
+    def test_cli_lint_clean_script_exit_zero(self, tmp_path, capsys):
+        from repro.tools.shell import main
+
+        script = tmp_path / "fine.cypher"
+        script.write_text("MATCH (n) RETURN n;\n")
+        assert main(["--lint", str(script)]) == 0

@@ -1,0 +1,103 @@
+"""Self-checks of the repro.paper module (the encoded artifacts)."""
+
+from repro import Dialect
+from repro.parser import parse
+from repro import paper
+
+
+class TestEncodedGraphs:
+    def test_figure1_shape_constant(self):
+        store = paper.figure1_graph()
+        assert (store.node_count(), store.relationship_count()) == (
+            paper.FIGURE_1_EXPECTED
+        )
+
+    def test_figure1_has_the_duplicate_id(self):
+        # Example 2's premise: two :Product nodes share id 125.
+        store = paper.figure1_graph()
+        duplicates = [
+            node
+            for node in store.nodes()
+            if node.has_label("Product") and node.get("id") == 125
+        ]
+        assert len(duplicates) == 2
+
+    def test_example3_graph_has_no_relationships(self):
+        store = paper.example3_graph()
+        assert store.relationship_count() == 0
+        assert store.node_count() == 5
+
+    def test_example3_table_matches_the_paper(self):
+        store = paper.example3_graph()
+        table = paper.example3_table(store)
+        names = [
+            (
+                record["user"].get("name"),
+                record["product"].get("name"),
+                record["vendor"].get("name"),
+            )
+            for record in table
+        ]
+        assert names == [
+            ("u1", "p", "v1"),
+            ("u2", "p", "v2"),
+            ("u1", "p", "v2"),
+        ]
+
+    def test_example5_table_shape(self):
+        table = paper.example5_table()
+        assert len(table) == 6
+        assert table.columns == ("cid", "pid", "date")
+        null_rows = [r for r in table if r["pid"] is None]
+        assert len(null_rows) == 3
+
+    def test_example7_bindings_reference_live_nodes(self):
+        store, table = paper.example7_graph_and_table()
+        record = table.records[0]
+        assert record["a"] == record["d"]  # both p1
+        assert record["b"] == record["e"]  # both p2
+        assert all(value.graph is store for value in record.values())
+
+    def test_journals_are_clean(self):
+        # Fixture builders must not leave undo entries behind, or the
+        # first statement's rollback would eat the fixture.
+        assert paper.figure1_graph().journal_length() == 0
+        assert paper.example3_graph().journal_length() == 0
+        store, __ = paper.example7_graph_and_table()
+        assert store.journal_length() == 0
+
+
+class TestEncodedStatements:
+    def test_all_legacy_statements_parse(self):
+        for source in (
+            paper.QUERY_1,
+            paper.QUERY_2,
+            paper.QUERY_3,
+            paper.QUERY_4,
+            paper.QUERY_5,
+            paper.EXAMPLE_1_SWAP,
+            paper.EXAMPLE_1_SEQUENTIAL,
+            paper.EXAMPLE_2_COPY_NAME,
+            paper.SECTION_4_2_STATEMENT,
+            paper.EXAMPLE_3_MERGE,
+        ):
+            parse(source, Dialect.CYPHER9)
+
+    def test_all_revised_statements_parse(self):
+        for source in (
+            paper.EXAMPLE_3_MERGE_ALL,
+            paper.EXAMPLE_3_MERGE_SAME,
+            paper.EXAMPLE_5_MERGE_ALL,
+            paper.EXAMPLE_5_MERGE_SAME,
+            "MERGE ALL " + paper.EXAMPLE_6_PATTERN,
+            "MERGE SAME " + paper.EXAMPLE_7_PATTERN,
+        ):
+            parse(source, Dialect.REVISED)
+
+    def test_figure_constants_are_consistent(self):
+        # Figures 7a/b/c nodes decrease, relationships never increase.
+        assert paper.FIGURE_7A_EXPECTED > paper.FIGURE_7B_EXPECTED
+        assert paper.FIGURE_7B_EXPECTED > paper.FIGURE_7C_EXPECTED
+        assert paper.FIGURE_8A_EXPECTED > paper.FIGURE_8B_EXPECTED
+        assert paper.FIGURE_9A_EXPECTED > paper.FIGURE_9B_EXPECTED
+        assert paper.FIGURE_6A_EXPECTED[1] > paper.FIGURE_6B_EXPECTED[1]

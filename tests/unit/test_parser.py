@@ -1,0 +1,384 @@
+"""Unit tests for the dialect-aware parser."""
+
+import pytest
+
+from repro.dialect import Dialect
+from repro.errors import CypherSyntaxError, MergeSyntaxError
+from repro.parser import ast, parse, parse_expression
+
+
+def clauses(source, dialect=Dialect.REVISED, **kw):
+    return parse(source, dialect, **kw).branches()[0].clauses
+
+
+class TestQueries:
+    def test_match_return(self):
+        match, ret = clauses("MATCH (n:User) RETURN n")
+        assert isinstance(match, ast.MatchClause)
+        assert not match.optional
+        assert isinstance(ret, ast.ReturnClause)
+
+    def test_optional_match_where(self):
+        (match, __) = clauses("OPTIONAL MATCH (n) WHERE n.x = 1 RETURN n")
+        assert match.optional
+        assert isinstance(match.where, ast.Binary)
+
+    def test_union(self):
+        statement = parse(
+            "MATCH (n) RETURN n.x AS x UNION MATCH (m) RETURN m.x AS x"
+        )
+        assert isinstance(statement.query, ast.UnionQuery)
+        assert not statement.query.all
+        assert len(statement.branches()) == 2
+
+    def test_union_all(self):
+        statement = parse(
+            "MATCH (n) RETURN n.x AS x UNION ALL MATCH (m) RETURN m.y AS x"
+        )
+        assert statement.query.all
+
+    def test_statement_must_consume_all_input(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("MATCH (n) RETURN n extra")
+
+    def test_trailing_semicolon_allowed(self):
+        parse("MATCH (n) RETURN n;")
+
+
+class TestPatterns:
+    def test_node_pattern_full(self):
+        (match, __) = clauses("MATCH (n:A:B {x: 1, y: 'z'}) RETURN n")
+        node = match.pattern.paths[0].elements[0]
+        assert node.variable == "n"
+        assert node.labels == ("A", "B")
+        assert node.properties.keys() == ("x", "y")
+
+    def test_anonymous_node(self):
+        (match, __) = clauses("MATCH (:User) RETURN 1 AS one")
+        node = match.pattern.paths[0].elements[0]
+        assert node.variable is None
+
+    def test_relationship_directions(self):
+        (match, __) = clauses("MATCH (a)-[:X]->(b)<-[:Y]-(c)-[:Z]-(d) RETURN a")
+        rels = match.pattern.paths[0].relationships
+        assert [r.direction for r in rels] == [ast.OUT, ast.IN, ast.BOTH]
+
+    def test_relationship_without_brackets(self):
+        (match, __) = clauses("MATCH (a)-->(b)<--(c)--(d) RETURN a")
+        rels = match.pattern.paths[0].relationships
+        assert [r.direction for r in rels] == [ast.OUT, ast.IN, ast.BOTH]
+        assert all(r.types == () for r in rels)
+
+    def test_multiple_types(self):
+        (match, __) = clauses("MATCH (a)-[r:X|Y]->(b) RETURN r")
+        rel = match.pattern.paths[0].relationships[0]
+        assert rel.types == ("X", "Y")
+
+    def test_var_length(self):
+        cases = {
+            "*": (None, None),
+            "*2": (2, 2),
+            "*1..3": (1, 3),
+            "*..4": (None, 4),
+            "*2..": (2, None),
+        }
+        for spec, expected in cases.items():
+            (match, __) = clauses(f"MATCH (a)-[{spec}]->(b) RETURN a")
+            rel = match.pattern.paths[0].relationships[0]
+            assert rel.var_length == expected, spec
+
+    def test_named_path(self):
+        (match, __) = clauses("MATCH p = (a)-[:T]->(b) RETURN p")
+        assert match.pattern.paths[0].variable == "p"
+
+    def test_pattern_tuple(self):
+        (match, __) = clauses("MATCH (a), (b)-[:T]->(c) RETURN a")
+        assert len(match.pattern.paths) == 2
+
+    def test_both_arrowheads_rejected(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("MATCH (a)<-[:T]->(b) RETURN a")
+
+    def test_soft_keyword_variables(self):
+        (match, *__) = clauses(
+            "MATCH (user)-[order:ORDERED]->(product) RETURN order",
+            Dialect.CYPHER9,
+        )
+        rel = match.pattern.paths[0].relationships[0]
+        assert rel.variable == "order"
+
+
+class TestProjections:
+    def test_return_star(self):
+        (__, ret) = clauses("MATCH (n) RETURN *")
+        assert ret.body.include_existing
+
+    def test_distinct_order_skip_limit(self):
+        (__, ret) = clauses(
+            "MATCH (n) RETURN DISTINCT n.x AS x ORDER BY x DESC, n.y SKIP 2 LIMIT 5"
+        )
+        body = ret.body
+        assert body.distinct
+        assert len(body.order_by) == 2
+        assert not body.order_by[0].ascending
+        assert body.order_by[1].ascending
+        assert isinstance(body.skip, ast.Literal)
+        assert isinstance(body.limit, ast.Literal)
+
+    def test_with_where(self):
+        (__, with_clause, __ret) = clauses(
+            "MATCH (n) WITH n.x AS x WHERE x > 1 RETURN x"
+        )
+        assert isinstance(with_clause, ast.WithClause)
+        assert with_clause.where is not None
+
+    def test_unwind(self):
+        (unwind, __) = clauses("UNWIND [1, 2] AS x RETURN x")
+        assert unwind.variable == "x"
+
+
+class TestUpdateClauses:
+    def test_create(self):
+        (create,) = clauses("CREATE (a:User {id: 1})-[:KNOWS]->(b)")
+        assert isinstance(create, ast.CreateClause)
+
+    def test_create_requires_direction(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("CREATE (a)-[:T]-(b)")
+
+    def test_create_requires_single_type(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("CREATE (a)-[:T|S]->(b)")
+        with pytest.raises(CypherSyntaxError):
+            parse("CREATE (a)-[]->(b)")
+
+    def test_create_rejects_var_length(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("CREATE (a)-[:T*2]->(b)")
+
+    def test_delete_variants(self):
+        (match, delete) = clauses("MATCH (n) DELETE n", Dialect.CYPHER9)
+        assert not delete.detach
+        (match, delete) = clauses("MATCH (n) DETACH DELETE n")
+        assert delete.detach
+
+    def test_set_items(self):
+        (__, set_clause) = clauses(
+            "MATCH (n) SET n.x = 1, n += {y: 2}, n = {z: 3}, n:Label"
+        )
+        kinds = [type(item).__name__ for item in set_clause.items]
+        assert kinds == [
+            "SetProperty",
+            "SetAdditiveProperties",
+            "SetAllProperties",
+            "SetLabels",
+        ]
+
+    def test_remove_items(self):
+        (__, remove) = clauses("MATCH (n) REMOVE n.x, n:A:B")
+        kinds = [type(item).__name__ for item in remove.items]
+        assert kinds == ["RemoveProperty", "RemoveLabels"]
+
+    def test_foreach(self):
+        (foreach,) = clauses("FOREACH (x IN [1, 2] | CREATE (:N {v: x}))")
+        assert isinstance(foreach, ast.ForeachClause)
+        assert len(foreach.updates) == 1
+
+    def test_foreach_rejects_reading_clauses(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("FOREACH (x IN [1] | MATCH (n) RETURN n)")
+
+    def test_nested_foreach(self):
+        (foreach,) = clauses(
+            "FOREACH (x IN [1] | FOREACH (y IN [2] | CREATE (:N)))"
+        )
+        assert isinstance(foreach.updates[0], ast.ForeachClause)
+
+    def test_load_csv(self):
+        (load, __) = clauses(
+            "LOAD CSV WITH HEADERS FROM '/tmp/x.csv' AS row "
+            "FIELDTERMINATOR ';' RETURN row"
+        )
+        assert load.with_headers
+        assert load.field_terminator == ";"
+
+
+class TestMergeDialects:
+    def test_legacy_bare_merge(self):
+        (merge,) = clauses("MERGE (n:User {id: 1})", Dialect.CYPHER9)
+        assert merge.semantics == ast.MERGE_LEGACY
+
+    def test_legacy_merge_on_create_on_match(self):
+        (merge,) = clauses(
+            "MERGE (n:User {id: 1}) "
+            "ON CREATE SET n.created = true "
+            "ON MATCH SET n.seen = true",
+            Dialect.CYPHER9,
+        )
+        assert len(merge.on_create) == 1
+        assert len(merge.on_match) == 1
+
+    def test_legacy_merge_allows_undirected(self):
+        (merge,) = clauses("MERGE (a)-[:T]-(b)", Dialect.CYPHER9)
+        assert merge.pattern.paths[0].relationships[0].direction == ast.BOTH
+
+    def test_legacy_merge_single_path_only(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("MERGE (a), (b)", Dialect.CYPHER9)
+
+    def test_legacy_rejects_merge_all(self):
+        with pytest.raises(MergeSyntaxError):
+            parse("MERGE ALL (a:X)-[:T]->(b)", Dialect.CYPHER9)
+
+    def test_revised_rejects_bare_merge(self):
+        with pytest.raises(MergeSyntaxError):
+            parse("MERGE (n:User {id: 1})")
+
+    def test_revised_merge_all_and_same(self):
+        (merge,) = clauses("MERGE ALL (a:X {v: 1})-[:T]->(b)")
+        assert merge.semantics == ast.MERGE_ALL
+        (merge,) = clauses("MERGE SAME (a:X)-[:T]->(b), (c:Y)-[:S]->(d)")
+        assert merge.semantics == ast.MERGE_SAME
+        assert len(merge.pattern.paths) == 2
+
+    def test_revised_merge_requires_direction(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("MERGE SAME (a)-[:T]-(b)")
+
+    def test_revised_merge_rejects_on_create(self):
+        with pytest.raises(MergeSyntaxError):
+            parse("MERGE ALL (a)-[:T]->(b) ON CREATE SET a.x = 1")
+
+    def test_extended_variants_gated(self):
+        for text in ("GROUPING", "WEAK COLLAPSE", "COLLAPSE", "ATOMIC"):
+            source = f"MERGE {text} (a:X)-[:T]->(b)"
+            with pytest.raises(MergeSyntaxError):
+                parse(source)
+            parse(source, extended_merge=True)
+
+    def test_strong_collapse_alias(self):
+        (merge,) = clauses(
+            "MERGE STRONG COLLAPSE (a:X)-[:T]->(b)", extended_merge=True
+        )
+        assert merge.semantics == ast.MERGE_SAME
+
+
+class TestClauseSequencing:
+    def test_legacy_requires_with_after_updates(self):
+        source = "CREATE (n) MATCH (m) RETURN m"
+        with pytest.raises(CypherSyntaxError):
+            parse(source, Dialect.CYPHER9)
+        parse(source, Dialect.REVISED)
+
+    def test_legacy_with_resets(self):
+        parse("CREATE (n) WITH n MATCH (m) RETURN m", Dialect.CYPHER9)
+
+    def test_query_must_end_with_return_or_update(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("MATCH (n)")
+        with pytest.raises(CypherSyntaxError):
+            parse("MATCH (n) WITH n")
+
+    def test_return_must_be_final(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("MATCH (n) RETURN n MATCH (m) RETURN m")
+
+    def test_update_after_return_in_union_branch_ok(self):
+        parse(
+            "MATCH (n) RETURN n UNION MATCH (m) RETURN m AS n",
+            Dialect.REVISED,
+        )
+
+
+class TestExpressions:
+    def test_precedence(self):
+        expr = parse_expression("1 + 2 * 3 ^ 2")
+        assert isinstance(expr, ast.Binary) and expr.operator == "+"
+        right = expr.right
+        assert right.operator == "*"
+        assert right.right.operator == "^"
+
+    def test_power_right_associative(self):
+        expr = parse_expression("2 ^ 3 ^ 4")
+        assert expr.operator == "^"
+        assert isinstance(expr.right, ast.Binary)
+
+    def test_comparison_chain_becomes_conjunction(self):
+        expr = parse_expression("1 < 2 < 3")
+        assert expr.operator == "AND"
+        assert expr.left.operator == "<"
+        assert expr.right.operator == "<"
+
+    def test_boolean_precedence(self):
+        expr = parse_expression("a OR b XOR c AND NOT d")
+        assert expr.operator == "OR"
+        assert expr.right.operator == "XOR"
+
+    def test_string_predicates(self):
+        for op in ("STARTS WITH", "ENDS WITH", "CONTAINS"):
+            expr = parse_expression(f"a.name {op} 'x'")
+            assert expr.operator == op
+
+    def test_is_null(self):
+        expr = parse_expression("n.x IS NOT NULL")
+        assert isinstance(expr, ast.IsNull) and expr.negated
+
+    def test_case_forms(self):
+        simple = parse_expression("CASE n.x WHEN 1 THEN 'a' ELSE 'b' END")
+        assert simple.operand is not None
+        searched = parse_expression("CASE WHEN n.x = 1 THEN 'a' END")
+        assert searched.operand is None and searched.default is None
+
+    def test_list_comprehension(self):
+        expr = parse_expression("[x IN [1,2,3] WHERE x > 1 | x * 2]")
+        assert isinstance(expr, ast.ListComprehension)
+        assert expr.predicate is not None and expr.projection is not None
+
+    def test_quantifiers(self):
+        for kind in ("any", "all", "none", "single"):
+            expr = parse_expression(f"{kind}(x IN [1] WHERE x = 1)")
+            assert isinstance(expr, ast.Quantifier)
+            assert expr.kind == kind
+
+    def test_count_star_and_distinct(self):
+        assert isinstance(parse_expression("count(*)"), ast.CountStar)
+        call = parse_expression("count(DISTINCT n)")
+        assert call.distinct
+
+    def test_subscript_and_slice(self):
+        assert isinstance(parse_expression("xs[0]"), ast.Subscript)
+        sliced = parse_expression("xs[1..3]")
+        assert isinstance(sliced, ast.Slice)
+        assert isinstance(parse_expression("xs[..2]"), ast.Slice)
+        assert isinstance(parse_expression("xs[1..]"), ast.Slice)
+
+    def test_parameter(self):
+        expr = parse_expression("$param")
+        assert isinstance(expr, ast.Parameter) and expr.name == "param"
+
+    def test_pattern_expression_in_where(self):
+        (match, __) = clauses(
+            "MATCH (n) WHERE (n)-[:KNOWS]->(:Person) RETURN n"
+        )
+        assert isinstance(match.where, ast.PatternExpression)
+
+    def test_parenthesised_expression_not_a_pattern(self):
+        (match, __) = clauses("MATCH (n) WHERE (n.x > 1) RETURN n")
+        assert isinstance(match.where, ast.Binary)
+
+    def test_exists_property_and_pattern(self):
+        prop = parse_expression("exists(n.x)")
+        assert isinstance(prop, ast.ExistsExpression)
+        assert isinstance(prop.argument, ast.Property)
+        pattern = parse_expression("exists((n)-[:T]->())")
+        assert isinstance(pattern.argument, ast.PathPattern)
+
+    def test_label_predicate(self):
+        expr = parse_expression("n:User:Admin")
+        assert isinstance(expr, ast.HasLabels)
+        assert expr.labels == ("User", "Admin")
+
+    def test_unary_minus_vs_arrow_ambiguity(self):
+        expr = parse_expression("a < -b")
+        assert expr.operator == "<"
+        assert isinstance(expr.right, ast.Unary)

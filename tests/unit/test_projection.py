@@ -1,0 +1,197 @@
+"""Unit tests for RETURN/WITH projection, aggregation, ordering."""
+
+import pytest
+
+from repro.errors import CypherEvaluationError, CypherSemanticError
+from repro import Graph
+
+
+@pytest.fixture
+def numbers(revised_graph):
+    revised_graph.run(
+        "UNWIND [1, 2, 3, 4] AS n CREATE (:Num {v: n, parity: n % 2})"
+    )
+    return revised_graph
+
+
+class TestProjection:
+    def test_aliases(self, numbers):
+        result = numbers.run("MATCH (x:Num) RETURN x.v AS value ORDER BY value")
+        assert result.columns == ("value",)
+        assert result.values("value") == [1, 2, 3, 4]
+
+    def test_generated_column_names(self, numbers):
+        result = numbers.run("MATCH (x:Num) RETURN x.v ORDER BY x.v LIMIT 1")
+        assert result.columns == ("x.v",)
+
+    def test_return_star(self, numbers):
+        result = numbers.run(
+            "MATCH (x:Num) WITH x.v AS v, x.parity AS p RETURN * ORDER BY v LIMIT 1"
+        )
+        assert set(result.columns) == {"v", "p"}
+
+    def test_return_star_plus_items(self, numbers):
+        result = numbers.run(
+            "MATCH (x:Num) WITH x.v AS v RETURN *, v * 10 AS big ORDER BY v LIMIT 1"
+        )
+        assert result.records[0] == {"v": 1, "big": 10}
+
+    def test_duplicate_column_rejected(self, numbers):
+        with pytest.raises(CypherSemanticError):
+            numbers.run("MATCH (x:Num) RETURN x.v AS a, x.parity AS a")
+
+    def test_with_requires_alias_for_expressions(self, numbers):
+        with pytest.raises(CypherSemanticError):
+            numbers.run("MATCH (x:Num) WITH x.v RETURN 1 AS one")
+
+    def test_with_passes_variables(self, numbers):
+        result = numbers.run(
+            "MATCH (x:Num) WITH x WHERE x.v > 2 RETURN count(*) AS c"
+        )
+        assert result.records == [{"c": 2}]
+
+
+class TestDistinctOrderSkipLimit:
+    def test_distinct(self, numbers):
+        result = numbers.run("MATCH (x:Num) RETURN DISTINCT x.parity AS p")
+        assert sorted(result.values("p")) == [0, 1]
+
+    def test_order_desc(self, numbers):
+        result = numbers.run("MATCH (x:Num) RETURN x.v AS v ORDER BY v DESC")
+        assert result.values("v") == [4, 3, 2, 1]
+
+    def test_order_by_multiple_keys(self, numbers):
+        result = numbers.run(
+            "MATCH (x:Num) RETURN x.parity AS p, x.v AS v ORDER BY p DESC, v"
+        )
+        assert result.records[0] == {"p": 1, "v": 1}
+        assert result.records[-1] == {"p": 0, "v": 4}
+
+    def test_order_by_input_variable(self, numbers):
+        # ORDER BY can reference x even though only x.v is projected.
+        result = numbers.run("MATCH (x:Num) RETURN x.v AS v ORDER BY x.v DESC")
+        assert result.values("v") == [4, 3, 2, 1]
+
+    def test_skip_limit(self, numbers):
+        result = numbers.run(
+            "MATCH (x:Num) RETURN x.v AS v ORDER BY v SKIP 1 LIMIT 2"
+        )
+        assert result.values("v") == [2, 3]
+
+    def test_negative_skip_rejected(self, numbers):
+        with pytest.raises(CypherEvaluationError):
+            numbers.run("MATCH (x:Num) RETURN x.v AS v SKIP -1")
+
+    def test_nulls_sort_last(self, revised_graph):
+        revised_graph.run("CREATE (:X {v: 2}), (:X), (:X {v: 1})")
+        result = revised_graph.run("MATCH (x:X) RETURN x.v AS v ORDER BY v")
+        assert result.values("v") == [1, 2, None]
+
+
+class TestAggregation:
+    def test_count_star_and_column(self, numbers):
+        result = numbers.run("MATCH (x:Num) RETURN count(*) AS c")
+        assert result.records == [{"c": 4}]
+
+    def test_count_skips_nulls(self, revised_graph):
+        revised_graph.run("CREATE (:X {v: 1}), (:X)")
+        result = revised_graph.run(
+            "MATCH (x:X) RETURN count(x.v) AS c, count(*) AS all"
+        )
+        assert result.records == [{"c": 1, "all": 2}]
+
+    def test_implicit_grouping(self, numbers):
+        result = numbers.run(
+            "MATCH (x:Num) RETURN x.parity AS p, sum(x.v) AS total ORDER BY p"
+        )
+        assert result.records == [
+            {"p": 0, "total": 6},
+            {"p": 1, "total": 4},
+        ]
+
+    def test_sum_avg_min_max(self, numbers):
+        result = numbers.run(
+            "MATCH (x:Num) "
+            "RETURN sum(x.v) AS s, avg(x.v) AS a, min(x.v) AS lo, max(x.v) AS hi"
+        )
+        assert result.records == [{"s": 10, "a": 2.5, "lo": 1, "hi": 4}]
+
+    def test_collect(self, numbers):
+        result = numbers.run(
+            "MATCH (x:Num) WITH x.v AS v ORDER BY v RETURN collect(v) AS vs"
+        )
+        assert result.records == [{"vs": [1, 2, 3, 4]}]
+
+    def test_collect_distinct(self, numbers):
+        result = numbers.run(
+            "MATCH (x:Num) RETURN collect(DISTINCT x.parity) AS ps"
+        )
+        assert sorted(result.records[0]["ps"]) == [0, 1]
+
+    def test_count_distinct(self, numbers):
+        result = numbers.run(
+            "MATCH (x:Num) RETURN count(DISTINCT x.parity) AS c"
+        )
+        assert result.records == [{"c": 2}]
+
+    def test_aggregate_inside_expression(self, numbers):
+        result = numbers.run("MATCH (x:Num) RETURN count(*) + 1 AS c")
+        assert result.records == [{"c": 5}]
+
+    def test_empty_group_without_keys_yields_one_row(self, revised_graph):
+        result = revised_graph.run(
+            "MATCH (x:Missing) RETURN count(*) AS c, collect(x) AS xs, sum(x.v) AS s"
+        )
+        assert result.records == [{"c": 0, "xs": [], "s": 0}]
+
+    def test_empty_group_with_keys_yields_no_rows(self, revised_graph):
+        result = revised_graph.run(
+            "MATCH (x:Missing) RETURN x.v AS v, count(*) AS c"
+        )
+        assert result.records == []
+
+    def test_avg_of_empty_is_null(self, revised_graph):
+        result = revised_graph.run("MATCH (x:Missing) RETURN avg(x.v) AS a")
+        assert result.records == [{"a": None}]
+
+    def test_stdev(self, numbers):
+        result = numbers.run(
+            "MATCH (x:Num) RETURN stDev(x.v) AS s, stDevP(x.v) AS p"
+        )
+        assert result.records[0]["s"] == pytest.approx(1.2909944, rel=1e-6)
+        assert result.records[0]["p"] == pytest.approx(1.1180340, rel=1e-6)
+
+    def test_percentiles(self, numbers):
+        result = numbers.run(
+            "MATCH (x:Num) RETURN percentileDisc(x.v, 0.5) AS d, "
+            "percentileCont(x.v, 0.5) AS c"
+        )
+        assert result.records == [{"d": 2, "c": 2.5}]
+
+    def test_null_grouping_key_groups_together(self, revised_graph):
+        revised_graph.run("CREATE (:X), (:X), (:X {g: 1})")
+        result = revised_graph.run(
+            "MATCH (x:X) RETURN x.g AS g, count(*) AS c ORDER BY g"
+        )
+        assert result.records == [{"g": 1, "c": 1}, {"g": None, "c": 2}]
+
+
+class TestWithPipelines:
+    def test_with_aggregation_then_filter(self, numbers):
+        result = numbers.run(
+            "MATCH (x:Num) "
+            "WITH x.parity AS p, count(*) AS c WHERE c > 1 "
+            "RETURN p, c ORDER BY p"
+        )
+        assert result.records == [{"p": 0, "c": 2}, {"p": 1, "c": 2}]
+
+    def test_with_shadows_previous_scope(self, numbers):
+        with pytest.raises(Exception):
+            numbers.run("MATCH (x:Num) WITH x.v AS v RETURN x")
+
+    def test_with_order_limit(self, numbers):
+        result = numbers.run(
+            "MATCH (x:Num) WITH x ORDER BY x.v DESC LIMIT 2 "
+            "RETURN collect(x.v) AS top"
+        )
+        assert sorted(result.records[0]["top"]) == [3, 4]

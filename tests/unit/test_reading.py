@@ -1,0 +1,145 @@
+"""Unit tests for MATCH / OPTIONAL MATCH / UNWIND / LOAD CSV clauses."""
+
+import pytest
+
+from repro.errors import CypherSemanticError
+from repro.io.csv_io import write_csv
+
+
+@pytest.fixture
+def shop(revised_graph):
+    revised_graph.run(
+        "CREATE (:User {name: 'Bob'})-[:ORDERED]->(:Product {name: 'laptop'})"
+    )
+    revised_graph.run("CREATE (:User {name: 'Jane'})")
+    return revised_graph
+
+
+class TestMatch:
+    def test_basic_match(self, shop):
+        result = shop.run("MATCH (u:User) RETURN u.name AS n ORDER BY n")
+        assert result.values("n") == ["Bob", "Jane"]
+
+    def test_match_expands_per_record(self, shop):
+        result = shop.run(
+            "MATCH (u:User) MATCH (p:Product) "
+            "RETURN u.name AS u, p.name AS p ORDER BY u"
+        )
+        assert result.records == [
+            {"u": "Bob", "p": "laptop"},
+            {"u": "Jane", "p": "laptop"},
+        ]
+
+    def test_non_matching_record_is_dropped(self, shop):
+        result = shop.run(
+            "MATCH (u:User) MATCH (u)-[:ORDERED]->(p) RETURN u.name AS n"
+        )
+        assert result.values("n") == ["Bob"]
+
+    def test_where_filters(self, shop):
+        result = shop.run(
+            "MATCH (u:User) WHERE u.name STARTS WITH 'J' RETURN u.name AS n"
+        )
+        assert result.values("n") == ["Jane"]
+
+    def test_where_null_is_dropped(self, shop):
+        result = shop.run("MATCH (u:User) WHERE u.age > 10 RETURN u")
+        assert result.records == []
+
+
+class TestOptionalMatch:
+    def test_optional_binds_nulls(self, shop):
+        result = shop.run(
+            "MATCH (u:User) OPTIONAL MATCH (u)-[:ORDERED]->(p) "
+            "RETURN u.name AS u, p.name AS p ORDER BY u"
+        )
+        assert result.records == [
+            {"u": "Bob", "p": "laptop"},
+            {"u": "Jane", "p": None},
+        ]
+
+    def test_optional_where_inside_matching(self, shop):
+        result = shop.run(
+            "MATCH (u:User) OPTIONAL MATCH (u)-[:ORDERED]->(p) "
+            "WHERE p.name = 'nope' "
+            "RETURN u.name AS u, p ORDER BY u"
+        )
+        assert all(record["p"] is None for record in result.records)
+
+    def test_optional_match_on_empty_graph(self, revised_graph):
+        result = revised_graph.run("OPTIONAL MATCH (n) RETURN n")
+        assert result.records == [{"n": None}]
+
+
+class TestUnwind:
+    def test_unwind_list(self, revised_graph):
+        result = revised_graph.run("UNWIND [1, 2, 3] AS x RETURN x")
+        assert result.values("x") == [1, 2, 3]
+
+    def test_unwind_null_produces_no_rows(self, revised_graph):
+        result = revised_graph.run("UNWIND null AS x RETURN x")
+        assert result.records == []
+
+    def test_unwind_scalar_is_single_row(self, revised_graph):
+        result = revised_graph.run("UNWIND 5 AS x RETURN x")
+        assert result.values("x") == [5]
+
+    def test_unwind_empty_list(self, revised_graph):
+        result = revised_graph.run("UNWIND [] AS x RETURN x")
+        assert result.records == []
+
+    def test_unwind_nested(self, revised_graph):
+        result = revised_graph.run(
+            "UNWIND [[1, 2], [3]] AS xs UNWIND xs AS x RETURN x"
+        )
+        assert result.values("x") == [1, 2, 3]
+
+    def test_unwind_rejects_rebinding(self, revised_graph):
+        with pytest.raises(CypherSemanticError):
+            revised_graph.run("UNWIND [1] AS x UNWIND [2] AS x RETURN x")
+
+    def test_unwind_parameter(self, revised_graph):
+        result = revised_graph.run(
+            "UNWIND $items AS x RETURN x * 2 AS y", items=[1, 2]
+        )
+        assert result.values("y") == [2, 4]
+
+
+class TestLoadCsv:
+    def test_with_headers(self, revised_graph, tmp_path):
+        path = tmp_path / "users.csv"
+        write_csv(path, ["id", "name"], [[1, "Bob"], [2, None]])
+        result = revised_graph.run(
+            f"LOAD CSV WITH HEADERS FROM '{path}' AS row "
+            "RETURN row.id AS id, row.name AS name ORDER BY id"
+        )
+        assert result.records == [
+            {"id": "1", "name": "Bob"},
+            {"id": "2", "name": None},
+        ]
+
+    def test_without_headers(self, revised_graph, tmp_path):
+        path = tmp_path / "plain.csv"
+        path.write_text("a,b\nc,d\n")
+        result = revised_graph.run(
+            f"LOAD CSV FROM '{path}' AS row RETURN row[0] AS x"
+        )
+        assert result.values("x") == ["a", "c"]
+
+    def test_field_terminator(self, revised_graph, tmp_path):
+        path = tmp_path / "semi.csv"
+        path.write_text("id;name\n1;Bob\n")
+        result = revised_graph.run(
+            f"LOAD CSV WITH HEADERS FROM '{path}' AS row "
+            "FIELDTERMINATOR ';' RETURN row.name AS n"
+        )
+        assert result.values("n") == ["Bob"]
+
+    def test_load_csv_then_create(self, revised_graph, tmp_path):
+        path = tmp_path / "users.csv"
+        write_csv(path, ["id"], [[1], [2], [3]])
+        revised_graph.run(
+            f"LOAD CSV WITH HEADERS FROM '{path}' AS row "
+            "CREATE (:User {id: toInteger(row.id)})"
+        )
+        assert revised_graph.node_count() == 3

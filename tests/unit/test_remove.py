@@ -1,0 +1,69 @@
+"""Unit tests for the REMOVE clause."""
+
+import pytest
+
+from repro import Dialect, Graph
+from repro.errors import CypherTypeError
+
+
+class TestRemove:
+    def test_remove_property(self, revised_graph):
+        revised_graph.run("CREATE (:N {a: 1, b: 2})")
+        revised_graph.run("MATCH (n:N) REMOVE n.a")
+        node = revised_graph.nodes()[0]
+        assert dict(node.properties) == {"b": 2}
+
+    def test_remove_missing_property_is_noop(self, revised_graph):
+        revised_graph.run("CREATE (:N)")
+        revised_graph.run("MATCH (n:N) REMOVE n.zzz")
+
+    def test_remove_labels(self, revised_graph):
+        revised_graph.run("CREATE (:A:B:C)")
+        revised_graph.run("MATCH (n:A) REMOVE n:A:B")
+        node = revised_graph.nodes()[0]
+        assert node.labels == frozenset({"C"})
+
+    def test_remove_relationship_property(self, revised_graph):
+        revised_graph.run("CREATE (:A)-[:T {w: 1}]->(:B)")
+        revised_graph.run("MATCH ()-[r:T]->() REMOVE r.w")
+        assert dict(revised_graph.relationships()[0].properties) == {}
+
+    def test_remove_multiple_items(self, revised_graph):
+        revised_graph.run("CREATE (:A:B {x: 1, y: 2})")
+        revised_graph.run("MATCH (n:A) REMOVE n.x, n.y, n:B")
+        node = revised_graph.nodes()[0]
+        assert dict(node.properties) == {}
+        assert node.labels == frozenset({"A"})
+
+    def test_remove_on_null_is_noop(self, revised_graph):
+        revised_graph.run("CREATE (:N {a: 1})")
+        revised_graph.run(
+            "MATCH (n:N) OPTIONAL MATCH (n)-[:NO]->(m) REMOVE m.a"
+        )
+
+    def test_remove_requires_entity(self, revised_graph):
+        with pytest.raises(CypherTypeError):
+            revised_graph.run("UNWIND [1] AS x REMOVE x.a")
+
+    def test_label_removal_reflected_in_index(self, revised_graph):
+        revised_graph.run("CREATE (:A {v: 1})")
+        revised_graph.run("MATCH (n:A) REMOVE n:A")
+        assert revised_graph.run("MATCH (n:A) RETURN n").records == []
+
+    def test_legacy_remove_on_deleted_is_silent(self):
+        g = Graph(Dialect.CYPHER9)
+        g.run("CREATE (:N {a: 1})")
+        g.run("MATCH (n:N) DELETE n REMOVE n.a")
+        assert g.node_count() == 0
+
+    def test_paper_query3_remove(self, revised_graph):
+        # Query 3's REMOVE of the placeholder label.
+        revised_graph.run("CREATE (:New_Product {id: 0})")
+        revised_graph.run(
+            "MATCH (p:New_Product{id:0}) "
+            "SET p:Product, p.id=120, p.name='smartphone' "
+            "REMOVE p:New_Product"
+        )
+        node = revised_graph.nodes()[0]
+        assert node.labels == frozenset({"Product"})
+        assert node.get("id") == 120

@@ -1,0 +1,113 @@
+"""Unit tests for schema DDL statements (indexes and constraints)."""
+
+import pytest
+
+from repro import Dialect, Graph
+from repro.errors import ConstraintViolationError, CypherSyntaxError
+from repro.parser import ast, parse
+from repro.parser.unparse import unparse
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "source, kind",
+        [
+            ("CREATE INDEX ON :User(id)", "create_index"),
+            ("DROP INDEX ON :User(id)", "drop_index"),
+            (
+                "CREATE CONSTRAINT ON (u:User) ASSERT u.id IS UNIQUE",
+                "create_unique_constraint",
+            ),
+            (
+                "DROP CONSTRAINT ON (u:User) ASSERT u.id IS UNIQUE",
+                "drop_unique_constraint",
+            ),
+        ],
+    )
+    def test_kinds(self, source, kind):
+        for dialect in (Dialect.CYPHER9, Dialect.REVISED):
+            statement = parse(source, dialect)
+            assert isinstance(statement, ast.SchemaStatement)
+            assert statement.kind == kind
+            assert statement.label == "User"
+            assert statement.key == "id"
+
+    def test_case_insensitive(self):
+        statement = parse("create index on :User(id)")
+        assert isinstance(statement, ast.SchemaStatement)
+
+    def test_constraint_variable_mismatch_rejected(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("CREATE CONSTRAINT ON (u:User) ASSERT x.id IS UNIQUE")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(CypherSyntaxError):
+            parse("CREATE INDEX ON :User(id) RETURN 1")
+
+    def test_plain_create_still_parses(self):
+        statement = parse("CREATE (index:Node {constraint: 1})")
+        assert isinstance(statement, ast.Statement)
+
+    def test_unparse_round_trip(self):
+        for source in (
+            "CREATE INDEX ON :User(id)",
+            "DROP CONSTRAINT ON (n:User) ASSERT n.id IS UNIQUE",
+        ):
+            text = unparse(parse(source))
+            assert unparse(parse(text)) == text
+
+
+class TestExecution:
+    def test_create_index_statement(self, revised_graph):
+        revised_graph.run("CREATE INDEX ON :User(id)")
+        assert revised_graph.store.property_index("User", "id") is not None
+
+    def test_drop_index_statement(self, revised_graph):
+        revised_graph.run("CREATE INDEX ON :User(id)")
+        revised_graph.run("DROP INDEX ON :User(id)")
+        assert revised_graph.store.property_index("User", "id") is None
+
+    def test_constraint_statement_enforced(self, revised_graph):
+        revised_graph.run(
+            "CREATE CONSTRAINT ON (u:User) ASSERT u.id IS UNIQUE"
+        )
+        revised_graph.run("CREATE (:User {id: 1})")
+        with pytest.raises(ConstraintViolationError):
+            revised_graph.run("CREATE (:User {id: 1})")
+
+    def test_drop_constraint_statement(self, revised_graph):
+        revised_graph.run(
+            "CREATE CONSTRAINT ON (u:User) ASSERT u.id IS UNIQUE"
+        )
+        revised_graph.run(
+            "DROP CONSTRAINT ON (u:User) ASSERT u.id IS UNIQUE"
+        )
+        revised_graph.run("CREATE (:User {id: 1}), (:User {id: 1})")
+        assert revised_graph.node_count() == 2
+
+    def test_schema_result_is_empty(self, revised_graph):
+        result = revised_graph.run("CREATE INDEX ON :User(id)")
+        assert len(result) == 0
+        assert not result.counters.contains_updates
+
+    def test_constraint_creation_validates_existing_data(self, revised_graph):
+        revised_graph.run("CREATE (:User {id: 1}), (:User {id: 1})")
+        with pytest.raises(ConstraintViolationError):
+            revised_graph.run(
+                "CREATE CONSTRAINT ON (u:User) ASSERT u.id IS UNIQUE"
+            )
+
+    def test_explain_describes_schema_command(self, revised_graph):
+        text = revised_graph.explain("CREATE INDEX ON :User(id)")
+        assert "create_index" in text
+
+    def test_shell_accepts_ddl(self):
+        import io
+
+        from repro.tools.shell import Shell
+
+        out = io.StringIO()
+        shell = Shell(Graph(Dialect.REVISED), out=out)
+        shell.feed("CREATE CONSTRAINT ON (u:User) ASSERT u.id IS UNIQUE;")
+        shell.feed(":schema")
+        assert "UNIQUE :User(id)" in out.getvalue()

@@ -1,0 +1,172 @@
+"""Unit tests for SET: atomic (revised) vs per-record (legacy)."""
+
+import pytest
+
+from repro import Dialect, Graph, PropertyConflictError
+from repro.errors import CypherTypeError, DeletedEntityError
+
+
+@pytest.fixture
+def two_products(revised_graph):
+    revised_graph.run("CREATE (:P {name: 'a', v: 1}), (:P {name: 'b', v: 2})")
+    return revised_graph
+
+
+class TestRevisedAtomicSet:
+    def test_swap_works(self, two_products):
+        two_products.run(
+            "MATCH (a:P {name:'a'}), (b:P {name:'b'}) SET a.v = b.v, b.v = a.v"
+        )
+        result = two_products.run(
+            "MATCH (p:P) RETURN p.name AS n, p.v AS v ORDER BY n"
+        )
+        assert result.records == [{"n": "a", "v": 2}, {"n": "b", "v": 1}]
+
+    def test_reads_come_from_input_graph_across_clusters(self, two_products):
+        # Incrementing every node by the *same* right-hand side must not
+        # cascade between records.
+        two_products.run("MATCH (p:P) SET p.v = p.v + 1")
+        result = two_products.run("MATCH (p:P) RETURN p.v AS v ORDER BY v")
+        assert result.values("v") == [2, 3]
+
+    def test_conflicting_writes_raise(self, two_products):
+        with pytest.raises(PropertyConflictError):
+            two_products.run("MATCH (a:P), (b:P) SET a.v = b.v")
+
+    def test_conflict_rolls_back_whole_statement(self, two_products):
+        with pytest.raises(PropertyConflictError):
+            two_products.run(
+                "MATCH (a:P), (b:P) SET a.marker = 1, a.v = b.v"
+            )
+        result = two_products.run("MATCH (p:P) RETURN p.marker AS m")
+        assert result.values("m") == [None, None]
+
+    def test_identical_writes_are_not_conflicts(self, two_products):
+        two_products.run("MATCH (a:P), (b:P) SET a.flag = true")
+        result = two_products.run("MATCH (p:P) RETURN p.flag AS f")
+        assert result.values("f") == [True, True]
+
+    def test_set_null_removes(self, two_products):
+        two_products.run("MATCH (p:P {name: 'a'}) SET p.v = null")
+        result = two_products.run(
+            "MATCH (p:P {name: 'a'}) RETURN p.v AS v"
+        )
+        assert result.values("v") == [None]
+
+    def test_set_on_null_target_is_noop(self, two_products):
+        two_products.run(
+            "MATCH (p:P {name:'a'}) OPTIONAL MATCH (p)-[:NO]->(q) SET q.v = 9"
+        )
+
+    def test_set_labels(self, two_products):
+        two_products.run("MATCH (p:P {name: 'a'}) SET p:X:Y")
+        result = two_products.run("MATCH (p:X:Y) RETURN p.name AS n")
+        assert result.values("n") == ["a"]
+
+    def test_set_whole_map_replaces(self, two_products):
+        two_products.run("MATCH (p:P {name:'a'}) SET p = {fresh: true}")
+        node = two_products.run(
+            "MATCH (p:P) WHERE p.fresh RETURN p"
+        ).records[0]["p"]
+        assert dict(node.properties) == {"fresh": True}
+
+    def test_set_additive_merges(self, two_products):
+        two_products.run("MATCH (p:P {name:'a'}) SET p += {v: 10, extra: 'x'}")
+        result = two_products.run(
+            "MATCH (p:P {name:'a'}) RETURN p.v AS v, p.extra AS e"
+        )
+        assert result.records == [{"v": 10, "e": "x"}]
+
+    def test_set_additive_null_removes_key(self, two_products):
+        two_products.run("MATCH (p:P {name:'a'}) SET p += {v: null}")
+        assert two_products.run(
+            "MATCH (p:P {name:'a'}) RETURN p.v AS v"
+        ).values("v") == [None]
+
+    def test_replace_conflict_with_whole_map(self, two_products):
+        # One record replaces the map (removing v), another sets v: the
+        # removal and the write conflict.
+        with pytest.raises(PropertyConflictError):
+            two_products.run(
+                "MATCH (a:P {name:'a'}) SET a = {}, a.v = 5"
+            )
+
+    def test_set_from_entity_properties(self, two_products):
+        # SET a = b copies b's whole property map onto a.
+        two_products.run(
+            "MATCH (a:P {name:'a'}), (b:P {name:'b'}) SET a = b"
+        )
+        maps = [
+            dict(record["p"].properties)
+            for record in two_products.run("MATCH (p:P) RETURN p").records
+        ]
+        assert maps == [{"name": "b", "v": 2}, {"name": "b", "v": 2}]
+
+    def test_set_on_relationship(self, revised_graph):
+        revised_graph.run("CREATE (:A)-[:T]->(:B)")
+        revised_graph.run("MATCH ()-[r:T]->() SET r.w = 4")
+        result = revised_graph.run("MATCH ()-[r:T]->() RETURN r.w AS w")
+        assert result.values("w") == [4]
+
+    def test_set_requires_entity(self, revised_graph):
+        with pytest.raises(CypherTypeError):
+            revised_graph.run("UNWIND [1] AS x SET x.v = 1")
+
+
+class TestLegacySequentialSet:
+    def test_swap_degenerates(self):
+        g = Graph(Dialect.CYPHER9)
+        g.run("CREATE (:P {name: 'a', v: 1}), (:P {name: 'b', v: 2})")
+        g.run(
+            "MATCH (a:P {name:'a'}), (b:P {name:'b'}) SET a.v = b.v, b.v = a.v"
+        )
+        result = g.run("MATCH (p:P) RETURN p.v AS v")
+        assert result.values("v") == [2, 2]
+
+    def test_last_writer_wins_no_error(self):
+        g = Graph(Dialect.CYPHER9)
+        g.run("CREATE (:P {v: 1}), (:P {v: 2}), (:Target)")
+        g.run("MATCH (t:Target), (p:P) SET t.v = p.v")
+        result = g.run("MATCH (t:Target) RETURN t.v AS v")
+        assert result.values("v")[0] in (1, 2)
+
+    def test_order_dependence(self):
+        def run(reverse):
+            g = Graph(Dialect.CYPHER9)
+            g.run("CREATE (:Target)")
+            order = "DESC" if reverse else "ASC"
+            g.run(
+                "UNWIND [1, 2] AS v WITH v ORDER BY v " + order +
+                " MATCH (t:Target) SET t.v = v"
+            )
+            return g.run("MATCH (t:Target) RETURN t.v AS v").values("v")[0]
+
+        assert run(reverse=False) == 2
+        assert run(reverse=True) == 1
+
+    def test_set_after_delete_is_silently_lost(self):
+        g = Graph(Dialect.CYPHER9)
+        g.run("CREATE (:N {v: 1})")
+        g.run("MATCH (n:N) DELETE n SET n.v = 9")
+        assert g.node_count() == 0
+
+    def test_revised_delete_then_set_is_null_target(self, revised_graph):
+        # The revised DELETE replaces the table's reference with null
+        # (Section 7), so a later SET in the same statement sees a null
+        # target and is a well-defined no-op -- no zombie writes.
+        revised_graph.run("CREATE (:N {v: 1})")
+        revised_graph.run("MATCH (n:N) DELETE n SET n.v = 9")
+        assert revised_graph.node_count() == 0
+
+    def test_revised_set_on_externally_deleted_handle_raises(
+        self, revised_graph
+    ):
+        # A deleted handle smuggled in via the initial driving table (not
+        # nulled by a DELETE clause) is rejected loudly.
+        from repro.runtime.table import DrivingTable
+
+        node = revised_graph.create_node("N")
+        revised_graph.store.delete_node(node.id)
+        table = DrivingTable(("n",), [{"n": node}])
+        with pytest.raises(DeletedEntityError):
+            revised_graph.run("SET n.v = 9", table=table)

@@ -1,0 +1,188 @@
+"""Unit tests for the interactive shell / script runner."""
+
+import io
+
+import pytest
+
+from repro import Dialect, Graph
+from repro.tools.shell import Shell, main
+
+
+@pytest.fixture
+def shell():
+    out = io.StringIO()
+    return Shell(Graph(Dialect.REVISED), out=out), out
+
+
+class TestStatements:
+    def test_single_statement(self, shell):
+        sh, out = shell
+        sh.feed("CREATE (:User {id: 1});")
+        assert "+1 nodes" in out.getvalue()
+        assert sh.graph.node_count() == 1
+
+    def test_multi_line_statement(self, shell):
+        sh, out = shell
+        sh.feed("MATCH (n)")
+        assert sh.prompt == "...... "
+        sh.feed("RETURN count(n) AS c;")
+        assert "c" in out.getvalue()
+        assert sh.prompt == "cypher> "
+
+    def test_query_prints_table(self, shell):
+        sh, out = shell
+        sh.feed("RETURN 1 + 1 AS two;")
+        text = out.getvalue()
+        assert "two" in text and "2" in text and "1 row(s)" in text
+
+    def test_error_is_reported_not_raised(self, shell):
+        sh, out = shell
+        sh.feed("MATCH (n RETURN n;")
+        assert "!! CypherSyntaxError" in out.getvalue()
+
+    def test_semantic_error_reported(self, shell):
+        sh, out = shell
+        sh.feed("CREATE (:P {v: 1}), (:P {v: 2});")
+        sh.feed("MATCH (a:P), (b:P) SET a.v = b.v;")
+        assert "PropertyConflictError" in out.getvalue()
+
+    def test_blank_lines_ignored(self, shell):
+        sh, out = shell
+        sh.feed("")
+        sh.feed("   ")
+        assert out.getvalue() == ""
+
+    def test_feed_script_without_trailing_semicolon(self, shell):
+        sh, __ = shell
+        sh.feed_script("CREATE (:A);\nCREATE (:B)")
+        assert sh.graph.node_count() == 2
+
+
+class TestCommands:
+    def test_help(self, shell):
+        sh, out = shell
+        sh.feed(":help")
+        assert ":dialect" in out.getvalue()
+
+    def test_quit(self, shell):
+        sh, __ = shell
+        sh.feed(":quit")
+        assert sh.done
+
+    def test_dialect_show_and_switch(self, shell):
+        sh, out = shell
+        sh.feed(":dialect")
+        assert "revised" in out.getvalue()
+        sh.feed(":dialect cypher9")
+        assert sh.graph.dialect is Dialect.CYPHER9
+        sh.feed(":dialect bogus")
+        assert "unknown dialect" in out.getvalue()
+
+    def test_dialect_switch_keeps_data(self, shell):
+        sh, __ = shell
+        sh.feed("CREATE (:A);")
+        sh.feed(":dialect cypher9")
+        assert sh.graph.node_count() == 1
+
+    def test_stats(self, shell):
+        sh, out = shell
+        sh.feed("CREATE (:A)-[:T]->(:B);")
+        sh.feed(":stats")
+        assert "nodes: 2" in out.getvalue()
+
+    def test_dump_and_dot(self, shell):
+        sh, out = shell
+        sh.feed("CREATE (:A)-[:T]->(:B);")
+        sh.feed(":dump")
+        assert "[:T]" in out.getvalue()
+        sh.feed(":dot")
+        assert "digraph" in out.getvalue()
+
+    def test_schema(self, shell):
+        sh, out = shell
+        sh.feed(":schema")
+        assert "no constraints" in out.getvalue()
+        sh.graph.create_unique_constraint("User", "id")
+        sh.feed(":schema")
+        assert "UNIQUE :User(id)" in out.getvalue()
+
+    def test_save_and_load(self, shell, tmp_path):
+        sh, out = shell
+        sh.feed("CREATE (:A {v: 1});")
+        path = tmp_path / "g.json"
+        sh.feed(f":save {path}")
+        assert "saved" in out.getvalue()
+        sh.feed(":clear")
+        assert sh.graph.node_count() == 0
+        sh.feed(f":load {path}")
+        assert sh.graph.node_count() == 1
+
+    def test_load_missing_file(self, shell, tmp_path):
+        sh, out = shell
+        sh.feed(f":load {tmp_path}/nope.json")
+        assert "!!" in out.getvalue()
+
+    def test_unknown_command(self, shell):
+        sh, out = shell
+        sh.feed(":frobnicate")
+        assert "unknown command" in out.getvalue()
+
+
+class TestMain:
+    def test_script_execution(self, tmp_path, capsys):
+        script = tmp_path / "s.cypher"
+        script.write_text(
+            "CREATE (:User {id: 1});\n"
+            "MATCH (u:User) RETURN u.id AS id;\n"
+        )
+        assert main([str(script)]) == 0
+        captured = capsys.readouterr().out
+        assert "id" in captured and "1 row(s)" in captured
+
+    def test_script_with_graph_load(self, tmp_path, capsys):
+        from repro.io.graph_json import save_graph
+        from repro.paper import figure1_graph
+
+        graph_path = tmp_path / "fig1.json"
+        save_graph(figure1_graph(), graph_path)
+        script = tmp_path / "s.cypher"
+        script.write_text("MATCH (p:Product) RETURN count(p) AS c;")
+        assert main(["--graph", str(graph_path), str(script)]) == 0
+        assert "3" in capsys.readouterr().out
+
+    def test_script_with_legacy_dialect(self, tmp_path, capsys):
+        script = tmp_path / "s.cypher"
+        script.write_text("MERGE (:User {id: 1});")
+        assert main(["--dialect", "cypher9", str(script)]) == 0
+        assert "+1 nodes" in capsys.readouterr().out
+
+
+class TestShellTransactions:
+    def test_begin_commit(self, shell):
+        sh, out = shell
+        sh.feed(":begin")
+        sh.feed("CREATE (:N);")
+        sh.feed(":commit")
+        assert "committed" in out.getvalue()
+        assert sh.graph.node_count() == 1
+
+    def test_begin_rollback(self, shell):
+        sh, out = shell
+        sh.feed(":begin")
+        sh.feed("CREATE (:N);")
+        sh.feed(":rollback")
+        assert "rolled back" in out.getvalue()
+        assert sh.graph.node_count() == 0
+
+    def test_double_begin_rejected(self, shell):
+        sh, out = shell
+        sh.feed(":begin")
+        sh.feed(":begin")
+        assert "already open" in out.getvalue()
+
+    def test_commit_without_begin(self, shell):
+        sh, out = shell
+        sh.feed(":commit")
+        assert "no open transaction" in out.getvalue()
+        sh.feed(":rollback")
+        assert out.getvalue().count("no open transaction") == 2

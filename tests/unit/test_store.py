@@ -1,0 +1,323 @@
+"""Unit tests for the graph store: CRUD, journal, tombstones, indexes."""
+
+import pytest
+
+from repro.errors import (
+    ConstraintViolationError,
+    DanglingRelationshipError,
+    DeletedEntityError,
+    EntityNotFoundError,
+)
+from repro.graph.store import GraphStore
+
+
+@pytest.fixture
+def pair(store):
+    """Two nodes connected by one relationship."""
+    a = store.create_node(("User",), {"id": 1})
+    b = store.create_node(("Product",), {"id": 2})
+    r = store.create_relationship("ORDERED", a, b, {"qty": 3})
+    return a, b, r
+
+
+class TestCreation:
+    def test_create_node_assigns_sequential_ids(self, store):
+        assert store.create_node() == 0
+        assert store.create_node() == 1
+
+    def test_node_contents(self, store):
+        node_id = store.create_node(("A", "B"), {"x": 1})
+        assert store.node_labels(node_id) == frozenset({"A", "B"})
+        assert store.node_properties(node_id) == {"x": 1}
+
+    def test_relationship_contents(self, store, pair):
+        a, b, r = pair
+        assert store.rel_type(r) == "ORDERED"
+        assert store.rel_source(r) == a
+        assert store.rel_target(r) == b
+        assert store.rel_properties(r) == {"qty": 3}
+
+    def test_relationship_requires_type(self, store):
+        a = store.create_node()
+        with pytest.raises(ConstraintViolationError):
+            store.create_relationship("", a, a)
+
+    def test_relationship_requires_live_endpoints(self, store):
+        a = store.create_node()
+        with pytest.raises(EntityNotFoundError):
+            store.create_relationship("T", a, 99)
+        b = store.create_node()
+        store.delete_node(b)
+        with pytest.raises(EntityNotFoundError):
+            store.create_relationship("T", a, b)
+
+    def test_unknown_ids_raise(self, store):
+        with pytest.raises(EntityNotFoundError):
+            store.node_labels(7)
+        with pytest.raises(EntityNotFoundError):
+            store.rel_type(7)
+
+    def test_self_loop_allowed(self, store):
+        a = store.create_node()
+        r = store.create_relationship("LOOP", a, a)
+        assert store.degree(a) == 2  # out + in
+        assert store.out_relationships(a) == {r}
+        assert store.in_relationships(a) == {r}
+
+
+class TestAdjacency:
+    def test_out_in_sets(self, store, pair):
+        a, b, r = pair
+        assert store.out_relationships(a) == {r}
+        assert store.in_relationships(b) == {r}
+        assert store.in_relationships(a) == frozenset()
+        assert store.degree(a) == 1
+
+    def test_counts(self, store, pair):
+        assert store.node_count() == 2
+        assert store.relationship_count() == 1
+
+    def test_iteration_is_id_ordered(self, store):
+        ids = [store.create_node() for __ in range(5)]
+        assert [n.id for n in store.nodes()] == ids
+
+
+class TestDeletion:
+    def test_strict_delete_refuses_attached(self, store, pair):
+        a, __, __ = pair
+        with pytest.raises(DanglingRelationshipError):
+            store.delete_node(a)
+
+    def test_delete_after_relationship_removed(self, store, pair):
+        a, __, r = pair
+        store.delete_relationship(r)
+        store.delete_node(a)
+        assert store.node_is_deleted(a)
+        assert store.node_count() == 1
+
+    def test_dangling_delete_leaves_relationship(self, store, pair):
+        a, __, r = pair
+        store.delete_node(a, allow_dangling=True)
+        assert store.node_is_deleted(a)
+        assert not store.rel_is_deleted(r)
+        snapshot = store.snapshot()
+        assert snapshot.has_dangling()
+
+    def test_deleted_node_reports_empty(self, store, pair):
+        a, __, r = pair
+        store.delete_relationship(r)
+        store.delete_node(a)
+        assert store.node_labels(a) == frozenset()
+        assert store.node_properties(a) == {}
+
+    def test_delete_is_idempotent(self, store, pair):
+        __, __, r = pair
+        store.delete_relationship(r)
+        store.delete_relationship(r)
+        assert store.relationship_count() == 0
+
+    def test_writes_to_deleted_raise(self, store, pair):
+        a, __, r = pair
+        store.delete_relationship(r)
+        store.delete_node(a)
+        with pytest.raises(DeletedEntityError):
+            store.set_node_property(a, "x", 1)
+        with pytest.raises(DeletedEntityError):
+            store.add_label(a, "L")
+        with pytest.raises(DeletedEntityError):
+            store.set_rel_property(r, "x", 1)
+
+
+class TestProperties:
+    def test_set_and_remove(self, store):
+        n = store.create_node()
+        store.set_node_property(n, "x", 10)
+        assert store.node_properties(n) == {"x": 10}
+        store.set_node_property(n, "x", None)
+        assert store.node_properties(n) == {}
+
+    def test_labels_add_remove(self, store):
+        n = store.create_node(("A",))
+        store.add_label(n, "B")
+        store.remove_label(n, "A")
+        assert store.node_labels(n) == frozenset({"B"})
+        assert store.nodes_with_label("A") == frozenset()
+        assert store.nodes_with_label("B") == {n}
+
+
+class TestJournal:
+    def test_rollback_undoes_everything(self, store):
+        a = store.create_node(("A",), {"x": 1})
+        mark = store.mark()
+        b = store.create_node(("B",))
+        r = store.create_relationship("T", a, b)
+        store.set_node_property(a, "x", 2)
+        store.add_label(a, "Z")
+        store.delete_relationship(r)
+        store.rollback_to(mark)
+        assert store.node_count() == 1
+        assert store.node_properties(a) == {"x": 1}
+        assert store.node_labels(a) == frozenset({"A"})
+        with pytest.raises(EntityNotFoundError):
+            store.node_labels(b)
+
+    def test_rollback_restores_deleted_entities(self, store):
+        a = store.create_node(("A",), {"x": 1})
+        b = store.create_node()
+        r = store.create_relationship("T", a, b)
+        mark = store.mark()
+        store.delete_relationship(r)
+        store.delete_node(a)
+        store.rollback_to(mark)
+        assert not store.node_is_deleted(a)
+        assert not store.rel_is_deleted(r)
+        assert store.nodes_with_label("A") == {a}
+        assert store.out_relationships(a) == {r}
+
+    def test_commit_trims_journal_without_changes(self, store):
+        mark = store.mark()
+        store.create_node()
+        store.commit_to(mark)
+        assert store.journal_length() == mark
+        assert store.node_count() == 1
+
+    def test_nested_marks(self, store):
+        outer = store.mark()
+        store.create_node()
+        inner = store.mark()
+        store.create_node()
+        store.rollback_to(inner)
+        assert store.node_count() == 1
+        store.rollback_to(outer)
+        assert store.node_count() == 0
+
+    def test_rollback_of_label_and_property_changes(self, store):
+        n = store.create_node(("A",), {"x": 1})
+        mark = store.mark()
+        store.remove_label(n, "A")
+        store.set_node_property(n, "x", None)
+        store.set_node_property(n, "y", 5)
+        store.rollback_to(mark)
+        assert store.node_labels(n) == frozenset({"A"})
+        assert store.node_properties(n) == {"x": 1}
+
+
+class TestPropertyIndex:
+    def test_index_backfills_existing_nodes(self, store):
+        a = store.create_node(("User",), {"id": 1})
+        b = store.create_node(("User",), {"id": 2})
+        index = store.create_index("User", "id")
+        assert index.lookup(1) == {a}
+        assert index.lookup(2) == {b}
+
+    def test_index_tracks_mutations(self, store):
+        index = store.create_index("User", "id")
+        n = store.create_node(("User",), {"id": 1})
+        assert index.lookup(1) == {n}
+        store.set_node_property(n, "id", 9)
+        assert index.lookup(1) == frozenset()
+        assert index.lookup(9) == {n}
+        store.remove_label(n, "User")
+        assert index.lookup(9) == frozenset()
+        store.add_label(n, "User")
+        assert index.lookup(9) == {n}
+
+    def test_index_survives_rollback(self, store):
+        index = store.create_index("User", "id")
+        n = store.create_node(("User",), {"id": 1})
+        mark = store.mark()
+        store.set_node_property(n, "id", 2)
+        store.rollback_to(mark)
+        assert index.lookup(1) == {n}
+        assert index.lookup(2) == frozenset()
+
+    def test_numeric_equivalence_in_lookup(self, store):
+        index = store.create_index("User", "id")
+        n = store.create_node(("User",), {"id": 1})
+        assert index.lookup(1.0) == {n}
+
+    def test_deleted_node_leaves_index(self, store):
+        index = store.create_index("User", "id")
+        n = store.create_node(("User",), {"id": 1})
+        store.delete_node(n)
+        assert index.lookup(1) == frozenset()
+
+    def test_drop_index(self, store):
+        store.create_index("User", "id")
+        store.drop_index("User", "id")
+        assert store.property_index("User", "id") is None
+
+
+class TestSnapshotsAndCopies:
+    def test_snapshot_excludes_tombstones(self, store, pair):
+        a, b, r = pair
+        store.delete_relationship(r)
+        store.delete_node(a)
+        snapshot = store.snapshot()
+        assert snapshot.nodes == {b}
+        assert snapshot.relationships == frozenset()
+
+    def test_snapshot_without_dangling(self, store, pair):
+        a, __, r = pair
+        store.delete_node(a, allow_dangling=True)
+        assert store.snapshot().size() == 1
+        assert store.snapshot(include_dangling=False).size() == 0
+
+    def test_copy_is_independent(self, store, pair):
+        clone = store.copy()
+        store.create_node()
+        assert clone.node_count() == 2
+        assert store.node_count() == 3
+
+    def test_load_snapshot_round_trip(self, store, pair):
+        from repro.graph.comparison import isomorphic
+
+        snapshot = store.snapshot()
+        other = GraphStore()
+        other.load_snapshot(snapshot)
+        assert isomorphic(other.snapshot(), snapshot)
+
+
+class TestTypedAdjacency:
+    def test_typed_lookup(self, store):
+        a = store.create_node()
+        b = store.create_node()
+        t = store.create_relationship("T", a, b)
+        s = store.create_relationship("S", a, b)
+        assert store.out_relationships_of_types(a, ("T",)) == {t}
+        assert store.out_relationships_of_types(a, ("T", "S")) == {t, s}
+        assert store.in_relationships_of_types(b, ("S",)) == {s}
+        assert store.out_relationships_of_types(a, ("X",)) == frozenset()
+
+    def test_typed_lookup_tracks_deletion(self, store):
+        a = store.create_node()
+        b = store.create_node()
+        t = store.create_relationship("T", a, b)
+        store.delete_relationship(t)
+        assert store.out_relationships_of_types(a, ("T",)) == frozenset()
+
+    def test_typed_lookup_tracks_rollback(self, store):
+        a = store.create_node()
+        b = store.create_node()
+        t = store.create_relationship("T", a, b)
+        mark = store.mark()
+        store.delete_relationship(t)
+        store.rollback_to(mark)
+        assert store.out_relationships_of_types(a, ("T",)) == {t}
+        mark = store.mark()
+        s = store.create_relationship("S", a, b)
+        store.rollback_to(mark)
+        assert store.out_relationships_of_types(a, ("S",)) == frozenset()
+
+    def test_typed_agrees_with_plain_scan(self, store):
+        a = store.create_node()
+        b = store.create_node()
+        for i in range(6):
+            store.create_relationship("T" if i % 2 else "S", a, b)
+        for rel_type in ("T", "S"):
+            expected = frozenset(
+                r
+                for r in store.out_relationships(a)
+                if store.rel_type(r) == rel_type
+            )
+            assert store.out_relationships_of_types(a, (rel_type,)) == expected

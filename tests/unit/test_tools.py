@@ -1,0 +1,50 @@
+"""Unit tests for rendering and statistics helpers."""
+
+from repro.graph.statistics import collect_statistics
+from repro.paper import figure1_graph
+from repro.tools.render import to_dot, to_text
+
+
+class TestRender:
+    def test_dot_contains_nodes_and_edges(self):
+        dot = to_dot(figure1_graph())
+        assert dot.startswith("digraph")
+        assert ":Vendor" in dot
+        assert "OFFERS" in dot
+        assert "->" in dot
+
+    def test_text_listing(self):
+        text = to_text(figure1_graph())
+        assert ":Product" in text
+        assert "[:ORDERED]" in text
+        assert len(text.splitlines()) == 11  # 6 nodes + 5 relationships
+
+    def test_accepts_snapshot(self):
+        snapshot = figure1_graph().snapshot()
+        assert "digraph" in to_dot(snapshot)
+        assert ":User" in to_text(snapshot)
+
+
+class TestStatistics:
+    def test_figure1_statistics(self):
+        stats = collect_statistics(figure1_graph())
+        assert stats.node_count == 6
+        assert stats.relationship_count == 5
+        assert stats.labels == {"Vendor": 1, "Product": 3, "User": 2}
+        assert stats.relationship_types == {"OFFERS": 2, "ORDERED": 3}
+        assert stats.node_property_keys["id"] == 6
+        assert stats.max_degree == 2
+        assert stats.degree_histogram == {1: 2, 2: 4}
+
+    def test_empty_graph(self):
+        from repro.graph.store import GraphStore
+
+        stats = collect_statistics(GraphStore())
+        assert stats.node_count == 0
+        assert stats.average_degree == 0.0
+        assert stats.max_degree == 0
+
+    def test_summary_text(self):
+        text = collect_statistics(figure1_graph()).summary()
+        assert "nodes: 6" in text
+        assert ":Product x3" in text

@@ -1,0 +1,176 @@
+"""Unit tests for the unparser (beyond the property round trips)."""
+
+import pytest
+
+from repro.dialect import Dialect
+from repro.parser import ast, parse, parse_expression
+from repro.parser.unparse import unparse
+
+
+def round_trip(source, dialect=Dialect.REVISED, **kw):
+    statement = parse(source, dialect, **kw)
+    text = unparse(statement)
+    again = parse(text, dialect, **kw)
+    assert unparse(again) == text
+    return text
+
+
+class TestClauseCoverage:
+    def test_match_where_return(self):
+        text = round_trip(
+            "MATCH (n:User {id: 1}) WHERE n.age > 21 RETURN n.name AS name"
+        )
+        assert "WHERE" in text and "AS name" in text
+
+    def test_optional_match(self):
+        assert "OPTIONAL MATCH" in round_trip(
+            "OPTIONAL MATCH (n)-[:T]->(m) RETURN m"
+        )
+
+    def test_projection_modifiers(self):
+        text = round_trip(
+            "MATCH (n) RETURN DISTINCT n.x AS x "
+            "ORDER BY x DESC, n.y SKIP 1 LIMIT 2"
+        )
+        assert "DISTINCT" in text
+        assert "ORDER BY x DESC, n.y" in text
+        assert "SKIP 1 LIMIT 2" in text
+
+    def test_return_star(self):
+        assert "RETURN *" in round_trip("MATCH (n) RETURN *")
+
+    def test_with_where(self):
+        text = round_trip("MATCH (n) WITH n.x AS x WHERE x > 1 RETURN x")
+        assert "WITH n.x AS x WHERE x > 1" in text
+
+    def test_unwind(self):
+        assert "UNWIND [1, 2] AS x" in round_trip(
+            "UNWIND [1,2] AS x RETURN x"
+        )
+
+    def test_create_delete(self):
+        text = round_trip(
+            "CREATE (a:A {x: 1})-[:T {w: 2}]->(b) "
+            "WITH a MATCH (a) DETACH DELETE a",
+        )
+        assert "DETACH DELETE a" in text
+
+    def test_set_variants(self):
+        text = round_trip(
+            "MATCH (n) SET n.x = 1, n += {y: 2}, n = {z: 3}, n:A:B"
+        )
+        assert "n += {y: 2}" in text
+        assert "n:A:B" in text
+
+    def test_remove(self):
+        text = round_trip("MATCH (n) REMOVE n.x, n:A")
+        assert "REMOVE n.x, n:A" in text
+
+    def test_legacy_merge_with_actions(self):
+        text = round_trip(
+            "MERGE (n:User {id: 1}) "
+            "ON CREATE SET n.created = true "
+            "ON MATCH SET n.seen = true",
+            Dialect.CYPHER9,
+        )
+        assert "ON CREATE SET" in text and "ON MATCH SET" in text
+
+    def test_revised_merge_forms(self):
+        assert "MERGE ALL" in round_trip("MERGE ALL (a:A {v: 1})-[:T]->(b)")
+        assert "MERGE SAME" in round_trip(
+            "MERGE SAME (a:A)-[:T]->(b), (c:C)-[:S]->(d)"
+        )
+
+    def test_extended_merge_keywords(self):
+        text = round_trip(
+            "MERGE WEAK COLLAPSE (a:A)-[:T]->(b)", extended_merge=True
+        )
+        assert "MERGE WEAK COLLAPSE" in text
+
+    def test_foreach(self):
+        text = round_trip("FOREACH (x IN [1] | CREATE (:N {v: x}))")
+        assert text.startswith("FOREACH (x IN [1] | CREATE")
+
+    def test_load_csv(self):
+        text = round_trip(
+            "LOAD CSV WITH HEADERS FROM '/tmp/f.csv' AS row "
+            "FIELDTERMINATOR ';' RETURN row"
+        )
+        assert "WITH HEADERS" in text and "FIELDTERMINATOR ';'" in text
+
+    def test_union(self):
+        text = round_trip(
+            "RETURN 1 AS x UNION ALL RETURN 2 AS x UNION RETURN 3 AS x"
+        )
+        assert "UNION ALL" in text and text.count("UNION") == 2
+
+
+class TestPatternRendering:
+    def test_directions(self):
+        text = round_trip("MATCH (a)-[:X]->(b)<-[:Y]-(c)--(d) RETURN a")
+        assert "-[:X]->" in text and "<-[:Y]-" in text and ")--(" in text
+
+    def test_var_length_forms(self):
+        for spec in ("*", "*2", "*1..3", "*..4", "*2.."):
+            text = round_trip(f"MATCH (a)-[{spec}]->(b) RETURN a")
+            assert spec in text, (spec, text)
+
+    def test_multiple_types(self):
+        assert "[r:X|Y]" in round_trip("MATCH (a)-[r:X|Y]->(b) RETURN r")
+
+    def test_named_path(self):
+        assert "p = (" in round_trip("MATCH p = (a)-[:T]->(b) RETURN p")
+
+
+class TestQuoting:
+    def test_weird_identifier_backticked(self):
+        statement = parse("MATCH (`weird name`) RETURN `weird name` AS x")
+        text = unparse(statement)
+        assert "`weird name`" in text
+        parse(text)
+
+    def test_backtick_in_identifier_escaped(self):
+        expr = ast.Variable("a`b")
+        text = unparse(expr)
+        assert text == "`a``b`"
+
+    def test_string_escapes(self):
+        expr = parse_expression("'it\\'s\\n'")
+        text = unparse(expr)
+        assert parse_expression(text) == expr
+
+    def test_soft_keyword_variable_survives(self):
+        text = round_trip(
+            "MATCH (user)-[order:ORDERED]->(product) RETURN order",
+            Dialect.CYPHER9,
+        )
+        assert "order" in text
+
+
+class TestExpressionsRendering:
+    def test_float_rendering(self):
+        assert unparse(ast.Literal(2.0)) == "2.0"
+        assert unparse(ast.Literal(1.5e300)) == "1.5e+300"
+
+    def test_boolean_and_null(self):
+        assert unparse(ast.Literal(True)) == "true"
+        assert unparse(ast.Literal(None)) == "null"
+
+    def test_case_rendering(self):
+        text = unparse(
+            parse_expression("CASE x WHEN 1 THEN 'a' ELSE 'b' END")
+        )
+        assert text == "CASE x WHEN 1 THEN 'a' ELSE 'b' END"
+
+    def test_quantifier_rendering(self):
+        text = unparse(parse_expression("all(x IN xs WHERE x > 0)"))
+        assert text == "all(x IN xs WHERE x > 0)"
+
+    def test_precedence_parentheses_minimal(self):
+        assert unparse(parse_expression("(1 + 2) * 3")) == "(1 + 2) * 3"
+        assert unparse(parse_expression("1 + 2 * 3")) == "1 + 2 * 3"
+        assert unparse(parse_expression("NOT (a AND b)")) == "NOT (a AND b)"
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(TypeError):
+            unparse(object())

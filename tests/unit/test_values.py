@@ -1,0 +1,220 @@
+"""Unit tests for the Cypher value model (three-valued logic etc.)."""
+
+import math
+
+import pytest
+
+from repro.errors import CypherTypeError
+from repro.graph.values import (
+    cypher_eq,
+    cypher_gt,
+    cypher_gte,
+    cypher_in,
+    cypher_lt,
+    cypher_lte,
+    cypher_neq,
+    equivalent,
+    grouping_key,
+    is_storable,
+    normalize_property_map,
+    require_storable,
+    sort_key,
+    tri_and,
+    tri_not,
+    tri_or,
+    tri_xor,
+    type_name,
+)
+
+
+class TestTernaryLogic:
+    def test_not(self):
+        assert tri_not(True) is False
+        assert tri_not(False) is True
+        assert tri_not(None) is None
+
+    def test_and_truth_table(self):
+        assert tri_and(True, True) is True
+        assert tri_and(True, False) is False
+        assert tri_and(False, None) is False
+        assert tri_and(None, False) is False
+        assert tri_and(True, None) is None
+        assert tri_and(None, None) is None
+
+    def test_or_truth_table(self):
+        assert tri_or(False, False) is False
+        assert tri_or(True, None) is True
+        assert tri_or(None, True) is True
+        assert tri_or(False, None) is None
+        assert tri_or(None, None) is None
+
+    def test_xor_truth_table(self):
+        assert tri_xor(True, False) is True
+        assert tri_xor(True, True) is False
+        assert tri_xor(None, True) is None
+        assert tri_xor(False, None) is None
+
+    def test_non_boolean_operand_raises(self):
+        with pytest.raises(CypherTypeError):
+            tri_and(1, True)
+        with pytest.raises(CypherTypeError):
+            tri_or(True, "x")
+        with pytest.raises(CypherTypeError):
+            tri_not("yes")
+
+
+class TestTernaryEquality:
+    def test_null_propagates(self):
+        assert cypher_eq(None, None) is None
+        assert cypher_eq(1, None) is None
+        assert cypher_eq(None, "a") is None
+        assert cypher_neq(None, None) is None
+
+    def test_numbers_compare_across_types(self):
+        assert cypher_eq(1, 1.0) is True
+        assert cypher_eq(1, 2) is False
+
+    def test_boolean_is_not_a_number(self):
+        assert cypher_eq(True, 1) is False
+        assert cypher_eq(False, 0) is False
+        assert cypher_eq(True, True) is True
+
+    def test_nan_never_equals(self):
+        assert cypher_eq(float("nan"), float("nan")) is False
+
+    def test_lists_propagate_unknown(self):
+        assert cypher_eq([1, 2], [1, 2]) is True
+        assert cypher_eq([1, None], [1, 2]) is None
+        assert cypher_eq([1, None], [2, 2]) is False
+        assert cypher_eq([1], [1, 2]) is False
+
+    def test_maps(self):
+        assert cypher_eq({"a": 1}, {"a": 1}) is True
+        assert cypher_eq({"a": 1}, {"a": 2}) is False
+        assert cypher_eq({"a": None}, {"a": 1}) is None
+        assert cypher_eq({"a": 1}, {"b": 1}) is False
+
+    def test_mixed_types_are_false(self):
+        assert cypher_eq(1, "1") is False
+        assert cypher_eq([1], {"a": 1}) is False
+
+
+class TestComparisons:
+    def test_numeric_ordering(self):
+        assert cypher_lt(1, 2) is True
+        assert cypher_lt(2, 1) is False
+        assert cypher_lte(2, 2) is True
+        assert cypher_gt(3, 2) is True
+        assert cypher_gte(2, 3) is False
+
+    def test_string_ordering(self):
+        assert cypher_lt("a", "b") is True
+        assert cypher_gte("b", "a") is True
+
+    def test_null_comparisons_are_null(self):
+        assert cypher_lt(None, 1) is None
+        assert cypher_gte(1, None) is None
+
+    def test_incomparable_types_are_null(self):
+        assert cypher_lt(1, "a") is None
+        assert cypher_lt(True, 1) is None
+
+    def test_in_operator(self):
+        assert cypher_in(2, [1, 2, 3]) is True
+        assert cypher_in(5, [1, 2, 3]) is False
+        assert cypher_in(5, [1, None]) is None
+        assert cypher_in(1, [1, None]) is True
+        assert cypher_in(1, None) is None
+
+    def test_in_requires_list(self):
+        with pytest.raises(CypherTypeError):
+            cypher_in(1, "abc")
+
+
+class TestEquivalence:
+    def test_null_equivalent_to_null(self):
+        assert equivalent(None, None)
+        assert not equivalent(None, 1)
+
+    def test_nan_equivalent_to_nan(self):
+        assert equivalent(float("nan"), float("nan"))
+        assert not equivalent(float("nan"), 1.0)
+
+    def test_numbers_across_types(self):
+        assert equivalent(1, 1.0)
+        assert not equivalent(True, 1)
+
+    def test_nested(self):
+        assert equivalent([1, [None]], [1.0, [None]])
+        assert equivalent({"a": None}, {"a": None})
+        assert not equivalent({"a": None}, {"b": None})
+
+    def test_grouping_key_agrees_with_equivalence(self):
+        pairs = [
+            (1, 1.0),
+            (None, None),
+            (float("nan"), float("nan")),
+            ([1, None], [1.0, None]),
+            ({"x": 2}, {"x": 2.0}),
+        ]
+        for left, right in pairs:
+            assert grouping_key(left) == grouping_key(right)
+        assert grouping_key(1) != grouping_key(True)
+        assert grouping_key("1") != grouping_key(1)
+
+
+class TestSortOrder:
+    def test_nulls_sort_last(self):
+        values = [3, None, 1, None, 2]
+        ordered = sorted(values, key=sort_key)
+        assert ordered == [1, 2, 3, None, None]
+
+    def test_cross_type_order_is_total(self):
+        values = [1, "a", True, [1], {"a": 1}, None, 2.5]
+        ordered = sorted(values, key=sort_key)
+        # Maps < lists < strings < booleans < numbers < null
+        assert ordered[-1] is None
+        assert isinstance(ordered[0], dict)
+
+    def test_nan_sorts_after_numbers(self):
+        ordered = sorted([float("nan"), 1, 2], key=sort_key)
+        assert math.isnan(ordered[-1])
+
+
+class TestStorability:
+    def test_scalars_are_storable(self):
+        for value in (1, 1.5, "x", True):
+            assert is_storable(value)
+
+    def test_null_and_entities_are_not(self):
+        assert not is_storable(None)
+        assert not is_storable({"a": 1})
+
+    def test_lists_of_scalars(self):
+        assert is_storable([1, 2, 3])
+        assert is_storable([])
+        assert not is_storable([[1]])
+        assert not is_storable([None])
+
+    def test_require_storable_raises(self):
+        with pytest.raises(CypherTypeError):
+            require_storable({"a": 1}, "k")
+
+    def test_normalize_drops_nulls(self):
+        result = normalize_property_map([("a", 1), ("b", None), ("c", "x")])
+        assert result == {"a": 1, "c": "x"}
+
+    def test_normalize_null_overrides_earlier_value(self):
+        result = normalize_property_map([("a", 1), ("a", None)])
+        assert result == {}
+
+
+class TestTypeName:
+    def test_names(self):
+        assert type_name(None) == "Null"
+        assert type_name(True) == "Boolean"
+        assert type_name(1) == "Integer"
+        assert type_name(1.5) == "Float"
+        assert type_name("x") == "String"
+        assert type_name([1]) == "List"
+        assert type_name({"a": 1}) == "Map"

@@ -1,0 +1,85 @@
+"""Unit tests for the synthetic workload generators."""
+
+from repro.graph.statistics import collect_statistics
+from repro.workloads.generators import (
+    MarketplaceConfig,
+    OrderTableConfig,
+    chain_graph,
+    marketplace_graph,
+    order_table,
+    product_update_table,
+    social_graph,
+)
+
+
+class TestMarketplace:
+    def test_counts(self):
+        config = MarketplaceConfig(
+            users=10, vendors=2, products=5, orders=20
+        )
+        store = marketplace_graph(config)
+        stats = collect_statistics(store)
+        assert stats.labels == {"User": 10, "Vendor": 2, "Product": 5}
+        assert stats.relationship_types["ORDERED"] == 20
+        assert stats.relationship_types["OFFERS"] == 5
+
+    def test_deterministic_by_seed(self):
+        from repro.graph.comparison import isomorphic
+
+        one = marketplace_graph(MarketplaceConfig(seed=1)).snapshot()
+        two = marketplace_graph(MarketplaceConfig(seed=1)).snapshot()
+        assert isomorphic(one, two)
+
+    def test_journal_is_trimmed(self):
+        store = marketplace_graph(MarketplaceConfig(users=3, products=2))
+        assert store.journal_length() == 0
+
+
+class TestOrderTable:
+    def test_shape(self):
+        table = order_table(OrderTableConfig(rows=100))
+        assert len(table) == 100
+        assert table.columns == ("cid", "pid", "date")
+
+    def test_null_ratio_respected_roughly(self):
+        table = order_table(
+            OrderTableConfig(rows=1000, null_ratio=0.5, duplicate_ratio=0.0)
+        )
+        nulls = sum(1 for r in table if r["pid"] is None)
+        assert 350 < nulls < 650
+
+    def test_zero_duplicates_all_unique_pairs(self):
+        table = order_table(
+            OrderTableConfig(
+                rows=50,
+                duplicate_ratio=0.0,
+                null_ratio=0.0,
+                distinct_users=1000,
+                distinct_products=1000,
+            )
+        )
+        pairs = {(r["cid"], r["pid"]) for r in table}
+        assert len(pairs) > 40  # random collisions only
+
+    def test_deterministic_by_seed(self):
+        one = order_table(OrderTableConfig(seed=9)).to_dicts()
+        two = order_table(OrderTableConfig(seed=9)).to_dicts()
+        assert one == two
+
+
+class TestOtherGenerators:
+    def test_chain(self):
+        store = chain_graph(10)
+        assert store.node_count() == 11
+        assert store.relationship_count() == 10
+
+    def test_social(self):
+        store = social_graph(people=20, friends_per_person=3)
+        assert store.node_count() == 20
+        assert store.relationship_count() <= 60
+
+    def test_product_update_table(self):
+        store = marketplace_graph(MarketplaceConfig(products=7))
+        table = product_update_table(store)
+        assert len(table) == 7
+        assert all(record["product"].has_label("Product") for record in table)
