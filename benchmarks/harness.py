@@ -5,14 +5,20 @@ Run with:  python benchmarks/harness.py
 
 Unlike the pytest-benchmark files (which time each piece), this script
 executes each experiment once and prints a compact report: experiment
-id, what the paper says, and what this implementation produced.
+id, what the paper says, and what this implementation produced.  It
+also writes ``benchmarks/BENCH_harness.json``: one entry per recorded
+row with ``elapsed_ms`` and ``db_hits`` fields (the db-hit taxonomy of
+:mod:`repro.graph.counters`), so the perf trajectory captures work
+done, not just wall-time.
 """
 
 from __future__ import annotations
 
+import json
 import time
+from pathlib import Path
 
-from repro import Dialect, Graph, MergeSemantics, PropertyConflictError
+from repro import Dialect, Graph, HitCounters, MergeSemantics, PropertyConflictError
 from repro.core.merge import merge
 from repro.errors import DanglingRelationshipError, UpdateError
 from repro.graph.comparison import fingerprint
@@ -42,13 +48,50 @@ from repro.paper import (
 )
 from repro.runtime.context import EvalContext
 
-ROWS: list[tuple[str, str, str, str]] = []
+ROWS: list[dict] = []
+
+BENCH_JSON = Path(__file__).with_name("BENCH_harness.json")
 
 
-def record(experiment: str, artifact: str, paper: str, measured: str) -> None:
-    ROWS.append((experiment, artifact, paper, measured))
-    status = "OK " if True else "?? "
+def record(
+    experiment: str,
+    artifact: str,
+    paper: str,
+    measured: str,
+    *,
+    elapsed_ms: float | None = None,
+    db_hits: dict | None = None,
+) -> None:
+    ROWS.append(
+        {
+            "experiment": experiment,
+            "artifact": artifact,
+            "paper": paper,
+            "measured": measured,
+            "elapsed_ms": (
+                round(elapsed_ms, 3) if elapsed_ms is not None else None
+            ),
+            "db_hits": db_hits,
+        }
+    )
     print(f"  [{experiment}] {artifact}: {measured}")
+
+
+def measured_call(store, thunk):
+    """Run *thunk* with hit counters installed on *store*.
+
+    Returns ``(value, elapsed_ms, DbHits)`` -- the instrumentation the
+    JSON report attaches to each entry.
+    """
+    counters = HitCounters()
+    store.install_counters(counters)
+    started = time.perf_counter()
+    try:
+        value = thunk()
+    finally:
+        store.reset_counters()
+    elapsed = (time.perf_counter() - started) * 1000
+    return value, elapsed, counters.snapshot()
 
 
 def pattern_of(source: str):
@@ -324,23 +367,78 @@ def p1_scaling_teaser() -> None:
     for semantics in MergeSemantics:
         graph = Graph(Dialect.REVISED)
         ctx = EvalContext(store=graph.store)
-        started = time.perf_counter()
-        merge(ctx, pattern, table.copy(), semantics)
-        elapsed = (time.perf_counter() - started) * 1000
+        _, elapsed, hits = measured_call(
+            graph.store,
+            lambda: merge(ctx, pattern, table.copy(), semantics),
+        )
         record(
             "P1",
             semantics.value,
             "sizes shrink along Atomic > Grouping > ... > Strong",
-            f"{shape(graph)} in {elapsed:.1f} ms",
+            f"{shape(graph)} in {elapsed:.1f} ms; "
+            f"db hits {hits.compact()}",
+            elapsed_ms=elapsed,
+            db_hits=hits.to_dict(),
         )
+
+
+def p2_profile_observability() -> None:
+    print("\nP2  PROFILE layer (db-hits; index vs label scan)")
+
+    def build() -> Graph:
+        graph = Graph(Dialect.REVISED)
+        for i in range(200):
+            graph.run("CREATE (:L {k: $i})", {"i": i})
+        return graph
+
+    query = "MATCH (n:L {k: 1}) RETURN n"
+    scan = build().profile(query)
+    indexed_graph = build()
+    indexed_graph.create_index("L", "k")
+    lookup = indexed_graph.profile(query)
+    record(
+        "P2",
+        "label scan",
+        "db-hits grow with the label population",
+        f"db hits {scan.hits.compact()}",
+        elapsed_ms=scan.time_ms,
+        db_hits=scan.hits.to_dict(),
+    )
+    record(
+        "P2",
+        "index lookup",
+        "db-hits independent of population",
+        f"db hits {lookup.hits.compact()}",
+        elapsed_ms=lookup.time_ms,
+        db_hits=lookup.hits.to_dict(),
+    )
+    saved = scan.total_db_hits - lookup.total_db_hits
+    record(
+        "P2",
+        "hits saved by index",
+        "scan - lookup > 0",
+        f"{saved} db hits saved",
+    )
 
 
 def print_markdown() -> None:
     print("\n\n## Markdown table (paste into EXPERIMENTS.md)\n")
     print("| Exp | Artifact | Paper says | Measured |")
     print("|---|---|---|---|")
-    for experiment, artifact, paper, measured in ROWS:
-        print(f"| {experiment} | {artifact} | {paper} | {measured} |")
+    for row in ROWS:
+        print(
+            f"| {row['experiment']} | {row['artifact']} "
+            f"| {row['paper']} | {row['measured']} |"
+        )
+
+
+def write_json() -> None:
+    """Write ``BENCH_harness.json``: every entry carries ``db_hits``."""
+    BENCH_JSON.write_text(
+        json.dumps({"experiments": ROWS}, indent=2) + "\n",
+        encoding="utf-8",
+    )
+    print(f"\nwrote {BENCH_JSON}")
 
 
 def main() -> None:
@@ -355,7 +453,9 @@ def main() -> None:
     e8_figure9()
     e9_grammars()
     p1_scaling_teaser()
+    p2_profile_observability()
     print_markdown()
+    write_json()
 
 
 if __name__ == "__main__":

@@ -28,31 +28,38 @@ from repro.errors import (
     MergeSyntaxError,
     PropertyConflictError,
 )
+from repro.graph.counters import NO_COUNTERS, DbHits, HitCounters
 from repro.graph.model import GraphSnapshot, Node, Path, Relationship
 from repro.graph.store import GraphStore
 from repro.core.merge import MergeSemantics
 from repro.runtime.context import MatchMode
+from repro.runtime.profile import ClauseProfile, QueryProfile
 from repro.runtime.table import DrivingTable
 from repro.session import Graph, Transaction
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ClauseProfile",
     "CypherEngine",
     "CypherError",
     "CypherSyntaxError",
     "DanglingRelationshipError",
+    "DbHits",
     "Dialect",
     "DrivingTable",
     "Graph",
     "GraphSnapshot",
     "GraphStore",
+    "HitCounters",
     "MatchMode",
     "MergeSemantics",
     "MergeSyntaxError",
+    "NO_COUNTERS",
     "Node",
     "Path",
     "PropertyConflictError",
+    "QueryProfile",
     "QueryResult",
     "Relationship",
     "Transaction",

@@ -43,6 +43,7 @@ from __future__ import annotations
 import enum
 from typing import Optional
 
+from repro.errors import CypherSemanticError
 from repro.graph.values import grouping_key
 from repro.parser import ast
 from repro.runtime.context import EvalContext
@@ -84,6 +85,29 @@ def execute_merge(
     )
 
 
+def reject_null_merge_properties(pattern: ast.Pattern) -> None:
+    """Reject a literal ``null`` property value in a MERGE pattern.
+
+    ``MERGE (n:T {p: null})`` can never match (``n.p = null`` is null
+    under ternary logic) yet would always create, so the statement is
+    a disguised unconditional CREATE -- openCypher makes it a semantic
+    error, and so do we, in every MERGE variant.  Only *literal* nulls
+    are rejected: a null reaching the map through a variable or
+    parameter keeps the paper's Example 5 semantics (the property is
+    simply not stored on the created entity).
+    """
+    for path in pattern.paths:
+        for element in path.elements:
+            if element.properties is None:
+                continue
+            for key, value in element.properties.items:
+                if isinstance(value, ast.Literal) and value.value is None:
+                    raise CypherSemanticError(
+                        f"cannot merge using null property value "
+                        f"for '{key}'"
+                    )
+
+
 def merge(
     ctx: EvalContext,
     pattern: ast.Pattern,
@@ -91,6 +115,7 @@ def merge(
     semantics: MergeSemantics,
 ) -> DrivingTable:
     """Run one MERGE with the chosen semantics over the driving table."""
+    reject_null_merge_properties(pattern)
     new_variables = [
         name
         for name in pattern_variables(pattern)

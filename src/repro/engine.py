@@ -17,10 +17,14 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Iterator, Mapping, Optional
 
 from repro.dialect import Dialect
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.profile import QueryProfile
 from repro.errors import CypherError, UpdateError
 from repro.graph.store import GraphStore
 from repro.parser import ast
@@ -76,6 +80,8 @@ class QueryResult:
 
     table: DrivingTable
     counters: UpdateCounters = field(default_factory=UpdateCounters)
+    #: per-clause runtime profile; set only when executed in PROFILE mode
+    profile: Optional["QueryProfile"] = None
 
     @property
     def columns(self) -> tuple[str, ...]:
@@ -198,6 +204,8 @@ class CypherEngine:
         source: str | ast.Statement,
         parameters: Mapping[str, Any] | None = None,
         table: DrivingTable | None = None,
+        *,
+        profile: bool = False,
     ) -> QueryResult:
         """Execute one statement atomically.
 
@@ -205,14 +213,22 @@ class CypherEngine:
         how the paper's examples feed "already populated" driving
         tables into update clauses.  On any error the graph is rolled
         back to its state before the statement.
+
+        With ``profile=True`` the statement runs with db-hit counters
+        installed on the store and a per-clause
+        :class:`~repro.runtime.profile.QueryProfile` is attached to the
+        result (``result.profile``).
         """
         statement = (
             source
             if isinstance(source, (ast.Statement, ast.SchemaStatement))
             else self.parse(source)
         )
+        query_profile = (
+            self._new_profile(source, statement) if profile else None
+        )
         if isinstance(statement, ast.SchemaStatement):
-            return self._execute_schema(statement)
+            return self._execute_schema(statement, query_profile)
         initial = table.copy() if table is not None else DrivingTable.unit()
         # Eager scope checking: typos fail even on empty driving tables.
         from repro.runtime.scoping import check_statement
@@ -223,8 +239,12 @@ class CypherEngine:
             parameters=dict(parameters or {}),
             match_mode=self.match_mode,
             use_planner=self.use_planner,
+            profile=query_profile,
         )
         mark = self.store.mark()
+        if query_profile is not None:
+            self.store.install_counters(query_profile.counters)
+        started = time.perf_counter()
         try:
             output = self._run_query(ctx, statement.query, initial)
             if self.dialect is Dialect.CYPHER9:
@@ -232,25 +252,78 @@ class CypherEngine:
         except Exception:
             self.store.rollback_to(mark)
             raise
+        finally:
+            if query_profile is not None:
+                query_profile.time_ms = (
+                    time.perf_counter() - started
+                ) * 1000
+                self.store.reset_counters()
         counters = self._counters_since(mark)
-        return QueryResult(table=output, counters=counters)
+        result = QueryResult(
+            table=output, counters=counters, profile=query_profile
+        )
+        if query_profile is not None:
+            query_profile.result = result
+        return result
 
     run = execute  # convenient alias
 
-    def _execute_schema(self, statement: ast.SchemaStatement) -> QueryResult:
+    def profile(
+        self,
+        source: str | ast.Statement,
+        parameters: Mapping[str, Any] | None = None,
+        table: DrivingTable | None = None,
+    ) -> QueryResult:
+        """Execute with profiling on; the result carries ``.profile``."""
+        return self.execute(source, parameters, table=table, profile=True)
+
+    def _new_profile(
+        self, source: str | ast.Statement, statement: ast.Statement
+    ) -> "QueryProfile":
+        from repro.parser.unparse import unparse
+        from repro.runtime.profile import QueryProfile
+
+        text = source if isinstance(source, str) else unparse(statement)
+        return QueryProfile(
+            text, self.dialect.value, planner=self.use_planner
+        )
+
+    def _execute_schema(
+        self,
+        statement: ast.SchemaStatement,
+        query_profile: "QueryProfile | None" = None,
+    ) -> QueryResult:
         """Apply a CREATE/DROP INDEX/CONSTRAINT command."""
         label, key = statement.label, statement.key
-        if statement.kind == "create_index":
-            self.store.create_index(label, key)
-        elif statement.kind == "drop_index":
-            self.store.drop_index(label, key)
-        elif statement.kind == "create_unique_constraint":
-            self.store.create_unique_constraint(label, key)
-        elif statement.kind == "drop_unique_constraint":
-            self.store.drop_unique_constraint(label, key)
-        else:  # pragma: no cover - parser guarantees the kinds
-            raise CypherError(f"unknown schema command {statement.kind}")
-        return QueryResult(table=DrivingTable())
+        entry = None
+        if query_profile is not None:
+            self.store.install_counters(query_profile.counters)
+            entry = query_profile.begin(
+                f"SchemaCommand {statement.kind} :{label}({key})", 0
+            )
+        started = time.perf_counter()
+        try:
+            if statement.kind == "create_index":
+                self.store.create_index(label, key)
+            elif statement.kind == "drop_index":
+                self.store.drop_index(label, key)
+            elif statement.kind == "create_unique_constraint":
+                self.store.create_unique_constraint(label, key)
+            elif statement.kind == "drop_unique_constraint":
+                self.store.drop_unique_constraint(label, key)
+            else:  # pragma: no cover - parser guarantees the kinds
+                raise CypherError(f"unknown schema command {statement.kind}")
+        finally:
+            if query_profile is not None:
+                query_profile.end(entry, 0)
+                query_profile.time_ms = (
+                    time.perf_counter() - started
+                ) * 1000
+                self.store.reset_counters()
+        result = QueryResult(table=DrivingTable(), profile=query_profile)
+        if query_profile is not None:
+            query_profile.result = result
+        return result
 
     def explain(self, source: str | ast.Statement) -> str:
         """Describe how a statement would execute (no execution)."""

@@ -434,6 +434,9 @@ def merge_all(
     graph: GraphSnapshot, pattern: ast.Pattern, table: tuple[dict, ...]
 ) -> MergeOutcome:
     """``[[MERGE ALL pi]](G, T) = (G_create, T_match |+| T_create)``."""
+    from repro.core.merge import reject_null_merge_properties
+
+    reject_null_merge_properties(pattern)
     t_match: list[dict] = []
     t_fail: list[dict] = []
     for row in table:
@@ -668,6 +671,9 @@ def _merge_grouping(
     graph: GraphSnapshot, pattern: ast.Pattern, table: tuple[dict, ...]
 ) -> MergeOutcome:
     """Grouping MERGE: one created instance per expression-value group."""
+    from repro.core.merge import reject_null_merge_properties
+
+    reject_null_merge_properties(pattern)
     t_match: list[dict] = []
     failures: list[dict] = []
     for row in table:

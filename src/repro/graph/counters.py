@@ -1,0 +1,172 @@
+"""Db-hit counters: the measurement hooks behind ``PROFILE``.
+
+A *db-hit* is one access to the storage layer, in the spirit of
+Neo4j's PROFILE output.  The taxonomy:
+
+==================  =======================================================
+counter             incremented when
+==================  =======================================================
+``node_reads``      a node record is fetched (handle creation, scans,
+                    label reads)
+``rel_reads``       a relationship record is fetched
+``property_reads``  a node/relationship property map is read
+``index_lookups``   a label-index or property-index bucket is consulted
+``writes``          a mutation is journaled (create/delete/SET/label ops)
+==================  =======================================================
+
+Design: the store and both index classes always call
+``self.counters.<hook>()``.  When profiling is off they share the
+module-level :data:`NO_COUNTERS` singleton whose hooks are no-ops, so
+the cost of the instrumentation is one no-op method call -- there is no
+conditional logic on the hot paths and nothing accumulates.  Profiling
+installs a fresh :class:`HitCounters` for the duration of one statement
+(see :meth:`repro.graph.store.GraphStore.install_counters`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DbHits:
+    """An immutable snapshot of the counter values."""
+
+    node_reads: int = 0
+    rel_reads: int = 0
+    property_reads: int = 0
+    index_lookups: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        """Sum over the whole taxonomy."""
+        return (
+            self.node_reads
+            + self.rel_reads
+            + self.property_reads
+            + self.index_lookups
+            + self.writes
+        )
+
+    def __add__(self, other: "DbHits") -> "DbHits":
+        return DbHits(
+            self.node_reads + other.node_reads,
+            self.rel_reads + other.rel_reads,
+            self.property_reads + other.property_reads,
+            self.index_lookups + other.index_lookups,
+            self.writes + other.writes,
+        )
+
+    def __sub__(self, other: "DbHits") -> "DbHits":
+        return DbHits(
+            self.node_reads - other.node_reads,
+            self.rel_reads - other.rel_reads,
+            self.property_reads - other.property_reads,
+            self.index_lookups - other.index_lookups,
+            self.writes - other.writes,
+        )
+
+    def to_dict(self) -> dict[str, int]:
+        """Plain-dict form (harness JSON, ``QueryProfile.to_dict``)."""
+        return {
+            "node_reads": self.node_reads,
+            "rel_reads": self.rel_reads,
+            "property_reads": self.property_reads,
+            "index_lookups": self.index_lookups,
+            "writes": self.writes,
+            "total": self.total,
+        }
+
+    def compact(self) -> str:
+        """Short rendering: ``17 (node 5, rel 3, prop 7, idx 1, write 1)``."""
+        return (
+            f"{self.total} (node {self.node_reads}, rel {self.rel_reads}, "
+            f"prop {self.property_reads}, idx {self.index_lookups}, "
+            f"write {self.writes})"
+        )
+
+
+class HitCounters:
+    """Mutable db-hit accumulator installed on a store while profiling."""
+
+    __slots__ = (
+        "node_reads",
+        "rel_reads",
+        "property_reads",
+        "index_lookups",
+        "writes",
+    )
+
+    #: True on real counters, False on the no-op singleton; lets callers
+    #: (and tests) ask whether profiling is active without isinstance.
+    active = True
+
+    def __init__(self) -> None:
+        self.node_reads = 0
+        self.rel_reads = 0
+        self.property_reads = 0
+        self.index_lookups = 0
+        self.writes = 0
+
+    # Hooks -- one per taxonomy entry, called from the store/indexes.
+
+    def node_read(self, count: int = 1) -> None:
+        self.node_reads += count
+
+    def rel_read(self, count: int = 1) -> None:
+        self.rel_reads += count
+
+    def property_read(self, count: int = 1) -> None:
+        self.property_reads += count
+
+    def index_lookup(self, count: int = 1) -> None:
+        self.index_lookups += count
+
+    def write(self, count: int = 1) -> None:
+        self.writes += count
+
+    def snapshot(self) -> DbHits:
+        """Immutable copy of the current totals."""
+        return DbHits(
+            self.node_reads,
+            self.rel_reads,
+            self.property_reads,
+            self.index_lookups,
+            self.writes,
+        )
+
+    def __repr__(self) -> str:
+        return f"HitCounters({self.snapshot().compact()})"
+
+
+class NoOpCounters(HitCounters):
+    """The profiling-off counters: every hook is a no-op.
+
+    All stores share the single :data:`NO_COUNTERS` instance, so
+    ``store.counters is NO_COUNTERS`` is the "profiling off" predicate.
+    """
+
+    active = False
+
+    def node_read(self, count: int = 1) -> None:
+        pass
+
+    def rel_read(self, count: int = 1) -> None:
+        pass
+
+    def property_read(self, count: int = 1) -> None:
+        pass
+
+    def index_lookup(self, count: int = 1) -> None:
+        pass
+
+    def write(self, count: int = 1) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NoOpCounters()"
+
+
+#: The shared profiling-off singleton.
+NO_COUNTERS = NoOpCounters()

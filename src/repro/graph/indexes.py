@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator
 
+from repro.graph.counters import NO_COUNTERS, HitCounters
 from repro.graph.values import grouping_key, is_storable
 
 
@@ -27,6 +28,8 @@ class LabelIndex:
 
     def __init__(self) -> None:
         self._by_label: dict[str, set[int]] = {}
+        #: db-hit hooks, routed by GraphStore.install_counters
+        self.counters: HitCounters = NO_COUNTERS
 
     def add(self, node_id: int, labels: Iterable[str]) -> None:
         """Register *node_id* under every label in *labels*."""
@@ -44,6 +47,7 @@ class LabelIndex:
 
     def nodes_with_label(self, label: str) -> frozenset[int]:
         """Ids of live nodes carrying *label* (empty set if none)."""
+        self.counters.index_lookup()
         return frozenset(self._by_label.get(label, ()))
 
     def labels(self) -> Iterator[str]:
@@ -69,6 +73,8 @@ class PropertyIndex:
         self._by_value: dict[Any, set[int]] = {}
         #: reverse map so updates need not know the old value
         self._value_of: dict[int, Any] = {}
+        #: db-hit hooks, routed by GraphStore.install_counters
+        self.counters: HitCounters = NO_COUNTERS
 
     def add(self, node_id: int, value: Any) -> None:
         """Index *node_id* under *value* (no-op for unstorable values)."""
@@ -92,6 +98,7 @@ class PropertyIndex:
 
     def lookup(self, value: Any) -> frozenset[int]:
         """Ids of nodes whose property equals *value* (equivalence)."""
+        self.counters.index_lookup()
         if value is None:
             return frozenset()
         return frozenset(self._by_value.get(grouping_key(value), ()))

@@ -31,6 +31,7 @@ from repro.errors import (
     DeletedEntityError,
     EntityNotFoundError,
 )
+from repro.graph.counters import NO_COUNTERS, HitCounters
 from repro.graph.indexes import LabelIndex, PropertyIndex
 from repro.graph.model import GraphSnapshot, Node, Relationship
 from repro.graph.values import require_storable
@@ -74,6 +75,23 @@ class GraphStore:
         self._unique_constraints: set[tuple[str, str]] = set()
         #: undo journal: list of (op, *payload) tuples, applied in reverse
         self._journal: list[tuple] = []
+        #: db-hit hooks; the shared no-op singleton unless profiling
+        self.counters: HitCounters = NO_COUNTERS
+
+    # ------------------------------------------------------------------
+    # Profiling hooks
+    # ------------------------------------------------------------------
+
+    def install_counters(self, counters: HitCounters) -> None:
+        """Route db-hit hooks (store + all indexes) to *counters*."""
+        self.counters = counters
+        self._label_index.counters = counters
+        for index in self._property_indexes.values():
+            index.counters = counters
+
+    def reset_counters(self) -> None:
+        """Restore the shared no-op counters (profiling off)."""
+        self.install_counters(NO_COUNTERS)
 
     # ------------------------------------------------------------------
     # Record access helpers
@@ -99,6 +117,7 @@ class GraphStore:
 
     def node_labels(self, node_id: int) -> frozenset[str]:
         """Labels of a node; deleted nodes report the empty set."""
+        self.counters.node_read()
         record = self._node_record(node_id)
         if record.deleted:
             return frozenset()
@@ -106,6 +125,7 @@ class GraphStore:
 
     def node_properties(self, node_id: int) -> dict[str, Any]:
         """Property map of a node; deleted nodes report an empty map."""
+        self.counters.property_read()
         record = self._node_record(node_id)
         if record.deleted:
             return {}
@@ -129,6 +149,7 @@ class GraphStore:
 
     def rel_properties(self, rel_id: int) -> dict[str, Any]:
         """Property map of a relationship; empty when deleted."""
+        self.counters.property_read()
         record = self._rel_record(rel_id)
         if record.deleted:
             return {}
@@ -150,11 +171,13 @@ class GraphStore:
 
     def node(self, node_id: int) -> Node:
         """Handle for a node id (which must exist, possibly deleted)."""
+        self.counters.node_read()
         self._node_record(node_id)
         return Node(self, node_id)
 
     def relationship(self, rel_id: int) -> Relationship:
         """Handle for a relationship id (must exist, possibly deleted)."""
+        self.counters.rel_read()
         self._rel_record(rel_id)
         return Relationship(self, rel_id)
 
@@ -164,14 +187,18 @@ class GraphStore:
 
     def nodes(self) -> Iterator[Node]:
         """All live nodes, in id order (deterministic scans)."""
+        counters = self.counters
         for node_id in sorted(self._nodes):
             if not self._nodes[node_id].deleted:
+                counters.node_read()
                 yield Node(self, node_id)
 
     def relationships(self) -> Iterator[Relationship]:
         """All live relationships, in id order."""
+        counters = self.counters
         for rel_id in sorted(self._rels):
             if not self._rels[rel_id].deleted:
+                counters.rel_read()
                 yield Relationship(self, rel_id)
 
     def node_count(self) -> int:
@@ -260,6 +287,11 @@ class GraphStore:
         """Current journal size (diagnostics / tests)."""
         return len(self._journal)
 
+    def _record(self, entry: tuple) -> None:
+        """Journal one mutation (the write-counting choke point)."""
+        self.counters.write()
+        self._journal.append(entry)
+
     def _undo(self, entry: tuple) -> None:
         op = entry[0]
         if op == "node_created":
@@ -343,7 +375,7 @@ class GraphStore:
         self._out[node_id] = set()
         self._in[node_id] = set()
         self._label_index.add(node_id, record.labels)
-        self._journal.append(("node_created", node_id))
+        self._record(("node_created", node_id))
         self._reindex_node(node_id)
         self._enforce_unique(node_id, mark)
         return node_id
@@ -381,7 +413,7 @@ class GraphStore:
         self._out[source].add(rel_id)
         self._in[target].add(rel_id)
         self._adjacency_add(rel_id, rel_type, source, target)
-        self._journal.append(("rel_created", rel_id))
+        self._record(("rel_created", rel_id))
         return rel_id
 
     def delete_relationship(self, rel_id: int) -> None:
@@ -393,7 +425,7 @@ class GraphStore:
         self._out.get(record.source, set()).discard(rel_id)
         self._in.get(record.target, set()).discard(rel_id)
         self._adjacency_discard(rel_id, record.type, record.source, record.target)
-        self._journal.append(("rel_deleted", rel_id))
+        self._record(("rel_deleted", rel_id))
 
     def delete_node(self, node_id: int, *, allow_dangling: bool = False) -> None:
         """Delete a node.
@@ -416,7 +448,7 @@ class GraphStore:
         record.deleted = True
         self._label_index.remove(node_id, record.labels)
         self._deindex_node(node_id)
-        self._journal.append(("node_deleted", node_id))
+        self._record(("node_deleted", node_id))
 
     def add_label(self, node_id: int, label: str) -> None:
         """Add a label to a live node (no-op if already present)."""
@@ -426,7 +458,7 @@ class GraphStore:
         mark = self.mark()
         record.labels.add(label)
         self._label_index.add(node_id, (label,))
-        self._journal.append(("label_added", node_id, label))
+        self._record(("label_added", node_id, label))
         self._reindex_node(node_id)
         self._enforce_unique(node_id, mark)
 
@@ -438,7 +470,7 @@ class GraphStore:
         record.labels.discard(label)
         self._label_index.remove(node_id, (label,))
         self._reindex_node(node_id)
-        self._journal.append(("label_removed", node_id, label))
+        self._record(("label_removed", node_id, label))
 
     def set_node_property(self, node_id: int, key: str, value: Any) -> None:
         """Set (or, with value=None, remove) a node property."""
@@ -452,7 +484,7 @@ class GraphStore:
             require_storable(value, key)
             record.properties[key] = value
         mark = len(self._journal)
-        self._journal.append(("node_prop", node_id, key, old))
+        self._record(("node_prop", node_id, key, old))
         self._reindex_node(node_id, only_key=key)
         self._enforce_unique(node_id, mark, only_key=key)
 
@@ -471,7 +503,7 @@ class GraphStore:
         else:
             require_storable(value, key)
             record.properties[key] = value
-        self._journal.append(("rel_prop", rel_id, key, old))
+        self._record(("rel_prop", rel_id, key, old))
 
     def _require_live_node(self, node_id: int) -> _NodeRecord:
         record = self._node_record(node_id)
@@ -491,6 +523,7 @@ class GraphStore:
         if index is not None:
             return index
         index = PropertyIndex(label, key)
+        index.counters = self.counters
         for node_id in self._label_index.nodes_with_label(label):
             value = self._nodes[node_id].properties.get(key)
             if value is not None:

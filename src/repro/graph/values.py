@@ -41,12 +41,33 @@ from __future__ import annotations
 import math
 from typing import Any, Iterable
 
-from repro.errors import CypherTypeError
+from repro.errors import CypherEvaluationError, CypherTypeError
 
 #: Values considered numbers for comparison purposes. ``bool`` is a
 #: subclass of ``int`` in Python but is a distinct type in Cypher, so
 #: all type dispatch below checks ``bool`` first.
 NUMBER_TYPES = (int, float)
+
+#: The Cypher Integer domain: 64-bit signed, matching the openCypher
+#: TCK and Neo4j's store format.  Python integers are unbounded, so
+#: arithmetic must check its results explicitly.
+INT64_MIN = -(2**63)
+INT64_MAX = 2**63 - 1
+
+
+def check_int64(value: int, operation: str) -> int:
+    """Return *value* if it fits the Integer domain, else raise.
+
+    Cypher Integers are 64-bit signed; an arithmetic result outside
+    that range is an evaluation error, not a silent promotion to an
+    arbitrary-precision integer.
+    """
+    if INT64_MIN <= value <= INT64_MAX:
+        return value
+    raise CypherEvaluationError(
+        f"integer overflow: {operation} result is outside the 64-bit "
+        f"Integer range [{INT64_MIN}, {INT64_MAX}]"
+    )
 
 
 def is_null(value: Any) -> bool:

@@ -37,6 +37,7 @@ from repro.runtime.matcher import match_pattern, pattern_variables
 from repro.runtime.table import DrivingTable
 
 from repro.core.create import instantiate_pattern
+from repro.core.merge import reject_null_merge_properties
 
 
 def execute_set_legacy(
@@ -201,6 +202,7 @@ def execute_merge_legacy(
     "reads its own writes"), so the result depends on the record order
     -- exactly the behaviour Example 3 demonstrates.
     """
+    reject_null_merge_properties(clause.pattern)
     new_variables = [
         name
         for name in pattern_variables(clause.pattern)

@@ -10,9 +10,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping, Optional
 
 from repro.graph.store import GraphStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.profile import QueryProfile
 
 
 class MatchMode(enum.Enum):
@@ -46,3 +49,7 @@ class EvalContext:
     #: MATCH clauses.  Off by default: it only changes enumeration
     #: order, which the legacy dialect can observe.
     use_planner: bool = False
+
+    #: When set, the pipeline brackets every clause with begin/end on
+    #: this profile, attributing db-hits and wall time (PROFILE mode).
+    profile: Optional["QueryProfile"] = None

@@ -1,9 +1,13 @@
-"""EXPLAIN-style plan descriptions.
+"""EXPLAIN-style plan descriptions and the PROFILE renderer.
 
 :func:`explain_statement` renders how the engine will execute a parsed
 statement: the clause pipeline, which dialect executor handles each
 update clause, and -- when the planner is enabled -- how each MATCH
 pattern was oriented and which access path anchors it.
+
+:func:`render_profile` is its runtime counterpart: it renders a
+:class:`~repro.runtime.profile.QueryProfile` recorded while actually
+executing, with per-clause rows, wall time and db-hits.
 """
 
 from __future__ import annotations
@@ -89,6 +93,37 @@ def _explain_clause(
         return lines
     return [f"{prefix}{type(clause).__name__.replace('Clause', '')}: "
             f"{unparse(clause)}"]
+
+
+def render_profile(profile) -> str:
+    """PROFILE-style rendering of a recorded query profile.
+
+    One line per executed clause (children indented), followed by the
+    statement totals.  Clause metrics are inclusive of their children.
+    """
+    header = (
+        f"profile: dialect {profile.dialect}; "
+        f"planner {'on' if profile.planner else 'off'}"
+    )
+    lines = [header]
+
+    def emit(entry, depth: int) -> None:
+        indent = "  " * (depth + 1)
+        lines.append(
+            f"{indent}{entry.label}"
+            f"  [rows {entry.rows_in} -> {entry.rows_out}; "
+            f"{entry.time_ms:.2f} ms; db hits {entry.hits.compact()}]"
+        )
+        for child in entry.children:
+            emit(child, depth + 1)
+
+    for entry in profile.clauses:
+        emit(entry, 0)
+    totals = profile.hits
+    lines.append(
+        f"  total: {totals.compact()} db hits in {profile.time_ms:.2f} ms"
+    )
+    return "\n".join(lines)
 
 
 def _describe_anchor(ctx: EvalContext, anchor: ast.NodePattern) -> str:

@@ -12,6 +12,7 @@ and compute them; reaching one in this evaluator is an error.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Mapping
 
 from repro.errors import (
@@ -22,6 +23,7 @@ from repro.errors import (
 )
 from repro.graph.model import Node, Relationship
 from repro.graph.values import (
+    check_int64,
     cypher_eq,
     cypher_gt,
     cypher_gte,
@@ -155,7 +157,11 @@ def _unary(
             f"unary {expression.operator} expects a number, "
             f"got {type_name(value)}"
         )
-    return -value if expression.operator == "-" else value
+    if expression.operator != "-":
+        return value
+    if isinstance(value, int):
+        return check_int64(-value, "unary -")
+    return -value
 
 
 _COMPARATORS = {
@@ -225,29 +231,66 @@ def _arithmetic(operator: str, left: Any, right: Any) -> Any:
             f"operator {operator} expects numbers, got "
             f"{type_name(left)} and {type_name(right)}"
         )
+    integers = isinstance(left, int) and isinstance(right, int)
     if operator == "+":
-        return left + right
+        result = left + right
+        return check_int64(result, "+") if integers else result
     if operator == "-":
-        return left - right
+        result = left - right
+        return check_int64(result, "-") if integers else result
     if operator == "*":
-        return left * right
+        result = left * right
+        return check_int64(result, "*") if integers else result
     if operator == "/":
-        if right == 0:
-            raise CypherEvaluationError("division by zero")
-        if isinstance(left, int) and isinstance(right, int):
-            return int(left / right)  # truncating integer division
-        return left / right
+        if integers:
+            if right == 0:
+                raise CypherEvaluationError("division by zero")
+            # Truncating (toward-zero) integer division, computed
+            # exactly -- ``int(left / right)`` loses precision above
+            # 2**53.  INT64_MIN / -1 overflows the Integer domain.
+            quotient = abs(left) // abs(right)
+            if (left >= 0) != (right >= 0):
+                quotient = -quotient
+            return check_int64(quotient, "/")
+        return _float_divide(float(left), float(right))
     if operator == "%":
-        if right == 0:
-            raise CypherEvaluationError("modulo by zero")
-        result = abs(left) % abs(right)
-        result = result if left >= 0 else -result
-        if isinstance(left, int) and isinstance(right, int):
-            return int(result)
-        return float(result)
+        if integers:
+            if right == 0:
+                raise CypherEvaluationError("modulo by zero")
+            result = abs(left) % abs(right)
+            return result if left >= 0 else -result
+        return _float_modulo(float(left), float(right))
     if operator == "^":
         return float(left) ** float(right)
     raise AssertionError(operator)
+
+
+def _float_divide(left: float, right: float) -> float:
+    """Float ``/`` with IEEE 754 zero-divisor semantics.
+
+    Python raises ``ZeroDivisionError`` even for floats; Cypher (like
+    IEEE arithmetic) yields ``±Infinity`` for a nonzero dividend and
+    ``NaN`` for ``0.0 / 0.0``, honouring the sign of a signed zero.
+    """
+    if right != 0.0:
+        return left / right
+    if left == 0.0 or math.isnan(left):
+        return math.nan
+    sign = math.copysign(1.0, left) * math.copysign(1.0, right)
+    return math.copysign(math.inf, sign)
+
+
+def _float_modulo(left: float, right: float) -> float:
+    """Float ``%`` as IEEE ``fmod``: dividend-signed, ``NaN`` on zero.
+
+    ``math.fmod`` raises on the domain edges Python dislikes (zero
+    divisor, infinite dividend) where IEEE says ``NaN``.
+    """
+    if right == 0.0 or math.isinf(left) or math.isnan(right):
+        return math.nan
+    if math.isinf(right):
+        return left  # fmod(x, inf) = x for finite x
+    return math.fmod(left, right)
 
 
 def _concat(left: Any, right: Any) -> str:

@@ -300,9 +300,13 @@ def _node_matches(
         bound = bindings[variable]
         if not isinstance(bound, Node) or bound.id != node.id:
             return False
-    for label in pattern.labels:
-        if not node.has_label(label):
-            return False
+    if pattern.labels:
+        # One label-set fetch for the whole pattern (one db-hit, not
+        # one per label in the pattern).
+        labels = node.labels
+        for label in pattern.labels:
+            if label not in labels:
+                return False
     if pattern.properties is not None:
         for key, expr in pattern.properties.items:
             value = evaluate(ctx, expr, bindings)

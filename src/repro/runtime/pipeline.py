@@ -40,7 +40,32 @@ def execute_clause(
     table: DrivingTable,
     dialect: Dialect,
 ) -> DrivingTable:
-    """Run one clause: ``[[C]](G, T)`` with G inside *ctx*."""
+    """Run one clause: ``[[C]](G, T)`` with G inside *ctx*.
+
+    In PROFILE mode (``ctx.profile`` set) the clause is bracketed with
+    begin/end so its wall time, row counts and db-hit delta land in the
+    profile tree; nested clauses (FOREACH bodies) become children.
+    """
+    profile = ctx.profile
+    if profile is None:
+        return _dispatch_clause(ctx, clause, table, dialect)
+    from repro.runtime.profile import clause_label
+
+    entry = profile.begin(clause_label(clause, dialect), len(table))
+    result = None
+    try:
+        result = _dispatch_clause(ctx, clause, table, dialect)
+    finally:
+        profile.end(entry, len(result) if result is not None else 0)
+    return result
+
+
+def _dispatch_clause(
+    ctx: EvalContext,
+    clause: ast.Clause,
+    table: DrivingTable,
+    dialect: Dialect,
+) -> DrivingTable:
     if isinstance(clause, ast.MatchClause):
         return execute_match(ctx, clause, table)
     if isinstance(clause, ast.UnwindClause):

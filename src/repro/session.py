@@ -107,6 +107,30 @@ class Graph:
         merged.update(kw_parameters)
         return self.engine.execute(statement, merged, table=table)
 
+    def profile(
+        self,
+        statement: str,
+        parameters: Mapping[str, Any] | None = None,
+        *,
+        table: DrivingTable | None = None,
+        **kw_parameters: Any,
+    ):
+        """Execute *statement* and return its per-clause runtime profile.
+
+        The returned :class:`~repro.runtime.profile.QueryProfile` is a
+        tree of per-clause metrics (rows in/out, wall time, db-hits);
+        the query's :class:`~repro.engine.QueryResult` is available as
+        ``profile.result``.  Profiling installs real hit counters for
+        the duration of this one statement only -- other statements on
+        the same graph keep the zero-overhead no-op counters.
+        """
+        merged = dict(parameters or {})
+        merged.update(kw_parameters)
+        result = self.engine.execute(
+            statement, merged, table=table, profile=True
+        )
+        return result.profile
+
     def explain(self, statement: str) -> str:
         """Describe how *statement* would execute, without running it."""
         return self.engine.explain(statement)

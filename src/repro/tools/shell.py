@@ -33,6 +33,7 @@ Shell commands:
   :stats                graph statistics
   :schema               indexes and uniqueness constraints
   :explain STATEMENT    show the execution plan without running it
+  :profile STATEMENT    run a statement and show per-clause db-hits
   :lint STATEMENT       check a Cypher 9 statement for migration issues
   :dump                 plain-text listing of the graph
   :dot                  Graphviz DOT rendering of the graph
@@ -177,6 +178,19 @@ class Shell:
                 self._print(self.graph.explain(argument.rstrip(";")))
             except CypherError as error:
                 self._print(f"!! {type(error).__name__}: {error}")
+        elif command == ":profile":
+            if not argument:
+                self._print("usage: :profile STATEMENT")
+                return
+            try:
+                profile = self.graph.profile(argument.rstrip(";"))
+            except CypherError as error:
+                self._print(f"!! {type(error).__name__}: {error}")
+                return
+            result = profile.result
+            if len(result):
+                self._print(result.pretty())
+            self._print(profile.render())
         elif command == ":lint":
             if not argument:
                 self._print("usage: :lint STATEMENT")

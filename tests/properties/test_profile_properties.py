@@ -1,0 +1,117 @@
+"""Property-based tests of the PROFILE layer.
+
+Invariants checked on random small graphs and queries:
+
+* profiling is an *observer*: ``Graph.profile(q)`` returns the same
+  records as ``Graph.run(q)`` and leaves the graph untouched for
+  read-only queries;
+* results are invariant under ``use_planner`` -- the planner may only
+  change *how many* db-hits a query costs (documented delta: an
+  index-backed scan replaces a full label scan), never the records;
+* the no-op counter singleton is shared by every store and never
+  accumulates, so the profiling-off regime has no per-store state.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Graph, NO_COUNTERS
+from repro.graph.counters import DbHits
+from repro.graph.store import GraphStore
+
+#: A random small labelled graph: nodes carrying an indexed-looking
+#: integer key, plus a few edges.
+graphs = st.builds(
+    lambda nodes, edges: (nodes, edges),
+    st.lists(
+        st.tuples(
+            st.sampled_from(["A", "B"]),
+            st.integers(min_value=0, max_value=3),
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5),
+            st.integers(min_value=0, max_value=5),
+        ),
+        max_size=6,
+    ),
+)
+
+QUERIES = [
+    "MATCH (n:A) RETURN n.k AS k ORDER BY k",
+    "MATCH (n:A {k: 1}) RETURN n.k AS k",
+    "MATCH (a)-[r:T]->(b) RETURN a.k AS x, b.k AS y ORDER BY x, y",
+    "MATCH (n) RETURN count(n) AS c",
+    "MATCH (n:B) WHERE n.k > 0 RETURN n.k AS k ORDER BY k",
+]
+
+
+def build_graph(spec, **kwargs):
+    nodes, edges = spec
+    graph = Graph(**kwargs)
+    ids = [
+        graph.store.create_node((label,), {"k": k}) for label, k in nodes
+    ]
+    for source, target in edges:
+        if source < len(ids) and target < len(ids):
+            graph.store.create_relationship(
+                "T", ids[source], ids[target], {}
+            )
+    return graph, ids, edges
+
+
+class TestProfileIsAnObserver:
+    @given(spec=graphs, query=st.sampled_from(QUERIES))
+    @settings(max_examples=60)
+    def test_profile_matches_run_and_mutates_nothing(self, spec, query):
+        graph, _, _ = build_graph(spec)
+        plain = graph.run(query)
+        before = (graph.node_count(), graph.relationship_count())
+        profile = graph.profile(query)
+        assert profile.result.records == plain.records
+        assert (graph.node_count(), graph.relationship_count()) == before
+        assert graph.store.counters is NO_COUNTERS
+
+    @given(spec=graphs, query=st.sampled_from(QUERIES))
+    @settings(max_examples=60)
+    def test_results_invariant_under_planner(self, spec, query):
+        unplanned, _, _ = build_graph(spec, use_planner=False)
+        planned, _, _ = build_graph(spec, use_planner=True)
+        planned.create_index("A", "k")
+        p_off = unplanned.profile(query)
+        p_on = planned.profile(query)
+        # Same records either way; only the db-hit account may differ
+        # (an index lookup replaces part of a label scan).
+        assert p_on.result.records == p_off.result.records
+        assert p_on.total_db_hits >= 0 and p_off.total_db_hits >= 0
+
+    @given(spec=graphs)
+    @settings(max_examples=30)
+    def test_indexed_lookup_never_costs_more_reads(self, spec):
+        query = "MATCH (n:A {k: 1}) RETURN n.k AS k"
+        scan, _, _ = build_graph(spec)
+        lookup, _, _ = build_graph(spec)
+        lookup.create_index("A", "k")
+        hits_scan = scan.profile(query).hits
+        hits_lookup = lookup.profile(query).hits
+        assert hits_lookup.node_reads <= hits_scan.node_reads
+        assert hits_lookup.property_reads <= hits_scan.property_reads
+
+
+class TestNoOpCountersRegression:
+    def test_singleton_is_shared_and_inert(self):
+        assert GraphStore().counters is GraphStore().counters
+        assert GraphStore().counters is NO_COUNTERS
+
+    @given(n=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=20)
+    def test_unprofiled_work_never_accumulates(self, n):
+        graph = Graph()
+        for i in range(n):
+            graph.run("CREATE (:L {k: $i})", {"i": i})
+        graph.run("MATCH (n:L) RETURN count(n) AS c")
+        assert graph.store.counters is NO_COUNTERS
+        assert NO_COUNTERS.snapshot() == DbHits()

@@ -1,6 +1,10 @@
 """Unit tests for the expression evaluator."""
 
+import math
+
 import pytest
+
+from repro.graph.values import INT64_MAX, INT64_MIN
 
 from repro.errors import (
     CypherEvaluationError,
@@ -66,6 +70,55 @@ class TestArithmetic:
             ev(ctx, "1 / 0")
         with pytest.raises(CypherEvaluationError):
             ev(ctx, "1 % 0")
+
+    def test_float_division_by_zero_is_ieee(self, ctx):
+        # Floats follow IEEE 754: ±Infinity and NaN, never an error.
+        assert ev(ctx, "1.0 / 0.0") == math.inf
+        assert ev(ctx, "-1.0 / 0.0") == -math.inf
+        assert math.isnan(ev(ctx, "0.0 / 0.0"))
+        # Mixed operands are float division.
+        assert ev(ctx, "1 / 0.0") == math.inf
+        assert ev(ctx, "1.0 / 0") == math.inf
+        assert ev(ctx, "-3 / 0.0") == -math.inf
+        # The sign of a signed zero divisor matters.
+        assert ev(ctx, "1.0 / -0.0") == -math.inf
+        assert ev(ctx, "-1.0 / -0.0") == math.inf
+
+    def test_float_modulo_by_zero_is_nan(self, ctx):
+        assert math.isnan(ev(ctx, "1.0 % 0.0"))
+        assert math.isnan(ev(ctx, "7 % 0.0"))
+        assert math.isnan(ev(ctx, "7.5 % 0"))
+        # Finite cases keep the dividend's sign (fmod semantics).
+        assert ev(ctx, "-7.5 % 2") == -1.5
+        assert ev(ctx, "7.5 % -2") == 1.5
+
+    def test_integer_division_is_exact(self, ctx):
+        # int(a / b) via floats loses precision above 2**53.
+        assert ev(ctx, "9007199254740993 / 1") == 9007199254740993
+        assert (
+            ev(ctx, "9223372036854775807 / 3") == 3074457345618258602
+        )
+
+    def test_integer_overflow_errors(self, ctx):
+        with pytest.raises(CypherEvaluationError, match="overflow"):
+            ev(ctx, "9223372036854775807 + 1")
+        with pytest.raises(CypherEvaluationError, match="overflow"):
+            ev(ctx, "-9223372036854775807 - 2")
+        with pytest.raises(CypherEvaluationError, match="overflow"):
+            ev(ctx, "3037000500 * 3037000500")
+        with pytest.raises(CypherEvaluationError, match="overflow"):
+            ev(ctx, "-(-9223372036854775807 - 1)")
+        with pytest.raises(CypherEvaluationError, match="overflow"):
+            ev(ctx, "(-9223372036854775807 - 1) / -1")
+
+    def test_integer_boundaries_are_legal(self, ctx):
+        assert ev(ctx, "9223372036854775806 + 1") == INT64_MAX
+        assert ev(ctx, "-9223372036854775807 - 1") == INT64_MIN
+        assert ev(ctx, "-(9223372036854775807)") == -INT64_MAX
+
+    def test_overflow_does_not_apply_to_floats(self, ctx):
+        assert ev(ctx, "9223372036854775807 + 1.0") == float(2**63)
+        assert ev(ctx, "2.0 ^ 100") == 2.0**100
 
     def test_null_propagation(self, ctx):
         assert ev(ctx, "1 + null") is None

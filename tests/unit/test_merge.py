@@ -247,3 +247,77 @@ class TestMergeSyntaxViaEngine:
 
         with pytest.raises(CypherSyntaxError):
             revised_graph.run("MERGE (n:N)")
+
+
+class TestLiteralNullRejected:
+    """``MERGE ... {p: null}`` is a semantic error in every variant.
+
+    A literal null in the pattern map can never match (``n.p = null``
+    is null), so the clause would be an unconditional CREATE.  Only
+    *literal* nulls are rejected; null-valued variables keep the
+    paper's Example 5 behaviour (see TestNullHandling above).
+    """
+
+    def test_create_path_raises(self, revised_graph):
+        from repro.errors import CypherSemanticError
+
+        with pytest.raises(CypherSemanticError, match="null property"):
+            revised_graph.run("MERGE ALL (n:T {p: null})")
+        assert revised_graph.node_count() == 0
+
+    def test_match_path_raises(self, revised_graph):
+        from repro.errors import CypherSemanticError
+
+        revised_graph.run("CREATE (:T)")
+        with pytest.raises(CypherSemanticError, match="null property"):
+            revised_graph.run("MERGE ALL (n:T {p: null})")
+        assert revised_graph.node_count() == 1
+
+    def test_all_revised_variants_raise(self, extended_graph):
+        from repro.errors import CypherSemanticError
+
+        for statement in (
+            "MERGE ALL (n:T {p: null})",
+            "MERGE SAME (n:T {p: null})",
+            "MERGE GROUPING (n:T {p: null})",
+            "MERGE WEAK COLLAPSE (n:T {p: null})",
+            "MERGE COLLAPSE (n:T {p: null})",
+        ):
+            with pytest.raises(CypherSemanticError, match="null property"):
+                extended_graph.run(statement)
+
+    def test_legacy_merge_raises(self, legacy_graph):
+        from repro.errors import CypherSemanticError
+
+        with pytest.raises(CypherSemanticError, match="null property"):
+            legacy_graph.run("MERGE (n:T {p: null})")
+
+    def test_relationship_property_null_raises(self, revised_graph):
+        from repro.errors import CypherSemanticError
+
+        with pytest.raises(CypherSemanticError, match="'w'"):
+            revised_graph.run("MERGE ALL (:A)-[r:R {w: null}]->(:B)")
+
+    def test_null_via_variable_still_allowed(self, revised_graph):
+        # Example 5: a null *value* creates a property-less node.
+        revised_graph.run(
+            "UNWIND [null] AS cid MERGE ALL (n:U {id: cid})"
+        )
+        assert revised_graph.node_count() == 1
+        assert dict(revised_graph.nodes()[0].properties) == {}
+
+    def test_null_via_parameter_still_allowed(self, revised_graph):
+        revised_graph.run("MERGE ALL (n:U {id: $cid})", {"cid": None})
+        assert revised_graph.node_count() == 1
+
+    def test_formal_semantics_raises_too(self):
+        from repro.errors import CypherSemanticError
+        from repro.formal.semantics import merge_all, merge_variant
+        from repro.graph.store import GraphStore
+
+        snapshot = GraphStore().snapshot()
+        pattern = pattern_of("MERGE ALL (n:T {p: null})")
+        with pytest.raises(CypherSemanticError, match="null property"):
+            merge_all(snapshot, pattern, ({},))
+        with pytest.raises(CypherSemanticError, match="null property"):
+            merge_variant(snapshot, pattern, ({},), "grouping")

@@ -1,0 +1,224 @@
+"""Unit tests for the PROFILE observability layer.
+
+Covers the counter hooks (zero-overhead no-op by default), the
+per-clause profile tree, db-hit attribution, the acceptance criterion
+that an index shrinks the hits of a filtered MATCH, and the three
+surfaces: ``Graph.profile``, ``CypherEngine.execute(profile=True)``,
+and the shell's ``:profile`` command.
+"""
+
+import io
+
+import pytest
+
+from repro import Graph, NO_COUNTERS, QueryProfile
+from repro.errors import CypherEvaluationError
+from repro.graph.counters import DbHits, HitCounters
+from repro.graph.store import GraphStore
+
+
+@pytest.fixture
+def graph():
+    return Graph()
+
+
+class TestDbHits:
+    def test_arithmetic(self):
+        a = DbHits(node_reads=2, property_reads=1)
+        b = DbHits(node_reads=1, writes=3)
+        assert (a + b).node_reads == 3
+        assert (a + b).writes == 3
+        assert (a + b - b) == a
+        assert a.total == 3
+
+    def test_to_dict_has_total(self):
+        hits = DbHits(index_lookups=2, rel_reads=1)
+        data = hits.to_dict()
+        assert data["index_lookups"] == 2
+        assert data["total"] == 3
+
+    def test_compact_rendering(self):
+        text = DbHits(node_reads=5, property_reads=7).compact()
+        assert text.startswith("12 ")
+        assert "node 5" in text and "prop 7" in text
+
+
+class TestCounterHooks:
+    def test_fresh_store_shares_the_noop_singleton(self):
+        # The "profiling off" regime must not allocate per store.
+        assert GraphStore().counters is NO_COUNTERS
+        assert GraphStore().counters is GraphStore().counters
+        assert NO_COUNTERS.active is False
+
+    def test_noop_counters_never_accumulate(self):
+        NO_COUNTERS.node_read()
+        NO_COUNTERS.write(5)
+        assert NO_COUNTERS.snapshot() == DbHits()
+
+    def test_install_and_reset(self):
+        store = GraphStore()
+        counters = HitCounters()
+        store.install_counters(counters)
+        assert store.counters is counters
+        store.create_node(("L",), {})
+        assert counters.snapshot().writes == 1
+        store.reset_counters()
+        assert store.counters is NO_COUNTERS
+
+    def test_index_lookups_counted(self):
+        store = GraphStore()
+        store.create_index("L", "k")
+        counters = HitCounters()
+        store.install_counters(counters)
+        node = store.create_node(("L",), {"k": 1})
+        assert list(store.property_index("L", "k").lookup(1)) == [node]
+        assert counters.snapshot().index_lookups == 1
+
+    def test_rollback_is_not_a_write(self):
+        store = GraphStore()
+        counters = HitCounters()
+        store.install_counters(counters)
+        mark = store.mark()
+        store.create_node(("L",), {})
+        before = counters.snapshot().writes
+        store.rollback_to(mark)
+        assert counters.snapshot().writes == before
+
+
+class TestGraphProfile:
+    def test_returns_a_clause_tree(self, graph):
+        graph.run("CREATE (:L {k: 1})")
+        profile = graph.profile("MATCH (n:L {k: 1}) RETURN n")
+        assert isinstance(profile, QueryProfile)
+        labels = [entry.label for entry in profile.clauses]
+        assert labels[0].startswith("Match ")
+        assert labels[1].startswith("Return ")
+        assert profile.result.values("n")[0].get("k") == 1
+
+    def test_rows_in_and_out(self, graph):
+        graph.run("CREATE (:L), (:L), (:L)")
+        profile = graph.profile("MATCH (n:L) RETURN n LIMIT 2")
+        match = profile.clauses[0]
+        assert match.rows_in == 1
+        assert match.rows_out == 3
+
+    def test_index_shrinks_db_hits(self):
+        # The ISSUE's acceptance criterion.
+        def build():
+            g = Graph()
+            for i in range(50):
+                g.run("CREATE (:L {k: $i})", {"i": i})
+            return g
+
+        unindexed = build()
+        indexed = build()
+        indexed.create_index("L", "k")
+        query = "MATCH (n:L {k: 1}) RETURN n"
+        slow = unindexed.profile(query)
+        fast = indexed.profile(query)
+        assert [dict(r["n"].properties) for r in slow.result.records] == [
+            dict(r["n"].properties) for r in fast.result.records
+        ]
+        assert fast.total_db_hits < slow.total_db_hits
+        assert fast.hits.index_lookups >= 1
+
+    def test_writes_attributed_to_create(self, graph):
+        profile = graph.profile("CREATE (:A {x: 1})-[:R]->(:B)")
+        create = profile.clauses[0]
+        assert create.label.startswith("Create ")
+        # two nodes + one relationship (property maps ride along)
+        assert create.hits.writes == 3
+
+    def test_foreach_children_nest(self, graph):
+        profile = graph.profile(
+            "FOREACH (x IN [1, 2, 3] | CREATE (:N {v: x}))"
+        )
+        foreach = profile.clauses[0]
+        assert foreach.label.startswith("Foreach x IN")
+        assert len(foreach.children) == 1
+        assert foreach.children[0].label.startswith("Create ")
+        # parent metrics are inclusive of the child's
+        assert foreach.hits.writes == foreach.children[0].hits.writes == 3
+
+    def test_counters_reset_after_profiling(self, graph):
+        graph.profile("RETURN 1 AS x")
+        assert graph.store.counters is NO_COUNTERS
+
+    def test_counters_reset_after_error(self, graph):
+        with pytest.raises(CypherEvaluationError):
+            graph.profile("RETURN 1 / 0 AS x")
+        assert graph.store.counters is NO_COUNTERS
+
+    def test_plain_run_attaches_no_profile(self, graph):
+        result = graph.run("RETURN 1 AS x")
+        assert result.profile is None
+        assert graph.store.counters is NO_COUNTERS
+
+    def test_engine_flag_attaches_profile_to_result(self, graph):
+        result = graph.engine.execute("RETURN 1 AS x", profile=True)
+        assert result.profile is not None
+        assert result.profile.result is result
+
+    def test_schema_statement_profiles(self, graph):
+        profile = graph.profile("CREATE INDEX ON :L(k)")
+        assert profile.clauses[0].label.startswith("SchemaCommand")
+
+    def test_to_dict_round_trips_to_json(self, graph):
+        import json
+
+        graph.run("CREATE (:L {k: 1})")
+        profile = graph.profile("MATCH (n:L) RETURN n")
+        data = json.loads(json.dumps(profile.to_dict()))
+        assert data["statement"] == "MATCH (n:L) RETURN n"
+        assert data["db_hits"]["total"] == profile.total_db_hits
+        assert data["clauses"][0]["label"].startswith("Match ")
+
+
+class TestRenderProfile:
+    def test_render_contains_metrics(self, graph):
+        graph.run("CREATE (:L {k: 1})")
+        profile = graph.profile("MATCH (n:L {k: 1}) RETURN n AS m")
+        text = profile.render()
+        assert "profile: dialect revised" in text
+        assert "db hits" in text
+        assert "rows 1 -> 1" in text
+        assert "total:" in text
+
+    def test_render_indents_foreach_children(self, graph):
+        text = graph.profile(
+            "FOREACH (x IN [1] | CREATE (:N))"
+        ).render()
+        lines = text.splitlines()
+        foreach = next(l for l in lines if "Foreach" in l)
+        create = next(l for l in lines if "Create" in l)
+        indent = len(create) - len(create.lstrip())
+        assert indent > len(foreach) - len(foreach.lstrip())
+
+
+class TestShellProfile:
+    def test_profile_command(self):
+        out = io.StringIO()
+        from repro.tools.shell import Shell
+
+        shell = Shell(out=out)
+        shell.feed("CREATE (:L {k: 1});")
+        shell.feed(":profile MATCH (n:L) RETURN n.k AS k")
+        text = out.getvalue()
+        assert "db hits" in text
+        assert "total:" in text
+
+    def test_profile_command_reports_errors(self):
+        out = io.StringIO()
+        from repro.tools.shell import Shell
+
+        shell = Shell(out=out)
+        shell.feed(":profile RETURN 1 / 0 AS x")
+        assert "CypherEvaluationError" in out.getvalue()
+
+    def test_profile_command_usage(self):
+        out = io.StringIO()
+        from repro.tools.shell import Shell
+
+        shell = Shell(out=out)
+        shell.feed(":profile")
+        assert "usage" in out.getvalue()
