@@ -1,0 +1,88 @@
+"""Small shared caching primitives.
+
+:class:`LRUCache` is the bounded, least-recently-used map behind the
+engine's parsed-statement cache and the expression compiler's
+closure cache.  It keeps hit/miss counters so callers (the shell's
+``:cache`` command, the PROFILE layer) can report cache effectiveness.
+
+Keys may be arbitrary objects; an unhashable key (possible because
+:class:`~repro.parser.ast.Literal` can wrap runtime values such as
+lists during aggregate substitution) is treated as a guaranteed miss
+on ``get`` and silently not stored on ``put`` -- callers fall back to
+recomputing, which is always correct.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Iterator
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    ``get`` refreshes recency; ``put`` inserts (or refreshes) and evicts
+    the stalest entry once ``capacity`` is exceeded.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_data")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("LRUCache capacity must be positive")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """The cached value, or *default*; refreshes recency on a hit."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        except TypeError:  # unhashable key
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting the stalest if full."""
+        try:
+            self._data[key] = value
+        except TypeError:  # unhashable key: not cacheable
+            return
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (counters are preserved)."""
+        self._data.clear()
+
+    def info(self) -> dict[str, int]:
+        """Plain-dict counters: hits, misses, evictions, size, capacity."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._data),
+            "capacity": self.capacity,
+        }
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Any) -> bool:
+        try:
+            return key in self._data
+        except TypeError:
+            return False
+
+    def __iter__(self) -> Iterator:
+        return iter(self._data)

@@ -22,8 +22,8 @@ from repro.errors import CypherSemanticError, CypherTypeError
 from repro.graph.model import Node, Relationship
 from repro.graph.values import normalize_property_map, type_name
 from repro.parser import ast
+from repro.runtime.compiler import compile_map_items
 from repro.runtime.context import EvalContext
-from repro.runtime.expressions import evaluate
 from repro.runtime.table import DrivingTable
 
 #: Identifies an element's position in a pattern tuple: (path index,
@@ -260,7 +260,7 @@ def _evaluate_properties(
     if properties is None:
         return {}
     return normalize_property_map(
-        (key, evaluate(ctx, expr, scope)) for key, expr in properties.items
+        (key, fn(ctx, scope)) for key, fn in compile_map_items(properties)
     )
 
 

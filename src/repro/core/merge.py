@@ -46,8 +46,8 @@ from typing import Optional
 from repro.errors import CypherSemanticError
 from repro.graph.values import grouping_key
 from repro.parser import ast
+from repro.runtime.compiler import compile_map_items
 from repro.runtime.context import EvalContext
-from repro.runtime.expressions import evaluate
 from repro.runtime.matcher import match_pattern, pattern_variables
 from repro.runtime.table import DrivingTable
 
@@ -223,6 +223,6 @@ def _merge_group_key(
                 )
             properties: Optional[ast.MapLiteral] = element.properties
             if properties is not None:
-                for __, expr in properties.items:
-                    parts.append(grouping_key(evaluate(ctx, expr, record)))
+                for __, fn in compile_map_items(properties):
+                    parts.append(grouping_key(fn(ctx, record)))
     return tuple(parts)

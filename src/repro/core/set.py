@@ -24,8 +24,8 @@ from repro.errors import CypherTypeError, DeletedEntityError, PropertyConflictEr
 from repro.graph.model import Node, Relationship
 from repro.graph.values import equivalent, type_name
 from repro.parser import ast
+from repro.runtime.compiler import compile_expression
 from repro.runtime.context import EvalContext
-from repro.runtime.expressions import evaluate
 from repro.runtime.table import DrivingTable
 
 #: One accumulated property write: (entity kind, entity id, key) -> value;
@@ -50,12 +50,17 @@ def collect_changes(
     items: Iterable[ast.SetItem],
     table: DrivingTable,
 ) -> tuple[PropChanges, LabChanges]:
-    """Build propchanges / labchanges for all items over all records."""
+    """Build propchanges / labchanges for all items over all records.
+
+    Each item's target and value expressions are compiled once here;
+    the record loop pays only the evaluations.
+    """
     prop_changes: PropChanges = {}
     lab_changes: LabChanges = set()
+    collectors = [_compile_item(item) for item in items]
     for record in table:
-        for item in items:
-            _collect_item(ctx, item, record, prop_changes, lab_changes)
+        for collect in collectors:
+            collect(ctx, record, prop_changes, lab_changes)
     return prop_changes, lab_changes
 
 
@@ -120,67 +125,77 @@ def _current_properties(ctx: EvalContext, entity: tuple[str, int]) -> dict:
     return dict(ctx.store.rel_properties(entity[1]))
 
 
-def _collect_item(
-    ctx: EvalContext,
-    item: ast.SetItem,
-    record: dict,
-    prop_changes: PropChanges,
-    lab_changes: LabChanges,
-) -> None:
+def _compile_item(item: ast.SetItem):
+    """A per-record collector ``(ctx, record, prop_changes, lab_changes)``."""
     if isinstance(item, ast.SetProperty):
-        target = evaluate(ctx, item.target.subject, record)
-        entity = _entity_target(ctx, target)
-        if entity is None:
-            return
-        value = evaluate(ctx, item.value, record)
-        _record_write(prop_changes, entity, item.target.key, value)
-        return
+        subject_fn = compile_expression(item.target.subject)
+        value_fn = compile_expression(item.value)
+        key = item.target.key
+
+        def collect_property(ctx, record, prop_changes, lab_changes) -> None:
+            entity = _entity_target(ctx, subject_fn(ctx, record))
+            if entity is None:
+                return
+            _record_write(prop_changes, entity, key, value_fn(ctx, record))
+
+        return collect_property
     if isinstance(item, ast.SetAllProperties):
-        target = evaluate(ctx, item.target, record)
-        entity = _entity_target(ctx, target)
-        if entity is None:
-            return
-        new_map = _require_map(ctx, item.value, record)
-        # Replacing the whole map = removing every current key that the
-        # new map does not define, then writing the new entries.  Both
-        # parts participate in conflict detection per key.
-        for key in _current_properties(ctx, entity):
-            if key not in new_map:
-                _record_write(prop_changes, entity, key, None)
-        for key, value in new_map.items():
-            _record_write(prop_changes, entity, key, value)
-        return
+        target_fn = compile_expression(item.target)
+        value_fn = compile_expression(item.value)
+
+        def collect_replace(ctx, record, prop_changes, lab_changes) -> None:
+            entity = _entity_target(ctx, target_fn(ctx, record))
+            if entity is None:
+                return
+            new_map = _require_map(ctx, value_fn, record)
+            # Replacing the whole map = removing every current key that
+            # the new map does not define, then writing the new entries.
+            # Both parts participate in conflict detection per key.
+            for key in _current_properties(ctx, entity):
+                if key not in new_map:
+                    _record_write(prop_changes, entity, key, None)
+            for key, value in new_map.items():
+                _record_write(prop_changes, entity, key, value)
+
+        return collect_replace
     if isinstance(item, ast.SetAdditiveProperties):
-        target = evaluate(ctx, item.target, record)
-        entity = _entity_target(ctx, target)
-        if entity is None:
-            return
-        new_map = _require_map(ctx, item.value, record)
-        for key, value in new_map.items():
-            _record_write(prop_changes, entity, key, value)
-        return
+        target_fn = compile_expression(item.target)
+        value_fn = compile_expression(item.value)
+
+        def collect_additive(ctx, record, prop_changes, lab_changes) -> None:
+            entity = _entity_target(ctx, target_fn(ctx, record))
+            if entity is None:
+                return
+            for key, value in _require_map(ctx, value_fn, record).items():
+                _record_write(prop_changes, entity, key, value)
+
+        return collect_additive
     if isinstance(item, ast.SetLabels):
-        target = evaluate(ctx, item.target, record)
-        if target is None:
-            return
-        if not isinstance(target, Node):
-            raise CypherTypeError(
-                f"labels can only be set on a Node, got {type_name(target)}"
-            )
-        if target.is_deleted:
-            raise DeletedEntityError(
-                f"cannot SET labels on deleted node {target.id}"
-            )
-        for label in item.labels:
-            lab_changes.add((target.id, label))
-        return
+        target_fn = compile_expression(item.target)
+        labels = item.labels
+
+        def collect_labels(ctx, record, prop_changes, lab_changes) -> None:
+            target = target_fn(ctx, record)
+            if target is None:
+                return
+            if not isinstance(target, Node):
+                raise CypherTypeError(
+                    f"labels can only be set on a Node, "
+                    f"got {type_name(target)}"
+                )
+            if target.is_deleted:
+                raise DeletedEntityError(
+                    f"cannot SET labels on deleted node {target.id}"
+                )
+            for label in labels:
+                lab_changes.add((target.id, label))
+
+        return collect_labels
     raise AssertionError(f"unknown SET item {type(item).__name__}")
 
 
-def _require_map(
-    ctx: EvalContext, expression: ast.Expression, record: dict
-) -> dict:
-    value = evaluate(ctx, expression, record)
+def _require_map(ctx: EvalContext, value_fn, record: dict) -> dict:
+    value = value_fn(ctx, record)
     if isinstance(value, (Node, Relationship)):
         value = dict(value.properties)
     if not isinstance(value, dict):

@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterator, Mapping, Optional
 
+from repro.caching import LRUCache
 from repro.dialect import Dialect
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -182,22 +183,24 @@ class CypherEngine:
             else MatchMode(match_mode)
         )
         self.use_planner = use_planner
-        self._ast_cache: dict[tuple, ast.Statement] = {}
+        self._ast_cache: LRUCache = LRUCache(capacity=1024)
 
     # ------------------------------------------------------------------
 
     def parse(self, source: str) -> ast.Statement:
-        """Parse *source* under the engine's dialect (cached)."""
+        """Parse *source* under the engine's dialect (LRU-cached)."""
         key = (source, self.dialect, self.extended_merge)
         statement = self._ast_cache.get(key)
         if statement is None:
             statement = parse(
                 source, self.dialect, extended_merge=self.extended_merge
             )
-            if len(self._ast_cache) > 1024:
-                self._ast_cache.clear()
-            self._ast_cache[key] = statement
+            self._ast_cache.put(key, statement)
         return statement
+
+    def ast_cache_info(self) -> dict[str, int]:
+        """Statement-cache counters (hits, misses, evictions, size)."""
+        return self._ast_cache.info()
 
     def execute(
         self,
@@ -242,8 +245,12 @@ class CypherEngine:
             profile=query_profile,
         )
         mark = self.store.mark()
+        compiler_before: dict[str, int] | None = None
         if query_profile is not None:
             self.store.install_counters(query_profile.counters)
+            from repro.runtime.compiler import STATS as compiler_stats
+
+            compiler_before = compiler_stats.snapshot()
         started = time.perf_counter()
         try:
             output = self._run_query(ctx, statement.query, initial)
@@ -257,6 +264,12 @@ class CypherEngine:
                 query_profile.time_ms = (
                     time.perf_counter() - started
                 ) * 1000
+                from repro.runtime.compiler import STATS as compiler_stats
+
+                query_profile.compiler = {
+                    name: value - compiler_before[name]
+                    for name, value in compiler_stats.snapshot().items()
+                }
                 self.store.reset_counters()
         counters = self._counters_since(mark)
         result = QueryResult(

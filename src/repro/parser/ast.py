@@ -28,11 +28,33 @@ class Expression:
     __slots__ = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Literal(Expression):
-    """A constant: null, boolean, integer, float or string."""
+    """A constant: null, boolean, integer, float or string.
+
+    Equality and hashing are *type-aware*: under Python's numeric
+    equality ``True == 1 == 1.0``, so the dataclass-generated ``__eq__``
+    would conflate ``Literal(True)``, ``Literal(1)`` and
+    ``Literal(1.0)`` -- semantically different constants.  Any cache
+    keyed on AST structure (the expression compiler's closure memo)
+    needs these to be distinct.  A literal wrapping an unhashable
+    runtime value (lists/maps appear through aggregate substitution)
+    simply raises ``TypeError`` from ``hash()``, which caches treat as
+    uncacheable.
+    """
 
     value: Any
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Literal):
+            return NotImplemented
+        return (
+            type(self.value) is type(other.value)
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((Literal, type(self.value), self.value))
 
 
 @dataclass(frozen=True)

@@ -123,6 +123,14 @@ def render_profile(profile) -> str:
     lines.append(
         f"  total: {totals.compact()} db hits in {profile.time_ms:.2f} ms"
     )
+    compiler = profile.compiler
+    if compiler:
+        lines.append(
+            f"  compiler: {compiler.get('expressions_compiled', 0)} "
+            f"expressions compiled, "
+            f"{compiler.get('cache_hits', 0)} closure-cache hits, "
+            f"{compiler.get('constant_folded', 0)} constants folded"
+        )
     return "\n".join(lines)
 
 

@@ -6,6 +6,20 @@ follows the paper's companion formalization: SQL-style three-valued
 logic, null propagation through operators and most functions, and
 entity property access via iota (absent keys read as null).
 
+Two implementations share this semantics:
+
+* :func:`interpret` -- the original recursive AST walker, kept as the
+  executable reference (``tests/properties`` checks the compiler
+  against it form by form, including error cases);
+* :func:`evaluate` -- a thin wrapper over
+  :func:`repro.runtime.compiler.compile_expression`, which lowers the
+  expression to nested closures once (memoized per AST node) and makes
+  every subsequent evaluation a chain of direct calls.
+
+The scalar operator implementations (:data:`BINARY_OPS`) are shared by
+both, so there is exactly one definition of ``+`` on lists, IEEE zero
+division, int64 overflow checking and friends.
+
 Aggregates are *not* evaluated here: projections (RETURN/WITH) detect
 and compute them; reaching one in this evaluator is an error.
 """
@@ -13,7 +27,7 @@ and compute them; reaching one in this evaluator is an error.
 from __future__ import annotations
 
 import math
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 from repro.errors import (
     CypherEvaluationError,
@@ -47,7 +61,27 @@ from repro.runtime.functions import call_function
 def evaluate(
     ctx: EvalContext, expression: ast.Expression, record: Mapping[str, Any]
 ) -> Any:
-    """Evaluate *expression* on the graph under the given record."""
+    """Evaluate *expression* on the graph under the given record.
+
+    Delegates to the compiled closure for the expression (compiled once
+    per distinct AST node, then cached); with compilation disabled
+    (``compiler.compilation_disabled()``) this falls back to
+    :func:`interpret`.
+    """
+    return compile_expression(expression)(ctx, record)
+
+
+def evaluate_predicate(
+    ctx: EvalContext, expression: ast.Expression, record: Mapping[str, Any]
+) -> bool:
+    """Evaluate a WHERE predicate; null counts as not satisfied."""
+    return evaluate(ctx, expression, record) is True
+
+
+def interpret(
+    ctx: EvalContext, expression: ast.Expression, record: Mapping[str, Any]
+) -> Any:
+    """Reference interpreter: evaluate by walking the AST directly."""
     if isinstance(expression, ast.Literal):
         return expression.value
     if isinstance(expression, ast.Parameter):
@@ -65,10 +99,10 @@ def evaluate(
     if isinstance(expression, ast.Property):
         return _property(ctx, expression, record)
     if isinstance(expression, ast.ListLiteral):
-        return [evaluate(ctx, item, record) for item in expression.items]
+        return [interpret(ctx, item, record) for item in expression.items]
     if isinstance(expression, ast.MapLiteral):
         return {
-            key: evaluate(ctx, value, record)
+            key: interpret(ctx, value, record)
             for key, value in expression.items
         }
     if isinstance(expression, ast.Unary):
@@ -76,10 +110,10 @@ def evaluate(
     if isinstance(expression, ast.Binary):
         return _binary(ctx, expression, record)
     if isinstance(expression, ast.IsNull):
-        value = evaluate(ctx, expression.operand, record)
+        value = interpret(ctx, expression.operand, record)
         return (value is not None) if expression.negated else (value is None)
     if isinstance(expression, ast.HasLabels):
-        subject = evaluate(ctx, expression.subject, record)
+        subject = interpret(ctx, expression.subject, record)
         if subject is None:
             return None
         if not isinstance(subject, Node):
@@ -93,7 +127,7 @@ def evaluate(
                 f"aggregate {expression.name}() is only allowed in "
                 f"RETURN and WITH projections"
             )
-        args = [evaluate(ctx, arg, record) for arg in expression.args]
+        args = [interpret(ctx, arg, record) for arg in expression.args]
         return call_function(ctx, expression.name, args)
     if isinstance(expression, ast.CountStar):
         raise CypherEvaluationError(
@@ -110,21 +144,14 @@ def evaluate(
     if isinstance(expression, ast.Slice):
         return _slice(ctx, expression, record)
     if isinstance(expression, ast.PatternExpression):
-        return _pattern_predicate(ctx, expression.pattern, record)
+        return pattern_predicate(ctx, expression.pattern, record)
     if isinstance(expression, ast.ExistsExpression):
         if isinstance(expression.argument, ast.PathPattern):
-            return _pattern_predicate(ctx, expression.argument, record)
-        return evaluate(ctx, expression.argument, record) is not None
+            return pattern_predicate(ctx, expression.argument, record)
+        return interpret(ctx, expression.argument, record) is not None
     raise CypherEvaluationError(
         f"cannot evaluate expression {type(expression).__name__}"
     )
-
-
-def evaluate_predicate(
-    ctx: EvalContext, expression: ast.Expression, record: Mapping[str, Any]
-) -> bool:
-    """Evaluate a WHERE predicate; null counts as not satisfied."""
-    return evaluate(ctx, expression, record) is True
 
 
 # ---------------------------------------------------------------------------
@@ -132,7 +159,7 @@ def evaluate_predicate(
 def _property(
     ctx: EvalContext, expression: ast.Property, record: Mapping[str, Any]
 ) -> Any:
-    subject = evaluate(ctx, expression.subject, record)
+    subject = interpret(ctx, expression.subject, record)
     if subject is None:
         return None
     if isinstance(subject, (Node, Relationship)):
@@ -147,30 +174,44 @@ def _property(
 def _unary(
     ctx: EvalContext, expression: ast.Unary, record: Mapping[str, Any]
 ) -> Any:
-    value = evaluate(ctx, expression.operand, record)
-    if expression.operator == "NOT":
-        return tri_not(value)
+    value = interpret(ctx, expression.operand, record)
+    return UNARY_OPS[expression.operator](value)
+
+
+def unary_not(value: Any) -> Any:
+    """``NOT e`` under three-valued logic."""
+    return tri_not(value)
+
+
+def unary_minus(value: Any) -> Any:
+    """Numeric negation with int64 overflow checking."""
     if value is None:
         return None
     if not is_number(value):
         raise CypherTypeError(
-            f"unary {expression.operator} expects a number, "
-            f"got {type_name(value)}"
+            f"unary - expects a number, got {type_name(value)}"
         )
-    if expression.operator != "-":
-        return value
     if isinstance(value, int):
         return check_int64(-value, "unary -")
     return -value
 
 
-_COMPARATORS = {
-    "=": cypher_eq,
-    "<>": cypher_neq,
-    "<": cypher_lt,
-    "<=": cypher_lte,
-    ">": cypher_gt,
-    ">=": cypher_gte,
+def unary_plus(value: Any) -> Any:
+    """Numeric identity (type-checks its operand)."""
+    if value is None:
+        return None
+    if not is_number(value):
+        raise CypherTypeError(
+            f"unary + expects a number, got {type_name(value)}"
+        )
+    return value
+
+
+#: Unary operator implementations shared by interpreter and compiler.
+UNARY_OPS: dict[str, Callable[[Any], Any]] = {
+    "NOT": unary_not,
+    "-": unary_minus,
+    "+": unary_plus,
 }
 
 
@@ -181,88 +222,145 @@ def _binary(
     # Boolean connectives do not short-circuit on nulls, but we can
     # still evaluate lazily on definite outcomes.
     if operator in ("AND", "OR", "XOR"):
-        left = evaluate(ctx, expression.left, record)
-        right = evaluate(ctx, expression.right, record)
+        left = interpret(ctx, expression.left, record)
+        right = interpret(ctx, expression.right, record)
         if operator == "AND":
             return tri_and(left, right)
         if operator == "OR":
             return tri_or(left, right)
         return tri_xor(left, right)
-    left = evaluate(ctx, expression.left, record)
-    right = evaluate(ctx, expression.right, record)
-    if operator in _COMPARATORS:
-        return _COMPARATORS[operator](left, right)
-    if operator == "IN":
-        return cypher_in(left, right)
-    if operator in ("STARTS WITH", "ENDS WITH", "CONTAINS"):
-        return _string_predicate(operator, left, right)
-    if operator in ("+", "-", "*", "/", "%", "^"):
-        return _arithmetic(operator, left, right)
-    raise CypherEvaluationError(f"unknown operator {operator}")
+    left = interpret(ctx, expression.left, record)
+    right = interpret(ctx, expression.right, record)
+    op = BINARY_OPS.get(operator)
+    if op is None:
+        raise CypherEvaluationError(f"unknown operator {operator}")
+    return op(left, right)
 
 
-def _string_predicate(operator: str, left: Any, right: Any) -> Any:
-    if left is None or right is None:
-        return None
-    if not isinstance(left, str) or not isinstance(right, str):
-        raise CypherTypeError(
-            f"{operator} expects Strings, got "
-            f"{type_name(left)} and {type_name(right)}"
-        )
-    if operator == "STARTS WITH":
-        return left.startswith(right)
-    if operator == "ENDS WITH":
-        return left.endswith(right)
-    return right in left
+def _string_op(operator: str, impl: Callable[[str, str], bool]):
+    def string_predicate(left: Any, right: Any) -> Any:
+        if left is None or right is None:
+            return None
+        if not isinstance(left, str) or not isinstance(right, str):
+            raise CypherTypeError(
+                f"{operator} expects Strings, got "
+                f"{type_name(left)} and {type_name(right)}"
+            )
+        return impl(left, right)
+
+    string_predicate.__name__ = f"op_{operator.lower().replace(' ', '_')}"
+    return string_predicate
 
 
-def _arithmetic(operator: str, left: Any, right: Any) -> Any:
-    if left is None or right is None:
-        return None
-    if operator == "+":
-        if isinstance(left, list):
-            return left + (right if isinstance(right, list) else [right])
-        if isinstance(right, list):
-            return [left] + right
-        if isinstance(left, str) or isinstance(right, str):
-            return _concat(left, right)
+def _require_numbers(operator: str, left: Any, right: Any) -> None:
     if not is_number(left) or not is_number(right):
         raise CypherTypeError(
             f"operator {operator} expects numbers, got "
             f"{type_name(left)} and {type_name(right)}"
         )
-    integers = isinstance(left, int) and isinstance(right, int)
-    if operator == "+":
-        result = left + right
-        return check_int64(result, "+") if integers else result
-    if operator == "-":
-        result = left - right
-        return check_int64(result, "-") if integers else result
-    if operator == "*":
-        result = left * right
-        return check_int64(result, "*") if integers else result
-    if operator == "/":
-        if integers:
-            if right == 0:
-                raise CypherEvaluationError("division by zero")
-            # Truncating (toward-zero) integer division, computed
-            # exactly -- ``int(left / right)`` loses precision above
-            # 2**53.  INT64_MIN / -1 overflows the Integer domain.
-            quotient = abs(left) // abs(right)
-            if (left >= 0) != (right >= 0):
-                quotient = -quotient
-            return check_int64(quotient, "/")
-        return _float_divide(float(left), float(right))
-    if operator == "%":
-        if integers:
-            if right == 0:
-                raise CypherEvaluationError("modulo by zero")
-            result = abs(left) % abs(right)
-            return result if left >= 0 else -result
-        return _float_modulo(float(left), float(right))
-    if operator == "^":
-        return float(left) ** float(right)
-    raise AssertionError(operator)
+
+
+def op_add(left: Any, right: Any) -> Any:
+    """``+`` on numbers, strings and lists (with null propagation)."""
+    if left is None or right is None:
+        return None
+    if isinstance(left, list):
+        return left + (right if isinstance(right, list) else [right])
+    if isinstance(right, list):
+        return [left] + right
+    if isinstance(left, str) or isinstance(right, str):
+        return _concat(left, right)
+    _require_numbers("+", left, right)
+    result = left + right
+    if isinstance(left, int) and isinstance(right, int):
+        return check_int64(result, "+")
+    return result
+
+
+def op_subtract(left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    _require_numbers("-", left, right)
+    result = left - right
+    if isinstance(left, int) and isinstance(right, int):
+        return check_int64(result, "-")
+    return result
+
+
+def op_multiply(left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    _require_numbers("*", left, right)
+    result = left * right
+    if isinstance(left, int) and isinstance(right, int):
+        return check_int64(result, "*")
+    return result
+
+
+def op_divide(left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    _require_numbers("/", left, right)
+    if isinstance(left, int) and isinstance(right, int):
+        if right == 0:
+            raise CypherEvaluationError("division by zero")
+        # Truncating (toward-zero) integer division, computed
+        # exactly -- ``int(left / right)`` loses precision above
+        # 2**53.  INT64_MIN / -1 overflows the Integer domain.
+        quotient = abs(left) // abs(right)
+        if (left >= 0) != (right >= 0):
+            quotient = -quotient
+        return check_int64(quotient, "/")
+    return _float_divide(float(left), float(right))
+
+
+def op_modulo(left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    _require_numbers("%", left, right)
+    if isinstance(left, int) and isinstance(right, int):
+        if right == 0:
+            raise CypherEvaluationError("modulo by zero")
+        result = abs(left) % abs(right)
+        return result if left >= 0 else -result
+    return _float_modulo(float(left), float(right))
+
+
+def op_power(left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    _require_numbers("^", left, right)
+    return float(left) ** float(right)
+
+
+#: Non-boolean binary operator implementations, shared by interpreter
+#: and compiler.  Boolean connectives (AND/OR/XOR) are handled apart
+#: because the compiler folds them differently.
+BINARY_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "=": cypher_eq,
+    "<>": cypher_neq,
+    "<": cypher_lt,
+    "<=": cypher_lte,
+    ">": cypher_gt,
+    ">=": cypher_gte,
+    "IN": cypher_in,
+    "STARTS WITH": _string_op("STARTS WITH", str.startswith),
+    "ENDS WITH": _string_op("ENDS WITH", str.endswith),
+    "CONTAINS": _string_op("CONTAINS", lambda left, right: right in left),
+    "+": op_add,
+    "-": op_subtract,
+    "*": op_multiply,
+    "/": op_divide,
+    "%": op_modulo,
+    "^": op_power,
+}
+
+#: Boolean connective implementations (three-valued logic).
+BOOLEAN_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "AND": tri_and,
+    "OR": tri_or,
+    "XOR": tri_xor,
+}
 
 
 def _float_divide(left: float, right: float) -> float:
@@ -312,16 +410,16 @@ def _case(
     ctx: EvalContext, expression: ast.CaseExpression, record: Mapping[str, Any]
 ) -> Any:
     if expression.operand is not None:
-        operand = evaluate(ctx, expression.operand, record)
+        operand = interpret(ctx, expression.operand, record)
         for condition, result in expression.alternatives:
-            if cypher_eq(operand, evaluate(ctx, condition, record)) is True:
-                return evaluate(ctx, result, record)
+            if cypher_eq(operand, interpret(ctx, condition, record)) is True:
+                return interpret(ctx, result, record)
     else:
         for condition, result in expression.alternatives:
-            if evaluate(ctx, condition, record) is True:
-                return evaluate(ctx, result, record)
+            if interpret(ctx, condition, record) is True:
+                return interpret(ctx, result, record)
     if expression.default is not None:
-        return evaluate(ctx, expression.default, record)
+        return interpret(ctx, expression.default, record)
     return None
 
 
@@ -330,7 +428,7 @@ def _list_comprehension(
     expression: ast.ListComprehension,
     record: Mapping[str, Any],
 ) -> Any:
-    source = evaluate(ctx, expression.source, record)
+    source = interpret(ctx, expression.source, record)
     if source is None:
         return None
     if not isinstance(source, list):
@@ -342,37 +440,19 @@ def _list_comprehension(
     for element in source:
         inner[expression.variable] = element
         if expression.predicate is not None:
-            if evaluate(ctx, expression.predicate, inner) is not True:
+            if interpret(ctx, expression.predicate, inner) is not True:
                 continue
         if expression.projection is not None:
-            result.append(evaluate(ctx, expression.projection, inner))
+            result.append(interpret(ctx, expression.projection, inner))
         else:
             result.append(element)
     return result
 
 
-def _quantifier(
-    ctx: EvalContext, expression: ast.Quantifier, record: Mapping[str, Any]
+def quantifier_outcome(
+    kind: str, true_count: int, null_count: int, false_count: int
 ) -> Any:
-    source = evaluate(ctx, expression.source, record)
-    if source is None:
-        return None
-    if not isinstance(source, list):
-        raise CypherTypeError(
-            f"{expression.kind}() expects a List, got {type_name(source)}"
-        )
-    true_count = 0
-    null_count = 0
-    inner = dict(record)
-    for element in source:
-        inner[expression.variable] = element
-        outcome = evaluate(ctx, expression.predicate, inner)
-        if outcome is True:
-            true_count += 1
-        elif outcome is None:
-            null_count += 1
-    false_count = len(source) - true_count - null_count
-    kind = expression.kind
+    """The three-valued verdict of an any/all/none/single quantifier."""
     if kind == "any":
         if true_count:
             return True
@@ -394,11 +474,34 @@ def _quantifier(
     raise AssertionError(kind)
 
 
-def _subscript(
-    ctx: EvalContext, expression: ast.Subscript, record: Mapping[str, Any]
+def _quantifier(
+    ctx: EvalContext, expression: ast.Quantifier, record: Mapping[str, Any]
 ) -> Any:
-    subject = evaluate(ctx, expression.subject, record)
-    index = evaluate(ctx, expression.index, record)
+    source = interpret(ctx, expression.source, record)
+    if source is None:
+        return None
+    if not isinstance(source, list):
+        raise CypherTypeError(
+            f"{expression.kind}() expects a List, got {type_name(source)}"
+        )
+    true_count = 0
+    null_count = 0
+    inner = dict(record)
+    for element in source:
+        inner[expression.variable] = element
+        outcome = interpret(ctx, expression.predicate, inner)
+        if outcome is True:
+            true_count += 1
+        elif outcome is None:
+            null_count += 1
+    false_count = len(source) - true_count - null_count
+    return quantifier_outcome(
+        expression.kind, true_count, null_count, false_count
+    )
+
+
+def subscript_value(subject: Any, index: Any) -> Any:
+    """``subject[index]`` on lists, maps and entities."""
     if subject is None or index is None:
         return None
     if isinstance(subject, list):
@@ -414,30 +517,20 @@ def _subscript(
             raise CypherTypeError(
                 f"map key must be a String, got {type_name(index)}"
             )
-        if isinstance(subject, dict):
-            return subject.get(index)
         return subject.get(index)
     raise CypherTypeError(f"cannot index into {type_name(subject)}")
 
 
-def _slice(
-    ctx: EvalContext, expression: ast.Slice, record: Mapping[str, Any]
+def _subscript(
+    ctx: EvalContext, expression: ast.Subscript, record: Mapping[str, Any]
 ) -> Any:
-    subject = evaluate(ctx, expression.subject, record)
-    if subject is None:
-        return None
-    if not isinstance(subject, list):
-        raise CypherTypeError(f"cannot slice {type_name(subject)}")
-    start = (
-        evaluate(ctx, expression.start, record)
-        if expression.start is not None
-        else 0
-    )
-    end = (
-        evaluate(ctx, expression.end, record)
-        if expression.end is not None
-        else len(subject)
-    )
+    subject = interpret(ctx, expression.subject, record)
+    index = interpret(ctx, expression.index, record)
+    return subscript_value(subject, index)
+
+
+def slice_value(subject: Any, start: Any, end: Any) -> Any:
+    """``subject[start..end]`` on lists (bounds already evaluated)."""
     if start is None or end is None:
         return None
     for bound in (start, end):
@@ -446,7 +539,28 @@ def _slice(
     return subject[start:end]
 
 
-def _pattern_predicate(
+def _slice(
+    ctx: EvalContext, expression: ast.Slice, record: Mapping[str, Any]
+) -> Any:
+    subject = interpret(ctx, expression.subject, record)
+    if subject is None:
+        return None
+    if not isinstance(subject, list):
+        raise CypherTypeError(f"cannot slice {type_name(subject)}")
+    start = (
+        interpret(ctx, expression.start, record)
+        if expression.start is not None
+        else 0
+    )
+    end = (
+        interpret(ctx, expression.end, record)
+        if expression.end is not None
+        else len(subject)
+    )
+    return slice_value(subject, start, end)
+
+
+def pattern_predicate(
     ctx: EvalContext, pattern: ast.PathPattern, record: Mapping[str, Any]
 ) -> bool:
     """True iff the path pattern has at least one match from *record*."""
@@ -480,3 +594,8 @@ def dataclasses_replace(node, **changes):
     import dataclasses
 
     return dataclasses.replace(node, **changes)
+
+
+# The compiler imports the operator tables above; importing it last
+# keeps the dependency acyclic regardless of which module loads first.
+from repro.runtime.compiler import compile_expression  # noqa: E402

@@ -29,8 +29,8 @@ from repro.errors import CypherTypeError
 from repro.graph.model import Node, Path, Relationship
 from repro.graph.values import cypher_eq, type_name
 from repro.parser import ast
+from repro.runtime.compiler import compile_map_items
 from repro.runtime.context import EvalContext, MatchMode
-from repro.runtime.expressions import evaluate
 
 
 def match_pattern(
@@ -140,8 +140,16 @@ def _extend(
             used,
         )
         return
-    for rel, next_node in _rel_candidates(ctx, rel_pattern, current, bindings, used):
-        if not _node_matches(ctx, node_pattern, next_node, bindings):
+    # The bindings visible to the pattern's property expressions are
+    # fixed for the duration of this step (this element's own variables
+    # are bound only after the property check), so each property map is
+    # evaluated once here and reused for every candidate.
+    rel_props = _evaluate_properties(ctx, rel_pattern.properties, bindings)
+    node_props = _evaluate_properties(ctx, node_pattern.properties, bindings)
+    for rel, next_node in _rel_candidates(
+        ctx, rel_pattern, current, bindings, used, rel_props
+    ):
+        if not _node_matches(ctx, node_pattern, next_node, bindings, node_props):
             continue
         rel_added = _bind(bindings, rel_pattern.variable, rel)
         node_added = _bind(bindings, node_pattern.variable, next_node)
@@ -192,6 +200,12 @@ def _extend_var_length(
             # bounds the expansion.
             upper = ctx.store.relationship_count()
     track_used = ctx.match_mode is MatchMode.TRAIL
+    # Bindings at every _node_matches/_rel_candidates call inside the
+    # expansion equal the bindings at entry (deeper binds are scoped to
+    # the recursive branch and undone before the loop resumes), so the
+    # property maps are evaluated once for the whole expansion.
+    rel_props = _evaluate_properties(ctx, rel_pattern.properties, bindings)
+    node_props = _evaluate_properties(ctx, node_pattern.properties, bindings)
 
     def expand(
         node: Node,
@@ -199,7 +213,9 @@ def _extend_var_length(
         segment: list[Relationship],
         segment_nodes: list[Node],
     ) -> Iterator[tuple[list[Node], list[Relationship]]]:
-        if depth >= lower and _node_matches(ctx, node_pattern, node, bindings):
+        if depth >= lower and _node_matches(
+            ctx, node_pattern, node, bindings, node_props
+        ):
             list_added = _bind_list(bindings, rel_pattern.variable, segment)
             node_added = _bind(bindings, node_pattern.variable, node)
             try:
@@ -222,7 +238,13 @@ def _extend_var_length(
         if depth >= upper:
             return
         for rel, next_node in _rel_candidates(
-            ctx, rel_pattern, node, bindings, used, ignore_bound_variable=True
+            ctx,
+            rel_pattern,
+            node,
+            bindings,
+            used,
+            rel_props,
+            ignore_bound_variable=True,
         ):
             if track_used:
                 used.add(rel.id)
@@ -243,6 +265,26 @@ def _extend_var_length(
 # Candidate enumeration
 # ---------------------------------------------------------------------------
 
+def _evaluate_properties(
+    ctx: EvalContext,
+    properties: ast.MapLiteral | None,
+    bindings: Mapping[str, Any],
+) -> tuple[tuple[str, Any], ...] | None:
+    """Evaluate a pattern's property map once against *bindings*.
+
+    The returned ``(key, value)`` pairs are reused for every candidate
+    the pattern is checked against, so each property expression costs
+    one evaluation (and its db-hits) per pattern per record instead of
+    one per candidate.
+    """
+    if properties is None:
+        return None
+    return tuple(
+        (key, fn(ctx, bindings))
+        for key, fn in compile_map_items(properties)
+    )
+
+
 def _node_candidates(
     ctx: EvalContext, pattern: ast.NodePattern, bindings: dict
 ) -> Iterator[Node]:
@@ -256,9 +298,11 @@ def _node_candidates(
                 f"variable '{variable}' is bound to {type_name(value)}, "
                 f"expected a Node"
             )
-        if _node_matches(ctx, pattern, value, bindings):
+        props = _evaluate_properties(ctx, pattern.properties, bindings)
+        if _node_matches(ctx, pattern, value, bindings, props):
             yield value
         return
+    props = _evaluate_properties(ctx, pattern.properties, bindings)
     store = ctx.store
     candidate_ids = None
     # Narrow by label index.
@@ -269,14 +313,14 @@ def _node_candidates(
             if candidate_ids is None
             else candidate_ids & with_label
         )
-    # Narrow further by a property index when available.
-    if pattern.properties is not None:
+    # Narrow further by a property index when available, reusing the
+    # values already evaluated for the per-candidate check below.
+    if props is not None:
         for label in pattern.labels:
-            for key, expr in pattern.properties.items:
+            for key, value in props:
                 index = store.property_index(label, key)
                 if index is None:
                     continue
-                value = evaluate(ctx, expr, bindings)
                 matches = index.lookup(value)
                 candidate_ids = (
                     matches
@@ -288,12 +332,16 @@ def _node_candidates(
     else:
         candidates = (store.node(nid) for nid in sorted(candidate_ids))
     for node in candidates:
-        if _node_matches(ctx, pattern, node, bindings):
+        if _node_matches(ctx, pattern, node, bindings, props):
             yield node
 
 
 def _node_matches(
-    ctx: EvalContext, pattern: ast.NodePattern, node: Node, bindings: dict
+    ctx: EvalContext,
+    pattern: ast.NodePattern,
+    node: Node,
+    bindings: dict,
+    props: tuple[tuple[str, Any], ...] | None,
 ) -> bool:
     variable = pattern.variable
     if variable is not None and variable in bindings:
@@ -307,9 +355,8 @@ def _node_matches(
         for label in pattern.labels:
             if label not in labels:
                 return False
-    if pattern.properties is not None:
-        for key, expr in pattern.properties.items:
-            value = evaluate(ctx, expr, bindings)
+    if props is not None:
+        for key, value in props:
             if cypher_eq(node.get(key), value) is not True:
                 return False
     return True
@@ -321,6 +368,7 @@ def _rel_candidates(
     current: Node,
     bindings: dict,
     used: set[int],
+    props: tuple[tuple[str, Any], ...] | None,
     *,
     ignore_bound_variable: bool = False,
 ) -> Iterator[tuple[Relationship, Node]]:
@@ -395,10 +443,9 @@ def _rel_candidates(
                 next_node = rel.start
             else:
                 continue
-        if pattern.properties is not None:
+        if props is not None:
             matched = True
-            for key, expr in pattern.properties.items:
-                value = evaluate(ctx, expr, bindings)
+            for key, value in props:
                 if cypher_eq(rel.get(key), value) is not True:
                     matched = False
                     break

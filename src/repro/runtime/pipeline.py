@@ -135,15 +135,16 @@ def _execute_foreach(
     atomic over all iterations, while the legacy dialect stays
     per-record.  FOREACH passes its own input table through unchanged.
     """
-    from repro.runtime.expressions import evaluate  # cycle guard
+    from repro.runtime.compiler import compile_expression  # cycle guard
 
     if clause.variable in table.columns:
         raise CypherSemanticError(
             f"variable '{clause.variable}' is already bound"
         )
+    source_fn = compile_expression(clause.source)
     expanded = DrivingTable(tuple(table.columns) + (clause.variable,))
     for record in table:
-        value = evaluate(ctx, clause.source, record)
+        value = source_fn(ctx, record)
         if value is None:
             continue
         if not isinstance(value, list):

@@ -36,8 +36,8 @@ import dataclasses
 from typing import Any, Mapping
 
 from repro.parser import ast
+from repro.runtime.compiler import compile_expression
 from repro.runtime.context import EvalContext
-from repro.runtime.expressions import evaluate
 
 
 def plan_pattern(
@@ -106,7 +106,7 @@ def _try_evaluate(
     if not _variables_of(expression) <= bound | set(record.keys()):
         return _UNKNOWN
     try:
-        return evaluate(ctx, expression, dict(record))
+        return compile_expression(expression)(ctx, dict(record))
     except Exception:
         return _UNKNOWN
 

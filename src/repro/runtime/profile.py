@@ -142,6 +142,10 @@ class QueryProfile:
         self.counters = HitCounters()
         self.clauses: list[ClauseProfile] = []
         self.time_ms = 0.0
+        #: expression-compiler activity during this statement
+        #: (expressions_compiled, cache_hits, constant_folded);
+        #: filled in by the engine from the compiler's counter deltas
+        self.compiler: dict[str, int] = {}
         #: the QueryResult this profile belongs to (set by the engine)
         self.result = None
         self._stack: list[list[ClauseProfile]] = [self.clauses]
@@ -192,6 +196,7 @@ class QueryProfile:
             "planner": self.planner,
             "time_ms": round(self.time_ms, 3),
             "db_hits": self.hits.to_dict(),
+            "compiler": dict(self.compiler),
             "clauses": [clause.to_dict() for clause in self.clauses],
         }
 

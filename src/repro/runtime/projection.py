@@ -20,6 +20,7 @@ from repro.runtime.aggregation import (
     contains_aggregate,
     is_aggregate_call,
 )
+from repro.runtime.compiler import compile_expression
 from repro.runtime.context import EvalContext
 from repro.runtime.expressions import evaluate
 from repro.runtime.table import DrivingTable
@@ -41,8 +42,9 @@ def project_with(
     """Apply a WITH body (and its optional WHERE) to the driving table."""
     result = _project(ctx, body, table, require_aliases=True)
     if where is not None:
+        where_fn = compile_expression(where)
         result = result.filter(
-            lambda record: evaluate(ctx, where, record) is True
+            lambda record: where_fn(ctx, record) is True
         )
     return result
 
@@ -96,9 +98,12 @@ def _project(
     if aggregating:
         rows = _aggregate_rows(ctx, columns, table)
     else:
+        column_fns = [
+            (name, compile_expression(expr)) for name, expr in columns
+        ]
         rows = [
             (
-                {name: evaluate(ctx, expr, record) for name, expr in columns},
+                {name: fn(ctx, record) for name, fn in column_fns},
                 record,
             )
             for record in table
@@ -132,48 +137,50 @@ def _aggregate_rows(
     aggregate_items = [
         (name, expr) for name, expr in columns if contains_aggregate(expr)
     ]
+    # Aggregate nodes are discovered and their argument expressions
+    # compiled once per clause; each record pays only the feeds.
+    feeders = [
+        (id(node), node, _compile_feeder(node))
+        for __, expr in aggregate_items
+        for node in _aggregate_nodes(expr)
+    ]
+    grouping_fns = [
+        (name, compile_expression(expr)) for name, expr in grouping_items
+    ]
     groups: dict[tuple, dict] = {}
     for record in table:
         grouping_values = {
-            name: evaluate(ctx, expr, record) for name, expr in grouping_items
+            name: fn(ctx, record) for name, fn in grouping_fns
         }
         key = tuple(
             grouping_key(grouping_values[name]) for name, __ in grouping_items
         )
         group = groups.get(key)
         if group is None:
-            accumulators: dict[int, AggregateAccumulator] = {}
-            percentiles: dict[int, Any] = {}
-            for __, expr in aggregate_items:
-                for node in _aggregate_nodes(expr):
-                    accumulators[id(node)] = _make_accumulator(node)
             group = {
                 "values": grouping_values,
                 "record": record,
-                "accumulators": accumulators,
-                "percentiles": percentiles,
+                "accumulators": {
+                    node_id: _make_accumulator(node)
+                    for node_id, node, __ in feeders
+                },
+                "percentiles": {},
             }
             groups[key] = group
-        for __, expr in aggregate_items:
-            for node in _aggregate_nodes(expr):
-                _feed_accumulator(
-                    ctx,
-                    node,
-                    group["accumulators"][id(node)],
-                    group["percentiles"],
-                    record,
-                )
+        accumulators = group["accumulators"]
+        percentiles = group["percentiles"]
+        for node_id, __, feed in feeders:
+            feed(ctx, accumulators[node_id], percentiles, record)
     # An aggregation with no grouping items over an empty table still
     # produces one row (count(*) = 0, collect = [] ...).
     if not groups and not grouping_items:
-        accumulators = {}
-        for __, expr in aggregate_items:
-            for node in _aggregate_nodes(expr):
-                accumulators[id(node)] = _make_accumulator(node)
         groups[()] = {
             "values": {},
             "record": {},
-            "accumulators": accumulators,
+            "accumulators": {
+                node_id: _make_accumulator(node)
+                for node_id, node, __ in feeders
+            },
             "percentiles": {},
         }
     rows: list[tuple[dict, dict]] = []
@@ -207,29 +214,55 @@ def _make_accumulator(node: ast.Expression) -> AggregateAccumulator:
     return AggregateAccumulator(node.name, distinct=node.distinct)
 
 
-def _feed_accumulator(
-    ctx: EvalContext,
-    node: ast.Expression,
-    accumulator: AggregateAccumulator,
-    percentiles: dict[int, Any],
-    record: Mapping[str, Any],
-) -> None:
+def _compile_feeder(node: ast.Expression):
+    """A per-record feed closure ``(ctx, accumulator, percentiles, record)``.
+
+    Argument expressions are compiled once here; arity problems still
+    surface only when a record is actually fed (an aggregation over an
+    empty ungrouped table never feeds), matching interpreter behaviour.
+    """
     if isinstance(node, ast.CountStar):
-        accumulator.add(None)
-        return
+
+        def feed_count_star(ctx, accumulator, percentiles, record) -> None:
+            accumulator.add(None)
+
+        return feed_count_star
     assert isinstance(node, ast.FunctionCall)
     if not node.args:
-        raise CypherEvaluationError(
-            f"aggregate {node.name}() requires an argument"
-        )
-    value = evaluate(ctx, node.args[0], record)
+        message = f"aggregate {node.name}() requires an argument"
+
+        def feed_missing_argument(
+            ctx, accumulator, percentiles, record
+        ) -> None:
+            raise CypherEvaluationError(message)
+
+        return feed_missing_argument
+    value_fn = compile_expression(node.args[0])
     if node.name in ("percentiledisc", "percentilecont"):
         if len(node.args) != 2:
-            raise CypherEvaluationError(
-                f"{node.name}() expects 2 arguments"
-            )
-        percentiles[id(node)] = evaluate(ctx, node.args[1], record)
-    accumulator.add(value)
+            message = f"{node.name}() expects 2 arguments"
+
+            def feed_wrong_arity(
+                ctx, accumulator, percentiles, record
+            ) -> None:
+                value_fn(ctx, record)
+                raise CypherEvaluationError(message)
+
+            return feed_wrong_arity
+        node_id = id(node)
+        percentile_fn = compile_expression(node.args[1])
+
+        def feed_percentile(ctx, accumulator, percentiles, record) -> None:
+            value = value_fn(ctx, record)
+            percentiles[node_id] = percentile_fn(ctx, record)
+            accumulator.add(value)
+
+        return feed_percentile
+
+    def feed(ctx, accumulator, percentiles, record) -> None:
+        accumulator.add(value_fn(ctx, record))
+
+    return feed
 
 
 def _evaluate_substituted(
@@ -293,16 +326,20 @@ def _order_rows(
     order_by: tuple[ast.SortItem, ...],
     rows: list[tuple[dict, dict]],
 ) -> list[tuple[dict, dict]]:
+    item_fns = [
+        (compile_expression(item.expression), item.ascending)
+        for item in order_by
+    ]
+
     def key(row: tuple[dict, dict]) -> tuple:
         output, record = row
         # Sort expressions see the projected columns first, then any
         # still-unshadowed input variables.
         scope = {**record, **output}
         parts = []
-        for item in order_by:
-            value = evaluate(ctx, item.expression, scope)
-            item_key = sort_key(value)
-            parts.append(item_key if item.ascending else _Reversed(item_key))
+        for item_fn, ascending in item_fns:
+            item_key = sort_key(item_fn(ctx, scope))
+            parts.append(item_key if ascending else _Reversed(item_key))
         return tuple(parts)
 
     return sorted(rows, key=key)

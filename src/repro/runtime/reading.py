@@ -10,8 +10,8 @@ from __future__ import annotations
 from repro.errors import CypherSemanticError, CypherTypeError
 from repro.graph.values import type_name
 from repro.parser import ast
+from repro.runtime.compiler import compile_expression
 from repro.runtime.context import EvalContext
-from repro.runtime.expressions import evaluate
 from repro.runtime.matcher import match_pattern, pattern_variables
 from repro.runtime.table import DrivingTable
 
@@ -32,12 +32,15 @@ def execute_match(
         # Plan once per clause, using the first record's bindings as
         # representative for index-selectivity estimates.
         pattern = plan_pattern(ctx, pattern, table.records[0])
+    where_fn = (
+        compile_expression(clause.where) if clause.where is not None else None
+    )
     output = DrivingTable(tuple(table.columns) + tuple(new_variables))
     for record in table:
         matched_any = False
         for bindings in match_pattern(ctx, pattern, record):
-            if clause.where is not None:
-                if evaluate(ctx, clause.where, bindings) is not True:
+            if where_fn is not None:
+                if where_fn(ctx, bindings) is not True:
                     continue
             matched_any = True
             output.add({name: bindings.get(name) for name in output.columns})
@@ -57,9 +60,10 @@ def execute_unwind(
         raise CypherSemanticError(
             f"variable '{clause.variable}' is already bound"
         )
+    expression_fn = compile_expression(clause.expression)
     output = DrivingTable(tuple(table.columns) + (clause.variable,))
     for record in table:
-        value = evaluate(ctx, clause.expression, record)
+        value = expression_fn(ctx, record)
         if value is None:
             continue  # UNWIND null yields no rows
         elements = value if isinstance(value, list) else [value]
@@ -80,9 +84,10 @@ def execute_load_csv(
         raise CypherSemanticError(
             f"variable '{clause.variable}' is already bound"
         )
+    source_fn = compile_expression(clause.source)
     output = DrivingTable(tuple(table.columns) + (clause.variable,))
     for record in table:
-        source = evaluate(ctx, clause.source, record)
+        source = source_fn(ctx, record)
         if not isinstance(source, str):
             raise CypherTypeError(
                 f"LOAD CSV expects a file path string, got {type_name(source)}"

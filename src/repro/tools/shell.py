@@ -31,6 +31,7 @@ Shell commands:
   :dialect [NAME]       show or switch the dialect (cypher9 | revised)
   :begin / :commit / :rollback   bracket statements in a transaction
   :stats                graph statistics
+  :cache                statement-cache and expression-compiler counters
   :schema               indexes and uniqueness constraints
   :explain STATEMENT    show the execution plan without running it
   :profile STATEMENT    run a statement and show per-clause db-hits
@@ -163,6 +164,22 @@ class Shell:
             self._print("rolled back")
         elif command == ":stats":
             self._print(self.graph.statistics().summary())
+        elif command == ":cache":
+            from repro.runtime import compiler
+
+            ast_info = self.graph.engine.ast_cache_info()
+            closure_info = compiler.cache_info()
+            self._print(
+                f"statements: {ast_info['size']} cached, "
+                f"{ast_info['hits']} hits / {ast_info['misses']} misses, "
+                f"{ast_info['evictions']} evicted"
+            )
+            self._print(
+                f"closures:   {closure_info['size']} cached, "
+                f"{closure_info['hits']} hits / "
+                f"{closure_info['misses']} misses, "
+                f"{closure_info['evictions']} evicted"
+            )
         elif command == ":schema":
             constraints = sorted(self.graph.store.unique_constraints())
             if constraints:

@@ -206,3 +206,57 @@ class TestPatternVariables:
     def test_collects_in_order_without_duplicates(self):
         pattern = pattern_of("p = (a)-[r:T]->(b)-[:S]->(a)")
         assert pattern_variables(pattern) == ("p", "a", "r", "b")
+
+
+class TestSinglePropertyEvaluation:
+    """Pattern property expressions are evaluated once per pattern per
+    record, not once per candidate (observable via PROFILE db-hits)."""
+
+    def _profile_clause(self, graph, statement, label_fragment):
+        profile = graph.profile(statement)
+        for clause in profile.clauses:
+            if label_fragment in clause.label:
+                return clause
+        raise AssertionError(
+            f"no clause matching {label_fragment!r} in {profile.clauses}"
+        )
+
+    def test_node_property_map_evaluated_once_per_record(self):
+        from repro import Graph
+
+        graph = Graph()
+        graph.run("CREATE (:Ref {v: 1})")
+        count = 10
+        graph.run(
+            "UNWIND range(1, 10) AS i "
+            "CREATE (:Item {x: 1})"
+        )
+        clause = self._profile_clause(
+            graph,
+            "MATCH (r:Ref) MATCH (i:Item {x: r.v}) RETURN count(*) AS n",
+            "Item",
+        )
+        # One read of r.v for the whole pattern, plus one i.x read per
+        # :Item candidate.  The old per-candidate evaluation would have
+        # cost `count` reads of r.v here (2 * count total).
+        assert clause.hits.property_reads == count + 1
+
+    def test_relationship_property_map_evaluated_once_per_record(self):
+        from repro import Graph
+
+        graph = Graph()
+        graph.run("CREATE (:Ref {v: 1})")
+        graph.run(
+            "CREATE (hub:Hub) WITH hub "
+            "UNWIND range(1, 10) AS i "
+            "CREATE (hub)-[:T {w: 1}]->(:Leaf)"
+        )
+        clause = self._profile_clause(
+            graph,
+            "MATCH (r:Ref) MATCH (:Hub)-[t:T {w: r.v}]->() "
+            "RETURN count(*) AS n",
+            "Hub",
+        )
+        # One read of r.v for the whole relationship pattern, plus one
+        # t.w read per candidate relationship.
+        assert clause.hits.property_reads == 10 + 1
