@@ -242,6 +242,7 @@ class CypherEngine:
             parameters=dict(parameters or {}),
             match_mode=self.match_mode,
             use_planner=self.use_planner,
+            preserve_match_order=self.dialect is Dialect.CYPHER9,
             profile=query_profile,
         )
         mark = self.store.mark()
@@ -356,6 +357,32 @@ class CypherEngine:
             store=self.store,
             match_mode=self.match_mode,
             use_planner=self.use_planner,
+        )
+        return explain_statement(ctx, statement, self.dialect)
+
+    def plan(self, source: str | ast.Statement) -> str:
+        """Describe the match planner's choices for a statement.
+
+        Like :meth:`explain` but with the planner forced on, so anchor
+        and ordering decisions are shown even for an engine constructed
+        without ``use_planner=True``.  No execution happens.
+        """
+        from repro.runtime.explain import explain_statement
+
+        statement = (
+            source
+            if isinstance(source, (ast.Statement, ast.SchemaStatement))
+            else self.parse(source)
+        )
+        if isinstance(statement, ast.SchemaStatement):
+            return (
+                f"schema command: {statement.kind} on "
+                f":{statement.label}({statement.key})"
+            )
+        ctx = EvalContext(
+            store=self.store,
+            match_mode=self.match_mode,
+            use_planner=True,
         )
         return explain_statement(ctx, statement, self.dialect)
 

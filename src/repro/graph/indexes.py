@@ -110,6 +110,32 @@ class PropertyIndex:
             return frozenset()
         return frozenset(self._by_value.get(bucket_key, ()))
 
+    def bucket_size(self, value: Any) -> int:
+        """Size of *value*'s bucket, without counting a db-hit.
+
+        The planner's selectivity estimate -- unlike :meth:`lookup`
+        this is a statistic read, not a probe, so it leaves the
+        ``index_lookups`` counter alone.
+        """
+        if value is None:
+            return 0
+        return len(self._by_value.get(grouping_key(value), ()))
+
+    def bucket_count(self) -> int:
+        """Number of distinct indexed values."""
+        return len(self._by_value)
+
+    def average_bucket_size(self) -> float:
+        """Expected candidate count of a probe with an unknown value.
+
+        ``entries / distinct values`` -- 1.0 for a unique-ish index,
+        larger when values repeat, 0.0 for an empty index.  No db-hit:
+        this is a statistic, not a lookup.
+        """
+        if not self._by_value:
+            return 0.0
+        return len(self._value_of) / len(self._by_value)
+
     def duplicate_buckets(self) -> list[frozenset[int]]:
         """All value buckets containing more than one node."""
         return [

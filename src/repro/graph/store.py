@@ -69,6 +69,10 @@ class GraphStore:
         self._in_by_type: dict[int, dict[str, set[int]]] = {}
         self._next_node_id = 0
         self._next_rel_id = 0
+        #: live-entity counters, maintained by every mutation and undo
+        #: so the match planner's cardinality estimates are O(1)
+        self._live_nodes = 0
+        self._live_rels = 0
         self._label_index = LabelIndex()
         self._property_indexes: dict[tuple[str, str], PropertyIndex] = {}
         #: (label, key) pairs under a uniqueness constraint
@@ -202,16 +206,43 @@ class GraphStore:
                 yield Relationship(self, rel_id)
 
     def node_count(self) -> int:
-        """Number of live nodes."""
-        return sum(1 for r in self._nodes.values() if not r.deleted)
+        """Number of live nodes (O(1), counter-maintained)."""
+        return self._live_nodes
 
     def relationship_count(self) -> int:
-        """Number of live relationships."""
-        return sum(1 for r in self._rels.values() if not r.deleted)
+        """Number of live relationships (O(1), counter-maintained)."""
+        return self._live_rels
 
     def nodes_with_label(self, label: str) -> frozenset[int]:
         """Ids of live nodes carrying *label* (index-backed)."""
         return self._label_index.nodes_with_label(label)
+
+    # ------------------------------------------------------------------
+    # Planner statistics
+    #
+    # Cheap, always-current summary counts the match planner uses for
+    # selectivity estimates.  All of them read maintained structures
+    # (live-entity counters, label-index buckets, live adjacency sets),
+    # so none of them scans and none of them touches the journal --
+    # rollback keeps them correct because the same mutation/undo paths
+    # that maintain the structures maintain these counts.
+    # ------------------------------------------------------------------
+
+    def label_count(self, label: str) -> int:
+        """Number of live nodes carrying *label* (O(1), no db-hit)."""
+        return self._label_index.count(label)
+
+    def index_selectivity(self, label: str, key: str) -> float | None:
+        """Average bucket size of the ``:label(key)`` index.
+
+        ``None`` when no index exists; ``0.0`` for an empty index.  The
+        planner uses this as the expected candidate count of an index
+        probe whose lookup value is not yet known.
+        """
+        index = self._property_indexes.get((label, key))
+        if index is None:
+            return None
+        return index.average_bucket_size()
 
     def out_relationships(self, node_id: int) -> frozenset[int]:
         """Ids of live relationships whose source is *node_id*."""
@@ -259,11 +290,78 @@ class GraphStore:
             result |= buckets.get(rel_type, set())
         return frozenset(result)
 
-    def degree(self, node_id: int) -> int:
-        """Number of live relationships attached to *node_id*."""
-        return len(self.out_relationships(node_id)) + len(
-            self.in_relationships(node_id)
+    def out_degree(
+        self, node_id: int, types: tuple[str, ...] | None = None
+    ) -> int:
+        """Live outgoing degree of *node_id*, optionally per type (O(1)).
+
+        The adjacency sets hold live relationships only (deletion
+        discards, rollback re-adds), so the length is the degree --
+        no filtering pass and no set materialisation.
+        """
+        if types is None:
+            return len(self._out.get(node_id, ()))
+        buckets = self._out_by_type.get(node_id, {})
+        return sum(len(buckets.get(rel_type, ())) for rel_type in types)
+
+    def in_degree(
+        self, node_id: int, types: tuple[str, ...] | None = None
+    ) -> int:
+        """Live incoming degree of *node_id*, optionally per type (O(1))."""
+        if types is None:
+            return len(self._in.get(node_id, ()))
+        buckets = self._in_by_type.get(node_id, {})
+        return sum(len(buckets.get(rel_type, ())) for rel_type in types)
+
+    def degree(
+        self, node_id: int, types: tuple[str, ...] | None = None
+    ) -> int:
+        """Number of live relationships attached to *node_id* (O(1))."""
+        return self.out_degree(node_id, types) + self.in_degree(
+            node_id, types
         )
+
+    def adjacent_rel_ids(
+        self,
+        node_id: int,
+        *,
+        outgoing: bool = True,
+        incoming: bool = True,
+        types: tuple[str, ...] | None = None,
+    ) -> list[int]:
+        """Live relationship ids at *node_id*, ascending, in one pass.
+
+        This is the matcher's candidate enumeration: it reads the live
+        adjacency sets (the same structures :meth:`degree` counts)
+        directly into a single sorted list -- no intermediate
+        frozensets and no set unions, which matters on dense nodes
+        where undirected/untyped steps previously materialised
+        ``sorted(out | in)`` per expansion step.  Self-loops (present
+        in both directions) and repeated type names are emitted once.
+        """
+        ids: list[int] = []
+        if types is None:
+            if outgoing:
+                ids.extend(self._out.get(node_id, ()))
+            if incoming:
+                ids.extend(self._in.get(node_id, ()))
+        else:
+            if outgoing:
+                buckets = self._out_by_type.get(node_id, {})
+                for rel_type in types:
+                    ids.extend(buckets.get(rel_type, ()))
+            if incoming:
+                buckets = self._in_by_type.get(node_id, {})
+                for rel_type in types:
+                    ids.extend(buckets.get(rel_type, ()))
+        ids.sort()
+        deduped: list[int] = []
+        previous = None
+        for rel_id in ids:
+            if rel_id != previous:
+                deduped.append(rel_id)
+                previous = rel_id
+        return deduped
 
     # ------------------------------------------------------------------
     # Journal
@@ -297,6 +395,7 @@ class GraphStore:
         if op == "node_created":
             node_id = entry[1]
             record = self._nodes.pop(node_id)
+            self._live_nodes -= 1
             self._label_index.remove(node_id, record.labels)
             self._deindex_node(node_id)
             self._out.pop(node_id, None)
@@ -304,6 +403,7 @@ class GraphStore:
         elif op == "rel_created":
             rel_id = entry[1]
             record = self._rels.pop(rel_id)
+            self._live_rels -= 1
             self._out.get(record.source, set()).discard(rel_id)
             self._in.get(record.target, set()).discard(rel_id)
             self._adjacency_discard(
@@ -313,12 +413,14 @@ class GraphStore:
             node_id = entry[1]
             record = self._nodes[node_id]
             record.deleted = False
+            self._live_nodes += 1
             self._label_index.add(node_id, record.labels)
             self._reindex_node(node_id)
         elif op == "rel_deleted":
             rel_id = entry[1]
             record = self._rels[rel_id]
             record.deleted = False
+            self._live_rels += 1
             self._out.setdefault(record.source, set()).add(rel_id)
             self._in.setdefault(record.target, set()).add(rel_id)
             self._adjacency_add(
@@ -372,6 +474,7 @@ class GraphStore:
         self._next_node_id += 1
         record = _NodeRecord(labels=set(labels), properties=properties)
         self._nodes[node_id] = record
+        self._live_nodes += 1
         self._out[node_id] = set()
         self._in[node_id] = set()
         self._label_index.add(node_id, record.labels)
@@ -410,6 +513,7 @@ class GraphStore:
         self._rels[rel_id] = _RelRecord(
             type=rel_type, source=source, target=target, properties=properties
         )
+        self._live_rels += 1
         self._out[source].add(rel_id)
         self._in[target].add(rel_id)
         self._adjacency_add(rel_id, rel_type, source, target)
@@ -422,6 +526,7 @@ class GraphStore:
         if record.deleted:
             return
         record.deleted = True
+        self._live_rels -= 1
         self._out.get(record.source, set()).discard(rel_id)
         self._in.get(record.target, set()).discard(rel_id)
         self._adjacency_discard(rel_id, record.type, record.source, record.target)
@@ -446,6 +551,7 @@ class GraphStore:
         if attached and not allow_dangling:
             raise DanglingRelationshipError(node_id, sorted(attached))
         record.deleted = True
+        self._live_nodes -= 1
         self._label_index.remove(node_id, record.labels)
         self._deindex_node(node_id)
         self._record(("node_deleted", node_id))

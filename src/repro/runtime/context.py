@@ -45,10 +45,16 @@ class EvalContext:
     #: infinitely many matches on cyclic graphs.
     homomorphism_hop_limit: int = 16
 
-    #: Enable the greedy endpoint planner (repro.runtime.planner) for
-    #: MATCH clauses.  Off by default: it only changes enumeration
-    #: order, which the legacy dialect can observe.
+    #: Enable the selectivity-driven match planner
+    #: (repro.runtime.match_planner) for pattern matching.  Off by
+    #: default so the default pipeline stays a literal transcription of
+    #: the paper's matcher.
     use_planner: bool = False
+
+    #: The legacy dialect's anomalies are order-reproducible, so its
+    #: executor sets this and the planner re-sorts (or falls back to)
+    #: the naive ascending-id enumeration order per record.
+    preserve_match_order: bool = False
 
     #: When set, the pipeline brackets every clause with begin/end on
     #: this profile, attributing db-hits and wall time (PROFILE mode).

@@ -16,7 +16,7 @@ from repro.dialect import Dialect
 from repro.parser import ast
 from repro.parser.unparse import unparse
 from repro.runtime.context import EvalContext
-from repro.runtime.planner import estimate_node_cost, plan_pattern
+from repro.runtime.planner import estimate_node_cost
 
 _MERGE_EXECUTORS = {
     ast.MERGE_LEGACY: "LegacyMerge(per-record match-or-create, reads own writes)",
@@ -48,18 +48,33 @@ def _explain_clause(
     prefix = "  "
     if isinstance(clause, ast.MatchClause):
         keyword = "OptionalMatch" if clause.optional else "Match"
-        pattern = clause.pattern
-        if ctx.use_planner:
-            pattern = plan_pattern(ctx, pattern, {})
         lines = [f"{prefix}{keyword}"]
-        for path in pattern.paths:
-            anchor = path.elements[0]
-            cost = estimate_node_cost(ctx, anchor, set(), {})
-            lines.append(
-                f"{prefix}  path {unparse(path)}"
-                f"  [anchor: {_describe_anchor(ctx, anchor)}, "
-                f"est. {cost:.0f} candidates]"
-            )
+        if ctx.use_planner:
+            # Paths are listed in planned execution order, each with
+            # the selectivity-chosen anchor and its estimate.
+            from repro.runtime.match_planner import plan_paths
+
+            plan = plan_paths(ctx, clause.pattern.paths, {})
+            for path_plan in plan.ordered:
+                lines.append(
+                    f"{prefix}  path {unparse(path_plan.path)}"
+                    f"  [anchor: {path_plan.describe()}, "
+                    f"est. {path_plan.cost:.0f} candidates]"
+                )
+            moved = plan.moved_count()
+            if moved:
+                lines.append(
+                    f"{prefix}  ({moved} paths reordered by estimated cost)"
+                )
+        else:
+            for path in clause.pattern.paths:
+                anchor = path.elements[0]
+                cost = estimate_node_cost(ctx, anchor, set(), {})
+                lines.append(
+                    f"{prefix}  path {unparse(path)}"
+                    f"  [anchor: {_describe_anchor(ctx, anchor)}, "
+                    f"est. {cost:.0f} candidates]"
+                )
         if clause.where is not None:
             lines.append(f"{prefix}  filter {unparse(clause.where)}")
         return lines
@@ -109,10 +124,18 @@ def render_profile(profile) -> str:
 
     def emit(entry, depth: int) -> None:
         indent = "  " * (depth + 1)
+        planner_note = ""
+        if entry.anchor is not None:
+            planner_note = f"; anchor {entry.anchor}"
+            if entry.paths_reordered:
+                planner_note += (
+                    f"; {entry.paths_reordered} paths reordered"
+                )
         lines.append(
             f"{indent}{entry.label}"
             f"  [rows {entry.rows_in} -> {entry.rows_out}; "
-            f"{entry.time_ms:.2f} ms; db hits {entry.hits.compact()}]"
+            f"{entry.time_ms:.2f} ms; db hits {entry.hits.compact()}"
+            f"{planner_note}]"
         )
         for child in entry.children:
             emit(child, depth + 1)

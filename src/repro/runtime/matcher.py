@@ -47,6 +47,17 @@ def match_paths(
 ) -> Iterator[dict]:
     """All extensions of *record* matching the given path patterns."""
     paths = tuple(paths)
+    if ctx.use_planner:
+        # Planning hooks in here (not in the MATCH executor) so MERGE's
+        # read half, OPTIONAL MATCH and pattern predicates all benefit.
+        from repro.runtime.match_planner import (
+            match_paths_planned,
+            planning_active,
+        )
+
+        if planning_active():
+            yield from match_paths_planned(ctx, paths, record)
+            return
     bindings = dict(record)
     used: set[int] = set()
     yield from _match_path_list(ctx, paths, 0, bindings, used)
@@ -388,41 +399,26 @@ def _rel_candidates(
                 f"expected a Relationship"
             )
         candidate_ids: Iterable[int] = (value.id,)
+        type_checked = False
     else:
         # Typed patterns use the per-type adjacency index and skip
-        # relationships of other types without touching them.
-        if pattern.direction == ast.OUT:
-            candidate_ids = sorted(
-                store.out_relationships_of_types(current.id, pattern.types)
-                if pattern.types
-                else store.out_relationships(current.id)
-            )
-        elif pattern.direction == ast.IN:
-            candidate_ids = sorted(
-                store.in_relationships_of_types(current.id, pattern.types)
-                if pattern.types
-                else store.in_relationships(current.id)
-            )
-        else:
-            if pattern.types:
-                candidate_ids = sorted(
-                    store.out_relationships_of_types(
-                        current.id, pattern.types
-                    )
-                    | store.in_relationships_of_types(
-                        current.id, pattern.types
-                    )
-                )
-            else:
-                candidate_ids = sorted(
-                    store.out_relationships(current.id)
-                    | store.in_relationships(current.id)
-                )
+        # relationships of other types without touching them; the store
+        # builds one ordered id list per step instead of materialising
+        # and unioning per-direction sets.
+        candidate_ids = store.adjacent_rel_ids(
+            current.id,
+            outgoing=pattern.direction != ast.IN,
+            incoming=pattern.direction != ast.OUT,
+            types=pattern.types or None,
+        )
+        type_checked = True
     for rel_id in candidate_ids:
         if ctx.match_mode is MatchMode.TRAIL and rel_id in used:
             continue
         rel = store.relationship(rel_id)
-        if pattern.types and rel.type not in pattern.types:
+        # A bound variable's relationship was never type-filtered;
+        # adjacency-derived candidates already were.
+        if not type_checked and pattern.types and rel.type not in pattern.types:
             continue
         source_id = rel.start.id
         target_id = rel.end.id

@@ -26,8 +26,16 @@ The planner changes only *enumeration order*, so revised-dialect
 results are unaffected (they are order-insensitive by design); under
 the legacy dialect enumeration order is observable through the
 anomalies the paper documents, so planning is **opt-in**
-(``Graph(..., use_planner=True)``) and intended for the revised
-dialect.  `benchmarks/bench_planner.py` measures the effect.
+(``Graph(..., use_planner=True)``).  `benchmarks/bench_planner.py`
+measures the effect.
+
+This module remains the reference formulation of the cost model (its
+:func:`estimate_node_cost` and :func:`reverse_path` are exercised
+directly by the test suite), but execution now goes through
+:mod:`repro.runtime.match_planner`, which plans *inside* the matcher:
+it anchors a walk at any node element (not just an endpoint), covers
+MERGE and pattern predicates as well as MATCH, and re-sorts matches
+into naive enumeration order when the legacy dialect needs it.
 """
 
 from __future__ import annotations

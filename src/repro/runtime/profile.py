@@ -93,6 +93,8 @@ class ClauseProfile:
         "time_ms",
         "hits",
         "children",
+        "anchor",
+        "paths_reordered",
         "_started",
         "_before",
     )
@@ -104,6 +106,11 @@ class ClauseProfile:
         self.time_ms = 0.0
         self.hits = DbHits()
         self.children: list[ClauseProfile] = []
+        #: match-planner annotations (None / 0 when the clause did not
+        #: plan a pattern): the chosen anchor description and how many
+        #: paths ran out of written order
+        self.anchor: str | None = None
+        self.paths_reordered = 0
         self._started = 0.0
         self._before = DbHits()
 
@@ -120,6 +127,8 @@ class ClauseProfile:
             "rows_out": self.rows_out,
             "time_ms": round(self.time_ms, 3),
             "db_hits": self.hits.to_dict(),
+            "anchor": self.anchor,
+            "paths_reordered": self.paths_reordered,
             "children": [child.to_dict() for child in self.children],
         }
 
@@ -149,6 +158,8 @@ class QueryProfile:
         #: the QueryResult this profile belongs to (set by the engine)
         self.result = None
         self._stack: list[list[ClauseProfile]] = [self.clauses]
+        #: open entries, innermost last (annotation target)
+        self._open: list[ClauseProfile] = []
 
     # -- recording ------------------------------------------------------
 
@@ -159,6 +170,7 @@ class QueryProfile:
         entry._started = time.perf_counter()
         self._stack[-1].append(entry)
         self._stack.append(entry.children)
+        self._open.append(entry)
         return entry
 
     def end(self, entry: ClauseProfile, rows_out: int) -> None:
@@ -167,6 +179,19 @@ class QueryProfile:
         entry.hits = self.counters.snapshot() - entry._before
         entry.rows_out = rows_out
         self._stack.pop()
+        self._open.pop()
+
+    def annotate(self, **fields: object) -> None:
+        """Attach planner metadata to the innermost open clause entry.
+
+        Called from inside pattern matching (e.g. the match planner
+        reporting its anchor choice); a no-op between clauses.
+        """
+        if not self._open:
+            return
+        entry = self._open[-1]
+        for name, value in fields.items():
+            setattr(entry, name, value)
 
     # -- totals ---------------------------------------------------------
 

@@ -25,13 +25,9 @@ def execute_match(
         for name in pattern_variables(clause.pattern)
         if name not in table.columns
     ]
+    # Planning happens inside the matcher (per record, so estimates see
+    # each record's actual bindings) -- see repro.runtime.match_planner.
     pattern = clause.pattern
-    if ctx.use_planner and len(table) > 0:
-        from repro.runtime.planner import plan_pattern
-
-        # Plan once per clause, using the first record's bindings as
-        # representative for index-selectivity estimates.
-        pattern = plan_pattern(ctx, pattern, table.records[0])
     where_fn = (
         compile_expression(clause.where) if clause.where is not None else None
     )

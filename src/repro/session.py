@@ -135,6 +135,15 @@ class Graph:
         """Describe how *statement* would execute, without running it."""
         return self.engine.explain(statement)
 
+    def plan(self, statement: str) -> str:
+        """Show the match planner's anchor and ordering choices.
+
+        Like :meth:`explain` but with the planner forced on, so the
+        plan is visible even on a graph constructed without
+        ``use_planner=True``.  Nothing is executed.
+        """
+        return self.engine.plan(statement)
+
     def transaction(self) -> Transaction:
         """Open a multi-statement rollback scope."""
         return Transaction(self.store)

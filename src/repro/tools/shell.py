@@ -34,6 +34,7 @@ Shell commands:
   :cache                statement-cache and expression-compiler counters
   :schema               indexes and uniqueness constraints
   :explain STATEMENT    show the execution plan without running it
+  :plan STATEMENT       show match-planner anchors (planner forced on)
   :profile STATEMENT    run a statement and show per-clause db-hits
   :lint STATEMENT       check a Cypher 9 statement for migration issues
   :dump                 plain-text listing of the graph
@@ -193,6 +194,14 @@ class Shell:
                 return
             try:
                 self._print(self.graph.explain(argument.rstrip(";")))
+            except CypherError as error:
+                self._print(f"!! {type(error).__name__}: {error}")
+        elif command == ":plan":
+            if not argument:
+                self._print("usage: :plan STATEMENT")
+                return
+            try:
+                self._print(self.graph.plan(argument.rstrip(";")))
             except CypherError as error:
                 self._print(f"!! {type(error).__name__}: {error}")
         elif command == ":profile":
