@@ -544,6 +544,32 @@ def p4_selective_match(users: int = 12000) -> None:
     )
 
 
+def p5_fuzz_throughput(count: int = 120) -> None:
+    print(f"\nP5  Differential fuzzer throughput ({count} seeded cases)")
+    from repro.testing.differential import run_case
+    from repro.testing.generator import cases
+
+    batch = list(cases(seed=0, count=count))
+    started = time.perf_counter()
+    results = [run_case(case) for case in batch]
+    elapsed = (time.perf_counter() - started) * 1000
+    ok = sum(result.ok for result in results)
+    errors = sum(
+        outcome.status == "error"
+        for result in results
+        for outcome in result.outcomes
+    )
+    rate = count / (elapsed / 1000) if elapsed else float("inf")
+    record(
+        "P5",
+        "differential conformance fuzzer",
+        "all cases agree across planner/compiler/MERGE surfaces",
+        f"{ok}/{count} cases ok ({errors} agreeing error outcomes) "
+        f"at {rate:.0f} cases/s",
+        elapsed_ms=elapsed,
+    )
+
+
 def print_markdown() -> None:
     print("\n\n## Markdown table (paste into EXPERIMENTS.md)\n")
     print("| Exp | Artifact | Paper says | Measured |")
@@ -588,6 +614,7 @@ def main(argv: list[str] | None = None) -> None:
     p2_profile_observability()
     p3_expression_compiler(rows=1500 if args.quick else 12000)
     p4_selective_match(users=1500 if args.quick else 12000)
+    p5_fuzz_throughput(count=30 if args.quick else 120)
     print_markdown()
     write_json()
 

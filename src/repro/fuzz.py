@@ -1,0 +1,13 @@
+"""``python -m repro.fuzz`` -- differential conformance fuzzer entrypoint.
+
+See :mod:`repro.testing.cli` for the implementation and options.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.testing.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

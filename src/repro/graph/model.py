@@ -245,6 +245,17 @@ class Path:
         return "".join(parts)
 
 
+def _frozen_value(value: Any) -> Any:
+    """A hashable stand-in for a property value (lists/maps nest)."""
+    if isinstance(value, list):
+        return ("__list__",) + tuple(_frozen_value(item) for item in value)
+    if isinstance(value, dict):
+        return ("__map__",) + tuple(
+            sorted((key, _frozen_value(item)) for key, item in value.items())
+        )
+    return value
+
+
 @dataclass(frozen=True)
 class GraphSnapshot:
     """An immutable copy of the formal tuple <N, R, src, tgt, iota, lambda, tau>.
@@ -276,12 +287,24 @@ class GraphSnapshot:
     def node_signature(self, node_id: int) -> tuple:
         """Content signature of a node: (sorted labels, sorted properties)."""
         labels = tuple(sorted(self.labels.get(node_id, frozenset())))
-        props = tuple(sorted(self.node_properties.get(node_id, {}).items()))
+        props = tuple(
+            sorted(
+                (key, _frozen_value(value))
+                for key, value in self.node_properties.get(
+                    node_id, {}
+                ).items()
+            )
+        )
         return (labels, props)
 
     def rel_signature(self, rel_id: int) -> tuple:
         """Content signature of a relationship (excluding endpoints)."""
-        props = tuple(sorted(self.rel_properties.get(rel_id, {}).items()))
+        props = tuple(
+            sorted(
+                (key, _frozen_value(value))
+                for key, value in self.rel_properties.get(rel_id, {}).items()
+            )
+        )
         return (self.types[rel_id], props)
 
     def out_relationships(self, node_id: int) -> Iterator[int]:

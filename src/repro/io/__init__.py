@@ -1,6 +1,12 @@
 """Data import/export: CSV, JSON graphs, Cypher dump scripts."""
 
-from repro.io.csv_io import read_csv_rows, read_driving_table, write_csv
+from repro.io.csv_io import (
+    read_csv_rows,
+    read_driving_table,
+    read_graph_csv,
+    write_csv,
+    write_graph_csv,
+)
 from repro.io.cypher_script import dump_script, load_script, save_script
 from repro.io.graph_json import load_graph, save_graph
 
@@ -10,7 +16,9 @@ __all__ = [
     "load_script",
     "read_csv_rows",
     "read_driving_table",
+    "read_graph_csv",
     "save_graph",
     "save_script",
     "write_csv",
+    "write_graph_csv",
 ]

@@ -1,0 +1,40 @@
+"""Differential conformance testing: fuzzer, oracles, shrinking.
+
+The subsystem has five parts (see ``docs/testing.md``):
+
+* :mod:`repro.testing.generator` -- seeded, schema-aware random update
+  pipelines biased toward the paper's anomaly shapes;
+* :mod:`repro.testing.differential` -- runs each case across planner
+  on/off, compiled/interpreted expressions and all MERGE semantics,
+  asserting the agreements each dialect promises;
+* :mod:`repro.testing.invariants` -- the store-invariant oracle
+  (:func:`check_invariants`) recounting every cached structure;
+* :mod:`repro.testing.shrinker` -- greedy minimisation of failures;
+* :mod:`repro.testing.corpus` -- replayable bundles under
+  ``tests/fuzz_corpus/``.
+
+CLI: ``python -m repro.fuzz --seed S --cases N``.
+"""
+
+from repro.testing.differential import CaseResult, run_case
+from repro.testing.generator import FuzzCase, case_for, cases
+from repro.testing.invariants import (
+    InvariantViolation,
+    canonical_graph_json,
+    check_invariants,
+    journal_roundtrip,
+)
+from repro.testing.shrinker import shrink
+
+__all__ = [
+    "CaseResult",
+    "FuzzCase",
+    "InvariantViolation",
+    "canonical_graph_json",
+    "case_for",
+    "cases",
+    "check_invariants",
+    "journal_roundtrip",
+    "run_case",
+    "shrink",
+]

@@ -1,0 +1,161 @@
+"""``python -m repro.fuzz``: the differential conformance fuzzer.
+
+Typical invocations::
+
+    python -m repro.fuzz --seed 0 --cases 200        # the CI smoke run
+    python -m repro.fuzz --seed 7 --cases 5000 -v    # a longer hunt
+    python -m repro.fuzz --replay tests/fuzz_corpus  # corpus regression
+
+Every failing case is greedily shrunk and written as a replayable JSON
+bundle under ``tests/fuzz_corpus/`` (``--corpus`` to redirect,
+``--no-shrink`` to keep the original).  Exit status is 0 iff every case
+passed.  Same seed => same cases, byte for byte.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Differential conformance fuzzer for the Cypher "
+        "update semantics (planner on/off x compiled/interpreted x "
+        "merge semantics, with store-invariant oracles).",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="case-stream seed (default 0)"
+    )
+    parser.add_argument(
+        "--cases",
+        type=int,
+        default=200,
+        help="number of cases to run (default 200)",
+    )
+    parser.add_argument(
+        "--start",
+        type=int,
+        default=0,
+        help="first case index (resume a long run)",
+    )
+    parser.add_argument(
+        "--corpus",
+        type=Path,
+        default=None,
+        help="directory for shrunk failure bundles "
+        "(default tests/fuzz_corpus)",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="write failing cases without minimising them",
+    )
+    parser.add_argument(
+        "--shrink-budget",
+        type=int,
+        default=400,
+        help="max candidate evaluations per shrink (default 400)",
+    )
+    parser.add_argument(
+        "--max-failures",
+        type=int,
+        default=5,
+        help="stop after this many distinct failures (default 5)",
+    )
+    parser.add_argument(
+        "--replay",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="replay every bundle in DIR instead of generating cases",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="print one line per case",
+    )
+    return parser
+
+
+def run_replay(directory: Path, *, verbose: bool) -> int:
+    from repro.testing.corpus import iter_bundles, replay_bundle
+
+    bundles = iter_bundles(directory)
+    if not bundles:
+        print(f"no bundles under {directory}")
+        return 0
+    failed = 0
+    for path in bundles:
+        result = replay_bundle(path)
+        status = "ok" if result.ok else "FAIL"
+        if verbose or not result.ok:
+            print(f"[{status}] {path}")
+        if not result.ok:
+            failed += 1
+            for failure in result.failures[:5]:
+                print(f"    {failure}")
+    print(f"replayed {len(bundles)} bundle(s), {failed} failing")
+    return 1 if failed else 0
+
+
+def run_fuzz(args: argparse.Namespace) -> int:
+    from repro.testing.corpus import DEFAULT_CORPUS, write_bundle
+    from repro.testing.differential import run_case
+    from repro.testing.generator import case_for
+    from repro.testing.shrinker import shrink
+
+    corpus = args.corpus if args.corpus is not None else DEFAULT_CORPUS
+    started = time.perf_counter()
+    failures = 0
+    for index in range(args.start, args.start + args.cases):
+        case = case_for(args.seed, index)
+        result = run_case(case)
+        if args.verbose:
+            status = "ok" if result.ok else "FAIL"
+            print(f"[{status}] case {case.seed_key} ({case.kind})")
+        if result.ok:
+            continue
+        failures += 1
+        print(f"FAIL case {case.seed_key} ({case.kind}):")
+        for failure in result.failures[:5]:
+            print(f"    {failure[:400]}")
+        reduced = case
+        if not args.no_shrink:
+            reduced = shrink(case, budget=args.shrink_budget)
+        bundle_failures = run_case(reduced).failures or result.failures
+        path = write_bundle(reduced, bundle_failures, corpus)
+        print(f"    shrunk bundle written to {path}")
+        if failures >= args.max_failures:
+            print("stopping: --max-failures reached")
+            break
+    elapsed = time.perf_counter() - started
+    ran = (
+        min(args.cases, (index - args.start) + 1)
+        if args.cases
+        else 0
+    )
+    rate = ran / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"{ran - failures}/{ran} cases passed in {elapsed:.1f}s "
+        f"({rate:.0f} cases/s, seed {args.seed})"
+    )
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.replay is not None:
+        return run_replay(args.replay, verbose=args.verbose)
+    if args.cases <= 0:
+        print("nothing to do: --cases must be positive")
+        return 2
+    return run_fuzz(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

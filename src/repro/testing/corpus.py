@@ -1,0 +1,113 @@
+"""Replayable failure bundles under ``tests/fuzz_corpus/``.
+
+When the fuzzer finds a failing case it shrinks it and writes a JSON
+bundle -- seed key, dialect, statement *text* (so a human can paste it
+into a session), the base graph, indexes, the merge payload if any, and
+the failure messages observed at write time.  Bundles are named by a
+content hash, so re-finding the same minimal case is idempotent.
+
+Checked-in bundles are the regression corpus: CI replays every bundle
+through the differential executor and expects it to PASS (the bug that
+produced it has been fixed; the bundle keeps it fixed).  A bundle for a
+still-open bug would fail the replay step, which is the point -- it
+cannot be merged before the fix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.dialect import Dialect
+from repro.testing.generator import FuzzCase
+
+#: Default corpus location, relative to the repository root.
+DEFAULT_CORPUS = Path("tests") / "fuzz_corpus"
+
+
+def bundle_dict(case: FuzzCase, failures: list[str] | None = None) -> dict:
+    """The JSON-serialisable form of one case."""
+    return {
+        "format": 1,
+        "seed_key": case.seed_key,
+        "kind": case.kind,
+        "dialect": case.dialect,
+        "statements": list(case.statement_sources()),
+        "graph": case.graph,
+        "indexes": [list(pair) for pair in case.indexes],
+        "merge_pattern": case.merge_pattern,
+        "merge_table": case.merge_table,
+        "failures": list(failures or ()),
+    }
+
+
+def case_from_dict(data: dict) -> FuzzCase:
+    """Rebuild a runnable case from a bundle (statements re-parsed)."""
+    from repro.parser.parser import parse
+
+    dialect = Dialect.parse(data["dialect"])
+    statements = tuple(
+        parse(source, dialect, extended_merge=True)
+        for source in data["statements"]
+    )
+    return FuzzCase(
+        kind=data["kind"],
+        seed_key=data["seed_key"],
+        graph=data["graph"],
+        indexes=tuple(
+            (label, key) for label, key in data.get("indexes", ())
+        ),
+        dialect=data["dialect"],
+        statements=statements,
+        merge_pattern=data.get("merge_pattern"),
+        merge_table=data.get("merge_table"),
+    )
+
+
+def bundle_name(case: FuzzCase) -> str:
+    """Content-addressed filename (failure text excluded)."""
+    payload = bundle_dict(case)
+    payload.pop("failures", None)
+    digest = hashlib.sha1(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+    return f"fuzz_{digest[:12]}.json"
+
+
+def write_bundle(
+    case: FuzzCase,
+    failures: list[str] | None = None,
+    directory: Path | str = DEFAULT_CORPUS,
+) -> Path:
+    """Write (or overwrite) the bundle for *case*; returns its path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / bundle_name(case)
+    path.write_text(
+        json.dumps(bundle_dict(case, failures), indent=2, sort_keys=True)
+        + "\n"
+    )
+    return path
+
+
+def load_bundle(path: Path | str) -> tuple[FuzzCase, list[str]]:
+    """The case a bundle describes, plus its recorded failures."""
+    data = json.loads(Path(path).read_text())
+    return case_from_dict(data), list(data.get("failures", ()))
+
+
+def iter_bundles(directory: Path | str = DEFAULT_CORPUS) -> list[Path]:
+    """All bundle files in *directory*, sorted by name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("fuzz_*.json"))
+
+
+def replay_bundle(path: Path | str):
+    """Re-run one bundle through the differential executor."""
+    from repro.testing.differential import run_case
+
+    case, __ = load_bundle(path)
+    return run_case(case)

@@ -1,0 +1,860 @@
+"""Seeded, schema-aware fuzz-case generation.
+
+Every case is generated from ``random.Random(f"{seed}:{index}")``, so a
+``(seed, index)`` pair names one case forever -- the CLI, the corpus
+bundles and the CI smoke job all rely on that determinism.
+
+A case bundles a random graph (over a tiny fixed schema: labels A/B/C,
+relationship types T/S, integer keys ``i``/``k`` plus a string ``name``)
+with either
+
+* a pipeline of 1-2 random update statements, built directly as
+  :mod:`repro.parser.ast` values (``kind="revised"`` for the free
+  interleaving of Figure 10, ``kind="legacy"`` for the reading-then-
+  updating shape of Figure 2), or
+* a MERGE pattern plus a driving table with controlled duplicates and
+  nulls (``kind="merge"``), for the five-semantics sweep.
+
+Generation is *biased toward the paper's anomaly shapes*: self-reading
+and conflicting SET items (Example 1/2), DELETE of nodes that still
+have relationships (Section 4.2), and MERGE property maps that read
+driving values (Example 3 / Figure 6 order dependence).
+
+Statements are valid by construction (the builder tracks the bound
+variables exactly like :mod:`repro.runtime.scoping` does) and are
+re-checked with :func:`~repro.runtime.scoping.check_statement`; the
+rare reject is regenerated.  The parse -> unparse -> parse round-trip
+over this corpus is a separate property test
+(``tests/properties/test_fuzz_roundtrip.py``) -- the generator never
+filters on it, so round-trip bugs surface instead of hiding.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.dialect import Dialect
+from repro.graph.store import GraphStore
+from repro.parser import ast
+from repro.runtime.scoping import check_statement
+
+LABELS = ("A", "B", "C")
+REL_TYPES = ("T", "S")
+INT_KEYS = ("i", "k")
+STRING_KEY = "name"
+STRINGS = ("ann", "bob", "cat")
+
+#: How many differential case kinds exist, in generation rotation order.
+KINDS = ("revised", "legacy", "merge")
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One reproducible differential test case."""
+
+    kind: str
+    seed_key: str
+    #: graph in :func:`repro.io.graph_json.graph_to_dict` form
+    graph: dict
+    indexes: tuple[tuple[str, str], ...] = ()
+    dialect: str = Dialect.REVISED.value
+    statements: tuple[ast.Statement, ...] = ()
+    #: merge-kind payload: pattern source text and a driving table
+    merge_pattern: str | None = None
+    merge_table: dict | None = None
+
+    def statement_sources(self) -> tuple[str, ...]:
+        """The statements as canonical Cypher text."""
+        from repro.parser.unparse import unparse
+
+        return tuple(unparse(statement) for statement in self.statements)
+
+
+def build_store(case: FuzzCase) -> GraphStore:
+    """Materialise the case's base graph (plus its indexes)."""
+    from repro.io.graph_json import dict_to_store
+
+    store = dict_to_store(case.graph)
+    for label, key in case.indexes:
+        store.create_index(label, key)
+    return store
+
+
+def case_for(seed: int, index: int) -> FuzzCase:
+    """The deterministic case at position *index* of stream *seed*."""
+    seed_key = f"{seed}:{index}"
+    rng = random.Random(seed_key)
+    kind = KINDS[index % len(KINDS)]
+    graph, indexes = _random_graph(rng)
+    if kind == "merge":
+        pattern, table = _merge_payload(rng)
+        return FuzzCase(
+            kind=kind,
+            seed_key=seed_key,
+            graph=graph,
+            indexes=indexes,
+            merge_pattern=pattern,
+            merge_table=table,
+        )
+    dialect = Dialect.REVISED if kind == "revised" else Dialect.CYPHER9
+    statements = tuple(
+        _statement(rng, dialect) for __ in range(rng.randint(1, 2))
+    )
+    return FuzzCase(
+        kind=kind,
+        seed_key=seed_key,
+        graph=graph,
+        indexes=indexes,
+        dialect=dialect.value,
+        statements=statements,
+    )
+
+
+def cases(seed: int, count: int) -> list[FuzzCase]:
+    """The first *count* cases of stream *seed*."""
+    return [case_for(seed, index) for index in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# Random graphs
+# ---------------------------------------------------------------------------
+
+
+def _random_graph(rng: random.Random) -> tuple[dict, tuple]:
+    node_count = rng.randint(0, 8)
+    nodes = []
+    for node_id in range(node_count):
+        labels = sorted(
+            label for label in LABELS if rng.random() < 0.45
+        )
+        properties: dict = {}
+        for key in INT_KEYS:
+            if rng.random() < 0.6:
+                properties[key] = rng.randint(0, 4)
+        if rng.random() < 0.3:
+            properties[STRING_KEY] = rng.choice(STRINGS)
+        nodes.append(
+            {"id": node_id, "labels": labels, "properties": properties}
+        )
+    relationships = []
+    if node_count:
+        for rel_id in range(rng.randint(0, min(12, 2 * node_count))):
+            properties = (
+                {"w": rng.randint(0, 3)} if rng.random() < 0.4 else {}
+            )
+            relationships.append(
+                {
+                    "id": rel_id,
+                    "type": rng.choice(REL_TYPES),
+                    "start": rng.randrange(node_count),
+                    "end": rng.randrange(node_count),
+                    "properties": properties,
+                }
+            )
+    indexes = tuple(
+        (label, key)
+        for label in LABELS
+        for key in INT_KEYS
+        if rng.random() < 0.2
+    )
+    return {"nodes": nodes, "relationships": relationships}, indexes
+
+
+# ---------------------------------------------------------------------------
+# Merge-kind payloads
+# ---------------------------------------------------------------------------
+
+
+def _merge_payload(rng: random.Random) -> tuple[str, dict]:
+    """A directed MERGE pattern plus an Example 3/5-shaped table."""
+    columns = ("cid", "pid")
+    length = rng.randint(1, 2)
+    parts = [f"(u:{rng.choice(LABELS)} {{i: cid}})"]
+    for step in range(length):
+        rel_type = rng.choice(REL_TYPES)
+        arrow = f"-[:{rel_type}]->" if rng.random() < 0.8 else f"<-[:{rel_type}]-"
+        tail_props = "{i: pid}" if step == length - 1 else "{i: cid}"
+        parts.append(f"{arrow}(n{step}:{rng.choice(LABELS)} {tail_props})")
+    pattern = "".join(parts)
+    if rng.random() < 0.3:
+        pattern = f"(u:{rng.choice(LABELS)} {{i: cid, k: pid}})"
+    rows: list[dict] = []
+    seen: list[tuple] = []
+    for __ in range(rng.randint(2, 9)):
+        if seen and rng.random() < 0.4:
+            cid, pid = rng.choice(seen)
+        else:
+            cid = rng.randint(0, 3)
+            pid = None if rng.random() < 0.25 else rng.randint(0, 3)
+            seen.append((cid, pid))
+        rows.append({"cid": cid, "pid": pid})
+    return pattern, {"columns": list(columns), "records": rows}
+
+
+# ---------------------------------------------------------------------------
+# Statement generation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Env:
+    """The builder's model of the variables in scope."""
+
+    nodes: list[str] = field(default_factory=list)
+    rels: list[str] = field(default_factory=list)
+    values: list[str] = field(default_factory=list)
+    counter: int = 0
+
+    def fresh(self, prefix: str) -> str:
+        name = f"{prefix}{self.counter}"
+        self.counter += 1
+        return name
+
+    def all_names(self) -> list[str]:
+        return self.nodes + self.rels + self.values
+
+    def copy(self) -> "_Env":
+        return _Env(
+            nodes=list(self.nodes),
+            rels=list(self.rels),
+            values=list(self.values),
+            counter=self.counter,
+        )
+
+
+def _statement(rng: random.Random, dialect: Dialect) -> ast.Statement:
+    """One scope-valid statement for *dialect* (retry on the rare reject)."""
+    for __ in range(8):
+        builder = _Builder(rng, dialect)
+        statement = builder.statement()
+        try:
+            check_statement(statement)
+        except Exception:
+            continue
+        return statement
+    # Defensive fallback; the builder should essentially never get here.
+    return ast.Statement(
+        query=ast.SingleQuery(
+            clauses=(
+                ast.ReturnClause(
+                    body=ast.ProjectionBody(
+                        items=(
+                            ast.ProjectionItem(ast.Literal(1), alias="one"),
+                        )
+                    )
+                ),
+            )
+        )
+    )
+
+
+class _Builder:
+    """Grows one statement clause by clause, tracking scope."""
+
+    def __init__(self, rng: random.Random, dialect: Dialect):
+        self.rng = rng
+        self.dialect = dialect
+        self.env = _Env()
+
+    # -- expressions ----------------------------------------------------
+
+    def int_expr(self, depth: int = 0) -> ast.Expression:
+        rng = self.rng
+        leafs = ["literal"]
+        if self.env.nodes:
+            leafs += ["prop", "prop", "prop"]
+        if self.env.values:
+            leafs += ["value", "value"]
+        if depth < 2 and rng.random() < 0.45:
+            operator = rng.choice(["+", "-", "*", "%"])
+            return ast.Binary(
+                operator,
+                self.int_expr(depth + 1),
+                self.int_expr(depth + 1),
+            )
+        if depth < 2 and rng.random() < 0.1:
+            return ast.FunctionCall(
+                "coalesce",
+                (self.int_expr(depth + 1), ast.Literal(rng.randint(0, 4))),
+            )
+        choice = rng.choice(leafs)
+        if choice == "prop":
+            return ast.Property(
+                ast.Variable(rng.choice(self.env.nodes)),
+                rng.choice(INT_KEYS),
+            )
+        if choice == "value":
+            return ast.Variable(rng.choice(self.env.values))
+        return ast.Literal(rng.randint(0, 5))
+
+    def any_expr(self) -> ast.Expression:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.55:
+            return self.int_expr()
+        if roll < 0.7:
+            return ast.Literal(rng.choice(STRINGS))
+        if roll < 0.78:
+            return ast.Literal(rng.choice([True, False, None]))
+        if roll < 0.88 and self.env.nodes:
+            return ast.Variable(rng.choice(self.env.nodes))
+        if roll < 0.94:
+            return ast.ListLiteral(
+                tuple(
+                    ast.Literal(rng.randint(0, 3))
+                    for __ in range(rng.randint(0, 3))
+                )
+            )
+        return ast.CaseExpression(
+            operand=None,
+            alternatives=(
+                (
+                    ast.Binary(">", self.int_expr(1), ast.Literal(1)),
+                    self.int_expr(1),
+                ),
+            ),
+            default=ast.Literal(0),
+        )
+
+    def predicate(self) -> ast.Expression:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.5:
+            return ast.Binary(
+                rng.choice(["=", "<>", "<", "<=", ">", ">="]),
+                self.int_expr(1),
+                self.int_expr(1),
+            )
+        if roll < 0.7 and self.env.nodes:
+            return ast.IsNull(
+                ast.Property(
+                    ast.Variable(rng.choice(self.env.nodes)),
+                    rng.choice(INT_KEYS),
+                ),
+                negated=rng.random() < 0.5,
+            )
+        if roll < 0.85 and self.env.nodes:
+            return ast.HasLabels(
+                ast.Variable(rng.choice(self.env.nodes)),
+                (rng.choice(LABELS),),
+            )
+        return ast.Binary(
+            rng.choice(["AND", "OR"]),
+            ast.Binary(">=", self.int_expr(1), ast.Literal(0)),
+            ast.Binary("<", self.int_expr(1), ast.Literal(9)),
+        )
+
+    def property_map(
+        self, *, with_expressions: bool
+    ) -> ast.MapLiteral | None:
+        rng = self.rng
+        if rng.random() < 0.35:
+            return None
+        items: list[tuple[str, ast.Expression]] = []
+        for key in INT_KEYS:
+            if rng.random() < 0.5:
+                if with_expressions and rng.random() < 0.5:
+                    items.append((key, self.int_expr(1)))
+                else:
+                    items.append((key, ast.Literal(rng.randint(0, 4))))
+        if rng.random() < 0.15:
+            items.append((STRING_KEY, ast.Literal(rng.choice(STRINGS))))
+        if not items:
+            return None
+        return ast.MapLiteral(tuple(items))
+
+    # -- patterns -------------------------------------------------------
+
+    def _node_pattern(
+        self, *, bind: bool, reuse_ok: bool, with_expressions: bool
+    ) -> ast.NodePattern:
+        rng = self.rng
+        if reuse_ok and self.env.nodes and rng.random() < 0.18:
+            # Re-using a bound node constrains the match / attaches the
+            # entity; keep it bare, which is legal in every clause.
+            return ast.NodePattern(variable=rng.choice(self.env.nodes))
+        labels = tuple(
+            sorted(label for label in LABELS if rng.random() < 0.3)
+        )
+        # Bind AFTER building the property map: in-pattern references
+        # then only point backward, which the matcher resolves.  A small
+        # fraction binds first, keeping the always-failing self-reference
+        # shape in the corpus to exercise the error path.
+        bind_first = bind and rng.random() < 0.05
+        variable = None
+        if bind_first:
+            variable = self.env.fresh("n")
+            self.env.nodes.append(variable)
+        properties = self.property_map(with_expressions=with_expressions)
+        if bind and not bind_first and rng.random() < 0.8:
+            variable = self.env.fresh("n")
+            self.env.nodes.append(variable)
+        return ast.NodePattern(
+            variable=variable,
+            labels=labels,
+            properties=properties,
+        )
+
+    def match_pattern(self) -> ast.Pattern:
+        rng = self.rng
+        paths = []
+        for __ in range(1 if rng.random() < 0.75 else 2):
+            elements: list = [
+                self._node_pattern(
+                    bind=True, reuse_ok=True, with_expressions=True
+                )
+            ]
+            for __ in range(rng.randint(0, 2)):
+                variable = None
+                if rng.random() < 0.5:
+                    variable = self.env.fresh("r")
+                    self.env.rels.append(variable)
+                types = tuple(
+                    sorted(t for t in REL_TYPES if rng.random() < 0.45)
+                )
+                var_length = None
+                if variable is None and rng.random() < 0.12:
+                    lower = rng.randint(0, 1)
+                    var_length = (lower, lower + rng.randint(0, 2))
+                elements.append(
+                    ast.RelationshipPattern(
+                        variable=variable,
+                        types=types,
+                        direction=rng.choice(
+                            [ast.OUT, ast.IN, ast.BOTH]
+                        ),
+                        var_length=var_length,
+                    )
+                )
+                elements.append(
+                    self._node_pattern(
+                        bind=True, reuse_ok=True, with_expressions=True
+                    )
+                )
+            path_variable = None
+            if rng.random() < 0.1:
+                path_variable = self.env.fresh("p")
+                self.env.values.append(path_variable)
+            paths.append(
+                ast.PathPattern(
+                    variable=path_variable, elements=tuple(elements)
+                )
+            )
+        return ast.Pattern(paths=tuple(paths))
+
+    def update_pattern(self, *, allow_undirected: bool) -> ast.Pattern:
+        """A CREATE/MERGE pattern: directed, typed, no var-length."""
+        rng = self.rng
+        paths = []
+        for __ in range(1 if rng.random() < 0.85 else 2):
+            first = self._node_pattern(
+                bind=True, reuse_ok=True, with_expressions=True
+            )
+            elements: list = [first]
+            length = rng.randint(0, 2)
+            if length == 0 and first.variable is None:
+                # an anonymous single-node CREATE is legal but useless;
+                # fine.  A *reused* single node is not a creation --
+                # force a fresh variable instead.
+                pass
+            if length == 0 and first.variable in self.env.nodes[:-1]:
+                # single-node path reusing a bound variable would
+                # re-declare it; give the path one relationship.
+                length = 1
+            for __ in range(length):
+                variable = None
+                if rng.random() < 0.4:
+                    variable = self.env.fresh("r")
+                    self.env.rels.append(variable)
+                direction = rng.choice([ast.OUT, ast.IN])
+                if allow_undirected and rng.random() < 0.25:
+                    direction = ast.BOTH
+                elements.append(
+                    ast.RelationshipPattern(
+                        variable=variable,
+                        types=(rng.choice(REL_TYPES),),
+                        properties=self.property_map(with_expressions=True)
+                        if rng.random() < 0.3
+                        else None,
+                        direction=direction,
+                    )
+                )
+                elements.append(
+                    self._node_pattern(
+                        bind=True, reuse_ok=True, with_expressions=True
+                    )
+                )
+            paths.append(ast.PathPattern(elements=tuple(elements)))
+        return ast.Pattern(paths=tuple(paths))
+
+    # -- clauses --------------------------------------------------------
+
+    def match_clause(self) -> ast.MatchClause:
+        pattern = self.match_pattern()
+        where = self.predicate() if self.rng.random() < 0.4 else None
+        return ast.MatchClause(
+            pattern=pattern,
+            optional=self.rng.random() < 0.2,
+            where=where,
+        )
+
+    def unwind_clause(self) -> ast.UnwindClause:
+        rng = self.rng
+        variable = self.env.fresh("x")
+        if rng.random() < 0.5:
+            source: ast.Expression = ast.FunctionCall(
+                "range",
+                (ast.Literal(0), ast.Literal(rng.randint(0, 3))),
+            )
+        else:
+            source = ast.ListLiteral(
+                tuple(
+                    ast.Literal(rng.randint(0, 4))
+                    for __ in range(rng.randint(1, 4))
+                )
+            )
+        self.env.values.append(variable)
+        return ast.UnwindClause(expression=source, variable=variable)
+
+    def create_clause(self) -> ast.CreateClause:
+        return ast.CreateClause(
+            pattern=self.update_pattern(allow_undirected=False)
+        )
+
+    def set_clause(self) -> ast.SetClause:
+        rng = self.rng
+        items: list[ast.SetItem] = []
+        for __ in range(rng.randint(1, 2)):
+            target = ast.Variable(rng.choice(self.env.nodes))
+            roll = rng.random()
+            if roll < 0.6:
+                # Bias: the value reads properties of (possibly other)
+                # matched nodes -- the Example 1/2 conflict shape.
+                items.append(
+                    ast.SetProperty(
+                        target=ast.Property(target, rng.choice(INT_KEYS)),
+                        value=self.int_expr()
+                        if rng.random() < 0.8
+                        else ast.Literal(None),
+                    )
+                )
+            elif roll < 0.75:
+                items.append(
+                    ast.SetLabels(
+                        target=target, labels=(rng.choice(LABELS),)
+                    )
+                )
+            elif roll < 0.9:
+                value = self.property_map(with_expressions=True)
+                items.append(
+                    ast.SetAdditiveProperties(
+                        target=target,
+                        value=value
+                        if value is not None
+                        else ast.MapLiteral(
+                            (("i", ast.Literal(rng.randint(0, 4))),)
+                        ),
+                    )
+                )
+            else:
+                value = self.property_map(with_expressions=True)
+                items.append(
+                    ast.SetAllProperties(
+                        target=target,
+                        value=value
+                        if value is not None
+                        else ast.MapLiteral(()),
+                    )
+                )
+        return ast.SetClause(items=tuple(items))
+
+    def remove_clause(self) -> ast.RemoveClause:
+        rng = self.rng
+        target = ast.Variable(rng.choice(self.env.nodes))
+        if rng.random() < 0.5:
+            item: ast.RemoveItem = ast.RemoveProperty(
+                target=ast.Property(target, rng.choice(INT_KEYS))
+            )
+        else:
+            item = ast.RemoveLabels(
+                target=target, labels=(rng.choice(LABELS),)
+            )
+        return ast.RemoveClause(items=(item,))
+
+    def delete_clause(self) -> ast.DeleteClause:
+        rng = self.rng
+        candidates = []
+        if self.env.nodes:
+            # Bias toward nodes: deleting a node that still has
+            # relationships is the Section 4.2 anomaly shape.
+            candidates += [rng.choice(self.env.nodes)] * 3
+        if self.env.rels:
+            candidates.append(rng.choice(self.env.rels))
+        picks = sorted(
+            {rng.choice(candidates) for __ in range(rng.randint(1, 2))}
+        )
+        return ast.DeleteClause(
+            expressions=tuple(ast.Variable(name) for name in picks),
+            detach=rng.random() < 0.45,
+        )
+
+    def merge_clause(self) -> ast.MergeClause:
+        rng = self.rng
+        if self.dialect is Dialect.CYPHER9:
+            pattern = ast.Pattern(
+                paths=(
+                    self.update_pattern(allow_undirected=True).paths[0],
+                )
+            )
+            on_create: tuple[ast.SetItem, ...] = ()
+            on_match: tuple[ast.SetItem, ...] = ()
+            merge_nodes = [
+                element.variable
+                for element in pattern.paths[0].elements
+                if isinstance(element, ast.NodePattern)
+                and element.variable is not None
+            ]
+            if merge_nodes and rng.random() < 0.4:
+                on_create = (
+                    ast.SetProperty(
+                        target=ast.Property(
+                            ast.Variable(rng.choice(merge_nodes)), "k"
+                        ),
+                        value=ast.Literal(rng.randint(0, 4)),
+                    ),
+                )
+            if merge_nodes and rng.random() < 0.4:
+                on_match = (
+                    ast.SetProperty(
+                        target=ast.Property(
+                            ast.Variable(rng.choice(merge_nodes)), "i"
+                        ),
+                        value=self.int_expr(1),
+                    ),
+                )
+            return ast.MergeClause(
+                pattern=pattern,
+                semantics=ast.MERGE_LEGACY,
+                on_create=on_create,
+                on_match=on_match,
+            )
+        semantics = rng.choice(
+            [ast.MERGE_ALL, ast.MERGE_ALL, ast.MERGE_SAME, ast.MERGE_SAME]
+            + [
+                ast.MERGE_GROUPING,
+                ast.MERGE_WEAK_COLLAPSE,
+                ast.MERGE_COLLAPSE,
+            ]
+        )
+        return ast.MergeClause(
+            pattern=self.update_pattern(allow_undirected=False),
+            semantics=semantics,
+        )
+
+    def foreach_clause(self) -> ast.ForeachClause:
+        rng = self.rng
+        variable = self.env.fresh("x")
+        source = ast.ListLiteral(
+            tuple(
+                ast.Literal(rng.randint(0, 3))
+                for __ in range(rng.randint(1, 3))
+            )
+        )
+        inner = self.env.copy()
+        inner.values.append(variable)
+        saved, self.env = self.env, inner
+        try:
+            if self.env.nodes and rng.random() < 0.5:
+                updates: tuple[ast.Clause, ...] = (
+                    ast.SetClause(
+                        items=(
+                            ast.SetProperty(
+                                target=ast.Property(
+                                    ast.Variable(
+                                        rng.choice(self.env.nodes)
+                                    ),
+                                    rng.choice(INT_KEYS),
+                                ),
+                                value=ast.Variable(variable),
+                            ),
+                        )
+                    ),
+                )
+            else:
+                updates = (
+                    ast.CreateClause(
+                        pattern=ast.Pattern(
+                            paths=(
+                                ast.PathPattern(
+                                    elements=(
+                                        ast.NodePattern(
+                                            labels=(rng.choice(LABELS),),
+                                            properties=ast.MapLiteral(
+                                                (
+                                                    (
+                                                        "i",
+                                                        ast.Variable(
+                                                            variable
+                                                        ),
+                                                    ),
+                                                )
+                                            ),
+                                        ),
+                                    )
+                                ),
+                            )
+                        )
+                    ),
+                )
+        finally:
+            self.env = saved
+        return ast.ForeachClause(
+            variable=variable, source=source, updates=updates
+        )
+
+    def with_clause(self) -> ast.WithClause:
+        body = self._projection_body(is_with=True)
+        where = None
+        if self.rng.random() < 0.25:
+            where = self.predicate()
+        return ast.WithClause(body=body, where=where)
+
+    def return_clause(self) -> ast.ReturnClause:
+        return ast.ReturnClause(body=self._projection_body(is_with=False))
+
+    def _projection_body(self, *, is_with: bool) -> ast.ProjectionBody:
+        rng = self.rng
+        items: list[ast.ProjectionItem] = []
+        new_env = _Env(counter=self.env.counter)
+        keep = [
+            name
+            for name in self.env.all_names()
+            if rng.random() < (0.8 if is_with else 0.6)
+        ]
+        if is_with and not keep and self.env.all_names():
+            keep = [rng.choice(self.env.all_names())]
+        for name in keep:
+            items.append(
+                ast.ProjectionItem(ast.Variable(name), alias=name)
+            )
+            if name in self.env.nodes:
+                new_env.nodes.append(name)
+            elif name in self.env.rels:
+                new_env.rels.append(name)
+            else:
+                new_env.values.append(name)
+        for __ in range(rng.randint(0, 2)):
+            alias = new_env.fresh("v")
+            items.append(
+                ast.ProjectionItem(self.any_expr(), alias=alias)
+            )
+            new_env.values.append(alias)
+        if not is_with and rng.random() < 0.25:
+            alias = new_env.fresh("c")
+            items.append(ast.ProjectionItem(ast.CountStar(), alias=alias))
+            new_env.values.append(alias)
+        if not items:
+            alias = new_env.fresh("v")
+            items.append(
+                ast.ProjectionItem(ast.Literal(1), alias=alias)
+            )
+            new_env.values.append(alias)
+        order_by: tuple[ast.SortItem, ...] = ()
+        aggregated = any(
+            isinstance(item.expression, ast.CountStar) for item in items
+        )
+        if rng.random() < 0.25 and not aggregated:
+            target = rng.choice(items)
+            if not isinstance(target.expression, ast.CountStar):
+                order_by = (
+                    ast.SortItem(
+                        ast.Variable(target.alias),
+                        ascending=rng.random() < 0.7,
+                    ),
+                )
+        limit = None
+        if order_by and rng.random() < 0.5:
+            limit = ast.Literal(rng.randint(1, 5))
+        body = ast.ProjectionBody(
+            items=tuple(items),
+            distinct=rng.random() < 0.15,
+            order_by=order_by,
+            limit=limit,
+        )
+        self.env = new_env
+        return body
+
+    # -- whole statements ----------------------------------------------
+
+    def statement(self) -> ast.Statement:
+        if self.dialect is Dialect.CYPHER9:
+            clauses = self._legacy_clauses()
+        else:
+            clauses = self._revised_clauses()
+        return ast.Statement(query=ast.SingleQuery(clauses=tuple(clauses)))
+
+    def _revised_clauses(self) -> list[ast.Clause]:
+        rng = self.rng
+        clauses: list[ast.Clause] = []
+        for __ in range(rng.randint(1, 5)):
+            choices = ["match", "unwind", "create", "merge"]
+            if self.env.nodes:
+                choices += ["set", "set", "remove", "delete", "foreach"]
+            if self.env.all_names() and rng.random() < 0.2:
+                choices.append("with")
+            clauses.append(self._clause_named(rng.choice(choices)))
+        # Figure 10 requires a query to end with RETURN or an update
+        # clause; a trailing reading clause is a syntax error.
+        if rng.random() < 0.7 or ast.is_reading_clause(clauses[-1]) \
+                or isinstance(clauses[-1], ast.WithClause):
+            clauses.append(self.return_clause())
+        return clauses
+
+    def _legacy_clauses(self) -> list[ast.Clause]:
+        """Figure 2 shape: (reading* update*)+ with WITH separators."""
+        rng = self.rng
+        clauses: list[ast.Clause] = []
+        for segment in range(rng.randint(1, 2)):
+            if segment:
+                clauses.append(self.with_clause())
+            for __ in range(rng.randint(0, 2)):
+                clauses.append(
+                    self.match_clause()
+                    if rng.random() < 0.75
+                    else self.unwind_clause()
+                )
+            update_choices = ["create", "merge"]
+            if self.env.nodes:
+                update_choices += ["set", "set", "remove", "delete", "foreach"]
+            for __ in range(rng.randint(0, 3)):
+                clauses.append(
+                    self._clause_named(rng.choice(update_choices))
+                )
+        if not clauses:
+            clauses.append(self.match_clause())
+        if rng.random() < 0.7 or ast.is_reading_clause(clauses[-1]) \
+                or isinstance(clauses[-1], ast.WithClause):
+            clauses.append(self.return_clause())
+        return clauses
+
+    def _clause_named(self, name: str) -> ast.Clause:
+        if name == "match":
+            return self.match_clause()
+        if name == "unwind":
+            return self.unwind_clause()
+        if name == "create":
+            return self.create_clause()
+        if name == "merge":
+            return self.merge_clause()
+        if name == "set":
+            return self.set_clause()
+        if name == "remove":
+            return self.remove_clause()
+        if name == "delete":
+            return self.delete_clause()
+        if name == "foreach":
+            return self.foreach_clause()
+        if name == "with":
+            return self.with_clause()
+        raise AssertionError(f"unknown clause kind {name}")

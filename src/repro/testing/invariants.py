@@ -1,0 +1,317 @@
+"""Store-invariant oracle: recount everything a :class:`GraphStore` caches.
+
+The store maintains many derived structures incrementally -- live-entity
+counters, label-index buckets, per-type adjacency, property-index
+buckets and reverse maps -- through every mutation *and* every journal
+undo.  A bug in any one of those paths corrupts query results silently:
+the planner picks anchors from stale statistics, MATCH skips nodes an
+index forgot, degrees drift after rollback.
+
+:func:`check_invariants` is the from-scratch recount.  It walks the raw
+node/relationship records (the single source of truth) and verifies
+every cached structure against them, raising :class:`InvariantViolation`
+with *all* discrepancies, not just the first.  The differential fuzzer
+runs it after every case and after every rollback; the equivalence
+property suites run it as a post-condition.
+
+:func:`journal_roundtrip` brackets a mutation with a mark and verifies
+that rolling back restores a byte-identical graph (via the canonical
+JSON rendering) and a store that still passes :func:`check_invariants`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable
+
+from repro.graph.store import GraphStore
+
+
+class InvariantViolation(AssertionError):
+    """One or more cached store structures disagree with a recount."""
+
+    def __init__(self, problems: list[str]):
+        self.problems = list(problems)
+        super().__init__(
+            "store invariants violated:\n  " + "\n  ".join(self.problems)
+        )
+
+
+def canonical_graph_json(store: GraphStore) -> str:
+    """Deterministic JSON rendering of the live graph (byte-comparable)."""
+    from repro.io.graph_json import graph_to_dict
+
+    return json.dumps(graph_to_dict(store), sort_keys=True)
+
+
+def check_invariants(
+    store: GraphStore, *, allow_dangling: bool = False
+) -> None:
+    """Verify every cached structure against a from-scratch recount.
+
+    Raises :class:`InvariantViolation` listing every discrepancy.  With
+    ``allow_dangling=True`` live relationships whose endpoints are
+    tombstones are tolerated (the legacy dialect's mid-statement
+    states); by default they are violations, matching the well-formed
+    graphs every statement boundary must exhibit.
+    """
+    problems: list[str] = []
+    live_nodes = {
+        node_id
+        for node_id, record in store._nodes.items()
+        if not record.deleted
+    }
+    live_rels = {
+        rel_id
+        for rel_id, record in store._rels.items()
+        if not record.deleted
+    }
+
+    # -- live-entity counters ------------------------------------------
+    if store._live_nodes != len(live_nodes):
+        problems.append(
+            f"live node counter {store._live_nodes} != recount "
+            f"{len(live_nodes)}"
+        )
+    if store._live_rels != len(live_rels):
+        problems.append(
+            f"live relationship counter {store._live_rels} != recount "
+            f"{len(live_rels)}"
+        )
+
+    # -- id allocation never reuses ------------------------------------
+    if store._nodes and max(store._nodes) >= store._next_node_id:
+        problems.append(
+            f"next node id {store._next_node_id} <= existing id "
+            f"{max(store._nodes)}"
+        )
+    if store._rels and max(store._rels) >= store._next_rel_id:
+        problems.append(
+            f"next relationship id {store._next_rel_id} <= existing id "
+            f"{max(store._rels)}"
+        )
+
+    # -- dangling relationships ----------------------------------------
+    if not allow_dangling:
+        for rel_id in sorted(live_rels):
+            record = store._rels[rel_id]
+            for role, endpoint in (
+                ("source", record.source),
+                ("target", record.target),
+            ):
+                if endpoint not in live_nodes:
+                    problems.append(
+                        f"live relationship {rel_id} has deleted/missing "
+                        f"{role} node {endpoint}"
+                    )
+
+    # -- untyped adjacency ---------------------------------------------
+    expected_out: dict[int, set[int]] = {}
+    expected_in: dict[int, set[int]] = {}
+    for rel_id in live_rels:
+        record = store._rels[rel_id]
+        expected_out.setdefault(record.source, set()).add(rel_id)
+        expected_in.setdefault(record.target, set()).add(rel_id)
+    for name, cached, expected in (
+        ("out", store._out, expected_out),
+        ("in", store._in, expected_in),
+    ):
+        for node_id, rel_ids in cached.items():
+            extra = rel_ids - expected.get(node_id, set())
+            if extra:
+                problems.append(
+                    f"{name}-adjacency of node {node_id} holds "
+                    f"non-live relationship(s) {sorted(extra)}"
+                )
+        for node_id, rel_ids in expected.items():
+            missing = rel_ids - cached.get(node_id, set())
+            if missing:
+                problems.append(
+                    f"{name}-adjacency of node {node_id} is missing "
+                    f"relationship(s) {sorted(missing)}"
+                )
+
+    # -- per-type adjacency --------------------------------------------
+    expected_out_t: dict[tuple[int, str], set[int]] = {}
+    expected_in_t: dict[tuple[int, str], set[int]] = {}
+    for rel_id in live_rels:
+        record = store._rels[rel_id]
+        expected_out_t.setdefault(
+            (record.source, record.type), set()
+        ).add(rel_id)
+        expected_in_t.setdefault(
+            (record.target, record.type), set()
+        ).add(rel_id)
+    for name, cached, expected_t in (
+        ("typed out", store._out_by_type, expected_out_t),
+        ("typed in", store._in_by_type, expected_in_t),
+    ):
+        flattened: dict[tuple[int, str], set[int]] = {}
+        for node_id, buckets in cached.items():
+            for rel_type, rel_ids in buckets.items():
+                if rel_ids:
+                    flattened[(node_id, rel_type)] = set(rel_ids)
+        for key in sorted(set(flattened) | set(expected_t)):
+            got = flattened.get(key, set())
+            want = expected_t.get(key, set())
+            if got != want:
+                node_id, rel_type = key
+                problems.append(
+                    f"{name}-adjacency of node {node_id} type "
+                    f"{rel_type!r}: cached {sorted(got)} != recount "
+                    f"{sorted(want)}"
+                )
+
+    # -- label index ----------------------------------------------------
+    expected_labels: dict[str, set[int]] = {}
+    for node_id in live_nodes:
+        for label in store._nodes[node_id].labels:
+            expected_labels.setdefault(label, set()).add(node_id)
+    cached_labels = store._label_index._by_label
+    for label in sorted(set(cached_labels) | set(expected_labels)):
+        got = set(cached_labels.get(label, set()))
+        want = expected_labels.get(label, set())
+        if got != want:
+            problems.append(
+                f"label index for :{label}: cached {sorted(got)} != "
+                f"recount {sorted(want)}"
+            )
+        if store.label_count(label) != len(want):
+            problems.append(
+                f"label_count(:{label}) = {store.label_count(label)} != "
+                f"recount {len(want)}"
+            )
+    for label, bucket in cached_labels.items():
+        if not bucket:
+            problems.append(f"label index keeps an empty bucket for :{label}")
+
+    # -- property indexes ----------------------------------------------
+    from repro.graph.values import grouping_key, is_storable
+
+    for (label, key), index in store._property_indexes.items():
+        expected_entries: dict[int, Any] = {}
+        for node_id in expected_labels.get(label, set()):
+            value = store._nodes[node_id].properties.get(key)
+            if value is not None and is_storable(value):
+                expected_entries[node_id] = grouping_key(value)
+        if dict(index._value_of) != expected_entries:
+            stale = sorted(set(index._value_of) - set(expected_entries))
+            missing = sorted(set(expected_entries) - set(index._value_of))
+            wrong = sorted(
+                node_id
+                for node_id in set(index._value_of) & set(expected_entries)
+                if index._value_of[node_id] != expected_entries[node_id]
+            )
+            problems.append(
+                f"property index :{label}({key}) reverse map: "
+                f"stale {stale}, missing {missing}, wrong value {wrong}"
+            )
+        expected_buckets: dict[Any, set[int]] = {}
+        for node_id, bucket_key in expected_entries.items():
+            expected_buckets.setdefault(bucket_key, set()).add(node_id)
+        cached_buckets = {
+            bucket_key: set(bucket)
+            for bucket_key, bucket in index._by_value.items()
+            if bucket
+        }
+        if cached_buckets != expected_buckets:
+            problems.append(
+                f"property index :{label}({key}) buckets disagree with "
+                f"recount ({len(cached_buckets)} cached vs "
+                f"{len(expected_buckets)} expected buckets)"
+            )
+        for bucket_key, bucket in index._by_value.items():
+            if not bucket:
+                problems.append(
+                    f"property index :{label}({key}) keeps an empty "
+                    f"bucket for {bucket_key!r}"
+                )
+        if len(index) != len(expected_entries):
+            problems.append(
+                f"property index :{label}({key}) len {len(index)} != "
+                f"recount {len(expected_entries)}"
+            )
+        if index.bucket_count() != len(expected_buckets):
+            problems.append(
+                f"property index :{label}({key}) bucket_count "
+                f"{index.bucket_count()} != recount {len(expected_buckets)}"
+            )
+
+    # -- degree statistics ---------------------------------------------
+    for node_id in sorted(live_nodes):
+        out_recount = len(expected_out.get(node_id, set()))
+        in_recount = len(expected_in.get(node_id, set()))
+        if store.out_degree(node_id) != out_recount:
+            problems.append(
+                f"out_degree({node_id}) = {store.out_degree(node_id)} != "
+                f"recount {out_recount}"
+            )
+        if store.in_degree(node_id) != in_recount:
+            problems.append(
+                f"in_degree({node_id}) = {store.in_degree(node_id)} != "
+                f"recount {in_recount}"
+            )
+        if store.degree(node_id) != out_recount + in_recount:
+            problems.append(
+                f"degree({node_id}) = {store.degree(node_id)} != "
+                f"recount {out_recount + in_recount}"
+            )
+        enumerated = store.adjacent_rel_ids(node_id)
+        expected_adjacent = sorted(
+            expected_out.get(node_id, set()) | expected_in.get(node_id, set())
+        )
+        if enumerated != expected_adjacent:
+            problems.append(
+                f"adjacent_rel_ids({node_id}) = {enumerated} != "
+                f"recount {expected_adjacent}"
+            )
+
+    # -- uniqueness constraints ----------------------------------------
+    for label, key in sorted(store._unique_constraints):
+        index = store._property_indexes.get((label, key))
+        if index is None:
+            problems.append(
+                f"uniqueness constraint :{label}({key}) has no backing index"
+            )
+            continue
+        for bucket in index.duplicate_buckets():
+            problems.append(
+                f"uniqueness constraint :{label}({key}) violated by "
+                f"nodes {sorted(bucket)}"
+            )
+
+    if problems:
+        raise InvariantViolation(problems)
+
+
+def journal_roundtrip(
+    store: GraphStore,
+    mutate: Callable[[], Any],
+    *,
+    allow_dangling: bool = False,
+) -> Any:
+    """Run *mutate*, then undo it and verify the store is byte-identical.
+
+    Returns whatever *mutate* returned (or re-raises its exception after
+    verifying the rollback the mutation itself performed, if any, left a
+    consistent store).  Used by tests; the differential executor inlines
+    the same bracket so it can keep the post-state for comparison.
+    """
+    before = canonical_graph_json(store)
+    mark = store.mark()
+    try:
+        result = mutate()
+    finally:
+        store.rollback_to(mark)
+        after = canonical_graph_json(store)
+        if after != before:
+            raise InvariantViolation(
+                [
+                    "journal rollback did not restore the graph "
+                    "byte-identically",
+                    f"before: {before}",
+                    f"after:  {after}",
+                ]
+            )
+        check_invariants(store, allow_dangling=allow_dangling)
+    return result

@@ -1,0 +1,427 @@
+"""Greedy minimisation of failing fuzz cases.
+
+Given a :class:`~repro.testing.generator.FuzzCase` whose differential
+run fails, :func:`shrink` repeatedly tries structure-removing rewrites
+-- drop a statement, drop a clause, drop a pattern path, shorten a
+path, drop a SET/REMOVE/DELETE/projection item, drop a property-map
+entry, replace an expression by one of its children or a literal, drop
+a graph node (with its incident relationships), drop a relationship,
+drop a driving-table row -- and keeps any rewrite after which the case
+*still fails*.  The loop runs to a fixpoint or until the evaluation
+budget is exhausted; iterated child-replacement reaches arbitrarily
+deep expressions one level per pass.
+
+Candidates must remain well-formed: every statement is unparsed and
+re-parsed under the case's dialect (so the shrunk bundle is replayable
+from its text) and re-checked for scope validity.  Invalid candidates
+are discarded without spending budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator
+
+from repro.dialect import Dialect
+from repro.parser import ast
+from repro.runtime.scoping import check_statement
+from repro.testing.generator import FuzzCase
+
+
+def shrink(
+    case: FuzzCase,
+    is_failing: Callable[[FuzzCase], bool] | None = None,
+    *,
+    budget: int = 400,
+) -> FuzzCase:
+    """The smallest still-failing case greedy search finds.
+
+    *is_failing* defaults to "``run_case`` reports any failure"; pass a
+    stricter predicate to shrink toward one specific failure.  At most
+    *budget* candidate evaluations are spent.
+    """
+    if is_failing is None:
+        from repro.testing.differential import run_case
+
+        def is_failing(candidate: FuzzCase) -> bool:
+            try:
+                return not run_case(candidate).ok
+            except Exception:
+                return True  # a crash in the harness still reproduces
+
+    spent = 0
+    current = case
+    progress = True
+    while progress and spent < budget:
+        progress = False
+        for candidate in _candidates(current):
+            if spent >= budget:
+                break
+            if not _valid(candidate):
+                continue
+            spent += 1
+            if is_failing(candidate):
+                current = candidate
+                progress = True
+                break
+    return current
+
+
+def _valid(case: FuzzCase) -> bool:
+    """Replayable: statements survive unparse -> parse and scope-check."""
+    from repro.parser.parser import parse
+    from repro.parser.unparse import unparse
+
+    dialect = Dialect.parse(case.dialect)
+    for statement in case.statements:
+        try:
+            reparsed = parse(
+                unparse(statement), dialect, extended_merge=True
+            )
+            check_statement(reparsed)
+        except Exception:
+            return False
+    if case.kind == "merge" and not (
+        case.merge_table and case.merge_table["records"]
+    ):
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Candidate enumeration (ordered: biggest cuts first)
+# ---------------------------------------------------------------------------
+
+
+def _candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    yield from _statement_level(case)
+    yield from _graph_level(case)
+    yield from _table_level(case)
+    for index, statement in enumerate(case.statements):
+        for smaller in _shrink_statement(statement):
+            statements = (
+                case.statements[:index]
+                + (smaller,)
+                + case.statements[index + 1 :]
+            )
+            yield dataclasses.replace(case, statements=statements)
+
+
+def _statement_level(case: FuzzCase) -> Iterator[FuzzCase]:
+    if len(case.statements) > 1:
+        for index in range(len(case.statements)):
+            yield dataclasses.replace(
+                case,
+                statements=case.statements[:index]
+                + case.statements[index + 1 :],
+            )
+
+
+def _graph_level(case: FuzzCase) -> Iterator[FuzzCase]:
+    graph = case.graph
+    nodes = graph.get("nodes", [])
+    rels = graph.get("relationships", [])
+    for node in nodes:
+        remaining = [n for n in nodes if n is not node]
+        kept_rels = [
+            r
+            for r in rels
+            if r["start"] != node["id"] and r["end"] != node["id"]
+        ]
+        yield dataclasses.replace(
+            case, graph={"nodes": remaining, "relationships": kept_rels}
+        )
+    for rel in rels:
+        yield dataclasses.replace(
+            case,
+            graph={
+                "nodes": nodes,
+                "relationships": [r for r in rels if r is not rel],
+            },
+        )
+    for index, node in enumerate(nodes):
+        if node.get("properties"):
+            stripped = dict(node, properties={})
+            yield dataclasses.replace(
+                case,
+                graph={
+                    "nodes": nodes[:index] + [stripped] + nodes[index + 1 :],
+                    "relationships": rels,
+                },
+            )
+        if node.get("labels"):
+            stripped = dict(node, labels=[])
+            yield dataclasses.replace(
+                case,
+                graph={
+                    "nodes": nodes[:index] + [stripped] + nodes[index + 1 :],
+                    "relationships": rels,
+                },
+            )
+    if case.indexes:
+        for index in range(len(case.indexes)):
+            yield dataclasses.replace(
+                case,
+                indexes=case.indexes[:index] + case.indexes[index + 1 :],
+            )
+
+
+def _table_level(case: FuzzCase) -> Iterator[FuzzCase]:
+    if case.kind != "merge" or not case.merge_table:
+        return
+    records = case.merge_table["records"]
+    if len(records) > 1:
+        for index in range(len(records)):
+            yield dataclasses.replace(
+                case,
+                merge_table={
+                    "columns": case.merge_table["columns"],
+                    "records": records[:index] + records[index + 1 :],
+                },
+            )
+
+
+# ---------------------------------------------------------------------------
+# Statement rewrites
+# ---------------------------------------------------------------------------
+
+
+def _shrink_statement(statement: ast.Statement) -> Iterator[ast.Statement]:
+    if not isinstance(statement.query, ast.SingleQuery):
+        return  # UNION never generated; don't bother rebuilding trees
+    clauses = statement.query.clauses
+    if len(clauses) > 1:
+        for index in range(len(clauses)):
+            yield _with_clauses(
+                statement, clauses[:index] + clauses[index + 1 :]
+            )
+    for index, clause in enumerate(clauses):
+        for smaller in _shrink_clause(clause):
+            yield _with_clauses(
+                statement,
+                clauses[:index] + (smaller,) + clauses[index + 1 :],
+            )
+
+
+def _with_clauses(
+    statement: ast.Statement, clauses: tuple[ast.Clause, ...]
+) -> ast.Statement:
+    return dataclasses.replace(
+        statement,
+        query=ast.SingleQuery(clauses=clauses),
+        source="",
+    )
+
+
+def _shrink_clause(clause: ast.Clause) -> Iterator[ast.Clause]:
+    if isinstance(clause, ast.MatchClause):
+        if clause.where is not None:
+            yield dataclasses.replace(clause, where=None)
+            for child in _expression_children(clause.where):
+                yield dataclasses.replace(clause, where=child)
+        if clause.optional:
+            yield dataclasses.replace(clause, optional=False)
+        for pattern in _shrink_pattern(clause.pattern, min_paths=1):
+            yield dataclasses.replace(clause, pattern=pattern)
+    elif isinstance(clause, (ast.CreateClause, ast.MergeClause)):
+        for pattern in _shrink_pattern(clause.pattern, min_paths=1):
+            yield dataclasses.replace(clause, pattern=pattern)
+        if isinstance(clause, ast.MergeClause):
+            if clause.on_create:
+                yield dataclasses.replace(clause, on_create=())
+            if clause.on_match:
+                yield dataclasses.replace(clause, on_match=())
+    elif isinstance(clause, ast.SetClause):
+        if len(clause.items) > 1:
+            for index in range(len(clause.items)):
+                yield dataclasses.replace(
+                    clause,
+                    items=clause.items[:index] + clause.items[index + 1 :],
+                )
+        for index, item in enumerate(clause.items):
+            for smaller in _shrink_set_item(item):
+                yield dataclasses.replace(
+                    clause,
+                    items=clause.items[:index]
+                    + (smaller,)
+                    + clause.items[index + 1 :],
+                )
+    elif isinstance(clause, ast.RemoveClause):
+        if len(clause.items) > 1:
+            for index in range(len(clause.items)):
+                yield dataclasses.replace(
+                    clause,
+                    items=clause.items[:index] + clause.items[index + 1 :],
+                )
+    elif isinstance(clause, ast.DeleteClause):
+        if len(clause.expressions) > 1:
+            for index in range(len(clause.expressions)):
+                yield dataclasses.replace(
+                    clause,
+                    expressions=clause.expressions[:index]
+                    + clause.expressions[index + 1 :],
+                )
+        if clause.detach:
+            yield dataclasses.replace(clause, detach=False)
+    elif isinstance(clause, (ast.WithClause, ast.ReturnClause)):
+        for body in _shrink_body(clause.body, keep_one=True):
+            yield dataclasses.replace(clause, body=body)
+        if isinstance(clause, ast.WithClause) and clause.where is not None:
+            yield dataclasses.replace(clause, where=None)
+    elif isinstance(clause, ast.UnwindClause):
+        for child in _expression_children(clause.expression):
+            yield dataclasses.replace(clause, expression=child)
+        yield dataclasses.replace(
+            clause,
+            expression=ast.ListLiteral((ast.Literal(0),)),
+        )
+    elif isinstance(clause, ast.ForeachClause):
+        if len(clause.updates) > 1:
+            for index in range(len(clause.updates)):
+                yield dataclasses.replace(
+                    clause,
+                    updates=clause.updates[:index]
+                    + clause.updates[index + 1 :],
+                )
+        for child in _expression_children(clause.source):
+            yield dataclasses.replace(clause, source=child)
+
+
+def _shrink_set_item(item: ast.SetItem) -> Iterator[ast.SetItem]:
+    if isinstance(item, ast.SetProperty):
+        for child in _expression_children(item.value):
+            yield dataclasses.replace(item, value=child)
+        yield dataclasses.replace(item, value=ast.Literal(0))
+    elif isinstance(
+        item, (ast.SetAllProperties, ast.SetAdditiveProperties)
+    ) and isinstance(item.value, ast.MapLiteral):
+        for smaller in _shrink_map(item.value, min_items=0):
+            yield dataclasses.replace(item, value=smaller)
+
+
+def _shrink_body(
+    body: ast.ProjectionBody, *, keep_one: bool
+) -> Iterator[ast.ProjectionBody]:
+    floor = 1 if keep_one else 0
+    if len(body.items) > floor:
+        for index in range(len(body.items)):
+            yield dataclasses.replace(
+                body, items=body.items[:index] + body.items[index + 1 :]
+            )
+    if body.order_by:
+        yield dataclasses.replace(body, order_by=(), limit=None, skip=None)
+    if body.limit is not None:
+        yield dataclasses.replace(body, limit=None)
+    if body.distinct:
+        yield dataclasses.replace(body, distinct=False)
+    for index, item in enumerate(body.items):
+        for child in _expression_children(item.expression):
+            smaller = dataclasses.replace(item, expression=child)
+            yield dataclasses.replace(
+                body,
+                items=body.items[:index]
+                + (smaller,)
+                + body.items[index + 1 :],
+            )
+
+
+def _shrink_pattern(
+    pattern: ast.Pattern, *, min_paths: int
+) -> Iterator[ast.Pattern]:
+    if len(pattern.paths) > min_paths:
+        for index in range(len(pattern.paths)):
+            yield ast.Pattern(
+                paths=pattern.paths[:index] + pattern.paths[index + 1 :]
+            )
+    for index, path in enumerate(pattern.paths):
+        for smaller in _shrink_path(path):
+            yield ast.Pattern(
+                paths=pattern.paths[:index]
+                + (smaller,)
+                + pattern.paths[index + 1 :]
+            )
+
+
+def _shrink_path(path: ast.PathPattern) -> Iterator[ast.PathPattern]:
+    # Drop trailing (and leading) rel+node pairs.
+    if len(path.elements) > 2:
+        yield dataclasses.replace(path, elements=path.elements[:-2])
+        yield dataclasses.replace(path, elements=path.elements[2:])
+    if path.variable is not None:
+        yield dataclasses.replace(path, variable=None)
+    for index, element in enumerate(path.elements):
+        if (
+            isinstance(element, (ast.NodePattern, ast.RelationshipPattern))
+            and element.properties is not None
+        ):
+            for smaller_map in _shrink_map(element.properties, min_items=0):
+                replacement = dataclasses.replace(
+                    element,
+                    properties=smaller_map
+                    if smaller_map.items
+                    else None,
+                )
+                yield dataclasses.replace(
+                    path,
+                    elements=path.elements[:index]
+                    + (replacement,)
+                    + path.elements[index + 1 :],
+                )
+        if isinstance(element, ast.NodePattern) and element.labels:
+            replacement = dataclasses.replace(element, labels=())
+            yield dataclasses.replace(
+                path,
+                elements=path.elements[:index]
+                + (replacement,)
+                + path.elements[index + 1 :],
+            )
+
+
+def _shrink_map(
+    value: ast.MapLiteral, *, min_items: int
+) -> Iterator[ast.MapLiteral]:
+    if len(value.items) > min_items:
+        for index in range(len(value.items)):
+            yield ast.MapLiteral(
+                items=value.items[:index] + value.items[index + 1 :]
+            )
+    for index, (key, expression) in enumerate(value.items):
+        for child in _expression_children(expression):
+            yield ast.MapLiteral(
+                items=value.items[:index]
+                + ((key, child),)
+                + value.items[index + 1 :]
+            )
+
+
+def _expression_children(
+    expression: ast.Expression,
+) -> Iterator[ast.Expression]:
+    """Immediate sub-expressions plus trivial literals.
+
+    The greedy loop re-runs to a fixpoint, so one-level peeling reaches
+    any depth; trivial literals let whole subtrees vanish in one step.
+    """
+    if isinstance(expression, ast.Binary):
+        yield expression.left
+        yield expression.right
+    elif isinstance(expression, ast.Unary):
+        yield expression.operand
+    elif isinstance(expression, ast.FunctionCall) and expression.args:
+        yield from expression.args
+    elif isinstance(expression, ast.CaseExpression):
+        if expression.default is not None:
+            yield expression.default
+        for __, result in expression.alternatives:
+            yield result
+    elif isinstance(expression, (ast.IsNull,)):
+        yield expression.operand
+    elif isinstance(expression, ast.ListLiteral) and expression.items:
+        for index in range(len(expression.items)):
+            yield ast.ListLiteral(
+                items=expression.items[:index]
+                + expression.items[index + 1 :]
+            )
+    if not isinstance(expression, ast.Literal):
+        yield ast.Literal(0)
+        yield ast.Literal(None)

@@ -1,0 +1,34 @@
+"""Every checked-in fuzz bundle replays cleanly.
+
+Bundles under ``tests/fuzz_corpus/`` are minimised cases the fuzzer
+(or a developer) considered worth pinning: once the bug that produced
+one is fixed, the replay keeps it fixed.  A failing replay means a
+regression -- the bundle's ``failures`` field records what it looked
+like when found.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.testing.corpus import iter_bundles, load_bundle, replay_bundle
+
+CORPUS = Path(__file__).resolve().parent.parent / "fuzz_corpus"
+
+BUNDLES = iter_bundles(CORPUS)
+
+
+def test_corpus_is_not_empty():
+    assert BUNDLES, f"expected regression bundles under {CORPUS}"
+
+
+@pytest.mark.parametrize(
+    "path", BUNDLES, ids=[path.name for path in BUNDLES]
+)
+def test_bundle_replays_clean(path):
+    case, recorded = load_bundle(path)
+    result = replay_bundle(path)
+    assert result.ok, (
+        f"regression: {path.name} fails again "
+        f"(originally: {recorded[:2]})\n" + "\n".join(result.failures[:6])
+    )

@@ -1,0 +1,55 @@
+"""A seeded slice of the differential fuzzer runs in tier-1.
+
+The full 200-case smoke is a separate CI job (`fuzz-smoke`); this keeps
+a fast 45-case slice in the default suite so a broken execution surface
+fails `pytest -x -q` immediately, plus determinism guarantees the CLI
+smoke relies on.
+"""
+
+from repro.testing.differential import run_case
+from repro.testing.generator import case_for
+
+
+def _failure_report(result):
+    lines = [f"case {result.case.seed_key} ({result.case.kind}):"]
+    lines += [f"  {failure}" for failure in result.failures[:6]]
+    for source in result.case.statement_sources():
+        lines.append(f"  | {source}")
+    return "\n".join(lines)
+
+
+def test_seeded_slice_passes():
+    for index in range(45):
+        result = run_case(case_for(0, index))
+        assert result.ok, _failure_report(result)
+
+
+def test_each_kind_is_exercised():
+    kinds = {case_for(0, index).kind for index in range(6)}
+    assert kinds == {"revised", "legacy", "merge"}
+
+
+def test_run_case_is_deterministic():
+    """Two runs of the same case agree outcome-for-outcome."""
+    for index in (0, 1, 2, 10, 11):
+        first = run_case(case_for(0, index))
+        second = run_case(case_for(0, index))
+        assert first.ok == second.ok
+        assert [o.status for o in first.outcomes] == [
+            o.status for o in second.outcomes
+        ]
+        assert [o.rows_exact for o in first.outcomes] == [
+            o.rows_exact for o in second.outcomes
+        ]
+        assert [o.graph for o in first.outcomes] == [
+            o.graph for o in second.outcomes
+        ]
+
+
+def test_cli_module_entrypoint(capsys):
+    """`python -m repro.fuzz` resolves and runs a couple of cases."""
+    from repro.testing.cli import main
+
+    assert main(["--seed", "3", "--cases", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "3/3 cases passed" in out

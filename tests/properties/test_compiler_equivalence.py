@@ -24,6 +24,7 @@ from repro.parser import parse_expression
 from repro.runtime import compiler
 from repro.runtime.context import EvalContext
 from repro.runtime.expressions import interpret
+from repro.testing.invariants import check_invariants
 
 
 def _make_context():
@@ -97,6 +98,9 @@ def assert_equivalent(source):
     assert compiled == interpreted, (
         f"{source!r}: interpreter {interpreted}, compiler {compiled}"
     )
+    # Expression evaluation is read-only: neither evaluation strategy
+    # may corrupt the store's cached structures.
+    check_invariants(ctx.store)
 
 
 CORPUS = [

@@ -1,0 +1,74 @@
+"""Parse -> unparse -> parse round-trip over the fuzzer's AST corpus.
+
+The generator builds :mod:`repro.parser.ast` values directly, so its
+corpus exercises combinations the hand-written parser tests never
+spell out.  The round-trip property is the front-end contract: the
+canonical rendering of any generator statement re-parses to an equal
+AST, and unparsing is idempotent on the reparse.  (Statement equality
+ignores the ``source`` field, so this compares structure.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dialect import Dialect
+from repro.parser.parser import parse
+from repro.parser.unparse import unparse
+from repro.testing.generator import case_for
+
+#: (seed, count) per parametrised batch; small enough for tier-1, wide
+#: enough to hit every clause and expression production many times.
+BATCHES = [(seed, 60) for seed in range(4)]
+
+
+def _statements(seed: int, count: int):
+    for index in range(count):
+        case = case_for(seed, index)
+        dialect = Dialect.parse(case.dialect)
+        for position, statement in enumerate(case.statements):
+            yield f"{case.seed_key}[{position}]", dialect, statement
+
+
+@pytest.mark.parametrize("seed,count", BATCHES)
+def test_roundtrip_over_generator_corpus(seed, count):
+    checked = 0
+    for label, dialect, statement in _statements(seed, count):
+        text = unparse(statement)
+        reparsed = parse(text, dialect, extended_merge=True)
+        assert reparsed == statement, (
+            f"{label}: parse(unparse(ast)) changed the tree\n"
+            f"  text: {text}"
+        )
+        assert unparse(reparsed) == text, (
+            f"{label}: unparse is not idempotent\n  text: {text}"
+        )
+        checked += 1
+    assert checked > 0
+
+
+@pytest.mark.parametrize("seed,count", BATCHES[:2])
+def test_merge_payloads_parse_in_both_shapes(seed, count):
+    """Merge-kind patterns parse under every semantics keyword."""
+    for index in range(count):
+        case = case_for(seed, index)
+        if case.kind != "merge":
+            continue
+        for keyword, dialect in [
+            ("MERGE ALL", Dialect.REVISED),
+            ("MERGE SAME", Dialect.REVISED),
+            ("MERGE GROUPING", Dialect.REVISED),
+            ("MERGE WEAK COLLAPSE", Dialect.REVISED),
+            ("MERGE COLLAPSE", Dialect.REVISED),
+            ("MERGE", Dialect.CYPHER9),
+        ]:
+            source = (
+                "UNWIND $rows AS row "
+                "WITH row.cid AS cid, row.pid AS pid "
+                f"{keyword} {case.merge_pattern}"
+            )
+            statement = parse(source, dialect, extended_merge=True)
+            reparsed = parse(
+                unparse(statement), dialect, extended_merge=True
+            )
+            assert reparsed == statement

@@ -1,0 +1,82 @@
+"""The store-invariant oracle holds through random mutate+undo runs.
+
+Complements ``test_store_properties`` (rollback restores graph content)
+by asserting the *derived* structures -- live-entity counters, label
+index, property-index buckets and reverse maps, typed adjacency,
+degrees -- all agree with a from-scratch recount after arbitrary
+mutation scripts, after journal rollback, and after partial rollbacks
+interleaved with further mutation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.store import GraphStore
+from repro.testing.invariants import (
+    canonical_graph_json,
+    check_invariants,
+    journal_roundtrip,
+)
+
+from tests.properties.test_store_properties import apply_script, operations
+
+
+def _store_with_indexes():
+    store = GraphStore()
+    store.create_index("A", "x")
+    store.create_index("B", "y")
+    return store
+
+
+class TestInvariantsUnderMutation:
+    @given(setup=operations)
+    @settings(max_examples=60)
+    def test_invariants_after_mutation(self, setup):
+        store = _store_with_indexes()
+        apply_script(store, setup)
+        # apply_script may delete with allow_dangling=True mid-script.
+        check_invariants(store, allow_dangling=True)
+
+    @given(setup=operations, mutations=operations)
+    @settings(max_examples=60)
+    def test_invariants_after_rollback(self, setup, mutations):
+        store = _store_with_indexes()
+        apply_script(store, setup)
+        store.commit_to(0)
+        before = canonical_graph_json(store)
+        mark = store.mark()
+        apply_script(store, mutations)
+        store.rollback_to(mark)
+        assert canonical_graph_json(store) == before
+        check_invariants(store, allow_dangling=True)
+
+    @given(
+        setup=operations,
+        first=operations,
+        second=operations,
+    )
+    @settings(max_examples=40)
+    def test_partial_rollback_interleaved(self, setup, first, second):
+        """Roll back only the second half; the first half persists."""
+        store = _store_with_indexes()
+        apply_script(store, setup)
+        apply_script(store, first)
+        middle = canonical_graph_json(store)
+        mark = store.mark()
+        apply_script(store, second)
+        check_invariants(store, allow_dangling=True)
+        store.rollback_to(mark)
+        assert canonical_graph_json(store) == middle
+        check_invariants(store, allow_dangling=True)
+
+    @given(setup=operations, mutations=operations)
+    @settings(max_examples=40)
+    def test_journal_roundtrip_helper(self, setup, mutations):
+        store = _store_with_indexes()
+        apply_script(store, setup)
+        store.commit_to(0)
+        journal_roundtrip(
+            store,
+            lambda: apply_script(store, mutations),
+            allow_dangling=True,
+        )

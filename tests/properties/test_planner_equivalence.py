@@ -29,6 +29,7 @@ from hypothesis import strategies as st
 from repro.dialect import Dialect
 from repro.graph.model import Node, Path, Relationship
 from repro.graph.store import GraphStore
+from repro.testing.invariants import check_invariants
 from repro.parser import parse
 from repro.runtime.context import EvalContext, MatchMode
 from repro.runtime.match_planner import planner_disabled
@@ -205,6 +206,8 @@ class TestHypothesisEquivalence:
         naive = enumerate_matches(store, paths, planned=False)
         planned = enumerate_matches(store, paths, planned=True)
         assert Counter(planned) == Counter(naive)
+        # Matching is read-only: the store must come out uncorrupted.
+        check_invariants(store)
 
     @given(spec=graphs, pattern=st.sampled_from(PATTERNS))
     @settings(max_examples=120, deadline=None)
@@ -216,6 +219,7 @@ class TestHypothesisEquivalence:
             store, paths, planned=True, preserve=True
         )
         assert planned == naive
+        check_invariants(store)
 
 
 class TestEndToEndLegacy:
@@ -244,6 +248,8 @@ class TestEndToEndLegacy:
         # actually exercised.
         query = "MATCH (m:A), (k:K {id: 0})-[:T]->(a:A) RETURN m.i AS m, a.i AS a"
         assert on.run(query).records == off.run(query).records
+        check_invariants(on.store)
+        check_invariants(off.store)
 
     def test_legacy_merge_creation_order_preserved(self):
         on, off = self._seeded(True), self._seeded(False)
@@ -257,6 +263,8 @@ class TestEndToEndLegacy:
         on.run(query)
         off.run(query)
         assert self._graph_fingerprint(on) == self._graph_fingerprint(off)
+        check_invariants(on.store)
+        check_invariants(off.store)
 
     def test_legacy_set_last_write_preserved(self):
         on, off = self._seeded(True), self._seeded(False)
@@ -269,3 +277,5 @@ class TestEndToEndLegacy:
         on.run(query)
         off.run(query)
         assert self._graph_fingerprint(on) == self._graph_fingerprint(off)
+        check_invariants(on.store)
+        check_invariants(off.store)

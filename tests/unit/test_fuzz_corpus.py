@@ -1,0 +1,110 @@
+"""Corpus bundles: serialisation round-trip, naming, replay, CLI."""
+
+import json
+
+from repro.testing.corpus import (
+    bundle_dict,
+    bundle_name,
+    case_from_dict,
+    iter_bundles,
+    load_bundle,
+    replay_bundle,
+    write_bundle,
+)
+from repro.testing.differential import run_case
+from repro.testing.generator import case_for
+
+
+def test_bundle_round_trip_pipeline_case(tmp_path):
+    case = case_for(0, 0)
+    path = write_bundle(case, ["some failure"], tmp_path)
+    loaded, failures = load_bundle(path)
+    assert failures == ["some failure"]
+    assert loaded.kind == case.kind
+    assert loaded.dialect == case.dialect
+    assert loaded.graph == case.graph
+    assert loaded.statements == case.statements  # reparsed from text
+
+
+def test_bundle_round_trip_merge_case(tmp_path):
+    case = case_for(0, 2)
+    assert case.kind == "merge"
+    path = write_bundle(case, [], tmp_path)
+    loaded, __ = load_bundle(path)
+    assert loaded.merge_pattern == case.merge_pattern
+    assert loaded.merge_table == case.merge_table
+
+
+def test_bundle_naming_is_content_addressed(tmp_path):
+    case = case_for(0, 0)
+    assert bundle_name(case) == bundle_name(case)
+    # Failure text does not change the name (idempotent re-finds).
+    first = write_bundle(case, ["failure A"], tmp_path)
+    second = write_bundle(case, ["failure B"], tmp_path)
+    assert first == second
+    assert bundle_name(case) != bundle_name(case_for(0, 3))
+
+
+def test_bundle_is_readable_json(tmp_path):
+    case = case_for(0, 1)
+    path = write_bundle(case, [], tmp_path)
+    data = json.loads(path.read_text())
+    assert data["format"] == 1
+    assert data["seed_key"] == case.seed_key
+    assert all(isinstance(s, str) for s in data["statements"])
+    assert case_from_dict(data).statements == case.statements
+
+
+def test_iter_and_replay(tmp_path):
+    assert iter_bundles(tmp_path) == []
+    for index in (0, 1, 2):
+        write_bundle(case_for(0, index), [], tmp_path)
+    bundles = iter_bundles(tmp_path)
+    assert len(bundles) == 3
+    for path in bundles:
+        result = replay_bundle(path)
+        assert result.ok, result.failures
+
+
+def test_replayed_case_agrees_with_generated_case(tmp_path):
+    """Serialising through text must not change behaviour."""
+    case = case_for(1, 4)
+    direct = run_case(case)
+    path = write_bundle(case, [], tmp_path)
+    loaded, __ = load_bundle(path)
+    replayed = run_case(loaded)
+    assert direct.ok == replayed.ok
+    assert [o.status for o in direct.outcomes] == [
+        o.status for o in replayed.outcomes
+    ]
+
+
+def test_cli_smoke_and_replay(tmp_path, capsys):
+    from repro.testing.cli import main
+
+    exit_code = main(
+        ["--seed", "0", "--cases", "6", "--corpus", str(tmp_path)]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "6/6 cases passed" in out
+    assert iter_bundles(tmp_path) == []  # no failures -> no bundles
+
+    write_bundle(case_for(0, 0), [], tmp_path)
+    exit_code = main(["--replay", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "replayed 1 bundle(s), 0 failing" in out
+
+
+def test_cli_rejects_nonpositive_cases(capsys):
+    from repro.testing.cli import main
+
+    assert main(["--cases", "0"]) == 2
+
+
+def test_bundle_dict_excludes_nothing_needed_for_replay():
+    case = case_for(2, 5)
+    data = bundle_dict(case)
+    rebuilt = case_from_dict(data)
+    assert run_case(rebuilt).ok == run_case(case).ok

@@ -1,0 +1,134 @@
+"""The fuzz-case generator: determinism, validity, anomaly coverage."""
+
+from repro.dialect import Dialect
+from repro.parser import ast
+from repro.parser.parser import parse
+from repro.parser.unparse import unparse
+from repro.runtime.scoping import check_statement
+from repro.testing.generator import (
+    KINDS,
+    FuzzCase,
+    build_store,
+    case_for,
+    cases,
+)
+from repro.testing.invariants import check_invariants
+
+
+def test_same_seed_same_cases():
+    assert cases(0, 40) == cases(0, 40)
+    assert cases(7, 40) == cases(7, 40)
+
+
+def test_different_seeds_differ():
+    assert cases(0, 40) != cases(1, 40)
+
+
+def test_case_for_matches_stream_position():
+    stream = cases(3, 10)
+    for index, case in enumerate(stream):
+        assert case == case_for(3, index)
+        assert case.seed_key == f"3:{index}"
+
+
+def test_kinds_rotate():
+    stream = cases(0, 9)
+    assert [case.kind for case in stream] == list(KINDS) * 3
+
+
+def test_statements_are_scope_valid():
+    for index in range(60):
+        case = case_for(5, index)
+        for statement in case.statements:
+            check_statement(statement)
+
+
+def test_statements_are_dialect_valid():
+    """unparse -> parse under the case's own dialect must succeed."""
+    for index in range(60):
+        case = case_for(6, index)
+        dialect = Dialect.parse(case.dialect)
+        for statement in case.statements:
+            parse(unparse(statement), dialect, extended_merge=True)
+
+
+def test_legacy_cases_use_cypher9_shapes():
+    for index in range(60):
+        case = case_for(2, index)
+        if case.kind != "legacy":
+            continue
+        assert case.dialect == Dialect.CYPHER9.value
+        for statement in case.statements:
+            for clause in statement.query.clauses:
+                if isinstance(clause, ast.MergeClause):
+                    assert clause.semantics == ast.MERGE_LEGACY
+
+
+def test_revised_cases_never_use_legacy_merge():
+    for index in range(60):
+        case = case_for(2, index)
+        if case.kind != "revised":
+            continue
+        for statement in case.statements:
+            for clause in statement.query.clauses:
+                if isinstance(clause, ast.MergeClause):
+                    assert clause.semantics != ast.MERGE_LEGACY
+
+
+def test_built_stores_pass_invariants():
+    for index in range(30):
+        case = case_for(4, index)
+        store = build_store(case)
+        check_invariants(store)
+
+
+def test_merge_payloads_have_duplicates_or_nulls_somewhere():
+    """The Example 3/5 bias: across a batch, tables repeat rows and
+    contain nulls (any single table may be clean)."""
+    saw_duplicate = saw_null = False
+    for index in range(60):
+        case = case_for(0, index)
+        if case.kind != "merge":
+            continue
+        rows = [
+            tuple(sorted(record.items()))
+            for record in case.merge_table["records"]
+        ]
+        if len(set(rows)) < len(rows):
+            saw_duplicate = True
+        if any(value is None for row in rows for __, value in row):
+            saw_null = True
+    assert saw_duplicate and saw_null
+
+
+def test_anomaly_clauses_appear_in_corpus():
+    """DELETE, FOREACH, MERGE and multi-item SET all occur."""
+    seen = set()
+    for index in range(120):
+        case = case_for(0, index)
+        for statement in case.statements:
+            for clause in statement.query.clauses:
+                seen.add(type(clause).__name__)
+                if isinstance(clause, ast.SetClause) and len(clause.items) > 1:
+                    seen.add("MultiSet")
+    for required in (
+        "MatchClause",
+        "CreateClause",
+        "SetClause",
+        "DeleteClause",
+        "MergeClause",
+        "ForeachClause",
+        "UnwindClause",
+        "WithClause",
+        "MultiSet",
+    ):
+        assert required in seen, f"corpus never produced {required}"
+
+
+def test_statement_sources_round_trip():
+    case = case_for(0, 0)
+    assert isinstance(case, FuzzCase)
+    sources = case.statement_sources()
+    assert len(sources) == len(case.statements)
+    for text, statement in zip(sources, case.statements):
+        assert unparse(statement) == text

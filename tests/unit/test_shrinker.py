@@ -1,0 +1,153 @@
+"""The greedy shrinker: minimises while preserving the failure."""
+
+import dataclasses
+
+from repro.dialect import Dialect
+from repro.parser import ast
+from repro.parser.parser import parse
+from repro.testing.generator import FuzzCase, case_for
+from repro.testing.shrinker import _candidates, _valid, shrink
+
+
+def _case_size(case: FuzzCase) -> int:
+    clause_count = sum(
+        len(statement.query.clauses) for statement in case.statements
+    )
+    return (
+        clause_count
+        + len(case.graph.get("nodes", ()))
+        + len(case.graph.get("relationships", ()))
+    )
+
+
+def _make_case(source: str, graph=None) -> FuzzCase:
+    statement = parse(source, Dialect.REVISED, extended_merge=True)
+    return FuzzCase(
+        kind="revised",
+        seed_key="test:0",
+        graph=graph or {"nodes": [], "relationships": []},
+        statements=(statement,),
+    )
+
+
+def test_shrinks_to_the_failing_clause():
+    """A predicate keyed on one clause strips everything else."""
+    case = _make_case(
+        "CREATE (a:A {i: 1}) "
+        "CREATE (b:B {i: 2})-[:T]->(c:C) "
+        "SET a.i = 1 + 2 * 3 "
+        "RETURN a AS a, b AS b, c AS c",
+        graph={
+            "nodes": [
+                {"id": 0, "labels": ["A"], "properties": {"i": 9}},
+                {"id": 1, "labels": [], "properties": {}},
+            ],
+            "relationships": [],
+        },
+    )
+
+    def still_fails(candidate: FuzzCase) -> bool:
+        return any(
+            isinstance(clause, ast.SetClause)
+            for statement in candidate.statements
+            for clause in statement.query.clauses
+        )
+
+    small = shrink(case, still_fails, budget=300)
+    assert still_fails(small)
+    assert _case_size(small) < _case_size(case)
+    # Everything except the anchor SET (and whatever binds its
+    # variable) should be gone.
+    assert len(small.graph["nodes"]) == 0
+    clauses = small.statements[0].query.clauses
+    assert any(isinstance(c, ast.SetClause) for c in clauses)
+    assert len(clauses) <= 3
+
+
+def test_shrunk_cases_stay_replayable():
+    def still_fails(candidate: FuzzCase) -> bool:
+        return bool(candidate.statements)
+
+    for index in (0, 3, 6):
+        case = case_for(1, index)
+        if case.kind == "merge":
+            continue
+        small = shrink(case, still_fails, budget=120)
+        assert _valid(small)
+
+
+def test_candidates_are_strictly_no_larger():
+    case = case_for(0, 3)
+    size = _case_size(case)
+    for candidate in _candidates(case):
+        assert _case_size(candidate) <= size
+
+
+def test_expression_shrinking_reaches_literals():
+    case = _make_case("CREATE (a:A {i: (1 + 2) * (3 + 4)}) RETURN a AS a")
+
+    def still_fails(candidate: FuzzCase) -> bool:
+        return any(
+            isinstance(clause, ast.CreateClause)
+            for statement in candidate.statements
+            for clause in statement.query.clauses
+        )
+
+    small = shrink(case, still_fails, budget=300)
+    create = next(
+        clause
+        for clause in small.statements[0].query.clauses
+        if isinstance(clause, ast.CreateClause)
+    )
+    node = create.pattern.paths[0].elements[0]
+    # The property map (or its nested arithmetic) must have collapsed.
+    assert node.properties is None or all(
+        isinstance(value, ast.Literal)
+        for __, value in node.properties.items
+    )
+
+
+def test_budget_is_respected():
+    case = case_for(0, 3)
+    calls = 0
+
+    def counting(candidate: FuzzCase) -> bool:
+        nonlocal calls
+        calls += 1
+        return True  # every candidate "fails": worst case churn
+
+    shrink(case, counting, budget=25)
+    assert calls <= 25
+
+
+def test_table_rows_shrink_for_merge_cases():
+    case = case_for(0, 2)
+    assert case.kind == "merge"
+    original_rows = len(case.merge_table["records"])
+    if original_rows < 2:
+        return
+
+    def still_fails(candidate: FuzzCase) -> bool:
+        return True
+
+    small = shrink(case, still_fails, budget=200)
+    assert len(small.merge_table["records"]) == 1
+
+
+def test_invalid_candidates_never_reach_the_predicate():
+    """Dropping UNWIND alone would orphan its variable downstream; the
+    validity filter must discard such candidates instead of offering
+    them."""
+    case = _make_case(
+        "UNWIND [1, 2] AS x CREATE (a:A {i: x}) RETURN a AS a, x AS x"
+    )
+    seen = []
+
+    def recording(candidate: FuzzCase) -> bool:
+        seen.append(candidate)
+        return False  # nothing reproduces: shrink returns the original
+
+    result = shrink(case, recording, budget=200)
+    assert result == case
+    for candidate in seen:
+        assert _valid(candidate)
