@@ -129,3 +129,8 @@ class ConstraintViolationError(UpdateError):
 
 class LoadError(CypherError):
     """Failure while importing external data (CSV, JSON)."""
+
+
+class PersistenceError(CypherError):
+    """Invalid use of the durability layer (no WAL attached, bad
+    checkpoint, checkpoint inside an open transaction, ...)."""

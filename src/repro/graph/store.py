@@ -30,6 +30,7 @@ from repro.errors import (
     DanglingRelationshipError,
     DeletedEntityError,
     EntityNotFoundError,
+    PersistenceError,
 )
 from repro.graph.counters import NO_COUNTERS, HitCounters
 from repro.graph.indexes import LabelIndex, PropertyIndex
@@ -81,6 +82,12 @@ class GraphStore:
         self._journal: list[tuple] = []
         #: db-hit hooks; the shared no-op singleton unless profiling
         self.counters: HitCounters = NO_COUNTERS
+        #: statement-commit hook (write-ahead log); called with the
+        #: redo-op list of every committed statement / schema change
+        self._commit_hook = None
+        #: open multi-statement transaction depth; while > 0 the
+        #: per-statement commit defers to the transaction commit
+        self._tx_depth = 0
 
     # ------------------------------------------------------------------
     # Profiling hooks
@@ -385,6 +392,235 @@ class GraphStore:
         """Current journal size (diagnostics / tests)."""
         return len(self._journal)
 
+    # ------------------------------------------------------------------
+    # Commit hooks (write-ahead logging)
+    # ------------------------------------------------------------------
+
+    def set_commit_hook(self, hook) -> None:
+        """Install (or, with ``None``, remove) the statement-commit hook.
+
+        The hook is called with a list of serializable redo operations
+        whenever a statement (or a whole transaction) commits, and
+        immediately for schema changes.  With no hook installed the
+        store behaves exactly as before: the undo journal accumulates
+        and nothing is published anywhere.
+        """
+        self._commit_hook = hook
+
+    def commit_hook(self):
+        """The installed commit hook, or ``None``."""
+        return self._commit_hook
+
+    def in_transaction(self) -> bool:
+        """True while a multi-statement transaction is open."""
+        return self._tx_depth > 0
+
+    def begin_transaction(self) -> int:
+        """Open a transaction scope; returns its rollback mark."""
+        self._tx_depth += 1
+        return self.mark()
+
+    def commit_transaction(self, mark: int) -> None:
+        """Close a transaction scope, publishing its changes."""
+        self._tx_depth = max(0, self._tx_depth - 1)
+        self.commit_statement(mark)
+
+    def rollback_transaction(self, mark: int) -> None:
+        """Close a transaction scope, undoing its changes.
+
+        Nothing reaches the commit hook: rolled-back statements were
+        never published (the per-statement commit is deferred while the
+        transaction is open).
+        """
+        self._tx_depth = max(0, self._tx_depth - 1)
+        self.rollback_to(mark)
+
+    def commit_statement(self, mark: int) -> None:
+        """Publish ``journal[mark:]`` to the commit hook and truncate.
+
+        No-op when no hook is installed (the in-memory store keeps its
+        undo journal exactly as before) or while a transaction is open
+        (the transaction commit publishes every statement at once, and
+        a transaction rollback means none of them ever existed).
+        """
+        if self._commit_hook is None or self._tx_depth:
+            return
+        ops = self.redo_ops(mark)
+        if ops:
+            self._commit_hook(ops)
+        self.commit_to(mark)
+
+    def _log_schema(self, op: tuple) -> None:
+        """Publish a schema change immediately (schema is unjournaled)."""
+        if self._commit_hook is not None:
+            self._commit_hook([op])
+
+    def redo_ops(self, mark: int = 0) -> list[tuple]:
+        """Serializable redo equivalents of ``journal[mark:]``.
+
+        Journal entries carry *undo* information only, but every store
+        mutation is absolute (set-value, never incremental) and this
+        runs synchronously at commit time, so the current record state
+        supplies the redo values: replaying each entry with the final
+        value converges to the committed state even when one property
+        was written several times inside the statement.  Property
+        removal is encoded as ``None`` (storable values are never
+        null), keeping every operation JSON-serializable.
+        """
+        ops: list[tuple] = []
+        for entry in self._journal[mark:]:
+            op = entry[0]
+            if op == "node_created":
+                record = self._nodes[entry[1]]
+                ops.append(
+                    (
+                        "create_node",
+                        entry[1],
+                        sorted(record.labels),
+                        dict(record.properties),
+                    )
+                )
+            elif op == "rel_created":
+                record = self._rels[entry[1]]
+                ops.append(
+                    (
+                        "create_rel",
+                        entry[1],
+                        record.type,
+                        record.source,
+                        record.target,
+                        dict(record.properties),
+                    )
+                )
+            elif op == "node_deleted":
+                ops.append(("delete_node", entry[1]))
+            elif op == "rel_deleted":
+                ops.append(("delete_rel", entry[1]))
+            elif op == "label_added":
+                ops.append(("add_label", entry[1], entry[2]))
+            elif op == "label_removed":
+                ops.append(("remove_label", entry[1], entry[2]))
+            elif op == "node_prop":
+                record = self._nodes[entry[1]]
+                ops.append(
+                    (
+                        "set_node_prop",
+                        entry[1],
+                        entry[2],
+                        record.properties.get(entry[2]),
+                    )
+                )
+            elif op == "rel_prop":
+                record = self._rels[entry[1]]
+                ops.append(
+                    (
+                        "set_rel_prop",
+                        entry[1],
+                        entry[2],
+                        record.properties.get(entry[2]),
+                    )
+                )
+            else:  # pragma: no cover - defensive
+                raise AssertionError(f"unknown journal op {op!r}")
+        return ops
+
+    def apply_redo(self, op: tuple) -> None:
+        """Re-apply one redo operation with its original ids (recovery).
+
+        Bypasses journaling and constraint enforcement: the operations
+        were validated when first committed, and recovery must
+        reproduce the exact entity ids and final state, including any
+        tombstones created by later deletes.  The id counters are
+        bumped past every restored id so new allocations never
+        collide.
+        """
+        kind = op[0]
+        if kind == "create_node":
+            __, node_id, labels, properties = op
+            record = _NodeRecord(
+                labels=set(labels), properties=dict(properties)
+            )
+            self._nodes[node_id] = record
+            self._live_nodes += 1
+            self._out.setdefault(node_id, set())
+            self._in.setdefault(node_id, set())
+            self._label_index.add(node_id, record.labels)
+            self._reindex_node(node_id)
+            self._next_node_id = max(self._next_node_id, node_id + 1)
+        elif kind == "create_rel":
+            __, rel_id, rel_type, source, target, properties = op
+            record = _RelRecord(
+                type=rel_type,
+                source=source,
+                target=target,
+                properties=dict(properties),
+            )
+            self._rels[rel_id] = record
+            self._live_rels += 1
+            self._out.setdefault(source, set()).add(rel_id)
+            self._in.setdefault(target, set()).add(rel_id)
+            self._adjacency_add(rel_id, rel_type, source, target)
+            self._next_rel_id = max(self._next_rel_id, rel_id + 1)
+        elif kind == "delete_node":
+            record = self._nodes[op[1]]
+            if not record.deleted:
+                record.deleted = True
+                self._live_nodes -= 1
+                self._label_index.remove(op[1], record.labels)
+                self._deindex_node(op[1])
+        elif kind == "delete_rel":
+            record = self._rels[op[1]]
+            if not record.deleted:
+                record.deleted = True
+                self._live_rels -= 1
+                self._out.get(record.source, set()).discard(op[1])
+                self._in.get(record.target, set()).discard(op[1])
+                self._adjacency_discard(
+                    op[1], record.type, record.source, record.target
+                )
+        elif kind == "add_label":
+            __, node_id, label = op
+            record = self._nodes[node_id]
+            if label not in record.labels:
+                record.labels.add(label)
+                if not record.deleted:
+                    self._label_index.add(node_id, (label,))
+                    self._reindex_node(node_id)
+        elif kind == "remove_label":
+            __, node_id, label = op
+            record = self._nodes[node_id]
+            if label in record.labels:
+                record.labels.discard(label)
+                if not record.deleted:
+                    self._label_index.remove(node_id, (label,))
+                    self._reindex_node(node_id)
+        elif kind == "set_node_prop":
+            __, node_id, key, value = op
+            record = self._nodes[node_id]
+            if value is None:
+                record.properties.pop(key, None)
+            else:
+                record.properties[key] = value
+            if not record.deleted:
+                self._reindex_node(node_id, only_key=key)
+        elif kind == "set_rel_prop":
+            __, rel_id, key, value = op
+            record = self._rels[rel_id]
+            if value is None:
+                record.properties.pop(key, None)
+            else:
+                record.properties[key] = value
+        elif kind == "create_index":
+            self.create_index(op[1], op[2])
+        elif kind == "drop_index":
+            self.drop_index(op[1], op[2])
+        elif kind == "create_constraint":
+            self.create_unique_constraint(op[1], op[2])
+        elif kind == "drop_constraint":
+            self.drop_unique_constraint(op[1], op[2])
+        else:
+            raise PersistenceError(f"unknown redo op {kind!r}")
+
     def _record(self, entry: tuple) -> None:
         """Journal one mutation (the write-counting choke point)."""
         self.counters.write()
@@ -635,11 +871,13 @@ class GraphStore:
             if value is not None:
                 index.add(node_id, value)
         self._property_indexes[(label, key)] = index
+        self._log_schema(("create_index", label, key))
         return index
 
     def drop_index(self, label: str, key: str) -> None:
         """Drop a property index if it exists."""
-        self._property_indexes.pop((label, key), None)
+        if self._property_indexes.pop((label, key), None) is not None:
+            self._log_schema(("drop_index", label, key))
 
     def property_index(self, label: str, key: str) -> PropertyIndex | None:
         """The index on ``:label(key)`` if one was created."""
@@ -684,11 +922,15 @@ class GraphStore:
                 f"cannot create uniqueness constraint on :{label}({key}): "
                 f"existing nodes {worst} share a value"
             )
-        self._unique_constraints.add((label, key))
+        if (label, key) not in self._unique_constraints:
+            self._unique_constraints.add((label, key))
+            self._log_schema(("create_constraint", label, key))
 
     def drop_unique_constraint(self, label: str, key: str) -> None:
         """Drop a uniqueness constraint (the index remains)."""
-        self._unique_constraints.discard((label, key))
+        if (label, key) in self._unique_constraints:
+            self._unique_constraints.discard((label, key))
+            self._log_schema(("drop_constraint", label, key))
 
     def unique_constraints(self) -> frozenset[tuple[str, str]]:
         """The active uniqueness constraints."""

@@ -179,6 +179,17 @@ class Quantifier(Expression):
 
 
 @dataclass(frozen=True)
+class Reduce(Expression):
+    """``reduce(acc = init, x IN list | expr)``."""
+
+    accumulator: str
+    init: Expression
+    variable: str
+    source: Expression
+    expression: Expression
+
+
+@dataclass(frozen=True)
 class Subscript(Expression):
     """Indexing ``subject[index]`` (lists and maps)."""
 

@@ -900,6 +900,10 @@ class Parser:
                 quantifier = self._try_parse_quantifier(upper.lower())
                 if quantifier is not None:
                     return quantifier
+            if upper == "REDUCE":
+                reduce_expr = self._try_parse_reduce()
+                if reduce_expr is not None:
+                    return reduce_expr
             if upper == "COUNT" and self._peek(2).is_punct("*"):
                 self._advance()  # name
                 self._advance()  # (
@@ -933,6 +937,40 @@ class Parser:
         self._expect_punct(")")
         return ast.Quantifier(
             kind=kind, variable=variable, source=source, predicate=predicate
+        )
+
+    def _try_parse_reduce(self) -> Optional[ast.Expression]:
+        mark = self._save()
+        self._advance()  # REDUCE
+        self._advance()  # (
+        token = self._peek()
+        if not self._is_variable_token(token) or not self._peek(1).is_punct(
+            "="
+        ):
+            self._restore(mark)
+            return None
+        accumulator = self._advance().text
+        self._advance()  # =
+        init = self._parse_expression()
+        self._expect_punct(",")
+        variable_token = self._peek()
+        if not self._is_variable_token(variable_token):
+            raise self._error(
+                f"expected iteration variable in reduce(), "
+                f"found {variable_token.value!r}"
+            )
+        variable = self._advance().text
+        self._expect_keyword("IN")
+        source = self._parse_expression()
+        self._expect_punct("|")
+        expression = self._parse_expression()
+        self._expect_punct(")")
+        return ast.Reduce(
+            accumulator=accumulator,
+            init=init,
+            variable=variable,
+            source=source,
+            expression=expression,
         )
 
     def _parse_function_call(self) -> ast.FunctionCall:

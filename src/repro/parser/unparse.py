@@ -339,6 +339,13 @@ def _expr_with_precedence(node: ast.Expression) -> tuple[str, int]:
             f"WHERE {_expr(node.predicate)})",
             _ATOM_PRECEDENCE,
         )
+    if isinstance(node, ast.Reduce):
+        return (
+            f"reduce({_ident(node.accumulator)} = {_expr(node.init)}, "
+            f"{_ident(node.variable)} IN {_expr(node.source)} | "
+            f"{_expr(node.expression)})",
+            _ATOM_PRECEDENCE,
+        )
     if isinstance(node, ast.Subscript):
         return (
             f"{_expr(node.subject, _ATOM_PRECEDENCE)}[{_expr(node.index)}]",

@@ -1,0 +1,51 @@
+"""Durability: write-ahead logging, checkpoints, crash recovery.
+
+The paper's statement atomicity (``[[C]] : (G, T) -> (G', T')``) is
+enforced in memory by the store's undo journal; this package extends
+it across process boundaries.  Every committed statement's journal
+slice is re-expressed as *redo* operations and appended to an
+append-only, checksummed write-ahead log; checkpoints snapshot the
+whole graph atomically and truncate the log; recovery replays the log
+over the latest checkpoint, discarding any torn tail, so the reopened
+graph is byte-identical (canonical graph JSON) to the last committed
+state before the crash.
+
+Entry points: ``Graph(path=...)`` / ``Graph.open(path)`` in
+:mod:`repro.session`, and the standalone ``python -m repro.recover``
+CLI.
+"""
+
+from repro.persistence.checkpoint import (
+    CHECKPOINT_NAME,
+    WAL_NAME,
+    checkpoint_payload,
+    load_checkpoint,
+    restore_checkpoint,
+    write_checkpoint,
+)
+from repro.persistence.manager import PersistenceManager, RecoveryReport
+from repro.persistence.wal import (
+    FSYNC_POLICIES,
+    WalRecord,
+    WalWriter,
+    decode_records,
+    encode_record,
+    read_wal,
+)
+
+__all__ = [
+    "CHECKPOINT_NAME",
+    "WAL_NAME",
+    "FSYNC_POLICIES",
+    "PersistenceManager",
+    "RecoveryReport",
+    "WalRecord",
+    "WalWriter",
+    "checkpoint_payload",
+    "decode_records",
+    "encode_record",
+    "load_checkpoint",
+    "read_wal",
+    "restore_checkpoint",
+    "write_checkpoint",
+]

@@ -1,0 +1,133 @@
+"""Atomic checkpoints: a full snapshot that supersedes the WAL prefix.
+
+A checkpoint is the whole-graph JSON (the same shape
+:func:`repro.io.graph_json.graph_to_dict` produces) plus the store
+state the graph dict cannot carry -- id allocators, property indexes
+and uniqueness constraints -- stamped with the LSN of the last record
+it covers.  It is written to a temporary file in the same directory,
+fsynced, and atomically renamed over the previous checkpoint, so a
+crash at any point leaves either the old or the new checkpoint intact,
+never a half-written one.
+
+Restoring uses :meth:`~repro.graph.store.GraphStore.apply_redo` so the
+original entity ids survive; ``dict_to_store`` would remap them, which
+would break WAL replay (records reference ids).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import PersistenceError
+from repro.graph.store import GraphStore
+
+#: file names inside a persistence directory
+CHECKPOINT_NAME = "checkpoint.json"
+WAL_NAME = "wal.log"
+
+CHECKPOINT_FORMAT = 1
+
+
+def checkpoint_payload(store: GraphStore, lsn: int) -> dict:
+    """The JSON-serialisable checkpoint of *store* at *lsn*."""
+    from repro.io.graph_json import graph_to_dict
+
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "lsn": lsn,
+        "graph": graph_to_dict(store),
+        "next_node_id": store._next_node_id,
+        "next_rel_id": store._next_rel_id,
+        "indexes": sorted(list(pair) for pair in store._property_indexes),
+        "constraints": sorted(
+            list(pair) for pair in store.unique_constraints()
+        ),
+    }
+
+
+def write_checkpoint(
+    directory: Path | str, store: GraphStore, lsn: int
+) -> Path:
+    """Atomically write the checkpoint file; returns its path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    target = directory / CHECKPOINT_NAME
+    temporary = directory / (CHECKPOINT_NAME + ".tmp")
+    payload = checkpoint_payload(store, lsn)
+    with open(temporary, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temporary, target)
+    _fsync_directory(directory)
+    return target
+
+
+def _fsync_directory(directory: Path) -> None:
+    # Make the rename itself durable where the platform allows it.
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def load_checkpoint(directory: Path | str) -> dict | None:
+    """The checkpoint payload, or ``None`` when none was written."""
+    path = Path(directory) / CHECKPOINT_NAME
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as error:
+        raise PersistenceError(
+            f"corrupt checkpoint {path}: {error}"
+        ) from error
+    if payload.get("format") != CHECKPOINT_FORMAT:
+        raise PersistenceError(
+            f"unsupported checkpoint format {payload.get('format')!r} "
+            f"in {path}"
+        )
+    return payload
+
+
+def restore_checkpoint(store: GraphStore, payload: dict) -> None:
+    """Rebuild *store* from a checkpoint payload, ids preserved."""
+    graph = payload["graph"]
+    for node in graph["nodes"]:
+        store.apply_redo(
+            (
+                "create_node",
+                node["id"],
+                list(node["labels"]),
+                dict(node["properties"]),
+            )
+        )
+    for rel in graph["relationships"]:
+        store.apply_redo(
+            (
+                "create_rel",
+                rel["id"],
+                rel["type"],
+                rel["start"],
+                rel["end"],
+                dict(rel["properties"]),
+            )
+        )
+    for label, key in payload.get("indexes", ()):
+        store.create_index(label, key)
+    for label, key in payload.get("constraints", ()):
+        store.create_unique_constraint(label, key)
+    store._next_node_id = max(
+        store._next_node_id, payload.get("next_node_id", 0)
+    )
+    store._next_rel_id = max(
+        store._next_rel_id, payload.get("next_rel_id", 0)
+    )

@@ -385,6 +385,9 @@ def _compile(expression: ast.Expression) -> tuple[Compiled, bool]:
     if isinstance(expression, ast.Quantifier):
         return _compile_quantifier(expression)
 
+    if isinstance(expression, ast.Reduce):
+        return _compile_reduce(expression)
+
     if isinstance(expression, ast.Subscript):
         subscript_value = _exprs().subscript_value
         subject_fn = _compiled(expression.subject)[0]
@@ -631,6 +634,34 @@ def _compile_list_comprehension(
         return result
 
     return list_comprehension, False
+
+
+def _compile_reduce(
+    expression: ast.Reduce,
+) -> tuple[Compiled, bool]:
+    accumulator_name = expression.accumulator
+    variable = expression.variable
+    init_fn = _compiled(expression.init)[0]
+    source_fn = _compiled(expression.source)[0]
+    expression_fn = _compiled(expression.expression)[0]
+
+    def reduce_expression(ctx: EvalContext, record: Mapping[str, Any]) -> Any:
+        source = source_fn(ctx, record)
+        if source is None:
+            return None
+        if not isinstance(source, list):
+            raise CypherTypeError(
+                f"reduce() expects a List, got {type_name(source)}"
+            )
+        accumulator = init_fn(ctx, record)
+        inner = dict(record)
+        for element in source:
+            inner[accumulator_name] = accumulator
+            inner[variable] = element
+            accumulator = expression_fn(ctx, inner)
+        return accumulator
+
+    return reduce_expression, False
 
 
 def _compile_quantifier(

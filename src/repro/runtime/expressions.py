@@ -139,6 +139,8 @@ def interpret(
         return _list_comprehension(ctx, expression, record)
     if isinstance(expression, ast.Quantifier):
         return _quantifier(ctx, expression, record)
+    if isinstance(expression, ast.Reduce):
+        return _reduce(ctx, expression, record)
     if isinstance(expression, ast.Subscript):
         return _subscript(ctx, expression, record)
     if isinstance(expression, ast.Slice):
@@ -447,6 +449,25 @@ def _list_comprehension(
         else:
             result.append(element)
     return result
+
+
+def _reduce(
+    ctx: EvalContext, expression: ast.Reduce, record: Mapping[str, Any]
+) -> Any:
+    source = interpret(ctx, expression.source, record)
+    if source is None:
+        return None
+    if not isinstance(source, list):
+        raise CypherTypeError(
+            f"reduce() expects a List, got {type_name(source)}"
+        )
+    accumulator = interpret(ctx, expression.init, record)
+    inner = dict(record)
+    for element in source:
+        inner[expression.accumulator] = accumulator
+        inner[expression.variable] = element
+        accumulator = interpret(ctx, expression.expression, inner)
+    return accumulator
 
 
 def quantifier_outcome(

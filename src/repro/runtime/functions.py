@@ -15,7 +15,7 @@ from typing import Any, Callable
 
 from repro.errors import CypherEvaluationError, CypherTypeError
 from repro.graph.model import Node, Path, Relationship
-from repro.graph.values import is_number, type_name
+from repro.graph.values import check_int64, is_number, type_name
 from repro.runtime.context import EvalContext
 
 Implementation = Callable[..., Any]
@@ -230,7 +230,10 @@ def _numeric(function: str, value: Any) -> float | int:
 
 
 def _fn_abs(ctx: EvalContext, value: Any) -> Any:
-    return abs(_numeric("abs", value))
+    result = abs(_numeric("abs", value))
+    if isinstance(result, int):
+        check_int64(result, "abs()")
+    return result
 
 
 def _fn_sign(ctx: EvalContext, value: Any) -> Any:
@@ -319,14 +322,26 @@ def _fn_split(ctx: EvalContext, value: Any, separator: Any) -> Any:
     )
 
 
+def _require_non_negative(value: int, function: str, role: str) -> int:
+    # Guard against Python's negative-index semantics leaking through
+    # slicing: openCypher requires a NegativeIntegerArgument error.
+    if value < 0:
+        raise CypherEvaluationError(
+            f"{function}() {role} must be non-negative, got {value}"
+        )
+    return value
+
+
 def _fn_substring(ctx: EvalContext, value: Any, start: Any, length: Any = None) -> Any:
     text = _require_string(value, "substring")
     if not isinstance(start, int) or isinstance(start, bool):
         raise CypherTypeError("substring() start must be an Integer")
+    _require_non_negative(start, "substring", "start")
     if length is None:
         return text[start:]
     if not isinstance(length, int) or isinstance(length, bool):
         raise CypherTypeError("substring() length must be an Integer")
+    _require_non_negative(length, "substring", "length")
     return text[start : start + length]
 
 
@@ -334,6 +349,7 @@ def _fn_left(ctx: EvalContext, value: Any, length: Any) -> Any:
     text = _require_string(value, "left")
     if not isinstance(length, int) or isinstance(length, bool):
         raise CypherTypeError("left() length must be an Integer")
+    _require_non_negative(length, "left", "length")
     return text[:length]
 
 
@@ -341,6 +357,7 @@ def _fn_right(ctx: EvalContext, value: Any, length: Any) -> Any:
     text = _require_string(value, "right")
     if not isinstance(length, int) or isinstance(length, bool):
         raise CypherTypeError("right() length must be an Integer")
+    _require_non_negative(length, "right", "length")
     return text[-length:] if length else ""
 
 

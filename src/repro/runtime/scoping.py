@@ -168,6 +168,14 @@ def _check_expression(expression: ast.Expression, scope: set[str]) -> None:
         _check_expression(expression.source, scope)
         _check_expression(expression.predicate, scope | {expression.variable})
         return
+    if isinstance(expression, ast.Reduce):
+        _check_expression(expression.init, scope)
+        _check_expression(expression.source, scope)
+        _check_expression(
+            expression.expression,
+            scope | {expression.accumulator, expression.variable},
+        )
+        return
     if isinstance(expression, (ast.PatternExpression, ast.ExistsExpression)):
         # Pattern predicates quantify their unbound variables
         # existentially; only property-map expressions inside them are

@@ -15,28 +15,40 @@ rollback scope on top of the engine's per-statement atomicity::
     with g.transaction():
         g.run(...)
         g.run(...)        # an exception rolls back both
+
+A graph opened with ``path=...`` (or :meth:`Graph.open`) is durable:
+every committed statement is appended to a write-ahead log, recovery
+replays it on reopen, and :meth:`Graph.checkpoint` compacts the log
+into an atomic snapshot (see :mod:`repro.persistence`).
 """
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from pathlib import Path
+from typing import Any, Callable, Mapping, TypeVar
 
 from repro.dialect import Dialect
 from repro.engine import CypherEngine, QueryResult
-from repro.errors import TransactionError
+from repro.errors import PersistenceError, TransactionError
 from repro.graph.model import GraphSnapshot, Node, Relationship
 from repro.graph.statistics import GraphStatistics, collect_statistics
 from repro.graph.store import GraphStore
 from repro.runtime.context import MatchMode
 from repro.runtime.table import DrivingTable
 
+_T = TypeVar("_T")
+
 
 class Transaction:
-    """A rollback scope over multiple statements."""
+    """A rollback scope over multiple statements.
+
+    On a durable graph nothing reaches the write-ahead log until
+    :meth:`commit`; a rolled-back transaction leaves no trace on disk.
+    """
 
     def __init__(self, store: GraphStore):
         self._store = store
-        self._mark = store.mark()
+        self._mark = store.begin_transaction()
         self._closed = False
 
     def commit(self) -> None:
@@ -44,13 +56,14 @@ class Transaction:
         if self._closed:
             raise TransactionError("transaction already closed")
         self._closed = True
+        self._store.commit_transaction(self._mark)
 
     def rollback(self) -> None:
         """Undo all changes made inside the transaction."""
         if self._closed:
             raise TransactionError("transaction already closed")
-        self._store.rollback_to(self._mark)
         self._closed = True
+        self._store.rollback_transaction(self._mark)
 
     def __enter__(self) -> "Transaction":
         return self
@@ -75,8 +88,37 @@ class Graph:
         match_mode: MatchMode | str = MatchMode.TRAIL,
         use_planner: bool = False,
         store: GraphStore | None = None,
+        path: str | Path | None = None,
+        fsync: str = "batch",
     ):
         self.store = store if store is not None else GraphStore()
+        self.persistence = None
+        self.recovery = None
+        if path is not None:
+            from repro.persistence import PersistenceManager
+
+            self.persistence = PersistenceManager(path, fsync=fsync)
+            had_data = bool(
+                self.store._nodes
+                or self.store._rels
+                or self.store._property_indexes
+            )
+            if had_data and (
+                self.persistence.wal_path.exists()
+                or (Path(path) / "checkpoint.json").exists()
+            ):
+                raise PersistenceError(
+                    "cannot attach a pre-populated store to a directory "
+                    "that already holds persisted data; pass a fresh "
+                    "store or an empty directory"
+                )
+            self.recovery = self.persistence.recover(self.store)
+            self.persistence.attach(self.store)
+            if had_data:
+                # A pre-populated store attached to a directory: take
+                # an immediate checkpoint so the base state is on disk
+                # (the WAL only covers statements from here on).
+                self.persistence.checkpoint(self.store)
         self.engine = CypherEngine(
             self.store,
             dialect,
@@ -84,6 +126,13 @@ class Graph:
             match_mode=match_mode,
             use_planner=use_planner,
         )
+
+    @classmethod
+    def open(
+        cls, path: str | Path, *, fsync: str = "batch", **kwargs: Any
+    ) -> "Graph":
+        """Open (or create) a durable graph backed by *path*."""
+        return cls(path=path, fsync=fsync, **kwargs)
 
     # ------------------------------------------------------------------
     # Statements
@@ -148,6 +197,49 @@ class Graph:
         """Open a multi-statement rollback scope."""
         return Transaction(self.store)
 
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Snapshot the graph atomically and truncate the WAL."""
+        if self.persistence is None:
+            raise PersistenceError(
+                "graph has no persistence directory; "
+                "open it with Graph(path=...)"
+            )
+        self.persistence.checkpoint(self.store)
+
+    def sync(self) -> None:
+        """Force pending WAL records to disk (any fsync policy)."""
+        if self.persistence is not None:
+            self.persistence.sync()
+
+    def close(self) -> None:
+        """Flush and detach the persistence layer (idempotent)."""
+        if self.persistence is not None:
+            self.persistence.close()
+            self.store.set_commit_hook(None)
+            self.persistence = None
+
+    def __enter__(self) -> "Graph":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def _direct(self, mutate: Callable[[], _T]) -> _T:
+        """Run one direct store mutation as its own committed statement."""
+        mark = self.store.mark()
+        try:
+            result = mutate()
+        except Exception:
+            self.store.rollback_to(mark)
+            raise
+        self.store.commit_statement(mark)
+        return result
+
     def with_dialect(
         self, dialect: Dialect | str, *, extended_merge: bool | None = None
     ) -> "Graph":
@@ -172,7 +264,9 @@ class Graph:
         self, *labels: str, **properties: Any
     ) -> Node:
         """Create a node directly (bypassing Cypher)."""
-        node_id = self.store.create_node(labels, properties)
+        node_id = self._direct(
+            lambda: self.store.create_node(labels, properties)
+        )
         return self.store.node(node_id)
 
     def create_relationship(
@@ -185,8 +279,10 @@ class Graph:
         """Create a relationship directly (bypassing Cypher)."""
         source_id = source.id if isinstance(source, Node) else source
         target_id = target.id if isinstance(target, Node) else target
-        rel_id = self.store.create_relationship(
-            rel_type, source_id, target_id, properties
+        rel_id = self._direct(
+            lambda: self.store.create_relationship(
+                rel_type, source_id, target_id, properties
+            )
         )
         return self.store.relationship(rel_id)
 

@@ -5,6 +5,7 @@ Typical invocations::
     python -m repro.fuzz --seed 0 --cases 200        # the CI smoke run
     python -m repro.fuzz --seed 7 --cases 5000 -v    # a longer hunt
     python -m repro.fuzz --replay tests/fuzz_corpus  # corpus regression
+    python -m repro.fuzz --crash 3                   # WAL crash injection
 
 Every failing case is greedily shrunk and written as a replayable JSON
 bundle under ``tests/fuzz_corpus/`` (``--corpus`` to redirect,
@@ -74,12 +75,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay every bundle in DIR instead of generating cases",
     )
     parser.add_argument(
+        "--crash",
+        type=int,
+        default=None,
+        metavar="SCENARIOS",
+        help="run this many WAL crash-injection scenarios instead of "
+        "differential cases (kills recovery at every record boundary "
+        "plus torn/corrupt tails)",
+    )
+    parser.add_argument(
+        "--statements",
+        type=int,
+        default=20,
+        help="statements per crash scenario (default 20)",
+    )
+    parser.add_argument(
         "-v",
         "--verbose",
         action="store_true",
         help="print one line per case",
     )
     return parser
+
+
+def run_crash(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.testing.crash import run_crash_scenario, scenario_statements
+
+    started = time.perf_counter()
+    failed = 0
+    kill_points = 0
+    for seed in range(args.seed, args.seed + args.crash):
+        with tempfile.TemporaryDirectory() as scratch:
+            report = run_crash_scenario(
+                seed,
+                scratch,
+                statements=scenario_statements(seed, args.statements),
+            )
+        kill_points += report.kill_points
+        status = "ok" if report.ok else "FAIL"
+        if args.verbose or not report.ok:
+            print(
+                f"[{status}] crash seed {seed}: "
+                f"{report.records_written} records, "
+                f"{report.kill_points} kill points"
+            )
+        if not report.ok:
+            failed += 1
+            for failure in report.failures[:5]:
+                print(f"    {failure}")
+    elapsed = time.perf_counter() - started
+    print(
+        f"{args.crash - failed}/{args.crash} crash scenarios passed "
+        f"({kill_points} kill points) in {elapsed:.1f}s"
+    )
+    return 1 if failed else 0
 
 
 def run_replay(directory: Path, *, verbose: bool) -> int:
@@ -151,6 +202,11 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.replay is not None:
         return run_replay(args.replay, verbose=args.verbose)
+    if args.crash is not None:
+        if args.crash <= 0:
+            print("nothing to do: --crash must be positive")
+            return 2
+        return run_crash(args)
     if args.cases <= 0:
         print("nothing to do: --cases must be positive")
         return 2

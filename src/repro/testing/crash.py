@@ -1,0 +1,246 @@
+"""Crash-injection testing for the write-ahead log.
+
+Runs a seeded update workload against a durable graph while recording,
+for every WAL record, the canonical graph JSON of the committed state
+it completes.  Then it simulates a crash at **every record boundary**
+-- recovery sees only the first *k* records -- plus *torn-tail*
+variants where a partial (or corrupt) record follows the boundary, and
+asserts two oracles on every recovered store:
+
+* **byte identity** -- the recovered graph's canonical JSON equals the
+  last committed pre-crash state (statement atomicity survives the
+  crash: a half-written record never happened);
+* **invariants** -- the full store-invariant oracle
+  (:func:`repro.testing.invariants.check_invariants`) passes.
+
+The workload mixes the shapes the journal can produce: creates,
+property sets and removals, label changes, deletes (plain and DETACH),
+MERGE, schema commands, rolled-back statements (which must never reach
+the log) and multi-statement transactions (committed and rolled back).
+"""
+
+from __future__ import annotations
+
+import random
+import shutil
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import CypherError
+from repro.graph.store import GraphStore
+from repro.persistence import PersistenceManager, decode_records
+from repro.persistence.checkpoint import WAL_NAME
+from repro.session import Graph
+from repro.testing.invariants import (
+    InvariantViolation,
+    canonical_graph_json,
+    check_invariants,
+)
+
+
+@dataclass
+class CrashReport:
+    """Outcome of one crash-injection scenario."""
+
+    seed: int
+    statements_run: int = 0
+    records_written: int = 0
+    kill_points: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def scenario_statements(seed: int, count: int = 20) -> list[str]:
+    """A deterministic update workload for crash injection."""
+    rng = random.Random(f"crash:{seed}")
+    labels = ["Person", "Item", "Tag"]
+    statements: list[str] = []
+    for index in range(count):
+        roll = rng.random()
+        label = rng.choice(labels)
+        if roll < 0.30 or index < 3:
+            statements.append(
+                f"CREATE (:{label} {{k: {index}, "
+                f"v: {rng.randint(0, 9)}}})"
+            )
+        elif roll < 0.45:
+            statements.append(
+                f"MATCH (n:{label}) SET n.v = n.k + {rng.randint(1, 5)}, "
+                f"n.w = {rng.random():.3f}"
+            )
+        elif roll < 0.55:
+            statements.append(f"MATCH (n:{label}) REMOVE n.w SET n:Extra")
+        elif roll < 0.65:
+            other = rng.choice(labels)
+            statements.append(
+                f"MATCH (a:{label}), (b:{other}) WHERE a.k < b.k "
+                f"CREATE (a)-[:REL {{d: a.k}}]->(b)"
+            )
+        elif roll < 0.72:
+            statements.append(
+                f"MATCH (n:{label}) WHERE n.k = {rng.randint(0, count)} "
+                f"DETACH DELETE n"
+            )
+        elif roll < 0.80:
+            statements.append(
+                f"MERGE ALL (:{label} {{k: {rng.randint(0, 5)}}})"
+            )
+        elif roll < 0.88:
+            statements.append(f"CREATE INDEX ON :{label}(k)")
+        else:
+            # Guaranteed failure: must roll back and never hit the log.
+            statements.append(
+                f"MATCH (n:{label}) SET n.bad = n.k / 0"
+            )
+    return statements
+
+
+def _recover_prefix(
+    source_wal: bytes, directory: Path, length: int
+) -> GraphStore:
+    """Recover a store from the first *length* bytes of the WAL."""
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / WAL_NAME).write_bytes(source_wal[:length])
+    store = GraphStore()
+    manager = PersistenceManager(directory)
+    manager.recover(store, verify=False)
+    return store
+
+
+def run_crash_scenario(
+    seed: int,
+    directory: Path | str,
+    *,
+    statements: list[str] | None = None,
+    fsync: str = "off",
+    torn_variants: bool = True,
+) -> CrashReport:
+    """Execute one workload, then kill recovery at every boundary."""
+    base = Path(directory)
+    live = base / "live"
+    if live.exists():
+        shutil.rmtree(live)
+    report = CrashReport(seed=seed)
+    todo = (
+        statements if statements is not None else scenario_statements(seed)
+    )
+
+    graph = Graph(path=live, fsync=fsync, extended_merge=True)
+    wal_path = live / WAL_NAME
+    # canonical JSON of the committed state after each statement, paired
+    # with the WAL record count at that point
+    timeline: list[tuple[int, str]] = [(0, canonical_graph_json(graph.store))]
+    for statement in todo:
+        try:
+            graph.run(statement)
+        except CypherError:
+            pass  # rolled back; must not have logged anything
+        report.statements_run += 1
+        records, clean, __ = _decode_file(wal_path)
+        timeline.append((len(records), canonical_graph_json(graph.store)))
+    graph.close()
+
+    wal_bytes = wal_path.read_bytes()
+    records, clean, total = _decode_file(wal_path)
+    report.records_written = len(records)
+    if clean != total:
+        report.failures.append(
+            f"live WAL has a dirty tail ({total - clean} bytes) "
+            f"without any crash"
+        )
+    boundaries = _record_boundaries(wal_bytes)
+
+    def expected_json(record_count: int) -> str:
+        # The committed state a prefix of record_count records encodes:
+        # the last statement whose records all fit in the prefix.
+        # (Data statements are single-record; only schema statements
+        # can emit several records, and those never change the graph
+        # JSON, so the straddling case is covered too.)
+        best = timeline[0][1]
+        for count, snapshot in timeline:
+            if count <= record_count:
+                best = snapshot
+        return best
+
+    scratch = base / "scratch"
+    for k, boundary in enumerate(boundaries):
+        cut_points = [(f"boundary[{k}]", boundary)]
+        if torn_variants and k < len(records):
+            next_boundary = boundaries[k + 1]
+            torn = boundary + max(1, (next_boundary - boundary) // 2)
+            if torn < next_boundary:
+                cut_points.append((f"torn[{k}]", torn))
+        for name, cut in cut_points:
+            if scratch.exists():
+                shutil.rmtree(scratch)
+            report.kill_points += 1
+            try:
+                store = _recover_prefix(wal_bytes, scratch, cut)
+            except Exception as error:  # noqa: BLE001 -- findings
+                report.failures.append(
+                    f"[{name}] recovery crashed: "
+                    f"{type(error).__name__}: {error}"
+                )
+                continue
+            recovered = canonical_graph_json(store)
+            wanted = expected_json(k)
+            if recovered != wanted:
+                report.failures.append(
+                    f"[{name}] recovered graph differs from the last "
+                    f"committed pre-crash state"
+                )
+            try:
+                check_invariants(store)
+            except InvariantViolation as violation:
+                report.failures.append(
+                    f"[{name}] recovered store invariants: {violation}"
+                )
+
+    # Corrupt-checksum variant: flip one byte inside the last record's
+    # payload; recovery must treat everything from there on as torn.
+    if records and torn_variants:
+        report.kill_points += 1
+        corrupt = bytearray(wal_bytes)
+        corrupt[boundaries[-2] + 8] ^= 0xFF
+        if scratch.exists():
+            shutil.rmtree(scratch)
+        try:
+            store = _recover_prefix(bytes(corrupt), scratch, len(corrupt))
+        except Exception as error:  # noqa: BLE001 -- findings
+            report.failures.append(
+                f"[corrupt] recovery crashed: "
+                f"{type(error).__name__}: {error}"
+            )
+        else:
+            if canonical_graph_json(store) != expected_json(
+                len(records) - 1
+            ):
+                report.failures.append(
+                    "[corrupt] corrupt record was not discarded"
+                )
+    return report
+
+
+def _decode_file(path: Path):
+    if not path.exists():
+        return [], 0, 0
+    data = path.read_bytes()
+    records, clean = decode_records(data)
+    return records, clean, len(data)
+
+
+def _record_boundaries(data: bytes) -> list[int]:
+    """Byte offsets of every record boundary, starting at 0."""
+    records, clean = decode_records(data)
+    boundaries = [0]
+    offset = 0
+    header = struct.Struct(">II")
+    while offset + header.size <= clean:
+        length, __ = header.unpack_from(data, offset)
+        offset += header.size + length
+        boundaries.append(offset)
+    return boundaries

@@ -278,6 +278,8 @@ class _Builder:
                 "coalesce",
                 (self.int_expr(depth + 1), ast.Literal(rng.randint(0, 4))),
             )
+        if depth < 2 and rng.random() < 0.08:
+            return self.edge_int_expr(depth)
         choice = rng.choice(leafs)
         if choice == "prop":
             return ast.Property(
@@ -287,6 +289,62 @@ class _Builder:
         if choice == "value":
             return ast.Variable(rng.choice(self.env.values))
         return ast.Literal(rng.randint(0, 5))
+
+    def edge_int_expr(self, depth: int = 0) -> ast.Expression:
+        """Integer shapes probing the fixed evaluator edges.
+
+        ``reduce`` sums, ``abs`` (occasionally at the int64 boundary,
+        where it must raise the overflow error) and ``size``-of-
+        ``substring``/``left``/``right`` with occasionally negative
+        arguments (which must raise, not wrap around) -- every surface
+        has to agree on value *and* error class.
+        """
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.35:
+            items = tuple(
+                ast.Literal(rng.randint(0, 4))
+                for __ in range(rng.randint(0, 3))
+            )
+            return ast.Reduce(
+                accumulator="acc0",
+                init=ast.Literal(rng.randint(0, 2)),
+                variable="el0",
+                source=ast.ListLiteral(items),
+                expression=ast.Binary(
+                    rng.choice(["+", "*"]),
+                    ast.Variable("acc0"),
+                    ast.Variable("el0"),
+                ),
+            )
+        if roll < 0.6:
+            if rng.random() < 0.2:
+                # abs at INT64_MIN: (-9223372036854775807) - 1 is the
+                # smallest legal integer; abs of it must overflow.
+                argument: ast.Expression = ast.Binary(
+                    "-",
+                    ast.Unary("-", ast.Literal(9223372036854775807)),
+                    ast.Literal(1),
+                )
+            else:
+                argument = self.int_expr(depth + 1)
+            return ast.FunctionCall("abs", (argument,))
+        name = rng.choice(["substring", "left", "right"])
+        length: ast.Expression = ast.Literal(rng.randint(0, 4))
+        if rng.random() < 0.25:
+            length = ast.Unary("-", ast.Literal(rng.randint(1, 3)))
+        args: tuple[ast.Expression, ...]
+        if name == "substring" and rng.random() < 0.5:
+            args = (
+                ast.Literal(rng.choice(STRINGS)),
+                length,
+                ast.Literal(rng.randint(0, 3)),
+            )
+        else:
+            args = (ast.Literal(rng.choice(STRINGS)), length)
+        return ast.FunctionCall(
+            "size", (ast.FunctionCall(name, args),)
+        )
 
     def any_expr(self) -> ast.Expression:
         rng = self.rng

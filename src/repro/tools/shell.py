@@ -30,6 +30,7 @@ Shell commands:
   :quit                 exit the shell
   :dialect [NAME]       show or switch the dialect (cypher9 | revised)
   :begin / :commit / :rollback   bracket statements in a transaction
+  :checkpoint           snapshot a durable graph and truncate its WAL
   :stats                graph statistics
   :cache                statement-cache and expression-compiler counters
   :schema               indexes and uniqueness constraints
@@ -163,6 +164,21 @@ class Shell:
             self._transaction.rollback()
             self._transaction = None
             self._print("rolled back")
+        elif command == ":checkpoint":
+            if self.graph.persistence is None:
+                self._print(
+                    "!! graph is not durable; open it with --path DIR"
+                )
+                return
+            try:
+                self.graph.checkpoint()
+            except CypherError as error:
+                self._print(f"!! {type(error).__name__}: {error}")
+                return
+            self._print(
+                f"checkpoint written (lsn {self.graph.persistence.lsn}), "
+                f"WAL truncated"
+            )
         elif command == ":stats":
             self._print(self.graph.statistics().summary())
         elif command == ":cache":
@@ -280,6 +296,18 @@ def main(argv: list[str] | None = None) -> int:
         "--graph", help="JSON graph to load before starting", default=None
     )
     parser.add_argument(
+        "--path",
+        default=None,
+        help="persistence directory (write-ahead log + checkpoints); "
+        "recovered on start, appended to while running",
+    )
+    parser.add_argument(
+        "--fsync",
+        default="batch",
+        choices=["always", "batch", "off"],
+        help="WAL fsync policy for --path (default: batch)",
+    )
+    parser.add_argument(
         "--extended-merge",
         action="store_true",
         help="enable the experimental Section 6 MERGE variants",
@@ -309,28 +337,40 @@ def main(argv: list[str] | None = None) -> int:
 
         store = load_graph(args.graph)
     graph = Graph(
-        args.dialect, extended_merge=args.extended_merge, store=store
+        args.dialect,
+        extended_merge=args.extended_merge,
+        store=store,
+        path=args.path,
+        fsync=args.fsync,
     )
     shell = Shell(graph)
+    if args.path and graph.recovery is not None:
+        shell._print(f"recovered: {graph.recovery.summary()}")
 
     if args.script:
-        with open(args.script, encoding="utf-8") as handle:
-            shell.feed_script(handle.read())
+        try:
+            with open(args.script, encoding="utf-8") as handle:
+                shell.feed_script(handle.read())
+        finally:
+            graph.close()
         return 0
 
     shell._print(
         f"repro Cypher shell (dialect: {graph.dialect.value}); "
         f":help for help, :quit to exit"
     )
-    while not shell.done:
-        try:
-            line = input(shell.prompt)
-        except EOFError:
-            break
-        except KeyboardInterrupt:
-            shell._print("")
-            continue
-        shell.feed(line)
+    try:
+        while not shell.done:
+            try:
+                line = input(shell.prompt)
+            except EOFError:
+                break
+            except KeyboardInterrupt:
+                shell._print("")
+                continue
+            shell.feed(line)
+    finally:
+        graph.close()
     return 0
 
 

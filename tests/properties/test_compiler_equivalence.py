@@ -263,6 +263,28 @@ CORPUS = [
     "s[1..2]",
     "lst[m..2]",
     "lst['a'..2]",
+    # reduce
+    "reduce(acc = 0, i IN lst | acc + i)",
+    "reduce(acc = 1, i IN lst | acc * i)",
+    "reduce(acc = '', i IN lst | acc + i)",
+    "reduce(acc = 0, i IN [] | acc + i)",
+    "reduce(acc = 0, i IN m | acc + i)",
+    "reduce(acc = 0, i IN x | acc + i)",
+    "reduce(acc = x, i IN lst | acc + i * acc)",
+    "reduce(acc = 0, i IN lst | acc + reduce(a2 = i, j IN lst | a2 + j))",
+    # negative string-function positions raise, not index from the end
+    "substring(s, -1)",
+    "substring(s, 1, -1)",
+    "substring(s, 1, 2)",
+    "left(s, -2)",
+    "left(s, 2)",
+    "right(s, -2)",
+    "right(s, 2)",
+    # abs at the int64 boundary overflows
+    "abs(small)",
+    "abs(-9223372036854775807 - 1)",
+    "abs(big)",
+    "abs(-f)",
     # pattern predicates and EXISTS
     "(n)-[:KNOWS]->()",
     "(n)<-[:KNOWS]-()",
@@ -280,7 +302,17 @@ def test_corpus_equivalence(source):
 
 @pytest.mark.parametrize(
     "source",
-    ["1 / 0", "big + 1", "never_bound", "$does_not_exist"],
+    [
+        "1 / 0",
+        "big + 1",
+        "never_bound",
+        "$does_not_exist",
+        "substring(s, -1)",
+        "left(s, -2)",
+        "right(s, -2)",
+        "abs(small)",
+        "reduce(acc = 0, i IN x | acc + i)",
+    ],
 )
 def test_error_cases_compare_class_and_message(source):
     """The headline error conditions stay identical, class and text."""

@@ -235,6 +235,30 @@ class TestCollections:
         assert ev(ctx, "any(x IN [null] WHERE x = 1)") is None
         assert ev(ctx, "all(x IN [1, null] WHERE x = 1)") is None
 
+    def test_reduce(self, ctx):
+        assert ev(ctx, "reduce(acc = 0, x IN [1,2,3] | acc + x)") == 6
+        assert ev(ctx, "reduce(acc = 1, x IN [2,3,4] | acc * x)") == 24
+        assert ev(ctx, "reduce(acc = '', x IN [1,2] | acc + x)") == "12"
+        assert ev(ctx, "reduce(acc = 9, x IN [] | acc + x)") == 9
+
+    def test_reduce_shadowing_and_nesting(self, ctx):
+        # The accumulator and element shadow outer bindings.
+        assert (
+            ev(ctx, "reduce(x = 0, y IN xs | x + y)", {"xs": [1, 2]}) == 3
+        )
+        nested = (
+            "reduce(acc = 0, x IN [1,2] | "
+            "acc + reduce(a2 = x, y IN [10] | a2 + y))"
+        )
+        assert ev(ctx, nested) == 23  # (1 + 10) + (2 + 10)
+
+    def test_reduce_null_and_type_errors(self, ctx):
+        assert ev(ctx, "reduce(acc = 0, x IN null | acc + x)") is None
+        with pytest.raises(CypherTypeError):
+            ev(ctx, "reduce(acc = 0, x IN 1 | acc + x)")
+        with pytest.raises(CypherTypeError):
+            ev(ctx, "reduce(acc = 0, x IN 'abc' | acc + x)")
+
 
 class TestCase:
     def test_simple_case(self, ctx):

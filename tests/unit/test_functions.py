@@ -128,6 +128,17 @@ class TestNumeric:
         assert ev(ctx, "sign(-2)") == -1
         assert ev(ctx, "sign(0)") == 0
 
+    def test_abs_int64_min_overflows(self, ctx):
+        # abs(INT64_MIN) is 2^63, which is not a 64-bit integer.
+        with pytest.raises(CypherEvaluationError, match="overflow"):
+            ev(ctx, "abs(-9223372036854775807 - 1)")
+
+    def test_abs_boundaries_are_legal(self, ctx):
+        assert ev(ctx, "abs(-9223372036854775807)") == 9223372036854775807
+        assert ev(ctx, "abs(9223372036854775807)") == 9223372036854775807
+        # Floats are IEEE 754 and never overflow this way.
+        assert ev(ctx, "abs(-9223372036854775808.0)") == float(2**63)
+
     def test_rounding(self, ctx):
         assert ev(ctx, "ceil(2.1)") == 3.0
         assert ev(ctx, "floor(2.9)") == 2.0
@@ -160,6 +171,32 @@ class TestStrings:
         assert ev(ctx, "substring('hello', 1, 3)") == "ell"
         assert ev(ctx, "left('hello', 2)") == "he"
         assert ev(ctx, "right('hello', 2)") == "lo"
+
+    def test_substring_past_the_end_is_empty(self, ctx):
+        assert ev(ctx, "substring('hello', 9)") == ""
+        assert ev(ctx, "substring('hello', 0, 0)") == ""
+        assert ev(ctx, "left('hello', 99)") == "hello"
+        assert ev(ctx, "right('hello', 99)") == "hello"
+
+    def test_negative_positions_raise(self, ctx):
+        # Regression: these used to fall through to Python's negative
+        # indexing (substring('hello', -1) returned 'o').
+        for source in (
+            "substring('hello', -1)",
+            "substring('hello', 1, -1)",
+            "left('hello', -2)",
+            "right('hello', -2)",
+        ):
+            with pytest.raises(
+                CypherEvaluationError, match="non-negative"
+            ):
+                ev(ctx, source)
+
+    def test_list_slices_keep_negative_indexing(self, ctx):
+        # Only the string functions reject negatives; list slicing's
+        # documented from-the-end semantics are unchanged.
+        assert ev(ctx, "[1, 2, 3][-2..]") == [2, 3]
+        assert ev(ctx, "[1, 2, 3][..-1]") == [1, 2]
 
 
 class TestDispatch:

@@ -340,6 +340,30 @@ class TestExpressions:
             assert isinstance(expr, ast.Quantifier)
             assert expr.kind == kind
 
+    def test_reduce(self):
+        expr = parse_expression("reduce(acc = 0, x IN [1,2] | acc + x)")
+        assert isinstance(expr, ast.Reduce)
+        assert expr.accumulator == "acc"
+        assert expr.variable == "x"
+        assert isinstance(expr.init, ast.Literal)
+        assert isinstance(expr.source, ast.ListLiteral)
+        assert isinstance(expr.expression, ast.Binary)
+
+    def test_reduce_requires_the_full_shape(self):
+        with pytest.raises(CypherSyntaxError):
+            parse_expression("reduce(acc = 0, 1 IN [1] | acc)")
+        with pytest.raises(CypherSyntaxError):
+            parse_expression("reduce(acc = 0, x [1] | acc + x)")
+        with pytest.raises(CypherSyntaxError):
+            parse_expression("reduce(acc = 0, x IN [1] acc)")
+
+    def test_reduce_without_accumulator_is_a_plain_call(self):
+        # No 'var =' after the paren: not the reduce form, so it parses
+        # as an ordinary (unknown) function call.
+        expr = parse_expression("reduce(1, 2)")
+        assert isinstance(expr, ast.FunctionCall)
+        assert expr.name == "reduce"
+
     def test_count_star_and_distinct(self):
         assert isinstance(parse_expression("count(*)"), ast.CountStar)
         call = parse_expression("count(DISTINCT n)")

@@ -1,0 +1,394 @@
+"""Unit tests for the persistence subsystem.
+
+WAL framing (checksums, torn tails), the fsync-policy writer, redo
+derivation and replay on the store, atomic checkpoints, and the
+manager's recover/attach/log/checkpoint lifecycle.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.graph.store import GraphStore
+from repro.persistence import (
+    PersistenceManager,
+    WalWriter,
+    decode_records,
+    encode_record,
+    read_wal,
+)
+from repro.persistence.checkpoint import (
+    WAL_NAME,
+    load_checkpoint,
+    restore_checkpoint,
+    write_checkpoint,
+)
+from repro.testing.invariants import canonical_graph_json, check_invariants
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        ops = [["create_node", 0, ["A"], {"k": 1}], ["delete_node", 3]]
+        data = encode_record(7, ops) + encode_record(8, [])
+        records, clean = decode_records(data)
+        assert clean == len(data)
+        assert [r.lsn for r in records] == [7, 8]
+        assert records[0].ops == (("create_node", 0, ["A"], {"k": 1}),
+                                  ("delete_node", 3))
+        assert records[1].ops == ()
+
+    def test_torn_tail_is_discarded(self):
+        whole = encode_record(1, [["delete_node", 0]])
+        torn = encode_record(2, [["delete_node", 1]])[:-3]
+        records, clean = decode_records(whole + torn)
+        assert [r.lsn for r in records] == [1]
+        assert clean == len(whole)
+
+    def test_corrupt_checksum_stops_decoding(self):
+        first = encode_record(1, [])
+        second = bytearray(encode_record(2, [["delete_node", 1]]))
+        second[10] ^= 0xFF  # flip a payload byte; CRC no longer matches
+        third = encode_record(3, [])
+        records, clean = decode_records(first + bytes(second) + third)
+        # Everything after the corrupt record is unreachable: without a
+        # trustworthy length we cannot resynchronise.
+        assert [r.lsn for r in records] == [1]
+        assert clean == len(first)
+
+    def test_short_header_is_torn(self):
+        records, clean = decode_records(b"\x00\x00")
+        assert records == [] and clean == 0
+
+    def test_read_missing_file(self, tmp_path):
+        assert read_wal(tmp_path / "nope.log") == ([], 0, 0)
+
+
+class TestWalWriter:
+    @pytest.mark.parametrize("policy", ["always", "batch", "off"])
+    def test_append_and_read_back(self, tmp_path, policy):
+        path = tmp_path / WAL_NAME
+        with WalWriter(path, fsync=policy, batch_size=2) as writer:
+            for lsn in range(1, 6):
+                writer.append(lsn, [["delete_node", lsn]])
+        records, clean, total = read_wal(path)
+        assert [r.lsn for r in records] == [1, 2, 3, 4, 5]
+        assert clean == total
+
+    def test_truncate_cuts_a_torn_tail(self, tmp_path):
+        path = tmp_path / WAL_NAME
+        writer = WalWriter(path, fsync="off")
+        writer.append(1, [])
+        writer.close()
+        clean_length = path.stat().st_size
+        path.write_bytes(path.read_bytes() + b"\x00\x01garbage")
+        with WalWriter(path, fsync="off") as writer:
+            writer.truncate(clean_length)
+            writer.append(2, [])
+        records, clean, total = read_wal(path)
+        assert [r.lsn for r in records] == [1, 2]
+        assert clean == total
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        with pytest.raises(PersistenceError, match="fsync policy"):
+            WalWriter(tmp_path / WAL_NAME, fsync="sometimes")
+        with pytest.raises(PersistenceError, match="batch_size"):
+            WalWriter(tmp_path / WAL_NAME, batch_size=0)
+
+
+def _replay(source: GraphStore) -> GraphStore:
+    """Run the full redo stream through a fresh store."""
+    target = GraphStore()
+    for op in source.redo_ops(0):
+        target.apply_redo(op)
+    return target
+
+
+class TestRedo:
+    def test_creates_and_sets_roundtrip(self):
+        store = GraphStore()
+        a = store.create_node(("A", "B"), {"k": 1})
+        b = store.create_node((), {})
+        store.create_relationship("T", a, b, {"w": 2.5})
+        store.set_node_property(a, "k", [1, "x"])
+        store.set_node_property(a, "k", None)  # removal
+        store.add_label(b, "C")
+        store.remove_label(a, "B")
+        replayed = _replay(store)
+        assert canonical_graph_json(replayed) == canonical_graph_json(store)
+        check_invariants(replayed)
+
+    def test_deletes_roundtrip(self):
+        store = GraphStore()
+        a = store.create_node(("A",), {})
+        b = store.create_node(("A",), {})
+        r = store.create_relationship("T", a, b)
+        store.delete_relationship(r)
+        store.delete_node(b)
+        replayed = _replay(store)
+        assert canonical_graph_json(replayed) == canonical_graph_json(store)
+        check_invariants(replayed)
+
+    def test_redo_is_absolute_not_delta(self):
+        # Every write to a key is logged with its *final* value, not a
+        # delta, so re-applying a set op is a no-op.
+        store = GraphStore()
+        a = store.create_node(("A",), {})
+        store.set_node_property(a, "k", 1)
+        store.set_node_property(a, "k", 2)
+        ops = store.redo_ops(0)
+        sets = [op for op in ops if op[0] == "set_node_prop"]
+        assert all(op[3] == 2 for op in sets)  # current value, no history
+        target = GraphStore()
+        for op in ops:
+            target.apply_redo(op)
+        for op in sets:  # re-applying the data writes changes nothing
+            target.apply_redo(op)
+        assert canonical_graph_json(target) == canonical_graph_json(store)
+        check_invariants(target)
+
+    def test_rolled_back_slice_produces_no_ops(self):
+        store = GraphStore()
+        store.create_node(("A",), {})
+        mark = store.mark()
+        store.create_node(("B",), {})
+        store.rollback_to(mark)
+        assert store.redo_ops(mark) == []
+
+    def test_apply_redo_bumps_id_allocators(self):
+        store = GraphStore()
+        store.apply_redo(("create_node", 7, ["A"], {}))
+        assert store.create_node((), {}) > 7
+
+    def test_apply_redo_maintains_property_indexes(self):
+        store = GraphStore()
+        store.create_index("A", "k")
+        store.apply_redo(("create_node", 0, ["A"], {"k": 5}))
+        store.apply_redo(("set_node_prop", 0, "k", 6))
+        check_invariants(store)
+        assert store.property_index("A", "k").lookup(6) == frozenset({0})
+
+    def test_unknown_redo_op_rejected(self):
+        with pytest.raises(PersistenceError):
+            GraphStore().apply_redo(("warp_core_breach", 1))
+
+
+class TestCommitHook:
+    def test_hook_sees_committed_statements_only(self):
+        logged = []
+        store = GraphStore()
+        store.set_commit_hook(logged.append)
+        mark = store.mark()
+        store.create_node(("A",), {})
+        store.commit_statement(mark)
+        mark = store.mark()
+        store.create_node(("B",), {})
+        store.rollback_to(mark)
+        assert len(logged) == 1
+        assert logged[0][0][0] == "create_node"
+        # The journal is truncated at commit: nothing left to undo.
+        assert store.journal_length() == 0
+
+    def test_transaction_batches_statements(self):
+        logged = []
+        store = GraphStore()
+        store.set_commit_hook(logged.append)
+        tx = store.begin_transaction()
+        mark = store.mark()
+        store.create_node(("A",), {})
+        store.commit_statement(mark)  # inside a transaction: deferred
+        assert logged == []
+        store.commit_transaction(tx)
+        assert len(logged) == 1
+
+    def test_rolled_back_transaction_logs_nothing(self):
+        logged = []
+        store = GraphStore()
+        store.set_commit_hook(logged.append)
+        tx = store.begin_transaction()
+        store.create_node(("A",), {})
+        store.rollback_transaction(tx)
+        assert logged == []
+        assert store.node_count() == 0
+
+    def test_empty_commit_writes_no_record(self):
+        logged = []
+        store = GraphStore()
+        store.set_commit_hook(logged.append)
+        store.commit_statement(store.mark())
+        assert logged == []
+
+    def test_schema_changes_are_logged_once(self):
+        logged = []
+        store = GraphStore()
+        store.set_commit_hook(logged.append)
+        store.create_index("A", "k")
+        store.create_index("A", "k")  # no-op: already exists
+        store.drop_index("A", "k")
+        store.drop_index("A", "k")  # no-op: already gone
+        assert [ops[0][0] for ops in logged] == [
+            "create_index",
+            "drop_index",
+        ]
+
+
+class TestCheckpoint:
+    def _store(self):
+        store = GraphStore()
+        a = store.create_node(("A",), {"k": 1})
+        b = store.create_node(("B",), {"k": "two"})
+        store.create_relationship("T", a, b, {"w": None if False else 3})
+        store.create_index("A", "k")
+        store.create_unique_constraint("B", "k")
+        return store
+
+    def test_write_load_restore(self, tmp_path):
+        store = self._store()
+        write_checkpoint(tmp_path, store, lsn=41)
+        payload = load_checkpoint(tmp_path)
+        assert payload["lsn"] == 41
+        restored = GraphStore()
+        restore_checkpoint(restored, payload)
+        assert canonical_graph_json(restored) == canonical_graph_json(store)
+        assert set(restored._property_indexes) == set(
+            store._property_indexes
+        )
+        assert restored.unique_constraints() == store.unique_constraints()
+        check_invariants(restored)
+
+    def test_no_checkpoint_is_none(self, tmp_path):
+        assert load_checkpoint(tmp_path) is None
+
+    def test_corrupt_checkpoint_raises(self, tmp_path):
+        (tmp_path / "checkpoint.json").write_text("{not json")
+        with pytest.raises(PersistenceError, match="corrupt"):
+            load_checkpoint(tmp_path)
+
+    def test_unsupported_format_raises(self, tmp_path):
+        (tmp_path / "checkpoint.json").write_text(json.dumps({"format": 99}))
+        with pytest.raises(PersistenceError, match="format"):
+            load_checkpoint(tmp_path)
+
+    def test_write_is_atomic_no_tmp_left_behind(self, tmp_path):
+        write_checkpoint(tmp_path, self._store(), lsn=1)
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "checkpoint.json"
+        ]
+
+
+class TestManager:
+    def _run_statements(self, directory, statements):
+        from repro.session import Graph
+
+        graph = Graph(path=directory, fsync="off")
+        for statement in statements:
+            graph.run(statement)
+        snapshot = canonical_graph_json(graph.store)
+        graph.close()
+        return snapshot
+
+    def test_recover_replays_the_log(self, tmp_path):
+        before = self._run_statements(
+            tmp_path,
+            [
+                "CREATE (:A {k: 1})",
+                "CREATE (:B {k: 2})",
+                "MATCH (a:A), (b:B) CREATE (a)-[:T {w: 1}]->(b)",
+            ],
+        )
+        store = GraphStore()
+        report = PersistenceManager(tmp_path).recover(store)
+        assert canonical_graph_json(store) == before
+        assert report.records_applied == 3
+        assert report.nodes == 2 and report.relationships == 1
+
+    def test_recover_refuses_a_hooked_store(self, tmp_path):
+        store = GraphStore()
+        store.set_commit_hook(lambda ops: None)
+        with pytest.raises(PersistenceError, match="commit hook"):
+            PersistenceManager(tmp_path).recover(store)
+
+    def test_log_without_attach_raises(self, tmp_path):
+        manager = PersistenceManager(tmp_path)
+        with pytest.raises(PersistenceError, match="not attached"):
+            manager.log_commit([("delete_node", 0)])
+
+    def test_checkpoint_truncates_and_recovery_skips(self, tmp_path):
+        before = self._run_statements(tmp_path, ["CREATE (:A {k: 1})"])
+        store = GraphStore()
+        manager = PersistenceManager(tmp_path)
+        manager.recover(store)
+        manager.checkpoint(store)
+        assert (tmp_path / WAL_NAME).stat().st_size == 0
+        fresh = GraphStore()
+        report = PersistenceManager(tmp_path).recover(fresh)
+        assert canonical_graph_json(fresh) == before
+        assert report.records_total == 0
+        assert report.checkpoint_lsn == 1
+
+    def test_stale_wal_after_checkpoint_is_skipped(self, tmp_path):
+        # A crash between "checkpoint renamed" and "WAL truncated"
+        # leaves covered records behind; the LSN stamp must make the
+        # replay skip them instead of double-applying creates.
+        before = self._run_statements(
+            tmp_path, ["CREATE (:A {k: 1})", "CREATE (:B {k: 2})"]
+        )
+        stale_wal = (tmp_path / WAL_NAME).read_bytes()
+        store = GraphStore()
+        manager = PersistenceManager(tmp_path)
+        manager.recover(store)
+        manager.checkpoint(store)
+        (tmp_path / WAL_NAME).write_bytes(stale_wal)  # simulated crash
+        fresh = GraphStore()
+        report = PersistenceManager(tmp_path).recover(fresh)
+        assert canonical_graph_json(fresh) == before
+        assert report.records_skipped == 2
+        assert report.records_applied == 0
+        check_invariants(fresh)
+
+    def test_attach_truncates_the_torn_tail(self, tmp_path):
+        self._run_statements(tmp_path, ["CREATE (:A {k: 1})"])
+        wal = tmp_path / WAL_NAME
+        clean_length = wal.stat().st_size
+        wal.write_bytes(wal.read_bytes() + b"torn!")
+        store = GraphStore()
+        manager = PersistenceManager(tmp_path, fsync="off")
+        report = manager.recover(store)
+        assert report.torn_bytes == 5
+        manager.attach(store)
+        assert wal.stat().st_size == clean_length
+        manager.close()
+
+    def test_invariant_violation_fails_verification(self, tmp_path):
+        manager = PersistenceManager(tmp_path, fsync="off")
+        store = GraphStore()
+        manager.recover(store)
+        manager.attach(store)
+        # A dangling relationship: target node never created.
+        manager.log_commit([("create_node", 0, ["A"], {}),
+                            ("create_rel", 0, "T", 0, 99, {})])
+        manager.close()
+        with pytest.raises(PersistenceError, match="invariants"):
+            PersistenceManager(tmp_path).recover(GraphStore())
+
+
+class TestRecoverCli:
+    def test_recover_and_compact(self, tmp_path, capsys):
+        from repro.recover import main
+        from repro.session import Graph
+
+        graph = Graph(path=tmp_path, fsync="off")
+        graph.run("CREATE (:A {k: 1})")
+        graph.close()
+        assert main([str(tmp_path), "--checkpoint", "--json"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered:" in out and "invariants: ok" in out
+        assert "checkpoint written" in out
+        assert (tmp_path / WAL_NAME).stat().st_size == 0
+
+    def test_failure_exit_code(self, tmp_path, capsys):
+        (tmp_path / "checkpoint.json").write_text("{broken")
+        from repro.recover import main
+
+        assert main([str(tmp_path)]) == 1
+        assert "recovery failed" in capsys.readouterr().err

@@ -166,6 +166,10 @@ class TestExpressionsRendering:
         text = unparse(parse_expression("all(x IN xs WHERE x > 0)"))
         assert text == "all(x IN xs WHERE x > 0)"
 
+    def test_reduce_rendering(self):
+        source = "reduce(acc = 0, x IN [1, 2] | acc + x)"
+        assert unparse(parse_expression(source)) == source
+
     def test_precedence_parentheses_minimal(self):
         assert unparse(parse_expression("(1 + 2) * 3")) == "(1 + 2) * 3"
         assert unparse(parse_expression("1 + 2 * 3")) == "1 + 2 * 3"
