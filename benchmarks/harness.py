@@ -643,6 +643,209 @@ def p6_durability(statements: int = 1000) -> None:
         )
 
 
+def p7_concurrent_service(
+    clients: int = 100, statements_per_client: int = 10
+) -> None:
+    """Throughput/latency of the networked service under load.
+
+    Drives *clients* concurrent keep-alive connections through a
+    mixed workload (80% CREATE / 20% MATCH) against four server
+    configurations: in-memory, durable ``fsync=off``, durable
+    ``fsync=always`` with one fsync per statement, and durable
+    ``fsync=always`` with group commit.  Group commit must pull the
+    per-statement-fsync overhead down to a small multiple of the
+    ``off`` baseline while acknowledging exactly the same guarantee.
+    Also verifies snapshot consistency: readers racing a writer's
+    open transaction must never observe a half-applied transaction.
+    """
+    print(
+        f"\nP7  networked service ({clients} concurrent clients x "
+        f"{statements_per_client} statements)"
+    )
+    import asyncio
+    import tempfile
+
+    from repro.client import AsyncClient
+    from repro.server.http import HttpServer
+    from repro.server.service import GraphService, ServerConfig
+
+    total = clients * statements_per_client
+
+    def percentile(values: list[float], q: float) -> float:
+        if not values:
+            return 0.0
+        index = min(len(values) - 1, round(q * (len(values) - 1)))
+        return values[index]
+
+    async def run_config(
+        path, fsync: str, group_commit: bool
+    ) -> tuple[float, list[float], dict | None]:
+        service = GraphService(
+            ServerConfig(
+                path=path, fsync=fsync, group_commit=group_commit
+            )
+        )
+        server = HttpServer(service, port=0)
+        await server.start()
+        latencies: list[float] = []
+
+        async def drive(client_id: int) -> None:
+            client = await AsyncClient(
+                "127.0.0.1", server.port
+            ).connect()
+            try:
+                for j in range(statements_per_client):
+                    key = client_id * statements_per_client + j
+                    started = time.perf_counter()
+                    if j % 5 == 4:
+                        await client.run(
+                            "MATCH (n:P7 {k: $k}) RETURN n.v AS v",
+                            {"k": key - 1},
+                        )
+                    else:
+                        await client.run(
+                            "CREATE (:P7 {k: $k, v: $v})",
+                            {"k": key, "v": key * 2},
+                        )
+                    latencies.append(time.perf_counter() - started)
+            finally:
+                await client.close()
+
+        started = time.perf_counter()
+        await asyncio.gather(*(drive(i) for i in range(clients)))
+        elapsed = time.perf_counter() - started
+        group_stats = (
+            service.committer.stats() if service.committer else None
+        )
+        await server.close()
+        return elapsed, sorted(latencies), group_stats
+
+    async def snapshot_consistency_check() -> tuple[int, int]:
+        """Readers race a writer's 2-statement transactions; a
+        snapshot-consistent server never shows an odd node count."""
+        service = GraphService(ServerConfig())
+        server = HttpServer(service, port=0)
+        await server.start()
+        writer = await AsyncClient("127.0.0.1", server.port).connect()
+        reader = await AsyncClient("127.0.0.1", server.port).connect()
+        _, payload = await writer.request("POST", "/sessions")
+        session_id = payload["session"]
+        checks = violations = 0
+        done = False
+
+        async def write_loop() -> None:
+            nonlocal done
+            for _ in range(30):
+                await writer.request(
+                    "POST", f"/sessions/{session_id}/begin"
+                )
+                await writer.run("CREATE (:Pair)", session_id=session_id)
+                await asyncio.sleep(0)
+                await writer.run("CREATE (:Pair)", session_id=session_id)
+                await writer.request(
+                    "POST", f"/sessions/{session_id}/commit"
+                )
+            done = True
+
+        async def read_loop() -> None:
+            nonlocal checks, violations
+            while not done:
+                payload = await reader.run(
+                    "MATCH (n:Pair) RETURN count(n) AS c"
+                )
+                count = payload["records"][0][0]
+                checks += 1
+                if count % 2:
+                    violations += 1
+                await asyncio.sleep(0)
+
+        await asyncio.gather(write_loop(), read_loop())
+        await writer.close()
+        await reader.close()
+        await server.close()
+        return checks, violations
+
+    memory_s, memory_lat, _ = asyncio.run(
+        run_config(None, "off", False)
+    )
+    record(
+        "P7",
+        f"in-memory service, {clients} clients",
+        "the networked cost floor",
+        f"{total} statements in {memory_s * 1000:.0f} ms "
+        f"({total / memory_s:.0f} stmt/s; p50 "
+        f"{percentile(memory_lat, 0.50) * 1000:.2f} / p95 "
+        f"{percentile(memory_lat, 0.95) * 1000:.2f} / p99 "
+        f"{percentile(memory_lat, 0.99) * 1000:.2f} ms)",
+        elapsed_ms=memory_s * 1000,
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        off_s, off_lat, _ = asyncio.run(
+            run_config(Path(tmp) / "off", "off", False)
+        )
+        record(
+            "P7",
+            "fsync=off",
+            "WAL appends, no fsync: the durable floor",
+            f"{total} statements in {off_s * 1000:.0f} ms "
+            f"({total / off_s:.0f} stmt/s; p50 "
+            f"{percentile(off_lat, 0.50) * 1000:.2f} / p95 "
+            f"{percentile(off_lat, 0.95) * 1000:.2f} / p99 "
+            f"{percentile(off_lat, 0.99) * 1000:.2f} ms)",
+            elapsed_ms=off_s * 1000,
+        )
+
+        solo_s, solo_lat, _ = asyncio.run(
+            run_config(Path(tmp) / "solo", "always", False)
+        )
+        solo_x = solo_s / off_s if off_s else float("inf")
+        record(
+            "P7",
+            "fsync=always, per-statement",
+            "one fsync per acknowledged write (P6 saw ~13.7x)",
+            f"{total} statements in {solo_s * 1000:.0f} ms "
+            f"({solo_x:.2f}x the off baseline; p50 "
+            f"{percentile(solo_lat, 0.50) * 1000:.2f} / p95 "
+            f"{percentile(solo_lat, 0.95) * 1000:.2f} / p99 "
+            f"{percentile(solo_lat, 0.99) * 1000:.2f} ms)",
+            elapsed_ms=solo_s * 1000,
+        )
+
+        group_s, group_lat, group_stats = asyncio.run(
+            run_config(Path(tmp) / "group", "always", True)
+        )
+        group_x = group_s / off_s if off_s else float("inf")
+        per_batch = (
+            group_stats["synced_waiters"] / group_stats["batches"]
+            if group_stats and group_stats["batches"]
+            else 0.0
+        )
+        record(
+            "P7",
+            "fsync=always, group commit",
+            "concurrent writers share one fsync per batch: <= 3x off",
+            f"{total} statements in {group_s * 1000:.0f} ms "
+            f"({group_x:.2f}x the off baseline, "
+            f"{group_stats['batches'] if group_stats else 0} fsyncs, "
+            f"{per_batch:.1f} writers/batch, max "
+            f"{group_stats['max_batch'] if group_stats else 0}; p50 "
+            f"{percentile(group_lat, 0.50) * 1000:.2f} / p95 "
+            f"{percentile(group_lat, 0.95) * 1000:.2f} / p99 "
+            f"{percentile(group_lat, 0.99) * 1000:.2f} ms)",
+            elapsed_ms=group_s * 1000,
+        )
+
+    checks, violations = asyncio.run(snapshot_consistency_check())
+    record(
+        "P7",
+        "snapshot-consistent readers",
+        "no reader ever sees half of a transaction",
+        f"{checks} concurrent reads against an open transaction, "
+        f"{violations} saw a torn (odd) state",
+    )
+
+
 def print_markdown() -> None:
     print("\n\n## Markdown table (paste into EXPERIMENTS.md)\n")
     print("| Exp | Artifact | Paper says | Measured |")
@@ -689,6 +892,10 @@ def main(argv: list[str] | None = None) -> None:
     p4_selective_match(users=1500 if args.quick else 12000)
     p5_fuzz_throughput(count=30 if args.quick else 120)
     p6_durability(statements=200 if args.quick else 1000)
+    p7_concurrent_service(
+        clients=24 if args.quick else 100,
+        statements_per_client=5 if args.quick else 10,
+    )
     print_markdown()
     write_json()
 

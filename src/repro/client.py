@@ -1,0 +1,480 @@
+"""A thin client for the networked graph service.
+
+Three transports, one client surface:
+
+* :class:`HttpTransport` -- blocking HTTP over :mod:`http.client`
+  (standard library) with keep-alive and one transparent reconnect
+  for stale pooled connections.
+* :class:`MockTransport` -- an in-process transport that runs a
+  :class:`~repro.server.service.GraphService` on a private event loop
+  thread and calls its ``handle`` coroutine directly.  No sockets:
+  the whole HTTP-free server stack (routing, sessions, isolation,
+  limits, durability) runs under the ordinary synchronous test suite.
+* :class:`AsyncClient` -- an asyncio streams client used by the P7
+  benchmark to drive hundreds of concurrent connections from one
+  process.
+
+Server-side errors come back as ``{"error": {"type", "message"}}``;
+the client re-raises the matching class from :mod:`repro.errors` when
+one exists (so ``except CypherSyntaxError:`` works identically
+against a remote graph) and :class:`ServerError` otherwise.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import urllib.parse
+from typing import Any, Iterator, Mapping
+
+from repro import errors as _errors
+from repro.engine import UpdateCounters
+from repro.server.wire import counters_from_wire, from_wire
+
+
+class ServerError(Exception):
+    """A server-side error with no local exception class."""
+
+    def __init__(self, error_type: str, message: str, status: int):
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+        self.message = message
+        self.status = status
+
+
+def _revive_error(status: int, payload: dict) -> Exception:
+    detail = payload.get("error") or {}
+    error_type = detail.get("type", "ServerError")
+    message = detail.get("message", f"server returned status {status}")
+    local = getattr(_errors, error_type, None)
+    if (
+        isinstance(local, type)
+        and issubclass(local, Exception)
+        and local is not _errors.CypherError
+    ):
+        return local(message)
+    return ServerError(error_type, message, status)
+
+
+# ----------------------------------------------------------------------
+# Transports
+# ----------------------------------------------------------------------
+
+
+class HttpTransport:
+    """Blocking keep-alive HTTP transport (standard library only)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._connection: http.client.HTTPConnection | None = None
+
+    @classmethod
+    def from_url(cls, url: str, timeout: float = 30.0) -> "HttpTransport":
+        parsed = urllib.parse.urlsplit(url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme in {url!r}")
+        return cls(
+            parsed.hostname or "127.0.0.1",
+            parsed.port or 7688,
+            timeout,
+        )
+
+    def request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict]:
+        data = (
+            json.dumps(body).encode("utf-8") if body is not None else b""
+        )
+        headers = {"Content-Type": "application/json"}
+        with self._lock:
+            for attempt in (0, 1):
+                connection = self._connection
+                if connection is None:
+                    connection = http.client.HTTPConnection(
+                        self.host, self.port, timeout=self.timeout
+                    )
+                    self._connection = connection
+                try:
+                    connection.request(method, path, data, headers)
+                    response = connection.getresponse()
+                    raw = response.read()
+                    break
+                except (
+                    http.client.HTTPException,
+                    ConnectionError,
+                    BrokenPipeError,
+                ):
+                    # Stale keep-alive connection: reconnect once.
+                    connection.close()
+                    self._connection = None
+                    if attempt:
+                        raise
+        try:
+            payload = json.loads(raw) if raw else {}
+        except ValueError:
+            payload = {
+                "error": {
+                    "type": "ServerError",
+                    "message": f"non-JSON response: {raw[:200]!r}",
+                }
+            }
+        return response.status, payload
+
+    def close(self) -> None:
+        with self._lock:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None
+
+
+class MockTransport:
+    """In-process transport: the service on a private loop thread.
+
+    Synchronous callers (the test suite, several threads at once) call
+    :meth:`request`; each call is submitted to the service's event
+    loop, so the service observes exactly the concurrency semantics it
+    has under the real HTTP listener -- one loop, interleaved awaits.
+    """
+
+    def __init__(self, service: Any):
+        import asyncio
+
+        self.service = service
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="repro-mock-transport",
+            daemon=True,
+        )
+        self._thread.start()
+        self._closed = False
+
+    def request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict]:
+        import asyncio
+
+        if self._closed:
+            raise RuntimeError("transport is closed")
+        data = (
+            json.dumps(body).encode("utf-8") if body is not None else b""
+        )
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.handle(method, path, data), self._loop
+        )
+        return future.result()
+
+    def close(self) -> None:
+        import asyncio
+
+        if self._closed:
+            return
+        self._closed = True
+        asyncio.run_coroutine_threadsafe(
+            self.service.close(), self._loop
+        ).result()
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._loop.close()
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+
+
+class RemoteResult:
+    """A fully materialised result from one statement."""
+
+    def __init__(self, payload: dict):
+        self.columns: list[str] = list(payload.get("columns", []))
+        self.records: list[dict[str, Any]] = [
+            dict(zip(self.columns, (from_wire(v) for v in row)))
+            for row in payload.get("records", [])
+        ]
+        self.counters: UpdateCounters = counters_from_wire(
+            payload.get("counters")
+        )
+
+    def values(self, column: str | None = None) -> list[Any]:
+        if column is None:
+            if len(self.columns) != 1:
+                raise ValueError(
+                    f"values() without a column needs exactly one "
+                    f"column, result has {len(self.columns)}"
+                )
+            column = self.columns[0]
+        return [record[column] for record in self.records]
+
+    def single(self) -> dict[str, Any]:
+        if len(self.records) != 1:
+            raise ValueError(
+                f"single() expects exactly one record, got "
+                f"{len(self.records)}"
+            )
+        return self.records[0]
+
+    def pretty(self, max_rows: int = 20) -> str:
+        if not self.columns:
+            return "(no columns)"
+        widths = {c: len(c) for c in self.columns}
+        shown = self.records[:max_rows]
+        rendered = [
+            {c: repr(record[c]) for c in self.columns}
+            for record in shown
+        ]
+        for row in rendered:
+            for column, text in row.items():
+                widths[column] = max(widths[column], len(text))
+        header = " | ".join(
+            c.ljust(widths[c]) for c in self.columns
+        )
+        rule = "-+-".join("-" * widths[c] for c in self.columns)
+        lines = [header, rule]
+        lines.extend(
+            " | ".join(row[c].ljust(widths[c]) for c in self.columns)
+            for row in rendered
+        )
+        if len(self.records) > max_rows:
+            lines.append(f"... ({len(self.records)} rows)")
+        return "\n".join(lines)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return (
+            f"<RemoteResult {len(self.records)} rows, "
+            f"columns={self.columns}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# Client
+# ----------------------------------------------------------------------
+
+
+class Client:
+    """Synchronous client over any transport."""
+
+    def __init__(self, transport: Any, *, owns_transport: bool = True):
+        self._transport = transport
+        self._owns_transport = owns_transport
+
+    @classmethod
+    def connect(cls, url: str, timeout: float = 30.0) -> "Client":
+        """Connect to a server by URL (``http://host:port``)."""
+        return cls(HttpTransport.from_url(url, timeout))
+
+    @classmethod
+    def in_process(cls, service: Any) -> "Client":
+        """Wrap a :class:`GraphService` without any sockets."""
+        return cls(MockTransport(service))
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> dict:
+        status, payload = self._transport.request(method, path, body)
+        if status != 200:
+            raise _revive_error(status, payload)
+        return payload
+
+    def run(
+        self,
+        statement: str,
+        parameters: Mapping[str, Any] | None = None,
+    ) -> RemoteResult:
+        """Autocommit one statement outside any session."""
+        return RemoteResult(
+            self._request(
+                "POST",
+                "/query",
+                {
+                    "statement": statement,
+                    "parameters": dict(parameters or {}),
+                },
+            )
+        )
+
+    def session(self) -> "RemoteSession":
+        payload = self._request("POST", "/sessions")
+        return RemoteSession(self, payload["session"])
+
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def schema(self) -> dict:
+        return self._request("GET", "/schema")
+
+    def checkpoint(self) -> dict:
+        return self._request("POST", "/admin/checkpoint")
+
+    def close(self) -> None:
+        if self._owns_transport:
+            self._transport.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class RemoteSession:
+    """A server-side session: its own transaction scope."""
+
+    def __init__(self, client: Client, session_id: str):
+        self._client = client
+        self.id = session_id
+        self._closed = False
+
+    def run(
+        self,
+        statement: str,
+        parameters: Mapping[str, Any] | None = None,
+    ) -> RemoteResult:
+        payload = self._client._request(
+            "POST",
+            f"/sessions/{self.id}/query",
+            {
+                "statement": statement,
+                "parameters": dict(parameters or {}),
+            },
+        )
+        return RemoteResult(payload)
+
+    def begin(self) -> None:
+        self._client._request("POST", f"/sessions/{self.id}/begin")
+
+    def commit(self) -> None:
+        self._client._request("POST", f"/sessions/{self.id}/commit")
+
+    def rollback(self) -> None:
+        self._client._request("POST", f"/sessions/{self.id}/rollback")
+
+    def transaction(self) -> "_RemoteTransaction":
+        """``with session.transaction():`` begin/commit/rollback."""
+        return _RemoteTransaction(self)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._client._request("DELETE", f"/sessions/{self.id}")
+
+    def __enter__(self) -> "RemoteSession":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class _RemoteTransaction:
+    def __init__(self, session: RemoteSession):
+        self._session = session
+
+    def __enter__(self) -> RemoteSession:
+        self._session.begin()
+        return self._session
+
+    def __exit__(self, exc_type: Any, *exc_info: Any) -> None:
+        if exc_type is None:
+            self._session.commit()
+        else:
+            self._session.rollback()
+
+
+# ----------------------------------------------------------------------
+# Async client (benchmark harness)
+# ----------------------------------------------------------------------
+
+
+class AsyncClient:
+    """One keep-alive connection on the caller's event loop.
+
+    Used by the P7 benchmark to hold hundreds of concurrent
+    connections open from a single process; each instance is one
+    connection and must only be used from one task at a time.
+    """
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader = None
+        self._writer = None
+
+    async def connect(self) -> "AsyncClient":
+        import asyncio
+
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict]:
+        data = (
+            json.dumps(body).encode("utf-8") if body is not None else b""
+        )
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: keep-alive\r\n\r\n"
+        ).encode("latin-1")
+        self._writer.write(head + data)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        status = int(status_line.split(b" ", 2)[1])
+        length = 0
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        raw = await self._reader.readexactly(length) if length else b""
+        return status, (json.loads(raw) if raw else {})
+
+    async def run(
+        self,
+        statement: str,
+        parameters: Mapping[str, Any] | None = None,
+        session_id: str | None = None,
+    ) -> dict:
+        path = (
+            f"/sessions/{session_id}/query" if session_id else "/query"
+        )
+        status, payload = await self.request(
+            "POST",
+            path,
+            {
+                "statement": statement,
+                "parameters": dict(parameters or {}),
+            },
+        )
+        if status != 200:
+            raise _revive_error(status, payload)
+        return payload
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None
+            self._reader = None

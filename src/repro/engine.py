@@ -162,6 +162,47 @@ def _jsonable(value):
     return value
 
 
+#: Clause types that never mutate the graph.  ``LOAD CSV`` reads the
+#: filesystem but not the store, so it is read-only *for isolation
+#: purposes* (the server gates it separately as a security limit).
+_READ_ONLY_CLAUSES = (
+    ast.MatchClause,
+    ast.UnwindClause,
+    ast.WithClause,
+    ast.ReturnClause,
+    ast.LoadCsvClause,
+)
+
+
+def statement_is_read_only(
+    statement: ast.Statement | ast.SchemaStatement,
+) -> bool:
+    """True when *statement* cannot mutate the graph.
+
+    Conservative and purely syntactic: any update clause (CREATE, SET,
+    REMOVE, DELETE, MERGE, FOREACH) in any UNION branch, or a schema
+    command, makes the statement a write.  The session layer uses this
+    to decide whether a statement may run against a committed snapshot
+    while another session holds an open write transaction, so a false
+    "read-only" would break isolation -- unknown clause types count as
+    writes.
+    """
+    if isinstance(statement, ast.SchemaStatement):
+        return False
+
+    def query_is_read_only(query: ast.Query) -> bool:
+        if isinstance(query, ast.UnionQuery):
+            return query_is_read_only(query.left) and query_is_read_only(
+                query.right
+            )
+        return all(
+            isinstance(clause, _READ_ONLY_CLAUSES)
+            for clause in query.clauses
+        )
+
+    return query_is_read_only(statement.query)
+
+
 class CypherEngine:
     """Executes Cypher statements against a graph store."""
 

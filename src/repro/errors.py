@@ -69,6 +69,18 @@ class ParameterMissingError(CypherEvaluationError):
     """A statement referenced a parameter that was not supplied."""
 
 
+class ResourceLimitError(CypherEvaluationError):
+    """An evaluation would exceed a configured resource limit.
+
+    Raised instead of materialising unbounded intermediate values
+    (e.g. ``range(0, 2^62)``), which would otherwise exhaust process
+    memory -- a remote denial of service once statements arrive over
+    the network.  The limit is configurable per scope via
+    :func:`repro.runtime.limits.list_length_limit`; the server wires
+    its per-request cap through the same mechanism.
+    """
+
+
 class UpdateError(CypherError):
     """Base class for errors raised while applying update clauses."""
 

@@ -22,6 +22,7 @@ driving tables keep resolving and so rollback can resurrect them.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
@@ -391,6 +392,43 @@ class GraphStore:
     def journal_length(self) -> int:
         """Current journal size (diagnostics / tests)."""
         return len(self._journal)
+
+    @contextmanager
+    def reverted_to(self, mark: int) -> Iterator["GraphStore"]:
+        """Temporarily rewind the store to *mark*; restore on exit.
+
+        This is the snapshot read path for concurrent sessions: while
+        one session holds an open transaction with uncommitted writes,
+        a read statement from another session executes inside this
+        bracket and observes exactly the last *committed* state.  The
+        undo journal supplies the rewind; the redo operations (derived
+        from the current record state before rewinding, the same
+        mechanism the write-ahead log uses) replay the uncommitted
+        changes afterwards, and the saved journal slice is re-attached
+        so the open transaction can still roll back later.
+
+        The bracketed code must not mutate the graph.  If it does
+        anyway, its changes are undone before the open transaction's
+        state is restored, so the store never ends up interleaved.
+        """
+        if mark > len(self._journal):
+            raise PersistenceError(
+                f"cannot revert to mark {mark}: journal only has "
+                f"{len(self._journal)} entries"
+            )
+        redo = self.redo_ops(mark)
+        saved = list(self._journal[mark:])
+        self.rollback_to(mark)
+        try:
+            yield self
+        finally:
+            # A write that slipped through the read-only guard would
+            # corrupt the restore; undo it first (never interleave).
+            if len(self._journal) > mark:
+                self.rollback_to(mark)
+            for op in redo:
+                self.apply_redo(op)
+            self._journal.extend(saved)
 
     # ------------------------------------------------------------------
     # Commit hooks (write-ahead logging)

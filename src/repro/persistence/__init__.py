@@ -23,6 +23,7 @@ from repro.persistence.checkpoint import (
     restore_checkpoint,
     write_checkpoint,
 )
+from repro.persistence.group_commit import GroupCommitter
 from repro.persistence.manager import PersistenceManager, RecoveryReport
 from repro.persistence.wal import (
     FSYNC_POLICIES,
@@ -37,6 +38,7 @@ __all__ = [
     "CHECKPOINT_NAME",
     "WAL_NAME",
     "FSYNC_POLICIES",
+    "GroupCommitter",
     "PersistenceManager",
     "RecoveryReport",
     "WalRecord",

@@ -17,6 +17,7 @@ from repro.errors import CypherEvaluationError, CypherTypeError
 from repro.graph.model import Node, Path, Relationship
 from repro.graph.values import check_int64, is_number, type_name
 from repro.runtime.context import EvalContext
+from repro.runtime.limits import check_list_length
 
 Implementation = Callable[..., Any]
 
@@ -149,6 +150,14 @@ def _fn_range(ctx: EvalContext, start: Any, end: Any, step: Any = 1) -> Any:
             raise CypherTypeError("range() expects Integer arguments")
     if step == 0:
         raise CypherEvaluationError("range() step must not be zero")
+    # Compute the result size *before* materialising anything:
+    # range(0, 2^62) must fail with a resource-limit error, not OOM
+    # the process (a remote denial of service once a server exists).
+    if step > 0:
+        count = (end - start) // step + 1 if end >= start else 0
+    else:
+        count = (start - end) // (-step) + 1 if start >= end else 0
+    check_list_length(count, "range()")
     if step > 0:
         return list(range(start, end + 1, step))
     return list(range(start, end - 1, step))
@@ -250,8 +259,27 @@ def _fn_floor(ctx: EvalContext, value: Any) -> Any:
 
 
 def _fn_round(ctx: EvalContext, value: Any) -> Any:
+    """Round half up, without the ``floor(x + 0.5)`` precision trap.
+
+    ``x + 0.5`` itself rounds in binary floating point:
+    ``0.49999999999999994 + 0.5`` is exactly ``1.0``, so the naive
+    formula rounded the largest double below one half *up*.  It also
+    broke integral huge magnitudes, where adding 0.5 rounds to the
+    next representable double.  Comparing the exact fractional part
+    ``x - floor(x)`` (always exactly representable for a finite
+    double) against 0.5 has neither failure mode.
+    """
     number = _numeric("round", value)
-    return float(math.floor(number + 0.5))
+    if isinstance(number, int):
+        return float(number)
+    if not math.isfinite(number):
+        # floor() would raise a raw ValueError/OverflowError on
+        # NaN/Inf; rounding a non-finite float is the float itself.
+        return number
+    floor = math.floor(number)
+    if number - floor >= 0.5:
+        floor += 1
+    return float(floor)
 
 
 def _fn_sqrt(ctx: EvalContext, value: Any) -> Any:
@@ -317,9 +345,14 @@ def _fn_replace(ctx: EvalContext, value: Any, search: Any, replacement: Any) -> 
 
 
 def _fn_split(ctx: EvalContext, value: Any, separator: Any) -> Any:
-    return _require_string(value, "split").split(
-        _require_string(separator, "split")
-    )
+    text = _require_string(value, "split")
+    sep = _require_string(separator, "split")
+    if not sep:
+        # Python's str.split raises "ValueError: empty separator",
+        # which leaked out of the engine uncaught.  Neo4j splits into
+        # the list of characters (and '' into the empty list).
+        return list(text)
+    return text.split(sep)
 
 
 def _require_non_negative(value: int, function: str, role: str) -> int:

@@ -1,0 +1,61 @@
+"""Evaluation resource limits.
+
+Unbounded intermediate values are a denial-of-service vector the
+moment statements arrive over a network: ``range(0, 2^62)`` would
+materialise a multi-exabyte list before the first row is returned.
+Functions that materialise lists of a computable size consult
+:func:`max_list_length` *before* allocating and raise
+:class:`~repro.errors.ResourceLimitError` when the result would
+exceed it.
+
+The limit is a module-level default (generous enough that no
+legitimate in-process workload notices) with a scoped override::
+
+    with list_length_limit(100_000):
+        engine.execute(statement)   # server per-request cap
+
+Overrides nest; each scope restores the previous value on exit, so a
+request handler cannot leak a tightened (or loosened) limit into the
+next request.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import ResourceLimitError
+
+#: Default cap on function-materialised list lengths (``range()``...).
+DEFAULT_MAX_LIST_LENGTH = 10_000_000
+
+_max_list_length = DEFAULT_MAX_LIST_LENGTH
+
+
+def max_list_length() -> int:
+    """The list-length cap active in the current scope."""
+    return _max_list_length
+
+
+def check_list_length(count: int, what: str) -> None:
+    """Raise :class:`ResourceLimitError` if *count* exceeds the cap."""
+    limit = _max_list_length
+    if count > limit:
+        raise ResourceLimitError(
+            f"{what} would produce {count} elements, exceeding the "
+            f"list-length limit of {limit}"
+        )
+
+
+@contextmanager
+def list_length_limit(limit: int) -> Iterator[None]:
+    """Scoped override of the list-length cap (nestable)."""
+    global _max_list_length
+    if limit < 1:
+        raise ValueError("list-length limit must be >= 1")
+    previous = _max_list_length
+    _max_list_length = limit
+    try:
+        yield
+    finally:
+        _max_list_length = previous

@@ -1,0 +1,45 @@
+"""A networked graph service over the embedded engine.
+
+``python -m repro.server`` serves one :class:`~repro.session.Graph`
+over HTTP with per-client sessions, explicit transactions,
+statement-level snapshot-consistent reads, per-request resource
+limits, and group-committed durability.  See ``docs/server.md``.
+"""
+
+from repro.server.http import HttpServer
+from repro.server.limits import RequestLimits
+from repro.server.routers import ROUTES, match_route
+from repro.server.service import GraphService, ServerConfig
+from repro.server.sessions import (
+    Session,
+    SessionManager,
+    UnknownSessionError,
+    WriteBusyError,
+)
+from repro.server.wire import (
+    WireNode,
+    WirePath,
+    WireRelationship,
+    from_wire,
+    result_to_wire,
+    to_wire,
+)
+
+__all__ = [
+    "ROUTES",
+    "GraphService",
+    "HttpServer",
+    "RequestLimits",
+    "ServerConfig",
+    "Session",
+    "SessionManager",
+    "UnknownSessionError",
+    "WireNode",
+    "WirePath",
+    "WireRelationship",
+    "WriteBusyError",
+    "from_wire",
+    "match_route",
+    "result_to_wire",
+    "to_wire",
+]

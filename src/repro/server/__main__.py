@@ -1,0 +1,180 @@
+"""CLI entry point: ``python -m repro.server``.
+
+Examples::
+
+    python -m repro.server --port 7688                 # in-memory
+    python -m repro.server --path data/ --fsync always # durable
+    python -m repro.server --self-test                 # CI smoke
+
+``--self-test`` boots the server on an ephemeral port, drives a burst
+of concurrent clients through sessions, transactions, snapshot reads
+and scalar-function edge cases over real sockets, asserts every
+response, and shuts the server down cleanly.  Exit code 0 means the
+whole networked stack works; CI's ``server-smoke`` job runs exactly
+this.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.persistence import FSYNC_POLICIES
+from repro.server.http import HttpServer
+from repro.server.service import GraphService, ServerConfig
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve a Cypher graph over HTTP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7688)
+    parser.add_argument(
+        "--path",
+        default=None,
+        help="durability directory (omit for an in-memory graph)",
+    )
+    parser.add_argument(
+        "--fsync",
+        default="always",
+        choices=FSYNC_POLICIES,
+        help="durability guarantee for acknowledged writes",
+    )
+    parser.add_argument(
+        "--no-group-commit",
+        action="store_true",
+        help="fsync per statement instead of batching writers",
+    )
+    parser.add_argument(
+        "--dialect",
+        default="revised",
+        choices=("cypher9", "revised"),
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="boot on an ephemeral port, run a concurrent-client "
+        "smoke test, and exit",
+    )
+    return parser
+
+
+def _config_from(args: argparse.Namespace) -> ServerConfig:
+    return ServerConfig(
+        host=args.host,
+        port=args.port,
+        path=args.path,
+        fsync=args.fsync,
+        group_commit=not args.no_group_commit,
+        dialect=args.dialect,
+    )
+
+
+async def _serve(config: ServerConfig) -> None:
+    server = HttpServer(
+        GraphService(config), host=config.host, port=config.port
+    )
+    await server.start()
+    durable = "durable" if config.path else "in-memory"
+    print(f"repro graph server listening on {server.url} ({durable})")
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.close()
+
+
+async def _self_test(config: ServerConfig) -> None:
+    from repro.client import Client
+
+    config.port = 0  # ephemeral
+    server = HttpServer(
+        GraphService(config), host=config.host, port=config.port
+    )
+    await server.start()
+    url = server.url
+    print(f"[self-test] server on {url}")
+    loop = asyncio.get_running_loop()
+
+    def drive() -> None:
+        client = Client.connect(url)
+        try:
+            assert client.health()["status"] == "ok"
+            # scalar-function regressions over the wire
+            row = client.run(
+                "RETURN split('abc', '') AS s, round(0.5) AS r"
+            ).single()
+            assert row["s"] == ["a", "b", "c"], row
+            assert row["r"] == 1.0, row
+            # concurrent sessions: writer tx invisible until commit
+            writer = client.session()
+            reader = client.session()
+            writer.begin()
+            writer.run("CREATE (:SelfTest {seq: 1})")
+            visible = reader.run(
+                "MATCH (n:SelfTest) RETURN count(n) AS c"
+            ).single()["c"]
+            assert visible == 0, f"dirty read: {visible}"
+            writer.commit()
+            visible = reader.run(
+                "MATCH (n:SelfTest) RETURN count(n) AS c"
+            ).single()["c"]
+            assert visible == 1, f"lost commit: {visible}"
+            writer.close()
+            reader.close()
+            # concurrent autocommit writers from threads
+            import concurrent.futures
+
+            def write(i: int) -> int:
+                c = Client.connect(url)
+                try:
+                    c.run(
+                        "CREATE (:SelfTest {seq: $i})", {"i": i}
+                    )
+                    return 1
+                finally:
+                    c.close()
+
+            with concurrent.futures.ThreadPoolExecutor(8) as pool:
+                done = sum(pool.map(write, range(2, 34)))
+            assert done == 32
+            total = client.run(
+                "MATCH (n:SelfTest) RETURN count(n) AS c"
+            ).single()["c"]
+            assert total == 33, f"expected 33 nodes, saw {total}"
+            # resource limits enforced remotely
+            try:
+                client.run("RETURN range(0, 2000000000000) AS xs")
+            except Exception as error:
+                assert "ResourceLimitError" in type(error).__name__, error
+            else:
+                raise AssertionError("range() cap not enforced")
+        finally:
+            client.close()
+
+    try:
+        await loop.run_in_executor(None, drive)
+    finally:
+        await server.close()
+    print("[self-test] ok: sessions, isolation, limits, shutdown")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    config = _config_from(args)
+    try:
+        if args.self_test:
+            asyncio.run(_self_test(config))
+        else:
+            asyncio.run(_serve(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,210 @@
+"""A minimal HTTP/1.1 front end over :class:`GraphService`.
+
+Standard-library only (asyncio streams): the container image bakes in
+no HTTP framework, and the service needs very little -- JSON bodies
+with ``Content-Length`` framing, keep-alive connections, and the
+request-body cap enforced *before* the body is read so an oversized
+upload is rejected without buffering it.
+
+Each connection is one asyncio task; each request awaits
+:meth:`GraphService.handle`.  All concurrency therefore lives on one
+event loop, which is exactly the execution model the session layer's
+isolation guarantees assume.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.server.service import GraphService
+
+_MAX_HEADER_BYTES = 32 * 1024
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class HttpServer:
+    """Serve a :class:`GraphService` on a TCP port."""
+
+    def __init__(
+        self, service: GraphService, host: str = "127.0.0.1", port: int = 0
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+
+    async def start(self) -> None:
+        """Bind and start accepting (port 0 picks an ephemeral port)."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.close()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+
+    async def _serve_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                request = await _read_request(
+                    reader, self.service.config.limits.max_body_bytes
+                )
+                if request is None:
+                    break
+                method, path, body, keep_alive, error = request
+                if error is not None:
+                    status, payload = error
+                    await _write_response(
+                        writer, status, payload, keep_alive=False
+                    )
+                    break
+                status, payload = await self.service.handle(
+                    method, path, body
+                )
+                await _write_response(
+                    writer, status, payload, keep_alive=keep_alive
+                )
+                if not keep_alive:
+                    break
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown cancelled this connection mid-read;
+            # fall through to close the socket without propagating
+            # (propagating out of the connection task makes the
+            # streams machinery log a spurious traceback).
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):
+                pass
+
+
+async def _read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> tuple[str, str, bytes, bool, tuple[int, dict] | None] | None:
+    """Read one request; ``None`` on clean EOF before a request line."""
+    try:
+        header_blob = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as eof:
+        if not eof.partial:
+            return None
+        raise
+    except asyncio.LimitOverrunError:
+        return "GET", "/", b"", False, (
+            400,
+            {"error": {"type": "BadRequest", "message": "headers too large"}},
+        )
+    if len(header_blob) > _MAX_HEADER_BYTES:
+        return "GET", "/", b"", False, (
+            400,
+            {"error": {"type": "BadRequest", "message": "headers too large"}},
+        )
+    try:
+        head, *header_lines = header_blob.decode("latin-1").split("\r\n")
+        method, path, _version = head.split(" ", 2)
+    except ValueError:
+        return "GET", "/", b"", False, (
+            400,
+            {
+                "error": {
+                    "type": "BadRequest",
+                    "message": "malformed request line",
+                }
+            },
+        )
+    headers: dict[str, str] = {}
+    for line in header_lines:
+        if ":" in line:
+            name, value = line.split(":", 1)
+            headers[name.strip().lower()] = value.strip()
+    keep_alive = headers.get("connection", "keep-alive") != "close"
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        length = -1
+    if length < 0:
+        return method, path, b"", False, (
+            400,
+            {
+                "error": {
+                    "type": "BadRequest",
+                    "message": f"bad Content-Length {length_text!r}",
+                }
+            },
+        )
+    if length > max_body_bytes:
+        # Reject before buffering; the connection closes because the
+        # unread body would otherwise desynchronise the stream.
+        return method, path, b"", False, (
+            413,
+            {
+                "error": {
+                    "type": "ResourceLimitError",
+                    "message": (
+                        f"request body of {length} bytes exceeds the "
+                        f"limit of {max_body_bytes}"
+                    ),
+                }
+            },
+        )
+    body = await reader.readexactly(length) if length else b""
+    return method, path, body, keep_alive, None
+
+
+async def _write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: dict,
+    *,
+    keep_alive: bool,
+) -> None:
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    connection = "keep-alive" if keep_alive else "close"
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {connection}\r\n"
+        f"\r\n"
+    ).encode("latin-1")
+    writer.write(head + body)
+    await writer.drain()

@@ -1,0 +1,62 @@
+"""Route table for the graph service.
+
+A deliberately tiny router: an ordered list of
+``(method, pattern, handler_name)`` where ``{name}`` segments capture
+path parameters.  :func:`match_route` returns the handler attribute
+name on :class:`~repro.server.service.GraphService` plus the captured
+parameters, or raises :class:`LookupError`.
+
+==========  =============================  ==========================
+method      path                           purpose
+==========  =============================  ==========================
+GET         /health                        liveness probe
+GET         /stats                         server / group-commit stats
+GET         /schema                        indexes and constraints
+POST        /query                         sessionless autocommit
+POST        /sessions                      open a session
+DELETE      /sessions/{id}                 close (rolls back open tx)
+POST        /sessions/{id}/query           statement in the session
+POST        /sessions/{id}/begin           declare a transaction
+POST        /sessions/{id}/commit          commit (durable on return)
+POST        /sessions/{id}/rollback        roll back
+POST        /admin/checkpoint              snapshot + truncate WAL
+==========  =============================  ==========================
+"""
+
+from __future__ import annotations
+
+ROUTES: tuple[tuple[str, str, str], ...] = (
+    ("GET", "/health", "handle_health"),
+    ("GET", "/stats", "handle_stats"),
+    ("GET", "/schema", "handle_schema"),
+    ("POST", "/query", "handle_query"),
+    ("POST", "/sessions", "handle_session_create"),
+    ("DELETE", "/sessions/{id}", "handle_session_close"),
+    ("POST", "/sessions/{id}/query", "handle_session_query"),
+    ("POST", "/sessions/{id}/begin", "handle_begin"),
+    ("POST", "/sessions/{id}/commit", "handle_commit"),
+    ("POST", "/sessions/{id}/rollback", "handle_rollback"),
+    ("POST", "/admin/checkpoint", "handle_checkpoint"),
+)
+
+
+def match_route(method: str, path: str) -> tuple[str, dict[str, str]]:
+    """Resolve ``(handler_name, path_params)`` or raise LookupError."""
+    # ignore any query string; the API carries arguments in bodies
+    path = path.split("?", 1)[0]
+    segments = [s for s in path.split("/") if s]
+    for route_method, pattern, handler in ROUTES:
+        if route_method != method.upper():
+            continue
+        expected = [s for s in pattern.split("/") if s]
+        if len(expected) != len(segments):
+            continue
+        params: dict[str, str] = {}
+        for want, got in zip(expected, segments):
+            if want.startswith("{") and want.endswith("}"):
+                params[want[1:-1]] = got
+            elif want != got:
+                break
+        else:
+            return handler, params
+    raise LookupError(f"{method} {path}")

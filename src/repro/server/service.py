@@ -1,0 +1,286 @@
+"""The graph service: one shared :class:`Graph` behind request handlers.
+
+:class:`GraphService` is transport-agnostic -- it maps
+``(method, path, JSON body)`` to ``(status, JSON body)``.  The real
+HTTP listener (:mod:`repro.server.http`) and the in-process mock
+transport used by the test suite both call :meth:`GraphService.handle`,
+so everything above the socket -- routing, sessions, isolation, limits,
+durability -- is exercised identically in both.
+
+Durability wiring: when the graph is durable and group commit is
+enabled (the default), the persistence manager is opened with the
+``off`` fsync policy and a :class:`~repro.persistence.GroupCommitter`
+supplies the ``fsync=always`` guarantee -- each write statement (or
+COMMIT) is acknowledged only after its WAL LSN is on disk, but
+concurrent writers share one fsync per batch instead of paying one
+each.  With group commit disabled the manager's own policy applies
+per statement, exactly as the embedded API behaves.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import (
+    CypherError,
+    PersistenceError,
+    ResourceLimitError,
+    TransactionError,
+)
+from repro.persistence import GroupCommitter
+from repro.server.limits import RequestLimits
+from repro.server.routers import match_route
+from repro.server.sessions import (
+    SessionManager,
+    UnknownSessionError,
+    WriteBusyError,
+)
+from repro.server.wire import result_to_wire
+from repro.session import Graph
+
+#: wire name -> HTTP status for error responses
+_STATUS_FOR = (
+    (ResourceLimitError, 413),
+    (UnknownSessionError, 404),
+    (WriteBusyError, 409),
+    (TransactionError, 409),
+    (PersistenceError, 409),
+    (CypherError, 400),
+)
+
+
+def error_status(error: Exception) -> int:
+    for cls, status in _STATUS_FOR:
+        if isinstance(error, cls):
+            return status
+    return 500
+
+
+@dataclass
+class ServerConfig:
+    """Everything ``python -m repro.server`` accepts."""
+
+    host: str = "127.0.0.1"
+    port: int = 7688
+    #: durability directory; ``None`` serves an in-memory graph
+    path: str | None = None
+    #: fsync policy the *service* guarantees ("always"/"batch"/"off")
+    fsync: str = "always"
+    #: batch concurrent writers' fsyncs (only matters for "always")
+    group_commit: bool = True
+    dialect: str = "revised"
+    limits: RequestLimits = field(default_factory=RequestLimits)
+
+
+class GraphService:
+    """Request handlers over one :class:`Graph` and its sessions."""
+
+    def __init__(self, config: ServerConfig | None = None):
+        self.config = config if config is not None else ServerConfig()
+        self.committer: GroupCommitter | None = None
+        if self.config.path is None:
+            self.graph = Graph(dialect=self.config.dialect)
+            # In-memory graphs have no commit hook, so the store would
+            # defer journal truncation forever; a no-op hook keeps the
+            # journal bounded to the open statement/transaction.
+            self.graph.store.set_commit_hook(lambda ops: None)
+        elif self.config.group_commit and self.config.fsync == "always":
+            self.graph = Graph(
+                path=self.config.path,
+                fsync="off",
+                dialect=self.config.dialect,
+            )
+            self.committer = GroupCommitter(self.graph.persistence)
+        else:
+            self.graph = Graph(
+                path=self.config.path,
+                fsync=self.config.fsync,
+                dialect=self.config.dialect,
+            )
+        self.sessions = SessionManager(self.graph, self.config.limits)
+        self.started = time.monotonic()
+        self.requests = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    async def handle(
+        self, method: str, path: str, body: bytes = b""
+    ) -> tuple[int, dict]:
+        """Serve one request; always returns ``(status, json_body)``."""
+        self.requests += 1
+        try:
+            handler, params = match_route(method, path)
+        except LookupError:
+            self.errors += 1
+            return 404, _error_body(
+                "NotFound", f"no route for {method} {path}"
+            )
+        try:
+            payload = _decode_body(body)
+            result = await getattr(self, handler)(params, payload)
+            return 200, result
+        except Exception as error:  # noqa: BLE001 - boundary
+            self.errors += 1
+            status = error_status(error)
+            if status == 500:
+                message = f"internal error: {type(error).__name__}: {error}"
+                return 500, _error_body("InternalError", message)
+            return status, _error_body(type(error).__name__, str(error))
+
+    async def close(self) -> None:
+        """Roll back open transactions and release the graph."""
+        for session_id in list(self.sessions._sessions):
+            self.sessions.close(session_id)
+        if self.committer is not None:
+            await self.committer.close()
+            if self.graph.persistence is not None:
+                self.graph.persistence.sync()
+        self.graph.close()
+
+    async def _wait_durable(self, lsn: int | None) -> None:
+        if lsn is None:
+            return
+        if self.committer is not None:
+            await self.committer.wait_durable(lsn)
+        # Without a committer the manager's own fsync policy already
+        # ran inside log_commit; nothing further to await.
+
+    # ------------------------------------------------------------------
+    # Handlers (named by routers.ROUTES)
+    # ------------------------------------------------------------------
+
+    async def handle_health(self, params: dict, body: dict) -> dict:
+        return {
+            "status": "ok",
+            "uptime_s": round(time.monotonic() - self.started, 3),
+            "durable": self.graph.persistence is not None,
+        }
+
+    async def handle_stats(self, params: dict, body: dict) -> dict:
+        store = self.graph.store
+        stats: dict[str, Any] = {
+            "uptime_s": round(time.monotonic() - self.started, 3),
+            "requests": self.requests,
+            "errors": self.errors,
+            "sessions": self.sessions.session_count(),
+            "statements": self.sessions.statements_executed,
+            "snapshot_reads": self.sessions.snapshot_reads,
+            "write_waits": self.sessions.write_waits,
+            "nodes": store.node_count(),
+            "relationships": store.relationship_count(),
+            "dialect": self.graph.dialect.value,
+        }
+        if self.graph.persistence is not None:
+            stats["wal_lsn"] = self.graph.persistence.lsn
+        if self.committer is not None:
+            stats["group_commit"] = self.committer.stats()
+        return stats
+
+    async def handle_query(self, params: dict, body: dict) -> dict:
+        source, parameters = _statement_from(body)
+        result, lsn = await self.sessions.execute(
+            None, source, parameters
+        )
+        await self._wait_durable(lsn)
+        return result_to_wire(result)
+
+    async def handle_session_create(
+        self, params: dict, body: dict
+    ) -> dict:
+        session = self.sessions.create()
+        return {"session": session.id}
+
+    async def handle_session_close(
+        self, params: dict, body: dict
+    ) -> dict:
+        self.sessions.close(params["id"])
+        return {"closed": params["id"]}
+
+    async def handle_session_query(
+        self, params: dict, body: dict
+    ) -> dict:
+        session = self.sessions.get(params["id"])
+        source, parameters = _statement_from(body)
+        result, lsn = await self.sessions.execute(
+            session, source, parameters
+        )
+        await self._wait_durable(lsn)
+        payload = result_to_wire(result)
+        payload["in_transaction"] = session.in_transaction
+        return payload
+
+    async def handle_begin(self, params: dict, body: dict) -> dict:
+        session = self.sessions.get(params["id"])
+        self.sessions.begin(session)
+        return {"session": session.id, "in_transaction": True}
+
+    async def handle_commit(self, params: dict, body: dict) -> dict:
+        session = self.sessions.get(params["id"])
+        lsn = self.sessions.commit(session)
+        await self._wait_durable(lsn)
+        return {"session": session.id, "in_transaction": False}
+
+    async def handle_rollback(self, params: dict, body: dict) -> dict:
+        session = self.sessions.get(params["id"])
+        self.sessions.rollback(session)
+        return {"session": session.id, "in_transaction": False}
+
+    async def handle_schema(self, params: dict, body: dict) -> dict:
+        store = self.graph.store
+        return {
+            "indexes": [
+                {"label": label, "key": key}
+                for label, key in sorted(store._property_indexes)
+            ],
+            "constraints": [
+                {"label": label, "key": key, "type": "unique"}
+                for label, key in sorted(store.unique_constraints())
+            ],
+        }
+
+    async def handle_checkpoint(self, params: dict, body: dict) -> dict:
+        if self.graph.persistence is None:
+            raise PersistenceError(
+                "graph has no persistence directory; nothing to checkpoint"
+            )
+        if self.committer is not None:
+            await self.committer.wait_durable(self.graph.persistence.lsn)
+        self.graph.checkpoint()
+        return {
+            "checkpointed": True,
+            "lsn": self.graph.persistence.lsn,
+        }
+
+
+def _error_body(error_type: str, message: str) -> dict:
+    return {"error": {"type": error_type, "message": message}}
+
+
+def _decode_body(body: bytes) -> dict:
+    if not body:
+        return {}
+    try:
+        payload = json.loads(body)
+    except (ValueError, UnicodeDecodeError):
+        raise CypherError("request body is not valid JSON") from None
+    if not isinstance(payload, dict):
+        raise CypherError("request body must be a JSON object")
+    return payload
+
+
+def _statement_from(body: dict) -> tuple[str, dict]:
+    source = body.get("statement")
+    if not isinstance(source, str):
+        raise CypherError(
+            'request body must carry a string "statement" field'
+        )
+    parameters = body.get("parameters") or {}
+    if not isinstance(parameters, dict):
+        raise CypherError('"parameters" must be a JSON object')
+    return source, parameters

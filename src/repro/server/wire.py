@@ -1,0 +1,188 @@
+"""The JSON wire format shared by the server and the client.
+
+Result values cross the transport as plain JSON.  Scalars pass
+through; graph entities become tagged objects so the client can
+reconstruct typed handles instead of bare property maps::
+
+    {"~kind": "node", "id": 3, "labels": ["User"], "properties": {...}}
+    {"~kind": "relationship", "id": 1, "type": "KNOWS",
+     "start": 3, "end": 4, "properties": {...}}
+    {"~kind": "path", "nodes": [...], "relationships": [...]}
+
+A user map that happens to contain a ``~kind`` key is escaped as
+``{"~kind": "map", "value": {...}}`` so the tagging is unambiguous.
+Both directions live here -- the server serialises with
+:func:`to_wire`, the client revives with :func:`from_wire` -- so the
+format cannot drift between the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine import QueryResult, UpdateCounters
+from repro.graph.model import Node, Path, Relationship
+
+KIND_KEY = "~kind"
+
+
+@dataclass(frozen=True)
+class WireNode:
+    """Client-side handle of a node that lives on the server."""
+
+    id: int
+    labels: tuple[str, ...] = ()
+    properties: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.properties.get(key, default)
+
+    def __repr__(self) -> str:
+        labels = "".join(f":{label}" for label in self.labels)
+        props = (
+            " " + repr(self.properties) if self.properties else ""
+        )
+        return f"({labels or ''}{props})" if (labels or props) else "()"
+
+
+@dataclass(frozen=True)
+class WireRelationship:
+    """Client-side handle of a relationship on the server."""
+
+    id: int
+    type: str
+    start: int
+    end: int
+    properties: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.properties.get(key, default)
+
+    def __repr__(self) -> str:
+        props = " " + repr(self.properties) if self.properties else ""
+        return f"-[:{self.type}{props}]-"
+
+
+@dataclass(frozen=True)
+class WirePath:
+    """Client-side view of a path."""
+
+    nodes: tuple[WireNode, ...]
+    relationships: tuple[WireRelationship, ...]
+
+    def __len__(self) -> int:
+        return len(self.relationships)
+
+
+def to_wire(value: Any) -> Any:
+    """JSON-encodable form of one result value."""
+    if isinstance(value, Node):
+        return {
+            KIND_KEY: "node",
+            "id": value.id,
+            "labels": sorted(value.labels),
+            "properties": {
+                key: to_wire(item)
+                for key, item in value.properties.items()
+            },
+        }
+    if isinstance(value, Relationship):
+        return {
+            KIND_KEY: "relationship",
+            "id": value.id,
+            "type": value.type,
+            "start": value.start.id,
+            "end": value.end.id,
+            "properties": {
+                key: to_wire(item)
+                for key, item in value.properties.items()
+            },
+        }
+    if isinstance(value, Path):
+        return {
+            KIND_KEY: "path",
+            "nodes": [to_wire(node) for node in value.nodes],
+            "relationships": [
+                to_wire(rel) for rel in value.relationships
+            ],
+        }
+    if isinstance(value, list):
+        return [to_wire(item) for item in value]
+    if isinstance(value, dict):
+        encoded = {key: to_wire(item) for key, item in value.items()}
+        if KIND_KEY in encoded:
+            return {KIND_KEY: "map", "value": encoded}
+        return encoded
+    return value
+
+
+def from_wire(value: Any) -> Any:
+    """Revive one wire value into client-side handles."""
+    if isinstance(value, list):
+        return [from_wire(item) for item in value]
+    if isinstance(value, dict):
+        kind = value.get(KIND_KEY)
+        if kind == "node":
+            return WireNode(
+                id=value["id"],
+                labels=tuple(value["labels"]),
+                properties={
+                    key: from_wire(item)
+                    for key, item in value["properties"].items()
+                },
+            )
+        if kind == "relationship":
+            return WireRelationship(
+                id=value["id"],
+                type=value["type"],
+                start=value["start"],
+                end=value["end"],
+                properties={
+                    key: from_wire(item)
+                    for key, item in value["properties"].items()
+                },
+            )
+        if kind == "path":
+            return WirePath(
+                nodes=tuple(from_wire(n) for n in value["nodes"]),
+                relationships=tuple(
+                    from_wire(r) for r in value["relationships"]
+                ),
+            )
+        if kind == "map":
+            return {
+                key: from_wire(item)
+                for key, item in value["value"].items()
+            }
+        return {key: from_wire(item) for key, item in value.items()}
+    return value
+
+
+def result_to_wire(result: QueryResult) -> dict:
+    """Wire form of a whole :class:`~repro.engine.QueryResult`."""
+    columns = list(result.columns)
+    return {
+        "columns": columns,
+        "records": [
+            [to_wire(record[column]) for column in columns]
+            for record in result.table.to_dicts()
+        ],
+        "counters": counters_to_wire(result.counters),
+    }
+
+
+def counters_to_wire(counters: UpdateCounters) -> dict:
+    return {
+        "nodes_created": counters.nodes_created,
+        "nodes_deleted": counters.nodes_deleted,
+        "relationships_created": counters.relationships_created,
+        "relationships_deleted": counters.relationships_deleted,
+        "properties_set": counters.properties_set,
+        "labels_added": counters.labels_added,
+        "labels_removed": counters.labels_removed,
+    }
+
+
+def counters_from_wire(data: dict | None) -> UpdateCounters:
+    return UpdateCounters(**(data or {}))

@@ -51,6 +51,22 @@ class Transaction:
         self._mark = store.begin_transaction()
         self._closed = False
 
+    @property
+    def mark(self) -> int:
+        """Journal position at transaction begin.
+
+        The committed state is everything before this mark; the server
+        session layer passes it to
+        :meth:`~repro.graph.store.GraphStore.reverted_to` so reads
+        from other sessions can observe the pre-transaction snapshot.
+        """
+        return self._mark
+
+    @property
+    def closed(self) -> bool:
+        """True once the transaction committed or rolled back."""
+        return self._closed
+
     def commit(self) -> None:
         """Keep all changes made inside the transaction."""
         if self._closed:

@@ -294,14 +294,67 @@ class _Builder:
         """Integer shapes probing the fixed evaluator edges.
 
         ``reduce`` sums, ``abs`` (occasionally at the int64 boundary,
-        where it must raise the overflow error) and ``size``-of-
+        where it must raise the overflow error), ``size``-of-
         ``substring``/``left``/``right`` with occasionally negative
-        arguments (which must raise, not wrap around) -- every surface
-        has to agree on value *and* error class.
+        arguments (which must raise, not wrap around), plus the
+        scalar fixes that shipped with the server: ``size(split(s,
+        sep))`` with the empty separator (character explosion, not a
+        leaked ``ValueError``), ``toInteger(round(x))`` at the
+        half-up precision edges, and ``size(range(...))`` straddling
+        the list-length cap (the oversized form must raise the
+        resource-limit error, never materialise) -- every surface has
+        to agree on value *and* error class.
         """
         rng = self.rng
         roll = rng.random()
-        if roll < 0.35:
+        if roll < 0.14:
+            # split with an occasionally empty separator
+            separator = rng.choice(["", "", ",", "a"])
+            return ast.FunctionCall(
+                "size",
+                (
+                    ast.FunctionCall(
+                        "split",
+                        (
+                            ast.Literal(rng.choice(STRINGS)),
+                            ast.Literal(separator),
+                        ),
+                    ),
+                ),
+            )
+        if roll < 0.28:
+            # round at the half-up edges; toInteger keeps the shape
+            # integer-typed for the surrounding expression
+            value = rng.choice(
+                [0.5, 2.5, -0.5, -1.5, 0.49999999999999994, 1.5, -2.5]
+            )
+            # negative literals must be unary-minus trees or the
+            # parse(unparse(ast)) round-trip would not be identity
+            argument: ast.Expression = (
+                ast.Unary("-", ast.Literal(-value))
+                if value < 0
+                else ast.Literal(value)
+            )
+            return ast.FunctionCall(
+                "tointeger",
+                (ast.FunctionCall("round", (argument,)),),
+            )
+        if roll < 0.4:
+            # range under or over the materialisation cap
+            if rng.random() < 0.3:
+                bounds = (
+                    ast.Literal(0),
+                    ast.Literal(10_000_000_000),
+                )
+            else:
+                bounds = (
+                    ast.Literal(rng.randint(0, 3)),
+                    ast.Literal(rng.randint(0, 6)),
+                )
+            return ast.FunctionCall(
+                "size", (ast.FunctionCall("range", bounds),)
+            )
+        if roll < 0.58:
             items = tuple(
                 ast.Literal(rng.randint(0, 4))
                 for __ in range(rng.randint(0, 3))
@@ -317,7 +370,7 @@ class _Builder:
                     ast.Variable("el0"),
                 ),
             )
-        if roll < 0.6:
+        if roll < 0.78:
             if rng.random() < 0.2:
                 # abs at INT64_MIN: (-9223372036854775807) - 1 is the
                 # smallest legal integer; abs of it must overflow.

@@ -43,6 +43,10 @@ Shell commands:
   :load PATH            load a JSON graph (replaces the current one)
   :save PATH            save the graph as JSON
   :clear                drop all data
+  :connect URL          attach to a graph server (http://host:port);
+                        statements, :begin/:commit/:rollback, :stats,
+                        :schema and :checkpoint run remotely
+  :disconnect           detach and return to the embedded graph
 """
 
 
@@ -59,6 +63,8 @@ class Shell:
         self.out = out if out is not None else sys.stdout
         self._buffer: list[str] = []
         self._transaction = None
+        #: (client, session) while attached to a server via :connect
+        self._remote = None
         self.done = False
 
     # ------------------------------------------------------------------
@@ -97,12 +103,34 @@ class Shell:
 
     # ------------------------------------------------------------------
 
+    def _remote_call(self, action, success: str) -> None:
+        """Run a remote client call, printing the outcome."""
+        try:
+            action()
+        except (CypherError, ConnectionError, OSError) as error:
+            self._print(f"!! {type(error).__name__}: {error}")
+            return
+        except Exception as error:  # ServerError and friends
+            self._print(f"!! {error}")
+            return
+        self._print(success)
+
     def _execute(self, statement: str) -> None:
         started = time.perf_counter()
         try:
-            result = self.graph.run(statement)
+            if self._remote is not None:
+                result = self._remote[1].run(statement)
+            else:
+                result = self.graph.run(statement)
         except CypherError as error:
             self._print(f"!! {type(error).__name__}: {error}")
+            return
+        except (ConnectionError, OSError) as error:
+            self._print(f"!! connection lost: {error}")
+            return
+        except Exception as error:
+            # remote ServerError (no local exception class)
+            self._print(f"!! {error}")
             return
         elapsed = (time.perf_counter() - started) * 1000
         if len(result):
@@ -145,12 +173,18 @@ class Shell:
                     return
             self._print(f"dialect: {self.graph.dialect.value}")
         elif command == ":begin":
+            if self._remote is not None:
+                self._remote_call(self._remote[1].begin, "transaction started")
+                return
             if self._transaction is not None:
                 self._print("!! transaction already open")
                 return
             self._transaction = self.graph.transaction()
             self._print("transaction started")
         elif command == ":commit":
+            if self._remote is not None:
+                self._remote_call(self._remote[1].commit, "committed")
+                return
             if self._transaction is None:
                 self._print("!! no open transaction")
                 return
@@ -158,13 +192,54 @@ class Shell:
             self._transaction = None
             self._print("committed")
         elif command == ":rollback":
+            if self._remote is not None:
+                self._remote_call(self._remote[1].rollback, "rolled back")
+                return
             if self._transaction is None:
                 self._print("!! no open transaction")
                 return
             self._transaction.rollback()
             self._transaction = None
             self._print("rolled back")
+        elif command == ":connect":
+            if not argument:
+                self._print("usage: :connect http://host:port")
+                return
+            if self._remote is not None:
+                self._print("!! already connected; :disconnect first")
+                return
+            from repro.client import Client
+
+            try:
+                client = Client.connect(argument)
+                client.health()
+                session = client.session()
+            except (CypherError, ConnectionError, OSError) as error:
+                self._print(f"!! cannot connect to {argument}: {error}")
+                return
+            self._remote = (client, session)
+            self._print(
+                f"connected to {argument} (session {session.id}); "
+                f"statements now run remotely"
+            )
+        elif command == ":disconnect":
+            if self._remote is None:
+                self._print("!! not connected")
+                return
+            client, session = self._remote
+            self._remote = None
+            try:
+                session.close()
+                client.close()
+            except (CypherError, ConnectionError, OSError):
+                pass
+            self._print("disconnected; statements run on the embedded graph")
         elif command == ":checkpoint":
+            if self._remote is not None:
+                self._remote_call(
+                    self._remote[0].checkpoint, "checkpoint written"
+                )
+                return
             if self.graph.persistence is None:
                 self._print(
                     "!! graph is not durable; open it with --path DIR"
@@ -180,6 +255,15 @@ class Shell:
                 f"WAL truncated"
             )
         elif command == ":stats":
+            if self._remote is not None:
+                try:
+                    stats = self._remote[0].stats()
+                except (CypherError, ConnectionError, OSError) as error:
+                    self._print(f"!! {error}")
+                    return
+                for key in sorted(stats):
+                    self._print(f"{key}: {stats[key]}")
+                return
             self._print(self.graph.statistics().summary())
         elif command == ":cache":
             from repro.runtime import compiler
@@ -198,6 +282,19 @@ class Shell:
                 f"{closure_info['evictions']} evicted"
             )
         elif command == ":schema":
+            if self._remote is not None:
+                try:
+                    schema = self._remote[0].schema()
+                except (CypherError, ConnectionError, OSError) as error:
+                    self._print(f"!! {error}")
+                    return
+                for index in schema["indexes"]:
+                    self._print(f"INDEX :{index['label']}({index['key']})")
+                for item in schema["constraints"]:
+                    self._print(f"UNIQUE :{item['label']}({item['key']})")
+                if not schema["indexes"] and not schema["constraints"]:
+                    self._print("(no indexes or constraints)")
+                return
             constraints = sorted(self.graph.store.unique_constraints())
             if constraints:
                 for label, key in constraints:
@@ -370,6 +467,8 @@ def main(argv: list[str] | None = None) -> int:
                 continue
             shell.feed(line)
     finally:
+        if shell._remote is not None:
+            shell._command(":disconnect")
         graph.close()
     return 0
 

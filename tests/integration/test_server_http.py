@@ -1,0 +1,191 @@
+"""The HTTP listener over real sockets: framing, keep-alive, limits,
+concurrent connections, clean shutdown.  Everything below the socket
+is already covered by ``test_server_sessions.py``; these tests prove
+the byte-level layer and the blocking client against it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import threading
+
+import pytest
+
+from repro.client import Client
+from repro.errors import CypherSyntaxError, ResourceLimitError
+from repro.server.http import HttpServer
+from repro.server.limits import RequestLimits
+from repro.server.service import GraphService, ServerConfig
+
+
+class ServerHarness:
+    """A live server on an ephemeral port, driven from test threads."""
+
+    def __init__(self, config: ServerConfig | None = None):
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, daemon=True
+        )
+        self._thread.start()
+        self.server = HttpServer(
+            GraphService(config if config is not None else ServerConfig()),
+            port=0,
+        )
+        self._call(self.server.start())
+
+    def _call(self, coroutine):
+        return asyncio.run_coroutine_threadsafe(
+            coroutine, self._loop
+        ).result(timeout=30)
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    def close(self) -> None:
+        self._call(self.server.close())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._loop.close()
+
+
+@pytest.fixture
+def harness():
+    harness = ServerHarness()
+    yield harness
+    harness.close()
+
+
+class TestHttpLayer:
+    def test_query_roundtrip_over_sockets(self, harness):
+        client = Client.connect(harness.url)
+        try:
+            client.run("CREATE (:User {name: 'ada'})")
+            row = client.run(
+                "MATCH (u:User) RETURN u.name AS n"
+            ).single()
+            assert row["n"] == "ada"
+        finally:
+            client.close()
+
+    def test_keep_alive_reuses_connection(self, harness):
+        client = Client.connect(harness.url)
+        try:
+            for i in range(10):
+                assert client.run(
+                    "RETURN $i AS i", {"i": i}
+                ).single()["i"] == i
+            # one keep-alive connection served all ten requests
+            assert client._transport._connection is not None
+        finally:
+            client.close()
+
+    def test_errors_map_to_statuses(self, harness):
+        client = Client.connect(harness.url)
+        try:
+            with pytest.raises(CypherSyntaxError):
+                client.run("MATCH (")
+            with pytest.raises(ResourceLimitError):
+                client.run("RETURN range(0, 4611686018427387904)")
+            # the connection survives error responses
+            assert client.run("RETURN 1 AS x").single()["x"] == 1
+        finally:
+            client.close()
+
+    def test_unknown_route_is_404(self, harness):
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", harness.server.port, timeout=10
+        )
+        try:
+            connection.request("GET", "/nothing/here")
+            response = connection.getresponse()
+            assert response.status == 404
+            response.read()
+        finally:
+            connection.close()
+
+    def test_oversized_body_rejected_without_buffering(self):
+        harness = ServerHarness(
+            ServerConfig(limits=RequestLimits(max_body_bytes=1024))
+        )
+        try:
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", harness.server.port, timeout=10
+            )
+            # claim a 1 MiB body; the server must refuse on the
+            # Content-Length header alone
+            connection.putrequest("POST", "/query")
+            connection.putheader("Content-Type", "application/json")
+            connection.putheader("Content-Length", str(1 << 20))
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 413
+            connection.close()
+        finally:
+            harness.close()
+
+    def test_sessions_over_sockets(self, harness):
+        client = Client.connect(harness.url)
+        reader = Client.connect(harness.url)
+        try:
+            with client.session() as session:
+                session.begin()
+                session.run("CREATE (:User {name: 'ada'})")
+                seen = reader.run(
+                    "MATCH (u:User) RETURN count(u) AS c"
+                ).single()["c"]
+                assert seen == 0
+                session.commit()
+            seen = reader.run(
+                "MATCH (u:User) RETURN count(u) AS c"
+            ).single()["c"]
+            assert seen == 1
+        finally:
+            client.close()
+            reader.close()
+
+    def test_many_concurrent_connections(self, harness):
+        errors: list[Exception] = []
+
+        def drive(i: int) -> None:
+            try:
+                client = Client.connect(harness.url)
+                try:
+                    client.run(
+                        "CREATE (:Load {i: $i})", {"i": i}
+                    )
+                    client.run(
+                        "MATCH (n:Load {i: $i}) RETURN n.i", {"i": i}
+                    )
+                finally:
+                    client.close()
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=drive, args=(i,))
+            for i in range(24)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        client = Client.connect(harness.url)
+        try:
+            total = client.run(
+                "MATCH (n:Load) RETURN count(n) AS c"
+            ).single()["c"]
+            assert total == 24
+        finally:
+            client.close()
+
+    def test_clean_shutdown_with_open_connections(self):
+        harness = ServerHarness()
+        client = Client.connect(harness.url)
+        client.run("RETURN 1")
+        # closing with the keep-alive connection still open must not
+        # hang or error on the server side
+        harness.close()
+        client.close()
