@@ -846,6 +846,158 @@ def p7_concurrent_service(
     )
 
 
+def p8_columnar_scaling(
+    scales: tuple[int, ...] = (10_000, 100_000, 1_000_000),
+    pipeline_nodes: int = 5000,
+    memory_sample: int = 20_000,
+) -> None:
+    print(
+        f"\nP8  Columnar store + bulk loader scaling "
+        f"(scales {', '.join(str(s) for s in scales)})"
+    )
+    import sys
+    import tempfile
+
+    sys.path.insert(0, str(Path(__file__).parent))
+    from memprof import naive_layout_bytes, rss_bytes, store_memory_report
+
+    from repro.bulkload import (
+        iter_nodes_csv,
+        iter_rels_csv,
+        load_store,
+        write_synthetic_csv,
+    )
+
+    # -- bulk loader vs statement pipeline (same synthetic shape) ------
+    graph = Graph(Dialect.REVISED, use_planner=True)
+    graph.create_index("Person", "id")
+    node_batch = [
+        {
+            "id": i,
+            "name": f"p{i}",
+            "admin": i % 10 == 0,
+            "next": (i + 1) % pipeline_nodes,
+        }
+        for i in range(pipeline_nodes)
+    ]
+    started = time.perf_counter()
+    for offset in range(0, pipeline_nodes, 1000):
+        graph.run(
+            "UNWIND $rows AS row "
+            "CREATE (p:Person {id: row.id, name: row.name})",
+            rows=node_batch[offset:offset + 1000],
+        )
+    for offset in range(0, pipeline_nodes, 1000):
+        graph.run(
+            "UNWIND $rows AS row "
+            "MATCH (a:Person {id: row.id}), (b:Person {id: row.next}) "
+            "CREATE (a)-[:FOLLOWS]->(b)",
+            rows=node_batch[offset:offset + 1000],
+        )
+    pipeline_seconds = time.perf_counter() - started
+    pipeline_rate = (2 * pipeline_nodes) / pipeline_seconds
+
+    with tempfile.TemporaryDirectory() as tmp:
+        nodes_path, rels_path = write_synthetic_csv(
+            tmp, pipeline_nodes, rels_per_node=1
+        )
+        started = time.perf_counter()
+        small = load_store(
+            iter_nodes_csv(nodes_path),
+            iter_rels_csv(rels_path),
+            indexes=[("Person", "id")],
+        )
+        bulk_seconds = time.perf_counter() - started
+    bulk_rate = (
+        small.node_count() + small.relationship_count()
+    ) / bulk_seconds
+    speedup = bulk_rate / pipeline_rate
+    record(
+        "P8",
+        "bulk loader vs statement pipeline",
+        ">= 10x ingest throughput (no parse/journal/commit per row)",
+        f"pipeline {pipeline_rate:,.0f} entities/s vs bulk "
+        f"{bulk_rate:,.0f} entities/s = {speedup:.1f}x",
+    )
+
+    # -- bytes per entity: columnar vs seed dict-of-objects layout -----
+    with tempfile.TemporaryDirectory() as tmp:
+        nodes_path, rels_path = write_synthetic_csv(tmp, memory_sample)
+        sample = load_store(
+            iter_nodes_csv(nodes_path), iter_rels_csv(rels_path)
+        )
+        naive_bytes = naive_layout_bytes(
+            (
+                (labels, properties)
+                for __, labels, properties in iter_nodes_csv(nodes_path)
+            ),
+            (
+                (rel_type, source, target, properties)
+                for __, rel_type, source, target, properties in (
+                    iter_rels_csv(rels_path)
+                )
+            ),
+        )
+    report = store_memory_report(sample)
+    entities = sample.node_count() + sample.relationship_count()
+    naive_per_entity = naive_bytes / entities
+    reduction = naive_per_entity / report["bytes_per_entity"]
+    record(
+        "P8",
+        "bytes per entity (columnar vs dict-of-objects)",
+        ">= 2x smaller than the seed layout",
+        f"naive {naive_per_entity:.0f} B/entity vs columnar "
+        f"{report['bytes_per_entity']:.0f} B/entity = {reduction:.1f}x "
+        f"(node {report['bytes_per_node']:.0f} B, "
+        f"rel {report['bytes_per_rel']:.0f} B)",
+    )
+
+    # -- scaling curve: nodes vs throughput vs RSS vs match latency ----
+    for scale in scales:
+        with tempfile.TemporaryDirectory() as tmp:
+            nodes_path, rels_path = write_synthetic_csv(tmp, scale)
+            rss_before = rss_bytes()
+            started = time.perf_counter()
+            store = load_store(
+                iter_nodes_csv(nodes_path),
+                iter_rels_csv(rels_path),
+                indexes=[("Person", "id")],
+            )
+            load_seconds = time.perf_counter() - started
+            rss_after = rss_bytes()
+        rate = (store.node_count() + store.relationship_count()) / load_seconds
+        loaded = Graph(Dialect.REVISED, use_planner=True, store=store)
+        probes = [int(scale * frac) % scale for frac in
+                  (0.1, 0.25, 0.5, 0.75, 0.9)] * 4
+        loaded.run(
+            "MATCH (p:Person {id: $i}) RETURN p.name", i=probes[0]
+        )  # warm caches
+        started = time.perf_counter()
+        for probe in probes:
+            result = loaded.run(
+                "MATCH (p:Person {id: $i})-[:FOLLOWS]->(q) "
+                "RETURN p.name, q.name",
+                i=probe,
+            )
+            assert len(result.table.records) == 1
+        match_ms = (time.perf_counter() - started) * 1000 / len(probes)
+        if rss_before is not None and rss_after is not None:
+            rss_text = f"RSS +{(rss_after - rss_before) / 2**20:.0f} MiB"
+        else:
+            rss_text = "RSS n/a"
+        per_node = store_memory_report(store)["bytes_per_node"]
+        record(
+            "P8",
+            f"scaling {scale} nodes",
+            "linear load rate, flat bytes/node, sub-ms indexed match",
+            f"{rate:,.0f} entities/s load, {rss_text}, "
+            f"{per_node:.0f} B/node, indexed 1-hop match "
+            f"{match_ms:.2f} ms",
+            elapsed_ms=load_seconds * 1000,
+        )
+        del store, loaded
+
+
 def print_markdown() -> None:
     print("\n\n## Markdown table (paste into EXPERIMENTS.md)\n")
     print("| Exp | Artifact | Paper says | Measured |")
@@ -895,6 +1047,11 @@ def main(argv: list[str] | None = None) -> None:
     p7_concurrent_service(
         clients=24 if args.quick else 100,
         statements_per_client=5 if args.quick else 10,
+    )
+    p8_columnar_scaling(
+        scales=(5_000, 50_000) if args.quick else (10_000, 100_000, 1_000_000),
+        pipeline_nodes=2000 if args.quick else 5000,
+        memory_sample=5_000 if args.quick else 20_000,
     )
     print_markdown()
     write_json()

@@ -16,14 +16,43 @@ semantics needs from a storage layer:
   no properties, and later writes to it are rejected (the engine's
   legacy dialect turns that rejection into a silent no-op).
 
-Deleted records are retained (with ``deleted=True``) so that handles in
+Deleted records are retained (with a tombstone flag) so that handles in
 driving tables keep resolving and so rollback can resurrect them.
+
+Storage layout
+--------------
+
+Entity ids are dense non-negative integers, so records live in
+**columns indexed by id** rather than dicts of per-record objects:
+
+* node labels are dictionary-encoded: each distinct label *set* is
+  interned once (as a bitmask over :class:`~repro.graph.strings.StringPool`
+  ids plus a shared ``frozenset`` of the label strings) and every node
+  stores only a 4-byte label-set id in an ``array('i')``;
+* relationship type / source / target are ``array('i')`` /
+  ``array('q')`` / ``array('q')`` columns; tombstone flags are one byte
+  per entity in a ``bytearray``;
+* property maps stay ordinary dicts (they are the mutable, schemaless
+  part), but their keys are canonicalised through the pool so
+  homogeneous records share key objects, and the dict is allocated
+  lazily (``None`` until the first property);
+* adjacency is one :class:`_AdjacencyHalf` per (node, direction): a
+  flat ``array('q')`` of live relationship ids grouped by type with a
+  per-type offset table, each group kept id-sorted.  Typed expansion
+  reads one contiguous slice; untyped reads the whole array; deleting
+  the last relationship of a type removes its group entirely (no empty
+  buckets linger).
+
+A hole (an id that was never allocated, or whose creation was undone)
+is encoded as ``-1`` in the label-set / type column.  Ids are never
+reused, so columns only ever grow.
 """
 
 from __future__ import annotations
 
+from array import array
+from bisect import bisect_left
 from contextlib import contextmanager
-from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
 from repro.errors import (
@@ -36,39 +65,131 @@ from repro.errors import (
 from repro.graph.counters import NO_COUNTERS, HitCounters
 from repro.graph.indexes import LabelIndex, PropertyIndex
 from repro.graph.model import GraphSnapshot, Node, Relationship
-from repro.graph.values import require_storable
+from repro.graph.strings import StringPool
+from repro.graph.values import grouping_key, is_storable, require_storable
 
 _MISSING = object()
 
-
-@dataclass
-class _NodeRecord:
-    labels: set[str] = field(default_factory=set)
-    properties: dict[str, Any] = field(default_factory=dict)
-    deleted: bool = False
+#: column hole marker: this id was never allocated (or was rolled back)
+_HOLE = -1
 
 
-@dataclass
-class _RelRecord:
-    type: str
-    source: int
-    target: int
-    properties: dict[str, Any] = field(default_factory=dict)
-    deleted: bool = False
+class _AdjacencyHalf:
+    """Grouped adjacency for one node and one direction.
+
+    ``rels`` is a flat ``array('q')`` of *live* relationship ids,
+    grouped by type: group *g* holds type ``types[g]`` and spans
+    ``rels[offsets[g]:offsets[g + 1]]``, sorted ascending.  Groups
+    appear in first-seen order; a group whose last relationship is
+    removed is compacted away immediately.
+    """
+
+    __slots__ = ("types", "offsets", "rels")
+
+    def __init__(self) -> None:
+        self.types = array("i")
+        self.offsets = array("q", (0,))
+        self.rels = array("q")
+
+    def add(self, type_id: int, rel_id: int) -> None:
+        """Insert *rel_id* into the *type_id* group (idempotent)."""
+        types = self.types
+        offsets = self.offsets
+        rels = self.rels
+        # Tail fast path: a new relationship id is larger than every
+        # existing one, so creation usually appends to the last group.
+        if types and types[-1] == type_id and rels[-1] <= rel_id:
+            if rels[-1] != rel_id:
+                rels.append(rel_id)
+                offsets[-1] += 1
+            return
+        for group, existing in enumerate(types):
+            if existing == type_id:
+                low, high = offsets[group], offsets[group + 1]
+                position = bisect_left(rels, rel_id, low, high)
+                if position < high and rels[position] == rel_id:
+                    return
+                rels.insert(position, rel_id)
+                for index in range(group + 1, len(offsets)):
+                    offsets[index] += 1
+                return
+        types.append(type_id)
+        rels.append(rel_id)
+        offsets.append(len(rels))
+
+    def discard(self, type_id: int, rel_id: int) -> None:
+        """Remove *rel_id* from the *type_id* group; drop empty groups."""
+        types = self.types
+        offsets = self.offsets
+        rels = self.rels
+        for group, existing in enumerate(types):
+            if existing == type_id:
+                low, high = offsets[group], offsets[group + 1]
+                position = bisect_left(rels, rel_id, low, high)
+                if position >= high or rels[position] != rel_id:
+                    return
+                del rels[position]
+                for index in range(group + 1, len(offsets)):
+                    offsets[index] -= 1
+                if offsets[group] == offsets[group + 1]:
+                    del types[group]
+                    del offsets[group + 1]
+                return
+
+    def degree(self) -> int:
+        return len(self.rels)
+
+    def typed_degree(self, type_id: int) -> int:
+        offsets = self.offsets
+        for group, existing in enumerate(self.types):
+            if existing == type_id:
+                return offsets[group + 1] - offsets[group]
+        return 0
+
+    def extend_all(self, out: list[int]) -> None:
+        out.extend(self.rels)
+
+    def extend_type(self, type_id: int, out: list[int]) -> None:
+        offsets = self.offsets
+        for group, existing in enumerate(self.types):
+            if existing == type_id:
+                out.extend(self.rels[offsets[group]:offsets[group + 1]])
+                return
+
+    def groups(self) -> Iterator[tuple[int, list[int]]]:
+        """(type id, sorted rel ids) per group -- diagnostics/oracle."""
+        offsets = self.offsets
+        for group, type_id in enumerate(self.types):
+            yield type_id, list(
+                self.rels[offsets[group]:offsets[group + 1]]
+            )
 
 
 class GraphStore:
     """In-memory property graph with journaled mutations."""
 
     def __init__(self) -> None:
-        self._nodes: dict[int, _NodeRecord] = {}
-        self._rels: dict[int, _RelRecord] = {}
-        self._out: dict[int, set[int]] = {}
-        self._in: dict[int, set[int]] = {}
-        #: per-type adjacency: node id -> type -> rel ids (live only);
-        #: lets typed traversals skip unrelated relationships entirely
-        self._out_by_type: dict[int, dict[str, set[int]]] = {}
-        self._in_by_type: dict[int, dict[str, set[int]]] = {}
+        #: shared intern table for labels, types and property keys
+        self._strings = StringPool()
+        #: dictionary-encoded label sets: id -> bitmask over string ids
+        #: and id -> shared frozenset of label strings; mask -> id
+        self._labelset_masks: list[int] = [0]
+        self._labelset_strings: list[frozenset[str]] = [frozenset()]
+        self._labelset_ids: dict[int, int] = {0: 0}
+        #: node columns, indexed by node id (_HOLE = no such node)
+        self._node_labelsets = array("i")
+        self._node_props: list[dict[str, Any] | None] = []
+        self._node_deleted = bytearray()
+        #: relationship columns, indexed by rel id (_HOLE = no such rel)
+        self._rel_types = array("i")
+        self._rel_source = array("q")
+        self._rel_target = array("q")
+        self._rel_props: list[dict[str, Any] | None] = []
+        self._rel_deleted = bytearray()
+        #: grouped adjacency arrays, one half per (node, direction);
+        #: allocated on a node's first relationship
+        self._adj_out: list[_AdjacencyHalf | None] = []
+        self._adj_in: list[_AdjacencyHalf | None] = []
         self._next_node_id = 0
         self._next_rel_id = 0
         #: live-entity counters, maintained by every mutation and undo
@@ -106,91 +227,201 @@ class GraphStore:
         self.install_counters(NO_COUNTERS)
 
     # ------------------------------------------------------------------
+    # String interning
+    # ------------------------------------------------------------------
+
+    @property
+    def string_pool(self) -> StringPool:
+        """The shared label/type/property-key intern table."""
+        return self._strings
+
+    def _labelset_id(self, mask: int) -> int:
+        """The label-set id for *mask*, interning the set if new."""
+        labelset = self._labelset_ids.get(mask)
+        if labelset is None:
+            labelset = len(self._labelset_masks)
+            self._labelset_ids[mask] = labelset
+            self._labelset_masks.append(mask)
+            text = self._strings.text
+            labels = []
+            remaining = mask
+            while remaining:
+                low = remaining & -remaining
+                labels.append(text(low.bit_length() - 1))
+                remaining ^= low
+            self._labelset_strings.append(frozenset(labels))
+        return labelset
+
+    def _mask_of(self, labels: Iterable[str]) -> int:
+        intern = self._strings.intern
+        mask = 0
+        for label in labels:
+            mask |= 1 << intern(label)
+        return mask
+
+    def _canon_properties(
+        self, properties: dict[str, Any] | None
+    ) -> dict[str, Any] | None:
+        """Validated copy of *properties* with pooled key objects."""
+        if not properties:
+            return None
+        canon = self._strings.canon
+        copied: dict[str, Any] = {}
+        for key, value in properties.items():
+            require_storable(value, key)
+            copied[canon(key)] = value
+        return copied
+
+    def _type_ids(self, types: tuple[str, ...]) -> list[int]:
+        """Pool ids of *types*, skipping types never seen (no matches)."""
+        id_of = self._strings.id_of
+        ids = []
+        for rel_type in types:
+            type_id = id_of(rel_type)
+            if type_id is not None:
+                ids.append(type_id)
+        return ids
+
+    # ------------------------------------------------------------------
     # Record access helpers
     # ------------------------------------------------------------------
 
-    def _node_record(self, node_id: int) -> _NodeRecord:
-        try:
-            return self._nodes[node_id]
-        except KeyError:
-            raise EntityNotFoundError(f"no node with id {node_id}") from None
+    def _require_node(self, node_id: int) -> int:
+        """The label-set id of *node_id*, or EntityNotFoundError."""
+        labelsets = self._node_labelsets
+        if 0 <= node_id < len(labelsets):
+            labelset = labelsets[node_id]
+            if labelset != _HOLE:
+                return labelset
+        raise EntityNotFoundError(f"no node with id {node_id}")
 
-    def _rel_record(self, rel_id: int) -> _RelRecord:
-        try:
-            return self._rels[rel_id]
-        except KeyError:
-            raise EntityNotFoundError(
-                f"no relationship with id {rel_id}"
-            ) from None
+    def _require_rel(self, rel_id: int) -> int:
+        """The type id of *rel_id*, or EntityNotFoundError."""
+        types = self._rel_types
+        if 0 <= rel_id < len(types):
+            type_id = types[rel_id]
+            if type_id != _HOLE:
+                return type_id
+        raise EntityNotFoundError(f"no relationship with id {rel_id}")
+
+    def _node_exists(self, node_id: int) -> bool:
+        return (
+            0 <= node_id < len(self._node_labelsets)
+            and self._node_labelsets[node_id] != _HOLE
+        )
+
+    def _rel_exists(self, rel_id: int) -> bool:
+        return (
+            0 <= rel_id < len(self._rel_types)
+            and self._rel_types[rel_id] != _HOLE
+        )
+
+    def _ensure_node_capacity(self, length: int) -> None:
+        grow = length - len(self._node_labelsets)
+        if grow > 0:
+            self._node_labelsets.extend([_HOLE] * grow)
+            self._node_props.extend([None] * grow)
+            self._node_deleted.extend(b"\x00" * grow)
+            self._adj_out.extend([None] * grow)
+            self._adj_in.extend([None] * grow)
+
+    def _ensure_rel_capacity(self, length: int) -> None:
+        grow = length - len(self._rel_types)
+        if grow > 0:
+            self._rel_types.extend([_HOLE] * grow)
+            self._rel_source.extend([0] * grow)
+            self._rel_target.extend([0] * grow)
+            self._rel_props.extend([None] * grow)
+            self._rel_deleted.extend(b"\x00" * grow)
+
+    def _out_half(self, node_id: int) -> _AdjacencyHalf:
+        half = self._adj_out[node_id]
+        if half is None:
+            half = self._adj_out[node_id] = _AdjacencyHalf()
+        return half
+
+    def _in_half(self, node_id: int) -> _AdjacencyHalf:
+        half = self._adj_in[node_id]
+        if half is None:
+            half = self._adj_in[node_id] = _AdjacencyHalf()
+        return half
 
     # ------------------------------------------------------------------
     # Handle-facing accessors
     # ------------------------------------------------------------------
 
     def node_labels(self, node_id: int) -> frozenset[str]:
-        """Labels of a node; deleted nodes report the empty set."""
+        """Labels of a node; deleted nodes report the empty set.
+
+        The returned ``frozenset`` is the interned label set shared by
+        every node with the same labels -- treat it as immutable.
+        """
         self.counters.node_read()
-        record = self._node_record(node_id)
-        if record.deleted:
-            return frozenset()
-        return frozenset(record.labels)
+        labelset = self._require_node(node_id)
+        if self._node_deleted[node_id]:
+            return self._labelset_strings[0]
+        return self._labelset_strings[labelset]
 
     def node_properties(self, node_id: int) -> dict[str, Any]:
         """Property map of a node; deleted nodes report an empty map."""
         self.counters.property_read()
-        record = self._node_record(node_id)
-        if record.deleted:
+        self._require_node(node_id)
+        if self._node_deleted[node_id]:
             return {}
-        return record.properties
+        properties = self._node_props[node_id]
+        return {} if properties is None else properties
 
     def node_is_deleted(self, node_id: int) -> bool:
         """True if the node exists as a tombstone."""
-        return self._node_record(node_id).deleted
+        self._require_node(node_id)
+        return bool(self._node_deleted[node_id])
 
     def rel_type(self, rel_id: int) -> str:
         """Type of a relationship (kept even on tombstones)."""
-        return self._rel_record(rel_id).type
+        return self._strings.text(self._require_rel(rel_id))
 
     def rel_source(self, rel_id: int) -> int:
         """Source node id of a relationship."""
-        return self._rel_record(rel_id).source
+        self._require_rel(rel_id)
+        return self._rel_source[rel_id]
 
     def rel_target(self, rel_id: int) -> int:
         """Target node id of a relationship."""
-        return self._rel_record(rel_id).target
+        self._require_rel(rel_id)
+        return self._rel_target[rel_id]
 
     def rel_properties(self, rel_id: int) -> dict[str, Any]:
         """Property map of a relationship; empty when deleted."""
         self.counters.property_read()
-        record = self._rel_record(rel_id)
-        if record.deleted:
+        self._require_rel(rel_id)
+        if self._rel_deleted[rel_id]:
             return {}
-        return record.properties
+        properties = self._rel_props[rel_id]
+        return {} if properties is None else properties
 
     def rel_is_deleted(self, rel_id: int) -> bool:
         """True if the relationship exists as a tombstone."""
-        return self._rel_record(rel_id).deleted
+        self._require_rel(rel_id)
+        return bool(self._rel_deleted[rel_id])
 
     def has_node(self, node_id: int) -> bool:
         """True if *node_id* refers to a live node."""
-        record = self._nodes.get(node_id)
-        return record is not None and not record.deleted
+        return self._node_exists(node_id) and not self._node_deleted[node_id]
 
     def has_relationship(self, rel_id: int) -> bool:
         """True if *rel_id* refers to a live relationship."""
-        record = self._rels.get(rel_id)
-        return record is not None and not record.deleted
+        return self._rel_exists(rel_id) and not self._rel_deleted[rel_id]
 
     def node(self, node_id: int) -> Node:
         """Handle for a node id (which must exist, possibly deleted)."""
         self.counters.node_read()
-        self._node_record(node_id)
+        self._require_node(node_id)
         return Node(self, node_id)
 
     def relationship(self, rel_id: int) -> Relationship:
         """Handle for a relationship id (must exist, possibly deleted)."""
         self.counters.rel_read()
-        self._rel_record(rel_id)
+        self._require_rel(rel_id)
         return Relationship(self, rel_id)
 
     # ------------------------------------------------------------------
@@ -200,16 +431,20 @@ class GraphStore:
     def nodes(self) -> Iterator[Node]:
         """All live nodes, in id order (deterministic scans)."""
         counters = self.counters
-        for node_id in sorted(self._nodes):
-            if not self._nodes[node_id].deleted:
+        labelsets = self._node_labelsets
+        deleted = self._node_deleted
+        for node_id in range(len(labelsets)):
+            if labelsets[node_id] != _HOLE and not deleted[node_id]:
                 counters.node_read()
                 yield Node(self, node_id)
 
     def relationships(self) -> Iterator[Relationship]:
         """All live relationships, in id order."""
         counters = self.counters
-        for rel_id in sorted(self._rels):
-            if not self._rels[rel_id].deleted:
+        types = self._rel_types
+        deleted = self._rel_deleted
+        for rel_id in range(len(types)):
+            if types[rel_id] != _HOLE and not deleted[rel_id]:
                 counters.rel_read()
                 yield Relationship(self, rel_id)
 
@@ -221,6 +456,12 @@ class GraphStore:
         """Number of live relationships (O(1), counter-maintained)."""
         return self._live_rels
 
+    def has_records(self) -> bool:
+        """True if any node or relationship record exists (tombstones too)."""
+        return any(ls != _HOLE for ls in self._node_labelsets) or any(
+            t != _HOLE for t in self._rel_types
+        )
+
     def nodes_with_label(self, label: str) -> frozenset[int]:
         """Ids of live nodes carrying *label* (index-backed)."""
         return self._label_index.nodes_with_label(label)
@@ -230,10 +471,11 @@ class GraphStore:
     #
     # Cheap, always-current summary counts the match planner uses for
     # selectivity estimates.  All of them read maintained structures
-    # (live-entity counters, label-index buckets, live adjacency sets),
-    # so none of them scans and none of them touches the journal --
-    # rollback keeps them correct because the same mutation/undo paths
-    # that maintain the structures maintain these counts.
+    # (live-entity counters, label-index buckets, live adjacency
+    # arrays), so none of them scans and none of them touches the
+    # journal -- rollback keeps them correct because the same
+    # mutation/undo paths that maintain the structures maintain these
+    # counts.
     # ------------------------------------------------------------------
 
     def label_count(self, label: str) -> int:
@@ -254,48 +496,58 @@ class GraphStore:
 
     def out_relationships(self, node_id: int) -> frozenset[int]:
         """Ids of live relationships whose source is *node_id*."""
-        rel_ids = self._out.get(node_id, ())
-        return frozenset(r for r in rel_ids if not self._rels[r].deleted)
+        if 0 <= node_id < len(self._adj_out):
+            half = self._adj_out[node_id]
+            if half is not None:
+                return frozenset(half.rels)
+        return frozenset()
 
     def in_relationships(self, node_id: int) -> frozenset[int]:
         """Ids of live relationships whose target is *node_id*."""
-        rel_ids = self._in.get(node_id, ())
-        return frozenset(r for r in rel_ids if not self._rels[r].deleted)
+        if 0 <= node_id < len(self._adj_in):
+            half = self._adj_in[node_id]
+            if half is not None:
+                return frozenset(half.rels)
+        return frozenset()
 
     def _adjacency_add(
-        self, rel_id: int, rel_type: str, source: int, target: int
+        self, rel_id: int, type_id: int, source: int, target: int
     ) -> None:
-        self._out_by_type.setdefault(source, {}).setdefault(
-            rel_type, set()
-        ).add(rel_id)
-        self._in_by_type.setdefault(target, {}).setdefault(
-            rel_type, set()
-        ).add(rel_id)
+        self._out_half(source).add(type_id, rel_id)
+        self._in_half(target).add(type_id, rel_id)
 
     def _adjacency_discard(
-        self, rel_id: int, rel_type: str, source: int, target: int
+        self, rel_id: int, type_id: int, source: int, target: int
     ) -> None:
-        self._out_by_type.get(source, {}).get(rel_type, set()).discard(rel_id)
-        self._in_by_type.get(target, {}).get(rel_type, set()).discard(rel_id)
+        half = self._adj_out[source]
+        if half is not None:
+            half.discard(type_id, rel_id)
+        half = self._adj_in[target]
+        if half is not None:
+            half.discard(type_id, rel_id)
 
     def out_relationships_of_types(
         self, node_id: int, types: tuple[str, ...]
     ) -> frozenset[int]:
         """Live outgoing relationships of *node_id* with a type in *types*."""
-        buckets = self._out_by_type.get(node_id, {})
-        result: set[int] = set()
-        for rel_type in types:
-            result |= buckets.get(rel_type, set())
+        result: list[int] = []
+        if 0 <= node_id < len(self._adj_out):
+            half = self._adj_out[node_id]
+            if half is not None:
+                for type_id in self._type_ids(types):
+                    half.extend_type(type_id, result)
         return frozenset(result)
 
     def in_relationships_of_types(
         self, node_id: int, types: tuple[str, ...]
     ) -> frozenset[int]:
         """Live incoming relationships of *node_id* with a type in *types*."""
-        buckets = self._in_by_type.get(node_id, {})
-        result: set[int] = set()
-        for rel_type in types:
-            result |= buckets.get(rel_type, set())
+        result: list[int] = []
+        if 0 <= node_id < len(self._adj_in):
+            half = self._adj_in[node_id]
+            if half is not None:
+                for type_id in self._type_ids(types):
+                    half.extend_type(type_id, result)
         return frozenset(result)
 
     def out_degree(
@@ -303,23 +555,31 @@ class GraphStore:
     ) -> int:
         """Live outgoing degree of *node_id*, optionally per type (O(1)).
 
-        The adjacency sets hold live relationships only (deletion
+        The adjacency arrays hold live relationships only (deletion
         discards, rollback re-adds), so the length is the degree --
         no filtering pass and no set materialisation.
         """
+        if not 0 <= node_id < len(self._adj_out):
+            return 0
+        half = self._adj_out[node_id]
+        if half is None:
+            return 0
         if types is None:
-            return len(self._out.get(node_id, ()))
-        buckets = self._out_by_type.get(node_id, {})
-        return sum(len(buckets.get(rel_type, ())) for rel_type in types)
+            return half.degree()
+        return sum(half.typed_degree(t) for t in self._type_ids(types))
 
     def in_degree(
         self, node_id: int, types: tuple[str, ...] | None = None
     ) -> int:
         """Live incoming degree of *node_id*, optionally per type (O(1))."""
+        if not 0 <= node_id < len(self._adj_in):
+            return 0
+        half = self._adj_in[node_id]
+        if half is None:
+            return 0
         if types is None:
-            return len(self._in.get(node_id, ()))
-        buckets = self._in_by_type.get(node_id, {})
-        return sum(len(buckets.get(rel_type, ())) for rel_type in types)
+            return half.degree()
+        return sum(half.typed_degree(t) for t in self._type_ids(types))
 
     def degree(
         self, node_id: int, types: tuple[str, ...] | None = None
@@ -339,29 +599,36 @@ class GraphStore:
     ) -> list[int]:
         """Live relationship ids at *node_id*, ascending, in one pass.
 
-        This is the matcher's candidate enumeration: it reads the live
-        adjacency sets (the same structures :meth:`degree` counts)
-        directly into a single sorted list -- no intermediate
-        frozensets and no set unions, which matters on dense nodes
-        where undirected/untyped steps previously materialised
-        ``sorted(out | in)`` per expansion step.  Self-loops (present
-        in both directions) and repeated type names are emitted once.
+        This is the matcher's candidate enumeration: it reads the
+        grouped adjacency arrays (the same structures :meth:`degree`
+        counts) directly into a single sorted list -- typed steps read
+        one contiguous slice per requested type, untyped steps read the
+        whole flat array.  Self-loops (present in both directions) and
+        repeated type names are emitted once.
         """
         ids: list[int] = []
+        in_range = 0 <= node_id < len(self._adj_out)
         if types is None:
+            if outgoing and in_range:
+                half = self._adj_out[node_id]
+                if half is not None:
+                    ids.extend(half.rels)
+            if incoming and in_range:
+                half = self._adj_in[node_id]
+                if half is not None:
+                    ids.extend(half.rels)
+        elif in_range:
+            type_ids = self._type_ids(types)
             if outgoing:
-                ids.extend(self._out.get(node_id, ()))
+                half = self._adj_out[node_id]
+                if half is not None:
+                    for type_id in type_ids:
+                        half.extend_type(type_id, ids)
             if incoming:
-                ids.extend(self._in.get(node_id, ()))
-        else:
-            if outgoing:
-                buckets = self._out_by_type.get(node_id, {})
-                for rel_type in types:
-                    ids.extend(buckets.get(rel_type, ()))
-            if incoming:
-                buckets = self._in_by_type.get(node_id, {})
-                for rel_type in types:
-                    ids.extend(buckets.get(rel_type, ()))
+                half = self._adj_in[node_id]
+                if half is not None:
+                    for type_id in type_ids:
+                        half.extend_type(type_id, ids)
         ids.sort()
         deduped: list[int] = []
         previous = None
@@ -509,25 +776,31 @@ class GraphStore:
         for entry in self._journal[mark:]:
             op = entry[0]
             if op == "node_created":
-                record = self._nodes[entry[1]]
+                node_id = entry[1]
+                properties = self._node_props[node_id]
                 ops.append(
                     (
                         "create_node",
-                        entry[1],
-                        sorted(record.labels),
-                        dict(record.properties),
+                        node_id,
+                        sorted(
+                            self._labelset_strings[
+                                self._node_labelsets[node_id]
+                            ]
+                        ),
+                        dict(properties) if properties else {},
                     )
                 )
             elif op == "rel_created":
-                record = self._rels[entry[1]]
+                rel_id = entry[1]
+                properties = self._rel_props[rel_id]
                 ops.append(
                     (
                         "create_rel",
-                        entry[1],
-                        record.type,
-                        record.source,
-                        record.target,
-                        dict(record.properties),
+                        rel_id,
+                        self._strings.text(self._rel_types[rel_id]),
+                        self._rel_source[rel_id],
+                        self._rel_target[rel_id],
+                        dict(properties) if properties else {},
                     )
                 )
             elif op == "node_deleted":
@@ -539,23 +812,27 @@ class GraphStore:
             elif op == "label_removed":
                 ops.append(("remove_label", entry[1], entry[2]))
             elif op == "node_prop":
-                record = self._nodes[entry[1]]
+                properties = self._node_props[entry[1]]
                 ops.append(
                     (
                         "set_node_prop",
                         entry[1],
                         entry[2],
-                        record.properties.get(entry[2]),
+                        None
+                        if properties is None
+                        else properties.get(entry[2]),
                     )
                 )
             elif op == "rel_prop":
-                record = self._rels[entry[1]]
+                properties = self._rel_props[entry[1]]
                 ops.append(
                     (
                         "set_rel_prop",
                         entry[1],
                         entry[2],
-                        record.properties.get(entry[2]),
+                        None
+                        if properties is None
+                        else properties.get(entry[2]),
                     )
                 )
             else:  # pragma: no cover - defensive
@@ -575,79 +852,104 @@ class GraphStore:
         kind = op[0]
         if kind == "create_node":
             __, node_id, labels, properties = op
-            record = _NodeRecord(
-                labels=set(labels), properties=dict(properties)
+            self._ensure_node_capacity(node_id + 1)
+            self._node_labelsets[node_id] = self._labelset_id(
+                self._mask_of(labels)
             )
-            self._nodes[node_id] = record
+            self._node_props[node_id] = self._canon_properties(
+                dict(properties)
+            )
+            self._node_deleted[node_id] = 0
             self._live_nodes += 1
-            self._out.setdefault(node_id, set())
-            self._in.setdefault(node_id, set())
-            self._label_index.add(node_id, record.labels)
+            self._label_index.add(node_id, labels)
             self._reindex_node(node_id)
             self._next_node_id = max(self._next_node_id, node_id + 1)
         elif kind == "create_rel":
             __, rel_id, rel_type, source, target, properties = op
-            record = _RelRecord(
-                type=rel_type,
-                source=source,
-                target=target,
-                properties=dict(properties),
+            self._ensure_rel_capacity(rel_id + 1)
+            self._ensure_node_capacity(max(source, target) + 1)
+            type_id = self._strings.intern(rel_type)
+            self._rel_types[rel_id] = type_id
+            self._rel_source[rel_id] = source
+            self._rel_target[rel_id] = target
+            self._rel_props[rel_id] = self._canon_properties(
+                dict(properties)
             )
-            self._rels[rel_id] = record
+            self._rel_deleted[rel_id] = 0
             self._live_rels += 1
-            self._out.setdefault(source, set()).add(rel_id)
-            self._in.setdefault(target, set()).add(rel_id)
-            self._adjacency_add(rel_id, rel_type, source, target)
+            self._adjacency_add(rel_id, type_id, source, target)
             self._next_rel_id = max(self._next_rel_id, rel_id + 1)
         elif kind == "delete_node":
-            record = self._nodes[op[1]]
-            if not record.deleted:
-                record.deleted = True
+            node_id = op[1]
+            self._require_node(node_id)
+            if not self._node_deleted[node_id]:
+                self._node_deleted[node_id] = 1
                 self._live_nodes -= 1
-                self._label_index.remove(op[1], record.labels)
-                self._deindex_node(op[1])
+                self._label_index.remove(
+                    node_id,
+                    self._labelset_strings[self._node_labelsets[node_id]],
+                )
+                self._deindex_node(node_id)
         elif kind == "delete_rel":
-            record = self._rels[op[1]]
-            if not record.deleted:
-                record.deleted = True
+            rel_id = op[1]
+            type_id = self._require_rel(rel_id)
+            if not self._rel_deleted[rel_id]:
+                self._rel_deleted[rel_id] = 1
                 self._live_rels -= 1
-                self._out.get(record.source, set()).discard(op[1])
-                self._in.get(record.target, set()).discard(op[1])
                 self._adjacency_discard(
-                    op[1], record.type, record.source, record.target
+                    rel_id,
+                    type_id,
+                    self._rel_source[rel_id],
+                    self._rel_target[rel_id],
                 )
         elif kind == "add_label":
             __, node_id, label = op
-            record = self._nodes[node_id]
-            if label not in record.labels:
-                record.labels.add(label)
-                if not record.deleted:
+            labelset = self._require_node(node_id)
+            mask = self._labelset_masks[labelset]
+            bit = 1 << self._strings.intern(label)
+            if not mask & bit:
+                self._node_labelsets[node_id] = self._labelset_id(
+                    mask | bit
+                )
+                if not self._node_deleted[node_id]:
                     self._label_index.add(node_id, (label,))
                     self._reindex_node(node_id)
         elif kind == "remove_label":
             __, node_id, label = op
-            record = self._nodes[node_id]
-            if label in record.labels:
-                record.labels.discard(label)
-                if not record.deleted:
+            labelset = self._require_node(node_id)
+            mask = self._labelset_masks[labelset]
+            bit = 1 << self._strings.intern(label)
+            if mask & bit:
+                self._node_labelsets[node_id] = self._labelset_id(
+                    mask & ~bit
+                )
+                if not self._node_deleted[node_id]:
                     self._label_index.remove(node_id, (label,))
                     self._reindex_node(node_id)
         elif kind == "set_node_prop":
             __, node_id, key, value = op
-            record = self._nodes[node_id]
+            self._require_node(node_id)
+            properties = self._node_props[node_id]
             if value is None:
-                record.properties.pop(key, None)
+                if properties is not None:
+                    properties.pop(key, None)
             else:
-                record.properties[key] = value
-            if not record.deleted:
+                if properties is None:
+                    properties = self._node_props[node_id] = {}
+                properties[self._strings.canon(key)] = value
+            if not self._node_deleted[node_id]:
                 self._reindex_node(node_id, only_key=key)
         elif kind == "set_rel_prop":
             __, rel_id, key, value = op
-            record = self._rels[rel_id]
+            self._require_rel(rel_id)
+            properties = self._rel_props[rel_id]
             if value is None:
-                record.properties.pop(key, None)
+                if properties is not None:
+                    properties.pop(key, None)
             else:
-                record.properties[key] = value
+                if properties is None:
+                    properties = self._rel_props[rel_id] = {}
+                properties[self._strings.canon(key)] = value
         elif kind == "create_index":
             self.create_index(op[1], op[2])
         elif kind == "drop_index":
@@ -668,65 +970,83 @@ class GraphStore:
         op = entry[0]
         if op == "node_created":
             node_id = entry[1]
-            record = self._nodes.pop(node_id)
             self._live_nodes -= 1
-            self._label_index.remove(node_id, record.labels)
+            self._label_index.remove(
+                node_id,
+                self._labelset_strings[self._node_labelsets[node_id]],
+            )
             self._deindex_node(node_id)
-            self._out.pop(node_id, None)
-            self._in.pop(node_id, None)
+            self._node_labelsets[node_id] = _HOLE
+            self._node_props[node_id] = None
+            self._node_deleted[node_id] = 0
+            self._adj_out[node_id] = None
+            self._adj_in[node_id] = None
         elif op == "rel_created":
             rel_id = entry[1]
-            record = self._rels.pop(rel_id)
             self._live_rels -= 1
-            self._out.get(record.source, set()).discard(rel_id)
-            self._in.get(record.target, set()).discard(rel_id)
             self._adjacency_discard(
-                rel_id, record.type, record.source, record.target
+                rel_id,
+                self._rel_types[rel_id],
+                self._rel_source[rel_id],
+                self._rel_target[rel_id],
             )
+            self._rel_types[rel_id] = _HOLE
+            self._rel_props[rel_id] = None
+            self._rel_deleted[rel_id] = 0
         elif op == "node_deleted":
             node_id = entry[1]
-            record = self._nodes[node_id]
-            record.deleted = False
+            self._node_deleted[node_id] = 0
             self._live_nodes += 1
-            self._label_index.add(node_id, record.labels)
+            self._label_index.add(
+                node_id,
+                self._labelset_strings[self._node_labelsets[node_id]],
+            )
             self._reindex_node(node_id)
         elif op == "rel_deleted":
             rel_id = entry[1]
-            record = self._rels[rel_id]
-            record.deleted = False
+            self._rel_deleted[rel_id] = 0
             self._live_rels += 1
-            self._out.setdefault(record.source, set()).add(rel_id)
-            self._in.setdefault(record.target, set()).add(rel_id)
             self._adjacency_add(
-                rel_id, record.type, record.source, record.target
+                rel_id,
+                self._rel_types[rel_id],
+                self._rel_source[rel_id],
+                self._rel_target[rel_id],
             )
         elif op == "label_added":
             node_id, label = entry[1], entry[2]
-            record = self._nodes[node_id]
-            record.labels.discard(label)
+            mask = self._labelset_masks[self._node_labelsets[node_id]]
+            bit = 1 << self._strings.intern(label)
+            self._node_labelsets[node_id] = self._labelset_id(mask & ~bit)
             self._label_index.remove(node_id, (label,))
             self._reindex_node(node_id)
         elif op == "label_removed":
             node_id, label = entry[1], entry[2]
-            record = self._nodes[node_id]
-            record.labels.add(label)
+            mask = self._labelset_masks[self._node_labelsets[node_id]]
+            bit = 1 << self._strings.intern(label)
+            self._node_labelsets[node_id] = self._labelset_id(mask | bit)
             self._label_index.add(node_id, (label,))
             self._reindex_node(node_id)
         elif op == "node_prop":
             node_id, key, old = entry[1], entry[2], entry[3]
-            record = self._nodes[node_id]
+            properties = self._node_props[node_id]
             if old is _MISSING:
-                record.properties.pop(key, None)
+                if properties is not None:
+                    properties.pop(key, None)
             else:
-                record.properties[key] = old
+                if properties is None:
+                    properties = self._node_props[node_id] = {}
+                properties[self._strings.canon(key)] = old
             self._reindex_node(node_id, only_key=key)
         elif op == "rel_prop":
             rel_id, key, old = entry[1], entry[2], entry[3]
-            record = self._rels[rel_id]
+            properties = self._rel_props[rel_id]
             if old is _MISSING:
-                record.properties.pop(key, None)
+                if properties is not None:
+                    properties.pop(key, None)
             else:
-                record.properties[key] = old
+                if properties is None:
+                    properties = self._rel_props[rel_id] = {}
+                properties[self._strings.canon(key)] = old
         else:  # pragma: no cover - defensive
             raise AssertionError(f"unknown journal op {op!r}")
 
@@ -740,18 +1060,18 @@ class GraphStore:
         properties: dict[str, Any] | None = None,
     ) -> int:
         """Create a node; returns its id."""
-        properties = dict(properties or {})
-        for key, value in properties.items():
-            require_storable(value, key)
+        labels = tuple(labels)
         mark = self.mark()
         node_id = self._next_node_id
         self._next_node_id += 1
-        record = _NodeRecord(labels=set(labels), properties=properties)
-        self._nodes[node_id] = record
+        self._ensure_node_capacity(node_id + 1)
+        self._node_labelsets[node_id] = self._labelset_id(
+            self._mask_of(labels)
+        )
+        self._node_props[node_id] = self._canon_properties(properties)
+        self._node_deleted[node_id] = 0
         self._live_nodes += 1
-        self._out[node_id] = set()
-        self._in[node_id] = set()
-        self._label_index.add(node_id, record.labels)
+        self._label_index.add(node_id, labels)
         self._record(("node_created", node_id))
         self._reindex_node(node_id)
         self._enforce_unique(node_id, mark)
@@ -779,31 +1099,30 @@ class GraphStore:
                 f"cannot create relationship: target node {target} "
                 f"does not exist or is deleted"
             )
-        properties = dict(properties or {})
-        for key, value in properties.items():
-            require_storable(value, key)
         rel_id = self._next_rel_id
         self._next_rel_id += 1
-        self._rels[rel_id] = _RelRecord(
-            type=rel_type, source=source, target=target, properties=properties
-        )
+        self._ensure_rel_capacity(rel_id + 1)
+        type_id = self._strings.intern(rel_type)
+        self._rel_types[rel_id] = type_id
+        self._rel_source[rel_id] = source
+        self._rel_target[rel_id] = target
+        self._rel_props[rel_id] = self._canon_properties(properties)
+        self._rel_deleted[rel_id] = 0
         self._live_rels += 1
-        self._out[source].add(rel_id)
-        self._in[target].add(rel_id)
-        self._adjacency_add(rel_id, rel_type, source, target)
+        self._adjacency_add(rel_id, type_id, source, target)
         self._record(("rel_created", rel_id))
         return rel_id
 
     def delete_relationship(self, rel_id: int) -> None:
         """Delete a relationship (idempotent on tombstones)."""
-        record = self._rel_record(rel_id)
-        if record.deleted:
+        type_id = self._require_rel(rel_id)
+        if self._rel_deleted[rel_id]:
             return
-        record.deleted = True
+        self._rel_deleted[rel_id] = 1
         self._live_rels -= 1
-        self._out.get(record.source, set()).discard(rel_id)
-        self._in.get(record.target, set()).discard(rel_id)
-        self._adjacency_discard(rel_id, record.type, record.source, record.target)
+        self._adjacency_discard(
+            rel_id, type_id, self._rel_source[rel_id], self._rel_target[rel_id]
+        )
         self._record(("rel_deleted", rel_id))
 
     def delete_node(self, node_id: int, *, allow_dangling: bool = False) -> None:
@@ -816,27 +1135,28 @@ class GraphStore:
         even though relationships still point at it, producing exactly
         the illegal intermediate state described in Section 4.2.
         """
-        record = self._node_record(node_id)
-        if record.deleted:
+        labelset = self._require_node(node_id)
+        if self._node_deleted[node_id]:
             return
-        attached = self.out_relationships(node_id) | self.in_relationships(
-            node_id
-        )
-        if attached and not allow_dangling:
-            raise DanglingRelationshipError(node_id, sorted(attached))
-        record.deleted = True
+        if not allow_dangling:
+            attached = self.adjacent_rel_ids(node_id)
+            if attached:
+                raise DanglingRelationshipError(node_id, attached)
+        self._node_deleted[node_id] = 1
         self._live_nodes -= 1
-        self._label_index.remove(node_id, record.labels)
+        self._label_index.remove(node_id, self._labelset_strings[labelset])
         self._deindex_node(node_id)
         self._record(("node_deleted", node_id))
 
     def add_label(self, node_id: int, label: str) -> None:
         """Add a label to a live node (no-op if already present)."""
-        record = self._require_live_node(node_id)
-        if label in record.labels:
+        labelset = self._require_live_node(node_id)
+        mask = self._labelset_masks[labelset]
+        bit = 1 << self._strings.intern(label)
+        if mask & bit:
             return
         mark = self.mark()
-        record.labels.add(label)
+        self._node_labelsets[node_id] = self._labelset_id(mask | bit)
         self._label_index.add(node_id, (label,))
         self._record(("label_added", node_id, label))
         self._reindex_node(node_id)
@@ -844,25 +1164,30 @@ class GraphStore:
 
     def remove_label(self, node_id: int, label: str) -> None:
         """Remove a label from a live node (no-op if absent)."""
-        record = self._require_live_node(node_id)
-        if label not in record.labels:
+        labelset = self._require_live_node(node_id)
+        mask = self._labelset_masks[labelset]
+        bit = 1 << self._strings.intern(label)
+        if not mask & bit:
             return
-        record.labels.discard(label)
+        self._node_labelsets[node_id] = self._labelset_id(mask & ~bit)
         self._label_index.remove(node_id, (label,))
         self._reindex_node(node_id)
         self._record(("label_removed", node_id, label))
 
     def set_node_property(self, node_id: int, key: str, value: Any) -> None:
         """Set (or, with value=None, remove) a node property."""
-        record = self._require_live_node(node_id)
-        old = record.properties.get(key, _MISSING)
+        self._require_live_node(node_id)
+        properties = self._node_props[node_id]
+        old = _MISSING if properties is None else properties.get(key, _MISSING)
         if value is None:
             if old is _MISSING:
                 return
-            del record.properties[key]
+            del properties[key]
         else:
             require_storable(value, key)
-            record.properties[key] = value
+            if properties is None:
+                properties = self._node_props[node_id] = {}
+            properties[self._strings.canon(key)] = value
         mark = len(self._journal)
         self._record(("node_prop", node_id, key, old))
         self._reindex_node(node_id, only_key=key)
@@ -870,28 +1195,252 @@ class GraphStore:
 
     def set_rel_property(self, rel_id: int, key: str, value: Any) -> None:
         """Set (or, with value=None, remove) a relationship property."""
-        record = self._rel_record(rel_id)
-        if record.deleted:
+        self._require_rel(rel_id)
+        if self._rel_deleted[rel_id]:
             raise DeletedEntityError(
                 f"cannot set property on deleted relationship {rel_id}"
             )
-        old = record.properties.get(key, _MISSING)
+        properties = self._rel_props[rel_id]
+        old = _MISSING if properties is None else properties.get(key, _MISSING)
         if value is None:
             if old is _MISSING:
                 return
-            del record.properties[key]
+            del properties[key]
         else:
             require_storable(value, key)
-            record.properties[key] = value
+            if properties is None:
+                properties = self._rel_props[rel_id] = {}
+            properties[self._strings.canon(key)] = value
         self._record(("rel_prop", rel_id, key, old))
 
-    def _require_live_node(self, node_id: int) -> _NodeRecord:
-        record = self._node_record(node_id)
-        if record.deleted:
+    def _require_live_node(self, node_id: int) -> int:
+        labelset = self._require_node(node_id)
+        if self._node_deleted[node_id]:
             raise DeletedEntityError(
                 f"cannot modify deleted node {node_id}"
             )
-        return record
+        return labelset
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+
+    def bulk_load(
+        self,
+        nodes: Iterable[tuple[int, Iterable[str], dict[str, Any] | None]],
+        relationships: Iterable[
+            tuple[int, str, int, int, dict[str, Any] | None]
+        ],
+    ) -> tuple[int, int]:
+        """Append entities directly into the columnar layout.
+
+        The offline ingest path (``python -m repro.bulkload``): no
+        journal entries, no commit hooks, no per-statement overhead --
+        just column appends plus label-index and adjacency maintenance.
+        *nodes* yields ``(id, labels, properties)``; *relationships*
+        yields ``(id, type, source, target, properties)``.  Ids must be
+        non-negative and unique (ascending ids append in O(1); out of
+        order ids are handled but cost capacity back-fills).  Values
+        are validated with :func:`~repro.graph.values.require_storable`
+        and property keys are interned exactly like the journaled path,
+        so a bulk-loaded store is byte-identical (via
+        ``canonical_graph_json``) to one built statement by statement.
+
+        The store must be empty; property indexes and constraints are
+        created afterwards (:meth:`create_index` backfills in one
+        pass).  Returns ``(node_count, relationship_count)``.
+        """
+        from repro.errors import LoadError
+
+        if (
+            self.has_records()
+            or self._journal
+            or self._property_indexes
+            or self._unique_constraints
+        ):
+            raise PersistenceError("bulk_load requires an empty store")
+
+        labelsets = self._node_labelsets
+        props_column = self._node_props
+        node_deleted = self._node_deleted
+        adj_out = self._adj_out
+        adj_in = self._adj_in
+        labelset_id = self._labelset_id
+        mask_of = self._mask_of
+        canon = self._strings.canon
+        #: label tuple -> (labelset id, node-id collector); the label
+        #: index is flushed from the collectors in one batched pass
+        seen_labels: dict[tuple[str, ...], tuple[int, list[int]]] = {}
+
+        #: id(source dict) -> (pinned source, pooled template).  The
+        #: CSV readers share one parsed dict across rows with identical
+        #: property cells; pooling such a dict once and C-copying the
+        #: template afterwards skips the per-key canon walk.  Pinning
+        #: the source in the value keeps its id from being reused.
+        def make_pooled_props():
+            templates: dict[int, tuple[dict, dict]] = {}
+
+            def pooled_props(properties: dict[str, Any]) -> dict[str, Any]:
+                entry = templates.get(id(properties))
+                if entry is not None:
+                    return dict(entry[1])
+                # Inline _canon_properties with a no-validation fast
+                # path for exact scalar types (JSON/CSV values are
+                # almost always str/int/float/bool; lists and oddities
+                # take the slow path).
+                copied: dict[str, Any] = {}
+                for key, value in properties.items():
+                    kind = type(value)
+                    if (
+                        kind is not str
+                        and kind is not int
+                        and kind is not float
+                        and kind is not bool
+                    ):
+                        require_storable(value, key)
+                    copied[canon(key)] = value
+                if len(templates) < 8192:
+                    templates[id(properties)] = (properties, dict(copied))
+                return copied
+
+            return pooled_props
+
+        pooled_props = make_pooled_props()
+        loaded_nodes = 0
+        for node_id, labels, properties in nodes:
+            label_key = tuple(labels)
+            cached = seen_labels.get(label_key)
+            if cached is None:
+                cached = (labelset_id(mask_of(label_key)), [])
+                seen_labels[label_key] = cached
+            if node_id == len(labelsets):
+                # Dense ascending ids: straight column appends.
+                labelsets.append(cached[0])
+                props_column.append(
+                    pooled_props(properties) if properties else None
+                )
+                node_deleted.append(0)
+                adj_out.append(None)
+                adj_in.append(None)
+            else:
+                if node_id < 0:
+                    raise LoadError(f"negative node id {node_id}")
+                if node_id >= len(labelsets):
+                    self._ensure_node_capacity(node_id + 1)
+                elif labelsets[node_id] != _HOLE:
+                    raise LoadError(f"duplicate node id {node_id}")
+                labelsets[node_id] = cached[0]
+                if properties:
+                    props_column[node_id] = pooled_props(properties)
+            cached[1].append(node_id)
+            loaded_nodes += 1
+        label_index_add_many = self._label_index.add_many
+        for label_key, (__, collected) in seen_labels.items():
+            if label_key:
+                label_index_add_many(collected, label_key)
+        self._live_nodes += loaded_nodes
+        self._next_node_id = max(self._next_node_id, len(labelsets))
+
+        types_column = self._rel_types
+        source_column = self._rel_source
+        target_column = self._rel_target
+        rel_props_column = self._rel_props
+        rel_deleted = self._rel_deleted
+        intern = self._strings.intern
+        node_len = len(labelsets)
+        #: type string -> pool id (skip the intern dict on repeats)
+        seen_types: dict[str, int] = {}
+        # Fresh template cache: node property dicts are usually unique
+        # per row and must not crowd out the (repetitive) rel payloads.
+        pooled_props = make_pooled_props()
+        loaded_rels = 0
+        for rel_id, rel_type, source, target, properties in relationships:
+            if (
+                not 0 <= source < node_len
+                or labelsets[source] == _HOLE
+                or node_deleted[source]
+            ):
+                raise LoadError(
+                    f"relationship {rel_id} references unknown "
+                    f"source node {source}"
+                )
+            if (
+                not 0 <= target < node_len
+                or labelsets[target] == _HOLE
+                or node_deleted[target]
+            ):
+                raise LoadError(
+                    f"relationship {rel_id} references unknown "
+                    f"target node {target}"
+                )
+            type_id = seen_types.get(rel_type)
+            if type_id is None:
+                if not rel_type:
+                    raise LoadError(f"relationship {rel_id} has no type")
+                type_id = seen_types[rel_type] = intern(rel_type)
+            if rel_id == len(types_column):
+                types_column.append(type_id)
+                source_column.append(source)
+                target_column.append(target)
+                rel_props_column.append(
+                    pooled_props(properties) if properties else None
+                )
+                rel_deleted.append(0)
+            else:
+                if rel_id < 0:
+                    raise LoadError(f"negative relationship id {rel_id}")
+                if rel_id >= len(types_column):
+                    self._ensure_rel_capacity(rel_id + 1)
+                elif types_column[rel_id] != _HOLE:
+                    raise LoadError(f"duplicate relationship id {rel_id}")
+                types_column[rel_id] = type_id
+                source_column[rel_id] = source
+                target_column[rel_id] = target
+                if properties:
+                    rel_props_column[rel_id] = pooled_props(properties)
+            # Adjacency, with _AdjacencyHalf.add's tail fast path
+            # inlined (ids are unique here, so no duplicate check):
+            # method-call overhead is measurable at millions of rels.
+            half = adj_out[source]
+            if half is None:
+                half = adj_out[source] = _AdjacencyHalf()
+                half.types.append(type_id)
+                half.offsets.append(1)
+                half.rels.append(rel_id)
+            else:
+                half_rels = half.rels
+                half_types = half.types
+                if half_types[-1] == type_id and half_rels[-1] < rel_id:
+                    half_rels.append(rel_id)
+                    half.offsets[-1] += 1
+                elif type_id not in half_types:
+                    half_types.append(type_id)
+                    half_rels.append(rel_id)
+                    half.offsets.append(len(half_rels))
+                else:
+                    half.add(type_id, rel_id)
+            half = adj_in[target]
+            if half is None:
+                half = adj_in[target] = _AdjacencyHalf()
+                half.types.append(type_id)
+                half.offsets.append(1)
+                half.rels.append(rel_id)
+            else:
+                half_rels = half.rels
+                half_types = half.types
+                if half_types[-1] == type_id and half_rels[-1] < rel_id:
+                    half_rels.append(rel_id)
+                    half.offsets[-1] += 1
+                elif type_id not in half_types:
+                    half_types.append(type_id)
+                    half_rels.append(rel_id)
+                    half.offsets.append(len(half_rels))
+                else:
+                    half.add(type_id, rel_id)
+            loaded_rels += 1
+        self._live_rels += loaded_rels
+        self._next_rel_id = max(self._next_rel_id, len(types_column))
+        return loaded_nodes, loaded_rels
 
     # ------------------------------------------------------------------
     # Property indexes
@@ -904,10 +1453,35 @@ class GraphStore:
             return index
         index = PropertyIndex(label, key)
         index.counters = self.counters
+        props_column = self._node_props
+        # Backfill with PropertyIndex.add inlined: the index is fresh,
+        # so no discard of stale entries is needed, and the exact-type
+        # grouping keys for str/int are built without the generic
+        # dispatch -- the backfill is a hot path for the bulk loader.
+        by_value = index._by_value
+        value_of = index._value_of
         for node_id in self._label_index.nodes_with_label(label):
-            value = self._nodes[node_id].properties.get(key)
-            if value is not None:
-                index.add(node_id, value)
+            properties = props_column[node_id]
+            if properties is None:
+                continue
+            value = properties.get(key)
+            if value is None:
+                continue
+            kind = type(value)
+            if kind is str:
+                bucket_key = ("str", value)
+            elif kind is int:
+                bucket_key = ("num", value)
+            elif is_storable(value):
+                bucket_key = grouping_key(value)
+            else:
+                continue
+            bucket = by_value.get(bucket_key)
+            if bucket is None:
+                by_value[bucket_key] = {node_id}
+            else:
+                bucket.add(node_id)
+            value_of[node_id] = bucket_key
         self._property_indexes[(label, key)] = index
         self._log_schema(("create_index", label, key))
         return index
@@ -922,15 +1496,25 @@ class GraphStore:
         return self._property_indexes.get((label, key))
 
     def _reindex_node(self, node_id: int, only_key: str | None = None) -> None:
-        record = self._nodes.get(node_id)
-        if record is None or record.deleted:
+        if not self._property_indexes:
+            return
+        if not self._node_exists(node_id) or self._node_deleted[node_id]:
             self._deindex_node(node_id)
             return
+        mask = self._labelset_masks[self._node_labelsets[node_id]]
+        properties = self._node_props[node_id]
+        id_of = self._strings.id_of
         for (label, key), index in self._property_indexes.items():
             if only_key is not None and key != only_key:
                 continue
-            if label in record.labels and key in record.properties:
-                index.add(node_id, record.properties[key])
+            label_id = id_of(label)
+            if (
+                label_id is not None
+                and mask >> label_id & 1
+                and properties is not None
+                and key in properties
+            ):
+                index.add(node_id, properties[key])
             else:
                 index.discard(node_id)
 
@@ -977,13 +1561,20 @@ class GraphStore:
     def _enforce_unique(
         self, node_id: int, mark: int, only_key: str | None = None
     ) -> None:
-        record = self._nodes.get(node_id)
-        if record is None or record.deleted or not self._unique_constraints:
+        if not self._unique_constraints:
             return
+        if not self._node_exists(node_id) or self._node_deleted[node_id]:
+            return
+        mask = self._labelset_masks[self._node_labelsets[node_id]]
+        properties = self._node_props[node_id]
+        id_of = self._strings.id_of
         for label, key in self._unique_constraints:
             if only_key is not None and key != only_key:
                 continue
-            if label not in record.labels or key not in record.properties:
+            label_id = id_of(label)
+            if label_id is None or not mask >> label_id & 1:
+                continue
+            if properties is None or key not in properties:
                 continue
             index = self._property_indexes[(label, key)]
             bucket = index.bucket_of(node_id)
@@ -1007,37 +1598,47 @@ class GraphStore:
         :meth:`GraphSnapshot.has_dangling` can observe the illegal
         state; pass ``include_dangling=False`` to project them away.
         """
+        labelsets = self._node_labelsets
+        node_deleted = self._node_deleted
         nodes = frozenset(
             node_id
-            for node_id, record in self._nodes.items()
-            if not record.deleted
+            for node_id in range(len(labelsets))
+            if labelsets[node_id] != _HOLE and not node_deleted[node_id]
         )
+        types = self._rel_types
+        rel_deleted = self._rel_deleted
+        source = self._rel_source
+        target = self._rel_target
         rel_ids = [
             rel_id
-            for rel_id, record in self._rels.items()
-            if not record.deleted
+            for rel_id in range(len(types))
+            if types[rel_id] != _HOLE and not rel_deleted[rel_id]
         ]
         if not include_dangling:
             rel_ids = [
                 rel_id
                 for rel_id in rel_ids
-                if self._rels[rel_id].source in nodes
-                and self._rels[rel_id].target in nodes
+                if source[rel_id] in nodes and target[rel_id] in nodes
             ]
+        text = self._strings.text
+        props_column = self._node_props
+        rel_props_column = self._rel_props
         return GraphSnapshot(
             nodes=nodes,
             relationships=frozenset(rel_ids),
-            source={r: self._rels[r].source for r in rel_ids},
-            target={r: self._rels[r].target for r in rel_ids},
+            source={r: source[r] for r in rel_ids},
+            target={r: target[r] for r in rel_ids},
             labels={
-                n: frozenset(self._nodes[n].labels) for n in nodes
+                n: self._labelset_strings[labelsets[n]] for n in nodes
             },
-            types={r: self._rels[r].type for r in rel_ids},
+            types={r: text(types[r]) for r in rel_ids},
             node_properties={
-                n: dict(self._nodes[n].properties) for n in nodes
+                n: dict(props_column[n]) if props_column[n] else {}
+                for n in nodes
             },
             rel_properties={
-                r: dict(self._rels[r].properties) for r in rel_ids
+                r: dict(rel_props_column[r]) if rel_props_column[r] else {}
+                for r in rel_ids
             },
         )
 

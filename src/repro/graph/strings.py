@@ -1,0 +1,101 @@
+"""String interning for the columnar graph store.
+
+Labels, relationship types and property keys come from tiny
+vocabularies (a handful of distinct strings describe millions of
+entities), yet the dict-of-objects layout stored a fresh reference --
+and often a fresh ``str`` -- per entity.  :class:`StringPool` interns
+each distinct string once and hands out a small, stable integer id:
+
+* node label sets become bitmasks over pool ids (dictionary-encoded in
+  :class:`~repro.graph.store.GraphStore`, so a million ``:User`` nodes
+  share one ``frozenset`` and one mask ``int``);
+* relationship types become one 4-byte entry in a type column;
+* property-map keys are canonicalised through :meth:`canon`, so every
+  ``{"id": ...}`` map points at the same key object instead of carrying
+  its own copy.
+
+Ids are allocated densely in first-intern order and are never freed:
+a journal rollback that removes the last ``:Ghost`` node keeps the
+pool entry, which keeps ids stable for the whole store lifetime (the
+match planner and adjacency groups cache them).  The pool is *not*
+persisted -- checkpoints and the WAL carry plain strings -- so a
+recovered store re-interns lazily in replay order; only the mapping
+differs, never the observable graph.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class StringPool:
+    """A bidirectional ``str`` <-> dense ``int`` intern table."""
+
+    __slots__ = ("_ids", "_strings")
+
+    def __init__(self) -> None:
+        self._ids: dict[str, int] = {}
+        self._strings: list[str] = []
+
+    def intern(self, text: str) -> int:
+        """The id of *text*, allocating the next dense id if new."""
+        sid = self._ids.get(text)
+        if sid is None:
+            sid = len(self._strings)
+            self._ids[text] = sid
+            self._strings.append(text)
+        return sid
+
+    def id_of(self, text: str) -> int | None:
+        """The id of *text*, or ``None`` -- never allocates.
+
+        Lookup paths (typed expansions, index maintenance) use this so
+        probing for a type that was never created cannot grow the pool.
+        """
+        return self._ids.get(text)
+
+    def text(self, sid: int) -> str:
+        """The string with id *sid* (which must have been interned)."""
+        return self._strings[sid]
+
+    def canon(self, text: str) -> str:
+        """The pooled (canonical) ``str`` object equal to *text*.
+
+        Property-map keys are routed through this, so homogeneous
+        records share one key object per distinct key instead of one
+        per record.
+        """
+        return self._strings[self.intern(text)]
+
+    def __contains__(self, text: str) -> bool:
+        return text in self._ids
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def __iter__(self) -> Iterator[str]:
+        """All interned strings, in id (first-intern) order."""
+        return iter(self._strings)
+
+    def check(self) -> list[str]:
+        """Internal-consistency problems (empty when healthy).
+
+        The invariant oracle calls this: ids must be dense, and the
+        forward and reverse tables must be exact inverses.
+        """
+        problems: list[str] = []
+        if len(self._ids) != len(self._strings):
+            problems.append(
+                f"string pool maps {len(self._ids)} strings to "
+                f"{len(self._strings)} ids"
+            )
+        for sid, text in enumerate(self._strings):
+            if self._ids.get(text) != sid:
+                problems.append(
+                    f"string pool id {sid} holds {text!r} but the "
+                    f"reverse map says {self._ids.get(text)!r}"
+                )
+        return problems
+
+    def __repr__(self) -> str:
+        return f"StringPool({len(self._strings)} strings)"

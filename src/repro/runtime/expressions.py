@@ -332,7 +332,26 @@ def op_power(left: Any, right: Any) -> Any:
     if left is None or right is None:
         return None
     _require_numbers("^", left, right)
-    return float(left) ** float(right)
+    base = float(left)
+    exponent = float(right)
+    try:
+        result = base ** exponent
+    except OverflowError:
+        # IEEE-754 pow saturates to infinity (Java Math.pow, which
+        # Cypher's ^ follows); CPython raises instead.  The result is
+        # negative only for a negative base raised to an odd integer.
+        negative = (
+            base < 0
+            and exponent == exponent  # not NaN
+            and abs(exponent) != float("inf")
+            and exponent == int(exponent)
+            and int(exponent) % 2 == 1
+        )
+        return float("-inf") if negative else float("inf")
+    if isinstance(result, complex):
+        # Negative base with a fractional exponent: IEEE pow says NaN.
+        return float("nan")
+    return result
 
 
 #: Non-boolean binary operator implementations, shared by interpreter

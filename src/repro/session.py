@@ -115,9 +115,7 @@ class Graph:
 
             self.persistence = PersistenceManager(path, fsync=fsync)
             had_data = bool(
-                self.store._nodes
-                or self.store._rels
-                or self.store._property_indexes
+                self.store.has_records() or self.store._property_indexes
             )
             if had_data and (
                 self.persistence.wal_path.exists()

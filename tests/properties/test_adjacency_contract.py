@@ -1,0 +1,159 @@
+"""The grouped-adjacency arrays vs a naive dict-of-sets model.
+
+The columnar store keeps per-(node, direction) relationship ids in
+flat grouped arrays (``_AdjacencyHalf``); the matcher's candidate
+enumeration (:meth:`GraphStore.adjacent_rel_ids`) promises ascending,
+deduplicated ids for any direction/type filter.  This property test
+drives the store through random interleaved create / delete / undo
+scripts and checks the contract against an obviously-correct model:
+one ``set`` of rel ids per (node, direction), rebuilt-free, with
+snapshots taken at journal marks for undo.
+"""
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.store import GraphStore
+from repro.testing.invariants import check_invariants
+
+TYPES = ("T1", "T2", "T3")
+
+#: op kinds, decoded with two integer operands against current state
+OPS = (
+    "create_node",
+    "create_rel",
+    "create_self_loop",
+    "delete_rel",
+    "delete_node",
+    "mark",
+    "rollback",
+)
+
+scripts = st.lists(
+    st.tuples(
+        st.sampled_from(OPS),
+        st.integers(min_value=0, max_value=11),
+        st.integers(min_value=0, max_value=11),
+    ),
+    max_size=40,
+)
+
+
+class Model:
+    """Naive adjacency bookkeeping: sets only, no ordering tricks."""
+
+    def __init__(self):
+        self.out = {}  # node -> set of rel ids
+        self.inn = {}  # node -> set of rel ids
+        self.rel_type = {}  # rel -> type string
+        self.rel_ends = {}  # rel -> (source, target)
+
+    def add_node(self, node_id):
+        self.out[node_id] = set()
+        self.inn[node_id] = set()
+
+    def add_rel(self, rel_id, rel_type, source, target):
+        self.rel_type[rel_id] = rel_type
+        self.rel_ends[rel_id] = (source, target)
+        self.out[source].add(rel_id)
+        self.inn[target].add(rel_id)
+
+    def remove_rel(self, rel_id):
+        source, target = self.rel_ends.pop(rel_id)
+        del self.rel_type[rel_id]
+        self.out[source].discard(rel_id)
+        self.inn[target].discard(rel_id)
+
+    def remove_node(self, node_id):
+        del self.out[node_id]
+        del self.inn[node_id]
+
+    def expected(self, node_id, outgoing, incoming, types):
+        ids = set()
+        if outgoing:
+            ids |= self.out.get(node_id, set())
+        if incoming:
+            ids |= self.inn.get(node_id, set())
+        if types is not None:
+            ids = {r for r in ids if self.rel_type[r] in types}
+        return sorted(ids)
+
+
+def assert_contract(store, model):
+    """adjacent_rel_ids matches the model for every filter shape."""
+    for node_id in model.out:
+        for outgoing, incoming in (
+            (True, True), (True, False), (False, True)
+        ):
+            for types in (None, ("T1",), ("T2", "T3"), ("T1", "T1")):
+                got = store.adjacent_rel_ids(
+                    node_id,
+                    outgoing=outgoing,
+                    incoming=incoming,
+                    types=types,
+                )
+                want = model.expected(
+                    node_id,
+                    outgoing,
+                    incoming,
+                    None if types is None else set(types),
+                )
+                assert got == want, (
+                    f"node {node_id} outgoing={outgoing} "
+                    f"incoming={incoming} types={types}: "
+                    f"{got} != {want}"
+                )
+        assert store.out_degree(node_id) == len(model.out[node_id])
+        assert store.in_degree(node_id) == len(model.inn[node_id])
+        assert store.degree(node_id) == len(model.out[node_id]) + len(
+            model.inn[node_id]
+        )
+
+
+@settings(max_examples=120, deadline=None)
+@given(scripts)
+def test_adjacency_matches_naive_model(script):
+    store = GraphStore()
+    model = Model()
+    #: (journal mark, deep-copied model) pairs for undo
+    stack = []
+
+    for op, a, b in script:
+        nodes = sorted(model.out)
+        rels = sorted(model.rel_type)
+        if op == "create_node":
+            node_id = store.create_node(("N",) if a % 2 else (), {})
+            model.add_node(node_id)
+        elif op == "create_rel" and nodes:
+            source = nodes[a % len(nodes)]
+            target = nodes[b % len(nodes)]
+            rel_type = TYPES[(a + b) % len(TYPES)]
+            rel_id = store.create_relationship(rel_type, source, target, {})
+            model.add_rel(rel_id, rel_type, source, target)
+        elif op == "create_self_loop" and nodes:
+            node = nodes[a % len(nodes)]
+            rel_type = TYPES[b % len(TYPES)]
+            rel_id = store.create_relationship(rel_type, node, node, {})
+            model.add_rel(rel_id, rel_type, node, node)
+        elif op == "delete_rel" and rels:
+            rel_id = rels[a % len(rels)]
+            store.delete_relationship(rel_id)
+            model.remove_rel(rel_id)
+        elif op == "delete_node" and nodes:
+            node = nodes[a % len(nodes)]
+            if not model.out[node] and not model.inn[node]:
+                store.delete_node(node)
+                model.remove_node(node)
+        elif op == "mark":
+            stack.append((store.mark(), copy.deepcopy(model)))
+        elif op == "rollback" and stack:
+            index = a % len(stack)
+            mark, saved = stack[index]
+            del stack[index:]
+            store.rollback_to(mark)
+            model = saved
+        assert_contract(store, model)
+
+    check_invariants(store)

@@ -71,21 +71,53 @@ def test_dangling_relationship_detected():
 
 def test_adjacency_extra_entry():
     store, (a, __, __), (r1, __) = _small_store()
-    store._out[a].add(999)
+    store._adj_out[a].add(store._strings.intern("T"), 999)
     assert "non-live relationship" in _violation(store)
 
 
 def test_adjacency_missing_entry():
     store, (a, __, __), (r1, __) = _small_store()
-    store._out[a].discard(r1)
+    store._adj_out[a].discard(store._strings.intern("T"), r1)
     message = _violation(store)
     assert "missing" in message
 
 
 def test_typed_adjacency_drift():
     store, (a, __, __), (r1, __) = _small_store()
-    store._out_by_type[a]["T"].discard(r1)
+    # Relabel the group so the flat array still holds r1 (untyped
+    # recount passes) but under the wrong type.
+    store._adj_out[a].types[0] = store._strings.intern("S")
     assert "typed out-adjacency" in _violation(store)
+
+
+def test_adjacency_empty_group_detected():
+    store, (a, __, __), (r1, __) = _small_store()
+    half = store._adj_out[a]
+    # Graft an empty type group by hand: offsets gain a zero-width span.
+    half.types.append(store._strings.intern("S"))
+    half.offsets.append(half.offsets[-1])
+    assert "empty bucket" in _violation(store)
+
+
+def test_adjacency_empty_groups_compacted():
+    store, (__, b, c), (__, r2) = _small_store()
+    # Deleting the last :S relationship must remove its group entirely.
+    store.delete_relationship(r2)
+    for node_id in (b, c):
+        for half in (store._adj_out[node_id], store._adj_in[node_id]):
+            if half is not None:
+                assert store._strings.intern("S") not in set(half.types)
+    check_invariants(store)
+
+
+def test_adjacency_unsorted_segment_detected():
+    store, (a, b, __), __ = _small_store()
+    r3 = store.create_relationship("T", a, b)
+    half = store._adj_out[a]
+    group = list(half.types).index(store._strings.intern("T"))
+    low, high = half.offsets[group], half.offsets[group + 1]
+    half.rels[low], half.rels[high - 1] = half.rels[high - 1], half.rels[low]
+    assert "ascending" in _violation(store)
 
 
 def test_label_index_stale_bucket():
@@ -124,7 +156,7 @@ def test_unique_constraint_violation_detected():
     store.create_unique_constraint("A", "x")
     # Bypass the constraint check by writing the record directly.
     node_id = store.create_node(("A",), {})
-    store._nodes[node_id].properties["x"] = 1
+    store._node_props[node_id] = {"x": 1}
     index = store._property_indexes[("A", "x")]
     index.add(node_id, 1)
     assert "uniqueness constraint" in _violation(store)
@@ -133,7 +165,7 @@ def test_unique_constraint_violation_detected():
 def test_all_problems_reported_together():
     store, (a, __, __), (r1, __) = _small_store()
     store._live_nodes += 1
-    store._out[a].discard(r1)
+    store._adj_out[a].discard(store._strings.intern("T"), r1)
     with pytest.raises(InvariantViolation) as info:
         check_invariants(store)
     assert len(info.value.problems) >= 2

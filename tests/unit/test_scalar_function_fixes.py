@@ -151,3 +151,36 @@ class TestRangeCap:
     def test_empty_range_never_trips_cap(self, ev):
         with list_length_limit(1):
             assert ev("range(10, 1)") == []
+
+
+class TestPowerOverflow:
+    """``^`` follows IEEE-754 pow: saturate to infinity, NaN for
+    negative base with fractional exponent -- CPython's ``float **
+    float`` instead raises OverflowError / returns complex."""
+
+    def test_huge_exponent_saturates_to_inf(self, ev):
+        assert ev("2 ^ 9223372036854775807") == math.inf
+
+    def test_huge_base_saturates_to_inf(self, ev):
+        assert ev("1e308 ^ 2") == math.inf
+
+    def test_negative_base_odd_exponent_saturates_negative(self, ev):
+        assert ev("(-2.0) ^ 9999999999999.0") == -math.inf
+
+    def test_negative_base_even_exponent_saturates_positive(self, ev):
+        assert ev("(-2.0) ^ 10000000000000.0") == math.inf
+
+    def test_negative_base_fractional_exponent_is_nan(self, ev):
+        assert math.isnan(ev("(-2.0) ^ 0.5"))
+
+    def test_tiny_result_underflows_to_zero(self, ev):
+        assert ev("2 ^ (-9223372036854775807)") == 0.0
+
+    def test_normal_powers_unchanged(self, ev):
+        assert ev("2 ^ 10") == 1024.0
+        assert ev("(-2.0) ^ 3") == -8.0
+        assert ev("9 ^ 0.5") == 3.0
+
+    def test_null_propagates(self, ev):
+        assert ev("null ^ 2") is None
+        assert ev("2 ^ null") is None
