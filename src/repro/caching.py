@@ -10,10 +10,16 @@ Keys may be arbitrary objects; an unhashable key (possible because
 lists during aggregate substitution) is treated as a guaranteed miss
 on ``get`` and silently not stored on ``put`` -- callers fall back to
 recomputing, which is always correct.
+
+The cache is thread-safe: the morsel executor (``runtime.parallel``)
+shares the compiler's closure caches across worker threads, and
+``OrderedDict.move_to_end`` is not atomic, so every operation takes a
+re-entrant lock.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Iterator
 
@@ -25,7 +31,7 @@ class LRUCache:
     the stalest entry once ``capacity`` is exceeded.
     """
 
-    __slots__ = ("capacity", "hits", "misses", "evictions", "_data")
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_data", "_lock")
 
     def __init__(self, capacity: int):
         if capacity < 1:
@@ -35,54 +41,62 @@ class LRUCache:
         self.misses = 0
         self.evictions = 0
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.RLock()
 
     def get(self, key: Any, default: Any = None) -> Any:
         """The cached value, or *default*; refreshes recency on a hit."""
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            return default
-        except TypeError:  # unhashable key
-            self.misses += 1
-            return default
-        self.hits += 1
-        self._data.move_to_end(key)
-        return value
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return default
+            except TypeError:  # unhashable key
+                self.misses += 1
+                return default
+            self.hits += 1
+            self._data.move_to_end(key)
+            return value
 
     def put(self, key: Any, value: Any) -> None:
         """Insert (or refresh) an entry, evicting the stalest if full."""
-        try:
-            self._data[key] = value
-        except TypeError:  # unhashable key: not cacheable
-            return
-        self._data.move_to_end(key)
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            try:
+                self._data[key] = value
+            except TypeError:  # unhashable key: not cacheable
+                return
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop all entries (counters are preserved)."""
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def info(self) -> dict[str, int]:
         """Plain-dict counters: hits, misses, evictions, size, capacity."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "size": len(self._data),
-            "capacity": self.capacity,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._data),
+                "capacity": self.capacity,
+            }
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: Any) -> bool:
-        try:
-            return key in self._data
-        except TypeError:
-            return False
+        with self._lock:
+            try:
+                return key in self._data
+            except TypeError:
+                return False
 
     def __iter__(self) -> Iterator:
-        return iter(self._data)
+        with self._lock:
+            return iter(tuple(self._data))

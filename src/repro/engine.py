@@ -214,6 +214,9 @@ class CypherEngine:
         extended_merge: bool = False,
         match_mode: MatchMode | str = MatchMode.TRAIL,
         use_planner: bool = False,
+        workers: int = 1,
+        parallel: str = "thread",
+        use_rewrites: bool | None = None,
     ):
         self.store = store if store is not None else GraphStore()
         self.dialect = Dialect.parse(dialect)
@@ -224,6 +227,23 @@ class CypherEngine:
             else MatchMode(match_mode)
         )
         self.use_planner = use_planner
+        #: Morsel workers for read-only segments (1 = serial executor);
+        #: the effective count is further capped per scope by
+        #: repro.runtime.parallel.worker_limit (the server's per-request
+        #: cap).
+        self.workers = max(1, int(workers))
+        if parallel not in ("thread", "process"):
+            raise ValueError(
+                f"parallel must be 'thread' or 'process', got {parallel!r}"
+            )
+        self.parallel = parallel
+        #: Plan rewrites (predicate pushdown + hoisting).  None -- the
+        #: default -- follows use_planner, so optimised sessions get
+        #: both cost-based planning and rewrites; pass True/False to
+        #: decouple them.
+        self.use_rewrites = (
+            use_planner if use_rewrites is None else use_rewrites
+        )
         self._ast_cache: LRUCache = LRUCache(capacity=1024)
 
     # ------------------------------------------------------------------
@@ -278,13 +298,28 @@ class CypherEngine:
         from repro.runtime.scoping import check_statement
 
         check_statement(statement, frozenset(initial.columns))
+        supplied = dict(parameters or {})
+        executed = statement
+        if self.use_rewrites:
+            from repro.runtime.rewrite import rewrite_statement
+
+            # Rewrites run after scope checking (they assume a valid
+            # statement) and never change semantics -- see the module
+            # docstring for the equivalence argument.
+            executed = rewrite_statement(
+                statement,
+                initial_columns=tuple(initial.columns),
+                parameters=frozenset(supplied),
+            )
         ctx = EvalContext(
             store=self.store,
-            parameters=dict(parameters or {}),
+            parameters=supplied,
             match_mode=self.match_mode,
             use_planner=self.use_planner,
             preserve_match_order=self.dialect is Dialect.CYPHER9,
             profile=query_profile,
+            workers=self.workers,
+            parallel_executor=self.parallel,
         )
         mark = self.store.mark()
         compiler_before: dict[str, int] | None = None
@@ -295,7 +330,7 @@ class CypherEngine:
             compiler_before = compiler_stats.snapshot()
         started = time.perf_counter()
         try:
-            output = self._run_query(ctx, statement.query, initial)
+            output = self._run_query(ctx, executed.query, initial)
             if self.dialect is Dialect.CYPHER9:
                 self._check_commit_time_well_formedness()
         except Exception:

@@ -15,14 +15,18 @@ Weisfeiler-Lehman fingerprint as a fast-path filter.
 
 from __future__ import annotations
 
+import math
 from collections import Counter
-
-import networkx as nx
+from typing import Any
 
 from repro.graph.model import GraphSnapshot
 
+# networkx is imported lazily inside the functions that need it so the
+# signature helpers below stay dependency-free (the core runtime keys
+# driving-table records with value_signature).
 
-def to_networkx(snapshot: GraphSnapshot) -> nx.MultiDiGraph:
+
+def to_networkx(snapshot: GraphSnapshot) -> "nx.MultiDiGraph":
     """Convert a snapshot to a MultiDiGraph with content signatures.
 
     Each node gets a ``sig`` attribute (labels + sorted properties) and
@@ -31,6 +35,8 @@ def to_networkx(snapshot: GraphSnapshot) -> nx.MultiDiGraph:
     Dangling relationships (legacy states) keep their missing endpoint
     as an extra node marked with a ``dangling`` signature.
     """
+    import networkx as nx
+
     graph = nx.MultiDiGraph()
     for node_id in snapshot.nodes:
         graph.add_node(node_id, sig=snapshot.node_signature(node_id))
@@ -51,6 +57,8 @@ def fingerprint(snapshot: GraphSnapshot) -> str:
     fingerprints prove non-isomorphism.  (Equal fingerprints are almost
     always isomorphic but are confirmed with :func:`isomorphic`.)
     """
+    import networkx as nx
+
     multi = to_networkx(snapshot)
     # The WL hash works on simple graphs with string attributes, so
     # bundle parallel edges into one edge labeled with the sorted
@@ -74,6 +82,13 @@ def isomorphic(left: GraphSnapshot, right: GraphSnapshot) -> bool:
         return False
     if signature_counts(left) != signature_counts(right):
         return False
+    try:
+        import networkx as nx
+    except ImportError:
+        # The graphs decided here are small (paper figures, fuzz
+        # cases), so an exact backtracking search suffices where
+        # networkx is not installed (e.g. the CI fuzz smoke job).
+        return _isomorphic_backtracking(left, right)
     matcher = nx.algorithms.isomorphism.MultiDiGraphMatcher(
         to_networkx(left),
         to_networkx(right),
@@ -81,6 +96,84 @@ def isomorphic(left: GraphSnapshot, right: GraphSnapshot) -> bool:
         edge_match=_edge_multiset_match,
     )
     return matcher.is_isomorphic()
+
+
+def _bundled(snapshot: GraphSnapshot):
+    """``(node sigs, edge bundles)``: the categorical matching inputs.
+
+    Mirrors :func:`to_networkx`: dangling endpoints become nodes with a
+    ``("<deleted>",)`` signature, and parallel edges bundle into a
+    multiset of relationship signatures per (source, target) pair.
+    """
+    sigs = {
+        node_id: snapshot.node_signature(node_id)
+        for node_id in snapshot.nodes
+    }
+    bundles: dict[tuple[int, int], Counter] = {}
+    for rel_id in snapshot.relationships:
+        source = snapshot.source[rel_id]
+        target = snapshot.target[rel_id]
+        for endpoint in (source, target):
+            sigs.setdefault(endpoint, ("<deleted>",))
+        bundles.setdefault((source, target), Counter())[
+            snapshot.rel_signature(rel_id)
+        ] += 1
+    return sigs, bundles
+
+
+def _isomorphic_backtracking(
+    left: GraphSnapshot, right: GraphSnapshot
+) -> bool:
+    """Exact sig-preserving bijection search (no dependencies)."""
+    left_sigs, left_bundles = _bundled(left)
+    right_sigs, right_bundles = _bundled(right)
+    if Counter(left_sigs.values()) != Counter(right_sigs.values()):
+        return False
+    candidates = {
+        node: [
+            other for other, sig in right_sigs.items()
+            if sig == left_sigs[node]
+        ]
+        for node in left_sigs
+    }
+    # Most-constrained first keeps the search shallow.
+    order = sorted(candidates, key=lambda node: len(candidates[node]))
+    mapping: dict[int, int] = {}
+    used: set[int] = set()
+
+    def consistent(node: int, image: int) -> bool:
+        for (source, target), bundle in left_bundles.items():
+            if source == node and target in mapping:
+                if right_bundles.get((image, mapping[target])) != bundle:
+                    return False
+            if target == node and source in mapping:
+                if right_bundles.get((mapping[source], image)) != bundle:
+                    return False
+            if source == node and target == node:
+                if right_bundles.get((image, image)) != bundle:
+                    return False
+        return True
+
+    def extend(index: int) -> bool:
+        if index == len(order):
+            return True
+        node = order[index]
+        for image in candidates[node]:
+            if image in used or not consistent(node, image):
+                continue
+            mapping[node] = image
+            used.add(image)
+            if extend(index + 1):
+                return True
+            del mapping[node]
+            used.discard(image)
+        return False
+
+    if not extend(0):
+        return False
+    # The bijection preserves every left bundle; equal edge counts then
+    # force the reverse direction too.
+    return True
 
 
 def _edge_multiset_match(left_edges: dict, right_edges: dict) -> bool:
@@ -151,3 +244,52 @@ def assert_isomorphic(left: GraphSnapshot, right: GraphSnapshot) -> None:
     if only_right_rels:
         lines.append(f"  rel signatures only in right: {dict(only_right_rels)}")
     raise AssertionError("\n".join(lines))
+
+
+def value_signature(value: Any) -> str:
+    """A total, canonical string signature for any runtime value.
+
+    Unlike :func:`~repro.graph.values.grouping_key`, this never raises:
+    every value -- including exotic or unhashable ones -- gets a
+    deterministic signature.  Numbers are normalised the way grouping
+    does (``1`` and ``1.0`` coincide), entities are keyed by id, and
+    containers recurse, so two values with equal grouping keys always
+    share a signature.  Used by ``DrivingTable`` record keying.
+    """
+    from repro.graph.model import Node, Path, Relationship
+
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        if isinstance(value, float):
+            if math.isnan(value):
+                return "num:nan"
+            if math.isinf(value):
+                return "num:inf" if value > 0 else "num:-inf"
+            if value.is_integer():
+                return f"num:{int(value)}"
+        return f"num:{value!r}"
+    if isinstance(value, str):
+        return f"str:{value}"
+    if isinstance(value, Node):
+        return f"node:{value.id}"
+    if isinstance(value, Relationship):
+        return f"rel:{value.id}"
+    if isinstance(value, Path):
+        nodes = ",".join(str(n.id) for n in value.nodes)
+        rels = ",".join(str(r.id) for r in value.relationships)
+        return f"path:[{nodes}]/[{rels}]"
+    if isinstance(value, (list, tuple)):
+        return "list:[" + ",".join(value_signature(v) for v in value) + "]"
+    if isinstance(value, dict):
+        items = ",".join(
+            f"{key!r}:{value_signature(value[key])}"
+            for key in sorted(value, key=repr)
+        )
+        return "map:{" + items + "}"
+    try:
+        return f"{type(value).__name__}:{value!r}"
+    except Exception:
+        return f"{type(value).__name__}:<unreprable>"

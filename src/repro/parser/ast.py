@@ -220,6 +220,21 @@ class ExistsExpression(Expression):
     argument: Union[Expression, "PathPattern"]
 
 
+@dataclass(frozen=True)
+class HoistedExpression(Expression):
+    """A rewrite marker: the wrapped expression is record-invariant.
+
+    Never produced by the parser -- only by the common-subexpression
+    hoisting pass in :mod:`repro.runtime.rewrite`.  The compiler turns
+    it into a lazily-evaluated per-statement memo, so the inner
+    expression runs (and raises) at most once per execution context
+    instead of once per record.  Semantically transparent: evaluation,
+    unparsing and traversal all behave as if the wrapper were absent.
+    """
+
+    expression: Expression
+
+
 # ---------------------------------------------------------------------------
 # Patterns (Figure 5 and the revised Figure 10 forms)
 # ---------------------------------------------------------------------------

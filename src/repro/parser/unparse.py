@@ -364,6 +364,10 @@ def _expr_with_precedence(node: ast.Expression) -> tuple[str, int]:
         if isinstance(node.argument, ast.PathPattern):
             return f"exists({_unparse_path(node.argument)})", _ATOM_PRECEDENCE
         return f"exists({_expr(node.argument)})", _ATOM_PRECEDENCE
+    if isinstance(node, ast.HoistedExpression):
+        # Rewrite marker: unparse transparently so RETURN column names
+        # (derived from unparsed expressions) are unchanged by hoisting.
+        return _expr_with_precedence(node.expression)
     raise TypeError(f"cannot unparse expression {type(node).__name__}")
 
 

@@ -69,6 +69,11 @@ _ENABLED = True
 #: exactly the types a parsed ``ast.Literal`` can carry).
 _CONST_SCALARS = (type(None), bool, int, float, str)
 
+#: Hoisted subtrees are variable-free, so they evaluate against an
+#: empty record; a mistakenly-hoisted variable fails loudly instead of
+#: capturing the first record's binding.
+_EMPTY_RECORD: dict = {}
+
 
 class CompilerStats:
     """Module-wide compilation counters (snapshot-diffed by PROFILE)."""
@@ -244,6 +249,29 @@ def _try_fold(fn: Compiled) -> tuple[Compiled, bool]:
 def _compile(expression: ast.Expression) -> tuple[Compiled, bool]:
     """Dispatch on the node type; executed once per distinct node."""
     STATS.expressions_compiled += 1
+
+    if isinstance(expression, ast.HoistedExpression):
+        # Record-invariant subtree (rewrite pass): evaluate lazily, at
+        # most once per EvalContext, and reuse the value for every
+        # record.  Laziness preserves error semantics exactly -- a
+        # segment with zero records never evaluates, and the first
+        # record to need the value surfaces any error just as the
+        # unhoisted expression would.  The cell keeps a strong ref to
+        # its ctx so an id-reused context can never alias a stale value.
+        inner_fn, inner_const = _compiled(expression.expression)
+        if inner_const:
+            return inner_fn, True
+        cell: list = [None]
+
+        def hoisted(ctx: EvalContext, record: Mapping[str, Any]) -> Any:
+            cached = cell[0]
+            if cached is not None and cached[0] is ctx:
+                return cached[1]
+            value = inner_fn(ctx, _EMPTY_RECORD)
+            cell[0] = (ctx, value)
+            return value
+
+        return hoisted, False
 
     if isinstance(expression, ast.Literal):
         value = expression.value

@@ -59,3 +59,14 @@ class EvalContext:
     #: When set, the pipeline brackets every clause with begin/end on
     #: this profile, attributing db-hits and wall time (PROFILE mode).
     profile: Optional["QueryProfile"] = None
+
+    #: Morsel workers for read-only pipeline segments.  1 (the default)
+    #: keeps the serial row-at-a-time executor; >1 lets the pipeline
+    #: partition the driving table and run read-only segments in
+    #: parallel (see repro.runtime.parallel).
+    workers: int = 1
+
+    #: Executor backing the morsel workers: "thread" (default; the
+    #: columnar store is read-shared safely) or "process" (fork-based
+    #: pool, opt-in for CPU-bound predicates that the GIL serialises).
+    parallel_executor: str = "thread"

@@ -82,6 +82,10 @@ def interpret(
     ctx: EvalContext, expression: ast.Expression, record: Mapping[str, Any]
 ) -> Any:
     """Reference interpreter: evaluate by walking the AST directly."""
+    if isinstance(expression, ast.HoistedExpression):
+        # The interpreter skips the memoization -- per-row evaluation of
+        # a record-invariant expression is semantically identical.
+        return interpret(ctx, expression.expression, record)
     if isinstance(expression, ast.Literal):
         return expression.value
     if isinstance(expression, ast.Parameter):

@@ -95,6 +95,9 @@ class ClauseProfile:
         "children",
         "anchor",
         "paths_reordered",
+        "workers",
+        "morsels",
+        "morsel_ms",
         "_started",
         "_before",
     )
@@ -111,6 +114,11 @@ class ClauseProfile:
         #: paths ran out of written order
         self.anchor: str | None = None
         self.paths_reordered = 0
+        #: morsel-executor annotations (None / 0 on serial clauses):
+        #: worker count, morsel count, and per-morsel wall times
+        self.workers: int | None = None
+        self.morsels = 0
+        self.morsel_ms: list[float] | None = None
         self._started = 0.0
         self._before = DbHits()
 
@@ -129,6 +137,13 @@ class ClauseProfile:
             "db_hits": self.hits.to_dict(),
             "anchor": self.anchor,
             "paths_reordered": self.paths_reordered,
+            "workers": self.workers,
+            "morsels": self.morsels,
+            "morsel_ms": (
+                [round(ms, 3) for ms in self.morsel_ms]
+                if self.morsel_ms is not None
+                else None
+            ),
             "children": [child.to_dict() for child in self.children],
         }
 

@@ -31,7 +31,9 @@ def execute_match(
     where_fn = (
         compile_expression(clause.where) if clause.where is not None else None
     )
-    output = DrivingTable(tuple(table.columns) + tuple(new_variables))
+    columns = tuple(table.columns) + tuple(new_variables)
+    rows: list[dict] = []
+    append = rows.append
     for record in table:
         matched_any = False
         for bindings in match_pattern(ctx, pattern, record):
@@ -39,13 +41,13 @@ def execute_match(
                 if where_fn(ctx, bindings) is not True:
                     continue
             matched_any = True
-            output.add({name: bindings.get(name) for name in output.columns})
+            append({name: bindings.get(name) for name in columns})
         if not matched_any and clause.optional:
             extended = dict(record)
             for name in new_variables:
                 extended[name] = None
-            output.add(extended)
-    return output
+            append(extended)
+    return DrivingTable.from_trusted(columns, rows)
 
 
 def execute_unwind(
@@ -57,7 +59,10 @@ def execute_unwind(
             f"variable '{clause.variable}' is already bound"
         )
     expression_fn = compile_expression(clause.expression)
-    output = DrivingTable(tuple(table.columns) + (clause.variable,))
+    columns = tuple(table.columns) + (clause.variable,)
+    variable = clause.variable
+    rows: list[dict] = []
+    append = rows.append
     for record in table:
         value = expression_fn(ctx, record)
         if value is None:
@@ -65,9 +70,9 @@ def execute_unwind(
         elements = value if isinstance(value, list) else [value]
         for element in elements:
             extended = dict(record)
-            extended[clause.variable] = element
-            output.add(extended)
-    return output
+            extended[variable] = element
+            append(extended)
+    return DrivingTable.from_trusted(columns, rows)
 
 
 def execute_load_csv(
@@ -81,7 +86,8 @@ def execute_load_csv(
             f"variable '{clause.variable}' is already bound"
         )
     source_fn = compile_expression(clause.source)
-    output = DrivingTable(tuple(table.columns) + (clause.variable,))
+    columns = tuple(table.columns) + (clause.variable,)
+    out_rows: list[dict] = []
     for record in table:
         source = source_fn(ctx, record)
         if not isinstance(source, str):
@@ -96,5 +102,5 @@ def execute_load_csv(
         for row in rows:
             extended = dict(record)
             extended[clause.variable] = row
-            output.add(extended)
-    return output
+            out_rows.append(extended)
+    return DrivingTable.from_trusted(columns, out_rows)

@@ -18,15 +18,18 @@ import random
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.errors import CypherError
+from repro.graph.comparison import value_signature
 from repro.graph.values import grouping_key
 
 Record = dict
+
+_SENTINEL = object()
 
 
 class DrivingTable:
     """A bag of consistent records with a fixed column set."""
 
-    __slots__ = ("_columns", "_records")
+    __slots__ = ("_columns", "_column_set", "_records")
 
     def __init__(
         self,
@@ -34,14 +37,18 @@ class DrivingTable:
         records: Iterable[Mapping[str, Any]] | None = None,
     ):
         self._columns = tuple(columns)
-        column_set = set(self._columns)
-        if len(column_set) != len(self._columns):
+        self._column_set = frozenset(self._columns)
+        if len(self._column_set) != len(self._columns):
             raise CypherError("duplicate column names in driving table")
         self._records: list[Record] = []
+        check = self._check
+        append = self._records.append
         for record in records or ():
-            self._records.append(self._check(record, column_set))
+            append(check(record, self._column_set))
 
-    def _check(self, record: Mapping[str, Any], column_set: set[str]) -> Record:
+    def _check(
+        self, record: Mapping[str, Any], column_set: frozenset[str]
+    ) -> Record:
         if set(record) != column_set:
             raise CypherError(
                 f"inconsistent record: expected columns {sorted(column_set)}, "
@@ -78,6 +85,22 @@ class DrivingTable:
             return cls()
         return cls(columns=tuple(records[0]), records=records)
 
+    @classmethod
+    def from_trusted(
+        cls, columns: Iterable[str], records: list[Record]
+    ) -> "DrivingTable":
+        """Adopt *records* without validation or copying.
+
+        Engine-internal fast path: callers guarantee every element is a
+        ``dict`` whose key set equals *columns*.  The list is adopted,
+        not copied, so the caller must hand over ownership.
+        """
+        table = cls.__new__(cls)
+        table._columns = tuple(columns)
+        table._column_set = frozenset(table._columns)
+        table._records = records
+        return table
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -105,7 +128,7 @@ class DrivingTable:
         """Bag equality: same columns, same records as a multiset."""
         if not isinstance(other, DrivingTable):
             return NotImplemented
-        if set(self._columns) != set(other._columns):
+        if self._column_set != other._column_set:
             return False
         return sorted(
             (self._record_key(r) for r in self._records)
@@ -115,8 +138,10 @@ class DrivingTable:
         raise TypeError("DrivingTable is unhashable")
 
     def _record_key(self, record: Record) -> tuple:
+        # value_signature is total (never raises), unlike grouping_key,
+        # so tables holding exotic values still compare.
         return tuple(
-            repr(grouping_key(record[column]))
+            value_signature(record[column])
             for column in sorted(self._columns)
         )
 
@@ -128,12 +153,36 @@ class DrivingTable:
         """Append one record (must match the column set)."""
         if not self._columns and not self._records and record:
             self._columns = tuple(record)
-        self._records.append(self._check(record, set(self._columns)))
+            self._column_set = frozenset(self._columns)
+        self._records.append(self._check(record, self._column_set))
 
     def extend(self, records: Iterable[Mapping[str, Any]]) -> None:
-        """Append many records."""
+        """Append many records (validation hoisted out of the loop)."""
+        records = iter(records)
+        first = next(records, _SENTINEL)
+        if first is not _SENTINEL:
+            self.add(first)
+        column_set = self._column_set
+        check = self._check
+        append = self._records.append
         for record in records:
-            self.add(record)
+            append(check(record, column_set))
+
+    def chunks(self, size: int) -> list["DrivingTable"]:
+        """Consecutive views of at most *size* records each.
+
+        The views share the underlying record dicts (no copying); they
+        are the unit of work for the morsel scheduler.  Concatenating
+        the chunks' records in order reproduces this table exactly.
+        """
+        if size < 1:
+            raise ValueError("chunk size must be >= 1")
+        return [
+            DrivingTable.from_trusted(
+                self._columns, self._records[start : start + size]
+            )
+            for start in range(0, len(self._records), size)
+        ]
 
     def concat(self, other: "DrivingTable") -> "DrivingTable":
         """Bag union (duplicates add up), requiring equal column sets."""

@@ -50,6 +50,7 @@ from repro.errors import (
 )
 from repro.parser import ast
 from repro.runtime.limits import list_length_limit
+from repro.runtime.parallel import worker_limit
 from repro.server.limits import RequestLimits
 from repro.session import Graph, Transaction
 
@@ -303,5 +304,7 @@ class SessionManager:
         statement: ast.Statement | ast.SchemaStatement,
         parameters: Mapping[str, Any] | None,
     ) -> QueryResult:
-        with list_length_limit(self.limits.max_list_length):
+        with list_length_limit(self.limits.max_list_length), worker_limit(
+            self.limits.max_workers
+        ):
             return self.graph.engine.execute(statement, parameters)

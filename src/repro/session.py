@@ -103,6 +103,9 @@ class Graph:
         extended_merge: bool = False,
         match_mode: MatchMode | str = MatchMode.TRAIL,
         use_planner: bool = False,
+        workers: int = 1,
+        parallel: str = "thread",
+        use_rewrites: bool | None = None,
         store: GraphStore | None = None,
         path: str | Path | None = None,
         fsync: str = "batch",
@@ -139,6 +142,9 @@ class Graph:
             extended_merge=extended_merge,
             match_mode=match_mode,
             use_planner=use_planner,
+            workers=workers,
+            parallel=parallel,
+            use_rewrites=use_rewrites,
         )
 
     @classmethod
@@ -267,6 +273,9 @@ class Graph:
             ),
             match_mode=self.engine.match_mode,
             use_planner=self.engine.use_planner,
+            workers=self.engine.workers,
+            parallel=self.engine.parallel,
+            use_rewrites=self.engine.use_rewrites,
             store=self.store,
         )
 
@@ -343,6 +352,9 @@ class Graph:
             extended_merge=self.engine.extended_merge,
             match_mode=self.engine.match_mode,
             use_planner=self.engine.use_planner,
+            workers=self.engine.workers,
+            parallel=self.engine.parallel,
+            use_rewrites=self.engine.use_rewrites,
             store=self.store.copy(),
         )
 

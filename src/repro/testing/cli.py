@@ -90,6 +90,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="statements per crash scenario (default 20)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also run each case through the morsel-parallel scheduler "
+        "with N workers and require exact agreement with the serial "
+        "runs (default 0 = serial only)",
+    )
+    parser.add_argument(
         "-v",
         "--verbose",
         action="store_true",
@@ -165,7 +174,7 @@ def run_fuzz(args: argparse.Namespace) -> int:
     failures = 0
     for index in range(args.start, args.start + args.cases):
         case = case_for(args.seed, index)
-        result = run_case(case)
+        result = run_case(case, workers=args.workers)
         if args.verbose:
             status = "ok" if result.ok else "FAIL"
             print(f"[{status}] case {case.seed_key} ({case.kind})")
@@ -178,7 +187,10 @@ def run_fuzz(args: argparse.Namespace) -> int:
         reduced = case
         if not args.no_shrink:
             reduced = shrink(case, budget=args.shrink_budget)
-        bundle_failures = run_case(reduced).failures or result.failures
+        bundle_failures = (
+            run_case(reduced, workers=args.workers).failures
+            or result.failures
+        )
         path = write_bundle(reduced, bundle_failures, corpus)
         print(f"    shrunk bundle written to {path}")
         if failures >= args.max_failures:

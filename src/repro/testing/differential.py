@@ -37,6 +37,7 @@ graph byte-identically.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 from dataclasses import dataclass, field
 from typing import Any
@@ -47,7 +48,7 @@ from repro.errors import CypherError
 from repro.graph.comparison import isomorphic
 from repro.graph.model import Node, Path, Relationship
 from repro.io.graph_json import graph_to_dict
-from repro.runtime import compiler
+from repro.runtime import compiler, parallel, rewrite
 from repro.testing.generator import FuzzCase, build_store
 from repro.testing.invariants import (
     InvariantViolation,
@@ -178,12 +179,18 @@ def _run_variant(
     dialect=None,
     parameters: dict | None = None,
     failures: list[str] | None = None,
+    workers: int = 1,
+    use_rewrites: bool | None = None,
 ) -> VariantOutcome:
     """Execute the case's statements under one toggle combination.
 
     The store-invariant oracle and the journal-restore check run here,
     appending to *failures*; differential comparisons happen later in
     :func:`run_case`.
+
+    With ``workers > 1`` the engine runs read-only segments through the
+    morsel scheduler; the minimum-row threshold is lowered to 2 so the
+    small tables fuzz cases produce still exercise real morsel splits.
     """
     store = build_store(case)
     base = canonical_graph_json(store)
@@ -193,18 +200,29 @@ def _run_variant(
         dialect=dialect if dialect is not None else case.dialect,
         extended_merge=True,
         use_planner=use_planner,
+        workers=workers,
+        use_rewrites=use_rewrites,
     )
     compiler.clear_cache()
+    rewrite.clear_cache()
     outcome = VariantOutcome(name=name, status="ok")
     todo = statements if statements is not None else case.statements
+    morsels = (
+        parallel.parallel_min_rows(2)
+        if workers > 1
+        else contextlib.nullcontext()
+    )
     try:
-        if compiled:
-            result_rows = _execute_all(engine, todo, parameters, outcome)
-        else:
-            with compiler.compilation_disabled():
+        with morsels:
+            if compiled:
                 result_rows = _execute_all(
                     engine, todo, parameters, outcome
                 )
+            else:
+                with compiler.compilation_disabled():
+                    result_rows = _execute_all(
+                        engine, todo, parameters, outcome
+                    )
     except CypherError as error:
         outcome.status = "error"
         outcome.error_type = type(error).__name__
@@ -311,14 +329,20 @@ def _graphs_isomorphic(left: dict, right: dict) -> bool:
 # ---------------------------------------------------------------------------
 
 
-def run_case(case: FuzzCase) -> CaseResult:
-    """Run one case across every variant and collect disagreements."""
+def run_case(case: FuzzCase, *, workers: int = 0) -> CaseResult:
+    """Run one case across every variant and collect disagreements.
+
+    ``workers > 1`` adds morsel-parallel variants: the same statements
+    executed through the parallel scheduler must agree *exactly* with
+    their serial counterparts (morsel concatenation is order-exact for
+    record-local segments, in both dialects).
+    """
     if case.kind == "merge":
-        return _run_merge_case(case)
-    return _run_pipeline_case(case)
+        return _run_merge_case(case, workers=workers)
+    return _run_pipeline_case(case, workers=workers)
 
 
-def _run_pipeline_case(case: FuzzCase) -> CaseResult:
+def _run_pipeline_case(case: FuzzCase, *, workers: int = 0) -> CaseResult:
     failures: list[str] = []
     outcomes: dict[tuple[bool, bool], VariantOutcome] = {}
     for use_planner, compiled in itertools.product(
@@ -335,7 +359,36 @@ def _run_pipeline_case(case: FuzzCase) -> CaseResult:
             compiled=compiled,
             failures=failures,
         )
-    for outcome in outcomes.values():
+    # The rewrite pass alone (planner off, so enumeration order is the
+    # naive one): pushdown + hoisting must be *exactly* order- and
+    # error-preserving, in both dialects.
+    rewritten = _run_variant(
+        case,
+        "rewrites=on,planner=off,compiled",
+        use_planner=False,
+        compiled=True,
+        use_rewrites=True,
+        failures=failures,
+    )
+    extra = [rewritten]
+    _compare_exact(outcomes[(False, True)], rewritten, failures)
+    if workers > 1:
+        for use_planner in (True, False):
+            name = (
+                f"workers={workers},"
+                f"planner={'on' if use_planner else 'off'},compiled"
+            )
+            outcome = _run_variant(
+                case,
+                name,
+                use_planner=use_planner,
+                compiled=True,
+                workers=workers,
+                failures=failures,
+            )
+            extra.append(outcome)
+            _compare_exact(outcomes[(use_planner, True)], outcome, failures)
+    for outcome in list(outcomes.values()) + extra:
         if outcome.status == "crash":
             failures.append(
                 f"[{outcome.name}] crashed at statement "
@@ -362,7 +415,7 @@ def _run_pipeline_case(case: FuzzCase) -> CaseResult:
         case=case,
         ok=not failures,
         failures=failures,
-        outcomes=list(outcomes.values()),
+        outcomes=list(outcomes.values()) + extra,
     )
 
 
@@ -398,7 +451,7 @@ def _graph_size(graph: dict) -> tuple[int, int]:
     return (len(graph.get("nodes", ())), len(graph.get("relationships", ())))
 
 
-def _run_merge_case(case: FuzzCase) -> CaseResult:
+def _run_merge_case(case: FuzzCase, *, workers: int = 0) -> CaseResult:
     import random
 
     failures: list[str] = []
@@ -435,6 +488,17 @@ def _run_merge_case(case: FuzzCase) -> CaseResult:
             "interpreted", rows, use_planner=False, compiled=False
         )
         _compare_exact(base, interpreted, failures)
+        if workers > 1:
+            # The UNWIND/WITH prefix parallelises; the MERGE suffix
+            # stays serial -- the whole statement must agree exactly.
+            morsel_run = run(
+                "parallel",
+                rows,
+                use_planner=False,
+                compiled=True,
+                workers=workers,
+            )
+            _compare_exact(base, morsel_run, failures)
         if keyword != "legacy":
             # Revised MERGE matches the input graph only: the driving
             # table is a multiset, so shuffling must not matter.

@@ -1,0 +1,205 @@
+"""Parallel-vs-serial equivalence of morsel-batched read execution.
+
+The morsel scheduler claims *exact* agreement with the serial pipeline
+-- same records, same order, same errors -- because every clause it
+parallelises is record-local (see :mod:`repro.runtime.parallel`).
+These tests hold it to that claim:
+
+* a query corpus covering every record-local clause shape (and the
+  serial suffixes behind them: aggregation, DISTINCT, ORDER BY, SKIP,
+  LIMIT, mutation) on hypothesis-generated graphs, across worker
+  counts 1/2/4, both dialects, planner on and off;
+* the shrunk fuzz corpus replayed through the parallel variants;
+* byte-identical ``to_json()`` output across repeated parallel runs
+  (determinism is not just multiset equality);
+* error ordering: the parallel scheduler raises exactly the error the
+  serial executor would have hit first.
+
+``parallel_min_rows(2)`` is active throughout so the small tables
+these graphs produce still split into real morsels.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dialect import Dialect
+from repro.errors import CypherError
+from repro.runtime.parallel import parallel_min_rows
+from repro.session import Graph
+
+#: Random small graphs: up to 6 nodes labeled A/B, up to 10 typed edges.
+graphs = st.builds(
+    lambda node_specs, edge_specs: (node_specs, edge_specs),
+    st.lists(st.sampled_from(["A", "B"]), min_size=1, max_size=6),
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5),
+            st.sampled_from(["T", "S"]),
+            st.integers(min_value=0, max_value=5),
+        ),
+        max_size=10,
+    ),
+)
+
+#: Read queries covering the record-local clause shapes and the serial
+#: suffixes that must stay behind the parallel segment.
+QUERIES = [
+    "MATCH (a) RETURN a.i AS i",
+    "MATCH (a:A)-[r:T]->(b) RETURN a.i AS x, b.i AS y",
+    "MATCH (a)-[r]->(b) WHERE a.i < b.i RETURN a.i AS x, b.i AS y",
+    "MATCH (a) OPTIONAL MATCH (a)-[r:T]->(b) RETURN a.i AS x, b.i AS y",
+    "MATCH (a) OPTIONAL MATCH (a)-[r]->(b) WHERE b.i > 1 "
+    "RETURN a.i AS x, b.i AS y",
+    "MATCH (a) UNWIND [1, 2, 3] AS k RETURN a.i + k AS v",
+    "UNWIND range(0, 9) AS k MATCH (a) WHERE a.i >= k RETURN k, a.i AS i",
+    "MATCH (a) WITH a.i AS i WHERE i > 0 RETURN i",
+    "MATCH (a) WITH a, a.i * 2 AS d MATCH (a)-[r]->(b) "
+    "RETURN d, b.i AS y",
+    "MATCH (a)-[rs:T*0..2]->(b) RETURN a.i AS x, b.i AS y, size(rs) AS n",
+    "MATCH p = (a)-[r:T]->(b) RETURN length(p) AS n, a.i AS x",
+    # serial suffixes: aggregation, DISTINCT, ORDER BY / SKIP / LIMIT
+    "MATCH (a)-[r]->(b) RETURN count(*) AS c",
+    "MATCH (a) RETURN a.i AS i, count(*) AS c",
+    "MATCH (a)-[r]->(b) RETURN DISTINCT a.i AS i",
+    "MATCH (a) RETURN a.i AS i ORDER BY i DESC SKIP 1 LIMIT 3",
+    "MATCH (a) WITH a.i AS i ORDER BY i LIMIT 4 RETURN collect(i) AS c",
+    # mutation behind a read prefix: the suffix must stay serial
+    "MATCH (a:A) CREATE (a)-[:MADE]->(:C {j: a.i})",
+    "MATCH (a) SET a.seen = true",
+]
+
+
+def build(spec) -> Graph:
+    node_specs, edge_specs = spec
+    graph = Graph(Dialect.REVISED)
+    nodes = [
+        graph.store.create_node((label,), {"i": index})
+        for index, label in enumerate(node_specs)
+    ]
+    for source, rel_type, target in edge_specs:
+        if source < len(nodes) and target < len(nodes):
+            graph.store.create_relationship(
+                rel_type, nodes[source], nodes[target]
+            )
+    return graph
+
+
+def snapshot(graph: Graph):
+    from repro.testing.invariants import canonical_graph_json
+
+    return canonical_graph_json(graph.store)
+
+
+def run_one(spec, query, *, workers, dialect, use_planner):
+    """Execute *query* on a fresh build of *spec*; normalise the outcome."""
+    graph = build(spec)
+    session = Graph(
+        dialect,
+        use_planner=use_planner,
+        workers=workers,
+        store=graph.store,
+    )
+    with parallel_min_rows(2):
+        try:
+            result = session.run(query)
+        except CypherError as error:
+            return ("error", type(error).__name__, snapshot(graph))
+    return ("ok", result.to_json(), snapshot(graph))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    spec=graphs,
+    query=st.sampled_from(QUERIES),
+    dialect=st.sampled_from([Dialect.CYPHER9, Dialect.REVISED]),
+    use_planner=st.booleans(),
+)
+def test_parallel_matches_serial_exactly(spec, query, dialect, use_planner):
+    serial = run_one(
+        spec, query, workers=1, dialect=dialect, use_planner=use_planner
+    )
+    for workers in (2, 4):
+        parallel = run_one(
+            spec,
+            query,
+            workers=workers,
+            dialect=dialect,
+            use_planner=use_planner,
+        )
+        assert parallel == serial, (
+            f"workers={workers} diverged on {query!r}"
+        )
+
+
+def test_fuzz_corpus_replays_under_parallel_variants():
+    from repro.testing.corpus import iter_bundles, load_bundle
+    from repro.testing.differential import run_case
+
+    bundles = iter_bundles("tests/fuzz_corpus")
+    assert bundles, "fuzz corpus is empty"
+    for path in bundles:
+        case, __ = load_bundle(path)
+        for workers in (2, 4):
+            result = run_case(case, workers=workers)
+            assert result.ok, (path, workers, result.failures[:3])
+
+
+def test_parallel_output_is_deterministic_byte_for_byte():
+    graph = Graph(Dialect.REVISED, workers=4)
+    for index in range(40):
+        graph.run(
+            "CREATE (:U {id: $i, name: $n})",
+            i=index,
+            n=f"user{index:02d}",
+        )
+    query = (
+        "MATCH (u:U) WHERE u.id % 3 <> 1 "
+        "RETURN u.name AS name, u.id * 7 AS k ORDER BY k DESC"
+    )
+    with parallel_min_rows(2):
+        first = graph.run(query).to_json()
+        for _ in range(3):
+            assert graph.run(query).to_json() == first
+
+
+def test_parallel_raises_the_first_serial_error():
+    serial = Graph(Dialect.REVISED)
+    fanned = Graph(Dialect.REVISED, workers=4, store=serial.store)
+    # Record index 2 fails first; a later morsel (index 5) also fails.
+    query = "UNWIND [9, 3, 0, 1, 6, 0] AS d RETURN 10 / d AS q"
+    serial_error = None
+    try:
+        serial.run(query)
+    except CypherError as error:
+        serial_error = (type(error).__name__, str(error))
+    assert serial_error is not None
+    with parallel_min_rows(2):
+        try:
+            fanned.run(query)
+        except CypherError as error:
+            assert (type(error).__name__, str(error)) == serial_error
+        else:
+            raise AssertionError("parallel run did not raise")
+
+
+def test_parallel_process_executor_smoke():
+    from repro.runtime.parallel import _fork_available
+
+    if not _fork_available():
+        import pytest
+
+        pytest.skip("fork start method unavailable")
+    graph = Graph(Dialect.REVISED, workers=2, parallel="process")
+    for index in range(12):
+        graph.run(
+            "CREATE (:U {id: $i})-[:OWNS]->(:Item {v: $i})", i=index
+        )
+    with parallel_min_rows(2):
+        result = graph.run(
+            "MATCH (u:U)-[o:OWNS]->(it:Item) WHERE u.id % 2 = 0 "
+            "RETURN u, o, it.v AS v ORDER BY v"
+        )
+    assert [record["v"] for record in result.records] == [0, 2, 4, 6, 8, 10]
+    # Entities came home as live handles bound to the parent store.
+    assert result.records[1]["u"].properties == {"id": 2}
+    assert result.records[1]["o"].type == "OWNS"

@@ -102,3 +102,119 @@ class TestDiagnostics:
         left = build([("a", "T", "b"), ("b", "T", "c")])
         right = build([("z", "T", "y"), ("y", "T", "x")])
         assert signature_counts(left) == signature_counts(right)
+
+
+class TestValueSignature:
+    """Total canonical signatures: record keying must never raise."""
+
+    def test_scalars(self):
+        from repro.graph.comparison import value_signature
+
+        assert value_signature(None) == "null"
+        assert value_signature(True) == "true"
+        assert value_signature(False) == "false"
+        assert value_signature("x") != value_signature(1)
+
+    def test_numbers_normalise_across_int_and_float(self):
+        from repro.graph.comparison import value_signature
+
+        assert value_signature(1) == value_signature(1.0)
+        assert value_signature(0.5) != value_signature(1)
+        assert value_signature(float("nan")) == value_signature(float("nan"))
+        assert value_signature(float("inf")) != value_signature(
+            float("-inf")
+        )
+
+    def test_true_is_not_one(self):
+        from repro.graph.comparison import value_signature
+
+        assert value_signature(True) != value_signature(1)
+
+    def test_containers_recurse_and_never_raise(self):
+        from repro.graph.comparison import value_signature
+
+        nested = [1, {"k": [None, "s"]}, [[2.0]]]
+        assert value_signature(nested) == value_signature(
+            [1.0, {"k": [None, "s"]}, [[2]]]
+        )
+        assert value_signature({"a": 1, "b": 2}) == value_signature(
+            {"b": 2, "a": 1}
+        )
+
+    def test_entities_keyed_by_id(self):
+        from repro.graph.comparison import value_signature
+
+        store = GraphStore()
+        x = store.create_node(("A",), {"p": 1})
+        y = store.create_node(("A",), {"p": 1})
+        assert value_signature(store.node(x)) != value_signature(
+            store.node(y)
+        )
+        assert value_signature(store.node(x)) == value_signature(
+            store.node(x)
+        )
+
+    def test_unrepresentable_fallback(self):
+        from repro.graph.comparison import value_signature
+
+        class Hostile:
+            def __repr__(self):
+                raise RuntimeError("no repr for you")
+
+        assert "<unreprable>" in value_signature(Hostile())
+
+
+class TestBacktrackingFallback:
+    """The no-networkx isomorphism path must agree with VF2."""
+
+    def test_fallback_accepts_renamings(self):
+        from repro.graph.comparison import _isomorphic_backtracking
+
+        left = build([("a", "T", "b"), ("b", "S", "c")])
+        right = build([("z", "T", "y"), ("y", "S", "x")])
+        assert _isomorphic_backtracking(left, right)
+
+    def test_fallback_rejects_different_wiring(self):
+        from repro.graph.comparison import _isomorphic_backtracking
+
+        left = build([("a", "T", "b"), ("b", "T", "c")])
+        right = build([("a", "T", "b"), ("a", "T", "c")])
+        assert not _isomorphic_backtracking(left, right)
+
+    def test_fallback_handles_parallel_edges_and_self_loops(self):
+        from repro.graph.comparison import _isomorphic_backtracking
+
+        left = build([("a", "T", "a"), ("a", "T", "b"), ("a", "T", "b")])
+        right = build([("x", "T", "x"), ("x", "T", "y"), ("x", "T", "y")])
+        assert _isomorphic_backtracking(left, right)
+        skew = build([("x", "T", "x"), ("x", "T", "y"), ("y", "T", "x")])
+        assert not _isomorphic_backtracking(left, skew)
+
+    def test_fallback_agrees_with_vf2_on_random_graphs(self):
+        import random
+
+        from repro.graph.comparison import (
+            _isomorphic_backtracking,
+            isomorphic,
+        )
+
+        for trial in range(60):
+            rng = random.Random(trial)
+            n = rng.randint(1, 5)
+            edges = [
+                (
+                    f"n{rng.randrange(n)}",
+                    rng.choice(["T", "S"]),
+                    f"n{rng.randrange(n)}",
+                )
+                for _ in range(rng.randint(0, 6))
+            ]
+            mutated = list(edges)
+            if mutated and rng.random() < 0.5:
+                source, __, target = mutated[0]
+                mutated[0] = (source, "X", target)
+            left = build(edges)
+            for right in (build(list(reversed(edges))), build(mutated)):
+                assert isomorphic(left, right) == _isomorphic_backtracking(
+                    left, right
+                )

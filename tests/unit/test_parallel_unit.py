@@ -1,0 +1,155 @@
+"""Unit tests for the morsel scheduler's building blocks.
+
+The equivalence properties live in
+``tests/properties/test_parallel_equivalence.py``; here the pieces are
+checked in isolation: the segment analyzer's classification, the
+scoped worker/min-row overrides, the per-segment profile entry, and
+the server-side worker cap.
+"""
+
+import pytest
+
+from repro.dialect import Dialect
+from repro.parser.parser import parse
+from repro.runtime.parallel import (
+    DEFAULT_MAX_WORKERS,
+    max_workers,
+    parallel_min_rows,
+    worker_limit,
+)
+from repro.runtime.pipeline import analyze_segments, is_record_local
+from repro.session import Graph
+
+
+def clauses_of(source, dialect=Dialect.REVISED):
+    return parse(source, dialect).branches()[0].clauses
+
+
+def kinds(source):
+    return [kind for kind, _ in analyze_segments(clauses_of(source))]
+
+
+class TestSegmentAnalyzer:
+    def test_pure_read_pipeline_is_one_parallel_segment(self):
+        segments = analyze_segments(
+            clauses_of(
+                "MATCH (a) OPTIONAL MATCH (a)-[r:T]->(b) "
+                "UNWIND [1, 2] AS k WITH a, k WHERE k > 1 "
+                "RETURN a.i AS i, k"
+            )
+        )
+        assert [kind for kind, _ in segments] == ["parallel"]
+        assert len(segments[0][1]) == 5
+
+    def test_mutating_suffix_splits_off_serially(self):
+        assert kinds("MATCH (a) SET a.x = 1") == ["parallel", "serial"]
+        assert kinds("MATCH (a) CREATE (a)-[:R]->(:B)") == [
+            "parallel",
+            "serial",
+        ]
+        assert kinds("MATCH (a) DELETE a") == ["parallel", "serial"]
+
+    def test_aggregating_projection_is_serial(self):
+        analyzed = analyze_segments(
+            clauses_of("MATCH (a) RETURN count(a) AS c")
+        )
+        assert [kind for kind, _ in analyzed] == ["parallel", "serial"]
+
+    def test_distinct_order_skip_limit_are_serial(self):
+        for suffix in (
+            "RETURN DISTINCT a.i AS i",
+            "RETURN a.i AS i ORDER BY i",
+            "RETURN a.i AS i SKIP 1",
+            "RETURN a.i AS i LIMIT 2",
+            "WITH DISTINCT a RETURN a.i AS i",
+        ):
+            analyzed = analyze_segments(clauses_of(f"MATCH (a) {suffix}"))
+            first_kind, first_run = analyzed[0]
+            assert first_kind == "parallel"
+            assert len(first_run) == 1, suffix
+
+    def test_read_resumes_after_a_mutation(self):
+        assert kinds(
+            "MATCH (a) SET a.x = 1 WITH a MATCH (b) RETURN a.x, b.x"
+        ) == ["parallel", "serial", "parallel"]
+
+    def test_merge_and_foreach_are_not_record_local(self):
+        for source in (
+            "MERGE ALL (a:A)",
+            "FOREACH (k IN [1] | CREATE (:B {i: k}))",
+        ):
+            (clause,) = clauses_of(source)
+            assert not is_record_local(clause)
+
+    def test_load_csv_is_conservatively_serial(self):
+        clause = clauses_of(
+            "LOAD CSV FROM 'file:///x.csv' AS row RETURN row"
+        )[0]
+        assert not is_record_local(clause)
+
+
+class TestScopedOverrides:
+    def test_worker_limit_is_scoped_and_nestable(self):
+        assert max_workers() == DEFAULT_MAX_WORKERS
+        with worker_limit(2):
+            assert max_workers() == 2
+            with worker_limit(1):
+                assert max_workers() == 1
+            assert max_workers() == 2
+        assert max_workers() == DEFAULT_MAX_WORKERS
+
+    def test_worker_limit_rejects_zero(self):
+        with pytest.raises(ValueError):
+            with worker_limit(0):
+                pass
+
+    def test_worker_limit_caps_session_workers(self):
+        graph = Graph(Dialect.REVISED, workers=4)
+        for index in range(20):
+            graph.run("CREATE (:U {id: $i})", i=index)
+        with parallel_min_rows(2), worker_limit(1):
+            profile = graph.profile("MATCH (u:U) RETURN u.id AS i")
+        # With the cap at one worker there is nothing to fan out.
+        assert "ParallelSegment" not in profile.render()
+
+    def test_parallel_min_rows_rejects_zero(self):
+        with pytest.raises(ValueError):
+            with parallel_min_rows(0):
+                pass
+
+
+class TestProfileAnnotations:
+    def test_parallel_segment_profiles_as_one_entry(self):
+        graph = Graph(Dialect.REVISED, workers=4)
+        for index in range(20):
+            graph.run("CREATE (:U {id: $i})", i=index)
+        with parallel_min_rows(2):
+            profile = graph.profile(
+                "MATCH (u:U) WHERE u.id > 3 "
+                "UNWIND [1, 2] AS k RETURN u.id + k AS v"
+            )
+        def walk(entries):
+            for entry in entries:
+                yield entry
+                yield from walk(entry.children)
+
+        segment = next(
+            entry
+            for entry in walk(profile.clauses)
+            if entry.label.startswith("ParallelSegment[")
+        )
+        assert segment.workers == 4
+        assert segment.morsels >= 2
+        assert len(segment.morsel_ms) == segment.morsels
+        assert segment.rows_out == 32
+        data = segment.to_dict()
+        assert data["workers"] == 4
+        assert len(data["morsel_ms"]) == segment.morsels
+
+
+class TestServerWorkerCap:
+    def test_request_limits_default_is_serial(self):
+        from repro.server.limits import RequestLimits
+
+        assert RequestLimits().max_workers == 1
+        assert RequestLimits(max_workers=8).max_workers == 8

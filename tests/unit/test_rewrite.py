@@ -1,0 +1,275 @@
+"""Unit tests for the rewrite pass: pushdown shapes and hoisting.
+
+Equivalence with the serial executor is enforced end-to-end by the
+differential fuzzer (a ``rewrites=on`` variant compared exactly) and
+the planner suites (rewrites ride along with ``use_planner``); these
+tests pin the *shapes*: which WHERE conjuncts move into pattern maps,
+which stay, and which subtrees get hoisted.
+"""
+
+import pytest
+
+from repro.dialect import Dialect
+from repro.parser import ast
+from repro.parser.parser import parse
+from repro.parser.unparse import unparse
+from repro.runtime.aggregation import children
+from repro.runtime.rewrite import rewrite_statement, rewrites_disabled
+from repro.session import Graph
+
+
+def rewritten_clauses(source, *, parameters=(), columns=()):
+    statement = parse(source, Dialect.REVISED)
+    result = rewrite_statement(
+        statement,
+        initial_columns=tuple(columns),
+        parameters=frozenset(parameters),
+    )
+    return result.branches()[0].clauses
+
+
+def first_match(clauses):
+    return next(c for c in clauses if isinstance(c, ast.MatchClause))
+
+
+def map_keys(element):
+    return tuple(element.properties.keys()) if element.properties else ()
+
+
+def hoisted_nodes(expression):
+    found = []
+    if isinstance(expression, ast.HoistedExpression):
+        found.append(expression)
+    for child in children(expression):
+        found.extend(hoisted_nodes(child))
+    return found
+
+
+class TestPredicatePushdown:
+    def test_literal_equality_moves_into_the_map(self):
+        clauses = rewritten_clauses(
+            "MATCH (p:P) WHERE p.id = 3 RETURN p"
+        )
+        match = first_match(clauses)
+        assert match.where is None
+        node = match.pattern.paths[0].elements[0]
+        assert map_keys(node) == ("id",)
+
+    def test_reversed_equality_also_moves(self):
+        match = first_match(
+            rewritten_clauses("MATCH (p:P) WHERE 3 = p.id RETURN p")
+        )
+        assert match.where is None
+        assert map_keys(match.pattern.paths[0].elements[0]) == ("id",)
+
+    def test_conjunction_of_pushable_equalities_moves_whole(self):
+        match = first_match(
+            rewritten_clauses(
+                "MATCH (a:A)-[r:T]->(b) "
+                "WHERE a.x = 1 AND b.y = 2 AND r.z = 3 RETURN a"
+            )
+        )
+        assert match.where is None
+        path = match.pattern.paths[0]
+        assert map_keys(path.elements[0]) == ("x",)
+        assert map_keys(path.elements[1]) == ("z",)
+        assert map_keys(path.elements[2]) == ("y",)
+
+    def test_supplied_parameter_is_pushable(self):
+        match = first_match(
+            rewritten_clauses(
+                "MATCH (p:P) WHERE p.id = $v RETURN p", parameters=("v",)
+            )
+        )
+        assert match.where is None
+
+    def test_missing_parameter_is_not_pushable(self):
+        match = first_match(
+            rewritten_clauses("MATCH (p:P) WHERE p.id = $v RETURN p")
+        )
+        assert match.where is not None
+        assert map_keys(match.pattern.paths[0].elements[0]) == ()
+
+    def test_variable_bound_by_earlier_clause_is_pushable(self):
+        clauses = rewritten_clauses(
+            "WITH 3 AS x MATCH (p:P) WHERE p.id = x RETURN p"
+        )
+        assert first_match(clauses).where is None
+
+    def test_same_clause_variable_is_not_pushable(self):
+        # b is fresh in the same MATCH: b.y may be evaluated before b
+        # binds, so the conjunct must stay a WHERE.
+        match = first_match(
+            rewritten_clauses(
+                "MATCH (a:A), (b:B) WHERE a.x = b.y RETURN a"
+            )
+        )
+        assert match.where is not None
+
+    def test_partial_conjunction_stays_whole(self):
+        match = first_match(
+            rewritten_clauses(
+                "MATCH (p:P) WHERE p.id = 3 AND p.name < 'z' RETURN p"
+            )
+        )
+        assert match.where is not None
+        assert map_keys(match.pattern.paths[0].elements[0]) == ()
+
+    def test_var_length_relationship_is_not_a_target(self):
+        match = first_match(
+            rewritten_clauses(
+                "MATCH (a)-[rs:T*1..2]->(b) WHERE rs.k = 1 RETURN a"
+            )
+        )
+        assert match.where is not None
+
+    def test_existing_map_key_is_not_overwritten(self):
+        match = first_match(
+            rewritten_clauses(
+                "MATCH (p:P {id: 1}) WHERE p.id = 2 RETURN p"
+            )
+        )
+        assert match.where is not None
+        assert map_keys(match.pattern.paths[0].elements[0]) == ("id",)
+
+    def test_already_bound_pattern_variable_is_not_a_target(self):
+        clauses = rewritten_clauses(
+            "MATCH (a:A) MATCH (a)-[r:T]->(b) WHERE a.x = 1 RETURN b"
+        )
+        second = [
+            c for c in clauses if isinstance(c, ast.MatchClause)
+        ][1]
+        assert second.where is not None
+
+    def test_pushdown_result_still_executes(self):
+        graph = Graph(Dialect.REVISED, use_rewrites=True)
+        for index in range(6):
+            graph.run("CREATE (:P {id: $i, v: $i})", i=index)
+        rows = graph.run(
+            "MATCH (p:P) WHERE p.id = 4 RETURN p.v AS v"
+        ).records
+        assert rows == [{"v": 4}]
+
+
+class TestHoisting:
+    def test_record_invariant_call_is_hoisted(self):
+        match = first_match(
+            rewritten_clauses(
+                "MATCH (a) WHERE a.i < size([1, 2, 3]) RETURN a"
+            )
+        )
+        hoisted = hoisted_nodes(match.where)
+        assert len(hoisted) == 1
+        assert isinstance(hoisted[0].expression, ast.FunctionCall)
+
+    def test_hoisting_is_unparse_transparent(self):
+        clauses = rewritten_clauses(
+            "MATCH (a) RETURN a.i + abs(-2) AS v"
+        )
+        projected = clauses[-1].body.items[0]
+        assert hoisted_nodes(projected.expression)
+        assert unparse(projected.expression) == "a.i + abs(-2)"
+
+    def test_record_dependent_subtrees_stay_put(self):
+        match = first_match(
+            rewritten_clauses("MATCH (a) WHERE a.i + 1 > 2 RETURN a")
+        )
+        assert hoisted_nodes(match.where) == []
+
+    def test_comprehension_binder_counts_as_local(self):
+        clauses = rewritten_clauses(
+            "UNWIND [1] AS k RETURN [x IN [1, 2] | x * 10] AS l"
+        )
+        item = clauses[-1].body.items[0]
+        assert isinstance(item.expression, ast.HoistedExpression)
+
+    def test_comprehension_over_record_values_hoists_only_invariants(
+        self,
+    ):
+        clauses = rewritten_clauses(
+            "MATCH (a) RETURN [x IN [1, 2] | x * a.i] AS l"
+        )
+        item = clauses[-1].body.items[0]
+        assert not isinstance(item.expression, ast.HoistedExpression)
+        inner = hoisted_nodes(item.expression)
+        assert len(inner) == 1
+        assert isinstance(inner[0].expression, ast.ListLiteral)
+
+    def test_aggregating_items_are_left_alone(self):
+        clauses = rewritten_clauses(
+            "MATCH (a) RETURN count(a) + size([1]) AS c"
+        )
+        assert hoisted_nodes(clauses[-1].body.items[0].expression) == []
+
+    def test_pattern_predicates_are_never_hoisted(self):
+        match = first_match(
+            rewritten_clauses(
+                "MATCH (a) WHERE exists((a)-[:T]->()) RETURN a"
+            )
+        )
+        assert hoisted_nodes(match.where) == []
+
+    def test_unwind_source_is_hoisted(self):
+        clauses = rewritten_clauses(
+            "UNWIND range(1, 3) AS k RETURN k"
+        )
+        unwind = clauses[0]
+        assert isinstance(unwind.expression, ast.HoistedExpression)
+
+    def test_hoisted_expression_evaluates_lazily_per_statement(self):
+        graph = Graph(Dialect.REVISED, use_rewrites=True)
+        graph.run("CREATE (:A {i: 1}), (:A {i: 2})")
+        rows = graph.run(
+            "MATCH (a:A) RETURN a.i + size([0, 0]) AS v ORDER BY v"
+        ).records
+        assert rows == [{"v": 3}, {"v": 4}]
+        # Zero input records: the invariant subtree never evaluates,
+        # so an always-raising hoisted expression must not raise.
+        assert (
+            graph.run(
+                "MATCH (z:Missing) RETURN z.i / 0 + 1 AS v"
+            ).records
+            == []
+        )
+
+
+class TestWiring:
+    def test_rewrites_disabled_passes_statements_through(self):
+        statement = parse(
+            "MATCH (p:P) WHERE p.id = 3 RETURN p", Dialect.REVISED
+        )
+        with rewrites_disabled():
+            assert rewrite_statement(statement) is statement
+
+    def test_use_rewrites_defaults_follow_use_planner(self):
+        from repro.engine import CypherEngine
+        from repro.graph.store import GraphStore
+
+        store = GraphStore()
+        assert CypherEngine(store, use_planner=True).use_rewrites
+        assert not CypherEngine(store, use_planner=False).use_rewrites
+        assert CypherEngine(
+            store, use_planner=True, use_rewrites=False
+        ).use_rewrites is False
+        assert CypherEngine(
+            store, use_planner=False, use_rewrites=True
+        ).use_rewrites is True
+
+    def test_unknown_scope_stops_rewriting_downstream(self):
+        # FOREACH does not change scope but a clause the rewriter does
+        # not model must freeze the rest of the statement verbatim;
+        # CALL-like clauses do not exist here, so exercise the bail via
+        # a mutating clause followed by a pushable MATCH (scope *is*
+        # modelled, the downstream MATCH still rewrites).
+        clauses = rewritten_clauses(
+            "MATCH (a:A) SET a.x = 1 WITH a "
+            "MATCH (b:B) WHERE b.id = 3 RETURN b"
+        )
+        second = [
+            c for c in clauses if isinstance(c, ast.MatchClause)
+        ][1]
+        assert second.where is None
+
+    def test_invalid_parallel_mode_is_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(Dialect.REVISED, parallel="rocket")

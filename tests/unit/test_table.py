@@ -118,3 +118,67 @@ class TestPresentation:
 
     def test_repr(self):
         assert "2 records" in repr(DrivingTable(("a",), [{"a": 1}, {"a": 2}]))
+
+
+class TestChunkedViews:
+    def test_chunks_partition_without_copying_records(self):
+        records = [{"a": i} for i in range(10)]
+        table = DrivingTable(("a",), records)
+        chunks = table.chunks(4)
+        assert [len(chunk) for chunk in chunks] == [4, 4, 2]
+        assert [r for chunk in chunks for r in chunk.records] == records
+        # Views share the record dicts (no per-row copies).
+        assert chunks[0].records[0] is table.records[0]
+        assert all(chunk.columns == table.columns for chunk in chunks)
+
+    def test_chunks_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            DrivingTable(("a",), [{"a": 1}]).chunks(0)
+
+    def test_chunks_of_empty_table(self):
+        assert DrivingTable.empty(("a",)).chunks(3) == []
+
+    def test_from_trusted_skips_validation(self):
+        table = DrivingTable.from_trusted(("a",), [{"a": 1}, {"a": 2}])
+        assert table.columns == ("a",)
+        assert len(table) == 2
+        assert table == DrivingTable(("a",), [{"a": 1}, {"a": 2}])
+
+
+class TestExtendAndEquality:
+    def test_extend_validates_every_record(self):
+        table = DrivingTable(("a",), [{"a": 1}])
+        with pytest.raises(CypherError):
+            table.extend([{"a": 2}, {"b": 3}])
+
+    def test_extend_infers_columns_from_first_record(self):
+        table = DrivingTable()
+        table.extend([{"x": 1}, {"x": 2}])
+        assert table.columns == ("x",)
+        assert len(table) == 2
+
+    def test_extend_accepts_literal_none_values(self):
+        table = DrivingTable(("a",))
+        table.extend(iter([{"a": None}, {"a": 1}]))
+        assert table.column_values("a") == [None, 1]
+
+    def test_bag_equality_with_unhashable_values(self):
+        # Lists and maps are not hashable; equality must not crash.
+        one = DrivingTable(("a",), [{"a": [1, {"k": 2}]}, {"a": []}])
+        two = DrivingTable(("a",), [{"a": []}, {"a": [1, {"k": 2}]}])
+        assert one == two
+        assert one != DrivingTable(("a",), [{"a": []}, {"a": [1]}])
+
+    def test_bag_equality_with_entities(self):
+        from repro.graph.store import GraphStore
+
+        store = GraphStore()
+        x = store.create_node(("A",), {})
+        y = store.create_node(("A",), {})
+        one = DrivingTable(
+            ("n",), [{"n": store.node(x)}, {"n": store.node(y)}]
+        )
+        two = DrivingTable(
+            ("n",), [{"n": store.node(y)}, {"n": store.node(x)}]
+        )
+        assert one == two
