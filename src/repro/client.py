@@ -307,6 +307,31 @@ class Client:
         payload = self._request("POST", "/sessions")
         return RemoteSession(self, payload["session"])
 
+    def register_view(
+        self,
+        statement: str,
+        parameters: Mapping[str, Any] | None = None,
+        *,
+        dialect: str | None = None,
+    ) -> "RemoteView":
+        """Register *statement* as a server-maintained view."""
+        body: dict[str, Any] = {
+            "statement": statement,
+            "parameters": dict(parameters or {}),
+        }
+        if dialect is not None:
+            body["dialect"] = dialect
+        payload = self._request("POST", "/views", body)
+        return RemoteView(self, payload["view"], payload)
+
+    def view(self, view_id: str) -> "RemoteView":
+        """Handle to an already-registered view."""
+        return RemoteView(self, view_id)
+
+    def views(self) -> list[dict]:
+        """Per-view maintenance statistics from the server."""
+        return self._request("GET", "/views")["views"]
+
     def health(self) -> dict:
         return self._request("GET", "/health")
 
@@ -372,6 +397,98 @@ class RemoteSession:
             self._client._request("DELETE", f"/sessions/{self.id}")
 
     def __enter__(self) -> "RemoteSession":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class RemoteView:
+    """A server-maintained view: read its result, subscribe to changes."""
+
+    def __init__(
+        self, client: Client, view_id: str, payload: dict | None = None
+    ):
+        self._client = client
+        self.id = view_id
+        #: mode ("delta"/"full") and covered LSN from the last payload
+        self.mode = (payload or {}).get("mode")
+        self.lsn = (payload or {}).get("covered_lsn")
+
+    def result(self) -> RemoteResult:
+        """The current maintained result (refreshing the LSN stamp)."""
+        payload = self._client._request("GET", f"/views/{self.id}")
+        self.mode = payload.get("mode")
+        self.lsn = payload.get("covered_lsn")
+        return RemoteResult(payload)
+
+    def subscribe(self) -> "RemoteSubscription":
+        """Open a change subscription seeded with the current result."""
+        payload = self._client._request(
+            "POST", f"/views/{self.id}/subscribe"
+        )
+        return RemoteSubscription(
+            self._client, self.id, payload["subscription"], payload
+        )
+
+    def drop(self) -> None:
+        self._client._request("DELETE", f"/views/{self.id}")
+
+
+class RemoteSubscription:
+    """A long-poll change feed over one view."""
+
+    def __init__(
+        self,
+        client: Client,
+        view_id: str,
+        subscription_id: str,
+        payload: dict,
+    ):
+        self._client = client
+        self.view_id = view_id
+        self.id = subscription_id
+        #: the result snapshot the server seeded this subscription with
+        self.baseline = RemoteResult(payload)
+        #: covered LSN of the last delivered notification
+        self.lsn = payload.get("covered_lsn", payload.get("lsn"))
+        self._closed = False
+
+    def changes(self, timeout: float = 5.0) -> dict:
+        """Block until the view's result changes (or timeout).
+
+        Returns ``{"added": [...], "removed": [...], "lsn": int,
+        "timed_out": bool}`` with records revived into client handles.
+        The LSN stamps the store state the diff covers: the view's
+        result at that LSN is exactly baseline + added - removed.
+        """
+        payload = self._client._request(
+            "POST",
+            f"/views/{self.view_id}/changes",
+            {"subscription": self.id, "timeout_s": timeout},
+        )
+        columns = payload.get("columns", [])
+        revive = lambda rows: [  # noqa: E731
+            dict(zip(columns, (from_wire(v) for v in row)))
+            for row in rows
+        ]
+        self.lsn = payload["lsn"]
+        return {
+            "added": revive(payload.get("added", [])),
+            "removed": revive(payload.get("removed", [])),
+            "lsn": payload["lsn"],
+            "timed_out": payload.get("timed_out", False),
+        }
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._client._request(
+                "DELETE",
+                f"/views/{self.view_id}/subscriptions/{self.id}",
+            )
+
+    def __enter__(self) -> "RemoteSubscription":
         return self
 
     def __exit__(self, *exc_info: Any) -> None:

@@ -207,9 +207,18 @@ class GraphStore:
         #: statement-commit hook (write-ahead log); called with the
         #: redo-op list of every committed statement / schema change
         self._commit_hook = None
+        #: secondary commit observers (incremental view maintenance);
+        #: called with ``(lsn, ops)`` after the hook, and -- unlike the
+        #: hook -- never cause journal truncation
+        self._commit_observers: list = []
+        #: logical commit sequence number: bumped once per committed
+        #: statement (or transaction) that changed anything
+        self._lsn = 0
         #: open multi-statement transaction depth; while > 0 the
         #: per-statement commit defers to the transaction commit
         self._tx_depth = 0
+        #: nesting depth of :meth:`reverted_to` snapshot-read brackets
+        self._revert_depth = 0
 
     # ------------------------------------------------------------------
     # Profiling hooks
@@ -686,9 +695,11 @@ class GraphStore:
         redo = self.redo_ops(mark)
         saved = list(self._journal[mark:])
         self.rollback_to(mark)
+        self._revert_depth += 1
         try:
             yield self
         finally:
+            self._revert_depth -= 1
             # A write that slipped through the read-only guard would
             # corrupt the restore; undo it first (never interleave).
             if len(self._journal) > mark:
@@ -715,6 +726,41 @@ class GraphStore:
     def commit_hook(self):
         """The installed commit hook, or ``None``."""
         return self._commit_hook
+
+    def add_commit_observer(self, observer) -> None:
+        """Register a secondary commit observer.
+
+        Observers are called with ``(lsn, ops)`` after every committed
+        statement (or transaction) that changed anything, *after* the
+        commit hook ran.  Unlike the hook they never trigger journal
+        truncation, so a store without a hook keeps its rollback
+        behaviour unchanged.  Rolled-back transactions and snapshot
+        reads never reach an observer.
+        """
+        self._commit_observers.append(observer)
+
+    def remove_commit_observer(self, observer) -> None:
+        """Detach a commit observer (no-op when absent)."""
+        try:
+            self._commit_observers.remove(observer)
+        except ValueError:
+            pass
+
+    @property
+    def lsn(self) -> int:
+        """Logical commit sequence number (one per effective commit)."""
+        return self._lsn
+
+    @property
+    def in_reverted_read(self) -> bool:
+        """True while inside a :meth:`reverted_to` snapshot bracket.
+
+        The view registry consults this before refreshing: a refresh
+        against the rewound state would consume pending redo batches
+        at the wrong store state and publish half-applied view state
+        to snapshot readers.
+        """
+        return self._revert_depth > 0
 
     def in_transaction(self) -> bool:
         """True while a multi-statement transaction is open."""
@@ -743,17 +789,32 @@ class GraphStore:
     def commit_statement(self, mark: int) -> None:
         """Publish ``journal[mark:]`` to the commit hook and truncate.
 
-        No-op when no hook is installed (the in-memory store keeps its
-        undo journal exactly as before) or while a transaction is open
-        (the transaction commit publishes every statement at once, and
-        a transaction rollback means none of them ever existed).
+        No-op when neither a hook nor an observer is installed (the
+        in-memory store keeps its undo journal exactly as before) or
+        while a transaction is open (the transaction commit publishes
+        every statement at once, and a transaction rollback means none
+        of them ever existed).
+
+        Effective commits (non-empty redo) bump the store LSN and fan
+        out to the commit observers; the journal is truncated only when
+        a hook is installed, so observer-only stores keep full rollback
+        capability across committed statements.
         """
-        if self._commit_hook is None or self._tx_depth:
+        if self._tx_depth:
+            return
+        hook = self._commit_hook
+        if hook is None and not self._commit_observers:
             return
         ops = self.redo_ops(mark)
         if ops:
-            self._commit_hook(ops)
-        self.commit_to(mark)
+            if hook is not None:
+                hook(ops)
+            self._lsn += 1
+            lsn = self._lsn
+            for observer in tuple(self._commit_observers):
+                observer(lsn, ops)
+        if hook is not None:
+            self.commit_to(mark)
 
     def _log_schema(self, op: tuple) -> None:
         """Publish a schema change immediately (schema is unjournaled)."""

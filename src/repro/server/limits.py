@@ -42,6 +42,18 @@ class RequestLimits:
     #: default of 1 keeps server statements serial so one client cannot
     #: monopolise the host's cores -- operators raise it deliberately
     max_workers: int = 1
+    #: most concurrently registered materialized views
+    max_views: int = 64
+    #: most concurrent view subscriptions (across all views)
+    max_view_subscriptions: int = 256
+    #: longest honoured ``/views/{id}/changes`` long-poll timeout
+    max_poll_timeout_s: float = 30.0
+
+    def clamp_poll_timeout(self, requested: float | None) -> float:
+        """The effective long-poll wait for a requested timeout."""
+        if requested is None:
+            return self.max_poll_timeout_s
+        return max(0.0, min(float(requested), self.max_poll_timeout_s))
 
     def check_statement_length(self, source: str) -> None:
         if len(source) > self.max_statement_chars:

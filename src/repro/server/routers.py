@@ -19,6 +19,13 @@ POST        /sessions/{id}/query           statement in the session
 POST        /sessions/{id}/begin           declare a transaction
 POST        /sessions/{id}/commit          commit (durable on return)
 POST        /sessions/{id}/rollback        roll back
+GET         /views                         per-view maintenance stats
+POST        /views                         register a maintained view
+GET         /views/{id}                    current view result + LSN
+DELETE      /views/{id}                    drop a view
+POST        /views/{id}/subscribe          open a change subscription
+POST        /views/{id}/changes            long-poll for result diffs
+DELETE      /views/{id}/subscriptions/{sid}  close a subscription
 POST        /admin/checkpoint              snapshot + truncate WAL
 ==========  =============================  ==========================
 """
@@ -36,6 +43,17 @@ ROUTES: tuple[tuple[str, str, str], ...] = (
     ("POST", "/sessions/{id}/begin", "handle_begin"),
     ("POST", "/sessions/{id}/commit", "handle_commit"),
     ("POST", "/sessions/{id}/rollback", "handle_rollback"),
+    ("GET", "/views", "handle_views_list"),
+    ("POST", "/views", "handle_view_register"),
+    ("GET", "/views/{id}", "handle_view_result"),
+    ("DELETE", "/views/{id}", "handle_view_drop"),
+    ("POST", "/views/{id}/subscribe", "handle_view_subscribe"),
+    ("POST", "/views/{id}/changes", "handle_view_changes"),
+    (
+        "DELETE",
+        "/views/{id}/subscriptions/{sid}",
+        "handle_view_unsubscribe",
+    ),
     ("POST", "/admin/checkpoint", "handle_checkpoint"),
 )
 

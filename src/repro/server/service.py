@@ -19,7 +19,9 @@ per statement, exactly as the embedded API behaves.
 
 from __future__ import annotations
 
+import asyncio
 import json
+import secrets
 import time
 from dataclasses import dataclass, field
 from typing import Any
@@ -38,7 +40,7 @@ from repro.server.sessions import (
     UnknownSessionError,
     WriteBusyError,
 )
-from repro.server.wire import result_to_wire
+from repro.server.wire import result_to_wire, to_wire
 from repro.session import Graph
 
 #: wire name -> HTTP status for error responses
@@ -104,6 +106,9 @@ class GraphService:
         self.started = time.monotonic()
         self.requests = 0
         self.errors = 0
+        #: open view subscriptions by subscription id
+        self._subscriptions: dict[str, _Subscription] = {}
+        self._views_wired = False
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -135,6 +140,9 @@ class GraphService:
 
     async def close(self) -> None:
         """Roll back open transactions and release the graph."""
+        for subscription in self._subscriptions.values():
+            subscription.event.set()
+        self._subscriptions.clear()
         for session_id in list(self.sessions._sessions):
             self.sessions.close(session_id)
         if self.committer is not None:
@@ -244,6 +252,171 @@ class GraphService:
             ],
         }
 
+    # ------------------------------------------------------------------
+    # Materialized views and live subscriptions
+    # ------------------------------------------------------------------
+
+    def _views_registry(self):
+        """The graph's view registry, wired for subscriber wakeups."""
+        registry = self.graph.view_registry
+        if not self._views_wired:
+            registry.add_change_listener(self._on_view_commit)
+            self._views_wired = True
+        return registry
+
+    def _on_view_commit(self, lsn: int) -> None:
+        # Runs synchronously inside statement execution on the event
+        # loop thread; waking subscribers is just flipping events.
+        for subscription in self._subscriptions.values():
+            subscription.event.set()
+
+    def _view_payload(self, view) -> dict:
+        result = view.result()
+        self.config.limits.check_result_rows(len(result.records))
+        return {
+            "view": view.id,
+            "mode": view.stats.mode,
+            "columns": list(result.columns),
+            "records": _wire_rows(result),
+            "lsn": result.lsn,
+            "covered_lsn": view.covered_lsn,
+        }
+
+    async def handle_views_list(self, params: dict, body: dict) -> dict:
+        if self.graph._views is None:
+            return {"views": []}
+        return {"views": self._views_registry().stats()}
+
+    async def handle_view_register(
+        self, params: dict, body: dict
+    ) -> dict:
+        source, parameters = _statement_from(body)
+        self.config.limits.check_statement_length(source)
+        registry = self._views_registry()
+        if len(registry) >= self.config.limits.max_views:
+            raise ResourceLimitError(
+                f"view limit of {self.config.limits.max_views} reached"
+            )
+        dialect = body.get("dialect") or self.graph.dialect.value
+        view = registry.register(
+            source, dialect=dialect, parameters=parameters
+        )
+        return self._view_payload(view)
+
+    async def handle_view_result(self, params: dict, body: dict) -> dict:
+        view = self._views_registry().get(params["id"])
+        return self._view_payload(view)
+
+    async def handle_view_drop(self, params: dict, body: dict) -> dict:
+        registry = self._views_registry()
+        registry.drop(params["id"])
+        for sid, subscription in list(self._subscriptions.items()):
+            if subscription.view_id == params["id"]:
+                del self._subscriptions[sid]
+                subscription.event.set()
+        return {"dropped": params["id"]}
+
+    async def handle_view_subscribe(
+        self, params: dict, body: dict
+    ) -> dict:
+        limits = self.config.limits
+        if len(self._subscriptions) >= limits.max_view_subscriptions:
+            raise ResourceLimitError(
+                f"subscription limit of "
+                f"{limits.max_view_subscriptions} reached"
+            )
+        view = self._views_registry().get(params["id"])
+        payload = self._view_payload(view)
+        subscription = _Subscription(
+            id=secrets.token_hex(8),
+            view_id=view.id,
+            baseline=payload["records"],
+            delivered_lsn=payload["covered_lsn"],
+        )
+        self._subscriptions[subscription.id] = subscription
+        payload["subscription"] = subscription.id
+        return payload
+
+    async def handle_view_changes(
+        self, params: dict, body: dict
+    ) -> dict:
+        registry = self._views_registry()
+        subscription = self._subscription_from(params, body)
+        timeout = self.config.limits.clamp_poll_timeout(
+            body.get("timeout_s")
+        )
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while True:
+            view = registry.get(subscription.view_id)
+            result = view.result()
+            covered = view.covered_lsn
+            if covered > subscription.delivered_lsn:
+                rows = _wire_rows(result)
+                added, removed = _diff_rows(subscription.baseline, rows)
+                # Update the baseline *before* any await: the diff and
+                # the delivered LSN move together atomically, so a
+                # subscriber can never observe a result at an LSN newer
+                # than its latest change notification (no torn diffs).
+                subscription.baseline = rows
+                subscription.delivered_lsn = covered
+                if added or removed:
+                    return {
+                        "view": view.id,
+                        "subscription": subscription.id,
+                        "columns": list(result.columns),
+                        "added": added,
+                        "removed": removed,
+                        "lsn": covered,
+                        "timed_out": False,
+                    }
+                # Covered LSN advanced without a visible change
+                # (irrelevant commits): keep waiting silently.
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                return {
+                    "view": subscription.view_id,
+                    "subscription": subscription.id,
+                    "added": [],
+                    "removed": [],
+                    "lsn": subscription.delivered_lsn,
+                    "timed_out": True,
+                }
+            subscription.event.clear()
+            try:
+                await asyncio.wait_for(
+                    subscription.event.wait(), remaining
+                )
+            except asyncio.TimeoutError:
+                pass
+            if subscription.id not in self._subscriptions:
+                raise CypherError(
+                    f"subscription {subscription.id!r} was closed"
+                )
+
+    async def handle_view_unsubscribe(
+        self, params: dict, body: dict
+    ) -> dict:
+        subscription = self._subscriptions.pop(params["sid"], None)
+        if subscription is None or subscription.view_id != params["id"]:
+            raise CypherError(
+                f"no subscription {params['sid']!r} on view "
+                f"{params['id']!r}"
+            )
+        subscription.event.set()
+        return {"unsubscribed": subscription.id}
+
+    def _subscription_from(self, params: dict, body: dict):
+        sid = body.get("subscription")
+        subscription = (
+            self._subscriptions.get(sid) if isinstance(sid, str) else None
+        )
+        if subscription is None or subscription.view_id != params["id"]:
+            raise CypherError(
+                f"no subscription {sid!r} on view {params['id']!r}"
+            )
+        return subscription
+
     async def handle_checkpoint(self, params: dict, body: dict) -> dict:
         if self.graph.persistence is None:
             raise PersistenceError(
@@ -256,6 +429,59 @@ class GraphService:
             "checkpointed": True,
             "lsn": self.graph.persistence.lsn,
         }
+
+
+@dataclass
+class _Subscription:
+    """Server-side long-poll state for one view subscriber."""
+
+    id: str
+    view_id: str
+    #: wire rows last delivered to (or seeded for) this subscriber
+    baseline: list
+    #: covered LSN of the baseline
+    delivered_lsn: int
+    event: asyncio.Event = field(default_factory=asyncio.Event)
+
+
+def _wire_rows(result) -> list:
+    """Wire form of a :class:`~repro.views.ViewResult`'s records."""
+    columns = result.columns
+    return [
+        [to_wire(record[column]) for column in columns]
+        for record in result.records
+    ]
+
+
+def _diff_rows(old: list, new: list) -> tuple[list, list]:
+    """Multiset diff of wire rows: ``(added, removed)``.
+
+    Rows are compared by canonical JSON; order of first appearance is
+    preserved so diffs are deterministic.
+    """
+
+    def key(row) -> str:
+        return json.dumps(row, sort_keys=True, default=str)
+
+    counts: dict[str, int] = {}
+    for row in old:
+        k = key(row)
+        counts[k] = counts.get(k, 0) + 1
+    added = []
+    for row in new:
+        k = key(row)
+        if counts.get(k, 0) > 0:
+            counts[k] -= 1
+        else:
+            added.append(row)
+    removed = []
+    leftovers = dict(counts)
+    for row in old:
+        k = key(row)
+        if leftovers.get(k, 0) > 0:
+            leftovers[k] -= 1
+            removed.append(row)
+    return added, removed
 
 
 def _error_body(error_type: str, message: str) -> dict:

@@ -113,6 +113,7 @@ class Graph:
         self.store = store if store is not None else GraphStore()
         self.persistence = None
         self.recovery = None
+        self._views = None
         if path is not None:
             from repro.persistence import PersistenceManager
 
@@ -218,6 +219,64 @@ class Graph:
         return Transaction(self.store)
 
     # ------------------------------------------------------------------
+    # Materialized views
+    # ------------------------------------------------------------------
+
+    @property
+    def view_registry(self):
+        """The lazily-created :class:`~repro.views.ViewRegistry`."""
+        if self._views is None:
+            from repro.views import ViewRegistry
+
+            if (
+                self.persistence is None
+                and self.store.commit_hook() is None
+            ):
+                # Bound journal growth for long-lived in-memory graphs
+                # with views: committed statements need no undo once
+                # their redo ops have been fanned out (the server does
+                # the same for its in-memory graphs).
+                self.store.set_commit_hook(lambda ops: None)
+            self._views = ViewRegistry(
+                self.store,
+                match_mode=self.engine.match_mode,
+                extended_merge=self.engine.extended_merge,
+            )
+        return self._views
+
+    def register_view(
+        self,
+        statement: str,
+        parameters: Mapping[str, Any] | None = None,
+        **kw_parameters: Any,
+    ):
+        """Register a read-only query as an incrementally maintained view.
+
+        Returns the :class:`~repro.views.View`; read it with
+        :meth:`view_result` (or ``view.result()``).  Identical
+        registrations share one materialization.
+        """
+        merged = dict(parameters or {})
+        merged.update(kw_parameters)
+        return self.view_registry.register(
+            statement, dialect=self.engine.dialect, parameters=merged
+        )
+
+    def view_result(self, view_id: str):
+        """Current :class:`~repro.views.ViewResult` of a registered view."""
+        return self.view_registry.result(view_id)
+
+    def views(self) -> list[dict]:
+        """Per-view maintenance statistics (the ``:views`` surface)."""
+        if self._views is None:
+            return []
+        return self._views.stats()
+
+    def drop_view(self, view_id: str) -> None:
+        """Unregister a view."""
+        self.view_registry.drop(view_id)
+
+    # ------------------------------------------------------------------
     # Durability
     # ------------------------------------------------------------------
 
@@ -237,6 +296,9 @@ class Graph:
 
     def close(self) -> None:
         """Flush and detach the persistence layer (idempotent)."""
+        if self._views is not None:
+            self._views.close()
+            self._views = None
         if self.persistence is not None:
             self.persistence.close()
             self.store.set_commit_hook(None)

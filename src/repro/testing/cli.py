@@ -6,6 +6,7 @@ Typical invocations::
     python -m repro.fuzz --seed 7 --cases 5000 -v    # a longer hunt
     python -m repro.fuzz --replay tests/fuzz_corpus  # corpus regression
     python -m repro.fuzz --crash 3                   # WAL crash injection
+    python -m repro.fuzz --views 4 --cases 200       # view-maintenance oracle
 
 Every failing case is greedily shrunk and written as a replayable JSON
 bundle under ``tests/fuzz_corpus/`` (``--corpus`` to redirect,
@@ -99,6 +100,16 @@ def build_parser() -> argparse.ArgumentParser:
         "runs (default 0 = serial only)",
     )
     parser.add_argument(
+        "--views",
+        type=int,
+        default=0,
+        metavar="N",
+        help="register N deterministic read queries per case as "
+        "maintained views and, after every statement, require each "
+        "maintained result to equal a full re-execution of its query "
+        "across the engine surfaces (default 0 = off)",
+    )
+    parser.add_argument(
         "-v",
         "--verbose",
         action="store_true",
@@ -165,16 +176,24 @@ def run_replay(directory: Path, *, verbose: bool) -> int:
 
 def run_fuzz(args: argparse.Namespace) -> int:
     from repro.testing.corpus import DEFAULT_CORPUS, write_bundle
-    from repro.testing.differential import run_case
-    from repro.testing.generator import case_for
+    from repro.testing.differential import run_case, run_views_case
+    from repro.testing.generator import case_for, with_views
     from repro.testing.shrinker import shrink
 
     corpus = args.corpus if args.corpus is not None else DEFAULT_CORPUS
+
+    def execute(one):
+        if one.views:
+            return run_views_case(one, workers=args.workers)
+        return run_case(one, workers=args.workers)
+
     started = time.perf_counter()
     failures = 0
     for index in range(args.start, args.start + args.cases):
         case = case_for(args.seed, index)
-        result = run_case(case, workers=args.workers)
+        if args.views:
+            case = with_views(case, args.views)
+        result = execute(case)
         if args.verbose:
             status = "ok" if result.ok else "FAIL"
             print(f"[{status}] case {case.seed_key} ({case.kind})")
@@ -185,11 +204,13 @@ def run_fuzz(args: argparse.Namespace) -> int:
         for failure in result.failures[:5]:
             print(f"    {failure[:400]}")
         reduced = case
-        if not args.no_shrink:
+        if not args.no_shrink and not case.views:
+            # View cases are not shrunk: the registered queries are
+            # part of the repro, and dropping statements changes every
+            # later maintained/re-executed comparison point.
             reduced = shrink(case, budget=args.shrink_budget)
         bundle_failures = (
-            run_case(reduced, workers=args.workers).failures
-            or result.failures
+            execute(reduced).failures or result.failures
         )
         path = write_bundle(reduced, bundle_failures, corpus)
         print(f"    shrunk bundle written to {path}")

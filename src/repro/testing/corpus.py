@@ -38,6 +38,7 @@ def bundle_dict(case: FuzzCase, failures: list[str] | None = None) -> dict:
         "indexes": [list(pair) for pair in case.indexes],
         "merge_pattern": case.merge_pattern,
         "merge_table": case.merge_table,
+        "views": [list(pair) for pair in case.views],
         "failures": list(failures or ()),
     }
 
@@ -62,6 +63,10 @@ def case_from_dict(data: dict) -> FuzzCase:
         statements=statements,
         merge_pattern=data.get("merge_pattern"),
         merge_table=data.get("merge_table"),
+        views=tuple(
+            (source, view_dialect)
+            for source, view_dialect in data.get("views", ())
+        ),
     )
 
 
@@ -106,8 +111,14 @@ def iter_bundles(directory: Path | str = DEFAULT_CORPUS) -> list[Path]:
 
 
 def replay_bundle(path: Path | str):
-    """Re-run one bundle through the differential executor."""
-    from repro.testing.differential import run_case
+    """Re-run one bundle through the differential executor.
+
+    Bundles carrying registered ``views`` replay through the
+    view-maintenance oracle instead of the plain variant matrix.
+    """
+    from repro.testing.differential import run_case, run_views_case
 
     case, __ = load_bundle(path)
+    if case.views:
+        return run_views_case(case)
     return run_case(case)

@@ -419,6 +419,171 @@ def _run_pipeline_case(case: FuzzCase, *, workers: int = 0) -> CaseResult:
     )
 
 
+def run_views_case(case: FuzzCase, *, workers: int = 0) -> CaseResult:
+    """Differential oracle for incremental view maintenance.
+
+    The case's ``views`` queries are registered up front on one
+    maintained store; the case's statements then run on that store,
+    and after **every** successful statement each view's maintained
+    result must equal a full re-execution of its query on a copy of
+    the current graph, across the engine's surfaces (planner on/off,
+    compiled/interpreted, optionally morsel-parallel).
+
+    Re-execution runs on the maintained store itself -- registration
+    guarantees the queries are read-only, and sharing the store keeps
+    entity ids comparable.  The agreement obligation mirrors the
+    dialect contract: Cypher 9 views compare **exactly** (same rows,
+    same order, same entity ids); revised views compare as row
+    multisets, since revised results are order-independent.
+    """
+    failures: list[str] = []
+    store = build_store(case)
+    from repro.views import ViewRegistry
+
+    registry = ViewRegistry(store, extended_merge=True)
+    views = []
+    for source, view_dialect in case.views:
+        try:
+            views.append(registry.register(source, dialect=view_dialect))
+        except CypherError:
+            continue  # unregisterable query -- not a finding
+    if case.kind == "merge":
+        statement, dialect = _merge_statement(case, "all")
+        todo: tuple = (statement,)
+        parameters = {"rows": list(case.merge_table["records"])}
+    else:
+        todo = case.statements
+        dialect = Dialect.parse(case.dialect)
+        parameters = None
+    engine = CypherEngine(
+        store,
+        dialect=dialect,
+        extended_merge=True,
+        use_planner=False,
+    )
+    compiler.clear_cache()
+    rewrite.clear_cache()
+    surfaces: list[tuple[str, bool, bool, int]] = [
+        ("planner=off,compiled", True, False, 1),
+        ("planner=off,interpreted", False, False, 1),
+        ("planner=on,compiled", True, True, 1),
+    ]
+    morsels = contextlib.nullcontext()
+    if workers > 1:
+        surfaces.append(
+            (f"workers={workers},planner=off,compiled", True, False, workers)
+        )
+        morsels = parallel.parallel_min_rows(2)
+    with morsels:
+        for index, write in enumerate(todo):
+            try:
+                engine.execute(write, parameters)
+            except CypherError:
+                # The statement rolled back atomically: nothing was
+                # committed, so the views must simply be unaffected --
+                # which the check after the *next* success verifies.
+                continue
+            except Exception as error:  # noqa: BLE001 -- findings
+                failures.append(
+                    f"[views] statement {index} crashed: "
+                    f"{type(error).__name__}: {error}"
+                )
+                break
+            _check_views(store, views, index, surfaces, failures)
+            if failures:
+                break  # report the first divergent statement only
+    try:
+        check_invariants(store)
+    except InvariantViolation as violation:
+        failures.append(f"[views] post-run invariants: {violation}")
+    registry.close()
+    return CaseResult(
+        case=case, ok=not failures, failures=failures, outcomes=[]
+    )
+
+
+def _check_views(
+    store,
+    views,
+    statement_index: int,
+    surfaces,
+    failures: list[str],
+) -> None:
+    """Maintained result == full re-execution, for every view/surface."""
+    if not views:
+        return
+    maintained: dict[str, tuple] = {}
+    for view in views:
+        try:
+            result = view.result()
+        except Exception as error:  # noqa: BLE001 -- findings
+            failures.append(
+                f"[views:{view.id}] refresh crashed after statement "
+                f"{statement_index}: {type(error).__name__}: {error}"
+            )
+            return
+        maintained[view.id] = (
+            tuple(result.columns),
+            canonical_rows(list(result.records), with_ids=True),
+        )
+    for name, compiled, use_planner, n_workers in surfaces:
+        for view in views:
+            fresh_engine = CypherEngine(
+                store,
+                dialect=view.dialect,
+                extended_merge=True,
+                use_planner=use_planner,
+                workers=n_workers,
+            )
+            evaluation = (
+                contextlib.nullcontext()
+                if compiled
+                else compiler.compilation_disabled()
+            )
+            try:
+                with evaluation:
+                    reexec = fresh_engine.execute(
+                        view.statement, view.parameters
+                    )
+            except Exception as error:  # noqa: BLE001 -- findings
+                failures.append(
+                    f"[views:{view.id}:{name}] re-execution raised after "
+                    f"statement {statement_index}: "
+                    f"{type(error).__name__}: {error}"
+                )
+                continue
+            columns, rows = maintained[view.id]
+            if tuple(reexec.columns) != columns:
+                failures.append(
+                    f"[views:{view.id}:{name}] columns differ after "
+                    f"statement {statement_index}: maintained "
+                    f"{columns} != re-executed {tuple(reexec.columns)}"
+                )
+                continue
+            fresh_rows = canonical_rows(reexec.records, with_ids=True)
+            if view.dialect is Dialect.CYPHER9:
+                agree = rows == fresh_rows
+                mode = "exact"
+            else:
+                agree = _row_multiset(rows) == _row_multiset(fresh_rows)
+                mode = "multiset"
+            if not agree:
+                failures.append(
+                    f"[views:{view.id}:{name}] maintained result "
+                    f"diverged from re-execution after statement "
+                    f"{statement_index} ({mode} comparison, "
+                    f"{len(rows)} maintained vs {len(fresh_rows)} "
+                    f"re-executed rows): {view.source!r}"
+                )
+
+
+def _row_multiset(rows: tuple) -> dict:
+    counts: dict = {}
+    for row in rows:
+        counts[row] = counts.get(row, 0) + 1
+    return counts
+
+
 def _merge_statement(case: FuzzCase, keyword: str):
     """The UNWIND-driven merge statement for one semantics keyword."""
     from repro.parser.parser import parse

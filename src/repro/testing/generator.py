@@ -63,6 +63,10 @@ class FuzzCase:
     #: merge-kind payload: pattern source text and a driving table
     merge_pattern: str | None = None
     merge_table: dict | None = None
+    #: registered view queries as ``(source, dialect)`` pairs -- the
+    #: views fuzz mode asserts maintained == re-executed after every
+    #: statement (see ``repro.testing.differential.run_views_case``)
+    views: tuple[tuple[str, str], ...] = ()
 
     def statement_sources(self) -> tuple[str, ...]:
         """The statements as canonical Cypher text."""
@@ -114,6 +118,36 @@ def case_for(seed: int, index: int) -> FuzzCase:
 def cases(seed: int, count: int) -> list[FuzzCase]:
     """The first *count* cases of stream *seed*."""
     return [case_for(seed, index) for index in range(count)]
+
+
+def with_views(case: FuzzCase, count: int) -> FuzzCase:
+    """*case* plus *count* deterministic registered read queries."""
+    return replace(case, views=view_queries_for(case.seed_key, count))
+
+
+def view_queries_for(
+    seed_key: str, count: int
+) -> tuple[tuple[str, str], ...]:
+    """*count* read queries derived from *seed_key*, as (source,
+    dialect) pairs.
+
+    Biased toward the delta-maintainable shape (one fixed-length
+    MATCH path, tame WHERE, property projections) but deliberately
+    including fallback shapes -- var-length steps, OPTIONAL MATCH,
+    second MATCH clauses, aggregates, UNWIND-first -- so both
+    maintenance modes are exercised against full re-execution.
+    """
+    from repro.parser.unparse import unparse
+
+    queries = []
+    for index in range(count):
+        rng = random.Random(f"{seed_key}:views:{index}")
+        dialect = (
+            Dialect.REVISED if rng.random() < 0.5 else Dialect.CYPHER9
+        )
+        statement = _read_statement(rng, dialect)
+        queries.append((unparse(statement), dialect.value))
+    return tuple(queries)
 
 
 # ---------------------------------------------------------------------------
@@ -221,6 +255,33 @@ class _Env:
             values=list(self.values),
             counter=self.counter,
         )
+
+
+def _read_statement(
+    rng: random.Random, dialect: Dialect
+) -> ast.Statement:
+    """One scope-valid read-only statement (retry on the rare reject)."""
+    for __ in range(8):
+        builder = _Builder(rng, dialect)
+        statement = builder.read_statement()
+        try:
+            check_statement(statement)
+        except Exception:
+            continue
+        return statement
+    return ast.Statement(
+        query=ast.SingleQuery(
+            clauses=(
+                ast.ReturnClause(
+                    body=ast.ProjectionBody(
+                        items=(
+                            ast.ProjectionItem(ast.Literal(1), alias="one"),
+                        )
+                    )
+                ),
+            )
+        )
+    )
 
 
 def _statement(rng: random.Random, dialect: Dialect) -> ast.Statement:
@@ -948,6 +1009,176 @@ class _Builder:
                 or isinstance(clauses[-1], ast.WithClause):
             clauses.append(self.return_clause())
         return clauses
+
+    # -- read-only statements (registered views) ------------------------
+
+    def read_statement(self) -> ast.Statement:
+        """A read-only MATCH/WHERE/WITH/RETURN statement.
+
+        Expressions stay *total* (comparisons, IS NULL, label checks,
+        literal property maps): a registered view is re-evaluated after
+        every committed statement, so a predicate that can raise (say
+        ``% 0``) would turn graph evolution into spurious errors
+        instead of result divergence.
+        """
+        rng = self.rng
+        clauses: list[ast.Clause] = []
+        if rng.random() < 0.1:
+            clauses.append(self.unwind_clause())
+        clauses.append(self._read_match())
+        if rng.random() < 0.15:
+            clauses.append(self._read_match())
+        if rng.random() < 0.2 and self.env.all_names():
+            where = self._tame_predicate() if rng.random() < 0.4 else None
+            clauses.append(
+                ast.WithClause(
+                    body=self._tame_body(is_with=True), where=where
+                )
+            )
+        clauses.append(
+            ast.ReturnClause(body=self._tame_body(is_with=False))
+        )
+        return ast.Statement(
+            query=ast.SingleQuery(clauses=tuple(clauses))
+        )
+
+    def _read_match(self) -> ast.MatchClause:
+        rng = self.rng
+        elements: list = [
+            self._node_pattern(
+                bind=True, reuse_ok=True, with_expressions=False
+            )
+        ]
+        for __ in range(rng.randint(0, 2)):
+            variable = None
+            if rng.random() < 0.6:
+                variable = self.env.fresh("r")
+                self.env.rels.append(variable)
+            var_length = None
+            if variable is None and rng.random() < 0.25:
+                lower = rng.randint(0, 1)
+                var_length = (lower, lower + rng.randint(0, 2))
+            elements.append(
+                ast.RelationshipPattern(
+                    variable=variable,
+                    types=tuple(
+                        sorted(
+                            t for t in REL_TYPES if rng.random() < 0.45
+                        )
+                    ),
+                    direction=rng.choice([ast.OUT, ast.IN, ast.BOTH]),
+                    var_length=var_length,
+                )
+            )
+            elements.append(
+                self._node_pattern(
+                    bind=True, reuse_ok=True, with_expressions=False
+                )
+            )
+        where = self._tame_predicate() if rng.random() < 0.45 else None
+        return ast.MatchClause(
+            pattern=ast.Pattern(
+                paths=(ast.PathPattern(elements=tuple(elements)),)
+            ),
+            optional=rng.random() < 0.12,
+            where=where,
+        )
+
+    def _tame_predicate(self) -> ast.Expression:
+        rng = self.rng
+        roll = rng.random()
+        if self.env.nodes and roll < 0.5:
+            return ast.Binary(
+                rng.choice(["=", "<>", "<", "<=", ">", ">="]),
+                ast.Property(
+                    ast.Variable(rng.choice(self.env.nodes)),
+                    rng.choice(INT_KEYS),
+                ),
+                ast.Literal(rng.randint(0, 4)),
+            )
+        if self.env.nodes and roll < 0.75:
+            return ast.IsNull(
+                ast.Property(
+                    ast.Variable(rng.choice(self.env.nodes)),
+                    rng.choice(INT_KEYS),
+                ),
+                negated=rng.random() < 0.5,
+            )
+        if self.env.nodes:
+            return ast.HasLabels(
+                ast.Variable(rng.choice(self.env.nodes)),
+                (rng.choice(LABELS),),
+            )
+        return ast.Literal(True)
+
+    def _tame_body(self, *, is_with: bool) -> ast.ProjectionBody:
+        rng = self.rng
+        items: list[ast.ProjectionItem] = []
+        new_env = _Env(counter=self.env.counter)
+        names = self.env.all_names()
+        keep = [name for name in names if rng.random() < 0.7]
+        if not keep and names:
+            keep = [rng.choice(names)]
+        for name in keep:
+            items.append(
+                ast.ProjectionItem(ast.Variable(name), alias=name)
+            )
+            if name in self.env.nodes:
+                new_env.nodes.append(name)
+            elif name in self.env.rels:
+                new_env.rels.append(name)
+            else:
+                new_env.values.append(name)
+        for __ in range(rng.randint(0, 2)):
+            if self.env.nodes and rng.random() < 0.8:
+                alias = new_env.fresh("v")
+                items.append(
+                    ast.ProjectionItem(
+                        ast.Property(
+                            ast.Variable(rng.choice(self.env.nodes)),
+                            rng.choice(INT_KEYS + (STRING_KEY,)),
+                        ),
+                        alias=alias,
+                    )
+                )
+                new_env.values.append(alias)
+        aggregated = False
+        if not is_with and rng.random() < 0.15:
+            alias = new_env.fresh("c")
+            items.append(
+                ast.ProjectionItem(ast.CountStar(), alias=alias)
+            )
+            new_env.values.append(alias)
+            aggregated = True
+        if not items:
+            alias = new_env.fresh("v")
+            items.append(ast.ProjectionItem(ast.Literal(1), alias=alias))
+            new_env.values.append(alias)
+        order_by: tuple[ast.SortItem, ...] = ()
+        sortable = [
+            item.alias
+            for item in items
+            if item.alias in new_env.values
+            and not isinstance(item.expression, ast.CountStar)
+        ]
+        if sortable and not aggregated and rng.random() < 0.3:
+            order_by = (
+                ast.SortItem(
+                    ast.Variable(rng.choice(sortable)),
+                    ascending=rng.random() < 0.7,
+                ),
+            )
+        limit = None
+        if order_by and rng.random() < 0.4:
+            limit = ast.Literal(rng.randint(1, 5))
+        body = ast.ProjectionBody(
+            items=tuple(items),
+            distinct=rng.random() < 0.15,
+            order_by=order_by,
+            limit=limit,
+        )
+        self.env = new_env
+        return body
 
     def _clause_named(self, name: str) -> ast.Clause:
         if name == "match":

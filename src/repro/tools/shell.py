@@ -32,6 +32,8 @@ Shell commands:
   :begin / :commit / :rollback   bracket statements in a transaction
   :checkpoint           snapshot a durable graph and truncate its WAL
   :stats                graph statistics
+  :views [STATEMENT]    list maintained views (cost vs re-execution),
+                        or register STATEMENT as a new view
   :cache                statement-cache and expression-compiler counters
   :schema               indexes and uniqueness constraints
   :explain STATEMENT    show the execution plan without running it
@@ -265,6 +267,11 @@ class Shell:
                     self._print(f"{key}: {stats[key]}")
                 return
             self._print(self.graph.statistics().summary())
+        elif command == ":views":
+            if argument:
+                self._register_view(argument.rstrip(";"))
+                return
+            self._show_views()
         elif command == ":cache":
             from repro.runtime import compiler
 
@@ -369,6 +376,57 @@ class Shell:
             self._print("cleared")
         else:
             self._print(f"unknown command {command!r}; try :help")
+
+    def _register_view(self, statement: str) -> None:
+        try:
+            if self._remote is not None:
+                view = self._remote[0].register_view(statement)
+                self._print(
+                    f"registered {view.id} ({view.mode}, "
+                    f"lsn {view.lsn})"
+                )
+                return
+            view = self.graph.register_view(statement)
+            self._print(
+                f"registered {view.id} ({view.stats.mode}, "
+                f"{view.stats.rows} rows)"
+            )
+        except (CypherError, ConnectionError, OSError) as error:
+            self._print(f"!! {error}")
+
+    def _show_views(self) -> None:
+        try:
+            if self._remote is not None:
+                rows = self._remote[0].views()
+            else:
+                rows = self.graph.views()
+        except (CypherError, ConnectionError, OSError) as error:
+            self._print(f"!! {error}")
+            return
+        if not rows:
+            self._print("(no views registered)")
+            return
+        for stats in rows:
+            maintain = stats["maintenance_s"]
+            reexec = stats["reexec_s"]
+            refreshes = (
+                stats["delta_refreshes"] + stats["full_refreshes"]
+            )
+            per_refresh = maintain / refreshes if refreshes else 0.0
+            speedup = (
+                f"{reexec / per_refresh:.1f}x"
+                if per_refresh > 0 and reexec > 0
+                else "n/a"
+            )
+            self._print(
+                f"{stats['id']} [{stats['mode']}] rows={stats['rows']} "
+                f"lsn={stats['covered_lsn']} "
+                f"skipped={stats['batches_skipped']}/"
+                f"{stats['batches_seen']} "
+                f"maintain={per_refresh * 1e3:.3f}ms/refresh "
+                f"reexec={reexec * 1e3:.3f}ms ({speedup})  "
+                f"{stats['source']}"
+            )
 
 
 def main(argv: list[str] | None = None) -> int:

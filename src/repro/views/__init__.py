@@ -1,0 +1,18 @@
+"""Incremental view maintenance over the committed redo-op stream.
+
+See :mod:`repro.views.registry` for the maintenance model and
+:mod:`repro.views.analysis` for the delta-supported query shape.
+"""
+
+from repro.views.analysis import Footprint, ViewPlan, analyse
+from repro.views.registry import View, ViewRegistry, ViewResult, ViewStats
+
+__all__ = [
+    "Footprint",
+    "View",
+    "ViewPlan",
+    "ViewRegistry",
+    "ViewResult",
+    "ViewStats",
+    "analyse",
+]

@@ -1,0 +1,252 @@
+"""The view subscription surface, exercised over :class:`MockTransport`.
+
+Covers the full server path -- register, read, long-poll, unsubscribe,
+drop, limits -- plus the delivery-consistency promise: a change
+notification stamped with LSN *n* means the view's result at *n* is
+exactly ``baseline + added - removed``, and a subscriber that reads
+the view right after a notification never sees a result *older* than
+the notification it just received (no torn diffs).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.client import Client, MockTransport, ServerError
+from repro.errors import ResourceLimitError
+from repro.server.limits import RequestLimits
+from repro.server.service import GraphService, ServerConfig
+
+
+@pytest.fixture
+def client():
+    service = GraphService(ServerConfig())
+    client = Client.in_process(service)
+    yield client
+    client.close()
+
+
+def row_key(row: dict) -> str:
+    return json.dumps(
+        {k: repr(v) for k, v in row.items()}, sort_keys=True
+    )
+
+
+def apply_diff(rows: list[dict], diff: dict) -> list[dict]:
+    """baseline + added - removed, as multisets."""
+    out = list(rows) + list(diff["added"])
+    for removed in diff["removed"]:
+        for index, row in enumerate(out):
+            if row_key(row) == row_key(removed):
+                del out[index]
+                break
+        else:  # pragma: no cover - would be a server bug
+            raise AssertionError(f"removed row not present: {removed}")
+    return out
+
+
+def multiset(rows: list[dict]) -> dict:
+    counts: dict = {}
+    for row in rows:
+        counts[row_key(row)] = counts.get(row_key(row), 0) + 1
+    return counts
+
+
+class TestViewLifecycle:
+    def test_register_read_drop(self, client):
+        client.run("CREATE (:User {name: 'ada'})-[:KNOWS]->"
+                   "(:User {name: 'bob'})")
+        view = client.register_view(
+            "MATCH (a:User)-[:KNOWS]->(b:User) "
+            "RETURN a.name AS a, b.name AS b"
+        )
+        assert view.mode == "delta"
+        result = view.result()
+        assert result.records == [{"a": "ada", "b": "bob"}]
+        stats = client.views()
+        assert [row["id"] for row in stats] == [view.id]
+        assert stats[0]["rows"] == 1
+        view.drop()
+        with pytest.raises(ServerError):
+            view.result()
+        assert client.views() == []
+
+    def test_registration_is_deduplicated(self, client):
+        first = client.register_view("MATCH (n:User) RETURN n.name AS n")
+        second = client.register_view("MATCH (n:User) RETURN n.name AS n")
+        assert first.id == second.id
+        assert len(client.views()) == 1
+
+    def test_write_statements_are_rejected(self, client):
+        with pytest.raises(ServerError):
+            client.register_view("CREATE (:User)")
+
+    def test_max_views_limit(self):
+        service = GraphService(
+            ServerConfig(limits=RequestLimits(max_views=2))
+        )
+        with Client.in_process(service) as client:
+            client.register_view("MATCH (n:A) RETURN n.i AS i")
+            client.register_view("MATCH (n:B) RETURN n.i AS i")
+            with pytest.raises(ResourceLimitError):
+                client.register_view("MATCH (n:C) RETURN n.i AS i")
+
+    def test_maintained_result_tracks_writes(self, client):
+        view = client.register_view(
+            "MATCH (n:User) RETURN n.name AS name"
+        )
+        assert view.result().records == []
+        client.run("CREATE (:User {name: 'ada'})")
+        assert view.result().records == [{"name": "ada"}]
+        client.run("MATCH (n:User) DETACH DELETE n")
+        assert view.result().records == []
+
+
+class TestSubscriptions:
+    def test_long_poll_delivers_relevant_diff(self, client):
+        view = client.register_view(
+            "MATCH (n:User) RETURN n.name AS name"
+        )
+        subscription = view.subscribe()
+        assert subscription.baseline.records == []
+        got: dict = {}
+
+        def poll():
+            got["diff"] = subscription.changes(timeout=5.0)
+
+        waiter = threading.Thread(target=poll)
+        waiter.start()
+        client.run("CREATE (:User {name: 'ada'})")
+        waiter.join(timeout=10)
+        assert not waiter.is_alive()
+        diff = got["diff"]
+        assert not diff["timed_out"]
+        assert diff["added"] == [{"name": "ada"}]
+        assert diff["removed"] == []
+        # Consistency stamp: baseline + diff is the result at diff lsn.
+        result = view.result()
+        assert view.lsn >= diff["lsn"]
+        assert multiset(
+            apply_diff(subscription.baseline.records, diff)
+        ) == multiset(result.records)
+        subscription.close()
+
+    def test_irrelevant_write_does_not_wake_subscriber(self, client):
+        view = client.register_view(
+            "MATCH (n:User) RETURN n.name AS name"
+        )
+        with view.subscribe() as subscription:
+            client.run("CREATE (:Order {total: 9})")
+            diff = subscription.changes(timeout=0.3)
+            assert diff["timed_out"]
+            assert diff["added"] == [] and diff["removed"] == []
+
+    def test_removed_rows_are_delivered(self, client):
+        client.run("CREATE (:User {name: 'ada'}), (:User {name: 'bob'})")
+        view = client.register_view(
+            "MATCH (n:User) RETURN n.name AS name"
+        )
+        with view.subscribe() as subscription:
+            client.run("MATCH (n:User {name: 'ada'}) DETACH DELETE n")
+            diff = subscription.changes(timeout=5.0)
+            assert diff["removed"] == [{"name": "ada"}]
+            assert diff["added"] == []
+
+    def test_unsubscribe_ends_the_feed(self, client):
+        view = client.register_view(
+            "MATCH (n:User) RETURN n.name AS name"
+        )
+        subscription = view.subscribe()
+        subscription.close()
+        with pytest.raises(ServerError):
+            subscription.changes(timeout=0.2)
+
+    def test_drop_wakes_and_invalidates_subscribers(self, client):
+        view = client.register_view(
+            "MATCH (n:User) RETURN n.name AS name"
+        )
+        subscription = view.subscribe()
+        view.drop()
+        with pytest.raises(ServerError):
+            subscription.changes(timeout=2.0)
+
+    def test_poll_timeout_is_clamped_by_limits(self):
+        service = GraphService(
+            ServerConfig(limits=RequestLimits(max_poll_timeout_s=0.2))
+        )
+        with Client.in_process(service) as client:
+            view = client.register_view(
+                "MATCH (n:User) RETURN n.name AS name"
+            )
+            with view.subscribe() as subscription:
+                # asks for 60s; the server clamps to 0.2s
+                diff = subscription.changes(timeout=60.0)
+                assert diff["timed_out"]
+
+    def test_max_subscriptions_limit(self):
+        service = GraphService(
+            ServerConfig(
+                limits=RequestLimits(max_view_subscriptions=1)
+            )
+        )
+        with Client.in_process(service) as client:
+            view = client.register_view(
+                "MATCH (n:User) RETURN n.name AS name"
+            )
+            view.subscribe()
+            with pytest.raises(ResourceLimitError):
+                view.subscribe()
+
+
+class TestTwoClientConsistency:
+    """A writer and a subscriber racing over one service."""
+
+    def test_subscriber_never_observes_torn_diffs(self):
+        service = GraphService(ServerConfig())
+        writer = Client.in_process(service)
+        reader = Client(writer._transport, owns_transport=False)
+        view = reader.register_view(
+            "MATCH (n:User) RETURN n.name AS name"
+        )
+        subscription = view.subscribe()
+        materialized = list(subscription.baseline.records)
+        names = [f"u{i}" for i in range(12)]
+        done = threading.Event()
+
+        def write():
+            for name in names:
+                writer.run(
+                    "CREATE (:User {name: $name})", {"name": name}
+                )
+                # interleave irrelevant commits: they must never
+                # produce a notification of their own
+                writer.run("CREATE (:Order {total: 1})")
+            done.set()
+
+        feeder = threading.Thread(target=write)
+        feeder.start()
+        last_lsn = subscription.lsn or 0
+        for _ in range(200):
+            diff = subscription.changes(timeout=0.5)
+            if not diff["timed_out"]:
+                # LSNs only move forward, and the view as read *after*
+                # the notification is never older than the diff stamp.
+                assert diff["lsn"] > last_lsn
+                last_lsn = diff["lsn"]
+                materialized = apply_diff(materialized, diff)
+                view.result()
+                assert view.lsn >= diff["lsn"]
+            if done.is_set() and diff["timed_out"]:
+                break
+        feeder.join(timeout=10)
+        assert done.is_set()
+        # Replaying every delivered diff over the baseline rebuilds the
+        # final maintained result exactly: nothing lost, nothing torn.
+        final = view.result()
+        assert multiset(materialized) == multiset(final.records)
+        assert {row["name"] for row in final.records} == set(names)
+        subscription.close()
+        writer.close()

@@ -1,0 +1,180 @@
+"""Incremental view maintenance == re-execution, as a property.
+
+Three promises from ``repro.views`` under random write scripts:
+
+* **Equivalence**: after every committed statement, each registered
+  view's maintained result equals a fresh execution of its query on
+  the same store -- exactly (rows, order, entity ids) for Cypher 9
+  views, as a row multiset for revised ones.
+* **Invalidation precision**: commits whose redo ops are provably
+  irrelevant to a view's footprint return the *same cached object*
+  from :meth:`View.result` -- callers may use identity as a
+  no-change fast path.
+* **Rollback isolation**: statements inside a rolled-back transaction
+  never reach a view; the published result object is untouched.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dialect import Dialect
+from repro.engine import CypherEngine
+from repro.errors import CypherError
+from repro.graph.store import GraphStore
+from repro.testing.differential import canonical_rows
+from repro.views import ViewRegistry
+
+#: (source, dialect) pairs mixing delta-maintained and fallback shapes.
+VIEWS = (
+    ("MATCH (a:A)-[r:T]->(b) RETURN a AS a, r AS r, b AS b", "revised"),
+    ("MATCH (n:A) RETURN n AS n, n.i AS i, n.k AS k", "cypher9"),
+    ("MATCH (n:B) RETURN count(*) AS c", "revised"),
+    ("MATCH (a:A)-[:T]->(b:B) WHERE b.i > 1 RETURN b.i AS i", "cypher9"),
+)
+
+#: op templates, instantiated with two small integers (x, y)
+WRITES = (
+    "CREATE (:A {{i: {x}}})",
+    "CREATE (:B {{i: {x}}})",
+    "MATCH (a:A {{i: {x}}}) MATCH (b:B) CREATE (a)-[:T {{w: {y}}}]->(b)",
+    "MATCH (n:A {{i: {x}}}) SET n.k = {y}",
+    "MATCH (n:A {{i: {x}}}) SET n:B",
+    "MATCH (n:B {{i: {x}}}) REMOVE n:B",
+    "MATCH (n {{i: {x}}}) DETACH DELETE n",
+    "MATCH ()-[r:T]->() WHERE r.w = {y} DELETE r",
+)
+
+scripts = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=len(WRITES) - 1),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=4),
+    ),
+    max_size=14,
+)
+
+
+def _setup(views=VIEWS):
+    store = GraphStore()
+    engine = CypherEngine(
+        store, dialect=Dialect.REVISED, extended_merge=True
+    )
+    for statement in (
+        "CREATE (:A {i: 0})-[:T {w: 0}]->(:B {i: 1})",
+        "CREATE (:A {i: 1, k: 2})",
+        "CREATE (:B {i: 2})",
+    ):
+        engine.execute(statement)
+    registry = ViewRegistry(store)
+    registered = [
+        registry.register(source, dialect=dialect)
+        for source, dialect in views
+    ]
+    return store, engine, registry, registered
+
+
+def _recompute(store, view):
+    engine = CypherEngine(
+        store,
+        dialect=view.dialect,
+        extended_merge=True,
+        use_planner=False,
+    )
+    return engine.execute(view.statement, view.parameters)
+
+
+def _assert_equivalent(store, view):
+    maintained = view.result()
+    recomputed = _recompute(store, view)
+    assert tuple(recomputed.columns) == tuple(maintained.columns)
+    want = canonical_rows(recomputed.records, with_ids=True)
+    got = canonical_rows(list(maintained.records), with_ids=True)
+    if view.dialect is Dialect.CYPHER9:
+        assert got == want
+    else:
+        assert sorted(map(repr, got)) == sorted(map(repr, want))
+
+
+@settings(max_examples=40, deadline=None)
+@given(scripts)
+def test_maintained_equals_recomputed_after_every_commit(script):
+    store, engine, registry, views = _setup()
+    try:
+        for op, x, y in script:
+            try:
+                engine.execute(WRITES[op].format(x=x, y=y))
+            except CypherError:
+                continue
+            for view in views:
+                _assert_equivalent(store, view)
+    finally:
+        registry.close()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),
+            st.integers(min_value=0, max_value=4),
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_irrelevant_commits_preserve_object_identity(script):
+    """Writes touching only :Z never invalidate an :A-:B path view."""
+    irrelevant = (
+        "CREATE (:Z {{z: {x}}})",
+        "MATCH (n:Z) SET n.z = {x}",
+        "MATCH (n:Z {{z: {x}}}) DETACH DELETE n",
+    )
+    store, engine, registry, views = _setup(
+        views=(
+            (
+                "MATCH (a:A)-[:T]->(b:B) RETURN a.i AS ai, b.i AS bi",
+                "revised",
+            ),
+        )
+    )
+    view = views[0]
+    try:
+        baseline = view.result()
+        for op, x in script:
+            try:
+                engine.execute(irrelevant[op].format(x=x))
+            except CypherError:
+                continue
+            current = view.result()
+            assert current is baseline
+            assert current.lsn >= baseline.lsn
+        # ...and the cached result is still the true one.
+        _assert_equivalent(store, view)
+    finally:
+        registry.close()
+
+
+@settings(max_examples=25, deadline=None)
+@given(scripts)
+def test_rollback_leaves_views_untouched(script):
+    store, engine, registry, views = _setup()
+    try:
+        before = [view.result() for view in views]
+        mark = store.begin_transaction()
+        try:
+            for op, x, y in script:
+                try:
+                    engine.execute(WRITES[op].format(x=x, y=y))
+                except CypherError:
+                    continue
+                # Mid-transaction reads serve the last published
+                # result; uncommitted effects must stay invisible.
+                for view, published in zip(views, before):
+                    assert view.result() is published
+        finally:
+            store.rollback_transaction(mark)
+        for view, published in zip(views, before):
+            assert view.result() is published
+            _assert_equivalent(store, view)
+    finally:
+        registry.close()
