@@ -1209,6 +1209,227 @@ def p10_view_maintenance(
     assert divergences == 0, f"{divergences} view fuzz divergences"
 
 
+def p11_streaming_scale(
+    scales: tuple[int, ...] = (1_000_000, 10_000_000),
+    checkpoint_probes: tuple[int, int] = (50_000, 200_000),
+    equivalence_nodes: int = 20_000,
+    workers: int = 2,
+) -> None:
+    """Streaming checkpoints + parallel CSV at the 10M-node scale.
+
+    Four pieces of evidence:
+
+    * **O(1) checkpoint memory** -- tracemalloc peak of a checkpoint
+      write at two graph sizes, streaming (format 2) vs blob
+      (format 1).  The blob peak grows with the graph; the streaming
+      peak stays a small constant (one ``BATCH_ROWS`` record).
+    * **Format equivalence** -- the same store written both ways and
+      restored through both readers is byte-identical under
+      ``canonical_graph_json``.
+    * **Parallel CSV parse** -- chunked fork-pool parsing vs the
+      serial iterator over the same file; honest about core count
+      (the fork pool only wins with real cores to burn).
+    * **The scale curve** -- synthetic CSV -> parallel bulk load ->
+      streaming checkpoint -> reopen.  At each scale: load rate,
+      steady-state RSS, the peak/steady ratio (the ISSUE criterion is
+      peak < 2x steady at 10M), checkpoint write time and the RSS it
+      did NOT add, and a zero-replay reopen from the checkpoint.
+    """
+    import os
+    import sys
+    import tempfile
+
+    sys.path.insert(0, str(Path(__file__).parent))
+    from memprof import checkpoint_write_peak, peak_rss_bytes, rss_bytes
+
+    from repro.bulkload import (
+        emit_checkpoint,
+        iter_nodes_csv,
+        iter_nodes_csv_parallel,
+        iter_rels_csv,
+        iter_rels_csv_parallel,
+        load_store,
+        write_synthetic_csv,
+    )
+    from repro.graph.store import GraphStore
+    from repro.persistence.checkpoint import (
+        CHECKPOINT_FORMAT,
+        CHECKPOINT_NAME,
+        LEGACY_CHECKPOINT_FORMAT,
+        restore_checkpoint_file,
+        write_checkpoint,
+    )
+    from repro.testing.invariants import canonical_graph_json
+
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:
+        cores = os.cpu_count() or 1
+    print(
+        f"\nP11 Streaming checkpoints at scale "
+        f"(scales {', '.join(str(s) for s in scales)}, "
+        f"{workers} CSV workers on {cores} core(s))"
+    )
+
+    # -- checkpoint write memory: stream O(1) vs blob O(graph) --------
+    peaks: dict[int, dict[int, int]] = {}
+    for probe in checkpoint_probes:
+        with tempfile.TemporaryDirectory() as tmp:
+            nodes_path, rels_path = write_synthetic_csv(tmp, probe)
+            store = load_store(
+                iter_nodes_csv(nodes_path), iter_rels_csv(rels_path)
+            )
+            peaks[probe] = {
+                fmt: checkpoint_write_peak(store, tmp, format=fmt)
+                for fmt in (LEGACY_CHECKPOINT_FORMAT, CHECKPOINT_FORMAT)
+            }
+            del store
+    small, large = checkpoint_probes
+    blob_growth = (
+        peaks[large][LEGACY_CHECKPOINT_FORMAT]
+        / max(1, peaks[small][LEGACY_CHECKPOINT_FORMAT])
+    )
+    stream_growth = (
+        peaks[large][CHECKPOINT_FORMAT]
+        / max(1, peaks[small][CHECKPOINT_FORMAT])
+    )
+    record(
+        "P11",
+        f"checkpoint write memory ({small} -> {large} nodes)",
+        "blob peak grows with the graph; streaming peak is flat",
+        f"blob {peaks[small][LEGACY_CHECKPOINT_FORMAT] / 2**20:.1f} -> "
+        f"{peaks[large][LEGACY_CHECKPOINT_FORMAT] / 2**20:.1f} MiB "
+        f"({blob_growth:.1f}x) vs stream "
+        f"{peaks[small][CHECKPOINT_FORMAT] / 2**20:.2f} -> "
+        f"{peaks[large][CHECKPOINT_FORMAT] / 2**20:.2f} MiB "
+        f"({stream_growth:.1f}x)",
+    )
+
+    # -- stream and blob restores are byte-identical ------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        nodes_path, rels_path = write_synthetic_csv(tmp, equivalence_nodes)
+        store = load_store(
+            iter_nodes_csv(nodes_path),
+            iter_rels_csv(rels_path),
+            indexes=[("Person", "id")],
+        )
+        wanted = canonical_graph_json(store)
+        restored = {}
+        for fmt in (LEGACY_CHECKPOINT_FORMAT, CHECKPOINT_FORMAT):
+            write_checkpoint(tmp, store, 0, format=fmt)
+            target = GraphStore()
+            restore_checkpoint_file(target, Path(tmp) / CHECKPOINT_NAME)
+            restored[fmt] = canonical_graph_json(target)
+            del target
+        del store
+    identical = all(text == wanted for text in restored.values())
+    record(
+        "P11",
+        f"format-1 vs format-2 restore ({equivalence_nodes} nodes)",
+        "both readers rebuild the identical graph, byte for byte",
+        "canonical_graph_json identical across source, blob restore, "
+        f"stream restore: {identical}",
+    )
+    assert identical, "streaming restore diverged from the blob path"
+
+    # -- parallel CSV parse vs serial ---------------------------------
+    # 1 MiB chunks force the real fork-pool path even at quick-mode
+    # file sizes (the default 8 MiB chunk makes a small file a single
+    # range, which falls back to the serial parser).
+    parse_nodes = scales[0]
+    with tempfile.TemporaryDirectory() as tmp:
+        nodes_path, rels_path = write_synthetic_csv(tmp, parse_nodes)
+        started = time.perf_counter()
+        serial_rows = sum(1 for __ in iter_nodes_csv(nodes_path))
+        serial_s = time.perf_counter() - started
+        started = time.perf_counter()
+        parallel_rows = sum(
+            1
+            for __ in iter_nodes_csv_parallel(
+                nodes_path, workers=workers, chunk_bytes=1 << 20
+            )
+        )
+        parallel_s = time.perf_counter() - started
+    assert parallel_rows == serial_rows
+    ratio = serial_s / parallel_s if parallel_s else float("inf")
+    record(
+        "P11",
+        f"parallel CSV parse ({parse_nodes} nodes, {workers} workers)",
+        "chunked fork-pool parse; needs real cores -- on 1 core the "
+        "row-pickling IPC is pure overhead, so expect < 1x there and "
+        "scaling only with GIL-free workers to spare",
+        f"serial {serial_rows / serial_s:,.0f} rows/s vs parallel "
+        f"{parallel_rows / parallel_s:,.0f} rows/s = {ratio:.2f}x "
+        f"on {cores} core(s)",
+        elapsed_ms=parallel_s * 1000,
+    )
+
+    # -- the scale curve: load -> checkpoint -> reopen ----------------
+    for scale in scales:
+        with tempfile.TemporaryDirectory() as tmp:
+            started = time.perf_counter()
+            nodes_path, rels_path = write_synthetic_csv(tmp, scale)
+            synth_s = time.perf_counter() - started
+            rss_before = rss_bytes()
+            started = time.perf_counter()
+            store = load_store(
+                iter_nodes_csv_parallel(nodes_path, workers=workers),
+                iter_rels_csv_parallel(rels_path, workers=workers),
+                indexes=[("Person", "id")],
+            )
+            load_s = time.perf_counter() - started
+            entities = store.node_count() + store.relationship_count()
+            rss_steady = rss_bytes()
+            peak_after_load = peak_rss_bytes()
+            started = time.perf_counter()
+            emit_checkpoint(tmp, store)
+            checkpoint_s = time.perf_counter() - started
+            checkpoint_mib = (
+                Path(tmp) / CHECKPOINT_NAME
+            ).stat().st_size / 2**20
+            peak_after_ckpt = peak_rss_bytes()
+            del store
+            started = time.perf_counter()
+            reopened = Graph.open(tmp, fsync="off")
+            reopen_s = time.perf_counter() - started
+            report = reopened.recovery
+            assert report.records_applied == 0, "reopen replayed WAL"
+            assert report.checkpoint_format == CHECKPOINT_FORMAT
+            assert (
+                reopened.store.node_count()
+                + reopened.store.relationship_count()
+                == entities
+            )
+            reopened.close()
+            del reopened
+        if rss_before is not None and rss_steady is not None:
+            steady_mib = (rss_steady - rss_before) / 2**20
+            peak_ratio = (
+                (peak_after_load - rss_before) / (rss_steady - rss_before)
+                if rss_steady > rss_before
+                else float("nan")
+            )
+            ckpt_added_mib = (peak_after_ckpt - peak_after_load) / 2**20
+            rss_text = (
+                f"store +{steady_mib:,.0f} MiB steady, load peak "
+                f"{peak_ratio:.2f}x steady, checkpoint added "
+                f"+{ckpt_added_mib:,.0f} MiB peak"
+            )
+        else:
+            rss_text = "RSS n/a"
+        record(
+            "P11",
+            f"scale {scale} nodes ({entities} entities)",
+            "linear load, peak RSS < 2x steady store, O(1)-memory "
+            "streaming checkpoint, zero-replay reopen",
+            f"load {entities / load_s:,.0f} entities/s "
+            f"(csv gen {synth_s:.0f}s), {rss_text}; checkpoint "
+            f"{checkpoint_mib:,.0f} MiB in {checkpoint_s:.1f}s; reopen "
+            f"{reopen_s:.1f}s with 0 replayed records",
+            elapsed_ms=load_s * 1000,
+        )
+
+
 def print_markdown() -> None:
     print("\n\n## Markdown table (paste into EXPERIMENTS.md)\n")
     print("| Exp | Artifact | Paper says | Measured |")
@@ -1273,6 +1494,15 @@ def main(argv: list[str] | None = None) -> None:
         users=10_000 if args.quick else 100_000,
         writes=10 if args.quick else 30,
         fuzz_cases=30 if args.quick else 200,
+    )
+    p11_streaming_scale(
+        scales=(
+            (100_000,) if args.quick else (1_000_000, 10_000_000)
+        ),
+        checkpoint_probes=(
+            (20_000, 60_000) if args.quick else (50_000, 200_000)
+        ),
+        equivalence_nodes=5_000 if args.quick else 20_000,
     )
     print_markdown()
     write_json()

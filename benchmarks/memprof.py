@@ -11,8 +11,13 @@ Three complementary measurements, all stdlib-only:
 * :func:`rss_bytes` -- the process resident set from
   ``/proc/self/status`` (no psutil dependency; returns ``None`` off
   Linux), for the scaling-curve "can a 10M-node graph fit" question.
+* :func:`peak_rss_bytes` -- the lifetime high-water mark (``VmHWM``),
+  for the P11 "peak stays under 2x the steady-state store" criterion.
 * :func:`measure_allocation` -- a ``tracemalloc`` bracket around a
   callable, reporting the net and peak allocation it caused.
+* :func:`checkpoint_write_peak` -- that bracket around a checkpoint
+  write, the number that separates the streaming format (O(batch)
+  peak, flat across graph sizes) from the legacy blob (O(graph)).
 
 :func:`store_memory_report` combines them into the bytes-per-entity
 numbers the harness records, and :func:`naive_layout_bytes` prices the
@@ -76,6 +81,18 @@ def rss_bytes() -> int | None:
     return None
 
 
+def peak_rss_bytes() -> int | None:
+    """Lifetime peak resident set (``VmHWM``), or ``None`` off Linux."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        return None
+    return None
+
+
 def measure_allocation(
     action: Callable[[], Any]
 ) -> tuple[Any, int, int]:
@@ -88,6 +105,25 @@ def measure_allocation(
     finally:
         tracemalloc.stop()
     return result, after - before, peak - before
+
+
+def checkpoint_write_peak(
+    store: GraphStore, directory, *, format: int
+) -> int:
+    """tracemalloc peak (bytes) of one checkpoint write at *format*.
+
+    The blob format materialises the whole payload dict before
+    ``json.dump``, so its peak grows with the graph; the streaming
+    format serialises ``BATCH_ROWS``-sized records, so its peak is a
+    small constant.  P11 measures both at two graph sizes and records
+    the growth ratio.
+    """
+    from repro.persistence.checkpoint import write_checkpoint
+
+    __, __, peak = measure_allocation(
+        lambda: write_checkpoint(directory, store, 0, format=format)
+    )
+    return peak
 
 
 def store_memory_report(store: GraphStore) -> dict:

@@ -1703,6 +1703,60 @@ class GraphStore:
             },
         )
 
+    def iter_node_records(
+        self,
+    ) -> Iterator[tuple[int, list[str], dict[str, Any]]]:
+        """Live nodes as ``(id, sorted labels, properties)`` in id order.
+
+        A constant-memory column walk (nothing is materialised beyond
+        the yielded tuple) for consumers that stream the whole graph --
+        the streaming checkpoint writer foremost.  The yielded
+        properties dict is the store's own: treat it as read-only.
+        """
+        labelsets = self._node_labelsets
+        deleted = self._node_deleted
+        labelset_strings = self._labelset_strings
+        props_column = self._node_props
+        empty: dict[str, Any] = {}
+        for node_id in range(len(labelsets)):
+            labelset = labelsets[node_id]
+            if labelset == _HOLE or deleted[node_id]:
+                continue
+            yield (
+                node_id,
+                sorted(labelset_strings[labelset]),
+                props_column[node_id] or empty,
+            )
+
+    def iter_rel_records(
+        self,
+    ) -> Iterator[tuple[int, str, int, int, dict[str, Any]]]:
+        """Live relationships as ``(id, type, start, end, properties)``.
+
+        Id order, constant memory, dangling relationships included --
+        the same population :meth:`snapshot` reports, so a checkpoint
+        built from this stream reproduces the store exactly.  As with
+        :meth:`iter_node_records`, treat the yielded dict as read-only.
+        """
+        types = self._rel_types
+        deleted = self._rel_deleted
+        source = self._rel_source
+        target = self._rel_target
+        props_column = self._rel_props
+        text = self._strings.text
+        empty: dict[str, Any] = {}
+        for rel_id in range(len(types)):
+            type_id = types[rel_id]
+            if type_id == _HOLE or deleted[rel_id]:
+                continue
+            yield (
+                rel_id,
+                text(type_id),
+                source[rel_id],
+                target[rel_id],
+                props_column[rel_id] or empty,
+            )
+
     def copy(self) -> "GraphStore":
         """Deep copy of the live graph (journal and tombstones dropped)."""
         clone = GraphStore()

@@ -16,11 +16,18 @@ CLI.
 """
 
 from repro.persistence.checkpoint import (
+    CHECKPOINT_FORMAT,
     CHECKPOINT_NAME,
+    LEGACY_CHECKPOINT_FORMAT,
+    STREAM_MAGIC,
     WAL_NAME,
+    checkpoint_format,
     checkpoint_payload,
+    checkpoint_record_boundaries,
     load_checkpoint,
+    read_checkpoint_records,
     restore_checkpoint,
+    restore_checkpoint_file,
     write_checkpoint,
 )
 from repro.persistence.group_commit import GroupCommitter
@@ -35,7 +42,10 @@ from repro.persistence.wal import (
 )
 
 __all__ = [
+    "CHECKPOINT_FORMAT",
     "CHECKPOINT_NAME",
+    "LEGACY_CHECKPOINT_FORMAT",
+    "STREAM_MAGIC",
     "WAL_NAME",
     "FSYNC_POLICIES",
     "GroupCommitter",
@@ -43,11 +53,15 @@ __all__ = [
     "RecoveryReport",
     "WalRecord",
     "WalWriter",
+    "checkpoint_format",
     "checkpoint_payload",
+    "checkpoint_record_boundaries",
     "decode_records",
     "encode_record",
     "load_checkpoint",
+    "read_checkpoint_records",
     "read_wal",
     "restore_checkpoint",
+    "restore_checkpoint_file",
     "write_checkpoint",
 ]

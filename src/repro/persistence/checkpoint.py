@@ -1,24 +1,53 @@
 """Atomic checkpoints: a full snapshot that supersedes the WAL prefix.
 
-A checkpoint is the whole-graph JSON (the same shape
-:func:`repro.io.graph_json.graph_to_dict` produces) plus the store
-state the graph dict cannot carry -- id allocators, property indexes
-and uniqueness constraints -- stamped with the LSN of the last record
-it covers.  It is written to a temporary file in the same directory,
-fsynced, and atomically renamed over the previous checkpoint, so a
-crash at any point leaves either the old or the new checkpoint intact,
-never a half-written one.
+Format 2 (current) is a **streaming record file**: an 8-byte magic
+(``RGCHKPT2``) followed by CRC-framed records, each framed exactly like
+a WAL record (4-byte big-endian payload length, 4-byte big-endian
+CRC-32, UTF-8 JSON payload):
 
-Restoring uses :meth:`~repro.graph.store.GraphStore.apply_redo` so the
-original entity ids survive; ``dict_to_store`` would remap them, which
-would break WAL replay (records reference ids).
+======== ==============================================================
+record   payload
+======== ==============================================================
+header   ``{"kind": "header", "format": 2, "lsn", "next_node_id",
+         "next_rel_id", "indexes", "constraints"}``
+nodes    ``{"kind": "nodes", "rows": [[id, labels, properties], ...]}``
+         (at most :data:`BATCH_ROWS` rows per record)
+rels     ``{"kind": "rels", "rows": [[id, type, start, end,
+         properties], ...]}``
+end      ``{"kind": "end", "nodes": N, "rels": M}`` -- row totals, so
+         a truncated file is detected even when it ends on a frame
+         boundary
+======== ==============================================================
+
+The writer streams rows straight out of the store's column iterators
+(:meth:`~repro.graph.store.GraphStore.iter_node_records` /
+``iter_rel_records``) so peak memory is one batch, not the graph; the
+reader feeds :meth:`~repro.graph.store.GraphStore.apply_redo` record
+by record with the same O(1) bound.  Both ends keep the original
+contract: written to a temporary file in the same directory, fsynced,
+atomically renamed over the previous checkpoint, directory fsynced --
+a crash leaves either the old or the new checkpoint, never a torn one.
+
+Format 1 (legacy) was one JSON blob (the
+:func:`repro.io.graph_json.graph_to_dict` shape plus allocators,
+indexes and constraints).  It is still read transparently -- the first
+byte distinguishes the formats (``{`` = legacy JSON, magic = stream) --
+and can still be written via ``write_checkpoint(..., format=1)`` for
+downgrades.
+
+Restoring uses ``apply_redo`` so the original entity ids survive;
+``dict_to_store`` would remap them, which would break WAL replay
+(records reference ids).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import struct
+import zlib
 from pathlib import Path
+from typing import IO, Any, Iterator
 
 from repro.errors import PersistenceError
 from repro.graph.store import GraphStore
@@ -27,15 +56,35 @@ from repro.graph.store import GraphStore
 CHECKPOINT_NAME = "checkpoint.json"
 WAL_NAME = "wal.log"
 
-CHECKPOINT_FORMAT = 1
+CHECKPOINT_FORMAT = 2
+LEGACY_CHECKPOINT_FORMAT = 1
+
+#: first 8 bytes of a format-2 checkpoint; legacy JSON starts with "{"
+STREAM_MAGIC = b"RGCHKPT2"
+
+#: node/relationship rows per framed record -- enough to amortise the
+#: framing + JSON overhead, small enough that writer and reader stay
+#: O(1) in graph size
+BATCH_ROWS = 1024
+
+_FRAME = struct.Struct(">II")  # payload length, CRC-32 (same as WAL)
+
+
+# ----------------------------------------------------------------------
+# Payloads (legacy blob shape, still the compat/test currency)
+# ----------------------------------------------------------------------
 
 
 def checkpoint_payload(store: GraphStore, lsn: int) -> dict:
-    """The JSON-serialisable checkpoint of *store* at *lsn*."""
+    """The format-1 JSON-serialisable checkpoint of *store* at *lsn*.
+
+    Materialises the whole graph -- use only for tests, tooling and
+    explicit format-1 writes; the streaming writer never builds this.
+    """
     from repro.io.graph_json import graph_to_dict
 
     return {
-        "format": CHECKPOINT_FORMAT,
+        "format": LEGACY_CHECKPOINT_FORMAT,
         "lsn": lsn,
         "graph": graph_to_dict(store),
         "next_node_id": store._next_node_id,
@@ -47,22 +96,96 @@ def checkpoint_payload(store: GraphStore, lsn: int) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Writing
+# ----------------------------------------------------------------------
+
+
 def write_checkpoint(
-    directory: Path | str, store: GraphStore, lsn: int
+    directory: Path | str,
+    store: GraphStore,
+    lsn: int,
+    *,
+    format: int = CHECKPOINT_FORMAT,
 ) -> Path:
-    """Atomically write the checkpoint file; returns its path."""
+    """Atomically write the checkpoint file; returns its path.
+
+    ``format=2`` (default) streams records with one-batch peak memory;
+    ``format=1`` writes the legacy blob (materialises the graph).
+    """
+    if format not in (CHECKPOINT_FORMAT, LEGACY_CHECKPOINT_FORMAT):
+        raise PersistenceError(
+            f"cannot write checkpoint format {format!r}; "
+            f"supported: {LEGACY_CHECKPOINT_FORMAT} (blob), "
+            f"{CHECKPOINT_FORMAT} (stream)"
+        )
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     target = directory / CHECKPOINT_NAME
     temporary = directory / (CHECKPOINT_NAME + ".tmp")
-    payload = checkpoint_payload(store, lsn)
-    with open(temporary, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, sort_keys=True)
-        handle.flush()
-        os.fsync(handle.fileno())
+    if format == LEGACY_CHECKPOINT_FORMAT:
+        payload = checkpoint_payload(store, lsn)
+        with open(temporary, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+    else:
+        with open(temporary, "wb") as handle:
+            _write_stream(handle, store, lsn)
+            handle.flush()
+            os.fsync(handle.fileno())
     os.replace(temporary, target)
     _fsync_directory(directory)
     return target
+
+
+def _write_stream(handle: IO[bytes], store: GraphStore, lsn: int) -> None:
+    handle.write(STREAM_MAGIC)
+    _write_record(
+        handle,
+        {
+            "kind": "header",
+            "format": CHECKPOINT_FORMAT,
+            "lsn": lsn,
+            "next_node_id": store._next_node_id,
+            "next_rel_id": store._next_rel_id,
+            "indexes": sorted(
+                list(pair) for pair in store._property_indexes
+            ),
+            "constraints": sorted(
+                list(pair) for pair in store.unique_constraints()
+            ),
+        },
+    )
+    nodes = 0
+    batch: list[list] = []
+    for node_id, labels, properties in store.iter_node_records():
+        batch.append([node_id, labels, properties])
+        nodes += 1
+        if len(batch) >= BATCH_ROWS:
+            _write_record(handle, {"kind": "nodes", "rows": batch})
+            batch = []
+    if batch:
+        _write_record(handle, {"kind": "nodes", "rows": batch})
+        batch = []
+    rels = 0
+    for rel_id, rel_type, start, end, properties in store.iter_rel_records():
+        batch.append([rel_id, rel_type, start, end, properties])
+        rels += 1
+        if len(batch) >= BATCH_ROWS:
+            _write_record(handle, {"kind": "rels", "rows": batch})
+            batch = []
+    if batch:
+        _write_record(handle, {"kind": "rels", "rows": batch})
+    _write_record(handle, {"kind": "end", "nodes": nodes, "rels": rels})
+
+
+def _write_record(handle: IO[bytes], record: dict) -> None:
+    payload = json.dumps(
+        record, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    handle.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
+    handle.write(payload)
 
 
 def _fsync_directory(directory: Path) -> None:
@@ -79,18 +202,159 @@ def _fsync_directory(directory: Path) -> None:
         os.close(fd)
 
 
+# ----------------------------------------------------------------------
+# Reading
+# ----------------------------------------------------------------------
+
+
+def checkpoint_format(path: Path | str) -> int:
+    """The format of the checkpoint file at *path* (sniffed, cheap)."""
+    path = Path(path)
+    with open(path, "rb") as handle:
+        head = handle.read(len(STREAM_MAGIC))
+    if head[:1] == b"{":
+        return LEGACY_CHECKPOINT_FORMAT
+    if head == STREAM_MAGIC:
+        return CHECKPOINT_FORMAT
+    raise PersistenceError(
+        f"corrupt checkpoint {path}: unrecognised leading bytes {head!r}"
+    )
+
+
+def read_checkpoint_records(path: Path | str) -> Iterator[dict]:
+    """Yield the records of a format-2 checkpoint, one at a time.
+
+    O(1) memory: one frame is held at a time.  Unlike the WAL -- where
+    a torn tail is expected and silently dropped -- a checkpoint is
+    only ever observed complete (the rename is atomic), so *any*
+    truncation, CRC mismatch or missing ``end`` record raises
+    :class:`PersistenceError`.
+    """
+    path = Path(path)
+    with open(path, "rb") as handle:
+        magic = handle.read(len(STREAM_MAGIC))
+        if magic != STREAM_MAGIC:
+            raise PersistenceError(
+                f"corrupt checkpoint {path}: bad magic {magic!r}"
+            )
+        saw_end = False
+        while True:
+            header = handle.read(_FRAME.size)
+            if not header:
+                break
+            if len(header) < _FRAME.size:
+                raise PersistenceError(
+                    f"corrupt checkpoint {path}: truncated record frame"
+                )
+            length, expected_crc = _FRAME.unpack(header)
+            payload = handle.read(length)
+            if len(payload) < length:
+                raise PersistenceError(
+                    f"corrupt checkpoint {path}: truncated record payload"
+                )
+            if zlib.crc32(payload) != expected_crc:
+                raise PersistenceError(
+                    f"corrupt checkpoint {path}: record CRC mismatch"
+                )
+            try:
+                record = json.loads(payload.decode("utf-8"))
+            except ValueError as error:
+                raise PersistenceError(
+                    f"corrupt checkpoint {path}: {error}"
+                ) from error
+            if saw_end:
+                raise PersistenceError(
+                    f"corrupt checkpoint {path}: record after end marker"
+                )
+            if record.get("kind") == "end":
+                saw_end = True
+            yield record
+        if not saw_end:
+            raise PersistenceError(
+                f"corrupt checkpoint {path}: missing end record"
+            )
+
+
+def checkpoint_record_boundaries(path: Path | str) -> list[int]:
+    """Byte offsets after the magic and after each framed record.
+
+    The crash-injection fuzzer truncates a copied checkpoint at each
+    of these to prove torn checkpoints are detected loudly.
+    """
+    path = Path(path)
+    boundaries: list[int] = []
+    with open(path, "rb") as handle:
+        magic = handle.read(len(STREAM_MAGIC))
+        if magic != STREAM_MAGIC:
+            raise PersistenceError(
+                f"corrupt checkpoint {path}: bad magic {magic!r}"
+            )
+        boundaries.append(handle.tell())
+        while True:
+            header = handle.read(_FRAME.size)
+            if len(header) < _FRAME.size:
+                break
+            length, _ = _FRAME.unpack(header)
+            handle.seek(length, os.SEEK_CUR)
+            boundaries.append(handle.tell())
+    return boundaries
+
+
 def load_checkpoint(directory: Path | str) -> dict | None:
-    """The checkpoint payload, or ``None`` when none was written."""
+    """The checkpoint payload, or ``None`` when none was written.
+
+    Compat/tooling API: for a format-2 file this *materialises* the
+    stream into the blob shape (O(graph) memory) with ``"format": 2``.
+    Recovery never calls this -- it streams via
+    :func:`restore_checkpoint_file`.
+    """
     path = Path(directory) / CHECKPOINT_NAME
     if not path.exists():
         return None
+    if checkpoint_format(path) == LEGACY_CHECKPOINT_FORMAT:
+        return _load_legacy(path)
+    header: dict = {}
+    nodes: list[dict] = []
+    rels: list[dict] = []
+    for record in read_checkpoint_records(path):
+        kind = record.get("kind")
+        if kind == "header":
+            header = record
+        elif kind == "nodes":
+            nodes.extend(
+                {"id": row[0], "labels": row[1], "properties": row[2]}
+                for row in record["rows"]
+            )
+        elif kind == "rels":
+            rels.extend(
+                {
+                    "id": row[0],
+                    "type": row[1],
+                    "start": row[2],
+                    "end": row[3],
+                    "properties": row[4],
+                }
+                for row in record["rows"]
+            )
+    return {
+        "format": header.get("format", CHECKPOINT_FORMAT),
+        "lsn": header["lsn"],
+        "graph": {"nodes": nodes, "relationships": rels},
+        "next_node_id": header.get("next_node_id", 0),
+        "next_rel_id": header.get("next_rel_id", 0),
+        "indexes": header.get("indexes", []),
+        "constraints": header.get("constraints", []),
+    }
+
+
+def _load_legacy(path: Path) -> dict:
     try:
         payload = json.loads(path.read_text(encoding="utf-8"))
     except ValueError as error:
         raise PersistenceError(
             f"corrupt checkpoint {path}: {error}"
         ) from error
-    if payload.get("format") != CHECKPOINT_FORMAT:
+    if payload.get("format") != LEGACY_CHECKPOINT_FORMAT:
         raise PersistenceError(
             f"unsupported checkpoint format {payload.get('format')!r} "
             f"in {path}"
@@ -98,8 +362,79 @@ def load_checkpoint(directory: Path | str) -> dict | None:
     return payload
 
 
+# ----------------------------------------------------------------------
+# Restoring
+# ----------------------------------------------------------------------
+
+
+def restore_checkpoint_file(store: GraphStore, path: Path | str) -> dict:
+    """Rebuild *store* from the checkpoint at *path*, ids preserved.
+
+    Dispatches on the sniffed format; the format-2 path streams rows
+    into :meth:`~repro.graph.store.GraphStore.apply_redo` without ever
+    materialising the graph.  Returns ``{"lsn": ..., "format": ...}``.
+    """
+    path = Path(path)
+    if checkpoint_format(path) == LEGACY_CHECKPOINT_FORMAT:
+        payload = _load_legacy(path)
+        restore_checkpoint(store, payload)
+        return {
+            "lsn": payload["lsn"],
+            "format": LEGACY_CHECKPOINT_FORMAT,
+        }
+    apply_redo = store.apply_redo
+    header: dict | None = None
+    nodes = rels = 0
+    for record in read_checkpoint_records(path):
+        kind = record.get("kind")
+        if kind == "header":
+            if record.get("format") != CHECKPOINT_FORMAT:
+                raise PersistenceError(
+                    f"unsupported checkpoint format "
+                    f"{record.get('format')!r} in {path}"
+                )
+            header = record
+        elif kind == "nodes":
+            for row in record["rows"]:
+                apply_redo(("create_node", row[0], row[1], row[2]))
+            nodes += len(record["rows"])
+        elif kind == "rels":
+            for row in record["rows"]:
+                apply_redo(
+                    ("create_rel", row[0], row[1], row[2], row[3], row[4])
+                )
+            rels += len(record["rows"])
+        elif kind == "end":
+            if header is None:
+                raise PersistenceError(
+                    f"corrupt checkpoint {path}: missing header record"
+                )
+            if record.get("nodes") != nodes or record.get("rels") != rels:
+                raise PersistenceError(
+                    f"corrupt checkpoint {path}: end record expects "
+                    f"{record.get('nodes')} nodes / {record.get('rels')} "
+                    f"relationships, stream carried {nodes} / {rels}"
+                )
+        else:
+            raise PersistenceError(
+                f"corrupt checkpoint {path}: unknown record kind {kind!r}"
+            )
+    # Schema and allocators last, matching the legacy restore order.
+    for label, key in header.get("indexes", ()):
+        store.create_index(label, key)
+    for label, key in header.get("constraints", ()):
+        store.create_unique_constraint(label, key)
+    store._next_node_id = max(
+        store._next_node_id, header.get("next_node_id", 0)
+    )
+    store._next_rel_id = max(
+        store._next_rel_id, header.get("next_rel_id", 0)
+    )
+    return {"lsn": header["lsn"], "format": CHECKPOINT_FORMAT}
+
+
 def restore_checkpoint(store: GraphStore, payload: dict) -> None:
-    """Rebuild *store* from a checkpoint payload, ids preserved."""
+    """Rebuild *store* from a materialised payload, ids preserved."""
     graph = payload["graph"]
     for node in graph["nodes"]:
         store.apply_redo(

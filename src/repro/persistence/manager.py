@@ -28,9 +28,10 @@ from pathlib import Path
 from repro.errors import PersistenceError
 from repro.graph.store import GraphStore
 from repro.persistence.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_NAME,
     WAL_NAME,
-    load_checkpoint,
-    restore_checkpoint,
+    restore_checkpoint_file,
     write_checkpoint,
 )
 from repro.persistence.wal import FSYNC_POLICIES, WalWriter, read_wal
@@ -41,6 +42,7 @@ class RecoveryReport:
     """What :meth:`PersistenceManager.recover` found and did."""
 
     checkpoint_lsn: int = 0
+    checkpoint_format: int = 0  # 0 = no checkpoint found
     records_total: int = 0
     records_applied: int = 0
     records_skipped: int = 0
@@ -112,10 +114,13 @@ class PersistenceManager:
                 "attach the manager after recovery"
             )
         report = RecoveryReport()
-        payload = load_checkpoint(self.directory)
-        if payload is not None:
-            restore_checkpoint(store, payload)
-            report.checkpoint_lsn = payload["lsn"]
+        checkpoint_path = self.directory / CHECKPOINT_NAME
+        if checkpoint_path.exists():
+            # Streams format-2 record by record (O(1) memory); loads
+            # a legacy format-1 blob transparently.
+            info = restore_checkpoint_file(store, checkpoint_path)
+            report.checkpoint_lsn = info["lsn"]
+            report.checkpoint_format = info["format"]
         records, clean, total = read_wal(self.wal_path)
         self._clean_length = clean
         report.records_total = len(records)
@@ -187,11 +192,15 @@ class PersistenceManager:
     # Checkpointing
     # ------------------------------------------------------------------
 
-    def checkpoint(self, store: GraphStore) -> Path:
+    def checkpoint(
+        self, store: GraphStore, *, format: int = CHECKPOINT_FORMAT
+    ) -> Path:
         """Snapshot the store, then truncate the WAL; returns the path.
 
-        Safe against a crash at any point: the snapshot rename is
-        atomic, and its stamped LSN makes replaying the not-yet
+        Streams the format-2 record file by default (peak memory one
+        batch, not the graph); pass ``format=1`` to write the legacy
+        blob.  Safe against a crash at any point: the snapshot rename
+        is atomic, and its stamped LSN makes replaying the not-yet
         truncated WAL a no-op (records with ``lsn <= checkpoint lsn``
         are skipped).
         """
@@ -199,7 +208,9 @@ class PersistenceManager:
             raise PersistenceError(
                 "cannot checkpoint inside an open transaction"
             )
-        path = write_checkpoint(self.directory, store, self._lsn)
+        path = write_checkpoint(
+            self.directory, store, self._lsn, format=format
+        )
         if self._writer is not None:
             self._writer.truncate(0)
         else:

@@ -180,15 +180,24 @@ def _fn_to_integer(ctx: EvalContext, value: Any) -> Any:
     if isinstance(value, float):
         if math.isnan(value) or math.isinf(value):
             return None
-        return int(value)
+        result = int(value)
+        check_int64(result, "toInteger()")
+        return result
     if isinstance(value, str):
         try:
-            return int(value.strip())
+            result = int(value.strip())
         except ValueError:
             try:
-                return int(float(value.strip()))
+                number = float(value.strip())
             except ValueError:
                 return None
+            if math.isnan(number) or math.isinf(number):
+                # int() would leak OverflowError on "1e999" etc.;
+                # treat like the non-finite Float input above.
+                return None
+            result = int(number)
+        check_int64(result, "toInteger()")
+        return result
     raise CypherTypeError(f"toInteger() cannot convert {type_name(value)}")
 
 
@@ -211,7 +220,13 @@ def _fn_to_string(ctx: EvalContext, value: Any) -> Any:
     if isinstance(value, bool):
         return "true" if value else "false"
     if is_number(value):
-        return repr(value) if isinstance(value, float) else str(value)
+        if isinstance(value, float):
+            if math.isnan(value):
+                return "NaN"
+            if math.isinf(value):
+                return "Infinity" if value > 0 else "-Infinity"
+            return repr(value)
+        return str(value)
     raise CypherTypeError(f"toString() cannot convert {type_name(value)}")
 
 
@@ -251,11 +266,20 @@ def _fn_sign(ctx: EvalContext, value: Any) -> Any:
 
 
 def _fn_ceil(ctx: EvalContext, value: Any) -> Any:
-    return float(math.ceil(_numeric("ceil", value)))
+    number = _numeric("ceil", value)
+    if isinstance(number, float) and not math.isfinite(number):
+        # math.ceil would leak a raw ValueError/OverflowError; the
+        # ceiling of a non-finite float is the float itself (round()
+        # precedent above).
+        return number
+    return float(math.ceil(number))
 
 
 def _fn_floor(ctx: EvalContext, value: Any) -> Any:
-    return float(math.floor(_numeric("floor", value)))
+    number = _numeric("floor", value)
+    if isinstance(number, float) and not math.isfinite(number):
+        return number
+    return float(math.floor(number))
 
 
 def _fn_round(ctx: EvalContext, value: Any) -> Any:
@@ -290,7 +314,13 @@ def _fn_sqrt(ctx: EvalContext, value: Any) -> Any:
 
 
 def _fn_exp(ctx: EvalContext, value: Any) -> Any:
-    return math.exp(_numeric("exp", value))
+    try:
+        return math.exp(_numeric("exp", value))
+    except OverflowError:
+        # math.exp(746.0) leaks "OverflowError: math range error";
+        # IEEE-754 exp saturates to +Infinity, matching the repo's
+        # float-arithmetic overflow semantics.
+        return float("inf")
 
 
 def _fn_log(ctx: EvalContext, value: Any) -> Any:

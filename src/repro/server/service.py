@@ -425,8 +425,11 @@ class GraphService:
         if self.committer is not None:
             await self.committer.wait_durable(self.graph.persistence.lsn)
         self.graph.checkpoint()
+        from repro.persistence import CHECKPOINT_FORMAT
+
         return {
             "checkpointed": True,
+            "format": CHECKPOINT_FORMAT,
             "lsn": self.graph.persistence.lsn,
         }
 

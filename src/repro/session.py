@@ -115,7 +115,10 @@ class Graph:
         self.recovery = None
         self._views = None
         if path is not None:
-            from repro.persistence import PersistenceManager
+            from repro.persistence import (
+                CHECKPOINT_NAME,
+                PersistenceManager,
+            )
 
             self.persistence = PersistenceManager(path, fsync=fsync)
             had_data = bool(
@@ -123,7 +126,7 @@ class Graph:
             )
             if had_data and (
                 self.persistence.wal_path.exists()
-                or (Path(path) / "checkpoint.json").exists()
+                or (Path(path) / CHECKPOINT_NAME).exists()
             ):
                 raise PersistenceError(
                     "cannot attach a pre-populated store to a directory "
@@ -280,14 +283,21 @@ class Graph:
     # Durability
     # ------------------------------------------------------------------
 
-    def checkpoint(self) -> None:
-        """Snapshot the graph atomically and truncate the WAL."""
+    def checkpoint(self, *, format: int | None = None) -> None:
+        """Snapshot the graph atomically and truncate the WAL.
+
+        Streams the format-2 checkpoint by default; ``format=1``
+        writes the legacy blob (see :mod:`repro.persistence.checkpoint`).
+        """
         if self.persistence is None:
             raise PersistenceError(
                 "graph has no persistence directory; "
                 "open it with Graph(path=...)"
             )
-        self.persistence.checkpoint(self.store)
+        if format is None:
+            self.persistence.checkpoint(self.store)
+        else:
+            self.persistence.checkpoint(self.store, format=format)
 
     def sync(self) -> None:
         """Force pending WAL records to disk (any fsync policy)."""

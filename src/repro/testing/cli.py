@@ -121,29 +121,40 @@ def build_parser() -> argparse.ArgumentParser:
 def run_crash(args: argparse.Namespace) -> int:
     import tempfile
 
-    from repro.testing.crash import run_crash_scenario, scenario_statements
+    from repro.testing.crash import (
+        run_checkpoint_crash_scenario,
+        run_crash_scenario,
+        scenario_statements,
+    )
 
     started = time.perf_counter()
     failed = 0
     kill_points = 0
     for seed in range(args.seed, args.seed + args.crash):
+        statements = scenario_statements(seed, args.statements)
         with tempfile.TemporaryDirectory() as scratch:
             report = run_crash_scenario(
-                seed,
-                scratch,
-                statements=scenario_statements(seed, args.statements),
+                seed, scratch, statements=statements
             )
-        kill_points += report.kill_points
-        status = "ok" if report.ok else "FAIL"
-        if args.verbose or not report.ok:
+        with tempfile.TemporaryDirectory() as scratch:
+            checkpoint_report = run_checkpoint_crash_scenario(
+                seed, scratch, statements=statements
+            )
+        kill_points += report.kill_points + checkpoint_report.kill_points
+        ok = report.ok and checkpoint_report.ok
+        status = "ok" if ok else "FAIL"
+        if args.verbose or not ok:
             print(
                 f"[{status}] crash seed {seed}: "
                 f"{report.records_written} records, "
-                f"{report.kill_points} kill points"
+                f"{report.kill_points} WAL + "
+                f"{checkpoint_report.kill_points} checkpoint kill points"
             )
-        if not report.ok:
+        if not ok:
             failed += 1
-            for failure in report.failures[:5]:
+            for failure in (
+                report.failures + checkpoint_report.failures
+            )[:5]:
                 print(f"    {failure}")
     elapsed = time.perf_counter() - started
     print(

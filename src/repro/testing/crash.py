@@ -17,6 +17,15 @@ The workload mixes the shapes the journal can produce: creates,
 property sets and removals, label changes, deletes (plain and DETACH),
 MERGE, schema commands, rolled-back statements (which must never reach
 the log) and multi-statement transactions (committed and rolled back).
+
+:func:`run_checkpoint_crash_scenario` extends the same treatment to
+the **streaming checkpoint**: the workload checkpoints mid-stream,
+then the scenario kills the checkpoint *write* at every streaming-
+record boundary (a torn ``checkpoint.json.tmp`` next to the full WAL
+-- recovery must ignore it and replay the log) and, separately,
+presents a torn or corrupt ``checkpoint.json`` (which the atomic
+rename makes impossible, so recovery must fail loudly rather than
+return a silently wrong graph).
 """
 
 from __future__ import annotations
@@ -27,10 +36,14 @@ import struct
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.errors import CypherError
+from repro.errors import CypherError, PersistenceError
 from repro.graph.store import GraphStore
 from repro.persistence import PersistenceManager, decode_records
-from repro.persistence.checkpoint import WAL_NAME
+from repro.persistence.checkpoint import (
+    CHECKPOINT_NAME,
+    WAL_NAME,
+    checkpoint_record_boundaries,
+)
 from repro.session import Graph
 from repro.testing.invariants import (
     InvariantViolation,
@@ -222,6 +235,182 @@ def run_crash_scenario(
                 report.failures.append(
                     "[corrupt] corrupt record was not discarded"
                 )
+    return report
+
+
+def run_checkpoint_crash_scenario(
+    seed: int,
+    directory: Path | str,
+    *,
+    statements: list[str] | None = None,
+    fsync: str = "off",
+) -> CrashReport:
+    """Kill the streaming checkpoint at every record boundary.
+
+    Runs half the workload, checkpoints (streaming format 2), runs the
+    rest, then asserts:
+
+    * full recovery (checkpoint + WAL suffix) is byte-identical to the
+      final committed state;
+    * a crash *during* the checkpoint write -- a torn ``.tmp`` file
+      truncated at every streaming-record boundary (and mid-record)
+      beside the full pre-checkpoint WAL -- recovers the exact
+      checkpoint-time state, ignoring the temp file;
+    * a torn or corrupt ``checkpoint.json`` itself (impossible under
+      the atomic-rename contract) raises :class:`PersistenceError`
+      instead of silently recovering a wrong graph.
+    """
+    base = Path(directory)
+    live = base / "live"
+    if live.exists():
+        shutil.rmtree(live)
+    report = CrashReport(seed=seed)
+    todo = (
+        statements if statements is not None else scenario_statements(seed)
+    )
+    half = max(1, len(todo) // 2)
+
+    graph = Graph(path=live, fsync=fsync, extended_merge=True)
+    for statement in todo[:half]:
+        try:
+            graph.run(statement)
+        except CypherError:
+            pass
+        report.statements_run += 1
+    # WAL as it stands the instant before the checkpoint: a crash
+    # before the atomic rename leaves exactly this plus a torn .tmp.
+    pre_checkpoint_wal = (live / WAL_NAME).read_bytes()
+    graph.checkpoint()
+    checkpoint_state = canonical_graph_json(graph.store)
+    for statement in todo[half:]:
+        try:
+            graph.run(statement)
+        except CypherError:
+            pass
+        report.statements_run += 1
+    final_state = canonical_graph_json(graph.store)
+    graph.close()
+
+    checkpoint_path = live / CHECKPOINT_NAME
+    checkpoint_bytes = checkpoint_path.read_bytes()
+    wal_suffix = (live / WAL_NAME).read_bytes()
+    records, __ = decode_records(wal_suffix)
+    report.records_written = len(records)
+    boundaries = checkpoint_record_boundaries(checkpoint_path)
+
+    scratch = base / "scratch"
+
+    def recover_dir(
+        checkpoint: bytes | None,
+        wal: bytes,
+        tmp: bytes | None = None,
+    ) -> GraphStore:
+        if scratch.exists():
+            shutil.rmtree(scratch)
+        scratch.mkdir(parents=True)
+        if checkpoint is not None:
+            (scratch / CHECKPOINT_NAME).write_bytes(checkpoint)
+        if tmp is not None:
+            (scratch / (CHECKPOINT_NAME + ".tmp")).write_bytes(tmp)
+        (scratch / WAL_NAME).write_bytes(wal)
+        store = GraphStore()
+        PersistenceManager(scratch).recover(store, verify=False)
+        return store
+
+    # Oracle 1: the intact pair replays to the final committed state.
+    report.kill_points += 1
+    try:
+        store = recover_dir(checkpoint_bytes, wal_suffix)
+        if canonical_graph_json(store) != final_state:
+            report.failures.append(
+                "[intact] checkpoint + WAL suffix differs from the "
+                "final committed state"
+            )
+        check_invariants(store)
+    except (Exception, InvariantViolation) as error:  # noqa: BLE001
+        report.failures.append(
+            f"[intact] recovery crashed: {type(error).__name__}: {error}"
+        )
+
+    # Oracle 2: crash during the write -- torn .tmp at every streaming
+    # record boundary (plus a mid-record cut), full WAL still present.
+    for k, boundary in enumerate(boundaries):
+        cuts = [(f"tmp-boundary[{k}]", boundary)]
+        if k + 1 < len(boundaries):
+            middle = boundary + max(
+                1, (boundaries[k + 1] - boundary) // 2
+            )
+            if middle < boundaries[k + 1]:
+                cuts.append((f"tmp-torn[{k}]", middle))
+        for name, cut in cuts:
+            report.kill_points += 1
+            try:
+                store = recover_dir(
+                    None, pre_checkpoint_wal, tmp=checkpoint_bytes[:cut]
+                )
+            except Exception as error:  # noqa: BLE001 -- findings
+                report.failures.append(
+                    f"[{name}] recovery crashed: "
+                    f"{type(error).__name__}: {error}"
+                )
+                continue
+            if canonical_graph_json(store) != checkpoint_state:
+                report.failures.append(
+                    f"[{name}] torn .tmp changed the recovered state"
+                )
+            try:
+                check_invariants(store)
+            except InvariantViolation as violation:
+                report.failures.append(
+                    f"[{name}] recovered store invariants: {violation}"
+                )
+
+    # Oracle 3: a torn checkpoint.json must fail loudly, never recover
+    # a silently wrong graph (every proper prefix, boundary and torn).
+    for k, boundary in enumerate(boundaries):
+        cuts = []
+        if boundary < len(checkpoint_bytes):
+            cuts.append((f"checkpoint-boundary[{k}]", boundary))
+        if k + 1 < len(boundaries):
+            middle = boundary + max(
+                1, (boundaries[k + 1] - boundary) // 2
+            )
+            if middle < boundaries[k + 1]:
+                cuts.append((f"checkpoint-torn[{k}]", middle))
+        for name, cut in cuts:
+            report.kill_points += 1
+            try:
+                recover_dir(checkpoint_bytes[:cut], wal_suffix)
+            except PersistenceError:
+                continue  # the loud failure we demand
+            except Exception as error:  # noqa: BLE001 -- findings
+                report.failures.append(
+                    f"[{name}] wrong error class: "
+                    f"{type(error).__name__}: {error}"
+                )
+            else:
+                report.failures.append(
+                    f"[{name}] torn checkpoint accepted silently"
+                )
+
+    # Oracle 4: a corrupt record payload must fail loudly too.
+    if len(boundaries) >= 2:
+        report.kill_points += 1
+        corrupt = bytearray(checkpoint_bytes)
+        corrupt[boundaries[-2] + 8] ^= 0xFF
+        try:
+            recover_dir(bytes(corrupt), wal_suffix)
+        except PersistenceError:
+            pass
+        except Exception as error:  # noqa: BLE001 -- findings
+            report.failures.append(
+                f"[corrupt-checkpoint] wrong error class: "
+                f"{type(error).__name__}: {error}"
+            )
+        else:
+            report.failures.append(
+                "[corrupt-checkpoint] corrupt record accepted silently"
+            )
     return report
 
 

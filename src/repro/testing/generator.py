@@ -365,10 +365,78 @@ class _Builder:
         the list-length cap (the oversized form must raise the
         resource-limit error, never materialise) -- every surface has
         to agree on value *and* error class.
+
+        The overflow fixes add their own family: ``toInteger`` past
+        int64 (must raise the overflow error on the float *and* the
+        string path), ``exp`` saturation to Infinity (never a raw
+        ``OverflowError``), ``toString``/``ceil``/``floor`` on
+        non-finite floats.
         """
         rng = self.rng
         roll = rng.random()
-        if roll < 0.14:
+        if roll < 0.12:
+            pick = rng.randrange(4)
+            if pick == 0:
+                # toInteger outside int64: overflow error, not a
+                # 2048-bit Python int (nor a leaked OverflowError on
+                # the '1e999' -> inf string path, which is null)
+                argument: ast.Expression = ast.Literal(
+                    rng.choice(
+                        [1e300, "1e300", "123456789012345678901234567890"]
+                    )
+                )
+                if rng.random() < 0.3:
+                    return ast.FunctionCall(
+                        "coalesce",
+                        (
+                            ast.FunctionCall(
+                                "tointeger", (ast.Literal("1e999"),)
+                            ),
+                            ast.Literal(0),
+                        ),
+                    )
+                return ast.FunctionCall("tointeger", (argument,))
+            inf: ast.Expression = ast.Binary(
+                "/", ast.Literal(1.0), ast.Literal(0.0)
+            )
+            if pick == 1:
+                # exp saturates to Infinity; toInteger(Infinity) is
+                # null, so coalesce keeps the shape integer-typed
+                inner = ast.FunctionCall(
+                    "exp",
+                    (ast.Literal(rng.choice([746.0, 0.0, 1.0, 1000.0])),),
+                )
+                return ast.FunctionCall(
+                    "coalesce",
+                    (
+                        ast.FunctionCall("tointeger", (inner,)),
+                        ast.Literal(0),
+                    ),
+                )
+            if pick == 2:
+                # Cypher spellings of non-finite floats, measured by
+                # size: Infinity=8, -Infinity=9, NaN=3
+                value = (
+                    inf
+                    if rng.random() < 0.6
+                    else ast.Binary("/", ast.Literal(0.0), ast.Literal(0.0))
+                )
+                if rng.random() < 0.3:
+                    value = ast.Unary("-", value)
+                return ast.FunctionCall(
+                    "size", (ast.FunctionCall("tostring", (value,)),)
+                )
+            # ceil/floor pass non-finite through instead of leaking a
+            # raw ValueError/OverflowError from math.ceil/floor
+            inner = ast.FunctionCall(rng.choice(["ceil", "floor"]), (inf,))
+            return ast.FunctionCall(
+                "coalesce",
+                (
+                    ast.FunctionCall("tointeger", (inner,)),
+                    ast.Literal(0),
+                ),
+            )
+        if roll < 0.24:
             # split with an occasionally empty separator
             separator = rng.choice(["", "", ",", "a"])
             return ast.FunctionCall(
@@ -383,7 +451,7 @@ class _Builder:
                     ),
                 ),
             )
-        if roll < 0.28:
+        if roll < 0.36:
             # round at the half-up edges; toInteger keeps the shape
             # integer-typed for the surrounding expression
             value = rng.choice(
@@ -400,7 +468,7 @@ class _Builder:
                 "tointeger",
                 (ast.FunctionCall("round", (argument,)),),
             )
-        if roll < 0.4:
+        if roll < 0.46:
             # range under or over the materialisation cap
             if rng.random() < 0.3:
                 bounds = (
@@ -415,7 +483,7 @@ class _Builder:
             return ast.FunctionCall(
                 "size", (ast.FunctionCall("range", bounds),)
             )
-        if roll < 0.58:
+        if roll < 0.62:
             items = tuple(
                 ast.Literal(rng.randint(0, 4))
                 for __ in range(rng.randint(0, 3))
@@ -431,7 +499,7 @@ class _Builder:
                     ast.Variable("el0"),
                 ),
             )
-        if roll < 0.78:
+        if roll < 0.8:
             if rng.random() < 0.2:
                 # abs at INT64_MIN: (-9223372036854775807) - 1 is the
                 # smallest legal integer; abs of it must overflow.

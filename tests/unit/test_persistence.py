@@ -372,6 +372,76 @@ class TestManager:
             PersistenceManager(tmp_path).recover(GraphStore())
 
 
+class TestStreamingCheckpointManager:
+    """Format-2 wiring through the manager: sniffing, compat, tmp."""
+
+    def _populate(self, directory):
+        from repro.session import Graph
+
+        graph = Graph(path=directory, fsync="off")
+        graph.run("CREATE (:A {k: 1})-[:T]->(:B {k: 2})")
+        snapshot = canonical_graph_json(graph.store)
+        graph.close()
+        return snapshot
+
+    def test_manager_checkpoint_is_streaming(self, tmp_path):
+        from repro.persistence.checkpoint import (
+            STREAM_MAGIC,
+            checkpoint_format,
+        )
+
+        before = self._populate(tmp_path)
+        store = GraphStore()
+        manager = PersistenceManager(tmp_path)
+        manager.recover(store)
+        path = manager.checkpoint(store)
+        assert path.read_bytes()[:8] == STREAM_MAGIC
+        assert checkpoint_format(path) == 2
+        fresh = GraphStore()
+        report = PersistenceManager(tmp_path).recover(fresh)
+        assert canonical_graph_json(fresh) == before
+        assert report.checkpoint_format == 2
+        assert report.records_total == 0
+
+    def test_legacy_blob_still_recovers(self, tmp_path):
+        before = self._populate(tmp_path)
+        store = GraphStore()
+        manager = PersistenceManager(tmp_path)
+        manager.recover(store)
+        manager.checkpoint(store, format=1)
+        assert (tmp_path / "checkpoint.json").read_text()[0] == "{"
+        fresh = GraphStore()
+        report = PersistenceManager(tmp_path).recover(fresh)
+        assert canonical_graph_json(fresh) == before
+        assert report.checkpoint_format == 1
+
+    def test_blob_and_stream_recover_identically(self, tmp_path):
+        self._populate(tmp_path)
+        store = GraphStore()
+        manager = PersistenceManager(tmp_path)
+        manager.recover(store)
+        via = {}
+        for format in (1, 2):
+            manager.checkpoint(store, format=format)
+            fresh = GraphStore()
+            PersistenceManager(tmp_path).recover(fresh)
+            via[format] = canonical_graph_json(fresh)
+        assert via[1] == via[2]
+
+    def test_torn_tmp_file_is_ignored(self, tmp_path):
+        before = self._populate(tmp_path)
+        (tmp_path / "checkpoint.json.tmp").write_bytes(b"RGCHKPT2\x00\x00")
+        fresh = GraphStore()
+        report = PersistenceManager(tmp_path).recover(fresh)
+        assert canonical_graph_json(fresh) == before
+        assert report.checkpoint_format == 0  # WAL replay only
+
+    def test_no_checkpoint_reports_format_zero(self, tmp_path):
+        report = PersistenceManager(tmp_path).recover(GraphStore())
+        assert report.checkpoint_format == 0
+        assert report.checkpoint_lsn == 0
+
+
 class TestRecoverCli:
     def test_recover_and_compact(self, tmp_path, capsys):
         from repro.recover import main
@@ -385,6 +455,25 @@ class TestRecoverCli:
         assert "recovered:" in out and "invariants: ok" in out
         assert "checkpoint written" in out
         assert (tmp_path / WAL_NAME).stat().st_size == 0
+
+    def test_cli_format_conversion_both_ways(self, tmp_path, capsys):
+        from repro.persistence.checkpoint import checkpoint_format
+        from repro.recover import main
+        from repro.session import Graph
+
+        graph = Graph(path=tmp_path, fsync="off")
+        graph.run("CREATE (:A {k: 1})")
+        graph.close()
+        path = tmp_path / "checkpoint.json"
+        assert main([str(tmp_path), "--checkpoint"]) == 0
+        assert checkpoint_format(path) == 2
+        assert main([str(tmp_path), "--checkpoint", "--format", "blob"]) == 0
+        assert checkpoint_format(path) == 1
+        assert main([str(tmp_path), "--checkpoint", "--format", "stream"]) == 0
+        assert checkpoint_format(path) == 2
+        out = capsys.readouterr().out
+        assert "checkpoint format: 2 (stream)" in out
+        assert "checkpoint format: 1 (blob)" in out
 
     def test_failure_exit_code(self, tmp_path, capsys):
         (tmp_path / "checkpoint.json").write_text("{broken")
